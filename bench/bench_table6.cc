@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Reproduces Table VI: the effect of instruction-wise pruning per
+ * kernel -- the percentage of dynamic instructions pruned as common
+ * blocks and the error it introduces into the masked/SDC estimates.
+ * The error is isolated by running the pipeline twice (with and
+ * without the instruction stage, identical seeds elsewhere) and
+ * injecting both pruned spaces.
+ *
+ * Kernels whose representatives share no usable commonality (single
+ * representative, or early-exit + full-thread pairs) are reported as
+ * not applicable, exactly as in the paper.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace fsp;
+
+    bench::banner("Table VI",
+                  "Instruction-wise pruning: % pruned common "
+                  "instructions and introduced error");
+
+    TextTable table({"Application", "Kernel", "% Pruned Common Insn.",
+                     "MSK err", "SDC err", "sites w/o -> w/"});
+
+    for (const auto *spec : bench::tableOneKernels()) {
+        analysis::KernelAnalysis ka(*spec,
+                                    bench::scaleFromEnv(
+                                        apps::Scale::Small));
+
+        pruning::PruningConfig with;
+        with.seed = bench::masterSeed();
+        pruning::PruningConfig without = with;
+        without.instructionStage = false;
+
+        auto pruned_with = ka.prune(with);
+        if (!pruned_with.instrStats.applicable) {
+            table.addRow({spec->application, spec->id, "n/a", "-", "-",
+                          "-"});
+            continue;
+        }
+        auto pruned_without = ka.prune(without);
+
+        auto est_with = ka.runPrunedCampaign(pruned_with);
+        auto est_without = ka.runPrunedCampaign(pruned_without);
+
+        double msk = est_with.fraction(faults::Outcome::Masked) -
+                     est_without.fraction(faults::Outcome::Masked);
+        double sdc = est_with.fraction(faults::Outcome::SDC) -
+                     est_without.fraction(faults::Outcome::SDC);
+
+        table.addRow(
+            {spec->application, spec->id,
+             fmtPercent(pruned_with.instrStats.prunedFraction(), 2),
+             fmtFixed(100.0 * msk, 2) + "%",
+             fmtFixed(100.0 * sdc, 2) + "%",
+             std::to_string(pruned_without.sites.size()) + " -> " +
+                 std::to_string(pruned_with.sites.size())});
+    }
+
+    std::printf("%s\n", table.str().c_str());
+    std::printf("Paper Table VI averages: 72.94%% pruned, -0.15%% MSK, "
+                "-0.10%% SDC across the six\napplicable kernels "
+                "(HotSpot, PathFinder, LUD K46, 2DCONV, Gaussian "
+                "K2/K126).\n");
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Engineering baseline (not a paper artifact): google-benchmark
+ * measurements of the substrate -- functional-simulator instruction
+ * throughput, injection-run latency, fault-space enumeration, and the
+ * pruning pipeline itself.  These numbers bound how large a campaign
+ * the harness can sustain.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/analyzer.hh"
+#include "apps/app.hh"
+#include "faults/fault_space.hh"
+#include "faults/injector.hh"
+#include "pruning/pipeline.hh"
+
+namespace {
+
+using namespace fsp;
+
+void
+BM_GoldenRun(benchmark::State &state)
+{
+    const apps::KernelSpec *spec = apps::findKernel("GEMM/K1");
+    apps::KernelSetup setup = spec->setup(apps::Scale::Small, 42);
+    sim::Executor executor(setup.program, setup.launch);
+
+    std::uint64_t instrs = 0;
+    for (auto _ : state) {
+        sim::GlobalMemory scratch = setup.memory;
+        auto result = executor.run(scratch);
+        benchmark::DoNotOptimize(result.totalDynInstrs);
+        instrs += result.totalDynInstrs;
+    }
+    state.counters["instr/s"] = benchmark::Counter(
+        static_cast<double>(instrs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GoldenRun);
+
+void
+BM_InjectionRun(benchmark::State &state)
+{
+    const apps::KernelSpec *spec = apps::findKernel("GEMM/K1");
+    apps::KernelSetup setup = spec->setup(apps::Scale::Small, 42);
+    faults::Injector injector(setup.program, setup.launch, setup.memory,
+                              setup.outputs);
+
+    faults::FaultSite site{0, 40, 7};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(injector.inject(site));
+    state.counters["runs/s"] = benchmark::Counter(
+        static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InjectionRun);
+
+void
+BM_Enumeration(benchmark::State &state)
+{
+    const apps::KernelSpec *spec = apps::findKernel("GEMM/K1");
+    apps::KernelSetup setup = spec->setup(apps::Scale::Small, 42);
+    sim::Executor executor(setup.program, setup.launch);
+
+    for (auto _ : state) {
+        faults::FaultSpace space(executor, setup.memory);
+        benchmark::DoNotOptimize(space.totalSites());
+    }
+}
+BENCHMARK(BM_Enumeration);
+
+void
+BM_PruningPipeline(benchmark::State &state)
+{
+    const apps::KernelSpec *spec = apps::findKernel("GEMM/K1");
+    apps::KernelSetup setup = spec->setup(apps::Scale::Small, 42);
+    sim::Executor executor(setup.program, setup.launch);
+    faults::FaultSpace space(executor, setup.memory);
+
+    pruning::PruningConfig config;
+    for (auto _ : state) {
+        auto result =
+            pruning::prunePipeline(executor, setup.memory, space, config);
+        benchmark::DoNotOptimize(result.sites.size());
+    }
+}
+BENCHMARK(BM_PruningPipeline);
+
+void
+BM_Assembly(benchmark::State &state)
+{
+    const apps::KernelSpec *spec = apps::findKernel("HotSpot/K1");
+    for (auto _ : state) {
+        apps::KernelSetup setup = spec->setup(apps::Scale::Small, 42);
+        benchmark::DoNotOptimize(setup.program.size());
+    }
+}
+BENCHMARK(BM_Assembly);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Shared bench helper implementation.
+ */
+
+#include "bench_util.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace fsp::bench {
+
+apps::Scale
+scaleFromEnv(apps::Scale fallback)
+{
+    const char *raw = std::getenv("FSP_SCALE");
+    if (raw == nullptr)
+        return fallback;
+    std::string value(raw);
+    if (value == "paper")
+        return apps::Scale::Paper;
+    if (value == "small")
+        return apps::Scale::Small;
+    warn("unknown FSP_SCALE '", value, "'; using default");
+    return fallback;
+}
+
+std::size_t
+baselineRuns(std::size_t fallback)
+{
+    return static_cast<std::size_t>(envU64("FSP_BASELINE_RUNS", fallback));
+}
+
+std::uint64_t
+masterSeed()
+{
+    return envU64("FSP_SEED", 1);
+}
+
+std::vector<const apps::KernelSpec *>
+tableOneKernels()
+{
+    std::vector<const apps::KernelSpec *> kernels;
+    for (const auto &spec : apps::allKernels()) {
+        if (spec.application != "NN")
+            kernels.push_back(&spec);
+    }
+    return kernels;
+}
+
+void
+banner(const std::string &artifact, const std::string &description)
+{
+    std::printf("================================================="
+                "=============================\n");
+    std::printf("Reproduction of %s\n", artifact.c_str());
+    std::printf("%s\n", description.c_str());
+    std::printf("================================================="
+                "=============================\n\n");
+}
+
+std::string
+csvPath(const std::string &name)
+{
+    const char *dir = std::getenv("FSP_CSV_DIR");
+    if (dir == nullptr || *dir == '\0')
+        return {};
+    return std::string(dir) + "/" + name + ".csv";
+}
+
+std::vector<double>
+perThreadMaskedFraction(analysis::KernelAnalysis &ka,
+                       const std::vector<std::uint64_t> &threads,
+                       std::size_t sites_per_thread, std::uint64_t seed)
+{
+    // One traced run covering every requested thread.
+    sim::TraceOptions opts;
+    for (std::uint64_t t : threads)
+        opts.traceThreads.insert(t);
+    sim::GlobalMemory scratch = ka.setup().memory;
+    sim::RunResult run = ka.executor().run(scratch, &opts);
+    FSP_ASSERT(run.status == sim::RunStatus::Completed,
+               "profiling run failed");
+
+    Prng prng(seed);
+    std::vector<double> fractions;
+    fractions.reserve(threads.size());
+    for (std::uint64_t t : threads) {
+        auto sites =
+            ka.space().threadSites(t, run.trace.dynTraces.at(t));
+        Prng thread_prng = prng.fork("thread-" + std::to_string(t));
+        std::vector<std::size_t> chosen = thread_prng.sampleWithoutReplacement(
+            sites.size(), sites_per_thread);
+        faults::OutcomeDist dist;
+        for (std::size_t index : chosen)
+            dist.add(ka.injector().inject(sites[index]));
+        fractions.push_back(dist.fraction(faults::Outcome::Masked));
+    }
+    return fractions;
+}
+
+std::string
+boxplotString(const std::vector<double> &values)
+{
+    BoxplotSummary s = boxplot(values);
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "%5.1f /%5.1f /%5.1f /%5.1f /%5.1f  (mean %5.1f)",
+                  100.0 * s.min, 100.0 * s.q1, 100.0 * s.median,
+                  100.0 * s.q3, 100.0 * s.max, 100.0 * s.mean);
+    return buf;
+}
+
+std::string
+distTriple(const faults::OutcomeDist &dist)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%5.1f / %5.1f / %5.1f",
+                  100.0 * dist.fraction(faults::Outcome::Masked),
+                  100.0 * dist.fraction(faults::Outcome::SDC),
+                  100.0 * dist.fraction(faults::Outcome::Other));
+    return buf;
+}
+
+} // namespace fsp::bench

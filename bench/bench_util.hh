@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Shared helpers for the per-table/per-figure bench harnesses: scale
+ * and sample-size knobs (overridable via environment variables so any
+ * experiment can be scaled back up towards paper fidelity), and small
+ * formatting utilities.
+ *
+ * Environment knobs honoured by every bench:
+ *   FSP_SCALE=paper|small   geometry preset (default: per-bench choice)
+ *   FSP_BASELINE_RUNS=N     random-baseline campaign size
+ *   FSP_SEED=N              master seed for campaigns/pruning
+ */
+
+#ifndef FSP_BENCH_BENCH_UTIL_HH
+#define FSP_BENCH_BENCH_UTIL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hh"
+#include "apps/app.hh"
+#include "faults/outcome.hh"
+#include "util/env.hh"
+#include "util/table.hh"
+
+namespace fsp::bench {
+
+/** Resolve the geometry scale: FSP_SCALE overrides @p fallback. */
+apps::Scale scaleFromEnv(apps::Scale fallback);
+
+/** Baseline campaign size (FSP_BASELINE_RUNS, default @p fallback). */
+std::size_t baselineRuns(std::size_t fallback);
+
+/** Master seed (FSP_SEED, default 1). */
+std::uint64_t masterSeed();
+
+/** The 16 evaluated kernels of Table I (excludes NN). */
+std::vector<const apps::KernelSpec *> tableOneKernels();
+
+/** Print a bench banner with the paper artifact being reproduced. */
+void banner(const std::string &artifact, const std::string &description);
+
+/**
+ * Destination path for a bench's machine-readable export: when
+ * FSP_CSV_DIR is set, "<dir>/<name>.csv"; empty otherwise.
+ */
+std::string csvPath(const std::string &name);
+
+/** "62.4 / 30.1 / 7.5" masked/sdc/other percentage triple. */
+std::string distTriple(const faults::OutcomeDist &dist);
+
+/**
+ * Measure the masked-output fraction of individual threads by
+ * injecting a random sample of each thread's own fault sites (used by
+ * the Fig. 2 and Fig. 4 reproductions).
+ *
+ * @param ka kernel analysis context (injector is created on demand).
+ * @param threads global thread ids to measure.
+ * @param sites_per_thread injections per thread.
+ * @param seed sampling seed.
+ * @return masked fraction per thread, in the order of @p threads.
+ */
+std::vector<double>
+perThreadMaskedFraction(analysis::KernelAnalysis &ka,
+                        const std::vector<std::uint64_t> &threads,
+                        std::size_t sites_per_thread, std::uint64_t seed);
+
+/** Render a boxplot summary as "min/q1/med/q3/max (mean)". */
+std::string boxplotString(const std::vector<double> &values);
+
+} // namespace fsp::bench
+
+#endif // FSP_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Analysis facade implementation.
+ */
+
+#include "analysis/analyzer.hh"
+
+namespace fsp::analysis {
+
+KernelAnalysis::KernelAnalysis(const apps::KernelSpec &spec,
+                               apps::Scale scale, std::uint64_t input_seed)
+    : spec_(spec), setup_(spec.setup(scale, input_seed))
+{
+    executor_ =
+        std::make_unique<sim::Executor>(setup_.program, setup_.launch);
+}
+
+const faults::FaultSpace &
+KernelAnalysis::space()
+{
+    if (!space_)
+        space_.emplace(*executor_, setup_.memory);
+    return *space_;
+}
+
+faults::Injector &
+KernelAnalysis::injector()
+{
+    if (!injector_) {
+        injector_.emplace(setup_.program, setup_.launch, setup_.memory,
+                          setup_.outputs);
+    }
+    return *injector_;
+}
+
+pruning::PruningResult
+KernelAnalysis::prune(const pruning::PruningConfig &config)
+{
+    return pruning::prunePipeline(*executor_, setup_.memory, space(),
+                                  config);
+}
+
+faults::OutcomeDist
+KernelAnalysis::runPrunedCampaign(const pruning::PruningResult &pruned)
+{
+    faults::CampaignResult result =
+        faults::runWeightedSiteList(injector(), pruned.sites);
+    result.dist.addWeight(faults::Outcome::Masked,
+                          pruned.assumedMaskedWeight);
+    return result.dist;
+}
+
+faults::CampaignResult
+KernelAnalysis::runBaseline(std::size_t runs, std::uint64_t seed)
+{
+    Prng prng(seed);
+    return faults::runRandomCampaign(injector(), space(), runs, prng);
+}
+
+} // namespace fsp::analysis

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Public analysis facade: bundles one kernel's setup, fault-space
+ * enumeration, injector, progressive pruning, and campaign drivers
+ * behind a single object.  This is the API the examples and the bench
+ * harnesses program against.
+ *
+ * Typical use:
+ *
+ *     const apps::KernelSpec *spec = apps::findKernel("GEMM/K1");
+ *     analysis::KernelAnalysis ka(*spec, apps::Scale::Small);
+ *     auto pruned = ka.prune({});                  // 4-stage pipeline
+ *     auto estimate = ka.runPrunedCampaign(pruned); // weighted profile
+ *     auto baseline = ka.runBaseline(3000, 7);      // random sampling
+ */
+
+#ifndef FSP_ANALYSIS_ANALYZER_HH
+#define FSP_ANALYSIS_ANALYZER_HH
+
+#include <memory>
+#include <optional>
+
+#include "apps/app.hh"
+#include "faults/campaign.hh"
+#include "faults/fault_space.hh"
+#include "faults/injector.hh"
+#include "pruning/pipeline.hh"
+#include "sim/executor.hh"
+
+namespace fsp::analysis {
+
+/** One kernel's complete analysis context. */
+class KernelAnalysis
+{
+  public:
+    /**
+     * Set up the kernel and its executor.
+     *
+     * @param spec registered kernel.
+     * @param scale geometry preset.
+     * @param input_seed seed for workload input generation.
+     */
+    KernelAnalysis(const apps::KernelSpec &spec, apps::Scale scale,
+                   std::uint64_t input_seed = 42);
+
+    const apps::KernelSpec &spec() const { return spec_; }
+    const sim::Executor &executor() const { return *executor_; }
+    const sim::Program &program() const { return setup_.program; }
+    const apps::KernelSetup &setup() const { return setup_; }
+
+    /** Eq. 1 enumeration (lazy; one fault-free profiling run). */
+    const faults::FaultSpace &space();
+
+    /** Fault injector (lazy; runs the golden execution once). */
+    faults::Injector &injector();
+
+    /** Run the progressive pruning pipeline. */
+    pruning::PruningResult prune(const pruning::PruningConfig &config);
+
+    /**
+     * Exhaustive weighted injection over a pruned space; the
+     * assumed-masked weight is folded into the masked bucket.
+     */
+    faults::OutcomeDist
+    runPrunedCampaign(const pruning::PruningResult &pruned);
+
+    /** Statistical baseline campaign (uniform random sites). */
+    faults::CampaignResult runBaseline(std::size_t runs,
+                                       std::uint64_t seed);
+
+  private:
+    const apps::KernelSpec &spec_;
+    apps::KernelSetup setup_;
+    std::unique_ptr<sim::Executor> executor_;
+    std::optional<faults::FaultSpace> space_;
+    std::optional<faults::Injector> injector_;
+};
+
+} // namespace fsp::analysis
+
+#endif // FSP_ANALYSIS_ANALYZER_HH

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Per-instruction-class outcome breakdown implementation.
+ */
+
+#include "analysis/breakdown.hh"
+
+#include <vector>
+
+#include "pruning/grouping.hh"
+#include "pruning/pipeline.hh"
+#include "util/logging.hh"
+
+namespace fsp::analysis {
+
+std::string
+instrClassName(InstrClass cls)
+{
+    switch (cls) {
+      case InstrClass::Memory: return "memory";
+      case InstrClass::Arithmetic: return "arithmetic";
+      case InstrClass::Logic: return "logic";
+      case InstrClass::Compare: return "compare";
+      case InstrClass::Special: return "special";
+      case InstrClass::Data: return "data";
+    }
+    panic("unreachable InstrClass");
+}
+
+InstrClass
+classifyOpcode(sim::Opcode op)
+{
+    using sim::Opcode;
+    switch (op) {
+      case Opcode::Ld:
+        return InstrClass::Memory;
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::MulWide:
+      case Opcode::Mad:
+      case Opcode::MadWide:
+      case Opcode::Div:
+      case Opcode::Rem:
+      case Opcode::Min:
+      case Opcode::Max:
+      case Opcode::Neg:
+      case Opcode::Abs:
+        return InstrClass::Arithmetic;
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Not:
+      case Opcode::Shl:
+      case Opcode::Shr:
+        return InstrClass::Logic;
+      case Opcode::Set:
+      case Opcode::Setp:
+      case Opcode::Selp:
+        return InstrClass::Compare;
+      case Opcode::Rcp:
+      case Opcode::Sqrt:
+      case Opcode::Rsqrt:
+      case Opcode::Ex2:
+      case Opcode::Lg2:
+        return InstrClass::Special;
+      case Opcode::Mov:
+      case Opcode::Cvt:
+        return InstrClass::Data;
+      default:
+        panic("opcode ", sim::opcodeName(op),
+              " has no destination and no class");
+    }
+}
+
+ClassBreakdown
+outcomeByInstrClass(KernelAnalysis &ka, std::size_t sites_per_class,
+                    std::uint64_t seed)
+{
+    Prng prng(seed);
+
+    Prng grouping_prng = prng.fork("breakdown-grouping");
+    auto grouping = pruning::pruneThreads(
+        ka.space(), ka.executor().config().block.count(), grouping_prng);
+    auto plans = pruning::buildThreadPlans(ka.executor(),
+                                           ka.setup().memory, grouping);
+
+    // Bucket every representative-thread site by instruction class.
+    std::map<InstrClass, std::vector<faults::FaultSite>> buckets;
+    for (const auto &plan : plans) {
+        for (std::size_t j = 0; j < plan.trace.size(); ++j) {
+            unsigned bits = plan.trace[j].destBits;
+            if (bits == 0)
+                continue;
+            InstrClass cls = classifyOpcode(
+                ka.program().at(plan.trace[j].staticIndex).op);
+            for (std::uint32_t bit = 0; bit < bits; ++bit)
+                buckets[cls].push_back({plan.thread, j, bit});
+        }
+    }
+
+    ClassBreakdown breakdown;
+    for (auto &[cls, sites] : buckets) {
+        auto &entry = breakdown.classes[cls];
+        entry.bucketSites = sites.size();
+        Prng bucket_prng = prng.fork("class-" + instrClassName(cls));
+        auto chosen = bucket_prng.sampleWithoutReplacement(
+            sites.size(), sites_per_class);
+        for (std::size_t index : chosen)
+            entry.dist.add(ka.injector().inject(sites[index]));
+    }
+    return breakdown;
+}
+
+} // namespace fsp::analysis

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Outcome breakdown by instruction class.
+ *
+ * The paper's CTA-level study (section III-B1) picks target
+ * instructions across classes -- memory access (ld), arithmetic (add,
+ * mad), logic (and, shl), and special-function (rcp) -- and GPU
+ * injectors such as GPU-Qin and SASSIFI report per-instruction-type
+ * resilience.  This module produces that view for any kernel: fault
+ * sites of the representative threads are bucketed by the class of the
+ * instruction that writes the faulted destination, a sample of each
+ * bucket is injected, and the per-class outcome distributions are
+ * returned.
+ */
+
+#ifndef FSP_ANALYSIS_BREAKDOWN_HH
+#define FSP_ANALYSIS_BREAKDOWN_HH
+
+#include <map>
+#include <string>
+
+#include "analysis/analyzer.hh"
+#include "faults/outcome.hh"
+#include "sim/isa.hh"
+
+namespace fsp::analysis {
+
+/** Coarse instruction classes (SASSIFI/GPU-Qin style). */
+enum class InstrClass
+{
+    Memory,     ///< ld (LSU destination writes)
+    Arithmetic, ///< add/sub/mul/mad/div/rem/min/max/neg/abs and wides
+    Logic,      ///< and/or/xor/not/shl/shr
+    Compare,    ///< set/setp/selp (predicate system)
+    Special,    ///< rcp/sqrt/rsqrt/ex2/lg2 (SFU)
+    Data,       ///< mov/cvt
+};
+
+/** Human-readable class name. */
+std::string instrClassName(InstrClass cls);
+
+/** Classify an opcode (only destination-writing opcodes are valid). */
+InstrClass classifyOpcode(sim::Opcode op);
+
+/** Per-class outcome distributions plus bucket sizes. */
+struct ClassBreakdown
+{
+    struct Entry
+    {
+        faults::OutcomeDist dist;
+        std::uint64_t bucketSites = 0; ///< sites available in the class
+    };
+
+    std::map<InstrClass, Entry> classes;
+};
+
+/**
+ * Measure the per-class outcome distributions of a kernel using its
+ * thread-wise representatives.
+ *
+ * @param ka kernel analysis context.
+ * @param sites_per_class injections per class (buckets smaller than
+ *        this are injected exhaustively).
+ * @param seed sampling seed.
+ */
+ClassBreakdown outcomeByInstrClass(KernelAnalysis &ka,
+                                   std::size_t sites_per_class,
+                                   std::uint64_t seed);
+
+} // namespace fsp::analysis
+
+#endif // FSP_ANALYSIS_BREAKDOWN_HH

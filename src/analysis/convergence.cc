@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Convergence procedure implementation.
+ */
+
+#include "analysis/convergence.hh"
+
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace fsp::analysis {
+
+ConvergenceResult
+convergeLoopIterations(KernelAnalysis &ka, pruning::PruningConfig base,
+                       double tolerance, unsigned window,
+                       unsigned max_iterations)
+{
+    FSP_ASSERT(window >= 1, "stabilisation window must be positive");
+    FSP_ASSERT(max_iterations >= 1, "need at least one iteration");
+
+    ConvergenceResult result;
+    unsigned stable = 0;
+    std::vector<double> previous;
+
+    for (unsigned n = 1; n <= max_iterations; ++n) {
+        base.loopIterations = n;
+        auto pruned = ka.prune(base);
+        auto estimate = ka.runPrunedCampaign(pruned);
+
+        ConvergenceStep step;
+        step.iterations = n;
+        step.estimate = estimate;
+        auto fractions = estimate.fractions();
+        step.delta =
+            previous.empty() ? 1.0 : linfDistance(previous, fractions);
+        previous = fractions;
+        result.history.push_back(step);
+
+        if (n > 1 && step.delta <= tolerance) {
+            if (++stable >= window) {
+                result.chosenIterations = n;
+                result.converged = true;
+                return result;
+            }
+        } else {
+            stable = 0;
+        }
+    }
+
+    result.chosenIterations = max_iterations;
+    result.converged = false;
+    return result;
+}
+
+} // namespace fsp::analysis

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Convergence-driven loop-iteration selection -- the paper's actual
+ * procedure for choosing the loop-sampling budget (section III-D:
+ * "we randomly add iterations one by one, until the result is
+ * stable"): grow num_iter, re-run the pruned campaign, and stop when
+ * the outcome distribution has stopped moving for a stabilisation
+ * window.
+ */
+
+#ifndef FSP_ANALYSIS_CONVERGENCE_HH
+#define FSP_ANALYSIS_CONVERGENCE_HH
+
+#include <vector>
+
+#include "analysis/analyzer.hh"
+#include "faults/outcome.hh"
+#include "pruning/pipeline.hh"
+
+namespace fsp::analysis {
+
+/** One increment of the convergence loop. */
+struct ConvergenceStep
+{
+    unsigned iterations = 0;      ///< sampled iterations per loop
+    faults::OutcomeDist estimate; ///< weighted campaign estimate
+    double delta = 1.0;           ///< L-inf vs the previous step
+};
+
+/** Result of the convergence procedure. */
+struct ConvergenceResult
+{
+    std::vector<ConvergenceStep> history;
+    unsigned chosenIterations = 0;
+    bool converged = false;
+
+    /** The final estimate (last history entry). */
+    const faults::OutcomeDist &
+    finalEstimate() const
+    {
+        return history.back().estimate;
+    }
+};
+
+/**
+ * Grow the loop-sampling budget one iteration at a time until the
+ * weighted outcome distribution moves less than @p tolerance (L-inf
+ * over the three outcome fractions) for @p window consecutive
+ * increments, or @p max_iterations is reached.
+ *
+ * @param ka kernel analysis context.
+ * @param base pipeline configuration; its loopIterations field is
+ *        overridden by the procedure.
+ * @param tolerance stability threshold on the outcome fractions.
+ * @param window consecutive stable increments required.
+ * @param max_iterations upper bound on the budget (the paper observes
+ *        3-15 iterations suffice across its suite).
+ */
+ConvergenceResult convergeLoopIterations(KernelAnalysis &ka,
+                                         pruning::PruningConfig base,
+                                         double tolerance = 0.01,
+                                         unsigned window = 2,
+                                         unsigned max_iterations = 15);
+
+} // namespace fsp::analysis
+
+#endif // FSP_ANALYSIS_CONVERGENCE_HH

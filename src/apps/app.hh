@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Workload interface: every evaluated kernel (paper Table I, 10
+ * applications / 16 kernels from Rodinia and Polybench, plus Rodinia NN
+ * from Table VII) is packaged as a KernelSpec that can set itself up at
+ * either paper-scale or small-scale geometry.
+ *
+ * A setup bundles the assembled program, launch configuration,
+ * initialised global memory, and the output regions the injector
+ * compares for SDC classification.
+ */
+
+#ifndef FSP_APPS_APP_HH
+#define FSP_APPS_APP_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "faults/output_spec.hh"
+#include "sim/launch.hh"
+#include "sim/memory.hh"
+#include "sim/program.hh"
+
+namespace fsp::apps {
+
+/**
+ * Geometry preset.  Paper-scale matches the thread counts in the
+ * paper's Table I and is intended for profiling-only experiments
+ * (fault-space enumeration is a single fault-free run); small-scale
+ * shrinks inputs so full injection campaigns finish on one CPU core.
+ */
+enum class Scale
+{
+    Small,
+    Paper,
+};
+
+std::string scaleName(Scale scale);
+
+/** Everything needed to run and inject one kernel. */
+struct KernelSetup
+{
+    sim::Program program;
+    sim::LaunchConfig launch;
+    sim::GlobalMemory memory;
+    std::vector<faults::OutputRegion> outputs;
+};
+
+/** A registered kernel. */
+struct KernelSpec
+{
+    std::string suite;       ///< "Rodinia" or "Polybench"
+    std::string application; ///< e.g. "HotSpot"
+    std::string kernelName;  ///< e.g. "calculate_temp"
+    std::string id;          ///< e.g. "K1"
+
+    /** Build the kernel at the given scale with a given input seed. */
+    std::function<KernelSetup(Scale, std::uint64_t)> setup;
+
+    /** "HotSpot/K1" -- the lookup key used by benches and examples. */
+    std::string
+    fullName() const
+    {
+        return application + "/" + id;
+    }
+};
+
+/** All registered kernels, in the paper's Table I order. */
+const std::vector<KernelSpec> &allKernels();
+
+/** Find a kernel by "App/Kx" full name; nullptr when unknown. */
+const KernelSpec *findKernel(std::string_view full_name);
+
+} // namespace fsp::apps
+
+#endif // FSP_APPS_APP_HH

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Polybench 2DCONV (Convolution2D_kernel): one thread per pixel applies
+ * a 3x3 stencil with fixed coefficients; boundary threads return early,
+ * which produces the three thread iCnt classes the paper observes
+ * (Table III: short row-boundary exit, column-boundary exit, and the
+ * full interior path).  No loops (Table VII).
+ */
+
+#include "apps/kernel_util.hh"
+#include "ptx/assembler.hh"
+
+namespace fsp::apps {
+
+namespace {
+
+struct Conv2dGeometry
+{
+    unsigned ni; ///< rows
+    unsigned nj; ///< cols
+    unsigned block;
+};
+
+Conv2dGeometry
+geometry(Scale scale)
+{
+    if (scale == Scale::Paper)
+        return {64, 128, 16}; // 8192 threads as in Table I
+    return {16, 32, 8};
+}
+
+std::string
+kernelSource()
+{
+    // Params: [0]=A, [4]=B, [8]=NI, [12]=NJ.
+    // Polybench's 3x3 coefficients, row-major.
+    static const char *kCoeffs[3][3] = {
+        {"0.2", "-0.3", "0.4"},
+        {"0.5", "0.6", "0.7"},
+        {"-0.8", "-0.9", "0.1"},
+    };
+
+    std::string s;
+    s += asmGlobalIdXY(1, 2); // $r1 = j, $r2 = i
+    s += R"(
+    ld.param.u32 $r3, [8];        // NI
+    sub.u32 $r4, $r2, 0x00000001; // i-1 (wraps for i==0)
+    sub.u32 $r5, $r3, 0x00000002; // NI-2
+    set.ge.u32.u32 $p0|$o127, $r4, $r5;
+    @$p0.ne retp;                 // row-boundary exit
+    ld.param.u32 $r3, [12];       // NJ
+    sub.u32 $r6, $r1, 0x00000001; // j-1
+    sub.u32 $r5, $r3, 0x00000002; // NJ-2
+    set.ge.u32.u32 $p0|$o127, $r6, $r5;
+    @$p0.ne retp;                 // column-boundary exit
+    ld.param.u32 $r7, [0];        // A
+    mul.lo.u32 $r8, $r4, $r3;
+    add.u32 $r8, $r8, $r6;
+    shl.u32 $r8, $r8, 0x00000002;
+    add.u32 $r7, $r7, $r8;        // &A[i-1][j-1]
+    shl.u32 $r9, $r3, 0x00000002; // row stride bytes
+    mov.f32 $r10, 0.0;            // acc
+)";
+    for (unsigned r = 0; r < 3; ++r) {
+        for (unsigned c = 0; c < 3; ++c) {
+            std::string off = std::to_string(4 * c);
+            s += "    ld.global.f32 $r11, [$r7+" + off + "];\n";
+            s += std::string("    mad.f32 $r10, $r11, ") + kCoeffs[r][c] +
+                 ", $r10;\n";
+        }
+        if (r != 2)
+            s += "    add.u32 $r7, $r7, $r9;\n";
+    }
+    s += R"(
+    ld.param.u32 $r12, [4];       // B
+    mul.lo.u32 $r13, $r2, $r3;
+    add.u32 $r13, $r13, $r1;
+    shl.u32 $r13, $r13, 0x00000002;
+    add.u32 $r12, $r12, $r13;
+    st.global.f32 [$r12], $r10;
+    retp;
+)";
+    return s;
+}
+
+KernelSetup
+setupConv2d(Scale scale, std::uint64_t seed)
+{
+    Conv2dGeometry g = geometry(scale);
+
+    KernelSetup setup;
+    setup.program = ptx::assemble("Convolution2D_kernel", kernelSource());
+
+    setup.memory = sim::GlobalMemory(1u << 24);
+    std::uint64_t a = setup.memory.allocate(4ull * g.ni * g.nj);
+    std::uint64_t b = setup.memory.allocate(4ull * g.ni * g.nj);
+    uploadFloats(setup.memory, a, randomFloats(g.ni * g.nj, seed + 1));
+    uploadFloats(setup.memory, b,
+                 std::vector<float>(g.ni * g.nj, 0.0f));
+
+    setup.launch.grid = {g.nj / g.block, g.ni / g.block, 1};
+    setup.launch.block = {g.block, g.block, 1};
+    setup.launch.params.addU32(static_cast<std::uint32_t>(a));
+    setup.launch.params.addU32(static_cast<std::uint32_t>(b));
+    setup.launch.params.addU32(g.ni);
+    setup.launch.params.addU32(g.nj);
+
+    setup.outputs.push_back({"B", b, 4ull * g.ni * g.nj,
+                             faults::ElemType::F32, 0.0});
+    return setup;
+}
+
+} // namespace
+
+std::vector<KernelSpec>
+makeConv2dKernels()
+{
+    KernelSpec spec;
+    spec.suite = "Polybench";
+    spec.application = "2DCONV";
+    spec.kernelName = "Convolution2D_kernel";
+    spec.id = "K1";
+    spec.setup = setupConv2d;
+    return {spec};
+}
+
+} // namespace fsp::apps

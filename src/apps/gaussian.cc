@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Rodinia Gaussian Elimination: Fan1 computes the multiplier column for
+ * elimination step t; Fan2 updates the trailing submatrix (and the RHS
+ * vector for its first column).  The paper evaluates the kernels of two
+ * dynamic invocations: step t=0 (K1/K2) and step t=62 (K125/K126 --
+ * each elimination step launches the Fan1/Fan2 pair, so invocation
+ * indices 125/126 correspond to t=62).  Late steps have very few active
+ * threads, giving the distinct thread populations in Table I.
+ */
+
+#include "apps/kernel_util.hh"
+#include "ptx/assembler.hh"
+
+namespace fsp::apps {
+
+namespace {
+
+struct GaussianGeometry
+{
+    unsigned size;       ///< matrix dimension
+    unsigned fan1Block;  ///< Fan1 CTA width (1-D)
+    unsigned fan1Grid;
+    unsigned fan2Block;  ///< Fan2 CTA side (2-D)
+    unsigned fan2Grid;   ///< Fan2 grid side
+};
+
+GaussianGeometry
+geometry(Scale scale)
+{
+    if (scale == Scale::Paper) {
+        // 512 Fan1 threads and 4096 Fan2 threads as in Table I.
+        return {64, 256, 2, 16, 4};
+    }
+    return {16, 32, 1, 8, 2};
+}
+
+std::string
+fan1Source()
+{
+    // Params: [0]=m, [4]=a, [8]=size, [12]=t.
+    std::string s;
+    s += asmGlobalIdX(1); // $r1 = tid
+    s += R"(
+    ld.param.u32 $r2, [8];        // size
+    ld.param.u32 $r3, [12];       // t
+    sub.u32 $r4, $r2, 0x00000001;
+    sub.u32 $r4, $r4, $r3;        // size-1-t
+    set.ge.u32.u32 $p0|$o127, $r1, $r4;
+    @$p0.ne retp;                 // inactive threads
+    add.u32 $r5, $r1, $r3;
+    add.u32 $r5, $r5, 0x00000001; // row = tid + t + 1
+    mul.lo.u32 $r6, $r5, $r2;
+    add.u32 $r6, $r6, $r3;
+    shl.u32 $r6, $r6, 0x00000002; // byte offset of a[row][t]
+    ld.param.u32 $r7, [4];        // a
+    add.u32 $r8, $r7, $r6;
+    ld.global.f32 $r9, [$r8];     // a[row][t]
+    mul.lo.u32 $r10, $r3, $r2;
+    add.u32 $r10, $r10, $r3;
+    shl.u32 $r10, $r10, 0x00000002;
+    add.u32 $r11, $r7, $r10;
+    ld.global.f32 $r12, [$r11];   // a[t][t]
+    div.f32 $r13, $r9, $r12;
+    ld.param.u32 $r14, [0];       // m
+    add.u32 $r14, $r14, $r6;
+    st.global.f32 [$r14], $r13;   // m[row][t]
+    retp;
+)";
+    return s;
+}
+
+std::string
+fan2Source()
+{
+    // Params: [0]=m, [4]=a, [8]=b, [12]=size, [16]=t.
+    std::string s;
+    s += asmGlobalIdXY(1, 2); // $r1 = xid (row offset), $r2 = yid (col)
+    s += R"(
+    ld.param.u32 $r3, [12];       // size
+    ld.param.u32 $r4, [16];       // t
+    sub.u32 $r5, $r3, 0x00000001;
+    sub.u32 $r5, $r5, $r4;        // size-1-t
+    set.ge.u32.u32 $p0|$o127, $r1, $r5;
+    @$p0.ne retp;                 // inactive rows
+    sub.u32 $r6, $r3, $r4;        // size-t
+    set.ge.u32.u32 $p0|$o127, $r2, $r6;
+    @$p0.ne retp;                 // inactive cols
+    add.u32 $r7, $r1, $r4;
+    add.u32 $r7, $r7, 0x00000001; // row = xid + t + 1
+    add.u32 $r8, $r2, $r4;        // col = yid + t
+    mul.lo.u32 $r9, $r7, $r3;
+    add.u32 $r10, $r9, $r4;
+    shl.u32 $r10, $r10, 0x00000002;
+    ld.param.u32 $r11, [0];       // m
+    add.u32 $r11, $r11, $r10;
+    ld.global.f32 $r12, [$r11];   // m[row][t]
+    ld.param.u32 $r13, [4];       // a
+    mul.lo.u32 $r14, $r4, $r3;
+    add.u32 $r14, $r14, $r8;
+    shl.u32 $r14, $r14, 0x00000002;
+    add.u32 $r14, $r13, $r14;
+    ld.global.f32 $r15, [$r14];   // a[t][col]
+    add.u32 $r16, $r9, $r8;
+    shl.u32 $r16, $r16, 0x00000002;
+    add.u32 $r16, $r13, $r16;
+    ld.global.f32 $r17, [$r16];   // a[row][col]
+    mul.f32 $r18, $r12, $r15;
+    sub.f32 $r17, $r17, $r18;
+    st.global.f32 [$r16], $r17;
+    set.eq.u32.u32 $p1|$o127, $r2, 0x00000000;
+    @$p1.eq retp;                 // only yid==0 updates b
+    ld.param.u32 $r19, [8];       // b
+    shl.u32 $r20, $r4, 0x00000002;
+    add.u32 $r21, $r19, $r20;
+    ld.global.f32 $r22, [$r21];   // b[t]
+    shl.u32 $r23, $r7, 0x00000002;
+    add.u32 $r24, $r19, $r23;
+    ld.global.f32 $r25, [$r24];   // b[row]
+    mul.f32 $r26, $r12, $r22;
+    sub.f32 $r25, $r25, $r26;
+    st.global.f32 [$r24], $r25;
+    retp;
+)";
+    return s;
+}
+
+/** Initialise a diagonally dominant system so elimination is stable. */
+void
+initSystem(sim::GlobalMemory &memory, std::uint64_t m, std::uint64_t a,
+           std::uint64_t b, unsigned size, std::uint64_t seed)
+{
+    auto mat = randomFloats(size * size, seed + 1, 0.1f, 1.0f);
+    for (unsigned i = 0; i < size; ++i)
+        mat[i * size + i] += static_cast<float>(size);
+    uploadFloats(memory, a, mat);
+    uploadFloats(memory, b, randomFloats(size, seed + 2, 0.5f, 2.0f));
+    uploadFloats(memory, m, std::vector<float>(size * size, 0.0f));
+}
+
+KernelSetup
+setupFan1(Scale scale, std::uint64_t seed, unsigned step)
+{
+    GaussianGeometry g = geometry(scale);
+
+    KernelSetup setup;
+    setup.program = ptx::assemble("Fan1", fan1Source());
+
+    setup.memory = sim::GlobalMemory(1u << 22);
+    std::uint64_t m = setup.memory.allocate(4ull * g.size * g.size);
+    std::uint64_t a = setup.memory.allocate(4ull * g.size * g.size);
+    std::uint64_t b = setup.memory.allocate(4ull * g.size);
+    initSystem(setup.memory, m, a, b, g.size, seed);
+
+    setup.launch.grid = {g.fan1Grid, 1, 1};
+    setup.launch.block = {g.fan1Block, 1, 1};
+    setup.launch.params.addU32(static_cast<std::uint32_t>(m));
+    setup.launch.params.addU32(static_cast<std::uint32_t>(a));
+    setup.launch.params.addU32(g.size);
+    setup.launch.params.addU32(step);
+
+    setup.outputs.push_back({"m", m, 4ull * g.size * g.size,
+                             faults::ElemType::F32, 0.0});
+    return setup;
+}
+
+KernelSetup
+setupFan2(Scale scale, std::uint64_t seed, unsigned step)
+{
+    GaussianGeometry g = geometry(scale);
+
+    KernelSetup setup;
+    setup.program = ptx::assemble("Fan2", fan2Source());
+
+    setup.memory = sim::GlobalMemory(1u << 22);
+    std::uint64_t m = setup.memory.allocate(4ull * g.size * g.size);
+    std::uint64_t a = setup.memory.allocate(4ull * g.size * g.size);
+    std::uint64_t b = setup.memory.allocate(4ull * g.size);
+    initSystem(setup.memory, m, a, b, g.size, seed);
+    // Fan2 consumes the multiplier column Fan1 produced for this step.
+    for (unsigned r = step + 1; r < g.size; ++r) {
+        float num = setup.memory.peekF32(a + 4ull * (r * g.size + step));
+        float den =
+            setup.memory.peekF32(a + 4ull * (step * g.size + step));
+        setup.memory.pokeF32(m + 4ull * (r * g.size + step), num / den);
+    }
+
+    setup.launch.grid = {g.fan2Grid, g.fan2Grid, 1};
+    setup.launch.block = {g.fan2Block, g.fan2Block, 1};
+    setup.launch.params.addU32(static_cast<std::uint32_t>(m));
+    setup.launch.params.addU32(static_cast<std::uint32_t>(a));
+    setup.launch.params.addU32(static_cast<std::uint32_t>(b));
+    setup.launch.params.addU32(g.size);
+    setup.launch.params.addU32(step);
+
+    setup.outputs.push_back({"a", a, 4ull * g.size * g.size,
+                             faults::ElemType::F32, 0.0});
+    setup.outputs.push_back({"b", b, 4ull * g.size, faults::ElemType::F32,
+                             0.0});
+    return setup;
+}
+
+/** Elimination step for a given invocation index (K1 -> 0, K125 -> 62). */
+unsigned
+stepForInvocation(Scale scale, unsigned paper_step)
+{
+    // The small geometry has a 16x16 matrix; scale the late step to
+    // keep the "few active threads" property.
+    return scale == Scale::Paper ? paper_step : (paper_step == 0 ? 0 : 6);
+}
+
+} // namespace
+
+std::vector<KernelSpec>
+makeGaussianKernels()
+{
+    std::vector<KernelSpec> specs;
+
+    KernelSpec fan1_k1{"Rodinia", "Gaussian", "Fan1", "K1",
+                       [](Scale scale, std::uint64_t seed) {
+                           return setupFan1(scale, seed,
+                                            stepForInvocation(scale, 0));
+                       }};
+    KernelSpec fan2_k2{"Rodinia", "Gaussian", "Fan2", "K2",
+                       [](Scale scale, std::uint64_t seed) {
+                           return setupFan2(scale, seed,
+                                            stepForInvocation(scale, 0));
+                       }};
+    KernelSpec fan1_k125{"Rodinia", "Gaussian", "Fan1", "K125",
+                         [](Scale scale, std::uint64_t seed) {
+                             return setupFan1(
+                                 scale, seed, stepForInvocation(scale, 62));
+                         }};
+    KernelSpec fan2_k126{"Rodinia", "Gaussian", "Fan2", "K126",
+                         [](Scale scale, std::uint64_t seed) {
+                             return setupFan2(
+                                 scale, seed, stepForInvocation(scale, 62));
+                         }};
+
+    specs.push_back(std::move(fan1_k1));
+    specs.push_back(std::move(fan2_k2));
+    specs.push_back(std::move(fan1_k125));
+    specs.push_back(std::move(fan2_k126));
+    return specs;
+}
+
+} // namespace fsp::apps

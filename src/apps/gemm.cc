@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Polybench GEMM: C = alpha * A x B + beta * C, one thread per output
+ * element, K-loop accumulation.  Paper geometry: 16384 threads (128x128
+ * output, 16x16 CTAs), 128 loop iterations per thread (Table VII).
+ */
+
+#include "apps/kernel_util.hh"
+#include "ptx/assembler.hh"
+
+namespace fsp::apps {
+
+namespace {
+
+struct GemmGeometry
+{
+    unsigned ni, nj, nk;
+    unsigned block;
+};
+
+GemmGeometry
+geometry(Scale scale)
+{
+    if (scale == Scale::Paper)
+        return {128, 128, 128, 16};
+    return {16, 16, 16, 8};
+}
+
+std::string
+kernelSource()
+{
+    // Params: [0]=A, [4]=B, [8]=C, [12]=NJ, [16]=NK, [20]=alpha,
+    // [24]=beta.
+    std::string s;
+    s += asmGlobalIdXY(1, 2); // $r1 = j (col), $r2 = i (row)
+    s += R"(
+    ld.param.u32 $r3, [12];       // NJ
+    ld.param.u32 $r4, [16];       // NK
+    ld.param.u32 $r5, [0];        // A
+    mul.lo.u32 $r6, $r2, $r4;
+    shl.u32 $r6, $r6, 0x00000002;
+    add.u32 $r5, $r5, $r6;        // &A[i*NK]
+    ld.param.u32 $r7, [4];        // B
+    shl.u32 $r8, $r1, 0x00000002;
+    add.u32 $r7, $r7, $r8;        // &B[j]
+    shl.u32 $r9, $r3, 0x00000002; // B row stride in bytes
+    mov.f32 $r10, 0.0;            // acc
+    mov.u32 $r11, 0x00000000;     // k
+gemm_loop:
+    ld.global.f32 $r12, [$r5];
+    ld.global.f32 $r13, [$r7];
+    mad.f32 $r10, $r12, $r13, $r10;
+    add.u32 $r5, $r5, 0x00000004;
+    add.u32 $r7, $r7, $r9;
+    add.u32 $r11, $r11, 0x00000001;
+    set.lt.u32.u32 $p0|$o127, $r11, $r4;
+    @$p0.ne bra gemm_loop;
+    ld.param.u32 $r14, [8];       // C
+    mul.lo.u32 $r15, $r2, $r3;
+    add.u32 $r15, $r15, $r1;
+    shl.u32 $r15, $r15, 0x00000002;
+    add.u32 $r14, $r14, $r15;     // &C[i*NJ+j]
+    ld.global.f32 $r16, [$r14];
+    ld.param.f32 $r17, [20];      // alpha
+    ld.param.f32 $r18, [24];      // beta
+    mul.f32 $r16, $r16, $r18;
+    mad.f32 $r16, $r10, $r17, $r16;
+    st.global.f32 [$r14], $r16;
+    retp;
+)";
+    return s;
+}
+
+KernelSetup
+setupGemm(Scale scale, std::uint64_t seed)
+{
+    GemmGeometry g = geometry(scale);
+
+    KernelSetup setup;
+    setup.program = ptx::assemble("gemm_kernel", kernelSource());
+
+    setup.memory = sim::GlobalMemory(1u << 24);
+    std::uint64_t a = setup.memory.allocate(4ull * g.ni * g.nk);
+    std::uint64_t b = setup.memory.allocate(4ull * g.nk * g.nj);
+    std::uint64_t c = setup.memory.allocate(4ull * g.ni * g.nj);
+    uploadFloats(setup.memory, a, randomFloats(g.ni * g.nk, seed + 1));
+    uploadFloats(setup.memory, b, randomFloats(g.nk * g.nj, seed + 2));
+    uploadFloats(setup.memory, c, randomFloats(g.ni * g.nj, seed + 3));
+
+    setup.launch.grid = {g.nj / g.block, g.ni / g.block, 1};
+    setup.launch.block = {g.block, g.block, 1};
+    setup.launch.params.addU32(static_cast<std::uint32_t>(a));
+    setup.launch.params.addU32(static_cast<std::uint32_t>(b));
+    setup.launch.params.addU32(static_cast<std::uint32_t>(c));
+    setup.launch.params.addU32(g.nj);
+    setup.launch.params.addU32(g.nk);
+    setup.launch.params.addF32(1.5f);  // alpha
+    setup.launch.params.addF32(0.75f); // beta
+
+    setup.outputs.push_back({"C", c, 4ull * g.ni * g.nj,
+                             faults::ElemType::F32, 0.0});
+    return setup;
+}
+
+} // namespace
+
+std::vector<KernelSpec>
+makeGemmKernels()
+{
+    KernelSpec spec;
+    spec.suite = "Polybench";
+    spec.application = "GEMM";
+    spec.kernelName = "gemm_kernel";
+    spec.id = "K1";
+    spec.setup = setupGemm;
+    return {spec};
+}
+
+} // namespace fsp::apps

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Rodinia HotSpot (calculate_temp): thermal stencil over a power grid.
+ * Each CTA stages its 2-D tile in shared memory and advances the
+ * temperature two time steps (double-buffered in shared memory, two
+ * barriers), writing the result to the output grid.
+ *
+ * Neighbour selection is heavily divergent -- tile-interior threads
+ * read shared memory, tile-edge threads fall back to global loads, and
+ * grid-edge threads clamp to the centre (adiabatic boundary) -- so
+ * thread iCnt varies widely across the tile and across CTAs (corner /
+ * edge / interior), reproducing the paper's 10 CTA groups and the
+ * 77-183 iCnt range of Table IV.  No loops (Table VII).
+ */
+
+#include "apps/kernel_util.hh"
+#include "ptx/assembler.hh"
+
+namespace fsp::apps {
+
+namespace {
+
+struct HotspotGeometry
+{
+    unsigned gx, gy; ///< CTA grid
+    unsigned bs;     ///< CTA side
+};
+
+HotspotGeometry
+geometry(Scale scale)
+{
+    if (scale == Scale::Paper)
+        return {6, 6, 16}; // 36 CTAs x 256 threads = 9216
+    return {2, 2, 8};
+}
+
+/**
+ * Emit one neighbour fetch: tile-interior threads read the shared
+ * buffer at @p sbase; tile-edge threads read global temp_in (or clamp
+ * to the centre at the grid boundary).
+ *
+ * Register conventions (set up by the prologue):
+ *   $r1=j  $r2=i  $r3=tj  $r4=ti  $r5=NC  $r6=NR
+ *   $r8=&temp_in[i][j]  $r9=tile byte offset  $r12=row stride bytes
+ *   $r10=centre value; results land in @p dst_reg; $r17/$r18 scratch.
+ */
+std::string
+neighbourBlock(const std::string &tag, unsigned bs, unsigned sbase,
+               char axis, int dir, unsigned dst_reg)
+{
+    std::string dst = "$r" + std::to_string(dst_reg);
+    // axis 'y': up/down (ti, i, stride = row); axis 'x': left/right.
+    std::string tile_reg = axis == 'y' ? "$r4" : "$r3";
+    std::string grid_reg = axis == 'y' ? "$r2" : "$r1";
+    std::string grid_dim = axis == 'y' ? "$r6" : "$r5";
+    int shared_delta = (axis == 'y' ? static_cast<int>(bs) : 1) * 4 * dir;
+    std::string gstride =
+        axis == 'y' ? "$r12" : "0x00000004"; // global byte delta
+
+    std::string edge_value =
+        dir < 0 ? "0x00000000"
+                : [&] {
+                      // Far edge index = dim - 1, computed into $r18.
+                      return std::string("$r18");
+                  }();
+
+    std::string s;
+    if (dir > 0)
+        s += "    sub.u32 $r18, " + grid_dim + ", 0x00000001;\n";
+    s += "    set.eq.u32.u32 $p0|$o127, " + tile_reg + ", " +
+         (dir < 0 ? std::string("0x00000000")
+                  : std::to_string(bs - 1)) +
+         ";\n";
+    s += "    @$p0.eq bra " + tag + "_int;\n"; // taken when not tile edge
+    s += "    set.eq.u32.u32 $p1|$o127, " + grid_reg + ", " + edge_value +
+         ";\n";
+    s += "    @$p1.eq bra " + tag + "_grid;\n"; // taken when not grid edge
+    s += "    mov.f32 " + dst + ", $r10;\n";    // adiabatic clamp
+    s += "    bra " + tag + "_done;\n";
+    s += tag + "_grid:\n";
+    if (dir < 0)
+        s += "    sub.u32 $r17, $r8, " + gstride + ";\n";
+    else
+        s += "    add.u32 $r17, $r8, " + gstride + ";\n";
+    s += "    ld.global.f32 " + dst + ", [$r17];\n";
+    s += "    bra " + tag + "_done;\n";
+    s += tag + "_int:\n";
+    s += "    ld.shared.f32 " + dst + ", [$r9+" +
+         std::to_string(static_cast<int>(sbase) + shared_delta) + "];\n";
+    s += tag + "_done:\n";
+    return s;
+}
+
+/** One stencil update step reading shared buffer @p sbase. */
+std::string
+stepBlock(const std::string &tag, unsigned bs, unsigned sbase,
+          bool with_power)
+{
+    std::string s;
+    s += "    ld.shared.f32 $r10, [$r9+" + std::to_string(sbase) +
+         "];\n"; // centre
+    s += neighbourBlock(tag + "_top", bs, sbase, 'y', -1, 13);
+    s += neighbourBlock(tag + "_bot", bs, sbase, 'y', +1, 14);
+    s += neighbourBlock(tag + "_lft", bs, sbase, 'x', -1, 15);
+    s += neighbourBlock(tag + "_rgt", bs, sbase, 'x', +1, 16);
+    s += R"(
+    add.f32 $r20, $r13, $r14;
+    add.f32 $r20, $r20, $r15;
+    add.f32 $r20, $r20, $r16;
+    mad.f32 $r20, $r10, -4.0, $r20; // Laplacian
+    mad.f32 $r21, $r20, 0.2, $r10;  // centre + k * Laplacian
+)";
+    if (with_power)
+        s += "    mad.f32 $r21, $r19, 0.0625, $r21;\n";
+    return s;
+}
+
+std::string
+kernelSource(unsigned bs)
+{
+    unsigned tile_bytes = 4 * bs * bs;
+    // Params: [0]=temp_in, [4]=power, [8]=temp_out, [12]=NC, [16]=NR.
+    // Shared: buffer0 at 0 (loaded tile), buffer1 at tile_bytes.
+    std::string s;
+    s += asmGlobalIdXY(1, 2); // $r1 = j, $r2 = i
+    s += R"(
+    cvt.u32.u16 $r3, %tid.x;       // tj
+    cvt.u32.u16 $r4, %tid.y;       // ti
+    ld.param.u32 $r5, [12];        // NC
+    ld.param.u32 $r6, [16];        // NR
+    mul.lo.u32 $r7, $r2, $r5;
+    add.u32 $r7, $r7, $r1;
+    shl.u32 $r7, $r7, 0x00000002;  // global byte offset
+    ld.param.u32 $r8, [0];
+    add.u32 $r8, $r8, $r7;         // &temp_in[i][j]
+)";
+    s += "    mul.lo.u32 $r9, $r4, " + std::to_string(bs) + ";\n";
+    s += R"(
+    add.u32 $r9, $r9, $r3;
+    shl.u32 $r9, $r9, 0x00000002;  // tile byte offset
+    shl.u32 $r12, $r5, 0x00000002; // global row stride bytes
+    ld.global.f32 $r10, [$r8];
+    st.shared.f32 [$r9], $r10;     // stage the tile
+    ld.param.u32 $r17, [4];
+    add.u32 $r17, $r17, $r7;
+    ld.global.f32 $r19, [$r17];    // power[i][j]
+    bar.sync 0;
+)";
+    s += stepBlock("hs1", bs, 0, true);
+    s += "    st.shared.f32 [$r9+" + std::to_string(tile_bytes) +
+         "], $r21;\n";
+    s += "    bar.sync 0;\n";
+    s += stepBlock("hs2", bs, tile_bytes, true);
+    s += R"(
+    ld.param.u32 $r22, [8];
+    add.u32 $r22, $r22, $r7;
+    st.global.f32 [$r22], $r21;    // temp_out[i][j]
+    retp;
+)";
+    return s;
+}
+
+KernelSetup
+setupHotspot(Scale scale, std::uint64_t seed)
+{
+    HotspotGeometry g = geometry(scale);
+    unsigned nc = g.gx * g.bs;
+    unsigned nr = g.gy * g.bs;
+
+    KernelSetup setup;
+    setup.program = ptx::assemble("calculate_temp", kernelSource(g.bs));
+
+    setup.memory = sim::GlobalMemory(1u << 23);
+    std::uint64_t temp_in = setup.memory.allocate(4ull * nr * nc);
+    std::uint64_t power = setup.memory.allocate(4ull * nr * nc);
+    std::uint64_t temp_out = setup.memory.allocate(4ull * nr * nc);
+    uploadFloats(setup.memory, temp_in,
+                 randomFloats(nr * nc, seed + 1, 320.0f, 340.0f));
+    uploadFloats(setup.memory, power,
+                 randomFloats(nr * nc, seed + 2, 0.0f, 1.0f));
+    uploadFloats(setup.memory, temp_out,
+                 std::vector<float>(nr * nc, 0.0f));
+
+    setup.launch.grid = {g.gx, g.gy, 1};
+    setup.launch.block = {g.bs, g.bs, 1};
+    setup.launch.sharedBytes = 2 * 4 * g.bs * g.bs;
+    setup.launch.params.addU32(static_cast<std::uint32_t>(temp_in));
+    setup.launch.params.addU32(static_cast<std::uint32_t>(power));
+    setup.launch.params.addU32(static_cast<std::uint32_t>(temp_out));
+    setup.launch.params.addU32(nc);
+    setup.launch.params.addU32(nr);
+
+    setup.outputs.push_back({"temp_out", temp_out, 4ull * nr * nc,
+                             faults::ElemType::F32, 0.0});
+    return setup;
+}
+
+} // namespace
+
+std::vector<KernelSpec>
+makeHotspotKernels()
+{
+    KernelSpec spec;
+    spec.suite = "Rodinia";
+    spec.application = "HotSpot";
+    spec.kernelName = "calculate_temp";
+    spec.id = "K1";
+    spec.setup = setupHotspot;
+    return {spec};
+}
+
+} // namespace fsp::apps

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Shared workload helpers.
+ */
+
+#include "apps/kernel_util.hh"
+
+#include <string>
+
+namespace fsp::apps {
+
+std::string
+scaleName(Scale scale)
+{
+    return scale == Scale::Paper ? "paper" : "small";
+}
+
+std::string
+asmGlobalIdX(unsigned gid_reg)
+{
+    std::string g = "$r" + std::to_string(gid_reg);
+    std::string t = "$r" + std::to_string(gid_reg + 1);
+    std::string out;
+    out += "cvt.u32.u16 " + g + ", %ctaid.x;\n";
+    out += "cvt.u32.u16 " + t + ", %ntid.x;\n";
+    out += "mul.lo.u32 " + g + ", " + g + ", " + t + ";\n";
+    out += "cvt.u32.u16 " + t + ", %tid.x;\n";
+    out += "add.u32 " + g + ", " + g + ", " + t + ";\n";
+    return out;
+}
+
+std::string
+asmGlobalIdXY(unsigned col_reg, unsigned row_reg)
+{
+    std::string c = "$r" + std::to_string(col_reg);
+    std::string ct = "$r" + std::to_string(col_reg + 1);
+    std::string r = "$r" + std::to_string(row_reg);
+    std::string rt = "$r" + std::to_string(row_reg + 1);
+    std::string out;
+    out += "cvt.u32.u16 " + c + ", %ctaid.x;\n";
+    out += "cvt.u32.u16 " + ct + ", %ntid.x;\n";
+    out += "mul.lo.u32 " + c + ", " + c + ", " + ct + ";\n";
+    out += "cvt.u32.u16 " + ct + ", %tid.x;\n";
+    out += "add.u32 " + c + ", " + c + ", " + ct + ";\n";
+    out += "cvt.u32.u16 " + r + ", %ctaid.y;\n";
+    out += "cvt.u32.u16 " + rt + ", %ntid.y;\n";
+    out += "mul.lo.u32 " + r + ", " + r + ", " + rt + ";\n";
+    out += "cvt.u32.u16 " + rt + ", %tid.y;\n";
+    out += "add.u32 " + r + ", " + r + ", " + rt + ";\n";
+    return out;
+}
+
+std::vector<float>
+randomFloats(std::size_t count, std::uint64_t seed, float lo, float hi)
+{
+    Prng prng(seed);
+    std::vector<float> values(count);
+    for (auto &v : values)
+        v = static_cast<float>(prng.uniform(lo, hi));
+    return values;
+}
+
+void
+uploadFloats(sim::GlobalMemory &memory, std::uint64_t addr,
+             const std::vector<float> &values)
+{
+    for (std::size_t i = 0; i < values.size(); ++i)
+        memory.pokeF32(addr + 4 * i, values[i]);
+}
+
+void
+uploadU32(sim::GlobalMemory &memory, std::uint64_t addr,
+          const std::vector<std::uint32_t> &values)
+{
+    for (std::size_t i = 0; i < values.size(); ++i)
+        memory.pokeU32(addr + 4 * i, values[i]);
+}
+
+std::vector<float>
+downloadFloats(const sim::GlobalMemory &memory, std::uint64_t addr,
+               std::size_t count)
+{
+    std::vector<float> values(count);
+    for (std::size_t i = 0; i < count; ++i)
+        values[i] = memory.peekF32(addr + 4 * i);
+    return values;
+}
+
+} // namespace fsp::apps

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Shared helpers for workload construction: assembly-text building
+ * blocks (global thread-index computation), seeded input generation,
+ * and the per-app declaration hooks the registry collects.
+ */
+
+#ifndef FSP_APPS_KERNEL_UTIL_HH
+#define FSP_APPS_KERNEL_UTIL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/app.hh"
+#include "util/prng.hh"
+
+namespace fsp::apps {
+
+/**
+ * Assembly snippet computing the flat 1-D global thread index into
+ * register $r<gid> (x dimension only), clobbering $r<gid+1>.
+ */
+std::string asmGlobalIdX(unsigned gid_reg);
+
+/**
+ * Assembly snippet computing 2-D coordinates: column (x) into
+ * $r<col_reg> and row (y) into $r<row_reg>, clobbering one register
+ * after each.
+ */
+std::string asmGlobalIdXY(unsigned col_reg, unsigned row_reg);
+
+/** Uniform floats in [lo, hi), seeded. */
+std::vector<float> randomFloats(std::size_t count, std::uint64_t seed,
+                                float lo = 0.0f, float hi = 1.0f);
+
+/** Copy a float vector into device memory at @p addr. */
+void uploadFloats(sim::GlobalMemory &memory, std::uint64_t addr,
+                  const std::vector<float> &values);
+
+/** Copy 32-bit integers into device memory at @p addr. */
+void uploadU32(sim::GlobalMemory &memory, std::uint64_t addr,
+               const std::vector<std::uint32_t> &values);
+
+/** Read a float region back from device memory. */
+std::vector<float> downloadFloats(const sim::GlobalMemory &memory,
+                                  std::uint64_t addr, std::size_t count);
+
+/** @{ Registration hooks, one per workload translation unit. */
+std::vector<KernelSpec> makeConv2dKernels();
+std::vector<KernelSpec> makeMvtKernels();
+std::vector<KernelSpec> makeMm2Kernels();
+std::vector<KernelSpec> makeGemmKernels();
+std::vector<KernelSpec> makeSyrkKernels();
+std::vector<KernelSpec> makeHotspotKernels();
+std::vector<KernelSpec> makeKmeansKernels();
+std::vector<KernelSpec> makeGaussianKernels();
+std::vector<KernelSpec> makePathfinderKernels();
+std::vector<KernelSpec> makeLudKernels();
+std::vector<KernelSpec> makeNnKernels();
+/** @} */
+
+} // namespace fsp::apps
+
+#endif // FSP_APPS_KERNEL_UTIL_HH

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Rodinia K-Means:
+ *  - invert_mapping (K1): transposes the point-major feature array to
+ *    feature-major layout, one thread per point with an nfeatures-long
+ *    copy loop (34 iterations at paper scale, Table VII);
+ *  - kmeansPoint (K2): assigns each point to the nearest cluster with
+ *    an nclusters x nfeatures nested loop (5 x 34 = 170 inner
+ *    iterations at paper scale) and predicated minimum tracking.
+ *
+ * The launch rounds the point count up to whole CTAs, so tail threads
+ * exit immediately -- the "very few instructions" representative group
+ * the paper observes for these kernels.
+ */
+
+#include "apps/kernel_util.hh"
+#include "ptx/assembler.hh"
+
+namespace fsp::apps {
+
+namespace {
+
+struct KmeansGeometry
+{
+    unsigned threads;
+    unsigned points;
+    unsigned features;
+    unsigned clusters;
+    unsigned block;
+};
+
+KmeansGeometry
+geometry(Scale scale)
+{
+    if (scale == Scale::Paper)
+        return {2304, 2200, 34, 5, 256};
+    return {96, 90, 8, 3, 32};
+}
+
+std::string
+invertMappingSource()
+{
+    // Params: [0]=input (point-major), [4]=output (feature-major),
+    // [8]=npoints, [12]=nfeatures.
+    std::string s;
+    s += asmGlobalIdX(1); // $r1 = point
+    s += R"(
+    ld.param.u32 $r2, [8];        // npoints
+    set.ge.u32.u32 $p0|$o127, $r1, $r2;
+    @$p0.ne retp;                 // tail exit
+    ld.param.u32 $r3, [12];       // nfeatures
+    ld.param.u32 $r4, [0];        // input
+    mul.lo.u32 $r5, $r1, $r3;
+    shl.u32 $r5, $r5, 0x00000002;
+    add.u32 $r4, $r4, $r5;        // &input[p*nf]
+    ld.param.u32 $r6, [4];        // output
+    shl.u32 $r7, $r1, 0x00000002;
+    add.u32 $r6, $r6, $r7;        // &output[p]
+    shl.u32 $r8, $r2, 0x00000002; // npoints stride bytes
+    mov.u32 $r9, 0x00000000;      // f
+im_loop:
+    ld.global.f32 $r10, [$r4];
+    st.global.f32 [$r6], $r10;
+    add.u32 $r4, $r4, 0x00000004;
+    add.u32 $r6, $r6, $r8;
+    add.u32 $r9, $r9, 0x00000001;
+    set.lt.u32.u32 $p0|$o127, $r9, $r3;
+    @$p0.ne bra im_loop;
+    retp;
+)";
+    return s;
+}
+
+std::string
+kmeansPointSource()
+{
+    // Params: [0]=features (point-major), [4]=clusters, [8]=membership,
+    // [12]=npoints, [16]=nclusters, [20]=nfeatures.
+    std::string s;
+    s += asmGlobalIdX(1); // $r1 = point
+    s += R"(
+    ld.param.u32 $r2, [12];       // npoints
+    set.ge.u32.u32 $p0|$o127, $r1, $r2;
+    @$p0.ne retp;                 // tail exit
+    ld.param.u32 $r3, [16];       // nclusters
+    ld.param.u32 $r4, [20];       // nfeatures
+    ld.param.u32 $r5, [0];        // features
+    mul.lo.u32 $r6, $r1, $r4;
+    shl.u32 $r6, $r6, 0x00000002;
+    add.u32 $r5, $r5, $r6;        // &features[p*nf]
+    ld.param.u32 $r7, [4];        // cluster cursor (walks all clusters)
+    mov.f32 $r8, 3.0e38;          // min_dist
+    mov.u32 $r9, 0x00000000;      // best cluster
+    mov.u32 $r10, 0x00000000;     // c
+kp_outer:
+    mov.f32 $r11, 0.0;            // dist
+    mov.u32 $r12, 0x00000000;     // f
+    mov.u32 $r13, $r5;            // feature cursor
+kp_inner:
+    ld.global.f32 $r14, [$r13];
+    ld.global.f32 $r15, [$r7];
+    sub.f32 $r16, $r14, $r15;
+    mad.f32 $r11, $r16, $r16, $r11;
+    add.u32 $r13, $r13, 0x00000004;
+    add.u32 $r7, $r7, 0x00000004;
+    add.u32 $r12, $r12, 0x00000001;
+    set.lt.u32.u32 $p0|$o127, $r12, $r4;
+    @$p0.ne bra kp_inner;
+    set.lt.f32.f32 $p1|$o127, $r11, $r8;
+    @$p1.ne mov.f32 $r8, $r11;    // predicated min tracking
+    @$p1.ne mov.u32 $r9, $r10;
+    add.u32 $r10, $r10, 0x00000001;
+    set.lt.u32.u32 $p0|$o127, $r10, $r3;
+    @$p0.ne bra kp_outer;
+    ld.param.u32 $r17, [8];       // membership
+    shl.u32 $r18, $r1, 0x00000002;
+    add.u32 $r17, $r17, $r18;
+    st.global.u32 [$r17], $r9;
+    retp;
+)";
+    return s;
+}
+
+sim::GlobalMemory
+makeMemory(const KmeansGeometry &g, std::uint64_t seed, std::uint64_t &feat,
+           std::uint64_t &aux, std::uint64_t &out, bool transpose)
+{
+    sim::GlobalMemory memory(1u << 23);
+    feat = memory.allocate(4ull * g.points * g.features);
+    uploadFloats(memory, feat,
+                 randomFloats(g.points * g.features, seed + 1));
+    if (transpose) {
+        aux = 0;
+        out = memory.allocate(4ull * g.points * g.features);
+        uploadFloats(memory, out,
+                     std::vector<float>(g.points * g.features, 0.0f));
+    } else {
+        aux = memory.allocate(4ull * g.clusters * g.features);
+        uploadFloats(memory, aux,
+                     randomFloats(g.clusters * g.features, seed + 2));
+        out = memory.allocate(4ull * g.points);
+        uploadU32(memory, out,
+                  std::vector<std::uint32_t>(g.points, 0));
+    }
+    return memory;
+}
+
+KernelSetup
+setupInvertMapping(Scale scale, std::uint64_t seed)
+{
+    KmeansGeometry g = geometry(scale);
+
+    KernelSetup setup;
+    setup.program = ptx::assemble("invert_mapping", invertMappingSource());
+
+    std::uint64_t feat = 0, aux = 0, out = 0;
+    setup.memory = makeMemory(g, seed, feat, aux, out, true);
+
+    setup.launch.grid = {g.threads / g.block, 1, 1};
+    setup.launch.block = {g.block, 1, 1};
+    setup.launch.params.addU32(static_cast<std::uint32_t>(feat));
+    setup.launch.params.addU32(static_cast<std::uint32_t>(out));
+    setup.launch.params.addU32(g.points);
+    setup.launch.params.addU32(g.features);
+
+    setup.outputs.push_back({"output", out,
+                             4ull * g.points * g.features,
+                             faults::ElemType::F32, 0.0});
+    return setup;
+}
+
+KernelSetup
+setupKmeansPoint(Scale scale, std::uint64_t seed)
+{
+    KmeansGeometry g = geometry(scale);
+
+    KernelSetup setup;
+    setup.program = ptx::assemble("kmeansPoint", kmeansPointSource());
+
+    std::uint64_t feat = 0, clusters = 0, membership = 0;
+    setup.memory =
+        makeMemory(g, seed, feat, clusters, membership, false);
+
+    setup.launch.grid = {g.threads / g.block, 1, 1};
+    setup.launch.block = {g.block, 1, 1};
+    setup.launch.params.addU32(static_cast<std::uint32_t>(feat));
+    setup.launch.params.addU32(static_cast<std::uint32_t>(clusters));
+    setup.launch.params.addU32(static_cast<std::uint32_t>(membership));
+    setup.launch.params.addU32(g.points);
+    setup.launch.params.addU32(g.clusters);
+    setup.launch.params.addU32(g.features);
+
+    setup.outputs.push_back({"membership", membership, 4ull * g.points,
+                             faults::ElemType::U32, 0.0});
+    return setup;
+}
+
+} // namespace
+
+std::vector<KernelSpec>
+makeKmeansKernels()
+{
+    std::vector<KernelSpec> specs;
+    specs.push_back({"Rodinia", "K-Means", "invert_mapping", "K1",
+                     setupInvertMapping});
+    specs.push_back({"Rodinia", "K-Means", "kmeansPoint", "K2",
+                     setupKmeansPoint});
+    return specs;
+}
+
+} // namespace fsp::apps

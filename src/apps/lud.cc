@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Rodinia LU Decomposition (LUD), the three tile kernels of one
+ * decomposition step (invocations K44/K45/K46 in the paper):
+ *  - lud_diagonal (K46, 16 threads): factors the diagonal tile in
+ *    place; nested elimination loops, 120 inner iterations (Table VII);
+ *  - lud_perimeter (K44, 32 threads): triangular solves for one row
+ *    strip and one column strip, the two CTA halves running disjoint
+ *    loop nests (120 iterations each);
+ *  - lud_internal (K45, 256 threads): rank-BS update of an interior
+ *    tile with a fully unrolled dot product -- loop-free (Table VII).
+ */
+
+#include "apps/kernel_util.hh"
+#include "ptx/assembler.hh"
+
+namespace fsp::apps {
+
+namespace {
+
+unsigned
+tileSide(Scale scale)
+{
+    return scale == Scale::Paper ? 16 : 8;
+}
+
+std::string
+diagonalSource(unsigned bs)
+{
+    std::string BS = std::to_string(bs);
+    std::string BSm1 = std::to_string(bs - 1);
+    // Params: [0]=a (bs x bs tile).
+    // Inactive threads (tid <= i) branch around both the division and
+    // the trailing-row update, as real compiled code does -- their
+    // per-thread iCnt therefore differs, which is what thread-wise
+    // grouping keys on.
+    return R"(
+    cvt.u32.u16 $r1, %tid.x;      // tid
+    mov.u32 $r2, 0x00000000;      // i
+    ld.param.u32 $r3, [0];        // a
+diag_outer:
+    set.gt.u32.u32 $p1|$o127, $r1, $r2;  // active iff tid > i
+    @$p1.eq bra diag_div_done;           // inactive: skip division
+    mul.lo.u32 $r4, $r1, )" + BS + R"(;
+    add.u32 $r4, $r4, $r2;
+    shl.u32 $r4, $r4, 0x00000002;
+    add.u32 $r4, $r3, $r4;               // &a[tid][i]
+    mul.lo.u32 $r5, $r2, )" + BS + R"(;
+    add.u32 $r5, $r5, $r2;
+    shl.u32 $r5, $r5, 0x00000002;
+    add.u32 $r5, $r3, $r5;               // &a[i][i]
+    ld.global.f32 $r6, [$r4];
+    ld.global.f32 $r7, [$r5];
+    div.f32 $r6, $r6, $r7;
+    st.global.f32 [$r4], $r6;
+diag_div_done:
+    bar.sync 0;
+    @$p1.eq bra diag_update_done;        // inactive: skip the update
+    add.u32 $r8, $r2, 0x00000001;        // j = i+1
+diag_inner:
+    mul.lo.u32 $r9, $r1, )" + BS + R"(;
+    add.u32 $r9, $r9, $r8;
+    shl.u32 $r9, $r9, 0x00000002;
+    add.u32 $r9, $r3, $r9;               // &a[tid][j]
+    ld.global.f32 $r10, [$r9];
+    mul.lo.u32 $r11, $r2, )" + BS + R"(;
+    add.u32 $r11, $r11, $r8;
+    shl.u32 $r11, $r11, 0x00000002;
+    add.u32 $r11, $r3, $r11;             // &a[i][j]
+    ld.global.f32 $r12, [$r11];
+    ld.global.f32 $r13, [$r4];           // a[tid][i]
+    mul.f32 $r12, $r12, $r13;
+    sub.f32 $r10, $r10, $r12;
+    st.global.f32 [$r9], $r10;
+    add.u32 $r8, $r8, 0x00000001;
+    set.lt.u32.u32 $p0|$o127, $r8, )" + BS + R"(;
+    @$p0.ne bra diag_inner;
+diag_update_done:
+    bar.sync 0;
+    add.u32 $r2, $r2, 0x00000001;
+    set.lt.u32.u32 $p0|$o127, $r2, )" + BSm1 + R"(;
+    @$p0.ne bra diag_outer;
+    retp;
+)";
+}
+
+std::string
+perimeterSource(unsigned bs)
+{
+    std::string BS = std::to_string(bs);
+    // Params: [0]=D (factored diagonal tile), [4]=R (row strip),
+    // [8]=C (column strip).
+    return R"(
+    cvt.u32.u16 $r1, %tid.x;
+    set.lt.u32.u32 $p2|$o127, $r1, )" + BS + R"(;
+    @$p2.eq bra perim_col;        // threads >= BS handle the column strip
+    // --- Row strip: forward substitution on column $r1 of R.
+    mov.u32 $r2, 0x00000001;      // i
+    ld.param.u32 $r3, [0];        // D
+    ld.param.u32 $r4, [4];        // R
+prow_outer:
+    mul.lo.u32 $r5, $r2, )" + BS + R"(;
+    add.u32 $r6, $r5, $r1;
+    shl.u32 $r6, $r6, 0x00000002;
+    add.u32 $r6, $r4, $r6;        // &R[i][col]
+    ld.global.f32 $r7, [$r6];
+    mov.u32 $r8, 0x00000000;      // k
+prow_inner:
+    mul.lo.u32 $r9, $r2, )" + BS + R"(;
+    add.u32 $r9, $r9, $r8;
+    shl.u32 $r9, $r9, 0x00000002;
+    add.u32 $r9, $r3, $r9;        // &D[i][k]
+    ld.global.f32 $r10, [$r9];
+    mul.lo.u32 $r11, $r8, )" + BS + R"(;
+    add.u32 $r11, $r11, $r1;
+    shl.u32 $r11, $r11, 0x00000002;
+    add.u32 $r11, $r4, $r11;      // &R[k][col]
+    ld.global.f32 $r12, [$r11];
+    mul.f32 $r10, $r10, $r12;
+    sub.f32 $r7, $r7, $r10;
+    add.u32 $r8, $r8, 0x00000001;
+    set.lt.u32.u32 $p0|$o127, $r8, $r2;
+    @$p0.ne bra prow_inner;
+    st.global.f32 [$r6], $r7;
+    add.u32 $r2, $r2, 0x00000001;
+    set.lt.u32.u32 $p0|$o127, $r2, )" + BS + R"(;
+    @$p0.ne bra prow_outer;
+    retp;
+perim_col:
+    // --- Column strip: row ($r1 - BS) of C against the upper factor.
+    sub.u32 $r1, $r1, )" + BS + R"(;
+    mov.u32 $r2, 0x00000000;      // j
+    ld.param.u32 $r3, [0];        // D
+    ld.param.u32 $r4, [8];        // C
+pcol_outer:
+    mul.lo.u32 $r5, $r1, )" + BS + R"(;
+    add.u32 $r6, $r5, $r2;
+    shl.u32 $r6, $r6, 0x00000002;
+    add.u32 $r6, $r4, $r6;        // &C[row][j]
+    ld.global.f32 $r7, [$r6];
+    mov.u32 $r8, 0x00000000;      // k
+    set.eq.u32.u32 $p0|$o127, $r2, 0x00000000;
+    @$p0.ne bra pcol_skip;        // j == 0: nothing to subtract
+pcol_inner:
+    mul.lo.u32 $r9, $r1, )" + BS + R"(;
+    add.u32 $r9, $r9, $r8;
+    shl.u32 $r9, $r9, 0x00000002;
+    add.u32 $r9, $r4, $r9;        // &C[row][k]
+    ld.global.f32 $r10, [$r9];
+    mul.lo.u32 $r11, $r8, )" + BS + R"(;
+    add.u32 $r11, $r11, $r2;
+    shl.u32 $r11, $r11, 0x00000002;
+    add.u32 $r11, $r3, $r11;      // &D[k][j]
+    ld.global.f32 $r12, [$r11];
+    mul.f32 $r10, $r10, $r12;
+    sub.f32 $r7, $r7, $r10;
+    add.u32 $r8, $r8, 0x00000001;
+    set.lt.u32.u32 $p0|$o127, $r8, $r2;
+    @$p0.ne bra pcol_inner;
+pcol_skip:
+    mul.lo.u32 $r13, $r2, )" + BS + R"(;
+    add.u32 $r13, $r13, $r2;
+    shl.u32 $r13, $r13, 0x00000002;
+    add.u32 $r13, $r3, $r13;      // &D[j][j]
+    ld.global.f32 $r14, [$r13];
+    div.f32 $r7, $r7, $r14;
+    st.global.f32 [$r6], $r7;
+    add.u32 $r2, $r2, 0x00000001;
+    set.lt.u32.u32 $p0|$o127, $r2, )" + BS + R"(;
+    @$p0.ne bra pcol_outer;
+    retp;
+)";
+}
+
+std::string
+internalSource(unsigned bs)
+{
+    // Params: [0]=A (row factor), [4]=B (column factor), [8]=Cm.
+    std::string s;
+    s += R"(
+    cvt.u32.u16 $r1, %tid.x;      // tj
+    cvt.u32.u16 $r2, %tid.y;      // ti
+    ld.param.u32 $r3, [0];
+)";
+    s += "    mul.lo.u32 $r4, $r2, " + std::to_string(bs) + ";\n";
+    s += R"(
+    shl.u32 $r4, $r4, 0x00000002;
+    add.u32 $r3, $r3, $r4;        // &A[ti*bs]
+    ld.param.u32 $r5, [4];
+    shl.u32 $r6, $r1, 0x00000002;
+    add.u32 $r5, $r5, $r6;        // &B[tj]
+    ld.param.u32 $r7, [8];
+)";
+    s += "    mul.lo.u32 $r8, $r2, " + std::to_string(bs) + ";\n";
+    s += R"(
+    add.u32 $r8, $r8, $r1;
+    shl.u32 $r8, $r8, 0x00000002;
+    add.u32 $r7, $r7, $r8;        // &C[ti][tj]
+    ld.global.f32 $r9, [$r7];
+)";
+    for (unsigned k = 0; k < bs; ++k) {
+        s += "    ld.global.f32 $r10, [$r3+" + std::to_string(4 * k) +
+             "];\n";
+        s += "    ld.global.f32 $r11, [$r5+" +
+             std::to_string(4 * k * bs) + "];\n";
+        s += "    mul.f32 $r10, $r10, $r11;\n";
+        s += "    sub.f32 $r9, $r9, $r10;\n";
+    }
+    s += R"(
+    st.global.f32 [$r7], $r9;
+    retp;
+)";
+    return s;
+}
+
+std::uint64_t
+uploadTile(sim::GlobalMemory &memory, unsigned bs, std::uint64_t seed,
+           float diag_boost)
+{
+    std::uint64_t addr = memory.allocate(4ull * bs * bs);
+    auto tile = randomFloats(bs * bs, seed, 0.1f, 1.0f);
+    if (diag_boost > 0.0f) {
+        for (unsigned i = 0; i < bs; ++i)
+            tile[i * bs + i] += diag_boost;
+    }
+    uploadFloats(memory, addr, tile);
+    return addr;
+}
+
+KernelSetup
+setupDiagonal(Scale scale, std::uint64_t seed)
+{
+    unsigned bs = tileSide(scale);
+
+    KernelSetup setup;
+    setup.program = ptx::assemble("lud_diagonal", diagonalSource(bs));
+    setup.memory = sim::GlobalMemory(1u << 20);
+    std::uint64_t a =
+        uploadTile(setup.memory, bs, seed + 1, static_cast<float>(bs));
+
+    setup.launch.grid = {1, 1, 1};
+    setup.launch.block = {bs, 1, 1};
+    setup.launch.params.addU32(static_cast<std::uint32_t>(a));
+
+    setup.outputs.push_back({"tile", a, 4ull * bs * bs,
+                             faults::ElemType::F32, 0.0});
+    return setup;
+}
+
+KernelSetup
+setupPerimeter(Scale scale, std::uint64_t seed)
+{
+    unsigned bs = tileSide(scale);
+
+    KernelSetup setup;
+    setup.program = ptx::assemble("lud_perimeter", perimeterSource(bs));
+    setup.memory = sim::GlobalMemory(1u << 20);
+    std::uint64_t d =
+        uploadTile(setup.memory, bs, seed + 1, static_cast<float>(bs));
+    std::uint64_t r = uploadTile(setup.memory, bs, seed + 2, 0.0f);
+    std::uint64_t c = uploadTile(setup.memory, bs, seed + 3, 0.0f);
+
+    setup.launch.grid = {1, 1, 1};
+    setup.launch.block = {2 * bs, 1, 1};
+    setup.launch.params.addU32(static_cast<std::uint32_t>(d));
+    setup.launch.params.addU32(static_cast<std::uint32_t>(r));
+    setup.launch.params.addU32(static_cast<std::uint32_t>(c));
+
+    setup.outputs.push_back({"row_strip", r, 4ull * bs * bs,
+                             faults::ElemType::F32, 0.0});
+    setup.outputs.push_back({"col_strip", c, 4ull * bs * bs,
+                             faults::ElemType::F32, 0.0});
+    return setup;
+}
+
+KernelSetup
+setupInternal(Scale scale, std::uint64_t seed)
+{
+    unsigned bs = tileSide(scale);
+
+    KernelSetup setup;
+    setup.program = ptx::assemble("lud_internal", internalSource(bs));
+    setup.memory = sim::GlobalMemory(1u << 20);
+    std::uint64_t a = uploadTile(setup.memory, bs, seed + 1, 0.0f);
+    std::uint64_t b = uploadTile(setup.memory, bs, seed + 2, 0.0f);
+    std::uint64_t c = uploadTile(setup.memory, bs, seed + 3, 0.0f);
+
+    setup.launch.grid = {1, 1, 1};
+    setup.launch.block = {bs, bs, 1};
+    setup.launch.params.addU32(static_cast<std::uint32_t>(a));
+    setup.launch.params.addU32(static_cast<std::uint32_t>(b));
+    setup.launch.params.addU32(static_cast<std::uint32_t>(c));
+
+    setup.outputs.push_back({"tile", c, 4ull * bs * bs,
+                             faults::ElemType::F32, 0.0});
+    return setup;
+}
+
+} // namespace
+
+std::vector<KernelSpec>
+makeLudKernels()
+{
+    std::vector<KernelSpec> specs;
+    specs.push_back(
+        {"Rodinia", "LUD", "lud_perimeter", "K44", setupPerimeter});
+    specs.push_back(
+        {"Rodinia", "LUD", "lud_internal", "K45", setupInternal});
+    specs.push_back(
+        {"Rodinia", "LUD", "lud_diagonal", "K46", setupDiagonal});
+    return specs;
+}
+
+} // namespace fsp::apps

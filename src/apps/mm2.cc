@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Polybench 2MM (mm2_kernel1): tmp = A x B, the first of 2mm's two
+ * matrix products; plain K-loop accumulation, single thread group.
+ */
+
+#include "apps/kernel_util.hh"
+#include "ptx/assembler.hh"
+
+namespace fsp::apps {
+
+namespace {
+
+struct Mm2Geometry
+{
+    unsigned ni, nj, nk;
+    unsigned block;
+};
+
+Mm2Geometry
+geometry(Scale scale)
+{
+    if (scale == Scale::Paper)
+        return {128, 128, 128, 16}; // 16384 threads
+    return {16, 16, 16, 8};
+}
+
+std::string
+kernelSource()
+{
+    // Params: [0]=A, [4]=B, [8]=tmp, [12]=NJ, [16]=NK.
+    std::string s;
+    s += asmGlobalIdXY(1, 2); // $r1 = j, $r2 = i
+    s += R"(
+    ld.param.u32 $r3, [12];       // NJ
+    ld.param.u32 $r4, [16];       // NK
+    ld.param.u32 $r5, [0];        // A
+    mul.lo.u32 $r6, $r2, $r4;
+    shl.u32 $r6, $r6, 0x00000002;
+    add.u32 $r5, $r5, $r6;        // &A[i*NK]
+    ld.param.u32 $r7, [4];        // B
+    shl.u32 $r8, $r1, 0x00000002;
+    add.u32 $r7, $r7, $r8;        // &B[j]
+    shl.u32 $r9, $r3, 0x00000002; // B row stride
+    mov.f32 $r10, 0.0;
+    mov.u32 $r11, 0x00000000;
+mm2_loop:
+    ld.global.f32 $r12, [$r5];
+    ld.global.f32 $r13, [$r7];
+    mad.f32 $r10, $r12, $r13, $r10;
+    add.u32 $r5, $r5, 0x00000004;
+    add.u32 $r7, $r7, $r9;
+    add.u32 $r11, $r11, 0x00000001;
+    set.lt.u32.u32 $p0|$o127, $r11, $r4;
+    @$p0.ne bra mm2_loop;
+    ld.param.u32 $r14, [8];       // tmp
+    mul.lo.u32 $r15, $r2, $r3;
+    add.u32 $r15, $r15, $r1;
+    shl.u32 $r15, $r15, 0x00000002;
+    add.u32 $r14, $r14, $r15;
+    st.global.f32 [$r14], $r10;
+    retp;
+)";
+    return s;
+}
+
+KernelSetup
+setupMm2(Scale scale, std::uint64_t seed)
+{
+    Mm2Geometry g = geometry(scale);
+
+    KernelSetup setup;
+    setup.program = ptx::assemble("mm2_kernel1", kernelSource());
+
+    setup.memory = sim::GlobalMemory(1u << 24);
+    std::uint64_t a = setup.memory.allocate(4ull * g.ni * g.nk);
+    std::uint64_t b = setup.memory.allocate(4ull * g.nk * g.nj);
+    std::uint64_t tmp = setup.memory.allocate(4ull * g.ni * g.nj);
+    uploadFloats(setup.memory, a, randomFloats(g.ni * g.nk, seed + 1));
+    uploadFloats(setup.memory, b, randomFloats(g.nk * g.nj, seed + 2));
+    uploadFloats(setup.memory, tmp,
+                 std::vector<float>(g.ni * g.nj, 0.0f));
+
+    setup.launch.grid = {g.nj / g.block, g.ni / g.block, 1};
+    setup.launch.block = {g.block, g.block, 1};
+    setup.launch.params.addU32(static_cast<std::uint32_t>(a));
+    setup.launch.params.addU32(static_cast<std::uint32_t>(b));
+    setup.launch.params.addU32(static_cast<std::uint32_t>(tmp));
+    setup.launch.params.addU32(g.nj);
+    setup.launch.params.addU32(g.nk);
+
+    setup.outputs.push_back({"tmp", tmp, 4ull * g.ni * g.nj,
+                             faults::ElemType::F32, 0.0});
+    return setup;
+}
+
+} // namespace
+
+std::vector<KernelSpec>
+makeMm2Kernels()
+{
+    KernelSpec spec;
+    spec.suite = "Polybench";
+    spec.application = "2MM";
+    spec.kernelName = "mm2_kernel1";
+    spec.id = "K1";
+    spec.setup = setupMm2;
+    return {spec};
+}
+
+} // namespace fsp::apps

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Polybench MVT (mvt_kernel1): x1 = x1 + A * y1, one thread per row,
+ * N-iteration dot-product loop.  The paper's longest loop (512
+ * iterations, 99.71% of dynamic instructions in the loop, Table VII)
+ * and a single thread group (all threads uniform).
+ */
+
+#include "apps/kernel_util.hh"
+#include "ptx/assembler.hh"
+
+namespace fsp::apps {
+
+namespace {
+
+struct MvtGeometry
+{
+    unsigned n;
+    unsigned block;
+};
+
+MvtGeometry
+geometry(Scale scale)
+{
+    if (scale == Scale::Paper)
+        return {512, 256};
+    return {64, 32};
+}
+
+std::string
+kernelSource()
+{
+    // Params: [0]=A, [4]=y1, [8]=x1, [12]=N.
+    std::string s;
+    s += asmGlobalIdX(1); // $r1 = i
+    s += R"(
+    ld.param.u32 $r2, [12];       // N
+    ld.param.u32 $r3, [0];        // A
+    mul.lo.u32 $r4, $r1, $r2;
+    shl.u32 $r4, $r4, 0x00000002;
+    add.u32 $r3, $r3, $r4;        // &A[i*N]
+    ld.param.u32 $r5, [4];        // y1 ptr
+    mov.f32 $r6, 0.0;             // acc
+    mov.u32 $r7, 0x00000000;      // j
+mvt_loop:
+    ld.global.f32 $r8, [$r3];
+    ld.global.f32 $r9, [$r5];
+    mad.f32 $r6, $r8, $r9, $r6;
+    add.u32 $r3, $r3, 0x00000004;
+    add.u32 $r5, $r5, 0x00000004;
+    add.u32 $r7, $r7, 0x00000001;
+    set.lt.u32.u32 $p0|$o127, $r7, $r2;
+    @$p0.ne bra mvt_loop;
+    ld.param.u32 $r10, [8];       // x1
+    shl.u32 $r11, $r1, 0x00000002;
+    add.u32 $r10, $r10, $r11;
+    ld.global.f32 $r12, [$r10];
+    add.f32 $r12, $r12, $r6;
+    st.global.f32 [$r10], $r12;
+    retp;
+)";
+    return s;
+}
+
+KernelSetup
+setupMvt(Scale scale, std::uint64_t seed)
+{
+    MvtGeometry g = geometry(scale);
+
+    KernelSetup setup;
+    setup.program = ptx::assemble("mvt_kernel1", kernelSource());
+
+    setup.memory = sim::GlobalMemory(1u << 24);
+    std::uint64_t a = setup.memory.allocate(4ull * g.n * g.n);
+    std::uint64_t y1 = setup.memory.allocate(4ull * g.n);
+    std::uint64_t x1 = setup.memory.allocate(4ull * g.n);
+    uploadFloats(setup.memory, a, randomFloats(g.n * g.n, seed + 1));
+    uploadFloats(setup.memory, y1, randomFloats(g.n, seed + 2));
+    uploadFloats(setup.memory, x1, randomFloats(g.n, seed + 3));
+
+    setup.launch.grid = {g.n / g.block, 1, 1};
+    setup.launch.block = {g.block, 1, 1};
+    setup.launch.params.addU32(static_cast<std::uint32_t>(a));
+    setup.launch.params.addU32(static_cast<std::uint32_t>(y1));
+    setup.launch.params.addU32(static_cast<std::uint32_t>(x1));
+    setup.launch.params.addU32(g.n);
+
+    setup.outputs.push_back({"x1", x1, 4ull * g.n, faults::ElemType::F32,
+                             0.0});
+    return setup;
+}
+
+} // namespace
+
+std::vector<KernelSpec>
+makeMvtKernels()
+{
+    KernelSpec spec;
+    spec.suite = "Polybench";
+    spec.application = "MVT";
+    spec.kernelName = "mvt_kernel1";
+    spec.id = "K1";
+    spec.setup = setupMvt;
+    return {spec};
+}
+
+} // namespace fsp::apps

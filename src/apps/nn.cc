@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Rodinia NN (nearest neighbor, "euclid" kernel): each thread computes
+ * the Euclidean distance of one (lat, lng) record to a target point.
+ * Loop-free (paper Table VII); tail threads past the record count exit
+ * early.
+ */
+
+#include "apps/kernel_util.hh"
+#include "ptx/assembler.hh"
+
+namespace fsp::apps {
+
+namespace {
+
+struct NnGeometry
+{
+    unsigned threads;
+    unsigned records;
+    unsigned block;
+};
+
+NnGeometry
+geometry(Scale scale)
+{
+    if (scale == Scale::Paper)
+        return {43008, 42764, 256}; // 168 CTAs as in Table VII
+    return {512, 500, 64};
+}
+
+std::string
+kernelSource()
+{
+    // Params: [0]=locations (lat,lng pairs), [4]=distances,
+    // [8]=nrecords, [12]=target lat, [16]=target lng.
+    std::string s;
+    s += asmGlobalIdX(1); // $r1 = gid
+    s += R"(
+    ld.param.u32 $r2, [8];        // nrecords
+    set.ge.u32.u32 $p0|$o127, $r1, $r2;
+    @$p0.ne retp;                 // tail exit
+    ld.param.u32 $r3, [0];        // locations
+    shl.u32 $r4, $r1, 0x00000003; // gid * 8 bytes
+    add.u32 $r3, $r3, $r4;
+    ld.global.f32 $r5, [$r3];     // lat
+    ld.global.f32 $r6, [$r3+4];   // lng
+    ld.param.f32 $r7, [12];       // target lat
+    ld.param.f32 $r8, [16];       // target lng
+    sub.f32 $r9, $r5, $r7;
+    sub.f32 $r10, $r6, $r8;
+    mul.f32 $r9, $r9, $r9;
+    mad.f32 $r9, $r10, $r10, $r9;
+    sqrt.f32 $r9, $r9;
+    ld.param.u32 $r11, [4];       // distances
+    shl.u32 $r12, $r1, 0x00000002;
+    add.u32 $r11, $r11, $r12;
+    st.global.f32 [$r11], $r9;
+    retp;
+)";
+    return s;
+}
+
+KernelSetup
+setupNn(Scale scale, std::uint64_t seed)
+{
+    NnGeometry g = geometry(scale);
+
+    KernelSetup setup;
+    setup.program = ptx::assemble("euclid", kernelSource());
+
+    setup.memory = sim::GlobalMemory(1u << 24);
+    std::uint64_t loc = setup.memory.allocate(8ull * g.records);
+    std::uint64_t dist = setup.memory.allocate(4ull * g.records);
+    uploadFloats(setup.memory, loc,
+                 randomFloats(2 * g.records, seed + 1, 0.0f, 90.0f));
+    uploadFloats(setup.memory, dist,
+                 std::vector<float>(g.records, 0.0f));
+
+    setup.launch.grid = {g.threads / g.block, 1, 1};
+    setup.launch.block = {g.block, 1, 1};
+    setup.launch.params.addU32(static_cast<std::uint32_t>(loc));
+    setup.launch.params.addU32(static_cast<std::uint32_t>(dist));
+    setup.launch.params.addU32(g.records);
+    setup.launch.params.addF32(30.0f);
+    setup.launch.params.addF32(60.0f);
+
+    setup.outputs.push_back({"distances", dist, 4ull * g.records,
+                             faults::ElemType::F32, 0.0});
+    return setup;
+}
+
+} // namespace
+
+std::vector<KernelSpec>
+makeNnKernels()
+{
+    KernelSpec spec;
+    spec.suite = "Rodinia";
+    spec.application = "NN";
+    spec.kernelName = "euclid";
+    spec.id = "K1";
+    spec.setup = setupNn;
+    return {spec};
+}
+
+} // namespace fsp::apps

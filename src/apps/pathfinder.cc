@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Rodinia PathFinder (dynproc_kernel): dynamic programming over a 2-D
+ * grid.  Each CTA owns a strip of columns held in shared memory; every
+ * iteration each thread adds the minimum of its three upper neighbours
+ * (clamped at the strip edges) to its wall cost, with two barriers per
+ * iteration for the double-buffer exchange.
+ *
+ * Edge threads of a strip (tid 0 and tid BS-1) set up clamped
+ * neighbour offsets through a short path, while interior threads run a
+ * longer offset-derivation block -- reproducing the paper's Fig. 5
+ * structure of two representative threads that share a long common
+ * prefix and suffix and differ in a small middle block.
+ */
+
+#include "apps/kernel_util.hh"
+#include "ptx/assembler.hh"
+
+namespace fsp::apps {
+
+namespace {
+
+struct PathfinderGeometry
+{
+    unsigned cols;
+    unsigned rows; ///< iterations = rows - 1
+    unsigned block;
+};
+
+PathfinderGeometry
+geometry(Scale scale)
+{
+    if (scale == Scale::Paper)
+        return {1280, 21, 256}; // 5 CTAs, 20 loop iterations
+    return {128, 7, 64};        // 2 CTAs, 6 iterations
+}
+
+std::string
+kernelSource(unsigned bs)
+{
+    // Params: [0]=wall (u32 rows x cols), [4]=src row, [8]=result,
+    // [12]=cols, [16]=iterations.
+    // Shared layout: prev[bs] at 0, cur[bs] at 4*bs, and a +inf
+    // sentinel word at 8*bs that strip-edge threads use in place of
+    // their missing neighbour (min() then ignores it, matching the
+    // Rodinia semantics of only considering existing neighbours).
+    std::string cur_base = std::to_string(4 * bs);
+    std::string sentinel = std::to_string(8 * bs);
+    std::string s;
+    s += asmGlobalIdX(1); // $r1 = gid
+    s += R"(
+    cvt.u32.u16 $r3, %tid.x;       // tid
+    shl.u32 $r4, $r3, 0x00000002;  // sprev = tid*4
+    add.u32 $r5, $r4, )" + cur_base + R"(; // scur
+    ld.param.u32 $r6, [12];        // cols
+    ld.param.u32 $r7, [4];         // src
+    shl.u32 $r8, $r1, 0x00000002;  // gid*4
+    add.u32 $r7, $r7, $r8;
+    ld.global.u32 $r9, [$r7];
+    st.shared.u32 [$r4], $r9;      // prev[tid] = src[gid]
+    mov.u32 $r9, 0xffffffff;
+    st.shared.u32 [)" + sentinel + R"(], $r9; // +inf sentinel
+    bar.sync 0;
+    // Left neighbour offset: the sentinel for tid==0, else derived.
+    set.eq.u32.u32 $p0|$o127, $r3, 0x00000000;
+    @$p0.eq bra pf_left_interior;
+    mov.u32 $r10, )" + sentinel + R"(; // no left neighbour
+    bra pf_left_done;
+pf_left_interior:
+    // Interior path also pre-derives the wall row stride and cursor
+    // used by every loop iteration (hoisted setup block).
+    sub.u32 $r10, $r4, 0x00000004;
+pf_left_done:
+    // Right neighbour offset: the sentinel for tid==bs-1.
+    set.eq.u32.u32 $p0|$o127, $r3, )" +
+         std::to_string(bs - 1) + R"(;
+    @$p0.eq bra pf_right_interior;
+    mov.u32 $r11, )" + sentinel + R"(; // no right neighbour
+    bra pf_right_done;
+pf_right_interior:
+    add.u32 $r11, $r4, 0x00000004;
+    // Hoisted wall cursor setup (interior threads derive it with the
+    // full addressing sequence; edge threads use the short fallback
+    // after the join).
+    shl.u32 $r12, $r6, 0x00000002; // row stride bytes
+    ld.param.u32 $r13, [0];        // wall
+    add.u32 $r13, $r13, $r12;      // skip row 0
+    add.u32 $r13, $r13, $r8;       // + gid*4
+    mov.u32 $r14, 0x00000001;      // cursor-valid marker
+    bra pf_setup_done;
+pf_right_done:
+    // Edge-thread fallback setup (shorter block).
+    shl.u32 $r12, $r6, 0x00000002;
+    ld.param.u32 $r13, [0];
+    add.u32 $r13, $r13, $r12;
+    add.u32 $r13, $r13, $r8;
+pf_setup_done:
+    ld.param.u32 $r15, [16];       // iterations
+    mov.u32 $r16, 0x00000000;      // it
+pf_loop:
+    ld.shared.u32 $r17, [$r4];     // centre
+    ld.shared.u32 $r18, [$r10];    // left
+    ld.shared.u32 $r19, [$r11];    // right
+    min.u32 $r20, $r18, $r19;
+    min.u32 $r20, $r20, $r17;
+    ld.global.u32 $r21, [$r13];    // wall[(it+1)*cols+gid]
+    add.u32 $r20, $r20, $r21;
+    st.shared.u32 [$r5], $r20;     // cur[tid]
+    bar.sync 0;
+    ld.shared.u32 $r22, [$r5];
+    st.shared.u32 [$r4], $r22;     // prev[tid] = cur[tid]
+    bar.sync 0;
+    add.u32 $r13, $r13, $r12;      // advance wall row
+    add.u32 $r16, $r16, 0x00000001;
+    set.lt.u32.u32 $p0|$o127, $r16, $r15;
+    @$p0.ne bra pf_loop;
+    ld.param.u32 $r23, [8];        // result
+    add.u32 $r23, $r23, $r8;
+    ld.shared.u32 $r24, [$r4];
+    st.global.u32 [$r23], $r24;
+    retp;
+)";
+    return s;
+}
+
+KernelSetup
+setupPathfinder(Scale scale, std::uint64_t seed)
+{
+    PathfinderGeometry g = geometry(scale);
+
+    KernelSetup setup;
+    setup.program = ptx::assemble("dynproc_kernel", kernelSource(g.block));
+
+    setup.memory = sim::GlobalMemory(1u << 23);
+    std::uint64_t wall = setup.memory.allocate(4ull * g.rows * g.cols);
+    std::uint64_t src = setup.memory.allocate(4ull * g.cols);
+    std::uint64_t result = setup.memory.allocate(4ull * g.cols);
+
+    Prng prng(seed);
+    std::vector<std::uint32_t> wall_data(g.rows * g.cols);
+    for (auto &v : wall_data)
+        v = static_cast<std::uint32_t>(prng.below(10));
+    uploadU32(setup.memory, wall, wall_data);
+    std::vector<std::uint32_t> src_data(wall_data.begin(),
+                                        wall_data.begin() + g.cols);
+    uploadU32(setup.memory, src, src_data);
+    uploadU32(setup.memory, result,
+              std::vector<std::uint32_t>(g.cols, 0));
+
+    setup.launch.grid = {g.cols / g.block, 1, 1};
+    setup.launch.block = {g.block, 1, 1};
+    setup.launch.sharedBytes = (2 * g.block + 2) * 4;
+    setup.launch.params.addU32(static_cast<std::uint32_t>(wall));
+    setup.launch.params.addU32(static_cast<std::uint32_t>(src));
+    setup.launch.params.addU32(static_cast<std::uint32_t>(result));
+    setup.launch.params.addU32(g.cols);
+    setup.launch.params.addU32(g.rows - 1);
+
+    setup.outputs.push_back({"result", result, 4ull * g.cols,
+                             faults::ElemType::U32, 0.0});
+    return setup;
+}
+
+} // namespace
+
+std::vector<KernelSpec>
+makePathfinderKernels()
+{
+    KernelSpec spec;
+    spec.suite = "Rodinia";
+    spec.application = "PathFinder";
+    spec.kernelName = "dynproc_kernel";
+    spec.id = "K1";
+    spec.setup = setupPathfinder;
+    return {spec};
+}
+
+} // namespace fsp::apps

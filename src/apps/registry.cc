@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Kernel registry: collects every workload in the paper's Table I
+ * order (plus Rodinia NN from Table VII).
+ */
+
+#include "apps/app.hh"
+#include "apps/kernel_util.hh"
+
+namespace fsp::apps {
+
+const std::vector<KernelSpec> &
+allKernels()
+{
+    static const std::vector<KernelSpec> kernels = [] {
+        std::vector<KernelSpec> all;
+        auto append = [&all](std::vector<KernelSpec> specs) {
+            for (auto &spec : specs)
+                all.push_back(std::move(spec));
+        };
+        // Rodinia (Table I order).
+        append(makeHotspotKernels());
+        append(makeKmeansKernels());
+        append(makeGaussianKernels());
+        append(makePathfinderKernels());
+        append(makeLudKernels());
+        // Polybench.
+        append(makeConv2dKernels());
+        append(makeMvtKernels());
+        append(makeMm2Kernels());
+        append(makeGemmKernels());
+        append(makeSyrkKernels());
+        // Table VII extra.
+        append(makeNnKernels());
+        return all;
+    }();
+    return kernels;
+}
+
+const KernelSpec *
+findKernel(std::string_view full_name)
+{
+    for (const auto &spec : allKernels()) {
+        if (spec.fullName() == full_name)
+            return &spec;
+    }
+    return nullptr;
+}
+
+} // namespace fsp::apps

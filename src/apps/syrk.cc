@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Polybench SYRK (symmetric rank-K update):
+ * C = beta * C + alpha * A x A^T, one thread per output element with an
+ * M-iteration loop reading two rows of A.
+ */
+
+#include "apps/kernel_util.hh"
+#include "ptx/assembler.hh"
+
+namespace fsp::apps {
+
+namespace {
+
+struct SyrkGeometry
+{
+    unsigned n; ///< C is n x n
+    unsigned m; ///< A is n x m
+    unsigned block;
+};
+
+SyrkGeometry
+geometry(Scale scale)
+{
+    if (scale == Scale::Paper)
+        return {128, 128, 16}; // 16384 threads, 128 loop iterations
+    return {16, 16, 8};
+}
+
+std::string
+kernelSource()
+{
+    // Params: [0]=A, [4]=C, [8]=N, [12]=M, [16]=alpha, [20]=beta.
+    std::string s;
+    s += asmGlobalIdXY(1, 2); // $r1 = j, $r2 = i
+    s += R"(
+    ld.param.u32 $r3, [8];        // N
+    ld.param.u32 $r4, [12];       // M
+    ld.param.u32 $r5, [0];        // A
+    mul.lo.u32 $r6, $r2, $r4;
+    shl.u32 $r6, $r6, 0x00000002;
+    add.u32 $r6, $r5, $r6;        // &A[i*M]
+    mul.lo.u32 $r7, $r1, $r4;
+    shl.u32 $r7, $r7, 0x00000002;
+    add.u32 $r7, $r5, $r7;        // &A[j*M]
+    mov.f32 $r8, 0.0;             // acc
+    mov.u32 $r9, 0x00000000;      // k
+syrk_loop:
+    ld.global.f32 $r10, [$r6];
+    ld.global.f32 $r11, [$r7];
+    mad.f32 $r8, $r10, $r11, $r8;
+    add.u32 $r6, $r6, 0x00000004;
+    add.u32 $r7, $r7, 0x00000004;
+    add.u32 $r9, $r9, 0x00000001;
+    set.lt.u32.u32 $p0|$o127, $r9, $r4;
+    @$p0.ne bra syrk_loop;
+    ld.param.u32 $r12, [4];       // C
+    mul.lo.u32 $r13, $r2, $r3;
+    add.u32 $r13, $r13, $r1;
+    shl.u32 $r13, $r13, 0x00000002;
+    add.u32 $r12, $r12, $r13;
+    ld.global.f32 $r14, [$r12];
+    ld.param.f32 $r15, [16];      // alpha
+    ld.param.f32 $r16, [20];      // beta
+    mul.f32 $r14, $r14, $r16;
+    mad.f32 $r14, $r8, $r15, $r14;
+    st.global.f32 [$r12], $r14;
+    retp;
+)";
+    return s;
+}
+
+KernelSetup
+setupSyrk(Scale scale, std::uint64_t seed)
+{
+    SyrkGeometry g = geometry(scale);
+
+    KernelSetup setup;
+    setup.program = ptx::assemble("syrk_kernel", kernelSource());
+
+    setup.memory = sim::GlobalMemory(1u << 24);
+    std::uint64_t a = setup.memory.allocate(4ull * g.n * g.m);
+    std::uint64_t c = setup.memory.allocate(4ull * g.n * g.n);
+    uploadFloats(setup.memory, a, randomFloats(g.n * g.m, seed + 1));
+    uploadFloats(setup.memory, c, randomFloats(g.n * g.n, seed + 2));
+
+    setup.launch.grid = {g.n / g.block, g.n / g.block, 1};
+    setup.launch.block = {g.block, g.block, 1};
+    setup.launch.params.addU32(static_cast<std::uint32_t>(a));
+    setup.launch.params.addU32(static_cast<std::uint32_t>(c));
+    setup.launch.params.addU32(g.n);
+    setup.launch.params.addU32(g.m);
+    setup.launch.params.addF32(1.25f); // alpha
+    setup.launch.params.addF32(0.5f);  // beta
+
+    setup.outputs.push_back({"C", c, 4ull * g.n * g.n,
+                             faults::ElemType::F32, 0.0});
+    return setup;
+}
+
+} // namespace
+
+std::vector<KernelSpec>
+makeSyrkKernels()
+{
+    KernelSpec spec;
+    spec.suite = "Polybench";
+    spec.application = "SYRK";
+    spec.kernelName = "syrk_kernel";
+    spec.id = "K1";
+    spec.setup = setupSyrk;
+    return {spec};
+}
+
+} // namespace fsp::apps

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Campaign driver implementation.
+ */
+
+#include "faults/campaign.hh"
+
+namespace fsp::faults {
+
+CampaignResult
+runSiteList(Injector &injector, const std::vector<FaultSite> &sites)
+{
+    CampaignResult result;
+    for (const auto &site : sites) {
+        result.dist.add(injector.inject(site));
+        result.runs++;
+    }
+    return result;
+}
+
+CampaignResult
+runWeightedSiteList(Injector &injector,
+                    const std::vector<WeightedSite> &sites)
+{
+    CampaignResult result;
+    for (const auto &weighted : sites) {
+        result.dist.add(injector.inject(weighted.site), weighted.weight);
+        result.runs++;
+    }
+    return result;
+}
+
+CampaignResult
+runRandomCampaign(Injector &injector, const FaultSpace &space,
+                  std::size_t runs, Prng &prng)
+{
+    auto sites = space.sampleSites(runs, prng);
+    return runSiteList(injector, sites);
+}
+
+} // namespace fsp::faults

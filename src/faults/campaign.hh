@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Campaign drivers: exhaustive injection over an explicit (optionally
+ * weighted) site list, and the statistical random-sampling baseline the
+ * paper compares against (section II-D).
+ */
+
+#ifndef FSP_FAULTS_CAMPAIGN_HH
+#define FSP_FAULTS_CAMPAIGN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "faults/fault_space.hh"
+#include "faults/injector.hh"
+#include "faults/outcome.hh"
+#include "util/prng.hh"
+
+namespace fsp::faults {
+
+/** Result of a campaign. */
+struct CampaignResult
+{
+    OutcomeDist dist;        ///< (weighted) outcome tally
+    std::uint64_t runs = 0;  ///< injection runs performed
+};
+
+/** Inject every site in the list, tallying unweighted outcomes. */
+CampaignResult runSiteList(Injector &injector,
+                           const std::vector<FaultSite> &sites);
+
+/** Inject every weighted site, tallying weighted outcomes. */
+CampaignResult runWeightedSiteList(Injector &injector,
+                                   const std::vector<WeightedSite> &sites);
+
+/**
+ * The statistical baseline: @p runs sites drawn uniformly at random
+ * from the full fault space (with replacement), injected and tallied.
+ */
+CampaignResult runRandomCampaign(Injector &injector,
+                                 const FaultSpace &space,
+                                 std::size_t runs, Prng &prng);
+
+} // namespace fsp::faults
+
+#endif // FSP_FAULTS_CAMPAIGN_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fault-site value types.  A fault site is the paper's (thread id,
+ * dynamic instruction id, destination-register bit position) triple;
+ * pruned spaces carry a weight per site so that outcome estimates stay
+ * unbiased (each surviving site stands for the original sites it
+ * represents).
+ */
+
+#ifndef FSP_FAULTS_FAULT_SITE_HH
+#define FSP_FAULTS_FAULT_SITE_HH
+
+#include <cstdint>
+
+#include "sim/fault.hh"
+
+namespace fsp::faults {
+
+/** One injectable fault site. */
+struct FaultSite
+{
+    std::uint64_t thread = 0;   ///< global linear thread id
+    std::uint64_t dynIndex = 0; ///< dynamic instruction index in thread
+    std::uint32_t bit = 0;      ///< destination bit position
+
+    /** Convert to the executor's fault plan. */
+    sim::FaultPlan
+    toPlan() const
+    {
+        sim::FaultPlan plan;
+        plan.thread = thread;
+        plan.dynIndex = dynIndex;
+        plan.bit = bit;
+        return plan;
+    }
+
+    bool operator==(const FaultSite &other) const = default;
+};
+
+/** A fault site with the extrapolation weight it carries. */
+struct WeightedSite
+{
+    FaultSite site;
+    double weight = 1.0;
+};
+
+} // namespace fsp::faults
+
+#endif // FSP_FAULTS_FAULT_SITE_HH

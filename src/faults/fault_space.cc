@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Fault-space enumeration and uniform site sampling.
+ */
+
+#include "faults/fault_space.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.hh"
+
+namespace fsp::faults {
+
+FaultSpace::FaultSpace(const sim::Executor &executor,
+                       const sim::GlobalMemory &image)
+    : executor_(executor), image_(image)
+{
+    sim::GlobalMemory scratch = image;
+    sim::TraceOptions opts;
+    opts.perThreadProfiles = true;
+    sim::RunResult result = executor_.run(scratch, &opts);
+    if (result.status != sim::RunStatus::Completed) {
+        fatal("fault-free profiling run did not complete: ",
+              result.diagnostic);
+    }
+
+    profiles_ = std::move(result.trace.profiles);
+    total_dyn_ = result.totalDynInstrs;
+
+    cumulative_bits_.reserve(profiles_.size());
+    for (const auto &p : profiles_) {
+        total_sites_ += p.faultBits;
+        cumulative_bits_.push_back(total_sites_);
+    }
+}
+
+std::vector<FaultSite>
+FaultSpace::sampleSites(std::size_t count, Prng &prng) const
+{
+    FSP_ASSERT(total_sites_ > 0, "cannot sample an empty fault space");
+
+    // Draw global bit offsets, then group by thread so a single traced
+    // run can resolve every offset to a (dyn instruction, bit) pair.
+    std::vector<std::uint64_t> offsets(count);
+    for (auto &offset : offsets)
+        offset = prng.below(total_sites_);
+
+    std::map<std::uint64_t, std::vector<std::uint64_t>> per_thread;
+    for (std::uint64_t offset : offsets) {
+        auto it = std::upper_bound(cumulative_bits_.begin(),
+                                   cumulative_bits_.end(), offset);
+        auto thread = static_cast<std::uint64_t>(
+            std::distance(cumulative_bits_.begin(), it));
+        std::uint64_t before =
+            thread == 0 ? 0 : cumulative_bits_[thread - 1];
+        per_thread[thread].push_back(offset - before);
+    }
+
+    sim::TraceOptions opts;
+    for (const auto &[thread, local] : per_thread)
+        opts.traceThreads.insert(thread);
+
+    sim::GlobalMemory scratch = image_;
+    sim::RunResult result = executor_.run(scratch, &opts);
+    FSP_ASSERT(result.status == sim::RunStatus::Completed,
+               "traced profiling run failed");
+
+    std::vector<FaultSite> sites;
+    sites.reserve(count);
+    for (auto &[thread, locals] : per_thread) {
+        const auto &trace = result.trace.dynTraces.at(thread);
+        std::sort(locals.begin(), locals.end());
+        // Walk the dynamic trace once per thread, resolving sorted
+        // local bit offsets in order.
+        std::size_t li = 0;
+        std::uint64_t acc = 0;
+        for (std::size_t d = 0; d < trace.size() && li < locals.size();
+             ++d) {
+            std::uint64_t bits = trace[d].destBits;
+            while (li < locals.size() && locals[li] < acc + bits) {
+                FaultSite site;
+                site.thread = thread;
+                site.dynIndex = d;
+                site.bit = static_cast<std::uint32_t>(locals[li] - acc);
+                sites.push_back(site);
+                ++li;
+            }
+            acc += bits;
+        }
+        FSP_ASSERT(li == locals.size(),
+                   "bit offset exceeded thread fault bits");
+    }
+
+    // Restore random order (grouping by thread above is an
+    // implementation detail, not a sampling bias, but campaigns may
+    // stream partial results, so reshuffle).
+    prng.shuffle(sites);
+    return sites;
+}
+
+std::vector<FaultSite>
+FaultSpace::threadSites(std::uint64_t thread,
+                        const std::vector<sim::DynRecord> &trace) const
+{
+    std::vector<FaultSite> sites;
+    for (std::size_t d = 0; d < trace.size(); ++d) {
+        for (std::uint32_t b = 0; b < trace[d].destBits; ++b) {
+            FaultSite site;
+            site.thread = thread;
+            site.dynIndex = d;
+            site.bit = b;
+            sites.push_back(site);
+        }
+    }
+    return sites;
+}
+
+} // namespace fsp::faults

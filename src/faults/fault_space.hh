@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Fault-space enumeration (the paper's Equation 1) and uniform random
+ * site sampling for baseline campaigns.
+ *
+ * FaultCoverage = sum over threads t, dynamic instructions i of
+ * bit(t, i), where bit(t, i) is the destination-register width of
+ * instruction i of thread t (0 for instructions without a destination).
+ */
+
+#ifndef FSP_FAULTS_FAULT_SPACE_HH
+#define FSP_FAULTS_FAULT_SPACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "faults/fault_site.hh"
+#include "sim/executor.hh"
+#include "util/prng.hh"
+
+namespace fsp::faults {
+
+/**
+ * The enumerated fault space of one kernel launch: per-thread profiles
+ * (iCnt and fault-bit totals) from a single fault-free profiling run,
+ * plus the Eq. 1 total.
+ */
+class FaultSpace
+{
+  public:
+    /**
+     * Profile the launch (one fault-free run with per-thread summaries).
+     *
+     * @param executor configured kernel launch.
+     * @param image pristine initialised global memory (copied).
+     */
+    FaultSpace(const sim::Executor &executor,
+               const sim::GlobalMemory &image);
+
+    /** Eq. 1 total number of fault sites. */
+    std::uint64_t totalSites() const { return total_sites_; }
+
+    /** Threads in the launch. */
+    std::uint64_t threadCount() const { return profiles_.size(); }
+
+    /** Total dynamic instructions across all threads. */
+    std::uint64_t totalDynInstrs() const { return total_dyn_; }
+
+    /** Per-thread profiles indexed by global thread id. */
+    const std::vector<sim::ThreadProfile> &profiles() const
+    {
+        return profiles_;
+    }
+
+    /**
+     * Draw @p count fault sites uniformly at random from the entire
+     * space (with replacement), the sampling model of the statistical
+     * baseline (paper section II-D).  Internally performs one traced
+     * profiling run covering every distinct sampled thread to map
+     * bit offsets onto (dynamic instruction, bit) pairs.
+     */
+    std::vector<FaultSite> sampleSites(std::size_t count, Prng &prng) const;
+
+    /**
+     * Enumerate every fault site of one thread (requires a traced run;
+     * used for exhaustive per-thread injection in the pruning stages).
+     */
+    std::vector<FaultSite>
+    threadSites(std::uint64_t thread,
+                const std::vector<sim::DynRecord> &trace) const;
+
+  private:
+    const sim::Executor &executor_;
+    const sim::GlobalMemory &image_;
+    std::vector<sim::ThreadProfile> profiles_;
+    std::vector<std::uint64_t> cumulative_bits_; ///< prefix sums
+    std::uint64_t total_sites_ = 0;
+    std::uint64_t total_dyn_ = 0;
+};
+
+} // namespace fsp::faults
+
+#endif // FSP_FAULTS_FAULT_SPACE_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fault injector implementation.
+ */
+
+#include "faults/injector.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace fsp::faults {
+
+sim::LaunchConfig
+Injector::budgetedConfig(const sim::LaunchConfig &config)
+{
+    // Golden run with a generous default budget; must complete.
+    sim::Executor golden_exec(program_, config);
+    sim::GlobalMemory scratch = image_;
+    sim::TraceOptions opts;
+    opts.perThreadProfiles = true;
+    sim::RunResult golden = golden_exec.run(scratch, &opts);
+    if (golden.status != sim::RunStatus::Completed)
+        fatal("golden run failed: ", golden.diagnostic);
+
+    for (const auto &p : golden.trace.profiles)
+        golden_max_icnt_ = std::max(golden_max_icnt_, p.iCnt);
+
+    golden_outputs_ = captureOutputs(scratch, outputs_);
+
+    // A corrupted loop counter can legitimately lengthen execution; the
+    // hang threshold is several times the longest golden thread plus a
+    // fixed slack so short kernels are not flagged spuriously.
+    sim::LaunchConfig budgeted = config;
+    budgeted.maxDynInstrPerThread = 4 * golden_max_icnt_ + 4096;
+    return budgeted;
+}
+
+Injector::Injector(const sim::Program &program,
+                   const sim::LaunchConfig &config,
+                   const sim::GlobalMemory &image,
+                   std::vector<OutputRegion> outputs)
+    : program_(program), image_(image), outputs_(std::move(outputs)),
+      executor_(program_, budgetedConfig(config)), scratch_(image_)
+{
+}
+
+Outcome
+Injector::inject(const FaultSite &site)
+{
+    scratch_ = image_;
+    sim::FaultPlan plan = site.toPlan();
+    sim::RunResult result = executor_.run(scratch_, nullptr, &plan);
+    runs_++;
+
+    if (result.status != sim::RunStatus::Completed)
+        return Outcome::Other;
+
+    if (!plan.applied) {
+        // The target dynamic instruction performed no destination write
+        // (possible only if injection targeted a site outside the
+        // enumerated space); the run is trivially fault-free.
+        warn("fault plan not applied: thread ", site.thread, " dyn ",
+             site.dynIndex, " bit ", site.bit);
+        return Outcome::Masked;
+    }
+
+    auto test_outputs = captureOutputs(scratch_, outputs_);
+    return outputsMatch(outputs_, golden_outputs_, test_outputs)
+               ? Outcome::Masked
+               : Outcome::SDC;
+}
+
+} // namespace fsp::faults

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The fault injector: runs one kernel launch per fault site against a
+ * pristine memory image and classifies the outcome against the golden
+ * (fault-free) output.
+ */
+
+#ifndef FSP_FAULTS_INJECTOR_HH
+#define FSP_FAULTS_INJECTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "faults/fault_site.hh"
+#include "faults/outcome.hh"
+#include "faults/output_spec.hh"
+#include "sim/executor.hh"
+
+namespace fsp::faults {
+
+/**
+ * Injects single-bit destination-register faults and classifies run
+ * outcomes.  Construction performs the golden run (which must complete)
+ * and derives the hang-detection budget from the observed per-thread
+ * dynamic instruction counts.
+ */
+class Injector
+{
+  public:
+    /**
+     * @param program decoded kernel (must outlive the injector).
+     * @param config launch configuration.
+     * @param image pristine initialised global memory (copied; restored
+     *        before every injection).
+     * @param outputs the application's output regions.
+     */
+    Injector(const sim::Program &program, const sim::LaunchConfig &config,
+             const sim::GlobalMemory &image,
+             std::vector<OutputRegion> outputs);
+
+    /** Inject one fault and classify the outcome. */
+    Outcome inject(const FaultSite &site);
+
+    /** Total injection runs performed so far. */
+    std::uint64_t runsPerformed() const { return runs_; }
+
+    /** Maximum golden per-thread iCnt (budget basis). */
+    std::uint64_t goldenMaxICnt() const { return golden_max_icnt_; }
+
+    /** The executor used for injection runs (with hang budget set). */
+    const sim::Executor &executor() const { return executor_; }
+
+    /** The pristine memory image. */
+    const sim::GlobalMemory &image() const { return image_; }
+
+  private:
+    sim::LaunchConfig budgetedConfig(const sim::LaunchConfig &config);
+
+    // NOTE: golden_max_icnt_ and golden_outputs_ are declared before
+    // executor_ because budgetedConfig() -- invoked while initialising
+    // executor_ -- performs the golden run and fills them in.
+    const sim::Program &program_;
+    sim::GlobalMemory image_;
+    std::vector<OutputRegion> outputs_;
+    std::uint64_t golden_max_icnt_ = 0;
+    std::vector<std::vector<std::uint8_t>> golden_outputs_;
+    sim::Executor executor_;
+    sim::GlobalMemory scratch_;
+    std::uint64_t runs_ = 0;
+};
+
+} // namespace fsp::faults
+
+#endif // FSP_FAULTS_INJECTOR_HH

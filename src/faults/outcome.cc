@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Outcome tally implementation.
+ */
+
+#include "faults/outcome.hh"
+
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace fsp::faults {
+
+std::string
+outcomeName(Outcome outcome)
+{
+    switch (outcome) {
+      case Outcome::Masked: return "masked";
+      case Outcome::SDC: return "sdc";
+      case Outcome::Other: return "other";
+    }
+    panic("unreachable Outcome");
+}
+
+void
+OutcomeDist::add(Outcome outcome, double weight)
+{
+    addWeight(outcome, weight);
+    runs_++;
+}
+
+void
+OutcomeDist::addWeight(Outcome outcome, double weight)
+{
+    FSP_ASSERT(weight >= 0.0, "negative outcome weight");
+    switch (outcome) {
+      case Outcome::Masked:
+        masked_ += weight;
+        break;
+      case Outcome::SDC:
+        sdc_ += weight;
+        break;
+      case Outcome::Other:
+        other_ += weight;
+        break;
+    }
+}
+
+void
+OutcomeDist::merge(const OutcomeDist &other)
+{
+    masked_ += other.masked_;
+    sdc_ += other.sdc_;
+    other_ += other.other_;
+    runs_ += other.runs_;
+}
+
+double
+OutcomeDist::weightOf(Outcome outcome) const
+{
+    switch (outcome) {
+      case Outcome::Masked: return masked_;
+      case Outcome::SDC: return sdc_;
+      case Outcome::Other: return other_;
+    }
+    panic("unreachable Outcome");
+}
+
+double
+OutcomeDist::fraction(Outcome outcome) const
+{
+    double t = total();
+    return t > 0.0 ? weightOf(outcome) / t : 0.0;
+}
+
+std::vector<double>
+OutcomeDist::fractions() const
+{
+    return {fraction(Outcome::Masked), fraction(Outcome::SDC),
+            fraction(Outcome::Other)};
+}
+
+std::string
+OutcomeDist::summary() const
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "masked %6.2f%% | sdc %6.2f%% | other %6.2f%%  (n=%llu)",
+                  100.0 * fraction(Outcome::Masked),
+                  100.0 * fraction(Outcome::SDC),
+                  100.0 * fraction(Outcome::Other),
+                  static_cast<unsigned long long>(runs_));
+    return buf;
+}
+
+} // namespace fsp::faults

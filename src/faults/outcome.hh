@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fault-injection outcome classification (paper section II-B): an
+ * injected fault is masked (output unchanged), causes silent data
+ * corruption (run completes, output wrong), or "other" (crash or hang).
+ * The distribution over the three classes is the application's error
+ * resilience profile.
+ */
+
+#ifndef FSP_FAULTS_OUTCOME_HH
+#define FSP_FAULTS_OUTCOME_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fsp::faults {
+
+/** The three outcome classes. */
+enum class Outcome : std::uint8_t
+{
+    Masked,
+    SDC,
+    Other, ///< crash or hang
+};
+
+std::string outcomeName(Outcome outcome);
+
+/**
+ * Weighted tally of outcomes; the error resilience profile is the
+ * normalised distribution.  Weights default to 1 (plain counting) and
+ * carry pruning extrapolation factors otherwise.
+ */
+class OutcomeDist
+{
+  public:
+    /** Record one experiment with the given weight. */
+    void add(Outcome outcome, double weight = 1.0);
+
+    /**
+     * Fold weight into a bucket without counting an experiment (used
+     * for weight pruned analytically, e.g. predicate bits accounted as
+     * masked without injection).
+     */
+    void addWeight(Outcome outcome, double weight);
+
+    /** Merge another tally into this one. */
+    void merge(const OutcomeDist &other);
+
+    /** Total recorded weight. */
+    double total() const { return masked_ + sdc_ + other_; }
+
+    /** Number of add() calls (unweighted run count). */
+    std::uint64_t runs() const { return runs_; }
+
+    double weightOf(Outcome outcome) const;
+
+    /** Fraction of total weight in @p outcome; 0 when empty. */
+    double fraction(Outcome outcome) const;
+
+    /** {masked, sdc, other} fractions, for distribution distances. */
+    std::vector<double> fractions() const;
+
+    /** "masked 62.10% | sdc 30.05% | other 7.85%  (n=...)". */
+    std::string summary() const;
+
+  private:
+    double masked_ = 0.0;
+    double sdc_ = 0.0;
+    double other_ = 0.0;
+    std::uint64_t runs_ = 0;
+};
+
+} // namespace fsp::faults
+
+#endif // FSP_FAULTS_OUTCOME_HH

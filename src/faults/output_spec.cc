@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Output capture and tolerance-aware comparison.
+ */
+
+#include "faults/output_spec.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <type_traits>
+
+#include "util/logging.hh"
+
+namespace fsp::faults {
+
+std::vector<std::vector<std::uint8_t>>
+captureOutputs(const sim::GlobalMemory &memory,
+               const std::vector<OutputRegion> &regions)
+{
+    std::vector<std::vector<std::uint8_t>> captured;
+    captured.reserve(regions.size());
+    for (const auto &region : regions)
+        captured.push_back(memory.snapshot(region.addr, region.bytes));
+    return captured;
+}
+
+namespace {
+
+template <typename T>
+bool
+elementsMatch(const std::uint8_t *a, const std::uint8_t *b,
+              std::size_t bytes, double tolerance)
+{
+    std::size_t count = bytes / sizeof(T);
+    for (std::size_t i = 0; i < count; ++i) {
+        T va, vb;
+        std::memcpy(&va, a + i * sizeof(T), sizeof(T));
+        std::memcpy(&vb, b + i * sizeof(T), sizeof(T));
+        if constexpr (std::is_floating_point_v<T>) {
+            if (va == vb)
+                continue;
+            if (std::isnan(va) || std::isnan(vb) || std::isinf(va) ||
+                std::isinf(vb)) {
+                return false;
+            }
+            double da = va, db = vb;
+            double scale = std::max({1.0, std::fabs(da), std::fabs(db)});
+            if (std::fabs(da - db) > tolerance * scale)
+                return false;
+        } else {
+            if (va != vb)
+                return false;
+        }
+    }
+    // Tail bytes (if the region is not a multiple of the element size)
+    // are compared exactly.
+    std::size_t tail = bytes % sizeof(T);
+    return std::memcmp(a + bytes - tail, b + bytes - tail, tail) == 0;
+}
+
+} // namespace
+
+bool
+outputsMatch(const std::vector<OutputRegion> &regions,
+             const std::vector<std::vector<std::uint8_t>> &golden,
+             const std::vector<std::vector<std::uint8_t>> &test)
+{
+    FSP_ASSERT(golden.size() == regions.size() &&
+                   test.size() == regions.size(),
+               "output capture arity mismatch");
+    for (std::size_t r = 0; r < regions.size(); ++r) {
+        const auto &region = regions[r];
+        const auto &g = golden[r];
+        const auto &t = test[r];
+        FSP_ASSERT(g.size() == region.bytes && t.size() == region.bytes,
+                   "output capture size mismatch");
+        bool ok = true;
+        switch (region.type) {
+          case ElemType::U32:
+            ok = elementsMatch<std::uint32_t>(g.data(), t.data(), g.size(),
+                                              0.0);
+            break;
+          case ElemType::F32:
+            if (region.tolerance == 0.0) {
+                ok = std::memcmp(g.data(), t.data(), g.size()) == 0;
+            } else {
+                ok = elementsMatch<float>(g.data(), t.data(), g.size(),
+                                          region.tolerance);
+            }
+            break;
+          case ElemType::F64:
+            if (region.tolerance == 0.0) {
+                ok = std::memcmp(g.data(), t.data(), g.size()) == 0;
+            } else {
+                ok = elementsMatch<double>(g.data(), t.data(), g.size(),
+                                           region.tolerance);
+            }
+            break;
+          case ElemType::Raw:
+            ok = std::memcmp(g.data(), t.data(), g.size()) == 0;
+            break;
+        }
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+} // namespace fsp::faults

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Application output specification.  Each workload declares the global
+ * memory regions that constitute its output, with an element type and a
+ * comparison tolerance; the injector classifies a run as masked/SDC by
+ * comparing those regions against the golden image.
+ */
+
+#ifndef FSP_FAULTS_OUTPUT_SPEC_HH
+#define FSP_FAULTS_OUTPUT_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/memory.hh"
+
+namespace fsp::faults {
+
+/** Element interpretation for tolerance-aware comparison. */
+enum class ElemType : std::uint8_t
+{
+    U32, ///< exact 32-bit integer compare
+    F32, ///< float compare with tolerance
+    F64, ///< double compare with tolerance
+    Raw, ///< exact byte compare
+};
+
+/** One output region in global memory. */
+struct OutputRegion
+{
+    std::string name;        ///< human-readable (diagnostics)
+    std::uint64_t addr = 0;  ///< device address
+    std::uint64_t bytes = 0; ///< region length
+    ElemType type = ElemType::Raw;
+
+    /**
+     * Relative tolerance for float/double elements: values match when
+     * |a-b| <= tolerance * max(1, |a|, |b|).  0 demands bit equality.
+     */
+    double tolerance = 0.0;
+};
+
+/** Captured output bytes of all regions of one run. */
+std::vector<std::vector<std::uint8_t>>
+captureOutputs(const sim::GlobalMemory &memory,
+               const std::vector<OutputRegion> &regions);
+
+/**
+ * Compare a run's outputs against the golden capture.
+ *
+ * @return true when every region matches within tolerance.
+ */
+bool outputsMatch(const std::vector<OutputRegion> &regions,
+                  const std::vector<std::vector<std::uint8_t>> &golden,
+                  const std::vector<std::vector<std::uint8_t>> &test);
+
+} // namespace fsp::faults
+
+#endif // FSP_FAULTS_OUTPUT_SPEC_HH

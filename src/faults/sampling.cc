@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Implementation of Equations 2-4.
+ */
+
+#include "faults/sampling.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace fsp::faults {
+
+double
+requiredSamplesFinite(double population, double error_margin,
+                      double t_statistic, double p)
+{
+    FSP_ASSERT(population >= 1.0, "population must be positive");
+    FSP_ASSERT(error_margin > 0.0, "error margin must be positive");
+    FSP_ASSERT(p > 0.0 && p < 1.0, "p must be in (0,1)");
+    double denom = 1.0 + error_margin * error_margin * (population - 1.0) /
+                             (t_statistic * t_statistic * p * (1.0 - p));
+    return population / denom;
+}
+
+double
+requiredSamplesInfinite(double error_margin, double t_statistic, double p)
+{
+    FSP_ASSERT(error_margin > 0.0, "error margin must be positive");
+    FSP_ASSERT(p > 0.0 && p < 1.0, "p must be in (0,1)");
+    return t_statistic * t_statistic / (error_margin * error_margin) * p *
+           (1.0 - p);
+}
+
+std::uint64_t
+requiredSamplesWorstCase(double confidence, double error_margin)
+{
+    double t = normalTwoSidedCritical(confidence);
+    double n = t * t / (4.0 * error_margin * error_margin);
+    return static_cast<std::uint64_t>(std::ceil(n));
+}
+
+} // namespace fsp::faults

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Statistical sample sizing for fault-injection campaigns, following
+ * Leveugle et al. (the paper's Equations 2-4): how many randomly drawn
+ * fault sites are needed for a target confidence interval and error
+ * margin on the masked-output fraction.
+ */
+
+#ifndef FSP_FAULTS_SAMPLING_HH
+#define FSP_FAULTS_SAMPLING_HH
+
+#include <cstdint>
+
+namespace fsp::faults {
+
+/**
+ * Equation 2: required samples from a finite population.
+ *
+ * n = N / (1 + e^2 * (N-1) / (t^2 * p * (1-p)))
+ *
+ * @param population N, the number of exhaustive fault sites.
+ * @param error_margin e, e.g. 0.03 for +/-3%.
+ * @param t_statistic two-sided critical value for the confidence level.
+ * @param p program vulnerability factor estimate in (0,1).
+ */
+double requiredSamplesFinite(double population, double error_margin,
+                             double t_statistic, double p);
+
+/**
+ * Equation 3: the N -> infinity limit of Equation 2.
+ *
+ * n = t^2 / e^2 * p * (1-p)
+ */
+double requiredSamplesInfinite(double error_margin, double t_statistic,
+                               double p);
+
+/**
+ * Equation 4: the worst case over unknown p (p = 0.5 maximises
+ * p*(1-p)), i.e. n = t^2 / (4 e^2), rounded up.
+ *
+ * @param confidence two-sided confidence level in (0,1), e.g. 0.998.
+ * @param error_margin e.
+ */
+std::uint64_t requiredSamplesWorstCase(double confidence,
+                                       double error_margin);
+
+} // namespace fsp::faults
+
+#endif // FSP_FAULTS_SAMPLING_HH

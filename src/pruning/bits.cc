@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Bit-position sampling implementation.
+ */
+
+#include "pruning/bits.hh"
+
+#include "util/logging.hh"
+
+namespace fsp::pruning {
+
+std::vector<std::uint32_t>
+sampledBitPositions(unsigned width, unsigned samples)
+{
+    FSP_ASSERT(width > 0, "zero-width register");
+    std::vector<std::uint32_t> positions;
+    if (samples == 0 || samples >= width) {
+        positions.reserve(width);
+        for (unsigned b = 0; b < width; ++b)
+            positions.push_back(b);
+        return positions;
+    }
+
+    // Equal strides, one position at the top of each stride, so the
+    // most significant bit is always sampled (the paper's selection
+    // pattern {3,7,...,31} for 8 of 32).
+    unsigned stride = width / samples;
+    if (stride * samples < width)
+        stride++;
+    for (unsigned b = stride - 1; b < width; b += stride)
+        positions.push_back(b);
+    // Rounding with non-dividing widths can drop the last stride; make
+    // sure the MSB is present.
+    if (positions.empty() || positions.back() != width - 1)
+        positions.push_back(width - 1);
+    return positions;
+}
+
+BitPruningResult
+applyBitPruning(const std::vector<ThreadPlan> &plans, unsigned bit_samples,
+                bool pred_zero_flag_only)
+{
+    BitPruningResult result;
+
+    for (const auto &plan : plans) {
+        for (std::size_t j = 0; j < plan.trace.size(); ++j) {
+            double w = plan.weight[j];
+            unsigned bits = plan.trace[j].destBits;
+            if (w <= 0.0 || bits == 0)
+                continue;
+
+            if (bits == 4 && pred_zero_flag_only) {
+                // Predicate CC register: inject the zero flag, account
+                // the sign/carry/overflow flags as masked (paper
+                // section III-E: only the zero flag feeds branches).
+                faults::WeightedSite site;
+                site.site.thread = plan.thread;
+                site.site.dynIndex = j;
+                site.site.bit = 0;
+                site.weight = w;
+                result.sites.push_back(site);
+                result.assumedMaskedWeight += 3.0 * w;
+                continue;
+            }
+
+            auto positions = sampledBitPositions(bits, bit_samples);
+            double factor = static_cast<double>(bits) /
+                            static_cast<double>(positions.size());
+            for (std::uint32_t b : positions) {
+                faults::WeightedSite site;
+                site.site.thread = plan.thread;
+                site.site.dynIndex = j;
+                site.site.bit = b;
+                site.weight = w * factor;
+                result.sites.push_back(site);
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace fsp::pruning

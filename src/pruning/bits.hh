@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Bit-wise pruning (paper section III-E).
+ *
+ * Not every destination-register bit needs an injection: the outcome
+ * distribution as a function of bit position is smooth enough that a
+ * set of equally spaced sample positions (the paper settles on 16 of
+ * 32) reproduces it.  Predicate (condition-code) registers are special:
+ * of their four flags only the zero flag feeds branch decisions in the
+ * studied applications, so the other three can be pruned outright and
+ * accounted as masked.
+ */
+
+#ifndef FSP_PRUNING_BITS_HH
+#define FSP_PRUNING_BITS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "faults/fault_site.hh"
+#include "pruning/thread_plan.hh"
+
+namespace fsp::pruning {
+
+/**
+ * Equally spaced sampled bit positions for a @p width -bit register
+ * and a budget of @p samples positions (paper example: 2 per 8-bit
+ * section of a 32-bit register selects {3,7,11,15,19,23,27,31}).
+ * When samples is 0 or >= width every position is returned.
+ */
+std::vector<std::uint32_t> sampledBitPositions(unsigned width,
+                                               unsigned samples);
+
+/** Result of the bit-wise expansion: the final weighted site list. */
+struct BitPruningResult
+{
+    std::vector<faults::WeightedSite> sites;
+
+    /**
+     * Weight pruned as known-masked without injection (the three
+     * non-zero-flag predicate bits when predZeroFlagOnly is set).
+     */
+    double assumedMaskedWeight = 0.0;
+};
+
+/**
+ * Expand surviving plan instructions into weighted bit-level fault
+ * sites.
+ *
+ * @param plans plans after the earlier stages.
+ * @param bit_samples sampled positions per register (0 = all bits).
+ * @param pred_zero_flag_only prune the 3 non-zero-flag predicate bits
+ *        as masked (4-bit destinations).
+ */
+BitPruningResult applyBitPruning(const std::vector<ThreadPlan> &plans,
+                                 unsigned bit_samples,
+                                 bool pred_zero_flag_only);
+
+} // namespace fsp::pruning
+
+#endif // FSP_PRUNING_BITS_HH

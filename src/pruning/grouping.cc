@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Implementation of CTA-wise and thread-wise grouping.
+ */
+
+#include "pruning/grouping.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.hh"
+
+namespace fsp::pruning {
+
+std::uint64_t
+ThreadwisePruning::representativeCount() const
+{
+    std::uint64_t count = 0;
+    for (const auto &cg : ctaGroups)
+        for (const auto &tg : cg.threadGroups)
+            count += tg.representatives.size();
+    return count;
+}
+
+std::uint64_t
+ThreadwisePruning::sitesAfterPruning() const
+{
+    std::uint64_t sites = 0;
+    for (const auto &cg : ctaGroups)
+        for (const auto &tg : cg.threadGroups)
+            sites += tg.representativeBits;
+    return sites;
+}
+
+std::vector<const ThreadGroup *>
+ThreadwisePruning::allGroups() const
+{
+    std::vector<const ThreadGroup *> groups;
+    for (const auto &cg : ctaGroups)
+        for (const auto &tg : cg.threadGroups)
+            groups.push_back(&tg);
+    return groups;
+}
+
+ThreadwisePruning
+pruneThreads(const faults::FaultSpace &space, std::uint64_t block_threads,
+             Prng &prng, unsigned reps_per_group)
+{
+    FSP_ASSERT(reps_per_group >= 1, "need at least one representative");
+    const auto &profiles = space.profiles();
+    FSP_ASSERT(block_threads > 0, "empty CTA");
+    FSP_ASSERT(profiles.size() % block_threads == 0,
+               "thread count not a multiple of CTA size");
+    const std::uint64_t num_ctas = profiles.size() / block_threads;
+
+    ThreadwisePruning result;
+    result.blockThreads = block_threads;
+
+    // --- CTA-wise grouping: key = total iCnt of the CTA's threads.
+    // (Equal totals with equal thread counts means equal averages, the
+    // paper's classifier, without floating-point key fragility.)
+    std::map<std::uint64_t, std::vector<std::uint64_t>> cta_by_total;
+    std::vector<std::uint64_t> cta_total(num_ctas, 0);
+    for (std::uint64_t cta = 0; cta < num_ctas; ++cta) {
+        std::uint64_t total = 0;
+        for (std::uint64_t t = 0; t < block_threads; ++t)
+            total += profiles[cta * block_threads + t].iCnt;
+        cta_total[cta] = total;
+        cta_by_total[total].push_back(cta);
+    }
+
+    Prng cta_prng = prng.fork("cta-representatives");
+    Prng thread_prng = prng.fork("thread-representatives");
+
+    for (const auto &[total, ctas] : cta_by_total) {
+        CtaGroup group;
+        group.totalICnt = total;
+        group.avgICnt = static_cast<double>(total) /
+                        static_cast<double>(block_threads);
+        group.ctas = ctas;
+        group.representativeCta =
+            ctas[cta_prng.below(ctas.size())];
+
+        // --- Thread-wise grouping within the CTA group: key = exact
+        // iCnt, members collected across every CTA of the group so the
+        // extrapolation weights cover the whole group.
+        std::map<std::uint64_t, ThreadGroup> by_icnt;
+        for (std::uint64_t cta : ctas) {
+            for (std::uint64_t t = 0; t < block_threads; ++t) {
+                std::uint64_t tid = cta * block_threads + t;
+                ThreadGroup &tg = by_icnt[profiles[tid].iCnt];
+                tg.iCnt = profiles[tid].iCnt;
+                tg.threads.push_back(tid);
+                tg.groupFaultBits += profiles[tid].faultBits;
+            }
+        }
+
+        // Representatives: random members inside the representative
+        // CTA when the group has enough there, otherwise drawn from
+        // the whole group.
+        for (auto &[icnt, tg] : by_icnt) {
+            std::vector<std::uint64_t> in_rep_cta;
+            for (std::uint64_t tid : tg.threads) {
+                if (tid / block_threads == group.representativeCta)
+                    in_rep_cta.push_back(tid);
+            }
+            const auto &pool = in_rep_cta.size() >= reps_per_group
+                                   ? in_rep_cta
+                                   : tg.threads;
+            auto picks = thread_prng.sampleWithoutReplacement(
+                pool.size(), reps_per_group);
+            for (std::size_t pick : picks)
+                tg.representatives.push_back(pool[pick]);
+            tg.representative = tg.representatives.front();
+            tg.representativeBits =
+                profiles[tg.representative].faultBits;
+            group.threadGroups.push_back(std::move(tg));
+        }
+
+        result.ctaGroups.push_back(std::move(group));
+    }
+
+    return result;
+}
+
+} // namespace fsp::pruning

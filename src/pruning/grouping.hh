@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Thread-wise pruning (paper section III-B): the first and most
+ * effective pruning stage.
+ *
+ * CTAs are grouped by their per-thread dynamic-instruction-count (iCnt)
+ * composition -- the paper shows the average thread iCnt per CTA tracks
+ * the CTA's error-resilience boxplot (Figs. 2-3) -- and one
+ * representative CTA is chosen per group.  Threads are then grouped by
+ * exact iCnt across each CTA group, and one representative thread is
+ * injected per group.  The grouping is hierarchical because threads
+ * with equal iCnt in different CTA groups may execute different code
+ * (observed in HotSpot and Gaussian K2; paper section III-B2).
+ */
+
+#ifndef FSP_PRUNING_GROUPING_HH
+#define FSP_PRUNING_GROUPING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "faults/fault_space.hh"
+#include "util/prng.hh"
+
+namespace fsp::pruning {
+
+/** A group of threads with identical iCnt within one CTA group. */
+struct ThreadGroup
+{
+    std::uint64_t iCnt = 0;                ///< exact iCnt key
+    std::vector<std::uint64_t> threads;    ///< member global thread ids
+    std::uint64_t representative = 0;      ///< primary chosen member
+    std::vector<std::uint64_t> representatives; ///< all chosen members
+    std::uint64_t groupFaultBits = 0;      ///< Eq. 1 bits of all members
+    std::uint64_t representativeBits = 0;  ///< Eq. 1 bits of the rep
+
+    /** Extrapolation weight carried by each primary-rep site. */
+    double
+    weight() const
+    {
+        return representativeBits > 0
+                   ? static_cast<double>(groupFaultBits) /
+                         static_cast<double>(representativeBits)
+                   : 0.0;
+    }
+};
+
+/** A group of CTAs with identical total thread iCnt. */
+struct CtaGroup
+{
+    std::uint64_t totalICnt = 0;        ///< per-CTA iCnt sum (group key)
+    double avgICnt = 0.0;               ///< average thread iCnt
+    std::vector<std::uint64_t> ctas;    ///< member CTA linear ids
+    std::uint64_t representativeCta = 0;
+    std::vector<ThreadGroup> threadGroups;
+};
+
+/** Result of the thread-wise pruning stage. */
+struct ThreadwisePruning
+{
+    std::vector<CtaGroup> ctaGroups;
+    std::uint64_t blockThreads = 0; ///< threads per CTA
+
+    /** Total representative threads across all groups. */
+    std::uint64_t representativeCount() const;
+
+    /** Fault sites remaining after thread-wise pruning. */
+    std::uint64_t sitesAfterPruning() const;
+
+    /** Flat view of every thread group. */
+    std::vector<const ThreadGroup *> allGroups() const;
+};
+
+/**
+ * Perform CTA-wise and thread-wise grouping from fault-space profiles.
+ *
+ * @param space enumerated fault space (profiles for every thread).
+ * @param block_threads threads per CTA.
+ * @param prng source of randomness for representative selection.
+ * @param reps_per_group representatives ("pilots") chosen per thread
+ *        group.  The paper uses 1; more pilots trade injections for
+ *        lower single-thread sampling variance (Relyzer-style).
+ */
+ThreadwisePruning pruneThreads(const faults::FaultSpace &space,
+                               std::uint64_t block_threads, Prng &prng,
+                               unsigned reps_per_group = 1);
+
+} // namespace fsp::pruning
+
+#endif // FSP_PRUNING_GROUPING_HH

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Implementation of instruction-wise pruning.
+ */
+
+#include "pruning/instr_common.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace fsp::pruning {
+
+TraceAlignment
+alignTraces(const std::vector<sim::DynRecord> &base,
+            const std::vector<sim::DynRecord> &other)
+{
+    // Records align when they are the same static instruction; a guard
+    // outcome difference (destBits mismatch) does not break the
+    // alignment -- weight folding is gated on equal widths separately.
+    auto match = [](const sim::DynRecord &a, const sim::DynRecord &b) {
+        return a.staticIndex == b.staticIndex;
+    };
+
+    TraceAlignment alignment;
+    std::size_t limit = std::min(base.size(), other.size());
+
+    while (alignment.prefixLen < limit &&
+           match(base[alignment.prefixLen], other[alignment.prefixLen])) {
+        alignment.prefixLen++;
+    }
+
+    std::size_t suffix_limit = limit - alignment.prefixLen;
+    while (alignment.suffixLen < suffix_limit &&
+           match(base[base.size() - 1 - alignment.suffixLen],
+                 other[other.size() - 1 - alignment.suffixLen])) {
+        alignment.suffixLen++;
+    }
+    return alignment;
+}
+
+InstrPruningStats
+applyInstructionPruning(std::vector<ThreadPlan> &plans, double similarity)
+{
+    InstrPruningStats stats;
+    if (plans.size() < 2)
+        return stats;
+
+    // Process plans heaviest-first (ties broken by thread id for
+    // determinism); each plan may fold into the best-matching earlier
+    // (heavier or equal) plan.  Direction matters: folding transfers
+    // the folded plan's outcome estimation onto its partner, so the
+    // rare classes must fold into the dominant ones -- never the other
+    // way around -- to bound the extrapolation weight at risk.
+    auto plan_weight = [&](std::size_t i) {
+        return plans[i].representedWeight();
+    };
+    std::vector<std::size_t> order(plans.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  double wa = plan_weight(a), wb = plan_weight(b);
+                  if (wa != wb)
+                      return wa > wb;
+                  return plans[a].thread < plans[b].thread;
+              });
+
+    for (std::size_t oi = 1; oi < order.size(); ++oi) {
+        ThreadPlan &other = plans[order[oi]];
+        stats.candidateDynInstrs += other.trace.size();
+
+        // Best partner: the earlier plan sharing the longest common
+        // block that covers `similarity` of both traces.
+        std::size_t best_partner = order.size();
+        TraceAlignment best_alignment;
+        for (std::size_t bi = 0; bi < oi; ++bi) {
+            ThreadPlan &candidate = plans[order[bi]];
+            // Pilots of the same thread group exist precisely to be
+            // injected independently; never fold them together.
+            if (candidate.groupId == other.groupId)
+                continue;
+            TraceAlignment alignment =
+                alignTraces(candidate.trace, other.trace);
+            double common = static_cast<double>(alignment.commonLen());
+            if (common < similarity *
+                             static_cast<double>(candidate.trace.size()))
+                continue;
+            if (common <
+                similarity * static_cast<double>(other.trace.size()))
+                continue;
+            if (best_partner == order.size() ||
+                alignment.commonLen() > best_alignment.commonLen()) {
+                best_partner = bi;
+                best_alignment = alignment;
+            }
+        }
+        if (best_partner == order.size())
+            continue;
+
+        ThreadPlan &base = plans[order[best_partner]];
+        auto fold = [&](std::size_t oj, std::size_t bj) {
+            // Fold only when the destination widths agree (identical
+            // guard outcomes); a zero-width record has no sites and is
+            // pruned for free.
+            if (other.weight[oj] <= 0.0)
+                return;
+            if (other.trace[oj].destBits != base.trace[bj].destBits)
+                return;
+            base.weight[bj] += other.weight[oj];
+            other.weight[oj] = 0.0;
+            stats.prunedDynInstrs++;
+            stats.prunedSites += other.trace[oj].destBits;
+        };
+
+        // Fold the prefix: other's dyn j maps onto base's dyn j, and
+        // the suffix: other's (end-1-k) maps onto base's (end-1-k).
+        for (std::size_t j = 0; j < best_alignment.prefixLen; ++j)
+            fold(j, j);
+        for (std::size_t k = 0; k < best_alignment.suffixLen; ++k)
+            fold(other.trace.size() - 1 - k, base.trace.size() - 1 - k);
+    }
+
+    stats.applicable = stats.prunedDynInstrs > 0;
+    return stats;
+}
+
+} // namespace fsp::pruning

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Instruction-wise pruning (paper section III-C).
+ *
+ * Representative threads, being SIMT siblings, usually share long
+ * identical stretches of dynamic instructions (the paper's Fig. 5 shows
+ * two PathFinder threads differing only in a 17-instruction middle
+ * block).  Faults in a shared block have near-identical outcome
+ * distributions across the sharing threads, so the block needs to be
+ * injected only once: the base thread keeps its sites with the pruned
+ * threads' weights folded in, and the pruned threads keep only their
+ * distinctive middle sections.
+ */
+
+#ifndef FSP_PRUNING_INSTR_COMMON_HH
+#define FSP_PRUNING_INSTR_COMMON_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "pruning/thread_plan.hh"
+
+namespace fsp::pruning {
+
+/** Alignment of one thread's trace against the base thread's trace. */
+struct TraceAlignment
+{
+    std::size_t prefixLen = 0; ///< identical leading dyn instructions
+    std::size_t suffixLen = 0; ///< identical trailing dyn instructions
+
+    std::size_t
+    commonLen() const
+    {
+        return prefixLen + suffixLen;
+    }
+};
+
+/**
+ * Compute the common prefix/suffix alignment between two dynamic
+ * traces.  Records match when both the static instruction index and
+ * the recorded destination width (guard outcome) are equal.  Prefix
+ * and suffix never overlap.
+ */
+TraceAlignment alignTraces(const std::vector<sim::DynRecord> &base,
+                           const std::vector<sim::DynRecord> &other);
+
+/** Outcome statistics of the instruction-wise stage. */
+struct InstrPruningStats
+{
+    std::uint64_t prunedDynInstrs = 0;  ///< dyn instructions zeroed
+    std::uint64_t prunedSites = 0;      ///< fault sites zeroed
+    std::uint64_t candidateDynInstrs = 0; ///< instrs in non-base plans
+    bool applicable = false;            ///< >= 2 plans with commonality
+
+    double
+    prunedFraction() const
+    {
+        return candidateDynInstrs > 0
+                   ? static_cast<double>(prunedDynInstrs) /
+                         static_cast<double>(candidateDynInstrs)
+                   : 0.0;
+    }
+};
+
+/**
+ * Apply instruction-wise pruning in place.
+ *
+ * Plans are considered longest-first; each plan folds its common
+ * prefix/suffix into the best-matching longer plan, but only when the
+ * common block covers at least @p similarity of *both* traces.  This
+ * is the paper's applicability rule: kernels whose representatives are
+ * an early-exit thread plus a full thread (Gaussian K1/K2, K-Means K1)
+ * share code only where their behaviour diverges, so folding them
+ * would bias the estimate; threads that run essentially the same code
+ * (PathFinder's 516/533 pair, duplicate thread groups across CTA
+ * groups) fold safely.
+ *
+ * @param plans representative-thread plans (thread-wise weights set).
+ * @param similarity minimum common fraction of both traces (default
+ *        matches the paper's "large portion of common instructions").
+ * @return stage statistics (Table VI inputs).
+ */
+InstrPruningStats applyInstructionPruning(std::vector<ThreadPlan> &plans,
+                                          double similarity = 0.5);
+
+} // namespace fsp::pruning
+
+#endif // FSP_PRUNING_INSTR_COMMON_HH

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Loop detection and iteration sampling.
+ */
+
+#include "pruning/loops.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.hh"
+
+namespace fsp::pruning {
+
+std::vector<LoopInfo>
+detectLoops(const std::vector<sim::DynRecord> &trace,
+            const sim::Program &program)
+{
+    // Pass 1: find taken backward branches (back-edges).
+    // A bra at dyn j was taken iff the next record's static index is
+    // the branch target; it is a back-edge iff the target precedes it.
+    std::map<std::uint32_t, std::uint32_t> backedges; // bra -> header
+    for (std::size_t j = 0; j + 1 < trace.size(); ++j) {
+        const sim::Instruction &insn = program.at(trace[j].staticIndex);
+        if (insn.op != sim::Opcode::Bra)
+            continue;
+        auto target = static_cast<std::uint32_t>(insn.target);
+        if (target > trace[j].staticIndex)
+            continue;
+        if (trace[j + 1].staticIndex != target)
+            continue;
+        backedges[trace[j].staticIndex] = target;
+    }
+
+    std::vector<LoopInfo> loops;
+    for (const auto &[bra, header] : backedges) {
+        LoopInfo loop;
+        loop.headerStatic = header;
+        loop.branchStatic = bra;
+
+        // Iteration starts: every dynamic occurrence of the header.
+        std::vector<std::uint64_t> starts;
+        for (std::size_t j = 0; j < trace.size(); ++j) {
+            if (trace[j].staticIndex == header)
+                starts.push_back(j);
+        }
+
+        // Iteration k runs from its start until control leaves the
+        // loop's static span [header, bra] or the next start begins.
+        for (std::size_t k = 0; k < starts.size(); ++k) {
+            std::uint64_t begin = starts[k];
+            std::uint64_t hard_end =
+                k + 1 < starts.size() ? starts[k + 1] : trace.size();
+            std::uint64_t end = begin + 1;
+            while (end < hard_end && trace[end].staticIndex >= header &&
+                   trace[end].staticIndex <= bra) {
+                ++end;
+            }
+            loop.iterations.emplace_back(begin, end);
+        }
+        loops.push_back(std::move(loop));
+    }
+
+    // Outermost-first: larger static spans sort earlier.
+    std::sort(loops.begin(), loops.end(),
+              [](const LoopInfo &a, const LoopInfo &b) {
+                  std::uint32_t sa = a.branchStatic - a.headerStatic;
+                  std::uint32_t sb = b.branchStatic - b.headerStatic;
+                  if (sa != sb)
+                      return sa > sb;
+                  return a.headerStatic < b.headerStatic;
+              });
+    return loops;
+}
+
+LoopStats
+analyzeLoops(const std::vector<sim::DynRecord> &trace,
+             const sim::Program &program)
+{
+    LoopStats stats;
+    stats.totalDynInstrs = trace.size();
+
+    auto loops = detectLoops(trace, program);
+    for (const auto &loop : loops)
+        stats.loopIterations += loop.iterations.size();
+
+    // Instructions "in loops" count each dynamic instruction once, via
+    // the outermost loops only (inner spans nest inside them).
+    for (std::size_t i = 0; i < loops.size(); ++i) {
+        bool outermost = true;
+        for (std::size_t k = 0; k < loops.size(); ++k) {
+            if (k != i && loops[i].nestedIn(loops[k]))
+                outermost = false;
+        }
+        if (outermost)
+            stats.dynInstrsInLoops += loops[i].dynInstrs();
+    }
+    return stats;
+}
+
+LoopPruningStats
+applyLoopPruning(ThreadPlan &plan, const sim::Program &program,
+                 unsigned num_iter, Prng &prng)
+{
+    LoopPruningStats stats;
+    if (num_iter == 0)
+        return stats;
+
+    auto loops = detectLoops(plan.trace, program);
+
+    for (const auto &loop : loops) {
+        // Iterations still alive after earlier stages / outer loops.
+        std::vector<std::size_t> alive;
+        for (std::size_t k = 0; k < loop.iterations.size(); ++k) {
+            const auto &[begin, end] = loop.iterations[k];
+            for (std::uint64_t j = begin; j < end; ++j) {
+                if (plan.weight[j] > 0.0) {
+                    alive.push_back(k);
+                    break;
+                }
+            }
+        }
+        stats.iterationsTotal += loop.iterations.size();
+
+        if (alive.size() <= num_iter) {
+            stats.iterationsKept += alive.size();
+            continue;
+        }
+        stats.loopsSampled++;
+        stats.iterationsKept += num_iter;
+
+        // Stratified selection: the first and last live iterations are
+        // always kept at their own weight (loop boundary iterations are
+        // systematically different -- values written in the final
+        // iteration are often dead, making it far more masked than the
+        // steady-state body); the remaining budget samples the middle
+        // stratum uniformly.
+        std::vector<bool> keep(alive.size(), false);
+        std::vector<bool> certain(alive.size(), false);
+        std::size_t middle_budget = num_iter;
+        if (num_iter >= 3 && alive.size() >= 3) {
+            keep.front() = certain.front() = true;
+            keep.back() = certain.back() = true;
+            middle_budget = num_iter - 2;
+            auto chosen = prng.sampleWithoutReplacement(alive.size() - 2,
+                                                        middle_budget);
+            for (std::size_t c : chosen)
+                keep[c + 1] = true;
+        } else {
+            auto chosen =
+                prng.sampleWithoutReplacement(alive.size(), num_iter);
+            for (std::size_t c : chosen)
+                keep[c] = true;
+        }
+
+        // Rescale the sampled stratum by represented weight, not by
+        // iteration count: when iterations carry unequal numbers of
+        // live sites (triangular loop nests, guard-divergent bodies),
+        // a count-based factor would not conserve the total
+        // represented weight for the actual draw.  The weight-based
+        // factor conserves it exactly.
+        auto span_weight = [&](std::size_t a) {
+            const auto &[begin, end] = loop.iterations[alive[a]];
+            double w = 0.0;
+            for (std::uint64_t j = begin; j < end; ++j) {
+                if (plan.weight[j] > 0.0)
+                    w += plan.weight[j] * plan.trace[j].destBits;
+            }
+            return w;
+        };
+        double sampled_weight = 0.0, kept_weight = 0.0;
+        for (std::size_t a = 0; a < alive.size(); ++a) {
+            if (certain[a])
+                continue;
+            double w = span_weight(a);
+            sampled_weight += w;
+            if (keep[a])
+                kept_weight += w;
+        }
+        if (kept_weight <= 0.0 && sampled_weight > 0.0) {
+            // Degenerate draw (only zero-site iterations kept): skip
+            // pruning this loop rather than lose its weight.
+            stats.loopsSampled--;
+            stats.iterationsKept += alive.size() - num_iter;
+            continue;
+        }
+        double factor =
+            sampled_weight > 0.0 ? sampled_weight / kept_weight : 1.0;
+
+        for (std::size_t a = 0; a < alive.size(); ++a) {
+            const auto &[begin, end] = loop.iterations[alive[a]];
+            for (std::uint64_t j = begin; j < end; ++j) {
+                if (plan.weight[j] <= 0.0)
+                    continue;
+                if (!keep[a]) {
+                    stats.prunedSites += plan.trace[j].destBits;
+                    plan.weight[j] = 0.0;
+                } else if (!certain[a]) {
+                    plan.weight[j] *= factor;
+                }
+            }
+        }
+    }
+    return stats;
+}
+
+} // namespace fsp::pruning

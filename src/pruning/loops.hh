@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Loop-wise pruning (paper section III-D).
+ *
+ * Loop iterations dominate the dynamic instruction stream of most
+ * kernels (65-99% per the paper's Table VII); because the studied loops
+ * carry no cross-iteration error propagation, the outcome distribution
+ * of a random subset of iterations matches that of the whole loop.
+ * This module detects loops from the dynamic trace (taken back-edges),
+ * reports per-kernel loop statistics, and prunes a plan down to a
+ * sampled set of iterations with appropriate weight rescaling.
+ */
+
+#ifndef FSP_PRUNING_LOOPS_HH
+#define FSP_PRUNING_LOOPS_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "pruning/thread_plan.hh"
+#include "sim/program.hh"
+#include "util/prng.hh"
+
+namespace fsp::pruning {
+
+/** One detected (natural) loop of one thread's dynamic trace. */
+struct LoopInfo
+{
+    std::uint32_t headerStatic = 0; ///< static index of the loop header
+    std::uint32_t branchStatic = 0; ///< static index of the back-edge bra
+
+    /** Half-open dynamic ranges [begin, end), one per iteration. */
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> iterations;
+
+    /** Dynamic instructions across all iterations. */
+    std::uint64_t
+    dynInstrs() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &[b, e] : iterations)
+            n += e - b;
+        return n;
+    }
+
+    /** True when this loop's static span nests inside @p outer's. */
+    bool
+    nestedIn(const LoopInfo &outer) const
+    {
+        return outer.headerStatic <= headerStatic &&
+               branchStatic <= outer.branchStatic &&
+               !(outer.headerStatic == headerStatic &&
+                 outer.branchStatic == branchStatic);
+    }
+};
+
+/**
+ * Detect loops in a dynamic trace via taken backward branches.
+ * Returns loops sorted outermost-first (by static span containment).
+ */
+std::vector<LoopInfo> detectLoops(const std::vector<sim::DynRecord> &trace,
+                                  const sim::Program &program);
+
+/** Per-thread loop statistics (Table VII inputs). */
+struct LoopStats
+{
+    std::uint64_t loopIterations = 0; ///< total iterations, all loops
+    std::uint64_t dynInstrsInLoops = 0; ///< instrs inside outermost loops
+    std::uint64_t totalDynInstrs = 0;
+
+    double
+    loopInstrFraction() const
+    {
+        return totalDynInstrs > 0
+                   ? static_cast<double>(dynInstrsInLoops) /
+                         static_cast<double>(totalDynInstrs)
+                   : 0.0;
+    }
+};
+
+/** Summarise the loop structure of one trace. */
+LoopStats analyzeLoops(const std::vector<sim::DynRecord> &trace,
+                       const sim::Program &program);
+
+/** Outcome statistics of the loop-wise stage. */
+struct LoopPruningStats
+{
+    std::uint64_t loopsSampled = 0;
+    std::uint64_t iterationsTotal = 0;
+    std::uint64_t iterationsKept = 0;
+    std::uint64_t prunedSites = 0;
+};
+
+/**
+ * Apply loop-wise pruning to one plan in place: for every detected
+ * loop (processed outermost-first), keep @p num_iter randomly sampled
+ * still-live iterations and rescale their weights by
+ * (live iterations / kept iterations); prune the rest.
+ *
+ * @param plan the representative-thread plan.
+ * @param program the kernel (for back-edge detection).
+ * @param num_iter sampled iterations per loop (the paper uses 3-15).
+ * @param prng randomness for iteration selection.
+ */
+LoopPruningStats applyLoopPruning(ThreadPlan &plan,
+                                  const sim::Program &program,
+                                  unsigned num_iter, Prng &prng);
+
+} // namespace fsp::pruning
+
+#endif // FSP_PRUNING_LOOPS_HH

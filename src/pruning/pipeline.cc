@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Progressive pruning pipeline implementation.
+ */
+
+#include "pruning/pipeline.hh"
+
+#include "util/logging.hh"
+
+namespace fsp::pruning {
+
+std::vector<ThreadPlan>
+buildThreadPlans(const sim::Executor &executor,
+                 const sim::GlobalMemory &image,
+                 const ThreadwisePruning &grouping)
+{
+    sim::TraceOptions opts;
+    std::vector<const ThreadGroup *> groups = grouping.allGroups();
+    for (const ThreadGroup *group : groups)
+        for (std::uint64_t rep : group->representatives)
+            opts.traceThreads.insert(rep);
+
+    sim::GlobalMemory scratch = image;
+    sim::RunResult result = executor.run(scratch, &opts);
+    if (result.status != sim::RunStatus::Completed)
+        fatal("traced profiling run failed: ", result.diagnostic);
+
+    std::vector<ThreadPlan> plans;
+    plans.reserve(groups.size());
+    std::uint32_t group_id = 0;
+    for (const ThreadGroup *group : groups) {
+        // The group's fault bits are split evenly across its pilots:
+        // each pilot plan carries weight such that the sum over pilots
+        // of (weight * pilot bits) equals the group's total bits.
+        const auto &reps = group->representatives;
+        for (std::uint64_t rep : reps) {
+            ThreadPlan plan;
+            plan.thread = rep;
+            plan.groupId = group_id;
+            plan.trace = std::move(result.trace.dynTraces.at(rep));
+            std::uint64_t rep_bits = 0;
+            for (const auto &record : plan.trace)
+                rep_bits += record.destBits;
+            plan.baseWeight =
+                rep_bits > 0
+                    ? static_cast<double>(group->groupFaultBits) /
+                          (static_cast<double>(reps.size()) *
+                           static_cast<double>(rep_bits))
+                    : 0.0;
+            plan.weight.assign(plan.trace.size(), plan.baseWeight);
+            plans.push_back(std::move(plan));
+        }
+        group_id++;
+    }
+    return plans;
+}
+
+PruningResult
+prunePipeline(const sim::Executor &executor, const sim::GlobalMemory &image,
+              const faults::FaultSpace &space, const PruningConfig &config)
+{
+    Prng prng(config.seed);
+
+    PruningResult result;
+    result.counts.exhaustive = space.totalSites();
+
+    // Stage 1: thread-wise pruning.
+    Prng grouping_prng = prng.fork("grouping");
+    result.grouping =
+        pruneThreads(space, executor.config().block.count(),
+                     grouping_prng, config.repsPerGroup);
+    result.plans = buildThreadPlans(executor, image, result.grouping);
+    result.counts.afterThread = 0;
+    for (const auto &plan : result.plans)
+        result.counts.afterThread += plan.liveSites();
+
+    // Stage 2: instruction-wise pruning.
+    if (config.instructionStage)
+        result.instrStats = applyInstructionPruning(result.plans);
+    std::uint64_t live = 0;
+    for (const auto &plan : result.plans)
+        live += plan.liveSites();
+    result.counts.afterInstruction = live;
+
+    // Stage 3: loop-wise pruning.
+    if (config.loopIterations > 0) {
+        Prng loop_prng = prng.fork("loops");
+        for (auto &plan : result.plans) {
+            Prng thread_prng =
+                loop_prng.fork("thread-" + std::to_string(plan.thread));
+            LoopPruningStats stats = applyLoopPruning(
+                plan, executor.program(), config.loopIterations,
+                thread_prng);
+            result.loopStats.loopsSampled += stats.loopsSampled;
+            result.loopStats.iterationsTotal += stats.iterationsTotal;
+            result.loopStats.iterationsKept += stats.iterationsKept;
+            result.loopStats.prunedSites += stats.prunedSites;
+        }
+    }
+    live = 0;
+    for (const auto &plan : result.plans)
+        live += plan.liveSites();
+    result.counts.afterLoop = live;
+
+    // Stage 4: bit-wise pruning.
+    BitPruningResult bits = applyBitPruning(
+        result.plans, config.bitSamples, config.predZeroFlagOnly);
+    result.sites = std::move(bits.sites);
+    result.assumedMaskedWeight = bits.assumedMaskedWeight;
+    result.counts.afterBit = result.sites.size();
+
+    return result;
+}
+
+} // namespace fsp::pruning

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The progressive four-stage pruning pipeline (paper section III):
+ * thread-wise -> instruction-wise -> loop-wise -> bit-wise, each stage
+ * further reducing the fault-site list produced by the previous one
+ * while carrying extrapolation weights so the final weighted campaign
+ * estimates the full-space error resilience profile.
+ */
+
+#ifndef FSP_PRUNING_PIPELINE_HH
+#define FSP_PRUNING_PIPELINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "faults/fault_space.hh"
+#include "pruning/bits.hh"
+#include "pruning/grouping.hh"
+#include "pruning/instr_common.hh"
+#include "pruning/loops.hh"
+#include "pruning/thread_plan.hh"
+#include "sim/executor.hh"
+
+namespace fsp::pruning {
+
+/** Pipeline configuration. */
+struct PruningConfig
+{
+    std::uint64_t seed = 1;
+
+    /** Enable instruction-wise common-block pruning. */
+    bool instructionStage = true;
+
+    /** Sampled loop iterations per loop; 0 disables the loop stage. */
+    unsigned loopIterations = 8;
+
+    /** Sampled bit positions per register; 0 keeps every bit. */
+    unsigned bitSamples = 16;
+
+    /** Prune non-zero-flag predicate bits as masked. */
+    bool predZeroFlagOnly = true;
+
+    /**
+     * Representatives ("pilots") injected per thread group.  The paper
+     * uses 1; raising this reduces the variance introduced by standing
+     * one thread in for a whole group, at proportional injection cost
+     * (see bench_ablation_reps).
+     */
+    unsigned repsPerGroup = 1;
+};
+
+/** Fault-site counts after each progressive stage (Fig. 10 series). */
+struct StageCounts
+{
+    std::uint64_t exhaustive = 0;
+    std::uint64_t afterThread = 0;
+    std::uint64_t afterInstruction = 0;
+    std::uint64_t afterLoop = 0;
+    std::uint64_t afterBit = 0;
+};
+
+/** Complete result of the pruning pipeline. */
+struct PruningResult
+{
+    ThreadwisePruning grouping;
+    std::vector<ThreadPlan> plans;          ///< final per-rep weights
+    std::vector<faults::WeightedSite> sites; ///< final injection list
+    double assumedMaskedWeight = 0.0;
+    StageCounts counts;
+    InstrPruningStats instrStats;
+    LoopPruningStats loopStats;
+
+    /**
+     * Total weight represented by the pruned space (site weights plus
+     * assumed-masked weight); equals the exhaustive site count when no
+     * sampling stage dropped weight, and matches it in expectation
+     * otherwise.
+     */
+    double
+    totalRepresentedWeight() const
+    {
+        double w = assumedMaskedWeight;
+        for (const auto &s : sites)
+            w += s.weight;
+        return w;
+    }
+};
+
+/**
+ * Run the full pipeline against an enumerated fault space.
+ *
+ * @param executor the configured kernel launch.
+ * @param image pristine global memory (for the traced profiling run).
+ * @param space enumerated fault space of the launch.
+ * @param config stage parameters.
+ */
+PruningResult prunePipeline(const sim::Executor &executor,
+                            const sim::GlobalMemory &image,
+                            const faults::FaultSpace &space,
+                            const PruningConfig &config);
+
+/**
+ * Build (unpruned) thread plans for the representatives chosen by
+ * thread-wise grouping: one traced run, weights initialised to each
+ * group's extrapolation weight.  Exposed separately so experiments can
+ * drive individual stages (Figs. 5-8).
+ */
+std::vector<ThreadPlan>
+buildThreadPlans(const sim::Executor &executor,
+                 const sim::GlobalMemory &image,
+                 const ThreadwisePruning &grouping);
+
+} // namespace fsp::pruning
+
+#endif // FSP_PRUNING_PIPELINE_HH

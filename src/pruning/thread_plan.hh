@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The per-representative-thread injection plan threaded through the
+ * progressive pruning stages.
+ *
+ * A plan starts (after thread-wise pruning) with every dynamic
+ * instruction carrying the thread group's extrapolation weight; each
+ * later stage either zeroes instructions (pruned) or rescales weights
+ * (sampled), so the total represented fault-site weight is preserved.
+ */
+
+#ifndef FSP_PRUNING_THREAD_PLAN_HH
+#define FSP_PRUNING_THREAD_PLAN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/trace.hh"
+
+namespace fsp::pruning {
+
+/** Injection plan for one representative thread. */
+struct ThreadPlan
+{
+    std::uint64_t thread = 0;  ///< global linear thread id
+    std::uint32_t groupId = 0; ///< owning thread group (never fold
+                               ///< plans of the same group together)
+    double baseWeight = 1.0;   ///< thread-group extrapolation weight
+    std::vector<sim::DynRecord> trace; ///< golden dynamic trace
+    std::vector<double> weight;        ///< per dyn instr; 0 = pruned
+
+    /** Remaining (unpruned) fault sites in this plan. */
+    std::uint64_t
+    liveSites() const
+    {
+        std::uint64_t sites = 0;
+        for (std::size_t j = 0; j < trace.size(); ++j) {
+            if (weight[j] > 0.0)
+                sites += trace[j].destBits;
+        }
+        return sites;
+    }
+
+    /** Total represented weight (sum of weight * destBits). */
+    double
+    representedWeight() const
+    {
+        double w = 0.0;
+        for (std::size_t j = 0; j < trace.size(); ++j)
+            w += weight[j] * trace[j].destBits;
+        return w;
+    }
+};
+
+} // namespace fsp::pruning
+
+#endif // FSP_PRUNING_THREAD_PLAN_HH

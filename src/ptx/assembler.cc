@@ -1,0 +1,730 @@
+/**
+ * @file
+ * Implementation of the PTXPlus-style assembler: a small hand-written
+ * line-oriented parser producing decoded sim::Instruction streams.
+ */
+
+#include "ptx/assembler.hh"
+
+#include <bit>
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace fsp::ptx {
+
+using sim::CmpOp;
+using sim::DataType;
+using sim::Guard;
+using sim::GuardCond;
+using sim::HalfSel;
+using sim::Instruction;
+using sim::MemSpace;
+using sim::Opcode;
+using sim::Operand;
+using sim::SpecialReg;
+
+namespace {
+
+/** Split a string on a delimiter character. */
+std::vector<std::string>
+split(const std::string &text, char delim)
+{
+    std::vector<std::string> out;
+    std::string current;
+    for (char c : text) {
+        if (c == delim) {
+            out.push_back(current);
+            current.clear();
+        } else {
+            current.push_back(c);
+        }
+    }
+    out.push_back(current);
+    return out;
+}
+
+std::string
+trim(const std::string &text)
+{
+    std::size_t begin = 0, end = text.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(
+                              text[begin])))
+        ++begin;
+    while (end > begin && std::isspace(static_cast<unsigned char>(
+                              text[end - 1])))
+        --end;
+    return text.substr(begin, end - begin);
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Split an operand list on top-level commas (ignores commas in []). */
+std::vector<std::string>
+splitOperands(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::string current;
+    int depth = 0;
+    for (char c : text) {
+        if (c == '[')
+            ++depth;
+        else if (c == ']')
+            --depth;
+        if (c == ',' && depth == 0) {
+            out.push_back(trim(current));
+            current.clear();
+        } else {
+            current.push_back(c);
+        }
+    }
+    std::string last = trim(current);
+    if (!last.empty() || !out.empty())
+        out.push_back(last);
+    return out;
+}
+
+/** Parsed integer literal (decimal or 0x hex, optional leading '-'). */
+std::optional<std::int64_t>
+parseIntLiteral(const std::string &text)
+{
+    if (text.empty())
+        return std::nullopt;
+    std::size_t pos = 0;
+    bool neg = false;
+    if (text[pos] == '-' || text[pos] == '+') {
+        neg = text[pos] == '-';
+        ++pos;
+    }
+    if (pos >= text.size())
+        return std::nullopt;
+    int base = 10;
+    if (text.size() - pos > 2 && text[pos] == '0' &&
+        (text[pos + 1] == 'x' || text[pos + 1] == 'X')) {
+        base = 16;
+        pos += 2;
+    }
+    char *end = nullptr;
+    const char *start = text.c_str() + pos;
+    errno = 0;
+    unsigned long long mag = std::strtoull(start, &end, base);
+    if (end == start || *end != '\0' || errno == ERANGE)
+        return std::nullopt;
+    auto value = static_cast<std::int64_t>(mag);
+    return neg ? -value : value;
+}
+
+/** Parsed float literal ("1.5", "2e-3", "1.0f"). */
+std::optional<double>
+parseFloatLiteral(const std::string &text)
+{
+    if (text.empty())
+        return std::nullopt;
+    std::string body = text;
+    if (body.back() == 'f' || body.back() == 'F')
+        body.pop_back();
+    char *end = nullptr;
+    const char *start = body.c_str();
+    double value = std::strtod(start, &end);
+    if (end == start || *end != '\0')
+        return std::nullopt;
+    return value;
+}
+
+const std::map<std::string, SpecialReg> kSpecials = {
+    {"%tid.x", SpecialReg::TidX},       {"%tid.y", SpecialReg::TidY},
+    {"%tid.z", SpecialReg::TidZ},       {"%ntid.x", SpecialReg::NtidX},
+    {"%ntid.y", SpecialReg::NtidY},     {"%ntid.z", SpecialReg::NtidZ},
+    {"%ctaid.x", SpecialReg::CtaidX},   {"%ctaid.y", SpecialReg::CtaidY},
+    {"%ctaid.z", SpecialReg::CtaidZ},   {"%nctaid.x", SpecialReg::NctaidX},
+    {"%nctaid.y", SpecialReg::NctaidY}, {"%nctaid.z", SpecialReg::NctaidZ},
+};
+
+GuardCond
+parseGuardCond(const std::string &name, unsigned line)
+{
+    if (name == "eq") return GuardCond::Eq;
+    if (name == "ne") return GuardCond::Ne;
+    if (name == "lt") return GuardCond::Lt;
+    if (name == "le") return GuardCond::Le;
+    if (name == "gt") return GuardCond::Gt;
+    if (name == "ge") return GuardCond::Ge;
+    throw AssemblyError(line, "unknown guard condition '" + name + "'");
+}
+
+DataType
+requireType(const std::string &name, unsigned line)
+{
+    // b-prefixed (untyped bit) aliases map to unsigned.
+    if (name == "b16")
+        return DataType::U16;
+    if (name == "b32")
+        return DataType::U32;
+    if (name == "b64")
+        return DataType::U64;
+    DataType t = sim::parseType(name);
+    if (t == DataType::None)
+        throw AssemblyError(line, "unknown type suffix '" + name + "'");
+    return t;
+}
+
+/** One parsed-but-unresolved instruction. */
+struct PendingInstruction
+{
+    Instruction insn;
+    std::string branchLabel; ///< non-empty for bra until resolution
+    unsigned line;
+};
+
+/** Parser for a single instruction line. */
+class LineParser
+{
+  public:
+    LineParser(const std::string &text, unsigned line)
+        : text_(text), line_(line)
+    {
+    }
+
+    /** Parse the (already label-stripped, trimmed) instruction body. */
+    PendingInstruction
+    parse()
+    {
+        PendingInstruction pending;
+        pending.line = line_;
+        Instruction &insn = pending.insn;
+        insn.line = line_;
+        insn.text = text_;
+
+        std::string body = text_;
+
+        // Guard prefix: "@$p0.ne ".
+        if (!body.empty() && body[0] == '@') {
+            std::size_t space = body.find(' ');
+            if (space == std::string::npos)
+                throw AssemblyError(line_, "guard without instruction");
+            std::string guard = body.substr(1, space - 1);
+            body = trim(body.substr(space + 1));
+            auto parts = split(guard, '.');
+            if (parts.size() != 2 || parts[0].size() < 3 ||
+                parts[0][0] != '$' || parts[0][1] != 'p') {
+                throw AssemblyError(line_,
+                                    "malformed guard '@" + guard + "'");
+            }
+            insn.guard.pred = parsePredIndex(parts[0]);
+            insn.guard.cond = parseGuardCond(parts[1], line_);
+        }
+
+        // Mnemonic token (up to first whitespace).
+        std::size_t space = body.find_first_of(" \t");
+        std::string mnemonic =
+            space == std::string::npos ? body : body.substr(0, space);
+        std::string operand_text =
+            space == std::string::npos ? "" : trim(body.substr(space + 1));
+
+        parseMnemonic(mnemonic, insn);
+
+        std::vector<std::string> operands = splitOperands(operand_text);
+        if (operands.size() == 1 && operands[0].empty())
+            operands.clear();
+
+        assignOperands(insn, operands, pending.branchLabel);
+        return pending;
+    }
+
+  private:
+    unsigned
+    parseGpIndex(const std::string &token)
+    {
+        // "$rN"
+        auto value = parseIntLiteral(token.substr(2));
+        if (!value || *value < 0 ||
+            *value >= static_cast<std::int64_t>(sim::kNumGpRegs)) {
+            throw AssemblyError(line_,
+                                "bad register '" + token + "'");
+        }
+        return static_cast<unsigned>(*value);
+    }
+
+    std::uint8_t
+    parsePredIndex(const std::string &token)
+    {
+        auto value = parseIntLiteral(token.substr(2));
+        if (!value || *value < 0 ||
+            *value >= static_cast<std::int64_t>(sim::kNumPredRegs)) {
+            throw AssemblyError(line_,
+                                "bad predicate register '" + token + "'");
+        }
+        return static_cast<std::uint8_t>(*value);
+    }
+
+    /** Decode dotted mnemonic into opcode/type/stype/cmp/space. */
+    void
+    parseMnemonic(const std::string &mnemonic, Instruction &insn)
+    {
+        auto parts = split(mnemonic, '.');
+        const std::string &base = parts[0];
+
+        // Drop benign PTXPlus modifiers anywhere after the base.
+        std::vector<std::string> mods;
+        for (std::size_t i = 1; i < parts.size(); ++i) {
+            if (parts[i] == "half" || parts[i] == "uni" ||
+                parts[i] == "sat" || parts[i] == "ftz" ||
+                parts[i] == "approx" || parts[i] == "rn" ||
+                parts[i] == "rz") {
+                continue;
+            }
+            mods.push_back(parts[i]);
+        }
+
+        auto expect_mods = [&](std::size_t n) {
+            if (mods.size() != n) {
+                throw AssemblyError(line_, "mnemonic '" + mnemonic +
+                                               "' has unexpected suffixes");
+            }
+        };
+
+        if (base == "bar") {
+            if (!(mods.size() == 1 && mods[0] == "sync"))
+                throw AssemblyError(line_, "expected bar.sync");
+            insn.op = Opcode::Bar;
+            return;
+        }
+        if (base == "bra") {
+            expect_mods(0);
+            insn.op = Opcode::Bra;
+            return;
+        }
+        if (base == "ssy") {
+            expect_mods(0);
+            insn.op = Opcode::Ssy;
+            return;
+        }
+        if (base == "nop") {
+            expect_mods(0);
+            insn.op = Opcode::Nop;
+            return;
+        }
+        if (base == "retp" || base == "ret") {
+            expect_mods(0);
+            insn.op = Opcode::Ret;
+            return;
+        }
+        if (base == "exit") {
+            expect_mods(0);
+            insn.op = Opcode::Exit;
+            return;
+        }
+        if (base == "ld" || base == "st") {
+            expect_mods(2);
+            insn.op = base == "ld" ? Opcode::Ld : Opcode::St;
+            if (mods[0] == "global")
+                insn.space = MemSpace::Global;
+            else if (mods[0] == "shared")
+                insn.space = MemSpace::Shared;
+            else if (mods[0] == "param")
+                insn.space = MemSpace::Param;
+            else
+                throw AssemblyError(line_, "unknown address space '" +
+                                               mods[0] + "'");
+            insn.type = requireType(mods[1], line_);
+            return;
+        }
+        if (base == "cvt") {
+            expect_mods(2);
+            insn.op = Opcode::Cvt;
+            insn.type = requireType(mods[0], line_);
+            insn.stype = requireType(mods[1], line_);
+            return;
+        }
+        if (base == "set") {
+            expect_mods(3);
+            insn.op = Opcode::Set;
+            insn.cmp = sim::parseCmp(mods[0]);
+            if (insn.cmp == CmpOp::None)
+                throw AssemblyError(line_, "unknown comparison '" +
+                                               mods[0] + "'");
+            insn.type = requireType(mods[1], line_);
+            insn.stype = requireType(mods[2], line_);
+            return;
+        }
+        if (base == "setp") {
+            expect_mods(2);
+            insn.op = Opcode::Setp;
+            insn.cmp = sim::parseCmp(mods[0]);
+            if (insn.cmp == CmpOp::None)
+                throw AssemblyError(line_, "unknown comparison '" +
+                                               mods[0] + "'");
+            insn.type = DataType::Pred;
+            insn.stype = requireType(mods[1], line_);
+            return;
+        }
+        if ((base == "mul" || base == "mad") && !mods.empty() &&
+            mods[0] == "wide") {
+            expect_mods(2);
+            insn.op = base == "mul" ? Opcode::MulWide : Opcode::MadWide;
+            insn.type = requireType(mods[1], line_);
+            return;
+        }
+        if ((base == "mul" || base == "mad") && !mods.empty() &&
+            mods[0] == "lo") {
+            expect_mods(2);
+            insn.op = base == "mul" ? Opcode::Mul : Opcode::Mad;
+            insn.type = requireType(mods[1], line_);
+            return;
+        }
+
+        Opcode op;
+        if (!sim::parseOpcode(base, op))
+            throw AssemblyError(line_, "unknown opcode '" + base + "'");
+        insn.op = op;
+        expect_mods(1);
+        insn.type = requireType(mods[0], line_);
+        if (insn.op == Opcode::Set || insn.op == Opcode::Setp)
+            throw AssemblyError(line_, "set/setp need a comparison");
+        return;
+    }
+
+    /** Parse a destination operand ("$r3", "$p0|$o127", "$p0/$r1"). */
+    void
+    parseDest(Instruction &insn, const std::string &token)
+    {
+        std::size_t sep = token.find_first_of("|/");
+        if (sep != std::string::npos) {
+            std::string first = trim(token.substr(0, sep));
+            std::string second = trim(token.substr(sep + 1));
+            if (first.rfind("$p", 0) != 0) {
+                throw AssemblyError(
+                    line_, "dual destination must start with a predicate");
+            }
+            insn.dest = Operand::makePredReg(parsePredIndex(first));
+            insn.dest2 = parseValueOperand(second);
+            if (insn.dest2.kind != Operand::Kind::GpReg &&
+                insn.dest2.kind != Operand::Kind::Discard) {
+                throw AssemblyError(line_,
+                                    "secondary destination must be $rN or "
+                                    "$o127");
+            }
+            return;
+        }
+        Operand dest = parseValueOperand(token);
+        if (dest.kind != Operand::Kind::GpReg &&
+            dest.kind != Operand::Kind::PredReg &&
+            dest.kind != Operand::Kind::Discard) {
+            throw AssemblyError(line_, "bad destination '" + token + "'");
+        }
+        if (dest.kind == Operand::Kind::GpReg &&
+            (dest.negated || dest.half != HalfSel::None)) {
+            throw AssemblyError(line_,
+                                "destination cannot be negated or a half");
+        }
+        insn.dest = dest;
+    }
+
+    /** Parse a non-memory operand. */
+    Operand
+    parseValueOperand(const std::string &raw)
+    {
+        std::string token = trim(raw);
+        if (token.empty())
+            throw AssemblyError(line_, "empty operand");
+
+        bool negated = false;
+        if (token[0] == '-' && token.size() > 1 && token[1] == '$') {
+            negated = true;
+            token = token.substr(1);
+        }
+
+        if (token == "$o127") {
+            if (negated)
+                throw AssemblyError(line_, "cannot negate $o127");
+            return Operand::makeDiscard();
+        }
+        if (token.rfind("$p", 0) == 0) {
+            if (negated)
+                throw AssemblyError(line_, "cannot negate a predicate");
+            return Operand::makePredReg(parsePredIndex(token));
+        }
+        if (token.rfind("$r", 0) == 0) {
+            HalfSel half = HalfSel::None;
+            std::string body = token;
+            if (body.size() > 3 &&
+                body.compare(body.size() - 3, 3, ".lo") == 0) {
+                half = HalfSel::Lo;
+                body = body.substr(0, body.size() - 3);
+            } else if (body.size() > 3 &&
+                       body.compare(body.size() - 3, 3, ".hi") == 0) {
+                half = HalfSel::Hi;
+                body = body.substr(0, body.size() - 3);
+            }
+            return Operand::makeGpReg(parseGpIndex(body), half, negated);
+        }
+        if (token[0] == '%') {
+            auto it = kSpecials.find(token);
+            if (it == kSpecials.end())
+                throw AssemblyError(line_, "unknown special register '" +
+                                               token + "'");
+            if (negated)
+                throw AssemblyError(line_,
+                                    "cannot negate a special register");
+            return Operand::makeSpecial(it->second);
+        }
+
+        // Immediate.
+        if (auto iv = parseIntLiteral(token))
+            return Operand::makeImm(static_cast<std::uint64_t>(*iv));
+        if (auto fv = parseFloatLiteral(token)) {
+            // The payload encoding depends on the instruction type;
+            // resolved by the caller via fixImmEncoding().
+            Operand o = Operand::makeImm(
+                std::bit_cast<std::uint64_t>(*fv));
+            o.half = HalfSel::Hi; // temporary marker: "float literal"
+            return o;
+        }
+        throw AssemblyError(line_, "cannot parse operand '" + raw + "'");
+    }
+
+    /** Parse "[...]" memory operand. */
+    Operand
+    parseMemOperand(const std::string &raw)
+    {
+        std::string token = trim(raw);
+        if (token.size() < 2 || token.front() != '[' || token.back() != ']')
+            throw AssemblyError(line_, "expected memory operand, got '" +
+                                           raw + "'");
+        std::string inner = trim(token.substr(1, token.size() - 2));
+        if (inner.empty())
+            throw AssemblyError(line_, "empty memory operand");
+
+        std::int32_t base = -1;
+        std::int64_t offset = 0;
+        if (inner[0] == '$') {
+            std::size_t plus = inner.find_first_of("+-", 1);
+            std::string reg = trim(
+                plus == std::string::npos ? inner : inner.substr(0, plus));
+            if (reg.rfind("$r", 0) != 0)
+                throw AssemblyError(line_, "memory base must be $rN");
+            base = static_cast<std::int32_t>(parseGpIndex(reg));
+            if (plus != std::string::npos) {
+                std::string rest = trim(inner.substr(plus));
+                if (!rest.empty() && rest[0] == '+')
+                    rest = trim(rest.substr(1));
+                auto value = parseIntLiteral(rest);
+                if (!value)
+                    throw AssemblyError(line_, "bad memory offset '" +
+                                                   rest + "'");
+                offset = *value;
+            }
+        } else {
+            auto value = parseIntLiteral(inner);
+            if (!value)
+                throw AssemblyError(line_, "bad memory address '" + inner +
+                                               "'");
+            offset = *value;
+        }
+        return Operand::makeMemRef(base, offset);
+    }
+
+    /**
+     * Re-encode a float-literal immediate for the instruction type.
+     * parseValueOperand stores the double bits with a marker; here the
+     * payload becomes f32 bits, f64 bits, or an integral conversion.
+     */
+    void
+    fixImmEncoding(Operand &o, DataType type)
+    {
+        if (o.kind != Operand::Kind::Imm)
+            return;
+        if (o.half == HalfSel::Hi) {
+            // Marked float literal.
+            double v = std::bit_cast<double>(o.imm);
+            o.half = HalfSel::None;
+            if (type == DataType::F64)
+                o.imm = std::bit_cast<std::uint64_t>(v);
+            else if (type == DataType::F32)
+                o.imm = std::bit_cast<std::uint32_t>(static_cast<float>(v));
+            else
+                throw AssemblyError(line_,
+                                    "float literal used in integer context");
+            return;
+        }
+        // Integer literal in a float context encodes the *value*
+        // ("mov.f32 $r1, 2" means 2.0f), matching PTX semantics.
+        if (type == DataType::F32) {
+            auto v = static_cast<std::int64_t>(o.imm);
+            o.imm = std::bit_cast<std::uint32_t>(static_cast<float>(v));
+        } else if (type == DataType::F64) {
+            auto v = static_cast<std::int64_t>(o.imm);
+            o.imm = std::bit_cast<std::uint64_t>(static_cast<double>(v));
+        }
+    }
+
+    void
+    assignOperands(Instruction &insn, std::vector<std::string> &operands,
+                   std::string &branch_label)
+    {
+        switch (insn.op) {
+          case Opcode::Nop:
+          case Opcode::Ssy:
+          case Opcode::Ret:
+          case Opcode::Exit:
+            // ssy takes an (ignored) reconvergence point operand.
+            return;
+
+          case Opcode::Bar: {
+            if (operands.size() != 1)
+                throw AssemblyError(line_, "bar.sync takes a barrier id");
+            auto value = parseIntLiteral(operands[0]);
+            if (!value || *value < 0)
+                throw AssemblyError(line_, "bad barrier id");
+            insn.barrier = static_cast<std::uint32_t>(*value);
+            return;
+          }
+
+          case Opcode::Bra: {
+            if (operands.size() != 1)
+                throw AssemblyError(line_, "bra takes one target label");
+            const std::string &target = operands[0];
+            if (target.empty() || !isIdentChar(target[0]))
+                throw AssemblyError(line_, "bad branch target '" + target +
+                                               "'");
+            branch_label = target;
+            return;
+          }
+
+          case Opcode::Ld: {
+            if (operands.size() != 2)
+                throw AssemblyError(line_, "ld takes dest, [addr]");
+            parseDest(insn, operands[0]);
+            insn.src[0] = parseMemOperand(operands[1]);
+            return;
+          }
+
+          case Opcode::St: {
+            if (operands.size() != 2)
+                throw AssemblyError(line_, "st takes [addr], src");
+            if (insn.space == MemSpace::Param)
+                throw AssemblyError(line_,
+                                    "param space is read-only");
+            insn.src[0] = parseMemOperand(operands[0]);
+            insn.src[1] = parseValueOperand(operands[1]);
+            fixImmEncoding(insn.src[1], insn.type);
+            return;
+          }
+
+          default: {
+            unsigned n = sim::opcodeSrcCount(insn.op);
+            if (operands.size() != n + 1) {
+                throw AssemblyError(
+                    line_, opcodeName(insn.op) + " takes " +
+                               std::to_string(n + 1) + " operands, got " +
+                               std::to_string(operands.size()));
+            }
+            parseDest(insn, operands[0]);
+            DataType value_type =
+                insn.op == Opcode::Cvt || insn.op == Opcode::Set ||
+                        insn.op == Opcode::Setp
+                    ? insn.stype
+                    : insn.type;
+            for (unsigned i = 0; i < n; ++i) {
+                insn.src[i] = parseValueOperand(operands[i + 1]);
+                fixImmEncoding(insn.src[i], value_type);
+            }
+            return;
+          }
+        }
+    }
+
+    const std::string &text_;
+    unsigned line_;
+};
+
+} // namespace
+
+sim::Program
+assemble(const std::string &name, const std::string &source)
+{
+    std::vector<PendingInstruction> pending;
+    std::map<std::string, std::size_t> labels;
+
+    std::istringstream stream(source);
+    std::string raw_line;
+    unsigned line_number = 0;
+
+    while (std::getline(stream, raw_line)) {
+        ++line_number;
+        // Strip comments.
+        std::string line = raw_line;
+        for (const char *marker : {"//", "#"}) {
+            std::size_t at = line.find(marker);
+            if (at != std::string::npos)
+                line = line.substr(0, at);
+        }
+        line = trim(line);
+        if (line.empty())
+            continue;
+        if (!line.empty() && line.back() == ';')
+            line = trim(line.substr(0, line.size() - 1));
+        if (line.empty())
+            continue;
+
+        // Leading labels: "name: ..." (possibly several).
+        while (true) {
+            std::size_t colon = line.find(':');
+            if (colon == std::string::npos)
+                break;
+            std::string maybe_label = trim(line.substr(0, colon));
+            bool is_label = !maybe_label.empty();
+            for (char c : maybe_label) {
+                if (!isIdentChar(c))
+                    is_label = false;
+            }
+            // Guard prefixes contain '@' before any colon; they never
+            // look like labels because '@'/'$' fail isIdentChar.
+            if (!is_label)
+                break;
+            if (labels.count(maybe_label)) {
+                throw AssemblyError(line_number, "duplicate label '" +
+                                                     maybe_label + "'");
+            }
+            labels[maybe_label] = pending.size();
+            line = trim(line.substr(colon + 1));
+            if (line.empty())
+                break;
+        }
+        if (line.empty())
+            continue; // label-only line
+
+        LineParser parser(line, line_number);
+        pending.push_back(parser.parse());
+    }
+
+    // Resolve branch targets.
+    std::vector<Instruction> code;
+    code.reserve(pending.size());
+    for (auto &p : pending) {
+        if (!p.branchLabel.empty()) {
+            auto it = labels.find(p.branchLabel);
+            if (it == labels.end()) {
+                throw AssemblyError(p.line, "undefined label '" +
+                                                p.branchLabel + "'");
+            }
+            p.insn.target = static_cast<std::int32_t>(it->second);
+        }
+        code.push_back(std::move(p.insn));
+    }
+
+    sim::Program program(name, std::move(code), std::move(labels));
+    program.validate();
+    return program;
+}
+
+} // namespace fsp::ptx

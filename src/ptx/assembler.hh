@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Assembler for the textual PTXPlus-flavoured ISA.
+ *
+ * Kernels are written as plain text (one instruction per line, PTX-style
+ * dotted mnemonics, labels, predication) and assembled into decoded
+ * sim::Program objects.  The accepted syntax mirrors the PTXPlus
+ * listings shown in the paper's Figure 5, e.g.:
+ *
+ *     shl.u32 $r3, $r1, 0x00000001;
+ *     set.eq.s32.s32 $p0|$o127, $r6, $r1;
+ *     @$p0.ne bra l0x000002b8;
+ *     ld.global.f32 $r5, [$r4+0x10];
+ *     l0x000002b8: bar.sync 0;
+ */
+
+#ifndef FSP_PTX_ASSEMBLER_HH
+#define FSP_PTX_ASSEMBLER_HH
+
+#include <stdexcept>
+#include <string>
+
+#include "sim/program.hh"
+
+namespace fsp::ptx {
+
+/** Raised on any syntax or semantic error, with line context. */
+class AssemblyError : public std::runtime_error
+{
+  public:
+    AssemblyError(unsigned line, const std::string &message)
+        : std::runtime_error("line " + std::to_string(line) + ": " +
+                             message),
+          line_(line)
+    {
+    }
+
+    unsigned line() const { return line_; }
+
+  private:
+    unsigned line_;
+};
+
+/**
+ * Assemble kernel source text into a decoded program.
+ *
+ * @param name kernel name recorded in the program.
+ * @param source assembly text; '//' and '#' start comments; ';' line
+ *        terminators are optional.
+ * @throws AssemblyError on malformed input or unresolved labels.
+ */
+sim::Program assemble(const std::string &name, const std::string &source);
+
+} // namespace fsp::ptx
+
+#endif // FSP_PTX_ASSEMBLER_HH

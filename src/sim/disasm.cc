@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Disassembler implementation.
+ */
+
+#include "sim/disasm.hh"
+
+#include <bit>
+#include <cstdio>
+#include <set>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace fsp::sim {
+
+namespace {
+
+std::string
+renderSpecial(SpecialReg reg)
+{
+    switch (reg) {
+      case SpecialReg::TidX: return "%tid.x";
+      case SpecialReg::TidY: return "%tid.y";
+      case SpecialReg::TidZ: return "%tid.z";
+      case SpecialReg::NtidX: return "%ntid.x";
+      case SpecialReg::NtidY: return "%ntid.y";
+      case SpecialReg::NtidZ: return "%ntid.z";
+      case SpecialReg::CtaidX: return "%ctaid.x";
+      case SpecialReg::CtaidY: return "%ctaid.y";
+      case SpecialReg::CtaidZ: return "%ctaid.z";
+      case SpecialReg::NctaidX: return "%nctaid.x";
+      case SpecialReg::NctaidY: return "%nctaid.y";
+      case SpecialReg::NctaidZ: return "%nctaid.z";
+    }
+    panic("unreachable SpecialReg");
+}
+
+/**
+ * Render an immediate so the assembler reconstructs the same payload:
+ * float-typed contexts print a round-trippable decimal literal (the
+ * assembler re-encodes values, not bits); integer contexts print hex.
+ */
+std::string
+renderImm(std::uint64_t raw, DataType context)
+{
+    char buf[64];
+    if (context == DataType::F32) {
+        float v = std::bit_cast<float>(static_cast<std::uint32_t>(raw));
+        std::snprintf(buf, sizeof(buf), "%.9g", static_cast<double>(v));
+        std::string out(buf);
+        // Ensure the token parses as a float literal.
+        if (out.find_first_of(".eEnN") == std::string::npos)
+            out += ".0";
+        return out;
+    }
+    if (context == DataType::F64) {
+        double v = std::bit_cast<double>(raw);
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        std::string out(buf);
+        if (out.find_first_of(".eEnN") == std::string::npos)
+            out += ".0";
+        return out;
+    }
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(raw));
+    return buf;
+}
+
+std::string
+renderOperand(const Operand &op, DataType context)
+{
+    switch (op.kind) {
+      case Operand::Kind::GpReg: {
+        std::string out = op.negated ? "-$r" : "$r";
+        out += std::to_string(op.reg);
+        if (op.half == HalfSel::Lo)
+            out += ".lo";
+        else if (op.half == HalfSel::Hi)
+            out += ".hi";
+        return out;
+      }
+      case Operand::Kind::PredReg:
+        return "$p" + std::to_string(op.reg);
+      case Operand::Kind::Discard:
+        return "$o127";
+      case Operand::Kind::Special:
+        return renderSpecial(op.special);
+      case Operand::Kind::Imm:
+        return renderImm(op.imm, context);
+      case Operand::Kind::MemRef: {
+        std::string out = "[";
+        if (op.memBase >= 0) {
+            out += "$r" + std::to_string(op.memBase);
+            if (op.memOffset != 0)
+                out += "+" + std::to_string(op.memOffset);
+        } else {
+            out += std::to_string(op.memOffset);
+        }
+        return out + "]";
+      }
+      case Operand::Kind::None:
+        panic("rendering a None operand");
+    }
+    panic("unreachable Operand::Kind");
+}
+
+std::string
+renderMnemonic(const Instruction &insn)
+{
+    switch (insn.op) {
+      case Opcode::Bar:
+        return "bar.sync";
+      case Opcode::Bra:
+      case Opcode::Ssy:
+      case Opcode::Nop:
+      case Opcode::Ret:
+      case Opcode::Exit:
+        return opcodeName(insn.op);
+      case Opcode::Ld:
+      case Opcode::St:
+        return opcodeName(insn.op) + "." + spaceName(insn.space) + "." +
+               typeName(insn.type);
+      case Opcode::Cvt:
+        return "cvt." + typeName(insn.type) + "." + typeName(insn.stype);
+      case Opcode::Set:
+        return "set." + cmpName(insn.cmp) + "." + typeName(insn.type) +
+               "." + typeName(insn.stype);
+      case Opcode::Setp:
+        return "setp." + cmpName(insn.cmp) + "." + typeName(insn.stype);
+      default:
+        // "mul.wide" / "mad.wide" already carry their dot.
+        return opcodeName(insn.op) + "." + typeName(insn.type);
+    }
+}
+
+std::string
+renderDest(const Instruction &insn)
+{
+    std::string out = renderOperand(insn.dest, insn.type);
+    if (insn.dest2.kind != Operand::Kind::None)
+        out += "|" + renderOperand(insn.dest2, insn.type);
+    return out;
+}
+
+} // namespace
+
+std::string
+disassembleInstruction(const Instruction &insn,
+                       const LabelProvider &label_of)
+{
+    std::ostringstream os;
+    if (insn.guard.active()) {
+        os << "@$p" << static_cast<unsigned>(insn.guard.pred) << "."
+           << guardName(insn.guard.cond) << " ";
+    }
+    os << renderMnemonic(insn);
+
+    // The source type used for immediate re-encoding in value operands.
+    DataType value_type =
+        insn.op == Opcode::Cvt || insn.op == Opcode::Set ||
+                insn.op == Opcode::Setp
+            ? insn.stype
+            : insn.type;
+
+    switch (insn.op) {
+      case Opcode::Nop:
+      case Opcode::Ssy:
+      case Opcode::Ret:
+      case Opcode::Exit:
+        break;
+      case Opcode::Bar:
+        os << " " << insn.barrier;
+        break;
+      case Opcode::Bra:
+        os << " " << label_of(static_cast<std::size_t>(insn.target));
+        break;
+      case Opcode::Ld:
+        os << " " << renderDest(insn) << ", "
+           << renderOperand(insn.src[0], value_type);
+        break;
+      case Opcode::St:
+        os << " " << renderOperand(insn.src[0], value_type) << ", "
+           << renderOperand(insn.src[1], value_type);
+        break;
+      default: {
+        os << " " << renderDest(insn);
+        unsigned n = opcodeSrcCount(insn.op);
+        for (unsigned i = 0; i < n; ++i)
+            os << ", " << renderOperand(insn.src[i], value_type);
+        break;
+      }
+    }
+    return os.str();
+}
+
+std::string
+disassembleProgram(const Program &program)
+{
+    // Collect branch targets needing labels.
+    std::set<std::size_t> targets;
+    for (const auto &insn : program.instructions()) {
+        if (insn.op == Opcode::Bra)
+            targets.insert(static_cast<std::size_t>(insn.target));
+    }
+    auto label_of = [](std::size_t index) {
+        return "l" + std::to_string(index);
+    };
+
+    std::ostringstream os;
+    for (std::size_t i = 0; i < program.size(); ++i) {
+        if (targets.count(i))
+            os << label_of(i) << ":\n";
+        os << "    " << disassembleInstruction(program.at(i), label_of)
+           << ";\n";
+    }
+    // A trailing label (branch past the last instruction).
+    if (targets.count(program.size()))
+        os << label_of(program.size()) << ":\n";
+    return os.str();
+}
+
+} // namespace fsp::sim

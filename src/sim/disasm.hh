@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Disassembler: renders decoded instructions back to the textual
+ * PTXPlus-style syntax accepted by the assembler.  The output
+ * round-trips (assemble(disassemble(p)) decodes to an equivalent
+ * program), which the test suite exploits as a property check on both
+ * components, and gives benches/tools human-readable listings
+ * independent of the original source text.
+ */
+
+#ifndef FSP_SIM_DISASM_HH
+#define FSP_SIM_DISASM_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/instruction.hh"
+#include "sim/program.hh"
+
+namespace fsp::sim {
+
+/** Maps a branch-target instruction index to a label name. */
+using LabelProvider = std::function<std::string(std::size_t)>;
+
+/**
+ * Render one instruction.
+ *
+ * @param insn decoded instruction.
+ * @param label_of names branch targets (required for bra).
+ */
+std::string disassembleInstruction(const Instruction &insn,
+                                   const LabelProvider &label_of);
+
+/**
+ * Render a whole program with generated "lN" labels on branch
+ * targets; the result re-assembles to an equivalent program.
+ */
+std::string disassembleProgram(const Program &program);
+
+} // namespace fsp::sim
+
+#endif // FSP_SIM_DISASM_HH

@@ -1,0 +1,868 @@
+/**
+ * @file
+ * Implementation of the functional SIMT executor.
+ *
+ * Execution model: CTAs run sequentially (they are independent up to
+ * global memory, as in the CUDA model where no inter-CTA ordering may be
+ * assumed).  Within a CTA, threads run cooperatively: each thread
+ * executes until it exits or reaches a bar.sync; when every live thread
+ * has arrived, the barrier releases.  This is functionally equivalent to
+ * warp-synchronous execution for barrier-correct programs while keeping
+ * the interpreter simple and fast.
+ */
+
+#include "sim/executor.hh"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace fsp::sim {
+
+std::string
+runStatusName(RunStatus status)
+{
+    switch (status) {
+      case RunStatus::Completed: return "completed";
+      case RunStatus::Crashed: return "crashed";
+      case RunStatus::Hung: return "hung";
+    }
+    panic("unreachable RunStatus");
+}
+
+namespace {
+
+constexpr std::uint64_t kDefaultBudget = 50'000'000;
+
+/** Zero-extend truncation to @p bits. */
+inline std::uint64_t
+truncVal(std::uint64_t v, unsigned bits)
+{
+    return bits >= 64 ? v : (v & ((std::uint64_t{1} << bits) - 1));
+}
+
+/** Sign extension of the low @p bits of @p v. */
+inline std::int64_t
+signExt(std::uint64_t v, unsigned bits)
+{
+    if (bits >= 64)
+        return static_cast<std::int64_t>(v);
+    std::uint64_t m = std::uint64_t{1} << (bits - 1);
+    std::uint64_t t = truncVal(v, bits);
+    return static_cast<std::int64_t>((t ^ m) - m);
+}
+
+inline float
+asF32(std::uint64_t raw)
+{
+    return std::bit_cast<float>(static_cast<std::uint32_t>(raw));
+}
+
+inline std::uint64_t
+fromF32(float v)
+{
+    return std::bit_cast<std::uint32_t>(v);
+}
+
+inline double
+asF64(std::uint64_t raw)
+{
+    return std::bit_cast<double>(raw);
+}
+
+inline std::uint64_t
+fromF64(double v)
+{
+    return std::bit_cast<std::uint64_t>(v);
+}
+
+/** Per-thread architectural state. */
+struct ThreadState
+{
+    std::uint64_t regs[kNumGpRegs];
+    std::uint8_t ccs[kNumPredRegs];
+    std::uint64_t pc = 0;
+    std::uint64_t icnt = 0;
+    std::uint64_t faultBits = 0;
+    bool exited = false;
+    bool atBarrier = false;
+    bool traced = false;
+
+    std::uint32_t tidX = 0, tidY = 0, tidZ = 0;
+    std::uint64_t globalId = 0;
+
+    void
+    reset()
+    {
+        std::fill(std::begin(regs), std::end(regs), 0);
+        std::fill(std::begin(ccs), std::end(ccs), 0);
+        pc = 0;
+        icnt = 0;
+        faultBits = 0;
+        exited = false;
+        atBarrier = false;
+        traced = false;
+    }
+};
+
+/** Why a thread stopped running in the current scheduling slice. */
+enum class StopReason : std::uint8_t
+{
+    Exited,
+    Barrier,
+    Crashed,
+    Hung,
+};
+
+/** Mutable context shared by every thread while one CTA executes. */
+struct CtaContext
+{
+    GlobalMemory &gmem;
+    SharedMemory &smem;
+    const ParamBuffer &params;
+    const Dim3 &ntid;
+    const Dim3 &nctaid;
+    std::uint32_t ctaidX, ctaidY, ctaidZ;
+    std::uint64_t budget;
+    const TraceOptions *opts;
+    FaultPlan *fault;
+    TraceData *trace;
+    std::string diagnostic;
+};
+
+/** Read a source operand as raw bits appropriate for @p type. */
+inline std::uint64_t
+readSrc(const ThreadState &t, const CtaContext &ctx, const Operand &o,
+        DataType type)
+{
+    switch (o.kind) {
+      case Operand::Kind::GpReg: {
+        std::uint64_t raw = (o.reg == kZeroReg) ? 0 : t.regs[o.reg];
+        if (o.half == HalfSel::Lo)
+            raw = raw & 0xFFFF;
+        else if (o.half == HalfSel::Hi)
+            raw = (raw >> 16) & 0xFFFF;
+        if (o.negated) {
+            if (type == DataType::F32)
+                raw = fromF32(-asF32(raw));
+            else if (type == DataType::F64)
+                raw = fromF64(-asF64(raw));
+            else
+                raw = truncVal(0 - raw, typeBits(type));
+        }
+        return raw;
+      }
+      case Operand::Kind::PredReg:
+        // Predicate as a data source (selp): true iff zero flag clear.
+        return (t.ccs[o.reg] & CcZero) ? 0 : 1;
+      case Operand::Kind::Discard:
+        return 0;
+      case Operand::Kind::Special:
+        switch (o.special) {
+          case SpecialReg::TidX: return t.tidX;
+          case SpecialReg::TidY: return t.tidY;
+          case SpecialReg::TidZ: return t.tidZ;
+          case SpecialReg::NtidX: return ctx.ntid.x;
+          case SpecialReg::NtidY: return ctx.ntid.y;
+          case SpecialReg::NtidZ: return ctx.ntid.z;
+          case SpecialReg::CtaidX: return ctx.ctaidX;
+          case SpecialReg::CtaidY: return ctx.ctaidY;
+          case SpecialReg::CtaidZ: return ctx.ctaidZ;
+          case SpecialReg::NctaidX: return ctx.nctaid.x;
+          case SpecialReg::NctaidY: return ctx.nctaid.y;
+          case SpecialReg::NctaidZ: return ctx.nctaid.z;
+        }
+        panic("unreachable SpecialReg");
+      case Operand::Kind::Imm:
+        return o.imm;
+      case Operand::Kind::MemRef:
+      case Operand::Kind::None:
+        panic("operand kind not readable as a value");
+    }
+    panic("unreachable Operand::Kind");
+}
+
+/** Condition-code flags derived from a result value of @p type. */
+inline std::uint8_t
+ccFromValue(std::uint64_t raw, DataType type)
+{
+    std::uint8_t cc = 0;
+    if (isFloatType(type)) {
+        double v = type == DataType::F32 ? asF32(raw) : asF64(raw);
+        if (v == 0.0)
+            cc |= CcZero;
+        if (std::signbit(v))
+            cc |= CcSign;
+    } else {
+        unsigned bits = typeBits(type);
+        if (truncVal(raw, bits) == 0)
+            cc |= CcZero;
+        if (signExt(raw, bits) < 0)
+            cc |= CcSign;
+    }
+    return cc;
+}
+
+/** Evaluate a guard against a CC register. */
+inline bool
+guardPasses(const Guard &g, const ThreadState &t)
+{
+    if (g.cond == GuardCond::Always)
+        return true;
+    std::uint8_t cc = t.ccs[g.pred];
+    bool zero = cc & CcZero;
+    bool sign = cc & CcSign;
+    switch (g.cond) {
+      case GuardCond::Eq: return zero;
+      case GuardCond::Ne: return !zero;
+      case GuardCond::Lt: return sign;
+      case GuardCond::Le: return sign || zero;
+      case GuardCond::Gt: return !sign && !zero;
+      case GuardCond::Ge: return !sign;
+      case GuardCond::Always: return true;
+    }
+    panic("unreachable GuardCond");
+}
+
+/** Integer comparison on raw values per @p type. */
+inline bool
+compareValues(CmpOp cmp, std::uint64_t a, std::uint64_t b, DataType type)
+{
+    if (isFloatType(type)) {
+        double fa = type == DataType::F32 ? asF32(a) : asF64(a);
+        double fb = type == DataType::F32 ? asF32(b) : asF64(b);
+        switch (cmp) {
+          case CmpOp::Eq: return fa == fb;
+          case CmpOp::Ne: return fa != fb;
+          case CmpOp::Lt: return fa < fb;
+          case CmpOp::Le: return fa <= fb;
+          case CmpOp::Gt: return fa > fb;
+          case CmpOp::Ge: return fa >= fb;
+          case CmpOp::None: break;
+        }
+        panic("set/setp without comparison");
+    }
+    unsigned bits = typeBits(type);
+    if (isSignedType(type)) {
+        std::int64_t sa = signExt(a, bits);
+        std::int64_t sb = signExt(b, bits);
+        switch (cmp) {
+          case CmpOp::Eq: return sa == sb;
+          case CmpOp::Ne: return sa != sb;
+          case CmpOp::Lt: return sa < sb;
+          case CmpOp::Le: return sa <= sb;
+          case CmpOp::Gt: return sa > sb;
+          case CmpOp::Ge: return sa >= sb;
+          case CmpOp::None: break;
+        }
+        panic("set/setp without comparison");
+    }
+    std::uint64_t ua = truncVal(a, bits);
+    std::uint64_t ub = truncVal(b, bits);
+    switch (cmp) {
+      case CmpOp::Eq: return ua == ub;
+      case CmpOp::Ne: return ua != ub;
+      case CmpOp::Lt: return ua < ub;
+      case CmpOp::Le: return ua <= ub;
+      case CmpOp::Gt: return ua > ub;
+      case CmpOp::Ge: return ua >= ub;
+      case CmpOp::None: break;
+    }
+    panic("set/setp without comparison");
+}
+
+/** Float->int conversion with CUDA-like saturation and NaN->0. */
+inline std::int64_t
+floatToInt(double v, unsigned bits, bool is_signed)
+{
+    if (std::isnan(v))
+        return 0;
+    double lo, hi;
+    if (is_signed) {
+        lo = -std::ldexp(1.0, static_cast<int>(bits) - 1);
+        hi = std::ldexp(1.0, static_cast<int>(bits) - 1) - 1.0;
+    } else {
+        lo = 0.0;
+        hi = std::ldexp(1.0, static_cast<int>(bits)) - 1.0;
+    }
+    if (v < lo)
+        v = lo;
+    if (v > hi)
+        v = hi;
+    return static_cast<std::int64_t>(std::trunc(v));
+}
+
+/** ALU evaluation for two/three-operand ops; returns the raw result. */
+std::uint64_t
+evalAlu(const Instruction &insn, std::uint64_t a, std::uint64_t b,
+        std::uint64_t c)
+{
+    const DataType t = insn.type;
+    const unsigned bits = typeBits(t);
+
+    if (t == DataType::F32) {
+        float fa = asF32(a), fb = asF32(b), fc = asF32(c);
+        switch (insn.op) {
+          case Opcode::Mov: return fromF32(fa);
+          case Opcode::Add: return fromF32(fa + fb);
+          case Opcode::Sub: return fromF32(fa - fb);
+          case Opcode::Mul: return fromF32(fa * fb);
+          case Opcode::Mad: return fromF32(fa * fb + fc);
+          case Opcode::Div: return fromF32(fa / fb);
+          case Opcode::Min: return fromF32(std::fmin(fa, fb));
+          case Opcode::Max: return fromF32(std::fmax(fa, fb));
+          case Opcode::Neg: return fromF32(-fa);
+          case Opcode::Abs: return fromF32(std::fabs(fa));
+          case Opcode::Rcp: return fromF32(1.0f / fa);
+          case Opcode::Sqrt: return fromF32(std::sqrt(fa));
+          case Opcode::Rsqrt: return fromF32(1.0f / std::sqrt(fa));
+          case Opcode::Ex2: return fromF32(std::exp2(fa));
+          case Opcode::Lg2: return fromF32(std::log2(fa));
+          case Opcode::Rem: return fromF32(std::fmod(fa, fb));
+          default: break;
+        }
+        panic("opcode ", opcodeName(insn.op), " not valid for f32");
+    }
+
+    if (t == DataType::F64) {
+        double fa = asF64(a), fb = asF64(b), fc = asF64(c);
+        switch (insn.op) {
+          case Opcode::Mov: return fromF64(fa);
+          case Opcode::Add: return fromF64(fa + fb);
+          case Opcode::Sub: return fromF64(fa - fb);
+          case Opcode::Mul: return fromF64(fa * fb);
+          case Opcode::Mad: return fromF64(fa * fb + fc);
+          case Opcode::Div: return fromF64(fa / fb);
+          case Opcode::Min: return fromF64(std::fmin(fa, fb));
+          case Opcode::Max: return fromF64(std::fmax(fa, fb));
+          case Opcode::Neg: return fromF64(-fa);
+          case Opcode::Abs: return fromF64(std::fabs(fa));
+          case Opcode::Rcp: return fromF64(1.0 / fa);
+          case Opcode::Sqrt: return fromF64(std::sqrt(fa));
+          case Opcode::Rsqrt: return fromF64(1.0 / std::sqrt(fa));
+          case Opcode::Rem: return fromF64(std::fmod(fa, fb));
+          default: break;
+        }
+        panic("opcode ", opcodeName(insn.op), " not valid for f64");
+    }
+
+    const bool sgn = isSignedType(t);
+    switch (insn.op) {
+      case Opcode::Mov:
+        return truncVal(a, bits);
+      case Opcode::Add:
+        return truncVal(a + b, bits);
+      case Opcode::Sub:
+        return truncVal(a - b, bits);
+      case Opcode::Mul:
+        return truncVal(a * b, bits);
+      case Opcode::Mad:
+        return truncVal(a * b + c, bits);
+      case Opcode::MulWide:
+      case Opcode::MadWide: {
+        std::uint64_t prod;
+        if (sgn) {
+            prod = static_cast<std::uint64_t>(signExt(a, bits) *
+                                              signExt(b, bits));
+        } else {
+            prod = truncVal(a, bits) * truncVal(b, bits);
+        }
+        std::uint64_t acc =
+            insn.op == Opcode::MadWide ? prod + c : prod;
+        return truncVal(acc, 2 * bits);
+      }
+      case Opcode::Div: {
+        if (truncVal(b, bits) == 0)
+            return truncVal(~std::uint64_t{0}, bits);
+        if (sgn) {
+            std::int64_t sa = signExt(a, bits), sb = signExt(b, bits);
+            // Avoid the INT_MIN / -1 trap: hardware wraps.
+            if (sb == -1)
+                return truncVal(static_cast<std::uint64_t>(-sa), bits);
+            return truncVal(static_cast<std::uint64_t>(sa / sb), bits);
+        }
+        return truncVal(truncVal(a, bits) / truncVal(b, bits), bits);
+      }
+      case Opcode::Rem: {
+        if (truncVal(b, bits) == 0)
+            return truncVal(a, bits);
+        if (sgn) {
+            std::int64_t sa = signExt(a, bits), sb = signExt(b, bits);
+            if (sb == -1)
+                return 0;
+            return truncVal(static_cast<std::uint64_t>(sa % sb), bits);
+        }
+        return truncVal(a, bits) % truncVal(b, bits);
+      }
+      case Opcode::Min:
+        if (sgn) {
+            return truncVal(static_cast<std::uint64_t>(std::min(
+                                signExt(a, bits), signExt(b, bits))),
+                            bits);
+        }
+        return std::min(truncVal(a, bits), truncVal(b, bits));
+      case Opcode::Max:
+        if (sgn) {
+            return truncVal(static_cast<std::uint64_t>(std::max(
+                                signExt(a, bits), signExt(b, bits))),
+                            bits);
+        }
+        return std::max(truncVal(a, bits), truncVal(b, bits));
+      case Opcode::Neg:
+        return truncVal(0 - a, bits);
+      case Opcode::Abs: {
+        std::int64_t sa = signExt(a, bits);
+        return truncVal(static_cast<std::uint64_t>(sa < 0 ? -sa : sa), bits);
+      }
+      case Opcode::And:
+        return truncVal(a & b, bits);
+      case Opcode::Or:
+        return truncVal(a | b, bits);
+      case Opcode::Xor:
+        return truncVal(a ^ b, bits);
+      case Opcode::Not:
+        return truncVal(~a, bits);
+      case Opcode::Shl: {
+        std::uint64_t s = truncVal(b, bits);
+        if (s >= bits)
+            return 0;
+        return truncVal(truncVal(a, bits) << s, bits);
+      }
+      case Opcode::Shr: {
+        std::uint64_t s = truncVal(b, bits);
+        if (sgn) {
+            std::int64_t sa = signExt(a, bits);
+            if (s >= bits)
+                return truncVal(static_cast<std::uint64_t>(sa < 0 ? -1 : 0),
+                                bits);
+            return truncVal(static_cast<std::uint64_t>(sa >>
+                                                       static_cast<int>(s)),
+                            bits);
+        }
+        if (s >= bits)
+            return 0;
+        return truncVal(a, bits) >> s;
+      }
+      default:
+        break;
+    }
+    panic("opcode ", opcodeName(insn.op), " not valid for integer types");
+}
+
+/** cvt semantics: read as stype, convert to dtype, return raw bits. */
+std::uint64_t
+evalCvt(const Instruction &insn, std::uint64_t raw)
+{
+    const DataType st = insn.stype;
+    const DataType dt = insn.type;
+
+    if (isFloatType(st)) {
+        double v = st == DataType::F32 ? asF32(raw) : asF64(raw);
+        if (dt == DataType::F32)
+            return fromF32(static_cast<float>(v));
+        if (dt == DataType::F64)
+            return fromF64(v);
+        return truncVal(static_cast<std::uint64_t>(floatToInt(
+                            v, typeBits(dt), isSignedType(dt))),
+                        typeBits(dt));
+    }
+
+    // Integer source.
+    std::int64_t sv = isSignedType(st) ? signExt(raw, typeBits(st))
+                                       : static_cast<std::int64_t>(
+                                             truncVal(raw, typeBits(st)));
+    if (dt == DataType::F32) {
+        return fromF32(isSignedType(st)
+                           ? static_cast<float>(sv)
+                           : static_cast<float>(
+                                 static_cast<std::uint64_t>(sv)));
+    }
+    if (dt == DataType::F64) {
+        return fromF64(isSignedType(st)
+                           ? static_cast<double>(sv)
+                           : static_cast<double>(
+                                 static_cast<std::uint64_t>(sv)));
+    }
+    return truncVal(static_cast<std::uint64_t>(sv), typeBits(dt));
+}
+
+/**
+ * The per-thread interpreter loop.  Runs until the thread exits,
+ * reaches a barrier, crashes, or exceeds its budget.
+ */
+StopReason
+runThread(ThreadState &t, const Program &prog, CtaContext &ctx)
+{
+    const auto &code = prog.instructions();
+    const std::size_t code_size = code.size();
+
+    std::vector<DynRecord> *dyn_trace = nullptr;
+    if (t.traced)
+        dyn_trace = &ctx.trace->dynTraces[t.globalId];
+
+    const bool is_fault_thread =
+        ctx.fault != nullptr && ctx.fault->thread == t.globalId;
+
+    while (true) {
+        if (t.pc >= code_size) {
+            t.exited = true;
+            return StopReason::Exited;
+        }
+        if (t.icnt >= ctx.budget) {
+            std::ostringstream os;
+            os << "thread " << t.globalId << " exceeded budget of "
+               << ctx.budget << " dynamic instructions";
+            ctx.diagnostic = os.str();
+            return StopReason::Hung;
+        }
+
+        const Instruction &insn = code[t.pc];
+        const std::uint64_t dyn_index = t.icnt;
+        t.icnt++;
+
+        const bool pass = guardPasses(insn.guard, t);
+        std::uint16_t recorded_bits = 0;
+        bool hit_barrier = false;
+
+        if (pass) {
+            switch (insn.op) {
+              case Opcode::Nop:
+              case Opcode::Ssy:
+                t.pc++;
+                break;
+
+              case Opcode::Ret:
+              case Opcode::Exit:
+                t.exited = true;
+                break;
+
+              case Opcode::Bra:
+                t.pc = static_cast<std::uint64_t>(insn.target);
+                break;
+
+              case Opcode::Bar:
+                t.pc++;
+                hit_barrier = true;
+                break;
+
+              case Opcode::Ld:
+              case Opcode::St: {
+                const Operand &mem = insn.src[0];
+                std::uint64_t base =
+                    mem.memBase >= 0
+                        ? truncVal(t.regs[static_cast<unsigned>(mem.memBase)],
+                                   32)
+                        : 0;
+                if (mem.memBase == static_cast<std::int32_t>(kZeroReg))
+                    base = 0;
+                std::uint64_t addr =
+                    base + static_cast<std::uint64_t>(mem.memOffset);
+                unsigned width = typeBits(insn.type) / 8;
+
+                AccessError err;
+                std::uint64_t value = 0;
+                if (insn.op == Opcode::Ld) {
+                    switch (insn.space) {
+                      case MemSpace::Global:
+                        err = ctx.gmem.load(addr, width, value);
+                        break;
+                      case MemSpace::Shared:
+                        err = ctx.smem.load(addr, width, value);
+                        break;
+                      case MemSpace::Param:
+                        err = ctx.params.load(addr, width, value);
+                        break;
+                      default:
+                        panic("ld without address space");
+                    }
+                } else {
+                    value = readSrc(t, ctx, insn.src[1], insn.type);
+                    value = truncVal(value, typeBits(insn.type));
+                    switch (insn.space) {
+                      case MemSpace::Global:
+                        err = ctx.gmem.store(addr, width, value);
+                        break;
+                      case MemSpace::Shared:
+                        err = ctx.smem.store(addr, width, value);
+                        break;
+                      default:
+                        panic("st without writable address space");
+                    }
+                }
+
+                if (err != AccessError::None) {
+                    std::ostringstream os;
+                    os << "thread " << t.globalId << " "
+                       << (insn.op == Opcode::Ld ? "load" : "store")
+                       << " fault at " << spaceName(insn.space) << " 0x"
+                       << std::hex << addr << std::dec << " ("
+                       << (err == AccessError::Unmapped ? "unmapped"
+                                                        : "misaligned")
+                       << "): " << insn.text;
+                    ctx.diagnostic = os.str();
+                    return StopReason::Crashed;
+                }
+
+                if (insn.op == Opcode::Ld) {
+                    // Sign-extend signed loads into the register.
+                    if (isSignedType(insn.type)) {
+                        value = static_cast<std::uint64_t>(
+                            signExt(value, typeBits(insn.type)));
+                        value = truncVal(value, 64);
+                    }
+                    if (insn.dest.kind == Operand::Kind::GpReg &&
+                        insn.dest.reg != kZeroReg) {
+                        t.regs[insn.dest.reg] = value;
+                        recorded_bits = static_cast<std::uint16_t>(
+                            typeBits(insn.type));
+                        if (is_fault_thread && dyn_index ==
+                            ctx.fault->dynIndex &&
+                            ctx.fault->bit < recorded_bits) {
+                            t.regs[insn.dest.reg] ^= std::uint64_t{1}
+                                                     << ctx.fault->bit;
+                            ctx.fault->applied = true;
+                        }
+                    }
+                }
+                t.pc++;
+                break;
+              }
+
+              default: {
+                // ALU / SFU / compare / conversion path.
+                std::uint64_t result;
+                if (insn.op == Opcode::Cvt) {
+                    std::uint64_t a = readSrc(t, ctx, insn.src[0],
+                                              insn.stype);
+                    result = evalCvt(insn, a);
+                } else if (insn.op == Opcode::Set ||
+                           insn.op == Opcode::Setp) {
+                    std::uint64_t a = readSrc(t, ctx, insn.src[0],
+                                              insn.stype);
+                    std::uint64_t b = readSrc(t, ctx, insn.src[1],
+                                              insn.stype);
+                    bool r = compareValues(insn.cmp, a, b, insn.stype);
+                    unsigned dbits = insn.type == DataType::Pred
+                                         ? 32
+                                         : typeBits(insn.type);
+                    result = r ? truncVal(~std::uint64_t{0}, dbits) : 0;
+                } else if (insn.op == Opcode::Selp) {
+                    std::uint64_t a = readSrc(t, ctx, insn.src[0],
+                                              insn.type);
+                    std::uint64_t b = readSrc(t, ctx, insn.src[1],
+                                              insn.type);
+                    std::uint64_t cnd = readSrc(t, ctx, insn.src[2],
+                                                DataType::U32);
+                    result = cnd ? truncVal(a, typeBits(insn.type))
+                                 : truncVal(b, typeBits(insn.type));
+                } else {
+                    unsigned n = opcodeSrcCount(insn.op);
+                    std::uint64_t a = readSrc(t, ctx, insn.src[0],
+                                              insn.type);
+                    std::uint64_t b =
+                        n > 1 ? readSrc(t, ctx, insn.src[1], insn.type) : 0;
+                    std::uint64_t c =
+                        n > 2 ? readSrc(t, ctx, insn.src[2], insn.type) : 0;
+                    result = evalAlu(insn, a, b, c);
+                }
+
+                // Writeback: primary dest is either a GPR value or a
+                // 4-bit CC register (with an optional data side-effect
+                // through dest2, PTXPlus "$p0|$r1" style).
+                if (insn.dest.kind == Operand::Kind::PredReg) {
+                    DataType cc_type =
+                        insn.op == Opcode::Set || insn.op == Opcode::Setp
+                            ? (insn.type == DataType::Pred ? DataType::U32
+                                                           : insn.type)
+                            : insn.type;
+                    t.ccs[insn.dest.reg] = ccFromValue(result, cc_type);
+                    recorded_bits = typeBits(DataType::Pred);
+                    if (is_fault_thread &&
+                        dyn_index == ctx.fault->dynIndex &&
+                        ctx.fault->bit < recorded_bits) {
+                        t.ccs[insn.dest.reg] ^=
+                            static_cast<std::uint8_t>(1u << ctx.fault->bit);
+                        ctx.fault->applied = true;
+                    }
+                    if (insn.dest2.kind == Operand::Kind::GpReg &&
+                        insn.dest2.reg != kZeroReg) {
+                        t.regs[insn.dest2.reg] = result;
+                    }
+                } else if (insn.dest.kind == Operand::Kind::GpReg &&
+                           insn.dest.reg != kZeroReg) {
+                    t.regs[insn.dest.reg] = result;
+                    recorded_bits = static_cast<std::uint16_t>(
+                        insn.op == Opcode::MulWide ||
+                                insn.op == Opcode::MadWide
+                            ? 2 * typeBits(insn.type)
+                            : typeBits(insn.type));
+                    if (is_fault_thread &&
+                        dyn_index == ctx.fault->dynIndex &&
+                        ctx.fault->bit < recorded_bits) {
+                        t.regs[insn.dest.reg] ^= std::uint64_t{1}
+                                                 << ctx.fault->bit;
+                        ctx.fault->applied = true;
+                    }
+                }
+                t.pc++;
+                break;
+              }
+            }
+        } else {
+            // Guard failed: the instruction issues (counted in iCnt, as
+            // in the PTXPlus trace model) but performs no writeback, no
+            // branch, and no barrier arrival.
+            t.pc++;
+        }
+
+        t.faultBits += recorded_bits;
+        if (dyn_trace) {
+            dyn_trace->push_back(
+                {static_cast<std::uint32_t>(&insn - code.data()),
+                 recorded_bits});
+        }
+
+        if (hit_barrier)
+            return StopReason::Barrier;
+        if (t.exited)
+            return StopReason::Exited;
+    }
+}
+
+} // namespace
+
+Executor::Executor(const Program &program, LaunchConfig config)
+    : program_(program), config_(std::move(config))
+{
+    program_.validate();
+    FSP_ASSERT(config_.grid.count() > 0 && config_.block.count() > 0,
+               "empty launch");
+}
+
+RunResult
+Executor::run(GlobalMemory &gmem, const TraceOptions *opts,
+              FaultPlan *fault) const
+{
+    RunResult result;
+    if (fault)
+        fault->applied = false;
+
+    const Dim3 &grid = config_.grid;
+    const Dim3 &block = config_.block;
+    const std::uint64_t block_threads = block.count();
+    const std::uint64_t total_threads = config_.threadCount();
+
+    if (opts && opts->perThreadProfiles)
+        result.trace.profiles.resize(total_threads);
+
+    SharedMemory smem(config_.sharedBytes);
+    std::vector<ThreadState> threads(block_threads);
+
+    CtaContext ctx{gmem,
+                   smem,
+                   config_.params,
+                   block,
+                   grid,
+                   0,
+                   0,
+                   0,
+                   config_.maxDynInstrPerThread
+                       ? config_.maxDynInstrPerThread
+                       : kDefaultBudget,
+                   opts,
+                   fault,
+                   &result.trace,
+                   {}};
+
+    std::uint64_t cta_linear = 0;
+    for (std::uint32_t cz = 0; cz < grid.z; ++cz) {
+        for (std::uint32_t cy = 0; cy < grid.y; ++cy) {
+            for (std::uint32_t cx = 0; cx < grid.x; ++cx, ++cta_linear) {
+                ctx.ctaidX = cx;
+                ctx.ctaidY = cy;
+                ctx.ctaidZ = cz;
+                smem.clear();
+
+                // Initialise thread states for this CTA.
+                std::uint64_t tl = 0;
+                for (std::uint32_t tz = 0; tz < block.z; ++tz) {
+                    for (std::uint32_t ty = 0; ty < block.y; ++ty) {
+                        for (std::uint32_t tx = 0; tx < block.x;
+                             ++tx, ++tl) {
+                            ThreadState &t = threads[tl];
+                            t.reset();
+                            t.tidX = tx;
+                            t.tidY = ty;
+                            t.tidZ = tz;
+                            t.globalId =
+                                cta_linear * block_threads + tl;
+                            t.traced =
+                                opts &&
+                                opts->traceThreads.count(t.globalId) > 0;
+                        }
+                    }
+                }
+
+                // Cooperative barrier-phase scheduling.
+                bool cta_live = true;
+                while (cta_live) {
+                    bool any_ran = false;
+                    for (auto &t : threads) {
+                        if (t.exited)
+                            continue;
+                        any_ran = true;
+                        StopReason reason = runThread(t, program_, ctx);
+                        if (reason == StopReason::Crashed ||
+                            reason == StopReason::Hung) {
+                            // Account the partial work, then abort the
+                            // whole launch (a faulting kernel dies).
+                            for (const auto &u : threads)
+                                result.totalDynInstrs += u.icnt;
+                            if (opts && opts->perThreadProfiles) {
+                                for (const auto &u : threads) {
+                                    auto &p =
+                                        result.trace.profiles[u.globalId];
+                                    p.iCnt = u.icnt;
+                                    p.faultBits = u.faultBits;
+                                }
+                            }
+                            result.status =
+                                reason == StopReason::Crashed
+                                    ? RunStatus::Crashed
+                                    : RunStatus::Hung;
+                            result.diagnostic = ctx.diagnostic;
+                            return result;
+                        }
+                        if (reason == StopReason::Barrier)
+                            t.atBarrier = true;
+                    }
+                    if (!any_ran) {
+                        cta_live = false;
+                        break;
+                    }
+                    // Every live thread is either exited or at a
+                    // barrier here; release the barrier.
+                    for (auto &t : threads)
+                        t.atBarrier = false;
+                }
+
+                // CTA retired: accumulate profiles.
+                for (const auto &t : threads) {
+                    result.totalDynInstrs += t.icnt;
+                    if (opts && opts->perThreadProfiles) {
+                        auto &p = result.trace.profiles[t.globalId];
+                        p.iCnt = t.icnt;
+                        p.faultBits = t.faultBits;
+                    }
+                }
+            }
+        }
+    }
+
+    return result;
+}
+
+} // namespace fsp::sim

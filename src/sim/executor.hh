@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The functional SIMT executor: runs a decoded kernel over a full grid,
+ * modelling per-thread register state, CTA shared memory and barriers,
+ * branch divergence, crash detection (wild/misaligned addresses) and
+ * hang detection (per-thread instruction budgets).  Optional hooks
+ * collect traces and apply a single-bit destination-register fault.
+ */
+
+#ifndef FSP_SIM_EXECUTOR_HH
+#define FSP_SIM_EXECUTOR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/fault.hh"
+#include "sim/launch.hh"
+#include "sim/memory.hh"
+#include "sim/program.hh"
+#include "sim/trace.hh"
+
+namespace fsp::sim {
+
+/** Terminal status of a kernel launch. */
+enum class RunStatus : std::uint8_t
+{
+    Completed, ///< every thread retired normally
+    Crashed,   ///< a thread performed an invalid memory access
+    Hung,      ///< a thread exceeded its dynamic-instruction budget
+};
+
+std::string runStatusName(RunStatus status);
+
+/** Result of one simulated kernel launch. */
+struct RunResult
+{
+    RunStatus status = RunStatus::Completed;
+    std::uint64_t totalDynInstrs = 0; ///< across all threads
+    std::string diagnostic;           ///< crash/hang detail (human readable)
+    TraceData trace;                  ///< populated per TraceOptions
+};
+
+/**
+ * Executes kernel launches.  Stateless between runs: all mutable state
+ * (global memory) is passed in, so a campaign can restore a pristine
+ * memory image and re-run cheaply.
+ */
+class Executor
+{
+  public:
+    /**
+     * @param program decoded kernel (must outlive the executor).
+     * @param config launch geometry and parameters (copied).
+     */
+    Executor(const Program &program, LaunchConfig config);
+
+    /**
+     * Run the launch to completion.
+     *
+     * @param gmem global memory image, mutated in place.
+     * @param opts optional trace collection.
+     * @param fault optional single-bit fault to apply.
+     */
+    RunResult run(GlobalMemory &gmem, const TraceOptions *opts = nullptr,
+                  FaultPlan *fault = nullptr) const;
+
+    const LaunchConfig &config() const { return config_; }
+    const Program &program() const { return program_; }
+
+  private:
+    const Program &program_;
+    LaunchConfig config_;
+};
+
+} // namespace fsp::sim
+
+#endif // FSP_SIM_EXECUTOR_HH

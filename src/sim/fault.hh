@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The single-bit-flip fault plan applied by the executor.
+ *
+ * Following the paper's fault model (section II-C), a fault site is the
+ * triple (thread id, dynamic instruction id, destination-register bit
+ * position): after the target dynamic instruction of the target thread
+ * writes its destination register, one bit of the written value is
+ * flipped, mimicking a soft error in the functional unit that produced
+ * the value.
+ */
+
+#ifndef FSP_SIM_FAULT_HH
+#define FSP_SIM_FAULT_HH
+
+#include <cstdint>
+
+namespace fsp::sim {
+
+/** A planned single-bit flip, consumed by Executor::run. */
+struct FaultPlan
+{
+    std::uint64_t thread = 0;   ///< global linear thread id
+    std::uint64_t dynIndex = 0; ///< 0-based dynamic instruction index
+    std::uint32_t bit = 0;      ///< bit position within the destination
+
+    /**
+     * Set by the executor when the flip was actually performed (the
+     * target thread reached the target dynamic instruction and that
+     * instruction wrote a destination register wide enough).
+     */
+    bool applied = false;
+};
+
+} // namespace fsp::sim
+
+#endif // FSP_SIM_FAULT_HH

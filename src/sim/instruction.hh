@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Decoded operand and instruction representations.  Programs are fully
+ * decoded by the assembler (src/ptx) before execution; the executor
+ * interprets these structures directly, which keeps the per-dynamic-
+ * instruction cost low enough for large fault-injection campaigns.
+ */
+
+#ifndef FSP_SIM_INSTRUCTION_HH
+#define FSP_SIM_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/isa.hh"
+#include "sim/types.hh"
+
+namespace fsp::sim {
+
+/**
+ * The PTXPlus zero register: reads return 0, writes are discarded.
+ * Matches GPGPU-Sim's $r124 convention (visible in the paper's Fig. 5
+ * listings, e.g. "mov.u32 $r2, $r124").
+ */
+constexpr unsigned kZeroReg = 124;
+
+/** Maximum general-purpose registers per thread. */
+constexpr unsigned kNumGpRegs = 128;
+
+/** Number of 4-bit predicate (condition code) registers per thread. */
+constexpr unsigned kNumPredRegs = 8;
+
+/** Special (read-only) registers. */
+enum class SpecialReg : std::uint8_t
+{
+    TidX,
+    TidY,
+    TidZ,
+    NtidX,
+    NtidY,
+    NtidZ,
+    CtaidX,
+    CtaidY,
+    CtaidZ,
+    NctaidX,
+    NctaidY,
+    NctaidZ,
+};
+
+/** 16-bit half selection on a 32-bit register source (PTXPlus .lo/.hi). */
+enum class HalfSel : std::uint8_t
+{
+    None,
+    Lo,
+    Hi,
+};
+
+/** A decoded operand. */
+struct Operand
+{
+    enum class Kind : std::uint8_t
+    {
+        None,
+        GpReg,   ///< $rN, optional .lo/.hi half and unary negation
+        PredReg, ///< $pN
+        Discard, ///< $o127 bit bucket: writes vanish, reads yield 0
+        Special, ///< %tid.x and friends
+        Imm,     ///< integer or float immediate (raw 64-bit payload)
+        MemRef,  ///< [ $rN + offset ] or [ offset ]
+    };
+
+    Kind kind = Kind::None;
+    std::uint8_t reg = 0;            ///< register index for GpReg/PredReg
+    HalfSel half = HalfSel::None;    ///< half selection (GpReg sources)
+    bool negated = false;            ///< unary minus on a GpReg source
+    SpecialReg special = SpecialReg::TidX;
+    std::uint64_t imm = 0;           ///< immediate payload (raw bits)
+    std::int32_t memBase = -1;       ///< MemRef base register or -1
+    std::int64_t memOffset = 0;      ///< MemRef byte offset
+
+    static Operand
+    makeGpReg(unsigned index, HalfSel half = HalfSel::None,
+              bool negated = false)
+    {
+        Operand o;
+        o.kind = Kind::GpReg;
+        o.reg = static_cast<std::uint8_t>(index);
+        o.half = half;
+        o.negated = negated;
+        return o;
+    }
+
+    static Operand
+    makePredReg(unsigned index)
+    {
+        Operand o;
+        o.kind = Kind::PredReg;
+        o.reg = static_cast<std::uint8_t>(index);
+        return o;
+    }
+
+    static Operand
+    makeDiscard()
+    {
+        Operand o;
+        o.kind = Kind::Discard;
+        return o;
+    }
+
+    static Operand
+    makeSpecial(SpecialReg sr)
+    {
+        Operand o;
+        o.kind = Kind::Special;
+        o.special = sr;
+        return o;
+    }
+
+    static Operand
+    makeImm(std::uint64_t raw)
+    {
+        Operand o;
+        o.kind = Kind::Imm;
+        o.imm = raw;
+        return o;
+    }
+
+    static Operand
+    makeMemRef(std::int32_t base_reg, std::int64_t offset)
+    {
+        Operand o;
+        o.kind = Kind::MemRef;
+        o.memBase = base_reg;
+        o.memOffset = offset;
+        return o;
+    }
+};
+
+/** Guard ("@$p0.ne") attached to an instruction. */
+struct Guard
+{
+    GuardCond cond = GuardCond::Always;
+    std::uint8_t pred = 0;
+
+    bool active() const { return cond != GuardCond::Always; }
+};
+
+/** A fully decoded instruction. */
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+    DataType type = DataType::None;  ///< result type (".u32" suffix)
+    DataType stype = DataType::None; ///< source type for cvt/set
+    CmpOp cmp = CmpOp::None;         ///< comparison for set/setp
+    MemSpace space = MemSpace::None; ///< address space for ld/st
+    Guard guard;
+
+    Operand dest;    ///< primary destination (fault-injection target)
+    Operand dest2;   ///< secondary destination (set's data result)
+    Operand src[3];  ///< sources; ld uses src[0] as the MemRef,
+                     ///< st uses src[0] = MemRef, src[1] = value
+
+    std::int32_t target = -1;   ///< branch target (instruction index)
+    std::uint32_t barrier = 0;  ///< bar.sync barrier id
+    std::uint32_t line = 0;     ///< 1-based source line (for listings)
+    std::string text;           ///< original source text (diagnostics)
+
+    /** True when this instruction writes a fault-injectable dest. */
+    bool
+    hasDest() const
+    {
+        return opcodeWritesDest(op) && dest.kind != Operand::Kind::Discard &&
+               !(dest.kind == Operand::Kind::GpReg && dest.reg == kZeroReg);
+    }
+
+    /**
+     * Bit width of the primary destination under the single-bit-flip
+     * fault model: 4 for predicate CC registers, the type width
+     * otherwise.
+     */
+    unsigned
+    destBits() const
+    {
+        if (!hasDest())
+            return 0;
+        if (dest.kind == Operand::Kind::PredReg)
+            return typeBits(DataType::Pred);
+        if (op == Opcode::MulWide || op == Opcode::MadWide)
+            return 2 * typeBits(type);
+        return typeBits(type);
+    }
+};
+
+} // namespace fsp::sim
+
+#endif // FSP_SIM_INSTRUCTION_HH

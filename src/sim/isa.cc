@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Static opcode property tables.
+ */
+
+#include "sim/isa.hh"
+
+#include <array>
+#include <unordered_map>
+
+#include "util/logging.hh"
+
+namespace fsp::sim {
+
+namespace {
+
+struct OpInfo
+{
+    const char *name;
+    unsigned srcCount;
+    bool writesDest;
+    bool isMemory;
+    bool isControl;
+};
+
+constexpr std::array<OpInfo, kNumOpcodes> kOpTable = {{
+    /* Mov     */ {"mov", 1, true, false, false},
+    /* Cvt     */ {"cvt", 1, true, false, false},
+    /* Selp    */ {"selp", 3, true, false, false},
+    /* Add     */ {"add", 2, true, false, false},
+    /* Sub     */ {"sub", 2, true, false, false},
+    /* Mul     */ {"mul", 2, true, false, false},
+    /* MulWide */ {"mul.wide", 2, true, false, false},
+    /* Mad     */ {"mad", 3, true, false, false},
+    /* MadWide */ {"mad.wide", 3, true, false, false},
+    /* Div     */ {"div", 2, true, false, false},
+    /* Rem     */ {"rem", 2, true, false, false},
+    /* Min     */ {"min", 2, true, false, false},
+    /* Max     */ {"max", 2, true, false, false},
+    /* Neg     */ {"neg", 1, true, false, false},
+    /* Abs     */ {"abs", 1, true, false, false},
+    /* Rcp     */ {"rcp", 1, true, false, false},
+    /* Sqrt    */ {"sqrt", 1, true, false, false},
+    /* Rsqrt   */ {"rsqrt", 1, true, false, false},
+    /* Ex2     */ {"ex2", 1, true, false, false},
+    /* Lg2     */ {"lg2", 1, true, false, false},
+    /* And     */ {"and", 2, true, false, false},
+    /* Or      */ {"or", 2, true, false, false},
+    /* Xor     */ {"xor", 2, true, false, false},
+    /* Not     */ {"not", 1, true, false, false},
+    /* Shl     */ {"shl", 2, true, false, false},
+    /* Shr     */ {"shr", 2, true, false, false},
+    /* Set     */ {"set", 2, true, false, false},
+    /* Setp    */ {"setp", 2, true, false, false},
+    /* Ld      */ {"ld", 1, true, true, false},
+    /* St      */ {"st", 2, false, true, false},
+    /* Bra     */ {"bra", 0, false, false, true},
+    /* Ssy     */ {"ssy", 0, false, false, true},
+    /* Bar     */ {"bar.sync", 0, false, false, true},
+    /* Ret     */ {"retp", 0, false, false, true},
+    /* Exit    */ {"exit", 0, false, false, true},
+    /* Nop     */ {"nop", 0, false, false, false},
+}};
+
+const OpInfo &
+info(Opcode op)
+{
+    auto index = static_cast<unsigned>(op);
+    FSP_ASSERT(index < kNumOpcodes, "opcode out of range");
+    return kOpTable[index];
+}
+
+} // namespace
+
+std::string
+opcodeName(Opcode op)
+{
+    return info(op).name;
+}
+
+bool
+parseOpcode(const std::string &name, Opcode &out)
+{
+    static const std::unordered_map<std::string, Opcode> lookup = [] {
+        std::unordered_map<std::string, Opcode> m;
+        for (unsigned i = 0; i < kNumOpcodes; ++i)
+            m.emplace(kOpTable[i].name, static_cast<Opcode>(i));
+        // Accepted aliases.
+        m.emplace("ret", Opcode::Ret);
+        m.emplace("bar", Opcode::Bar);
+        return m;
+    }();
+
+    auto it = lookup.find(name);
+    if (it == lookup.end())
+        return false;
+    out = it->second;
+    return true;
+}
+
+unsigned
+opcodeSrcCount(Opcode op)
+{
+    return info(op).srcCount;
+}
+
+bool
+opcodeWritesDest(Opcode op)
+{
+    return info(op).writesDest;
+}
+
+bool
+opcodeIsMemory(Opcode op)
+{
+    return info(op).isMemory;
+}
+
+bool
+opcodeIsControl(Opcode op)
+{
+    return info(op).isControl;
+}
+
+} // namespace fsp::sim

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Opcode set of the PTXPlus-flavoured virtual ISA and static per-opcode
+ * properties (operand arity, whether the opcode writes a destination
+ * register, whether it is a memory/control operation).
+ */
+
+#ifndef FSP_SIM_ISA_HH
+#define FSP_SIM_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+namespace fsp::sim {
+
+/** All opcodes understood by the executor. */
+enum class Opcode : std::uint8_t
+{
+    // Data movement / conversion
+    Mov,
+    Cvt,
+    Selp,
+    // Integer & float arithmetic
+    Add,
+    Sub,
+    Mul,
+    MulWide, ///< 16x16 -> 32 widening multiply (PTXPlus mul.wide)
+    Mad,
+    MadWide, ///< widening multiply-add
+    Div,
+    Rem,
+    Min,
+    Max,
+    Neg,
+    Abs,
+    // Transcendental / special function unit
+    Rcp,
+    Sqrt,
+    Rsqrt,
+    Ex2,
+    Lg2,
+    // Bitwise / shifts
+    And,
+    Or,
+    Xor,
+    Not,
+    Shl,
+    Shr,
+    // Comparison
+    Set,  ///< set.CMP.dtype.stype: boolean result + condition codes
+    Setp, ///< setp.CMP.type: condition codes only
+    // Memory
+    Ld,
+    St,
+    // Control
+    Bra,
+    Ssy, ///< reconvergence hint; a no-op functionally
+    Bar, ///< bar.sync
+    Ret,
+    Exit,
+    Nop,
+};
+
+/** Number of opcodes (for table sizing). */
+constexpr unsigned kNumOpcodes = static_cast<unsigned>(Opcode::Nop) + 1;
+
+/** Mnemonic string ("mad", "ld", ...). */
+std::string opcodeName(Opcode op);
+
+/**
+ * Parse a mnemonic (without type suffixes).  @returns true and sets
+ * @p out on success.
+ */
+bool parseOpcode(const std::string &name, Opcode &out);
+
+/** Number of source operands the opcode consumes. */
+unsigned opcodeSrcCount(Opcode op);
+
+/**
+ * True when the opcode produces a destination-register value, i.e. it
+ * contributes fault sites under the paper's fault model (faults are
+ * injected into destination registers of ALU/SFU/LSU instructions).
+ */
+bool opcodeWritesDest(Opcode op);
+
+/** True for ld/st. */
+bool opcodeIsMemory(Opcode op);
+
+/** True for bra/bar/ret/exit/ssy. */
+bool opcodeIsControl(Opcode op);
+
+} // namespace fsp::sim
+
+#endif // FSP_SIM_ISA_HH

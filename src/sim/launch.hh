@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Kernel launch configuration: grid/block geometry, launch parameters,
+ * shared-memory size and the per-thread dynamic-instruction budget that
+ * backs hang detection.
+ */
+
+#ifndef FSP_SIM_LAUNCH_HH
+#define FSP_SIM_LAUNCH_HH
+
+#include <cstdint>
+
+#include "sim/memory.hh"
+#include "sim/types.hh"
+
+namespace fsp::sim {
+
+/** Launch configuration for one kernel invocation. */
+struct LaunchConfig
+{
+    Dim3 grid;                 ///< CTAs per grid
+    Dim3 block;                ///< threads per CTA
+    ParamBuffer params;        ///< kernel arguments (ld.param space)
+    std::uint32_t sharedBytes = 0; ///< shared memory per CTA
+
+    /**
+     * Per-thread dynamic-instruction budget; a thread exceeding it is
+     * declared hung (the paper's "other" outcome).  0 selects a large
+     * default suitable for fault-free profiling runs.
+     */
+    std::uint64_t maxDynInstrPerThread = 0;
+
+    /** Total threads in the launch. */
+    std::uint64_t
+    threadCount() const
+    {
+        return grid.count() * block.count();
+    }
+};
+
+} // namespace fsp::sim
+
+#endif // FSP_SIM_LAUNCH_HH

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Implementation of the simulator memory spaces.
+ */
+
+#include "sim/memory.hh"
+
+#include "util/logging.hh"
+
+namespace fsp::sim {
+
+namespace {
+
+inline bool
+aligned(std::uint64_t addr, unsigned width)
+{
+    return (addr & (width - 1)) == 0;
+}
+
+inline std::uint64_t
+loadRaw(const std::uint8_t *base, unsigned width)
+{
+    std::uint64_t out = 0;
+    std::memcpy(&out, base, width);
+    return out;
+}
+
+inline void
+storeRaw(std::uint8_t *base, unsigned width, std::uint64_t value)
+{
+    std::memcpy(base, &value, width);
+}
+
+} // namespace
+
+GlobalMemory::GlobalMemory(std::size_t capacity_bytes)
+    : capacity_(capacity_bytes)
+{
+}
+
+std::uint64_t
+GlobalMemory::allocate(std::size_t bytes, std::size_t alignment)
+{
+    FSP_ASSERT(alignment > 0 && (alignment & (alignment - 1)) == 0,
+               "alignment must be a power of two");
+    std::size_t start = (bump_ + alignment - 1) & ~(alignment - 1);
+    if (start + bytes > capacity_) {
+        fatal("global memory arena exhausted: need ", bytes, " bytes, ",
+              capacity_ - start, " available");
+    }
+    bump_ = start + bytes;
+    data_.resize(bump_, 0);
+    return kBaseAddr + start;
+}
+
+bool
+GlobalMemory::inBounds(std::uint64_t addr, unsigned width) const
+{
+    return addr >= kBaseAddr && addr + width <= kBaseAddr + bump_;
+}
+
+AccessError
+GlobalMemory::load(std::uint64_t addr, unsigned width,
+                   std::uint64_t &out) const
+{
+    if (!inBounds(addr, width))
+        return AccessError::Unmapped;
+    if (!aligned(addr, width))
+        return AccessError::Misaligned;
+    out = loadRaw(data_.data() + (addr - kBaseAddr), width);
+    return AccessError::None;
+}
+
+AccessError
+GlobalMemory::store(std::uint64_t addr, unsigned width, std::uint64_t value)
+{
+    if (!inBounds(addr, width))
+        return AccessError::Unmapped;
+    if (!aligned(addr, width))
+        return AccessError::Misaligned;
+    storeRaw(data_.data() + (addr - kBaseAddr), width, value);
+    return AccessError::None;
+}
+
+void
+GlobalMemory::pokeU32(std::uint64_t addr, std::uint32_t value)
+{
+    FSP_ASSERT(inBounds(addr, 4), "host poke out of bounds");
+    storeRaw(data_.data() + (addr - kBaseAddr), 4, value);
+}
+
+void
+GlobalMemory::pokeU64(std::uint64_t addr, std::uint64_t value)
+{
+    FSP_ASSERT(inBounds(addr, 8), "host poke out of bounds");
+    storeRaw(data_.data() + (addr - kBaseAddr), 8, value);
+}
+
+void
+GlobalMemory::pokeF32(std::uint64_t addr, float value)
+{
+    pokeU32(addr, std::bit_cast<std::uint32_t>(value));
+}
+
+void
+GlobalMemory::pokeF64(std::uint64_t addr, double value)
+{
+    pokeU64(addr, std::bit_cast<std::uint64_t>(value));
+}
+
+std::uint32_t
+GlobalMemory::peekU32(std::uint64_t addr) const
+{
+    FSP_ASSERT(inBounds(addr, 4), "host peek out of bounds");
+    return static_cast<std::uint32_t>(
+        loadRaw(data_.data() + (addr - kBaseAddr), 4));
+}
+
+std::uint64_t
+GlobalMemory::peekU64(std::uint64_t addr) const
+{
+    FSP_ASSERT(inBounds(addr, 8), "host peek out of bounds");
+    return loadRaw(data_.data() + (addr - kBaseAddr), 8);
+}
+
+float
+GlobalMemory::peekF32(std::uint64_t addr) const
+{
+    return std::bit_cast<float>(peekU32(addr));
+}
+
+double
+GlobalMemory::peekF64(std::uint64_t addr) const
+{
+    return std::bit_cast<double>(peekU64(addr));
+}
+
+std::vector<std::uint8_t>
+GlobalMemory::snapshot(std::uint64_t addr, std::size_t bytes) const
+{
+    FSP_ASSERT(inBounds(addr, 1) && addr + bytes <= kBaseAddr + bump_,
+               "snapshot out of bounds");
+    auto first = data_.begin() + static_cast<std::ptrdiff_t>(addr - kBaseAddr);
+    return {first, first + static_cast<std::ptrdiff_t>(bytes)};
+}
+
+AccessError
+SharedMemory::load(std::uint64_t addr, unsigned width,
+                   std::uint64_t &out) const
+{
+    if (addr + width > data_.size())
+        return AccessError::Unmapped;
+    if (!aligned(addr, width))
+        return AccessError::Misaligned;
+    out = loadRaw(data_.data() + addr, width);
+    return AccessError::None;
+}
+
+AccessError
+SharedMemory::store(std::uint64_t addr, unsigned width, std::uint64_t value)
+{
+    if (addr + width > data_.size())
+        return AccessError::Unmapped;
+    if (!aligned(addr, width))
+        return AccessError::Misaligned;
+    storeRaw(data_.data() + addr, width, value);
+    return AccessError::None;
+}
+
+std::size_t
+ParamBuffer::addU32(std::uint32_t value)
+{
+    align(4);
+    std::size_t offset = data_.size();
+    data_.resize(offset + 4);
+    storeRaw(data_.data() + offset, 4, value);
+    return offset;
+}
+
+std::size_t
+ParamBuffer::addU64(std::uint64_t value)
+{
+    align(8);
+    std::size_t offset = data_.size();
+    data_.resize(offset + 8);
+    storeRaw(data_.data() + offset, 8, value);
+    return offset;
+}
+
+std::size_t
+ParamBuffer::addF32(float value)
+{
+    return addU32(std::bit_cast<std::uint32_t>(value));
+}
+
+AccessError
+ParamBuffer::load(std::uint64_t addr, unsigned width,
+                  std::uint64_t &out) const
+{
+    if (addr + width > data_.size())
+        return AccessError::Unmapped;
+    if (!aligned(addr, width))
+        return AccessError::Misaligned;
+    out = loadRaw(data_.data() + addr, width);
+    return AccessError::None;
+}
+
+void
+ParamBuffer::align(std::size_t alignment)
+{
+    while (data_.size() % alignment != 0)
+        data_.push_back(0);
+}
+
+} // namespace fsp::sim

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Memory model for the functional GPU simulator.
+ *
+ * Global memory is a single bump-allocated arena starting at a non-zero
+ * base address, so that corrupted address registers (the typical cause of
+ * GPU kernel crashes under fault injection) dereference unmapped or
+ * misaligned addresses and surface as crashes -- the paper's "other"
+ * outcome.  Shared memory is a per-CTA bounds-checked buffer; param space
+ * is a read-only launch-argument buffer.
+ */
+
+#ifndef FSP_SIM_MEMORY_HH
+#define FSP_SIM_MEMORY_HH
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace fsp::sim {
+
+/** Result of an address check. */
+enum class AccessError : std::uint8_t
+{
+    None,
+    Unmapped,   ///< address outside every allocation window
+    Misaligned, ///< address not naturally aligned for the access width
+};
+
+/**
+ * Flat global-memory arena with a bump allocator.
+ *
+ * Copyable by design: fault-injection campaigns keep one pristine copy of
+ * the initialised memory image and restore it (copy-assign) before every
+ * injected run.  The backing store grows lazily to the allocation
+ * frontier (capacity is only an upper bound), so those per-run copies
+ * cost the bytes actually allocated, not the configured capacity.
+ */
+class GlobalMemory
+{
+  public:
+    /** Lowest valid address; [0, kBaseAddr) models the null page. */
+    static constexpr std::uint64_t kBaseAddr = 0x1000;
+
+    /** Construct with a maximum arena capacity in bytes. */
+    explicit GlobalMemory(std::size_t capacity_bytes = 1u << 24);
+
+    /**
+     * Allocate @p bytes with @p alignment; returns the device address.
+     * fatal() on arena exhaustion (a configuration error).
+     */
+    std::uint64_t allocate(std::size_t bytes, std::size_t alignment = 8);
+
+    /** Bytes currently allocated. */
+    std::size_t allocatedBytes() const { return bump_; }
+
+    /**
+     * Device-side load of @p width bytes (1/2/4/8).
+     *
+     * @return AccessError::None and sets @p out on success.
+     */
+    AccessError load(std::uint64_t addr, unsigned width,
+                     std::uint64_t &out) const;
+
+    /** Device-side store of @p width bytes (1/2/4/8). */
+    AccessError store(std::uint64_t addr, unsigned width,
+                      std::uint64_t value);
+
+    /** @{ Host-side typed accessors (bounds enforced via panic). */
+    void pokeU32(std::uint64_t addr, std::uint32_t value);
+    void pokeU64(std::uint64_t addr, std::uint64_t value);
+    void pokeF32(std::uint64_t addr, float value);
+    void pokeF64(std::uint64_t addr, double value);
+    std::uint32_t peekU32(std::uint64_t addr) const;
+    std::uint64_t peekU64(std::uint64_t addr) const;
+    float peekF32(std::uint64_t addr) const;
+    double peekF64(std::uint64_t addr) const;
+    /** @} */
+
+    /** Raw bytes of a region (for output capture/comparison). */
+    std::vector<std::uint8_t> snapshot(std::uint64_t addr,
+                                       std::size_t bytes) const;
+
+  private:
+    bool inBounds(std::uint64_t addr, unsigned width) const;
+
+    std::vector<std::uint8_t> data_; ///< sized to the frontier
+    std::size_t capacity_;           ///< maximum arena bytes
+    std::size_t bump_ = 0;
+};
+
+/** Per-CTA software-managed scratchpad. */
+class SharedMemory
+{
+  public:
+    explicit SharedMemory(std::size_t bytes) : data_(bytes, 0) {}
+
+    /** Reset all bytes to zero (fresh CTA launch). */
+    void clear() { std::fill(data_.begin(), data_.end(), 0); }
+
+    std::size_t size() const { return data_.size(); }
+
+    AccessError load(std::uint64_t addr, unsigned width,
+                     std::uint64_t &out) const;
+    AccessError store(std::uint64_t addr, unsigned width,
+                      std::uint64_t value);
+
+  private:
+    std::vector<std::uint8_t> data_;
+};
+
+/**
+ * Kernel launch parameter buffer with append-style builder methods;
+ * read-only from the device side (ld.param).
+ */
+class ParamBuffer
+{
+  public:
+    /** Append a 32-bit value; @return its byte offset. */
+    std::size_t addU32(std::uint32_t value);
+    /** Append a 64-bit value (8-aligned); @return its byte offset. */
+    std::size_t addU64(std::uint64_t value);
+    /** Append a float; @return its byte offset. */
+    std::size_t addF32(float value);
+
+    AccessError load(std::uint64_t addr, unsigned width,
+                     std::uint64_t &out) const;
+
+    const std::vector<std::uint8_t> &bytes() const { return data_; }
+    std::size_t size() const { return data_.size(); }
+
+  private:
+    void align(std::size_t alignment);
+
+    std::vector<std::uint8_t> data_;
+};
+
+} // namespace fsp::sim
+
+#endif // FSP_SIM_MEMORY_HH

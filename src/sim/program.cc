@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Program construction, validation, and listing.
+ */
+
+#include "sim/program.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace fsp::sim {
+
+Program::Program(std::string name, std::vector<Instruction> instructions,
+                 std::map<std::string, std::size_t> labels)
+    : name_(std::move(name)), code_(std::move(instructions)),
+      labels_(std::move(labels))
+{
+    auto note_reg = [this](const Operand &o) {
+        if (o.kind == Operand::Kind::GpReg)
+            max_gp_reg_ = std::max(max_gp_reg_, static_cast<unsigned>(o.reg));
+        if (o.kind == Operand::Kind::MemRef && o.memBase >= 0) {
+            max_gp_reg_ =
+                std::max(max_gp_reg_, static_cast<unsigned>(o.memBase));
+        }
+    };
+    for (const auto &insn : code_) {
+        note_reg(insn.dest);
+        note_reg(insn.dest2);
+        for (const auto &src : insn.src)
+            note_reg(src);
+        if (insn.op == Opcode::Bar)
+            barrier_count_ = std::max(barrier_count_, insn.barrier + 1);
+    }
+}
+
+void
+Program::validate() const
+{
+    for (std::size_t i = 0; i < code_.size(); ++i) {
+        const Instruction &insn = code_[i];
+        if (insn.op == Opcode::Bra) {
+            if (insn.target < 0 ||
+                static_cast<std::size_t>(insn.target) > code_.size()) {
+                fatal("program ", name_, ": unresolved branch at index ", i,
+                      " (", insn.text, ")");
+            }
+        }
+        if (opcodeWritesDest(insn.op) &&
+            insn.dest.kind == Operand::Kind::None) {
+            fatal("program ", name_, ": missing destination at index ", i,
+                  " (", insn.text, ")");
+        }
+        if (opcodeIsMemory(insn.op) && insn.space == MemSpace::None) {
+            fatal("program ", name_, ": memory op without space at index ",
+                  i, " (", insn.text, ")");
+        }
+        if (insn.op == Opcode::St && insn.space == MemSpace::Param)
+            fatal("program ", name_, ": store to read-only param space");
+    }
+}
+
+std::string
+Program::listing() const
+{
+    std::ostringstream os;
+    // Invert the label map for printing.
+    std::map<std::size_t, std::string> by_index;
+    for (const auto &[label, index] : labels_)
+        by_index[index] = label;
+
+    for (std::size_t i = 0; i < code_.size(); ++i) {
+        auto it = by_index.find(i);
+        os << (it != by_index.end() ? it->second + ":" : "") << "\t" << i
+           << "\t" << code_[i].text << "\n";
+    }
+    return os.str();
+}
+
+} // namespace fsp::sim

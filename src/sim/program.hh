@@ -1,0 +1,82 @@
+/**
+ * @file
+ * A Program is a decoded kernel: the instruction vector plus metadata
+ * (name, label map, source listing).  Produced by the ptx assembler,
+ * consumed by the executor and by the pruning analyses (which inspect
+ * static instructions for common-block and loop detection).
+ */
+
+#ifndef FSP_SIM_PROGRAM_HH
+#define FSP_SIM_PROGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/instruction.hh"
+
+namespace fsp::sim {
+
+/** A decoded kernel program. */
+class Program
+{
+  public:
+    Program() = default;
+
+    /**
+     * Construct from decoded parts.
+     *
+     * @param name kernel name (for reports).
+     * @param instructions decoded instruction stream; branch targets must
+     *        already be resolved to instruction indices.
+     * @param labels label name -> instruction index (kept for listings).
+     */
+    Program(std::string name, std::vector<Instruction> instructions,
+            std::map<std::string, std::size_t> labels);
+
+    const std::string &name() const { return name_; }
+    const std::vector<Instruction> &instructions() const { return code_; }
+    std::size_t size() const { return code_.size(); }
+
+    const Instruction &
+    at(std::size_t index) const
+    {
+        return code_[index];
+    }
+
+    const std::map<std::string, std::size_t> &labels() const
+    {
+        return labels_;
+    }
+
+    /** Highest GPR index referenced (for register-file sizing). */
+    unsigned maxGpReg() const { return max_gp_reg_; }
+
+    /** Highest barrier id used plus one. */
+    unsigned barrierCount() const { return barrier_count_; }
+
+    /** True when the program contains at least one bar.sync. */
+    bool usesBarriers() const { return barrier_count_ > 0; }
+
+    /**
+     * Validate structural invariants: resolved branch targets in range,
+     * operand kinds consistent with opcodes.  Calls fatal() on violation
+     * (assembler bugs surface here in tests).
+     */
+    void validate() const;
+
+    /** Render a numbered listing (used by the Fig. 5 bench). */
+    std::string listing() const;
+
+  private:
+    std::string name_;
+    std::vector<Instruction> code_;
+    std::map<std::string, std::size_t> labels_;
+    unsigned max_gp_reg_ = 0;
+    unsigned barrier_count_ = 0;
+};
+
+} // namespace fsp::sim
+
+#endif // FSP_SIM_PROGRAM_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Tracing support for profiling runs.
+ *
+ * Two granularities are offered because campaigns and pruning need very
+ * different amounts of data:
+ *  - per-thread summaries (dynamic instruction count "iCnt" and total
+ *    destination-register fault bits) for *every* thread -- cheap enough
+ *    to collect at paper-scale geometry, and exactly what Table I,
+ *    Table VII and the thread-wise grouping consume;
+ *  - full dynamic traces (static instruction index + dest width per
+ *    dynamic instruction) for an explicit set of threads -- consumed by
+ *    instruction-wise common-block detection and loop detection, which
+ *    only ever look at a handful of representative threads.
+ */
+
+#ifndef FSP_SIM_TRACE_HH
+#define FSP_SIM_TRACE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fsp::sim {
+
+/** Summary of one thread's fault-free execution. */
+struct ThreadProfile
+{
+    std::uint64_t iCnt = 0;      ///< dynamic instructions executed
+    std::uint64_t faultBits = 0; ///< sum of dest bits (Eq. 1 contribution)
+};
+
+/** One dynamic instruction of a traced thread. */
+struct DynRecord
+{
+    std::uint32_t staticIndex; ///< index into Program::instructions()
+    std::uint16_t destBits;    ///< fault bits of this dynamic instruction
+};
+
+/** What to collect during a run. */
+struct TraceOptions
+{
+    /** Collect a ThreadProfile for every thread in the launch. */
+    bool perThreadProfiles = false;
+
+    /** Collect full DynRecord streams for these global thread ids. */
+    std::unordered_set<std::uint64_t> traceThreads;
+};
+
+/** Collected trace data (returned inside RunResult). */
+struct TraceData
+{
+    std::vector<ThreadProfile> profiles; ///< indexed by global thread id
+    std::unordered_map<std::uint64_t, std::vector<DynRecord>> dynTraces;
+};
+
+} // namespace fsp::sim
+
+#endif // FSP_SIM_TRACE_HH

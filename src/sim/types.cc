@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Implementation of type/enum helpers for the simulator.
+ */
+
+#include "sim/types.hh"
+
+#include "util/logging.hh"
+
+namespace fsp::sim {
+
+unsigned
+typeBits(DataType type)
+{
+    switch (type) {
+      case DataType::U16:
+      case DataType::S16:
+        return 16;
+      case DataType::U32:
+      case DataType::S32:
+      case DataType::F32:
+        return 32;
+      case DataType::U64:
+      case DataType::S64:
+      case DataType::F64:
+        return 64;
+      case DataType::Pred:
+        return 4;
+      case DataType::None:
+        return 0;
+    }
+    panic("unreachable DataType");
+}
+
+bool
+isFloatType(DataType type)
+{
+    return type == DataType::F32 || type == DataType::F64;
+}
+
+bool
+isSignedType(DataType type)
+{
+    return type == DataType::S16 || type == DataType::S32 ||
+           type == DataType::S64;
+}
+
+std::string
+typeName(DataType type)
+{
+    switch (type) {
+      case DataType::U16: return "u16";
+      case DataType::U32: return "u32";
+      case DataType::U64: return "u64";
+      case DataType::S16: return "s16";
+      case DataType::S32: return "s32";
+      case DataType::S64: return "s64";
+      case DataType::F32: return "f32";
+      case DataType::F64: return "f64";
+      case DataType::Pred: return "pred";
+      case DataType::None: return "none";
+    }
+    panic("unreachable DataType");
+}
+
+DataType
+parseType(const std::string &name)
+{
+    if (name == "u16") return DataType::U16;
+    if (name == "u32") return DataType::U32;
+    if (name == "u64") return DataType::U64;
+    if (name == "s16") return DataType::S16;
+    if (name == "s32") return DataType::S32;
+    if (name == "s64") return DataType::S64;
+    if (name == "f32") return DataType::F32;
+    if (name == "f64") return DataType::F64;
+    if (name == "pred") return DataType::Pred;
+    return DataType::None;
+}
+
+std::string
+cmpName(CmpOp cmp)
+{
+    switch (cmp) {
+      case CmpOp::Eq: return "eq";
+      case CmpOp::Ne: return "ne";
+      case CmpOp::Lt: return "lt";
+      case CmpOp::Le: return "le";
+      case CmpOp::Gt: return "gt";
+      case CmpOp::Ge: return "ge";
+      case CmpOp::None: return "none";
+    }
+    panic("unreachable CmpOp");
+}
+
+CmpOp
+parseCmp(const std::string &name)
+{
+    if (name == "eq") return CmpOp::Eq;
+    if (name == "ne") return CmpOp::Ne;
+    if (name == "lt") return CmpOp::Lt;
+    if (name == "le") return CmpOp::Le;
+    if (name == "gt") return CmpOp::Gt;
+    if (name == "ge") return CmpOp::Ge;
+    return CmpOp::None;
+}
+
+std::string
+spaceName(MemSpace space)
+{
+    switch (space) {
+      case MemSpace::Global: return "global";
+      case MemSpace::Shared: return "shared";
+      case MemSpace::Param: return "param";
+      case MemSpace::None: return "none";
+    }
+    panic("unreachable MemSpace");
+}
+
+std::string
+guardName(GuardCond cond)
+{
+    switch (cond) {
+      case GuardCond::Always: return "always";
+      case GuardCond::Eq: return "eq";
+      case GuardCond::Ne: return "ne";
+      case GuardCond::Lt: return "lt";
+      case GuardCond::Le: return "le";
+      case GuardCond::Gt: return "gt";
+      case GuardCond::Ge: return "ge";
+    }
+    panic("unreachable GuardCond");
+}
+
+} // namespace fsp::sim

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Fundamental enums and small value types shared across the GPU
+ * functional simulator: data types, comparison operators, memory spaces,
+ * guard conditions, and grid geometry.
+ *
+ * The ISA modelled here is a PTXPlus-flavoured virtual ISA (GPGPU-Sim's
+ * one-to-one mapping of SASS); see DESIGN.md section 2 for the
+ * substitution rationale.
+ */
+
+#ifndef FSP_SIM_TYPES_HH
+#define FSP_SIM_TYPES_HH
+
+#include <cstdint>
+#include <string>
+
+namespace fsp::sim {
+
+/** Operand/instruction data types, mirroring PTX type suffixes. */
+enum class DataType : std::uint8_t
+{
+    U16,
+    U32,
+    U64,
+    S16,
+    S32,
+    S64,
+    F32,
+    F64,
+    Pred, ///< 4-bit condition-code register (zero/sign/carry/overflow)
+    None,
+};
+
+/** Bit width of a value of the given type (Pred is the 4-bit CC). */
+unsigned typeBits(DataType type);
+
+/** True for F32/F64. */
+bool isFloatType(DataType type);
+
+/** True for S16/S32/S64. */
+bool isSignedType(DataType type);
+
+/** PTX-style suffix name ("u32", "pred", ...). */
+std::string typeName(DataType type);
+
+/** Parse a PTX type suffix; returns DataType::None on failure. */
+DataType parseType(const std::string &name);
+
+/** Comparison operators for set/setp. */
+enum class CmpOp : std::uint8_t
+{
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    None,
+};
+
+std::string cmpName(CmpOp cmp);
+CmpOp parseCmp(const std::string &name);
+
+/** Memory address spaces. */
+enum class MemSpace : std::uint8_t
+{
+    Global,
+    Shared,
+    Param,
+    None,
+};
+
+std::string spaceName(MemSpace space);
+
+/**
+ * Condition-code flags of a 4-bit predicate register, following the
+ * PTXPlus condition-code model: bit 0 is the zero flag, bit 1 the sign
+ * flag, bit 2 the carry flag and bit 3 the overflow flag.  For the
+ * applications studied in the paper only the zero flag feeds branch
+ * conditions (paper section III-E).
+ */
+enum CcFlag : std::uint8_t
+{
+    CcZero = 1u << 0,
+    CcSign = 1u << 1,
+    CcCarry = 1u << 2,
+    CcOverflow = 1u << 3,
+};
+
+/**
+ * Guard condition attached to a predicated instruction, e.g.
+ * "@$p0.ne bra target".  Evaluated against the 4-bit CC register.
+ */
+enum class GuardCond : std::uint8_t
+{
+    Always, ///< no guard
+    Eq,     ///< zero flag set
+    Ne,     ///< zero flag clear
+    Lt,     ///< sign flag set
+    Le,     ///< sign or zero flag set
+    Gt,     ///< neither sign nor zero flag set
+    Ge,     ///< sign flag clear
+};
+
+std::string guardName(GuardCond cond);
+
+/** 3-component grid/block dimensions (CUDA dim3). */
+struct Dim3
+{
+    std::uint32_t x = 1;
+    std::uint32_t y = 1;
+    std::uint32_t z = 1;
+
+    std::uint64_t count() const
+    {
+        return static_cast<std::uint64_t>(x) * y * z;
+    }
+
+    bool operator==(const Dim3 &other) const = default;
+};
+
+} // namespace fsp::sim
+
+#endif // FSP_SIM_TYPES_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * CSV writer implementation.
+ */
+
+#include "util/csv.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace fsp {
+
+namespace {
+
+std::string
+quoteField(const std::string &field)
+{
+    if (field.find_first_of(",\"\n\r") == std::string::npos)
+        return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out += c;
+    }
+    out += "\"";
+    return out;
+}
+
+void
+emitRow(std::ostringstream &os, const std::vector<std::string> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i != 0)
+            os << ',';
+        os << quoteField(cells[i]);
+    }
+    os << "\r\n";
+}
+
+} // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    FSP_ASSERT(!headers_.empty(), "CSV needs at least one column");
+}
+
+void
+CsvWriter::addRow(std::vector<std::string> cells)
+{
+    FSP_ASSERT(cells.size() == headers_.size(),
+               "CSV row arity mismatch: ", cells.size(), " vs ",
+               headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+CsvWriter::str() const
+{
+    std::ostringstream os;
+    emitRow(os, headers_);
+    for (const auto &row : rows_)
+        emitRow(os, row);
+    return os.str();
+}
+
+bool
+CsvWriter::writeFile(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+        warn("cannot open ", path, " for writing");
+        return false;
+    }
+    out << str();
+    out.flush();
+    if (!out) {
+        warn("write to ", path, " failed");
+        return false;
+    }
+    return true;
+}
+
+} // namespace fsp

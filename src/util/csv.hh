@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Minimal CSV writer (RFC-4180-style quoting) so bench harnesses can
+ * export machine-readable results next to their text tables (set
+ * FSP_CSV_DIR to a directory to enable it in the benches).
+ */
+
+#ifndef FSP_UTIL_CSV_HH
+#define FSP_UTIL_CSV_HH
+
+#include <string>
+#include <vector>
+
+namespace fsp {
+
+/** Column-checked CSV accumulator. */
+class CsvWriter
+{
+  public:
+    /** Construct with column headers. */
+    explicit CsvWriter(std::vector<std::string> headers);
+
+    /** Append a row; must match the header arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render the document (headers + rows, quoted as needed). */
+    std::string str() const;
+
+    /**
+     * Write to @p path.
+     * @return true on success; warns and returns false on I/O error.
+     */
+    bool writeFile(const std::string &path) const;
+
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace fsp
+
+#endif // FSP_UTIL_CSV_HH

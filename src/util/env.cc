@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Implementation of environment-variable overrides.
+ */
+
+#include "util/env.hh"
+
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace fsp {
+
+std::uint64_t
+envU64(const std::string &name, std::uint64_t fallback)
+{
+    const char *raw = std::getenv(name.c_str());
+    if (raw == nullptr || *raw == '\0')
+        return fallback;
+    char *end = nullptr;
+    unsigned long long value = std::strtoull(raw, &end, 10);
+    if (end == raw || *end != '\0') {
+        warn("ignoring malformed ", name, "=", raw);
+        return fallback;
+    }
+    return static_cast<std::uint64_t>(value);
+}
+
+double
+envDouble(const std::string &name, double fallback)
+{
+    const char *raw = std::getenv(name.c_str());
+    if (raw == nullptr || *raw == '\0')
+        return fallback;
+    char *end = nullptr;
+    double value = std::strtod(raw, &end);
+    if (end == raw || *end != '\0') {
+        warn("ignoring malformed ", name, "=", raw);
+        return fallback;
+    }
+    return value;
+}
+
+} // namespace fsp

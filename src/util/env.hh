@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Environment-variable overrides for experiment scaling.  The bench
+ * harnesses default to geometries/sample sizes that finish on one CPU
+ * core; these knobs let a user scale any experiment back up to paper
+ * scale without recompiling.
+ */
+
+#ifndef FSP_UTIL_ENV_HH
+#define FSP_UTIL_ENV_HH
+
+#include <cstdint>
+#include <string>
+
+namespace fsp {
+
+/** Read an integer env var, returning @p fallback when unset/invalid. */
+std::uint64_t envU64(const std::string &name, std::uint64_t fallback);
+
+/** Read a double env var, returning @p fallback when unset/invalid. */
+double envDouble(const std::string &name, double fallback);
+
+} // namespace fsp
+
+#endif // FSP_UTIL_ENV_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Implementation of the logging sinks.
+ */
+
+#include "util/logging.hh"
+
+#include <atomic>
+
+namespace fsp {
+
+namespace {
+
+std::atomic<bool> verbose{true};
+
+} // namespace
+
+bool
+verboseLogging()
+{
+    return verbose.load(std::memory_order_relaxed);
+}
+
+void
+setVerboseLogging(bool enabled)
+{
+    verbose.store(enabled, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+emit(const char *tag, const std::string &message)
+{
+    std::fprintf(stderr, "[%s] %s\n", tag, message.c_str());
+    std::fflush(stderr);
+}
+
+void
+exitFatal()
+{
+    std::exit(1);
+}
+
+void
+exitPanic()
+{
+    std::abort();
+}
+
+} // namespace detail
+
+} // namespace fsp

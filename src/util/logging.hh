@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Minimal gem5-style logging and error reporting.
+ *
+ * Severity model follows the gem5 convention:
+ *  - inform(): normal operating status, no connotation of a problem.
+ *  - warn():   something may be subtly off; a good first place to look if
+ *              strange behaviour follows.
+ *  - fatal():  the run cannot continue due to a *user* error (bad
+ *              configuration, invalid arguments).  Exits with code 1.
+ *  - panic():  an internal invariant was violated (a bug in this library).
+ *              Aborts so a debugger/core dump can capture state.
+ */
+
+#ifndef FSP_UTIL_LOGGING_HH
+#define FSP_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace fsp {
+
+/** Global verbosity switch; when false, inform() is suppressed. */
+bool verboseLogging();
+
+/** Enable or disable inform() output (default: enabled). */
+void setVerboseLogging(bool enabled);
+
+namespace detail {
+
+[[noreturn]] void exitFatal();
+[[noreturn]] void exitPanic();
+
+void emit(const char *tag, const std::string &message);
+
+/** Fold a pack of streamable values into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/** Report normal status to stderr (suppressed when not verbose). */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    if (verboseLogging())
+        detail::emit("info", detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report a suspicious-but-survivable condition. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::emit("warn", detail::concat(std::forward<Args>(args)...));
+}
+
+/** Terminate due to a user error (bad input/config); exits with code 1. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::emit("fatal", detail::concat(std::forward<Args>(args)...));
+    detail::exitFatal();
+}
+
+/** Terminate due to an internal bug; aborts. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::emit("panic", detail::concat(std::forward<Args>(args)...));
+    detail::exitPanic();
+}
+
+/** panic() unless the stated invariant holds. */
+#define FSP_ASSERT(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::fsp::panic("assertion failed: ", #cond, " ", ##__VA_ARGS__);  \
+        }                                                                   \
+    } while (0)
+
+} // namespace fsp
+
+#endif // FSP_UTIL_LOGGING_HH

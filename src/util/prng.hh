@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Everything stochastic in the library (input generation, campaign
+ * sampling, loop-iteration sampling, representative selection) flows from
+ * explicitly named 64-bit seeds through these generators, so every
+ * experiment is exactly reproducible.
+ */
+
+#ifndef FSP_UTIL_PRNG_HH
+#define FSP_UTIL_PRNG_HH
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace fsp {
+
+/**
+ * SplitMix64 step: used both as a stand-alone mixer and to seed Xoshiro.
+ *
+ * @param state in/out 64-bit state; advanced by the golden-gamma constant.
+ * @return a well-mixed 64-bit output.
+ */
+std::uint64_t splitMix64(std::uint64_t &state);
+
+/** Derive a child seed from a parent seed and a label (FNV-1a mix). */
+std::uint64_t deriveSeed(std::uint64_t parent, std::string_view label);
+
+/**
+ * Xoshiro256** generator.  Small, fast, and high quality; satisfies the
+ * UniformRandomBitGenerator requirements so it can also feed <random>.
+ */
+class Prng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed, expanded via SplitMix64. */
+    explicit Prng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~result_type{0}; }
+
+    /** Next raw 64-bit value. */
+    result_type operator()();
+
+    /** Uniform integer in [0, bound) using Lemire's rejection method. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Bernoulli draw with success probability p. */
+    bool chance(double p);
+
+    /** Fork an independent child stream identified by a label. */
+    Prng fork(std::string_view label) const;
+
+    /** Fisher-Yates shuffle of a vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &values)
+    {
+        for (std::size_t i = values.size(); i > 1; --i) {
+            std::size_t j = static_cast<std::size_t>(below(i));
+            std::swap(values[i - 1], values[j]);
+        }
+    }
+
+    /**
+     * Sample @p count distinct indices from [0, population) without
+     * replacement, returned in increasing order.  If count >= population
+     * every index is returned.
+     */
+    std::vector<std::size_t> sampleWithoutReplacement(std::size_t population,
+                                                      std::size_t count);
+
+  private:
+    std::uint64_t state_[4];
+    std::uint64_t seed_;
+};
+
+} // namespace fsp
+
+#endif // FSP_UTIL_PRNG_HH

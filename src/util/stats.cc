@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Implementation of descriptive statistics helpers.
+ */
+
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.hh"
+
+namespace fsp {
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    return std::accumulate(values.begin(), values.end(), 0.0) /
+           static_cast<double>(values.size());
+}
+
+double
+stddev(const std::vector<double> &values)
+{
+    if (values.size() < 2)
+        return 0.0;
+    double m = mean(values);
+    double ss = 0.0;
+    for (double v : values)
+        ss += (v - m) * (v - m);
+    return std::sqrt(ss / static_cast<double>(values.size() - 1));
+}
+
+double
+percentile(std::vector<double> values, double p)
+{
+    FSP_ASSERT(!values.empty(), "percentile of empty sample");
+    FSP_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range");
+    std::sort(values.begin(), values.end());
+    if (values.size() == 1)
+        return values.front();
+    double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+    auto lo = static_cast<std::size_t>(std::floor(rank));
+    auto hi = static_cast<std::size_t>(std::ceil(rank));
+    double frac = rank - static_cast<double>(lo);
+    return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+BoxplotSummary
+boxplot(const std::vector<double> &values)
+{
+    BoxplotSummary s;
+    if (values.empty())
+        return s;
+    s.count = values.size();
+    s.min = *std::min_element(values.begin(), values.end());
+    s.max = *std::max_element(values.begin(), values.end());
+    s.q1 = percentile(values, 25.0);
+    s.median = percentile(values, 50.0);
+    s.q3 = percentile(values, 75.0);
+    s.mean = mean(values);
+    return s;
+}
+
+double
+linfDistance(const std::vector<double> &a, const std::vector<double> &b)
+{
+    FSP_ASSERT(a.size() == b.size(), "distribution arity mismatch");
+    double d = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        d = std::max(d, std::fabs(a[i] - b[i]));
+    return d;
+}
+
+namespace {
+
+/**
+ * Inverse of the standard normal CDF via Peter Acklam's rational
+ * approximation, refined with one Halley iteration using erfc.
+ */
+double
+inverseNormalCdf(double p)
+{
+    FSP_ASSERT(p > 0.0 && p < 1.0, "inverseNormalCdf domain");
+
+    static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                               -2.759285104469687e+02, 1.383577518672690e+02,
+                               -3.066479806614716e+01, 2.506628277459239e+00};
+    static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                               -1.556989798598866e+02, 6.680131188771972e+01,
+                               -1.328068155288572e+01};
+    static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                               -2.400758277161838e+00, -2.549732539343734e+00,
+                               4.374664141464968e+00,  2.938163982698783e+00};
+    static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                               2.445134137142996e+00, 3.754408661907416e+00};
+
+    const double p_low = 0.02425;
+    const double p_high = 1.0 - p_low;
+    double x;
+
+    if (p < p_low) {
+        double q = std::sqrt(-2.0 * std::log(p));
+        x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    } else if (p <= p_high) {
+        double q = p - 0.5;
+        double r = q * q;
+        x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+             a[5]) *
+            q /
+            (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r +
+             1.0);
+    } else {
+        double q = std::sqrt(-2.0 * std::log(1.0 - p));
+        x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+              c[5]) /
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+
+    // One Halley refinement step against the exact CDF (via erfc).
+    double e = 0.5 * std::erfc(-x / std::sqrt(2.0)) - p;
+    double u = e * std::sqrt(2.0 * M_PI) * std::exp(x * x / 2.0);
+    x = x - u / (1.0 + x * u / 2.0);
+    return x;
+}
+
+} // namespace
+
+double
+normalTwoSidedCritical(double confidence)
+{
+    FSP_ASSERT(confidence > 0.0 && confidence < 1.0,
+               "confidence must be in (0,1)");
+    return inverseNormalCdf(0.5 + confidence / 2.0);
+}
+
+} // namespace fsp

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Descriptive statistics used throughout the pruning pipeline: summaries
+ * for the paper's boxplots (Figs. 2-4), distances between outcome
+ * distributions (Fig. 6 convergence), and generic helpers.
+ */
+
+#ifndef FSP_UTIL_STATS_HH
+#define FSP_UTIL_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace fsp {
+
+/**
+ * Five-number-plus-mean summary of a sample, mirroring the boxplots in the
+ * paper's Figures 2-4 (median, quartiles, whiskers, mean).
+ */
+struct BoxplotSummary
+{
+    double min = 0.0;
+    double q1 = 0.0;
+    double median = 0.0;
+    double q3 = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    std::size_t count = 0;
+};
+
+/** Arithmetic mean; 0 for an empty sample. */
+double mean(const std::vector<double> &values);
+
+/** Sample standard deviation (n-1 denominator); 0 for n < 2. */
+double stddev(const std::vector<double> &values);
+
+/**
+ * Linear-interpolated percentile (inclusive method).
+ *
+ * @param values sample, not required to be sorted.
+ * @param p percentile in [0, 100].
+ */
+double percentile(std::vector<double> values, double p);
+
+/** Compute the full boxplot summary of a sample. */
+BoxplotSummary boxplot(const std::vector<double> &values);
+
+/**
+ * L-infinity distance between two discrete distributions of equal arity.
+ * Used to decide when the loop-sampling outcome distribution stabilises.
+ */
+double linfDistance(const std::vector<double> &a, const std::vector<double> &b);
+
+/**
+ * Two-sided standard-normal critical value z such that
+ * P(-z <= Z <= z) = confidence.  Implemented via the inverse error
+ * function (Acklam-style rational approximation refined with Halley
+ * steps); accurate to ~1e-9 over the confidence range of interest.
+ *
+ * @param confidence two-sided confidence level in (0, 1), e.g. 0.95.
+ */
+double normalTwoSidedCritical(double confidence);
+
+} // namespace fsp
+
+#endif // FSP_UTIL_STATS_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Plain-text table rendering for the benchmark harnesses.  Every bench
+ * binary prints the rows/series of one paper table or figure through this
+ * formatter so output stays uniform and diffable.
+ */
+
+#ifndef FSP_UTIL_TABLE_HH
+#define FSP_UTIL_TABLE_HH
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fsp {
+
+/**
+ * A simple column-aligned text table.  Cells are strings; helpers format
+ * numbers consistently (fixed decimals, scientific for large counts).
+ */
+class TextTable
+{
+  public:
+    /** Construct with column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row; must match the header arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Insert a horizontal separator before the next row. */
+    void addSeparator();
+
+    /** Render to a stream with padding and a header rule. */
+    void print(std::ostream &os) const;
+
+    /** Render to a string. */
+    std::string str() const;
+
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<std::size_t> separators_;
+};
+
+/** Format a double with @p decimals fixed digits. */
+std::string fmtFixed(double value, int decimals);
+
+/** Format a ratio in [0,1] as a percentage with @p decimals digits. */
+std::string fmtPercent(double ratio, int decimals = 2);
+
+/** Format a large count in scientific notation like the paper (3.44E+07). */
+std::string fmtScientific(double value, int decimals = 2);
+
+/** Format an integral count with thousands separators. */
+std::string fmtCount(std::uint64_t value);
+
+} // namespace fsp
+
+#endif // FSP_UTIL_TABLE_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Shared test helper: assemble and run small kernels with an output
+ * buffer whose device address is passed as param [0], so tests can
+ * observe architectural results through global memory.
+ */
+
+#ifndef FSP_TESTS_SIM_TEST_UTIL_HH
+#define FSP_TESTS_SIM_TEST_UTIL_HH
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "ptx/assembler.hh"
+#include "sim/executor.hh"
+
+namespace fsp::test {
+
+/** A tiny kernel with an output buffer at param [0]. */
+class MiniKernel
+{
+  public:
+    /**
+     * @param source kernel body; store results via
+     *        "ld.param.u32 $rN, [0]" + st.global.
+     * @param out_words 32-bit words in the output buffer.
+     * @param threads 1-D thread count (single CTA).
+     */
+    explicit MiniKernel(const std::string &source,
+                        std::size_t out_words = 8, unsigned threads = 1,
+                        unsigned shared_bytes = 0)
+        : program_(ptx::assemble("mini", source)), memory_(1u << 16)
+    {
+        out_addr_ = memory_.allocate(4 * out_words);
+        launch_.grid = {1, 1, 1};
+        launch_.block = {threads, 1, 1};
+        launch_.sharedBytes = shared_bytes;
+        launch_.params.addU32(static_cast<std::uint32_t>(out_addr_));
+    }
+
+    /** Add an extra u32 launch parameter; @return its byte offset. */
+    std::size_t
+    addParam(std::uint32_t value)
+    {
+        return launch_.params.addU32(value);
+    }
+
+    /** Add an extra f32 launch parameter; @return its byte offset. */
+    std::size_t
+    addParamF32(float value)
+    {
+        return launch_.params.addF32(value);
+    }
+
+    sim::GlobalMemory &memory() { return memory_; }
+    const sim::Program &program() const { return program_; }
+    std::uint64_t outAddr() const { return out_addr_; }
+
+    /** A copy of the launch configuration (params include the out
+     *  buffer address at offset [0]). */
+    sim::LaunchConfig launchConfig() const { return launch_; }
+
+    sim::RunResult
+    run(const sim::TraceOptions *opts = nullptr,
+        sim::FaultPlan *fault = nullptr)
+    {
+        sim::Executor executor(program_, launch_);
+        return executor.run(memory_, opts, fault);
+    }
+
+    std::uint32_t
+    outU32(std::size_t index) const
+    {
+        return memory_.peekU32(out_addr_ + 4 * index);
+    }
+
+    float
+    outF32(std::size_t index) const
+    {
+        return memory_.peekF32(out_addr_ + 4 * index);
+    }
+
+  private:
+    sim::Program program_;
+    sim::GlobalMemory memory_;
+    sim::LaunchConfig launch_;
+    std::uint64_t out_addr_ = 0;
+};
+
+} // namespace fsp::test
+
+#endif // FSP_TESTS_SIM_TEST_UTIL_HH

@@ -1,0 +1,535 @@
+/**
+ * @file
+ * Integration tests: every workload kernel's simulated output is
+ * checked against an independent host-side reference implementation at
+ * small scale.  The references replicate the kernels' operation order
+ * (so float results match to a few ULP) and their divergence semantics
+ * (boundary clamping, tail threads, per-CTA halos).
+ *
+ * The tests intentionally duplicate each app's small-scale geometry
+ * constants and allocation order; if an app changes shape these fail
+ * loudly rather than silently validating the wrong data.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "apps/app.hh"
+#include "apps/kernel_util.hh"
+#include "sim/executor.hh"
+
+namespace fsp {
+namespace {
+
+constexpr std::uint64_t kBase = sim::GlobalMemory::kBaseAddr;
+constexpr std::uint64_t kSeed = 42;
+
+/** Run a kernel setup to completion; returns the final memory image. */
+apps::KernelSetup
+runKernel(const char *name)
+{
+    const apps::KernelSpec *spec = apps::findKernel(name);
+    EXPECT_NE(spec, nullptr) << name;
+    apps::KernelSetup setup = spec->setup(apps::Scale::Small, kSeed);
+    sim::Executor executor(setup.program, setup.launch);
+    sim::RunResult result = executor.run(setup.memory);
+    EXPECT_EQ(result.status, sim::RunStatus::Completed)
+        << result.diagnostic;
+    return setup;
+}
+
+std::vector<float>
+dl(const apps::KernelSetup &setup, std::uint64_t addr, std::size_t count)
+{
+    return apps::downloadFloats(setup.memory, addr, count);
+}
+
+/** Align like the bump allocator (8-byte default alignment). */
+std::uint64_t
+align8(std::uint64_t addr)
+{
+    return (addr + 7) & ~7ull;
+}
+
+TEST(Apps, RegistryContainsPaperKernels)
+{
+    EXPECT_EQ(apps::allKernels().size(), 17u);
+    for (const char *name :
+         {"HotSpot/K1", "K-Means/K1", "K-Means/K2", "Gaussian/K1",
+          "Gaussian/K2", "Gaussian/K125", "Gaussian/K126",
+          "PathFinder/K1", "LUD/K44", "LUD/K45", "LUD/K46", "2DCONV/K1",
+          "MVT/K1", "2MM/K1", "GEMM/K1", "SYRK/K1", "NN/K1"}) {
+        EXPECT_NE(apps::findKernel(name), nullptr) << name;
+    }
+    EXPECT_EQ(apps::findKernel("NOPE/K9"), nullptr);
+}
+
+TEST(Apps, EveryKernelGoldenRunCompletes)
+{
+    for (const auto &spec : apps::allKernels()) {
+        apps::KernelSetup setup = spec.setup(apps::Scale::Small, kSeed);
+        sim::Executor executor(setup.program, setup.launch);
+        sim::RunResult result = executor.run(setup.memory);
+        EXPECT_EQ(result.status, sim::RunStatus::Completed)
+            << spec.fullName() << ": " << result.diagnostic;
+        EXPECT_GT(result.totalDynInstrs, 0u) << spec.fullName();
+        ASSERT_FALSE(setup.outputs.empty()) << spec.fullName();
+    }
+}
+
+TEST(Apps, GemmMatchesReference)
+{
+    const unsigned n = 16;
+    auto a0 = apps::randomFloats(n * n, kSeed + 1);
+    auto b0 = apps::randomFloats(n * n, kSeed + 2);
+    auto c0 = apps::randomFloats(n * n, kSeed + 3);
+
+    apps::KernelSetup setup = runKernel("GEMM/K1");
+    std::uint64_t c_addr = setup.outputs[0].addr;
+    auto c = dl(setup, c_addr, n * n);
+
+    for (unsigned i = 0; i < n; ++i) {
+        for (unsigned j = 0; j < n; ++j) {
+            float acc = 0.0f;
+            for (unsigned k = 0; k < n; ++k)
+                acc = a0[i * n + k] * b0[k * n + j] + acc;
+            float expected = acc * 1.5f + c0[i * n + j] * 0.75f;
+            ASSERT_FLOAT_EQ(c[i * n + j], expected) << i << "," << j;
+        }
+    }
+}
+
+TEST(Apps, Mm2MatchesReference)
+{
+    const unsigned n = 16;
+    auto a0 = apps::randomFloats(n * n, kSeed + 1);
+    auto b0 = apps::randomFloats(n * n, kSeed + 2);
+
+    apps::KernelSetup setup = runKernel("2MM/K1");
+    auto tmp = dl(setup, setup.outputs[0].addr, n * n);
+
+    for (unsigned i = 0; i < n; ++i) {
+        for (unsigned j = 0; j < n; ++j) {
+            float acc = 0.0f;
+            for (unsigned k = 0; k < n; ++k)
+                acc = a0[i * n + k] * b0[k * n + j] + acc;
+            ASSERT_FLOAT_EQ(tmp[i * n + j], acc) << i << "," << j;
+        }
+    }
+}
+
+TEST(Apps, SyrkMatchesReference)
+{
+    const unsigned n = 16;
+    auto a0 = apps::randomFloats(n * n, kSeed + 1);
+    auto c0 = apps::randomFloats(n * n, kSeed + 2);
+
+    apps::KernelSetup setup = runKernel("SYRK/K1");
+    auto c = dl(setup, setup.outputs[0].addr, n * n);
+
+    for (unsigned i = 0; i < n; ++i) {
+        for (unsigned j = 0; j < n; ++j) {
+            float acc = 0.0f;
+            for (unsigned k = 0; k < n; ++k)
+                acc = a0[i * n + k] * a0[j * n + k] + acc;
+            float expected = acc * 1.25f + c0[i * n + j] * 0.5f;
+            ASSERT_FLOAT_EQ(c[i * n + j], expected) << i << "," << j;
+        }
+    }
+}
+
+TEST(Apps, MvtMatchesReference)
+{
+    const unsigned n = 64;
+    auto a0 = apps::randomFloats(n * n, kSeed + 1);
+    auto y0 = apps::randomFloats(n, kSeed + 2);
+    auto x0 = apps::randomFloats(n, kSeed + 3);
+
+    apps::KernelSetup setup = runKernel("MVT/K1");
+    auto x = dl(setup, setup.outputs[0].addr, n);
+
+    for (unsigned i = 0; i < n; ++i) {
+        float acc = 0.0f;
+        for (unsigned j = 0; j < n; ++j)
+            acc = a0[i * n + j] * y0[j] + acc;
+        ASSERT_FLOAT_EQ(x[i], x0[i] + acc) << i;
+    }
+}
+
+TEST(Apps, Conv2dMatchesReference)
+{
+    const unsigned ni = 16, nj = 32;
+    const float coeff[3][3] = {{0.2f, -0.3f, 0.4f},
+                               {0.5f, 0.6f, 0.7f},
+                               {-0.8f, -0.9f, 0.1f}};
+    auto a0 = apps::randomFloats(ni * nj, kSeed + 1);
+
+    apps::KernelSetup setup = runKernel("2DCONV/K1");
+    auto b = dl(setup, setup.outputs[0].addr, ni * nj);
+
+    for (unsigned i = 0; i < ni; ++i) {
+        for (unsigned j = 0; j < nj; ++j) {
+            if (i == 0 || i >= ni - 1 || j == 0 || j >= nj - 1) {
+                ASSERT_EQ(b[i * nj + j], 0.0f) << i << "," << j;
+                continue;
+            }
+            float acc = 0.0f;
+            for (unsigned r = 0; r < 3; ++r) {
+                for (unsigned c = 0; c < 3; ++c) {
+                    acc = a0[(i - 1 + r) * nj + (j - 1 + c)] *
+                              coeff[r][c] +
+                          acc;
+                }
+            }
+            ASSERT_FLOAT_EQ(b[i * nj + j], acc) << i << "," << j;
+        }
+    }
+}
+
+TEST(Apps, NnMatchesReference)
+{
+    const unsigned records = 500;
+    auto loc = apps::randomFloats(2 * records, kSeed + 1, 0.0f, 90.0f);
+
+    apps::KernelSetup setup = runKernel("NN/K1");
+    auto dist = dl(setup, setup.outputs[0].addr, records);
+
+    for (unsigned i = 0; i < records; ++i) {
+        float dlat = loc[2 * i] - 30.0f;
+        float dlng = loc[2 * i + 1] - 60.0f;
+        float expected = std::sqrt(dlng * dlng + dlat * dlat);
+        ASSERT_FLOAT_EQ(dist[i], expected) << i;
+    }
+}
+
+/** Shared reference for Gaussian inputs (mirrors initSystem). */
+struct GaussianRef
+{
+    unsigned size = 16;
+    std::vector<float> a, b, m;
+
+    explicit GaussianRef(std::uint64_t seed)
+    {
+        a = apps::randomFloats(size * size, seed + 1, 0.1f, 1.0f);
+        for (unsigned i = 0; i < size; ++i)
+            a[i * size + i] += static_cast<float>(size);
+        b = apps::randomFloats(size, seed + 2, 0.5f, 2.0f);
+        m.assign(size * size, 0.0f);
+    }
+};
+
+TEST(Apps, GaussianFan1MatchesReference)
+{
+    for (const char *name : {"Gaussian/K1", "Gaussian/K125"}) {
+        unsigned t = std::string(name) == "Gaussian/K1" ? 0 : 6;
+        GaussianRef ref(kSeed);
+        apps::KernelSetup setup = runKernel(name);
+        auto m = dl(setup, setup.outputs[0].addr,
+                    ref.size * ref.size);
+
+        for (unsigned row = 0; row < ref.size; ++row) {
+            for (unsigned col = 0; col < ref.size; ++col) {
+                float expected = 0.0f;
+                if (col == t && row > t) {
+                    expected = ref.a[row * ref.size + t] /
+                               ref.a[t * ref.size + t];
+                }
+                ASSERT_FLOAT_EQ(m[row * ref.size + col], expected)
+                    << name << " " << row << "," << col;
+            }
+        }
+    }
+}
+
+TEST(Apps, GaussianFan2MatchesReference)
+{
+    for (const char *name : {"Gaussian/K2", "Gaussian/K126"}) {
+        unsigned t = std::string(name) == "Gaussian/K2" ? 0 : 6;
+        GaussianRef ref(kSeed);
+        unsigned size = ref.size;
+
+        // Host-side Fan1 (as the app performs before launching Fan2).
+        for (unsigned r = t + 1; r < size; ++r) {
+            ref.m[r * size + t] =
+                ref.a[r * size + t] / ref.a[t * size + t];
+        }
+        // Reference Fan2.
+        auto a = ref.a;
+        auto b = ref.b;
+        for (unsigned xid = 0; xid + t + 1 < size; ++xid) {
+            unsigned row = xid + t + 1;
+            for (unsigned yid = 0; yid + t < size; ++yid) {
+                unsigned col = yid + t;
+                a[row * size + col] -=
+                    ref.m[row * size + t] * ref.a[t * size + col];
+                if (yid == 0)
+                    b[row] -= ref.m[row * size + t] * ref.b[t];
+            }
+        }
+
+        apps::KernelSetup setup = runKernel(name);
+        auto a_out = dl(setup, setup.outputs[0].addr, size * size);
+        auto b_out = dl(setup, setup.outputs[1].addr, size);
+        for (unsigned i = 0; i < size * size; ++i)
+            ASSERT_FLOAT_EQ(a_out[i], a[i]) << name << " a[" << i << "]";
+        for (unsigned i = 0; i < size; ++i)
+            ASSERT_FLOAT_EQ(b_out[i], b[i]) << name << " b[" << i << "]";
+    }
+}
+
+TEST(Apps, KmeansInvertMappingMatchesReference)
+{
+    const unsigned points = 90, features = 8;
+    auto input = apps::randomFloats(points * features, kSeed + 1);
+
+    apps::KernelSetup setup = runKernel("K-Means/K1");
+    auto out = dl(setup, setup.outputs[0].addr, points * features);
+
+    for (unsigned p = 0; p < points; ++p) {
+        for (unsigned f = 0; f < features; ++f) {
+            ASSERT_EQ(out[f * points + p], input[p * features + f])
+                << p << "," << f;
+        }
+    }
+}
+
+TEST(Apps, KmeansPointMatchesReference)
+{
+    const unsigned points = 90, features = 8, clusters = 3;
+    auto feat = apps::randomFloats(points * features, kSeed + 1);
+    auto cent = apps::randomFloats(clusters * features, kSeed + 2);
+
+    apps::KernelSetup setup = runKernel("K-Means/K2");
+
+    for (unsigned p = 0; p < points; ++p) {
+        float best = 3.0e38f;
+        unsigned best_c = 0;
+        for (unsigned c = 0; c < clusters; ++c) {
+            float dist = 0.0f;
+            for (unsigned f = 0; f < features; ++f) {
+                float d = feat[p * features + f] -
+                          cent[c * features + f];
+                dist = d * d + dist;
+            }
+            if (dist < best) {
+                best = dist;
+                best_c = c;
+            }
+        }
+        ASSERT_EQ(setup.memory.peekU32(setup.outputs[0].addr + 4 * p),
+                  best_c)
+            << p;
+    }
+}
+
+TEST(Apps, PathfinderMatchesReference)
+{
+    const unsigned cols = 128, rows = 7, bs = 64;
+    Prng prng(kSeed);
+    std::vector<std::uint32_t> wall(rows * cols);
+    for (auto &v : wall)
+        v = static_cast<std::uint32_t>(prng.below(10));
+
+    std::vector<std::uint32_t> prev(wall.begin(), wall.begin() + cols);
+    for (unsigned it = 1; it < rows; ++it) {
+        std::vector<std::uint32_t> cur(cols);
+        for (unsigned col = 0; col < cols; ++col) {
+            unsigned lo = (col / bs) * bs;
+            unsigned hi = lo + bs - 1;
+            // Missing strip-edge neighbours are ignored (+inf sentinel).
+            std::uint32_t l =
+                col == lo ? 0xFFFFFFFFu : prev[col - 1];
+            std::uint32_t r =
+                col == hi ? 0xFFFFFFFFu : prev[col + 1];
+            std::uint32_t c = prev[col];
+            cur[col] = std::min(std::min(l, r), c) +
+                       wall[it * cols + col];
+        }
+        prev = cur;
+    }
+
+    apps::KernelSetup setup = runKernel("PathFinder/K1");
+    for (unsigned col = 0; col < cols; ++col) {
+        ASSERT_EQ(setup.memory.peekU32(setup.outputs[0].addr + 4 * col),
+                  prev[col])
+            << col;
+    }
+}
+
+TEST(Apps, LudDiagonalMatchesReference)
+{
+    const unsigned bs = 8;
+    auto a = apps::randomFloats(bs * bs, kSeed + 1, 0.1f, 1.0f);
+    for (unsigned i = 0; i < bs; ++i)
+        a[i * bs + i] += static_cast<float>(bs);
+
+    for (unsigned i = 0; i + 1 < bs; ++i) {
+        for (unsigned tid = i + 1; tid < bs; ++tid)
+            a[tid * bs + i] /= a[i * bs + i];
+        for (unsigned tid = i + 1; tid < bs; ++tid) {
+            for (unsigned j = i + 1; j < bs; ++j)
+                a[tid * bs + j] -= a[tid * bs + i] * a[i * bs + j];
+        }
+    }
+
+    apps::KernelSetup setup = runKernel("LUD/K46");
+    auto out = dl(setup, setup.outputs[0].addr, bs * bs);
+    for (unsigned i = 0; i < bs * bs; ++i)
+        ASSERT_FLOAT_EQ(out[i], a[i]) << i;
+}
+
+TEST(Apps, LudPerimeterMatchesReference)
+{
+    const unsigned bs = 8;
+    auto d = apps::randomFloats(bs * bs, kSeed + 1, 0.1f, 1.0f);
+    for (unsigned i = 0; i < bs; ++i)
+        d[i * bs + i] += static_cast<float>(bs);
+    auto r = apps::randomFloats(bs * bs, kSeed + 2, 0.1f, 1.0f);
+    auto c = apps::randomFloats(bs * bs, kSeed + 3, 0.1f, 1.0f);
+
+    // Row strip: forward substitution per column.
+    for (unsigned col = 0; col < bs; ++col) {
+        for (unsigned i = 1; i < bs; ++i) {
+            float acc = r[i * bs + col];
+            for (unsigned k = 0; k < i; ++k)
+                acc -= d[i * bs + k] * r[k * bs + col];
+            r[i * bs + col] = acc;
+        }
+    }
+    // Column strip: per row against the upper factor.
+    for (unsigned row = 0; row < bs; ++row) {
+        for (unsigned j = 0; j < bs; ++j) {
+            float acc = c[row * bs + j];
+            for (unsigned k = 0; k < j; ++k)
+                acc -= c[row * bs + k] * d[k * bs + j];
+            c[row * bs + j] = acc / d[j * bs + j];
+        }
+    }
+
+    apps::KernelSetup setup = runKernel("LUD/K44");
+    auto r_out = dl(setup, setup.outputs[0].addr, bs * bs);
+    auto c_out = dl(setup, setup.outputs[1].addr, bs * bs);
+    for (unsigned i = 0; i < bs * bs; ++i) {
+        ASSERT_FLOAT_EQ(r_out[i], r[i]) << "row strip " << i;
+        ASSERT_FLOAT_EQ(c_out[i], c[i]) << "col strip " << i;
+    }
+}
+
+TEST(Apps, LudInternalMatchesReference)
+{
+    const unsigned bs = 8;
+    auto a = apps::randomFloats(bs * bs, kSeed + 1, 0.1f, 1.0f);
+    auto b = apps::randomFloats(bs * bs, kSeed + 2, 0.1f, 1.0f);
+    auto c = apps::randomFloats(bs * bs, kSeed + 3, 0.1f, 1.0f);
+
+    for (unsigned i = 0; i < bs; ++i) {
+        for (unsigned j = 0; j < bs; ++j) {
+            float acc = c[i * bs + j];
+            for (unsigned k = 0; k < bs; ++k)
+                acc -= a[i * bs + k] * b[k * bs + j];
+            c[i * bs + j] = acc;
+        }
+    }
+
+    apps::KernelSetup setup = runKernel("LUD/K45");
+    auto out = dl(setup, setup.outputs[0].addr, bs * bs);
+    for (unsigned i = 0; i < bs * bs; ++i)
+        ASSERT_FLOAT_EQ(out[i], c[i]) << i;
+}
+
+TEST(Apps, HotspotMatchesReference)
+{
+    const unsigned bs = 8, gx = 2, gy = 2;
+    const unsigned nc = gx * bs, nr = gy * bs;
+    auto temp = apps::randomFloats(nr * nc, kSeed + 1, 320.0f, 340.0f);
+    auto power = apps::randomFloats(nr * nc, kSeed + 2, 0.0f, 1.0f);
+
+    // One stencil step reading `in`, clamping at grid edges; tile-edge
+    // threads read global `fallback` (temp_in) instead of the tile.
+    auto step = [&](const std::vector<float> &in,
+                    const std::vector<float> &fallback,
+                    bool tile_fallback) {
+        std::vector<float> out(nr * nc);
+        for (unsigned i = 0; i < nr; ++i) {
+            for (unsigned j = 0; j < nc; ++j) {
+                unsigned ti = i % bs, tj = j % bs;
+                float center = in[i * nc + j];
+                auto nbr = [&](int di, int dj, bool tile_edge) {
+                    int ni_ = static_cast<int>(i) + di;
+                    int nj_ = static_cast<int>(j) + dj;
+                    if (ni_ < 0 || nj_ < 0 ||
+                        ni_ >= static_cast<int>(nr) ||
+                        nj_ >= static_cast<int>(nc)) {
+                        return center; // grid-edge clamp
+                    }
+                    if (tile_edge && tile_fallback)
+                        return fallback[ni_ * nc + nj_];
+                    return in[ni_ * nc + nj_];
+                };
+                float top = nbr(-1, 0, ti == 0);
+                float bot = nbr(+1, 0, ti == bs - 1);
+                float lft = nbr(0, -1, tj == 0);
+                float rgt = nbr(0, +1, tj == bs - 1);
+                float lap = top + bot;
+                lap = lap + lft;
+                lap = lap + rgt;
+                lap = center * -4.0f + lap;
+                float v = lap * 0.2f + center;
+                v = power[i * nc + j] * 0.0625f + v;
+                out[i * nc + j] = v;
+            }
+        }
+        return out;
+    };
+
+    auto new1 = step(temp, temp, false);
+    auto new2 = step(new1, temp, true);
+
+    apps::KernelSetup setup = runKernel("HotSpot/K1");
+    auto out = dl(setup, setup.outputs[0].addr, nr * nc);
+    for (unsigned i = 0; i < nr * nc; ++i)
+        ASSERT_FLOAT_EQ(out[i], new2[i]) << i;
+}
+
+TEST(Apps, AllocationsFollowBumpOrder)
+{
+    // The reference tests above rely on the deterministic bump layout;
+    // spot-check it for GEMM (A, B, then C = outputs[0]).
+    apps::KernelSetup setup =
+        apps::findKernel("GEMM/K1")->setup(apps::Scale::Small, kSeed);
+    const unsigned n = 16;
+    std::uint64_t expect_c = align8(align8(kBase + 4 * n * n) + 4 * n * n);
+    EXPECT_EQ(setup.outputs[0].addr, expect_c);
+}
+
+TEST(Apps, PaperScaleThreadCountsMatchTable1)
+{
+    // Table I thread counts (and NN from Table VII).
+    struct Row
+    {
+        const char *name;
+        std::uint64_t threads;
+    };
+    const Row rows[] = {
+        {"HotSpot/K1", 9216},   {"K-Means/K1", 2304},
+        {"K-Means/K2", 2304},   {"Gaussian/K1", 512},
+        {"Gaussian/K2", 4096},  {"Gaussian/K125", 512},
+        {"Gaussian/K126", 4096}, {"PathFinder/K1", 1280},
+        {"LUD/K44", 32},        {"LUD/K45", 256},
+        {"LUD/K46", 16},        {"2DCONV/K1", 8192},
+        {"MVT/K1", 512},        {"2MM/K1", 16384},
+        {"GEMM/K1", 16384},     {"SYRK/K1", 16384},
+        {"NN/K1", 43008},
+    };
+    for (const auto &row : rows) {
+        apps::KernelSetup setup =
+            apps::findKernel(row.name)->setup(apps::Scale::Paper, kSeed);
+        EXPECT_EQ(setup.launch.threadCount(), row.threads) << row.name;
+    }
+}
+
+} // namespace
+} // namespace fsp

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Unit tests for the PTXPlus-style assembler: mnemonic decoding,
+ * operand forms, labels and branch resolution, error reporting, and
+ * paper-listing syntax compatibility (Fig. 5 snippets).
+ */
+
+#include <gtest/gtest.h>
+
+#include "ptx/assembler.hh"
+
+namespace fsp {
+namespace {
+
+using ptx::assemble;
+using ptx::AssemblyError;
+using namespace sim;
+
+TEST(Assembler, BasicArithmetic)
+{
+    Program p = assemble("t", "add.u32 $r1, $r2, $r3;");
+    ASSERT_EQ(p.size(), 1u);
+    const Instruction &insn = p.at(0);
+    EXPECT_EQ(insn.op, Opcode::Add);
+    EXPECT_EQ(insn.type, DataType::U32);
+    EXPECT_EQ(insn.dest.kind, Operand::Kind::GpReg);
+    EXPECT_EQ(insn.dest.reg, 1);
+    EXPECT_EQ(insn.src[0].reg, 2);
+    EXPECT_EQ(insn.src[1].reg, 3);
+}
+
+TEST(Assembler, CommentsAndBlankLines)
+{
+    Program p = assemble("t", R"(
+        // a comment
+        # another comment
+        add.u32 $r1, $r2, $r3;   // trailing
+        nop                      # trailing too
+    )");
+    EXPECT_EQ(p.size(), 2u);
+}
+
+TEST(Assembler, ImmediateForms)
+{
+    Program p = assemble("t", R"(
+        add.u32 $r1, $r2, 0x00000100
+        add.u32 $r1, $r2, 256
+        add.s32 $r1, $r2, -4
+        mov.f32 $r1, 1.5
+        mov.f32 $r1, 2
+        mov.f64 $r1, 0.25
+    )");
+    EXPECT_EQ(p.at(0).src[1].imm, 256u);
+    EXPECT_EQ(p.at(1).src[1].imm, 256u);
+    EXPECT_EQ(static_cast<std::int64_t>(p.at(2).src[1].imm), -4);
+    EXPECT_EQ(p.at(3).src[0].imm, std::bit_cast<std::uint32_t>(1.5f));
+    EXPECT_EQ(p.at(4).src[0].imm, std::bit_cast<std::uint32_t>(2.0f));
+    EXPECT_EQ(p.at(5).src[0].imm, std::bit_cast<std::uint64_t>(0.25));
+}
+
+TEST(Assembler, NegatedAndHalfRegisters)
+{
+    Program p = assemble("t", R"(
+        add.u32 $r3, -$r3, 0x00000100
+        mul.wide.u16 $r4, $r1.lo, $r3.hi
+    )");
+    EXPECT_TRUE(p.at(0).src[0].negated);
+    EXPECT_EQ(p.at(1).op, Opcode::MulWide);
+    EXPECT_EQ(p.at(1).src[0].half, HalfSel::Lo);
+    EXPECT_EQ(p.at(1).src[1].half, HalfSel::Hi);
+}
+
+TEST(Assembler, SpecialRegisters)
+{
+    Program p = assemble("t", "cvt.u32.u16 $r1, %ctaid.x;");
+    EXPECT_EQ(p.at(0).op, Opcode::Cvt);
+    EXPECT_EQ(p.at(0).src[0].kind, Operand::Kind::Special);
+    EXPECT_EQ(p.at(0).src[0].special, SpecialReg::CtaidX);
+}
+
+TEST(Assembler, SetWithDualDestination)
+{
+    Program p = assemble("t", R"(
+        set.eq.s32.s32 $p0|$o127, $r6, $r1
+        set.lt.u32.u32 $p1/$r5, $r2, $r3
+        and.b32 $p0|$o127, $r5, $r2
+    )");
+    EXPECT_EQ(p.at(0).op, Opcode::Set);
+    EXPECT_EQ(p.at(0).cmp, CmpOp::Eq);
+    EXPECT_EQ(p.at(0).dest.kind, Operand::Kind::PredReg);
+    EXPECT_EQ(p.at(0).dest2.kind, Operand::Kind::Discard);
+    EXPECT_EQ(p.at(1).dest2.kind, Operand::Kind::GpReg);
+    EXPECT_EQ(p.at(1).dest2.reg, 5);
+    EXPECT_EQ(p.at(2).op, Opcode::And);
+    EXPECT_EQ(p.at(2).type, DataType::U32); // b32 alias
+}
+
+TEST(Assembler, GuardsAndBranches)
+{
+    Program p = assemble("t", R"(
+        l0x0000: mov.u32 $r2, $r124
+        @$p0.eq bra l0x0000
+        @$p1.ne bra done
+        nop
+        done: retp
+    )");
+    EXPECT_EQ(p.at(1).guard.cond, GuardCond::Eq);
+    EXPECT_EQ(p.at(1).guard.pred, 0);
+    EXPECT_EQ(p.at(1).target, 0);
+    EXPECT_EQ(p.at(2).guard.cond, GuardCond::Ne);
+    EXPECT_EQ(p.at(2).guard.pred, 1);
+    EXPECT_EQ(p.at(2).target, 4);
+    EXPECT_EQ(p.labels().at("done"), 4u);
+}
+
+TEST(Assembler, MemoryOperands)
+{
+    Program p = assemble("t", R"(
+        ld.global.u32 $r2, [$r3]
+        ld.global.f32 $r2, [$r3+0x10]
+        ld.shared.u32 $r2, [$r3+-4]
+        ld.param.u32 $r2, [8]
+        st.global.u32 [$r3+4], $r2
+        st.shared.f32 [$r3], 1.0
+    )");
+    EXPECT_EQ(p.at(0).space, MemSpace::Global);
+    EXPECT_EQ(p.at(0).src[0].memBase, 3);
+    EXPECT_EQ(p.at(0).src[0].memOffset, 0);
+    EXPECT_EQ(p.at(1).src[0].memOffset, 16);
+    EXPECT_EQ(p.at(2).src[0].memOffset, -4);
+    EXPECT_EQ(p.at(3).src[0].memBase, -1);
+    EXPECT_EQ(p.at(3).src[0].memOffset, 8);
+    EXPECT_EQ(p.at(4).op, Opcode::St);
+    EXPECT_EQ(p.at(4).src[1].reg, 2);
+    EXPECT_EQ(p.at(5).src[1].imm, std::bit_cast<std::uint32_t>(1.0f));
+}
+
+TEST(Assembler, PaperFigure5Snippet)
+{
+    // Verbatim lines from the paper's PathFinder listing (Fig. 5).
+    Program p = assemble("pathfinder", R"(
+        shl.u32 $r3, $r1, 0x00000001
+        cvt.u32.u16 $r1, %ctaid.x
+        add.u32 $r3, -$r3, 0x00000100
+        mul.wide.u16 $r4, $r1.lo, $r3.hi
+        mad.wide.u16 $r4, $r1.hi, $r3.lo, $r4
+        cvt.s32.s32 $r2, -$r2
+        and.b32 $p0|$o127, $r5, $r2
+        ssy 0x00000228
+        mov.u32 $r2, $r124
+        @$p0.eq bra l0x00000228
+        min.s32 $r7, $r8, $r9
+        l0x00000228: nop
+        bar.sync 0x00000000
+        set.eq.s32.s32 $p0/$o127, $r6, $r1
+        @$p0.ne bra l0x000002b8
+        l0x000002b8: set.ne.s32.s32 $p0/$o127, $r2, $r124
+        bra l0x000002c8
+        l0x000002c8: @$p0.eq retp
+    )");
+    EXPECT_EQ(p.size(), 18u);
+    EXPECT_EQ(p.at(4).op, Opcode::MadWide);
+    EXPECT_EQ(p.at(12).op, Opcode::Bar);
+    EXPECT_EQ(p.at(17).op, Opcode::Ret);
+    EXPECT_EQ(p.at(17).guard.cond, GuardCond::Eq);
+}
+
+TEST(Assembler, ZeroRegisterHasNoFaultSites)
+{
+    Program p = assemble("t", R"(
+        mov.u32 $r124, $r1
+        mov.u32 $r1, $r124
+        st.global.u32 [$r1], $r2
+        bra end
+        end: retp
+    )");
+    EXPECT_FALSE(p.at(0).hasDest()); // write to $r124 discarded
+    EXPECT_TRUE(p.at(1).hasDest());
+    EXPECT_FALSE(p.at(2).hasDest()); // stores have no dest register
+    EXPECT_FALSE(p.at(3).hasDest());
+    EXPECT_EQ(p.at(1).destBits(), 32u);
+}
+
+TEST(Assembler, DestBitsByType)
+{
+    Program p = assemble("t", R"(
+        mov.u32 $r1, $r2
+        mov.f64 $r1, $r2
+        cvt.u16.u32 $r1, $r2
+        setp.eq.s32 $p0, $r1, $r2
+        mul.wide.u16 $r4, $r1.lo, $r3.hi
+    )");
+    EXPECT_EQ(p.at(0).destBits(), 32u);
+    EXPECT_EQ(p.at(1).destBits(), 64u);
+    EXPECT_EQ(p.at(2).destBits(), 16u);
+    EXPECT_EQ(p.at(3).destBits(), 4u); // predicate CC register
+    EXPECT_EQ(p.at(4).destBits(), 32u); // widening multiply
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers)
+{
+    try {
+        assemble("t", "nop\nbogus.u32 $r1, $r2\n");
+        FAIL() << "expected AssemblyError";
+    } catch (const AssemblyError &e) {
+        EXPECT_EQ(e.line(), 2u);
+        EXPECT_NE(std::string(e.what()).find("bogus"), std::string::npos);
+    }
+}
+
+TEST(Assembler, RejectsMalformedInput)
+{
+    EXPECT_THROW(assemble("t", "add.u32 $r1, $r2"), AssemblyError);
+    EXPECT_THROW(assemble("t", "add.u32 $r1, $r2, $r3, $r4"),
+                 AssemblyError);
+    EXPECT_THROW(assemble("t", "add.q32 $r1, $r2, $r3"), AssemblyError);
+    EXPECT_THROW(assemble("t", "add.u32 $r999, $r2, $r3"), AssemblyError);
+    EXPECT_THROW(assemble("t", "bra nowhere"), AssemblyError);
+    EXPECT_THROW(assemble("t", "ld.global.u32 $r1, $r2"), AssemblyError);
+    EXPECT_THROW(assemble("t", "mov.f32 $r1, [0]"), AssemblyError);
+    EXPECT_THROW(assemble("t", "set.u32.u32 $p0, $r1, $r2"),
+                 AssemblyError);
+    EXPECT_THROW(assemble("t", "add.u32 -$r1, $r2, $r3"), AssemblyError);
+    EXPECT_THROW(assemble("t", "a: nop\na: nop"), AssemblyError);
+    EXPECT_THROW(assemble("t", "st.param.u32 [0], $r1"), AssemblyError);
+    EXPECT_THROW(assemble("t", "add.u32 $r1, $r2, 1.5"), AssemblyError);
+}
+
+TEST(Assembler, LabelOnlyLineAttachesToNext)
+{
+    Program p = assemble("t", R"(
+        start:
+        nop
+        bra start
+    )");
+    EXPECT_EQ(p.at(1).target, 0);
+}
+
+TEST(Assembler, ListingContainsLabelsAndText)
+{
+    Program p = assemble("t", "x: nop\nbra x\n");
+    std::string listing = p.listing();
+    EXPECT_NE(listing.find("x:"), std::string::npos);
+    EXPECT_NE(listing.find("bra x"), std::string::npos);
+}
+
+/** Round-trip every simple binary opcode through the assembler. */
+class OpcodeRoundTrip : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(OpcodeRoundTrip, ParsesWithU32Suffix)
+{
+    std::string mnemonic = GetParam();
+    std::string source = mnemonic + ".u32 $r1, $r2, $r3";
+    unsigned srcs = 2;
+    if (mnemonic == "mov" || mnemonic == "not" || mnemonic == "neg" ||
+        mnemonic == "abs") {
+        source = mnemonic + ".u32 $r1, $r2";
+        srcs = 1;
+    }
+    if (mnemonic == "mad" || mnemonic == "selp") {
+        source = mnemonic + ".u32 $r1, $r2, $r3, $r4";
+        srcs = 3;
+    }
+
+    Program p = assemble("t", source);
+    ASSERT_EQ(p.size(), 1u);
+    Opcode op;
+    ASSERT_TRUE(parseOpcode(mnemonic, op));
+    EXPECT_EQ(p.at(0).op, op);
+    EXPECT_EQ(opcodeName(p.at(0).op), mnemonic);
+    if (srcs == 2) {
+        EXPECT_EQ(opcodeSrcCount(op), 2u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBinaryOps, OpcodeRoundTrip,
+                         ::testing::Values("add", "sub", "mul", "div",
+                                           "rem", "min", "max", "and",
+                                           "or", "xor", "shl", "shr",
+                                           "mov", "not", "neg", "abs",
+                                           "mad", "selp"));
+
+} // namespace
+} // namespace fsp

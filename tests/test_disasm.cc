@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Disassembler tests: exact rendering of representative instructions
+ * and the assemble/disassemble round-trip property swept over every
+ * registered workload kernel -- a differential check on both the
+ * assembler and the disassembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/app.hh"
+#include "ptx/assembler.hh"
+#include "sim/disasm.hh"
+#include "sim/executor.hh"
+
+namespace fsp {
+namespace {
+
+using sim::disassembleInstruction;
+using sim::disassembleProgram;
+
+std::string
+one(const std::string &source)
+{
+    sim::Program p = ptx::assemble("t", source);
+    return disassembleInstruction(
+        p.at(0), [](std::size_t i) { return "l" + std::to_string(i); });
+}
+
+TEST(Disasm, RendersRepresentativeInstructions)
+{
+    EXPECT_EQ(one("add.u32 $r1, $r2, $r3"), "add.u32 $r1, $r2, $r3");
+    EXPECT_EQ(one("mad.f32 $r1, $r2, $r3, $r4"),
+              "mad.f32 $r1, $r2, $r3, $r4");
+    EXPECT_EQ(one("add.u32 $r3, -$r3, 0x00000100"),
+              "add.u32 $r3, -$r3, 0x100");
+    EXPECT_EQ(one("mul.wide.u16 $r4, $r1.lo, $r3.hi"),
+              "mul.wide.u16 $r4, $r1.lo, $r3.hi");
+    EXPECT_EQ(one("set.eq.s32.s32 $p0|$o127, $r6, $r1"),
+              "set.eq.s32.s32 $p0|$o127, $r6, $r1");
+    EXPECT_EQ(one("setp.lt.u32 $p2, $r1, $r2"),
+              "setp.lt.u32 $p2, $r1, $r2");
+    EXPECT_EQ(one("cvt.u32.u16 $r1, %ctaid.x"),
+              "cvt.u32.u16 $r1, %ctaid.x");
+    EXPECT_EQ(one("ld.global.f32 $r2, [$r3+16]"),
+              "ld.global.f32 $r2, [$r3+16]");
+    EXPECT_EQ(one("ld.shared.u32 $r2, [$r3+-4]"),
+              "ld.shared.u32 $r2, [$r3+-4]");
+    EXPECT_EQ(one("ld.param.u32 $r2, [8]"), "ld.param.u32 $r2, [8]");
+    EXPECT_EQ(one("st.global.u32 [$r3], $r2"),
+              "st.global.u32 [$r3], $r2");
+    EXPECT_EQ(one("bar.sync 0"), "bar.sync 0");
+    EXPECT_EQ(one("@$p0.ne bra next\nnext: nop"), "@$p0.ne bra l1");
+    EXPECT_EQ(one("mov.f32 $r1, 1.5"), "mov.f32 $r1, 1.5");
+    EXPECT_EQ(one("retp"), "retp");
+}
+
+TEST(Disasm, FloatImmediatesRoundTripBitExactly)
+{
+    for (float v : {1.5f, -0.1f, 3.0e38f, 1.0f / 3.0f, 0.0f}) {
+        char src[64];
+        std::snprintf(src, sizeof(src), "mov.f32 $r1, %.9g",
+                      static_cast<double>(v));
+        sim::Program p1 = ptx::assemble("t", src);
+        std::string text = disassembleProgram(p1);
+        sim::Program p2 = ptx::assemble("t", text);
+        EXPECT_EQ(p1.at(0).src[0].imm, p2.at(0).src[0].imm) << src;
+    }
+}
+
+/** Structural equivalence of two decoded instructions. */
+bool
+sameOperand(const sim::Operand &a, const sim::Operand &b)
+{
+    return a.kind == b.kind && a.reg == b.reg && a.half == b.half &&
+           a.negated == b.negated && a.special == b.special &&
+           a.imm == b.imm && a.memBase == b.memBase &&
+           a.memOffset == b.memOffset;
+}
+
+bool
+sameInstruction(const sim::Instruction &a, const sim::Instruction &b)
+{
+    bool same = a.op == b.op && a.type == b.type && a.stype == b.stype &&
+                a.cmp == b.cmp && a.space == b.space &&
+                a.guard.cond == b.guard.cond &&
+                a.guard.pred == b.guard.pred && a.target == b.target &&
+                a.barrier == b.barrier;
+    if (!same)
+        return false;
+    if (!sameOperand(a.dest, b.dest) || !sameOperand(a.dest2, b.dest2))
+        return false;
+    for (int i = 0; i < 3; ++i) {
+        if (!sameOperand(a.src[i], b.src[i]))
+            return false;
+    }
+    return true;
+}
+
+class RoundTripSweep : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(RoundTripSweep, AssembleDisassembleAssembleIsStable)
+{
+    const apps::KernelSpec *spec = apps::findKernel(GetParam());
+    ASSERT_NE(spec, nullptr);
+    apps::KernelSetup setup = spec->setup(apps::Scale::Small, 42);
+
+    std::string text = disassembleProgram(setup.program);
+    sim::Program reassembled = ptx::assemble("rt", text);
+
+    ASSERT_EQ(reassembled.size(), setup.program.size()) << text;
+    for (std::size_t i = 0; i < setup.program.size(); ++i) {
+        EXPECT_TRUE(
+            sameInstruction(setup.program.at(i), reassembled.at(i)))
+            << GetParam() << " instruction " << i << ": "
+            << setup.program.at(i).text;
+    }
+}
+
+TEST_P(RoundTripSweep, ReassembledProgramProducesIdenticalOutput)
+{
+    const apps::KernelSpec *spec = apps::findKernel(GetParam());
+    ASSERT_NE(spec, nullptr);
+    apps::KernelSetup a = spec->setup(apps::Scale::Small, 42);
+    apps::KernelSetup b = spec->setup(apps::Scale::Small, 42);
+
+    sim::Program reassembled =
+        ptx::assemble("rt", disassembleProgram(a.program));
+
+    sim::Executor ea(a.program, a.launch);
+    sim::Executor eb(reassembled, b.launch);
+    ASSERT_EQ(ea.run(a.memory).status, sim::RunStatus::Completed);
+    ASSERT_EQ(eb.run(b.memory).status, sim::RunStatus::Completed);
+
+    for (const auto &region : a.outputs) {
+        EXPECT_EQ(a.memory.snapshot(region.addr, region.bytes),
+                  b.memory.snapshot(region.addr, region.bytes))
+            << region.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, RoundTripSweep, ::testing::ValuesIn([] {
+        std::vector<std::string> names;
+        for (const auto &spec : apps::allKernels())
+            names.push_back(spec.fullName());
+        return names;
+    }()),
+    [](const auto &info) {
+        std::string name = info.param;
+        for (char &c : name) {
+            if (c == '/' || c == '-')
+                c = '_';
+        }
+        return name;
+    });
+
+} // namespace
+} // namespace fsp

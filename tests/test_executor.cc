@@ -1,0 +1,585 @@
+/**
+ * @file
+ * Unit tests for the functional SIMT executor: ALU semantics per data
+ * type, condition codes and guards, control flow, special registers,
+ * barriers and shared memory, crash/hang detection, tracing, and the
+ * single-bit fault hook.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+
+#include "sim_test_util.hh"
+
+namespace fsp {
+namespace {
+
+using test::MiniKernel;
+using namespace sim;
+
+TEST(Executor, StoresAndParams)
+{
+    MiniKernel k(R"(
+        ld.param.u32 $r1, [0]
+        mov.u32 $r2, 0x0000002a
+        st.global.u32 [$r1], $r2
+        retp
+    )");
+    auto result = k.run();
+    ASSERT_EQ(result.status, RunStatus::Completed);
+    EXPECT_EQ(k.outU32(0), 42u);
+    EXPECT_EQ(result.totalDynInstrs, 4u);
+}
+
+TEST(Executor, IntegerArithmetic)
+{
+    MiniKernel k(R"(
+        ld.param.u32 $r1, [0]
+        mov.u32 $r2, 0x00000007
+        mov.u32 $r3, 0x00000003
+        add.u32 $r4, $r2, $r3
+        st.global.u32 [$r1], $r4
+        sub.u32 $r4, $r3, $r2
+        st.global.u32 [$r1+4], $r4
+        mul.lo.u32 $r4, $r2, $r3
+        st.global.u32 [$r1+8], $r4
+        div.u32 $r4, $r2, $r3
+        st.global.u32 [$r1+12], $r4
+        rem.u32 $r4, $r2, $r3
+        st.global.u32 [$r1+16], $r4
+        min.s32 $r4, $r2, -$r3
+        st.global.u32 [$r1+20], $r4
+        max.u32 $r4, $r2, $r3
+        st.global.u32 [$r1+24], $r4
+        neg.s32 $r4, $r2
+        st.global.u32 [$r1+28], $r4
+        retp
+    )");
+    ASSERT_EQ(k.run().status, RunStatus::Completed);
+    EXPECT_EQ(k.outU32(0), 10u);
+    EXPECT_EQ(k.outU32(1), 0xFFFFFFFCu); // 3 - 7 wraps
+    EXPECT_EQ(k.outU32(2), 21u);
+    EXPECT_EQ(k.outU32(3), 2u);
+    EXPECT_EQ(k.outU32(4), 1u);
+    EXPECT_EQ(static_cast<std::int32_t>(k.outU32(5)), -3);
+    EXPECT_EQ(k.outU32(6), 7u);
+    EXPECT_EQ(static_cast<std::int32_t>(k.outU32(7)), -7);
+}
+
+TEST(Executor, DivisionByZeroDoesNotCrash)
+{
+    MiniKernel k(R"(
+        ld.param.u32 $r1, [0]
+        mov.u32 $r2, 0x00000009
+        mov.u32 $r3, 0x00000000
+        div.u32 $r4, $r2, $r3
+        st.global.u32 [$r1], $r4
+        rem.u32 $r4, $r2, $r3
+        st.global.u32 [$r1+4], $r4
+        retp
+    )");
+    ASSERT_EQ(k.run().status, RunStatus::Completed);
+    EXPECT_EQ(k.outU32(0), 0xFFFFFFFFu); // GPU-style all-ones
+    EXPECT_EQ(k.outU32(1), 9u);
+}
+
+TEST(Executor, BitwiseAndShifts)
+{
+    MiniKernel k(R"(
+        ld.param.u32 $r1, [0]
+        mov.u32 $r2, 0x000000f0
+        mov.u32 $r3, 0x000000ff
+        and.b32 $r4, $r2, $r3
+        st.global.u32 [$r1], $r4
+        or.b32 $r4, $r2, 0x0000000f
+        st.global.u32 [$r1+4], $r4
+        xor.b32 $r4, $r2, $r3
+        st.global.u32 [$r1+8], $r4
+        not.b32 $r4, $r2
+        st.global.u32 [$r1+12], $r4
+        shl.u32 $r4, $r2, 0x00000004
+        st.global.u32 [$r1+16], $r4
+        shr.u32 $r4, $r2, 0x00000004
+        st.global.u32 [$r1+20], $r4
+        mov.u32 $r5, 0x80000000
+        shr.s32 $r4, $r5, 0x0000001f
+        st.global.u32 [$r1+24], $r4
+        shr.u32 $r4, $r5, 0x00000040
+        st.global.u32 [$r1+28], $r4
+        retp
+    )");
+    ASSERT_EQ(k.run().status, RunStatus::Completed);
+    EXPECT_EQ(k.outU32(0), 0xF0u);
+    EXPECT_EQ(k.outU32(1), 0xFFu);
+    EXPECT_EQ(k.outU32(2), 0x0Fu);
+    EXPECT_EQ(k.outU32(3), 0xFFFFFF0Fu);
+    EXPECT_EQ(k.outU32(4), 0xF00u);
+    EXPECT_EQ(k.outU32(5), 0xFu);
+    EXPECT_EQ(k.outU32(6), 0xFFFFFFFFu); // arithmetic shift of sign bit
+    EXPECT_EQ(k.outU32(7), 0u);          // oversize logical shift
+}
+
+TEST(Executor, FloatArithmetic)
+{
+    MiniKernel k(R"(
+        ld.param.u32 $r1, [0]
+        mov.f32 $r2, 3.0
+        mov.f32 $r3, 0.5
+        add.f32 $r4, $r2, $r3
+        st.global.f32 [$r1], $r4
+        mul.f32 $r4, $r2, $r3
+        st.global.f32 [$r1+4], $r4
+        mad.f32 $r4, $r2, $r3, $r3
+        st.global.f32 [$r1+8], $r4
+        div.f32 $r4, $r2, $r3
+        st.global.f32 [$r1+12], $r4
+        rcp.f32 $r4, $r3
+        st.global.f32 [$r1+16], $r4
+        sqrt.f32 $r4, 16.0
+        st.global.f32 [$r1+20], $r4
+        rsqrt.f32 $r4, 4.0
+        st.global.f32 [$r1+24], $r4
+        ex2.f32 $r4, 3.0
+        st.global.f32 [$r1+28], $r4
+        lg2.f32 $r4, 8.0
+        st.global.f32 [$r1+32], $r4
+        abs.f32 $r4, -2.5
+        st.global.f32 [$r1+36], $r4
+        retp
+    )",
+                 16);
+    ASSERT_EQ(k.run().status, RunStatus::Completed);
+    EXPECT_FLOAT_EQ(k.outF32(0), 3.5f);
+    EXPECT_FLOAT_EQ(k.outF32(1), 1.5f);
+    EXPECT_FLOAT_EQ(k.outF32(2), 2.0f);
+    EXPECT_FLOAT_EQ(k.outF32(3), 6.0f);
+    EXPECT_FLOAT_EQ(k.outF32(4), 2.0f);
+    EXPECT_FLOAT_EQ(k.outF32(5), 4.0f);
+    EXPECT_FLOAT_EQ(k.outF32(6), 0.5f);
+    EXPECT_FLOAT_EQ(k.outF32(7), 8.0f);
+    EXPECT_FLOAT_EQ(k.outF32(8), 3.0f);
+    EXPECT_FLOAT_EQ(k.outF32(9), 2.5f);
+}
+
+TEST(Executor, Conversions)
+{
+    MiniKernel k(R"(
+        ld.param.u32 $r1, [0]
+        mov.f32 $r2, -3.7
+        cvt.s32.f32 $r3, $r2
+        st.global.u32 [$r1], $r3
+        mov.s32 $r4, -5
+        cvt.f32.s32 $r5, $r4
+        st.global.f32 [$r1+4], $r5
+        mov.u32 $r6, 0x0001ffff
+        cvt.u32.u16 $r7, $r6
+        st.global.u32 [$r1+8], $r7
+        mov.u32 $r8, 0x0000ffff
+        cvt.s32.s16 $r9, $r8
+        st.global.u32 [$r1+12], $r9
+        cvt.f64.f32 $r10, $r2
+        cvt.f32.f64 $r11, $r10
+        st.global.f32 [$r1+16], $r11
+        retp
+    )");
+    ASSERT_EQ(k.run().status, RunStatus::Completed);
+    EXPECT_EQ(static_cast<std::int32_t>(k.outU32(0)), -3); // trunc to 0
+    EXPECT_FLOAT_EQ(k.outF32(1), -5.0f);
+    EXPECT_EQ(k.outU32(2), 0xFFFFu);
+    EXPECT_EQ(static_cast<std::int32_t>(k.outU32(3)), -1); // sign-extend
+    EXPECT_FLOAT_EQ(k.outF32(4), -3.7f);
+}
+
+TEST(Executor, MulWideAndMadWide)
+{
+    MiniKernel k(R"(
+        ld.param.u32 $r1, [0]
+        mov.u32 $r2, 0x00030005
+        mul.wide.u16 $r3, $r2.lo, $r2.hi
+        st.global.u32 [$r1], $r3
+        mad.wide.u16 $r4, $r2.lo, $r2.hi, $r3
+        st.global.u32 [$r1+4], $r4
+        retp
+    )");
+    ASSERT_EQ(k.run().status, RunStatus::Completed);
+    EXPECT_EQ(k.outU32(0), 15u);
+    EXPECT_EQ(k.outU32(1), 30u);
+}
+
+TEST(Executor, ConditionCodesAndGuards)
+{
+    MiniKernel k(R"(
+        ld.param.u32 $r1, [0]
+        mov.u32 $r2, 0x00000005
+        set.eq.u32.u32 $p0|$o127, $r2, 0x00000005
+        @$p0.ne mov.u32 $r3, 0x00000001   // taken: equal -> result != 0
+        @$p0.eq mov.u32 $r3, 0x00000002   // not taken
+        st.global.u32 [$r1], $r3
+        set.lt.s32.s32 $p1|$r4, $r2, 0x00000003
+        st.global.u32 [$r1+4], $r4        // boolean result: 0
+        @$p1.eq mov.u32 $r5, 0x00000007   // taken: not-less -> zero set
+        st.global.u32 [$r1+8], $r5
+        setp.gt.s32 $p2, $r2, 0x00000004
+        @$p2.ne mov.u32 $r6, 0x00000009   // taken: 5 > 4
+        st.global.u32 [$r1+12], $r6
+        retp
+    )");
+    ASSERT_EQ(k.run().status, RunStatus::Completed);
+    EXPECT_EQ(k.outU32(0), 1u);
+    EXPECT_EQ(k.outU32(1), 0u);
+    EXPECT_EQ(k.outU32(2), 7u);
+    EXPECT_EQ(k.outU32(3), 9u);
+}
+
+TEST(Executor, SignFlagGuards)
+{
+    MiniKernel k(R"(
+        ld.param.u32 $r1, [0]
+        sub.s32 $p0|$r2, 3, 5            // result -2: sign set
+        @$p0.lt mov.u32 $r3, 0x00000011  // taken
+        @$p0.ge mov.u32 $r3, 0x00000022  // not taken
+        st.global.u32 [$r1], $r3
+        sub.s32 $p1|$r4, 5, 3            // result +2
+        @$p1.gt mov.u32 $r5, 0x00000033  // taken
+        @$p1.le mov.u32 $r5, 0x00000044  // not taken
+        st.global.u32 [$r1+4], $r5
+        retp
+    )");
+    ASSERT_EQ(k.run().status, RunStatus::Completed);
+    EXPECT_EQ(k.outU32(0), 0x11u);
+    EXPECT_EQ(k.outU32(1), 0x33u);
+}
+
+TEST(Executor, LoopsAndBranches)
+{
+    MiniKernel k(R"(
+        ld.param.u32 $r1, [0]
+        mov.u32 $r2, 0x00000000      // sum
+        mov.u32 $r3, 0x00000000      // i
+        loop:
+        add.u32 $r2, $r2, $r3
+        add.u32 $r3, $r3, 0x00000001
+        set.lt.u32.u32 $p0|$o127, $r3, 0x0000000a
+        @$p0.ne bra loop
+        st.global.u32 [$r1], $r2
+        retp
+    )");
+    ASSERT_EQ(k.run().status, RunStatus::Completed);
+    EXPECT_EQ(k.outU32(0), 45u);
+}
+
+TEST(Executor, SelpSelectsByPredicate)
+{
+    MiniKernel k(R"(
+        ld.param.u32 $r1, [0]
+        set.lt.u32.u32 $p0|$o127, 0x00000001, 0x00000002
+        selp.u32 $r2, 0x000000aa, 0x000000bb, $p0
+        st.global.u32 [$r1], $r2
+        set.lt.u32.u32 $p1|$o127, 0x00000002, 0x00000001
+        selp.u32 $r3, 0x000000aa, 0x000000bb, $p1
+        st.global.u32 [$r1+4], $r3
+        retp
+    )");
+    ASSERT_EQ(k.run().status, RunStatus::Completed);
+    EXPECT_EQ(k.outU32(0), 0xAAu);
+    EXPECT_EQ(k.outU32(1), 0xBBu);
+}
+
+TEST(Executor, SpecialRegistersAndThreads)
+{
+    // 4 threads each write tid.x * 10 + ntid.x.
+    MiniKernel k(R"(
+        ld.param.u32 $r1, [0]
+        cvt.u32.u16 $r2, %tid.x
+        cvt.u32.u16 $r3, %ntid.x
+        mul.lo.u32 $r4, $r2, 0x0000000a
+        add.u32 $r4, $r4, $r3
+        shl.u32 $r5, $r2, 0x00000002
+        add.u32 $r5, $r1, $r5
+        st.global.u32 [$r5], $r4
+        retp
+    )",
+                 8, 4);
+    ASSERT_EQ(k.run().status, RunStatus::Completed);
+    for (unsigned t = 0; t < 4; ++t)
+        EXPECT_EQ(k.outU32(t), t * 10 + 4);
+}
+
+TEST(Executor, SharedMemoryAndBarrier)
+{
+    // Each thread writes tid to shared, barrier, reads neighbour's slot
+    // (reversal) -- only correct with a working barrier.
+    MiniKernel k(R"(
+        ld.param.u32 $r1, [0]
+        cvt.u32.u16 $r2, %tid.x
+        shl.u32 $r3, $r2, 0x00000002
+        st.shared.u32 [$r3], $r2
+        bar.sync 0
+        mov.u32 $r4, 0x0000000c      // (nthreads-1)*4 = 12
+        sub.u32 $r4, $r4, $r3
+        ld.shared.u32 $r5, [$r4]     // reversed slot
+        add.u32 $r6, $r1, $r3
+        st.global.u32 [$r6], $r5
+        retp
+    )",
+                 8, 4, 64);
+    ASSERT_EQ(k.run().status, RunStatus::Completed);
+    for (unsigned t = 0; t < 4; ++t)
+        EXPECT_EQ(k.outU32(t), 3 - t);
+}
+
+TEST(Executor, ZeroRegisterReadsZeroAndDropsWrites)
+{
+    MiniKernel k(R"(
+        ld.param.u32 $r1, [0]
+        mov.u32 $r124, 0x00000063
+        add.u32 $r2, $r124, 0x00000001
+        st.global.u32 [$r1], $r2
+        retp
+    )");
+    ASSERT_EQ(k.run().status, RunStatus::Completed);
+    EXPECT_EQ(k.outU32(0), 1u);
+}
+
+TEST(Executor, WildLoadCrashes)
+{
+    MiniKernel k(R"(
+        mov.u32 $r2, 0x00ffff00
+        ld.global.u32 $r3, [$r2]
+        retp
+    )");
+    auto result = k.run();
+    EXPECT_EQ(result.status, RunStatus::Crashed);
+    EXPECT_NE(result.diagnostic.find("fault"), std::string::npos);
+}
+
+TEST(Executor, NullPageCrashes)
+{
+    MiniKernel k(R"(
+        mov.u32 $r2, 0x00000000
+        st.global.u32 [$r2], $r2
+        retp
+    )");
+    EXPECT_EQ(k.run().status, RunStatus::Crashed);
+}
+
+TEST(Executor, MisalignedAccessCrashes)
+{
+    MiniKernel k(R"(
+        ld.param.u32 $r1, [0]
+        add.u32 $r2, $r1, 0x00000002
+        ld.global.u32 $r3, [$r2]
+        retp
+    )");
+    EXPECT_EQ(k.run().status, RunStatus::Crashed);
+}
+
+TEST(Executor, SharedOutOfBoundsCrashes)
+{
+    MiniKernel k(R"(
+        mov.u32 $r2, 0x00000100
+        ld.shared.u32 $r3, [$r2]
+        retp
+    )",
+                 8, 1, 64);
+    EXPECT_EQ(k.run().status, RunStatus::Crashed);
+}
+
+TEST(Executor, InfiniteLoopHangs)
+{
+    MiniKernel k(R"(
+        spin: bra spin
+    )");
+    // Budget is enforced through LaunchConfig; MiniKernel uses the
+    // default, so rebuild an executor with a small budget directly.
+    sim::LaunchConfig config;
+    config.grid = {1, 1, 1};
+    config.block = {1, 1, 1};
+    config.maxDynInstrPerThread = 1000;
+    sim::Executor executor(k.program(), config);
+    sim::GlobalMemory memory(1u << 12);
+    auto result = executor.run(memory);
+    EXPECT_EQ(result.status, RunStatus::Hung);
+    EXPECT_NE(result.diagnostic.find("budget"), std::string::npos);
+}
+
+TEST(Executor, GuardFailedInstructionCountsButWritesNothing)
+{
+    MiniKernel k(R"(
+        ld.param.u32 $r1, [0]
+        mov.u32 $r2, 0x00000005
+        set.eq.u32.u32 $p0|$o127, $r2, 0x00000006
+        @$p0.ne mov.u32 $r3, 0x00000001   // guard fails (not equal)
+        st.global.u32 [$r1], $r3
+        retp
+    )");
+    sim::TraceOptions opts;
+    opts.traceThreads.insert(0);
+    auto result = k.run(&opts);
+    ASSERT_EQ(result.status, RunStatus::Completed);
+    EXPECT_EQ(k.outU32(0), 0u);
+    const auto &trace = result.trace.dynTraces.at(0);
+    ASSERT_EQ(trace.size(), 6u); // guard-failed instruction still counted
+    EXPECT_EQ(trace[3].destBits, 0u); // ...but contributes no fault bits
+    EXPECT_EQ(trace[1].destBits, 32u);
+    EXPECT_EQ(trace[2].destBits, 4u); // predicate CC register
+}
+
+TEST(Executor, PerThreadProfiles)
+{
+    // Thread 0 exits early; thread 1 runs the long path.
+    MiniKernel k(R"(
+        cvt.u32.u16 $r2, %tid.x
+        set.eq.u32.u32 $p0|$o127, $r2, 0x00000000
+        @$p0.ne retp
+        mov.u32 $r3, 0x00000001
+        mov.u32 $r4, 0x00000002
+        mov.u32 $r5, 0x00000003
+        retp
+    )",
+                 8, 2);
+    sim::TraceOptions opts;
+    opts.perThreadProfiles = true;
+    auto result = k.run(&opts);
+    ASSERT_EQ(result.status, RunStatus::Completed);
+    ASSERT_EQ(result.trace.profiles.size(), 2u);
+    EXPECT_EQ(result.trace.profiles[0].iCnt, 3u);
+    EXPECT_EQ(result.trace.profiles[1].iCnt, 7u);
+    // Thread 0: cvt(32) + set(4); thread 1 adds three movs.
+    EXPECT_EQ(result.trace.profiles[0].faultBits, 36u);
+    EXPECT_EQ(result.trace.profiles[1].faultBits, 36u + 96u);
+    EXPECT_EQ(result.totalDynInstrs, 10u);
+}
+
+TEST(Executor, FaultFlipChangesRegisterValue)
+{
+    MiniKernel k(R"(
+        ld.param.u32 $r1, [0]
+        mov.u32 $r2, 0x00000000
+        st.global.u32 [$r1], $r2
+        retp
+    )");
+    sim::FaultPlan plan;
+    plan.thread = 0;
+    plan.dynIndex = 1; // the mov
+    plan.bit = 5;
+    auto result = k.run(nullptr, &plan);
+    ASSERT_EQ(result.status, RunStatus::Completed);
+    EXPECT_TRUE(plan.applied);
+    EXPECT_EQ(k.outU32(0), 32u);
+}
+
+TEST(Executor, FaultOnGuardFailedInstructionNotApplied)
+{
+    MiniKernel k(R"(
+        set.eq.u32.u32 $p0|$o127, 0x00000001, 0x00000002
+        @$p0.ne mov.u32 $r3, 0x00000001
+        retp
+    )");
+    sim::FaultPlan plan;
+    plan.thread = 0;
+    plan.dynIndex = 1;
+    plan.bit = 0;
+    auto result = k.run(nullptr, &plan);
+    ASSERT_EQ(result.status, RunStatus::Completed);
+    EXPECT_FALSE(plan.applied);
+}
+
+TEST(Executor, FaultOnPredicateZeroFlagFlipsBranch)
+{
+    MiniKernel k(R"(
+        ld.param.u32 $r1, [0]
+        set.eq.u32.u32 $p0|$o127, 0x00000001, 0x00000001
+        @$p0.ne mov.u32 $r3, 0x00000063
+        st.global.u32 [$r1], $r3
+        retp
+    )");
+    // Golden: equal -> guard passes -> out = 99.
+    ASSERT_EQ(k.run().status, RunStatus::Completed);
+    EXPECT_EQ(k.outU32(0), 99u);
+
+    // Flip the zero flag of the set's CC destination.
+    MiniKernel k2(R"(
+        ld.param.u32 $r1, [0]
+        set.eq.u32.u32 $p0|$o127, 0x00000001, 0x00000001
+        @$p0.ne mov.u32 $r3, 0x00000063
+        st.global.u32 [$r1], $r3
+        retp
+    )");
+    sim::FaultPlan plan;
+    plan.thread = 0;
+    plan.dynIndex = 1;
+    plan.bit = 0; // zero flag
+    auto result = k2.run(nullptr, &plan);
+    ASSERT_EQ(result.status, RunStatus::Completed);
+    EXPECT_TRUE(plan.applied);
+    EXPECT_EQ(k2.outU32(0), 0u); // guard now fails; mov suppressed
+}
+
+TEST(Executor, FaultBitBeyondWidthNotApplied)
+{
+    MiniKernel k(R"(
+        mov.u32 $r2, 0x00000001
+        retp
+    )");
+    sim::FaultPlan plan;
+    plan.thread = 0;
+    plan.dynIndex = 0;
+    plan.bit = 40; // beyond a 32-bit destination
+    auto result = k.run(nullptr, &plan);
+    ASSERT_EQ(result.status, RunStatus::Completed);
+    EXPECT_FALSE(plan.applied);
+}
+
+TEST(Executor, FaultInAddressRegisterCanCrash)
+{
+    MiniKernel k(R"(
+        ld.param.u32 $r1, [0]
+        ld.global.u32 $r2, [$r1]
+        st.global.u32 [$r1], $r2
+        retp
+    )");
+    sim::FaultPlan plan;
+    plan.thread = 0;
+    plan.dynIndex = 0; // the param load producing the address
+    plan.bit = 23;     // high bit -> wild address
+    auto result = k.run(nullptr, &plan);
+    EXPECT_TRUE(plan.applied);
+    EXPECT_EQ(result.status, RunStatus::Crashed);
+}
+
+/**
+ * Property: a double flip at the same site restores the golden output.
+ * (The executor applies a plan at most once per run, so this is
+ * exercised by flipping the same bit in two consecutive instructions
+ * that cancel.)
+ */
+class FaultBitSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(FaultBitSweep, XorFlipMatchesInjectedBit)
+{
+    unsigned bit = GetParam();
+    MiniKernel k(R"(
+        ld.param.u32 $r1, [0]
+        mov.u32 $r2, 0x00000000
+        st.global.u32 [$r1], $r2
+        retp
+    )");
+    sim::FaultPlan plan;
+    plan.thread = 0;
+    plan.dynIndex = 1;
+    plan.bit = bit;
+    ASSERT_EQ(k.run(nullptr, &plan).status, RunStatus::Completed);
+    ASSERT_TRUE(plan.applied);
+    EXPECT_EQ(k.outU32(0), 1u << bit);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBits, FaultBitSweep,
+                         ::testing::Range(0u, 32u));
+
+} // namespace
+} // namespace fsp

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Executor tests across grid/CTA structure: 2-D geometry and special
+ * registers, per-CTA shared-memory isolation, barrier phase ordering
+ * under divergence, trace selection across CTAs, and conversion
+ * semantics swept over type pairs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "ptx/assembler.hh"
+#include "sim/executor.hh"
+
+namespace fsp {
+namespace {
+
+using namespace sim;
+
+/** Run a program over an arbitrary grid with an output buffer. */
+struct GridKernel
+{
+    Program program;
+    GlobalMemory memory{1u << 20};
+    LaunchConfig launch;
+    std::uint64_t out;
+
+    GridKernel(const std::string &source, Dim3 grid, Dim3 block,
+               std::size_t out_words, unsigned shared_bytes = 0)
+        : program(ptx::assemble("grid", source))
+    {
+        out = memory.allocate(4 * out_words);
+        launch.grid = grid;
+        launch.block = block;
+        launch.sharedBytes = shared_bytes;
+        launch.params.addU32(static_cast<std::uint32_t>(out));
+    }
+
+    RunResult
+    run(const TraceOptions *opts = nullptr)
+    {
+        Executor executor(program, launch);
+        return executor.run(memory, opts);
+    }
+
+    std::uint32_t
+    at(std::size_t index) const
+    {
+        return memory.peekU32(out + 4 * index);
+    }
+};
+
+TEST(ExecutorGrid, TwoDimensionalIdentity)
+{
+    // out[gid] = ctaid.y * 1000 + ctaid.x * 100 + tid.y * 10 + tid.x
+    // with gid = ((cy*gx + cx) * block) + ty*bx + tx.
+    GridKernel k(R"(
+        ld.param.u32 $r1, [0]
+        cvt.u32.u16 $r2, %ctaid.y
+        mul.lo.u32 $r3, $r2, 0x000003e8
+        cvt.u32.u16 $r4, %ctaid.x
+        mul.lo.u32 $r5, $r4, 0x00000064
+        add.u32 $r3, $r3, $r5
+        cvt.u32.u16 $r6, %tid.y
+        mul.lo.u32 $r7, $r6, 0x0000000a
+        add.u32 $r3, $r3, $r7
+        cvt.u32.u16 $r8, %tid.x
+        add.u32 $r3, $r3, $r8
+        // linear gid = ((cy*2 + cx) * 6) + ty*3 + tx
+        cvt.u32.u16 $r9, %nctaid.x
+        mul.lo.u32 $r10, $r2, $r9
+        add.u32 $r10, $r10, $r4
+        cvt.u32.u16 $r11, %ntid.x
+        cvt.u32.u16 $r12, %ntid.y
+        mul.lo.u32 $r13, $r11, $r12
+        mul.lo.u32 $r10, $r10, $r13
+        mul.lo.u32 $r14, $r6, $r11
+        add.u32 $r10, $r10, $r14
+        add.u32 $r10, $r10, $r8
+        shl.u32 $r10, $r10, 0x00000002
+        add.u32 $r10, $r1, $r10
+        st.global.u32 [$r10], $r3
+        retp
+    )",
+                 {2, 2, 1}, {3, 2, 1}, 24);
+    ASSERT_EQ(k.run().status, RunStatus::Completed);
+
+    for (unsigned cy = 0; cy < 2; ++cy) {
+        for (unsigned cx = 0; cx < 2; ++cx) {
+            for (unsigned ty = 0; ty < 2; ++ty) {
+                for (unsigned tx = 0; tx < 3; ++tx) {
+                    unsigned gid =
+                        (cy * 2 + cx) * 6 + ty * 3 + tx;
+                    EXPECT_EQ(k.at(gid),
+                              cy * 1000 + cx * 100 + ty * 10 + tx)
+                        << gid;
+                }
+            }
+        }
+    }
+}
+
+TEST(ExecutorGrid, SharedMemoryIsolatedPerCta)
+{
+    // Each CTA's thread 0 writes ctaid into shared; after a barrier,
+    // every thread reads it back.  A stale value from another CTA
+    // would break the per-CTA expectation.
+    GridKernel k(R"(
+        ld.param.u32 $r1, [0]
+        cvt.u32.u16 $r2, %tid.x
+        cvt.u32.u16 $r3, %ctaid.x
+        set.eq.u32.u32 $p0|$o127, $r2, 0x00000000
+        @$p0.ne st.shared.u32 [0], $r3
+        bar.sync 0
+        ld.shared.u32 $r4, [0]
+        cvt.u32.u16 $r5, %ntid.x
+        mul.lo.u32 $r6, $r3, $r5
+        add.u32 $r6, $r6, $r2
+        shl.u32 $r6, $r6, 0x00000002
+        add.u32 $r6, $r1, $r6
+        st.global.u32 [$r6], $r4
+        retp
+    )",
+                 {4, 1, 1}, {4, 1, 1}, 16, 16);
+    ASSERT_EQ(k.run().status, RunStatus::Completed);
+    for (unsigned cta = 0; cta < 4; ++cta)
+        for (unsigned t = 0; t < 4; ++t)
+            EXPECT_EQ(k.at(cta * 4 + t), cta);
+}
+
+TEST(ExecutorGrid, BarrierPhasesOrderProducerConsumer)
+{
+    // Three barrier-separated phases: write tid, rotate left, rotate
+    // left again -- result is a rotation by 2, which only holds if
+    // each phase completes before the next starts.
+    GridKernel k(R"(
+        ld.param.u32 $r1, [0]
+        cvt.u32.u16 $r2, %tid.x
+        shl.u32 $r3, $r2, 0x00000002
+        st.shared.u32 [$r3], $r2
+        bar.sync 0
+        add.u32 $r4, $r2, 0x00000001
+        rem.u32 $r4, $r4, 0x00000008
+        shl.u32 $r4, $r4, 0x00000002
+        ld.shared.u32 $r5, [$r4]
+        bar.sync 0
+        st.shared.u32 [$r3], $r5
+        bar.sync 0
+        ld.shared.u32 $r6, [$r4]
+        add.u32 $r7, $r1, $r3
+        st.global.u32 [$r7], $r6
+        retp
+    )",
+                 {1, 1, 1}, {8, 1, 1}, 8, 32);
+    ASSERT_EQ(k.run().status, RunStatus::Completed);
+    for (unsigned t = 0; t < 8; ++t)
+        EXPECT_EQ(k.at(t), (t + 2) % 8);
+}
+
+TEST(ExecutorGrid, TraceSelectionSpansCtas)
+{
+    GridKernel k(R"(
+        mov.u32 $r2, 0x00000001
+        cvt.u32.u16 $r3, %ctaid.x
+        retp
+    )",
+                 {3, 1, 1}, {2, 1, 1}, 8);
+    TraceOptions opts;
+    opts.traceThreads = {0, 3, 5};
+    auto result = k.run(&opts);
+    ASSERT_EQ(result.status, RunStatus::Completed);
+    EXPECT_EQ(result.trace.dynTraces.size(), 3u);
+    for (auto tid : {0u, 3u, 5u}) {
+        const auto &trace = result.trace.dynTraces.at(tid);
+        ASSERT_EQ(trace.size(), 3u);
+        EXPECT_EQ(trace[0].destBits, 32u);
+        EXPECT_EQ(trace[2].destBits, 0u); // retp
+    }
+    EXPECT_EQ(result.trace.dynTraces.count(1), 0u);
+}
+
+/** cvt semantics swept over representative (dst, src, raw) cases. */
+struct CvtCase
+{
+    const char *mnemonic;
+    std::uint32_t input;
+    std::uint32_t expected;
+};
+
+class CvtSweep : public ::testing::TestWithParam<CvtCase>
+{
+};
+
+TEST_P(CvtSweep, ConvertsAsSpecified)
+{
+    const CvtCase &c = GetParam();
+    std::string source = "ld.param.u32 $r1, [0]\n"
+                         "ld.param.u32 $r2, [4]\n";
+    source += std::string(c.mnemonic) + " $r3, $r2\n";
+    source += "st.global.u32 [$r1], $r3\nretp\n";
+
+    GridKernel k(source, {1, 1, 1}, {1, 1, 1}, 4);
+    k.launch.params.addU32(c.input);
+    ASSERT_EQ(k.run().status, RunStatus::Completed);
+    EXPECT_EQ(k.at(0), c.expected) << c.mnemonic << " of " << c.input;
+}
+
+constexpr std::uint32_t
+f32bits(float v)
+{
+    return std::bit_cast<std::uint32_t>(v);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Conversions, CvtSweep,
+    ::testing::Values(
+        // Integer narrowing / widening.
+        CvtCase{"cvt.u32.u16", 0x12345678u, 0x5678u},
+        CvtCase{"cvt.u16.u32", 0x12345678u, 0x5678u},
+        CvtCase{"cvt.s32.s16", 0x0000FFFFu, 0xFFFFFFFFu},
+        CvtCase{"cvt.u32.s16", 0x0000FFFFu, 0xFFFFFFFFu},
+        CvtCase{"cvt.s32.s32", 0xDEADBEEFu, 0xDEADBEEFu},
+        // Int -> float.
+        CvtCase{"cvt.f32.u32", 7u, f32bits(7.0f)},
+        CvtCase{"cvt.f32.s32", 0xFFFFFFFBu, f32bits(-5.0f)},
+        CvtCase{"cvt.f32.u16", 0x0001FFFFu, f32bits(65535.0f)},
+        // Float -> int (truncation toward zero, saturation).
+        CvtCase{"cvt.s32.f32", f32bits(-3.99f), 0xFFFFFFFDu},
+        CvtCase{"cvt.u32.f32", f32bits(3.99f), 3u},
+        CvtCase{"cvt.u32.f32", f32bits(-1.0f), 0u},
+        CvtCase{"cvt.s32.f32", f32bits(1e20f), 0x7FFFFFFFu},
+        // Float identity.
+        CvtCase{"cvt.f32.f32", f32bits(1.25f), f32bits(1.25f)}));
+
+} // namespace
+} // namespace fsp

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Unit tests for the simulator memory spaces: bump allocation and
+ * alignment, bounds/alignment checking on loads and stores (the crash
+ * model), host accessors, snapshots, shared memory, and the param
+ * buffer builder.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "sim/memory.hh"
+
+namespace fsp {
+namespace {
+
+using namespace sim;
+
+TEST(GlobalMemory, AllocateRespectsAlignmentAndBase)
+{
+    GlobalMemory m(1 << 12);
+    std::uint64_t a = m.allocate(3, 1);
+    std::uint64_t b = m.allocate(8, 8);
+    std::uint64_t c = m.allocate(1, 16);
+    EXPECT_EQ(a, GlobalMemory::kBaseAddr);
+    EXPECT_EQ(b % 8, 0u);
+    EXPECT_GT(b, a);
+    EXPECT_EQ((c - GlobalMemory::kBaseAddr) % 16, 0u);
+    EXPECT_EQ(m.allocatedBytes(),
+              static_cast<std::size_t>(c - GlobalMemory::kBaseAddr + 1));
+}
+
+TEST(GlobalMemory, LoadStoreWidths)
+{
+    GlobalMemory m(1 << 12);
+    std::uint64_t a = m.allocate(16);
+    EXPECT_EQ(m.store(a, 8, 0x1122334455667788ull), AccessError::None);
+    std::uint64_t v = 0;
+    EXPECT_EQ(m.load(a, 8, v), AccessError::None);
+    EXPECT_EQ(v, 0x1122334455667788ull);
+    EXPECT_EQ(m.load(a, 4, v), AccessError::None);
+    EXPECT_EQ(v, 0x55667788u);
+    EXPECT_EQ(m.load(a + 2, 2, v), AccessError::None);
+    EXPECT_EQ(v, 0x5566u); // little-endian byte order
+    EXPECT_EQ(m.load(a + 1, 1, v), AccessError::None);
+    EXPECT_EQ(v, 0x77u);
+}
+
+TEST(GlobalMemory, BoundsAndAlignmentErrors)
+{
+    GlobalMemory m(1 << 12);
+    std::uint64_t a = m.allocate(8);
+    std::uint64_t v = 0;
+
+    // Null page.
+    EXPECT_EQ(m.load(0, 4, v), AccessError::Unmapped);
+    EXPECT_EQ(m.load(GlobalMemory::kBaseAddr - 4, 4, v),
+              AccessError::Unmapped);
+    // Beyond the allocation frontier (capacity does not matter).
+    EXPECT_EQ(m.load(a + 8, 4, v), AccessError::Unmapped);
+    // Straddling the frontier.
+    EXPECT_EQ(m.load(a + 6, 4, v), AccessError::Unmapped);
+    // Misaligned.
+    EXPECT_EQ(m.load(a + 2, 4, v), AccessError::Misaligned);
+    EXPECT_EQ(m.store(a + 1, 2, 1), AccessError::Misaligned);
+    // In-bounds still fine.
+    EXPECT_EQ(m.store(a + 4, 4, 7), AccessError::None);
+}
+
+TEST(GlobalMemory, CopySemanticsForCampaignRestore)
+{
+    GlobalMemory pristine(1 << 12);
+    std::uint64_t a = pristine.allocate(4);
+    pristine.pokeU32(a, 0xABCD);
+
+    GlobalMemory scratch = pristine;
+    scratch.pokeU32(a, 0xFFFF);
+    EXPECT_EQ(pristine.peekU32(a), 0xABCDu);
+
+    scratch = pristine;
+    EXPECT_EQ(scratch.peekU32(a), 0xABCDu);
+}
+
+TEST(GlobalMemory, HostAccessorsAndSnapshot)
+{
+    GlobalMemory m(1 << 12);
+    std::uint64_t a = m.allocate(24);
+    m.pokeF32(a, 1.5f);
+    m.pokeF64(a + 8, -2.25);
+    m.pokeU64(a + 16, 42);
+    EXPECT_EQ(m.peekF32(a), 1.5f);
+    EXPECT_EQ(m.peekF64(a + 8), -2.25);
+    EXPECT_EQ(m.peekU64(a + 16), 42u);
+
+    auto snap = m.snapshot(a, 4);
+    ASSERT_EQ(snap.size(), 4u);
+    float back;
+    std::memcpy(&back, snap.data(), 4);
+    EXPECT_EQ(back, 1.5f);
+}
+
+TEST(SharedMemory, BoundsCheckedAndClearable)
+{
+    SharedMemory s(64);
+    std::uint64_t v = 0;
+    EXPECT_EQ(s.store(0, 4, 7), AccessError::None);
+    EXPECT_EQ(s.store(60, 4, 9), AccessError::None);
+    EXPECT_EQ(s.store(64, 4, 1), AccessError::Unmapped);
+    EXPECT_EQ(s.store(62, 4, 1), AccessError::Unmapped);
+    EXPECT_EQ(s.store(2, 4, 1), AccessError::Misaligned);
+    EXPECT_EQ(s.load(0, 4, v), AccessError::None);
+    EXPECT_EQ(v, 7u);
+    s.clear();
+    EXPECT_EQ(s.load(0, 4, v), AccessError::None);
+    EXPECT_EQ(v, 0u);
+}
+
+TEST(ParamBuffer, OffsetsAndAlignment)
+{
+    ParamBuffer p;
+    std::size_t a = p.addU32(1);
+    std::size_t b = p.addU32(2);
+    std::size_t c = p.addU64(3);      // 8-aligned: padding inserted?
+    std::size_t d = p.addF32(1.5f);
+    EXPECT_EQ(a, 0u);
+    EXPECT_EQ(b, 4u);
+    EXPECT_EQ(c % 8, 0u);
+    EXPECT_EQ(d % 4, 0u);
+
+    std::uint64_t v = 0;
+    EXPECT_EQ(p.load(a, 4, v), AccessError::None);
+    EXPECT_EQ(v, 1u);
+    EXPECT_EQ(p.load(c, 8, v), AccessError::None);
+    EXPECT_EQ(v, 3u);
+    EXPECT_EQ(p.load(p.size(), 4, v), AccessError::Unmapped);
+    EXPECT_EQ(p.load(1, 4, v), AccessError::Misaligned);
+}
+
+} // namespace
+} // namespace fsp

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * End-to-end properties of the progressive pruning pipeline, swept
+ * across every registered workload kernel (TEST_P): stage counts are
+ * monotonically non-increasing, extrapolation weight is conserved in
+ * expectation, sites are valid against the golden traces, the pipeline
+ * is deterministic per seed, and the weighted estimate of selected
+ * kernels agrees with a random baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "analysis/analyzer.hh"
+#include "apps/app.hh"
+
+namespace fsp {
+namespace {
+
+std::vector<std::string>
+kernelNames()
+{
+    std::vector<std::string> names;
+    for (const auto &spec : apps::allKernels())
+        names.push_back(spec.fullName());
+    return names;
+}
+
+class PipelineSweep : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(PipelineSweep, StageCountsMonotonicAndWeightsConserved)
+{
+    const apps::KernelSpec *spec = apps::findKernel(GetParam());
+    ASSERT_NE(spec, nullptr);
+    analysis::KernelAnalysis ka(*spec, apps::Scale::Small);
+
+    pruning::PruningConfig config;
+    config.seed = 11;
+    auto pruned = ka.prune(config);
+
+    const auto &counts = pruned.counts;
+    EXPECT_EQ(counts.exhaustive, ka.space().totalSites());
+    EXPECT_LE(counts.afterThread, counts.exhaustive);
+    EXPECT_LE(counts.afterInstruction, counts.afterThread);
+    EXPECT_LE(counts.afterLoop, counts.afterInstruction);
+    EXPECT_LE(counts.afterBit, counts.afterLoop);
+    EXPECT_GT(counts.afterBit, 0u);
+
+    // Thread-wise pruning must collapse SIMT siblings.  Tiny kernels
+    // (LUD tiles) can legitimately have every thread distinct; larger
+    // launches must shrink.
+    if (ka.space().threadCount() > 64) {
+        EXPECT_LT(pruned.grouping.representativeCount(),
+                  ka.space().threadCount() / 2);
+    } else {
+        EXPECT_LE(pruned.grouping.representativeCount(),
+                  ka.space().threadCount());
+    }
+
+    // Total represented weight equals the exhaustive site count (the
+    // loop stage resamples but rescales, so equality is exact as long
+    // as sampled iterations carry identical site counts; allow a
+    // relative tolerance for ragged final iterations).
+    double represented = pruned.totalRepresentedWeight();
+    double exhaustive = static_cast<double>(counts.exhaustive);
+    EXPECT_NEAR(represented / exhaustive, 1.0, 0.05) << GetParam();
+
+    // Every site must carry a positive weight and a valid bit index.
+    for (const auto &site : pruned.sites) {
+        EXPECT_GT(site.weight, 0.0);
+        EXPECT_LT(site.site.bit, 64u);
+    }
+}
+
+TEST_P(PipelineSweep, DeterministicPerSeed)
+{
+    const apps::KernelSpec *spec = apps::findKernel(GetParam());
+    ASSERT_NE(spec, nullptr);
+    analysis::KernelAnalysis ka(*spec, apps::Scale::Small);
+
+    pruning::PruningConfig config;
+    config.seed = 17;
+    auto a = ka.prune(config);
+    auto b = ka.prune(config);
+    ASSERT_EQ(a.sites.size(), b.sites.size());
+    for (std::size_t i = 0; i < a.sites.size(); ++i) {
+        EXPECT_TRUE(a.sites[i].site == b.sites[i].site);
+        EXPECT_DOUBLE_EQ(a.sites[i].weight, b.sites[i].weight);
+    }
+    EXPECT_DOUBLE_EQ(a.assumedMaskedWeight, b.assumedMaskedWeight);
+}
+
+TEST_P(PipelineSweep, SitesBelongToRepresentativeThreads)
+{
+    const apps::KernelSpec *spec = apps::findKernel(GetParam());
+    ASSERT_NE(spec, nullptr);
+    analysis::KernelAnalysis ka(*spec, apps::Scale::Small);
+
+    auto pruned = ka.prune({});
+    std::map<std::uint64_t, const pruning::ThreadPlan *> plan_of;
+    for (const auto &plan : pruned.plans)
+        plan_of[plan.thread] = &plan;
+
+    for (const auto &site : pruned.sites) {
+        auto it = plan_of.find(site.site.thread);
+        ASSERT_NE(it, plan_of.end());
+        const auto &plan = *it->second;
+        ASSERT_LT(site.site.dynIndex, plan.trace.size());
+        // The site's bit must fit the instruction's dest width and the
+        // instruction must still be live.
+        EXPECT_LT(site.site.bit,
+                  plan.trace[site.site.dynIndex].destBits);
+        EXPECT_GT(plan.weight[site.site.dynIndex], 0.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, PipelineSweep,
+                         ::testing::ValuesIn(kernelNames()),
+                         [](const auto &info) {
+                             std::string name = info.param;
+                             for (char &c : name) {
+                                 if (c == '/' || c == '-')
+                                     c = '_';
+                             }
+                             return name;
+                         });
+
+TEST(Pipeline, DisabledStagesAreSkipped)
+{
+    analysis::KernelAnalysis ka(*apps::findKernel("PathFinder/K1"),
+                                apps::Scale::Small);
+    pruning::PruningConfig config;
+    config.instructionStage = false;
+    config.loopIterations = 0;
+    config.bitSamples = 0;
+    config.predZeroFlagOnly = false;
+    auto pruned = ka.prune(config);
+
+    EXPECT_EQ(pruned.counts.afterInstruction, pruned.counts.afterThread);
+    EXPECT_EQ(pruned.counts.afterLoop, pruned.counts.afterThread);
+    EXPECT_EQ(pruned.counts.afterBit, pruned.counts.afterThread);
+    EXPECT_DOUBLE_EQ(pruned.assumedMaskedWeight, 0.0);
+    // With no sampling at all, weight conservation is exact.
+    EXPECT_DOUBLE_EQ(pruned.totalRepresentedWeight(),
+                     static_cast<double>(pruned.counts.exhaustive));
+}
+
+TEST(Pipeline, InstructionStagePrunesPathfinder)
+{
+    // PathFinder is the paper's common-block showcase (Fig. 5).
+    analysis::KernelAnalysis ka(*apps::findKernel("PathFinder/K1"),
+                                apps::Scale::Small);
+    pruning::PruningConfig config;
+    auto pruned = ka.prune(config);
+    EXPECT_TRUE(pruned.instrStats.applicable);
+    EXPECT_GT(pruned.instrStats.prunedFraction(), 0.5);
+    EXPECT_LT(pruned.counts.afterInstruction, pruned.counts.afterThread);
+}
+
+TEST(Pipeline, SingleRepresentativeKernelsSkipInstructionStage)
+{
+    // GEMM/SYRK/2MM/MVT have one uniform thread group (paper Fig. 10c).
+    for (const char *name : {"GEMM/K1", "SYRK/K1", "2MM/K1", "MVT/K1"}) {
+        analysis::KernelAnalysis ka(*apps::findKernel(name),
+                                    apps::Scale::Small);
+        auto pruned = ka.prune({});
+        EXPECT_EQ(pruned.grouping.representativeCount(), 1u) << name;
+        EXPECT_FALSE(pruned.instrStats.applicable) << name;
+        EXPECT_EQ(pruned.counts.afterInstruction,
+                  pruned.counts.afterThread)
+            << name;
+    }
+}
+
+TEST(Pipeline, LoopStageDominatesForMvt)
+{
+    analysis::KernelAnalysis ka(*apps::findKernel("MVT/K1"),
+                                apps::Scale::Small);
+    pruning::PruningConfig config;
+    config.loopIterations = 8;
+    auto pruned = ka.prune(config);
+    // 64-iteration loop sampled down to 8: better than 5x reduction.
+    EXPECT_LT(pruned.counts.afterLoop,
+              pruned.counts.afterInstruction / 5);
+    EXPECT_EQ(pruned.loopStats.loopsSampled, 1u);
+    EXPECT_EQ(pruned.loopStats.iterationsKept, 8u);
+}
+
+TEST(Pipeline, EstimateTracksBaselineForSmallKernels)
+{
+    // The paper's headline claim at small scale: the pruned weighted
+    // estimate reproduces the random-sampling profile.  Checked on two
+    // cheap kernels with a generous (but meaningful) tolerance.
+    for (const char *name : {"Gaussian/K1", "LUD/K46"}) {
+        analysis::KernelAnalysis ka(*apps::findKernel(name),
+                                    apps::Scale::Small);
+        auto pruned = ka.prune({});
+        auto estimate = ka.runPrunedCampaign(pruned);
+        auto baseline = ka.runBaseline(1500, 7);
+
+        for (auto outcome : {faults::Outcome::Masked,
+                             faults::Outcome::SDC,
+                             faults::Outcome::Other}) {
+            EXPECT_NEAR(estimate.fraction(outcome),
+                        baseline.dist.fraction(outcome), 0.10)
+                << name << " " << faults::outcomeName(outcome);
+        }
+    }
+}
+
+TEST(Analysis, FacadeAccessorsAreConsistent)
+{
+    const apps::KernelSpec *spec = apps::findKernel("LUD/K46");
+    analysis::KernelAnalysis ka(*spec, apps::Scale::Small);
+    EXPECT_EQ(&ka.spec(), spec);
+    EXPECT_EQ(ka.program().name(), "lud_diagonal");
+    EXPECT_EQ(ka.executor().config().block.count(),
+              ka.space().threadCount());
+    EXPECT_GT(ka.injector().goldenMaxICnt(), 0u);
+}
+
+} // namespace
+} // namespace fsp

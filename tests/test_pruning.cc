@@ -1,0 +1,460 @@
+/**
+ * @file
+ * Unit tests for the individual pruning stages: CTA/thread grouping
+ * invariants, trace alignment and weight folding, loop detection and
+ * iteration sampling, and bit-position sampling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "faults/fault_space.hh"
+#include "pruning/bits.hh"
+#include "pruning/grouping.hh"
+#include "pruning/instr_common.hh"
+#include "pruning/loops.hh"
+#include "ptx/assembler.hh"
+#include "sim_test_util.hh"
+
+namespace fsp {
+namespace {
+
+using test::MiniKernel;
+
+/**
+ * 2 CTAs x 4 threads; threads 0-1 of every CTA take a short path,
+ * threads 2-3 a long one, giving two iCnt classes per CTA and
+ * structurally identical CTAs (one CTA group expected).
+ */
+const char *kGroupingSource = R"(
+    cvt.u32.u16 $r2, %tid.x
+    set.lt.u32.u32 $p0|$o127, $r2, 0x00000002
+    @$p0.ne retp                 // tid 0,1 exit early
+    mov.u32 $r3, 0x00000001
+    mov.u32 $r4, 0x00000002
+    mov.u32 $r5, 0x00000003
+    retp
+)";
+
+class GroupingTest : public ::testing::Test
+{
+  protected:
+    GroupingTest() : kernel_(kGroupingSource, 8, 4)
+    {
+        auto config = kernel_.launchConfig();
+        config.grid = {2, 1, 1};
+        executor_ = std::make_unique<sim::Executor>(kernel_.program(),
+                                                    config);
+        space_.emplace(*executor_, kernel_.memory());
+    }
+
+    MiniKernel kernel_;
+    std::unique_ptr<sim::Executor> executor_;
+    std::optional<faults::FaultSpace> space_;
+};
+
+TEST_F(GroupingTest, GroupsFormAPartition)
+{
+    Prng prng(1);
+    auto pruning = pruning::pruneThreads(*space_, 4, prng);
+
+    // All CTAs identical -> one CTA group containing both CTAs.
+    ASSERT_EQ(pruning.ctaGroups.size(), 1u);
+    EXPECT_EQ(pruning.ctaGroups[0].ctas.size(), 2u);
+
+    // Two thread groups; together they partition all 8 threads.
+    ASSERT_EQ(pruning.ctaGroups[0].threadGroups.size(), 2u);
+    std::set<std::uint64_t> seen;
+    for (const auto &tg : pruning.ctaGroups[0].threadGroups) {
+        for (std::uint64_t t : tg.threads)
+            EXPECT_TRUE(seen.insert(t).second) << "duplicate thread";
+        // The representative is a member of its own group.
+        EXPECT_NE(std::find(tg.threads.begin(), tg.threads.end(),
+                            tg.representative),
+                  tg.threads.end());
+        // All members share the representative's iCnt.
+        for (std::uint64_t t : tg.threads)
+            EXPECT_EQ(space_->profiles()[t].iCnt, tg.iCnt);
+    }
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST_F(GroupingTest, WeightsCoverTheWholeSpace)
+{
+    Prng prng(1);
+    auto pruning = pruning::pruneThreads(*space_, 4, prng);
+
+    // Sum over groups of (weight * representative bits) must equal the
+    // exhaustive site count: nothing lost, nothing double-counted.
+    double represented = 0.0;
+    for (const auto *tg : pruning.allGroups())
+        represented += tg->weight() * tg->representativeBits;
+    EXPECT_NEAR(represented, static_cast<double>(space_->totalSites()),
+                1e-6);
+
+    EXPECT_EQ(pruning.representativeCount(), 2u);
+    EXPECT_LT(pruning.sitesAfterPruning(), space_->totalSites());
+}
+
+TEST_F(GroupingTest, DeterministicForSeed)
+{
+    Prng a(5), b(5), c(6);
+    auto p1 = pruning::pruneThreads(*space_, 4, a);
+    auto p2 = pruning::pruneThreads(*space_, 4, b);
+    auto p3 = pruning::pruneThreads(*space_, 4, c);
+    ASSERT_EQ(p1.ctaGroups.size(), p2.ctaGroups.size());
+    for (std::size_t g = 0; g < p1.ctaGroups.size(); ++g) {
+        EXPECT_EQ(p1.ctaGroups[g].representativeCta,
+                  p2.ctaGroups[g].representativeCta);
+        for (std::size_t t = 0; t < p1.ctaGroups[g].threadGroups.size();
+             ++t) {
+            EXPECT_EQ(p1.ctaGroups[g].threadGroups[t].representative,
+                      p2.ctaGroups[g].threadGroups[t].representative);
+        }
+    }
+    // A different seed is allowed to pick different representatives,
+    // but the group structure must be identical.
+    EXPECT_EQ(p1.ctaGroups.size(), p3.ctaGroups.size());
+}
+
+TEST(Grouping, SeparatesStructurallyDifferentCtas)
+{
+    // Threads in CTA 0 run a longer path than CTA 1 -> 2 CTA groups.
+    MiniKernel k(R"(
+        cvt.u32.u16 $r2, %ctaid.x
+        set.eq.u32.u32 $p0|$o127, $r2, 0x00000000
+        @$p0.eq retp                 // CTA != 0 exits
+        mov.u32 $r3, 0x00000001
+        mov.u32 $r4, 0x00000002
+        retp
+    )",
+                 8, 4);
+    auto config = k.launchConfig();
+    config.grid = {2, 1, 1};
+    sim::Executor executor(k.program(), config);
+    faults::FaultSpace space(executor, k.memory());
+
+    Prng prng(1);
+    auto pruning = pruning::pruneThreads(space, 4, prng);
+    EXPECT_EQ(pruning.ctaGroups.size(), 2u);
+    for (const auto &cg : pruning.ctaGroups) {
+        EXPECT_EQ(cg.ctas.size(), 1u);
+        EXPECT_EQ(cg.threadGroups.size(), 1u);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Instruction-wise pruning.
+
+sim::DynRecord
+rec(std::uint32_t si, std::uint16_t bits = 32)
+{
+    return {si, bits};
+}
+
+pruning::ThreadPlan
+makePlan(std::uint64_t thread, std::vector<sim::DynRecord> trace,
+         double weight = 1.0)
+{
+    pruning::ThreadPlan plan;
+    plan.thread = thread;
+    plan.groupId = static_cast<std::uint32_t>(thread);
+    plan.baseWeight = weight;
+    plan.trace = std::move(trace);
+    plan.weight.assign(plan.trace.size(), weight);
+    return plan;
+}
+
+TEST(InstrCommon, AlignsPrefixAndSuffix)
+{
+    std::vector<sim::DynRecord> base{rec(0), rec(1), rec(2), rec(3),
+                                     rec(4), rec(5)};
+    std::vector<sim::DynRecord> other{rec(0), rec(1), rec(4), rec(5)};
+    auto alignment = pruning::alignTraces(base, other);
+    EXPECT_EQ(alignment.prefixLen, 2u);
+    EXPECT_EQ(alignment.suffixLen, 2u);
+}
+
+TEST(InstrCommon, PrefixSuffixNeverOverlap)
+{
+    std::vector<sim::DynRecord> base{rec(0), rec(1), rec(2)};
+    std::vector<sim::DynRecord> other{rec(0), rec(1), rec(2)};
+    auto alignment = pruning::alignTraces(base, other);
+    EXPECT_EQ(alignment.prefixLen + alignment.suffixLen, 3u);
+}
+
+TEST(InstrCommon, FoldsLighterPlanIntoHeavierPlan)
+{
+    // plans[0]: 6 records at weight 2 (represented weight 384);
+    // plans[1]: 5 records at weight 3 (represented weight 480) -- the
+    // heavier plan, so it becomes the fold base even though it is
+    // shorter.  They share a 2-prefix and a 2-suffix.
+    auto lighter = makePlan(0, {rec(0), rec(1), rec(2), rec(3), rec(4),
+                                rec(5)},
+                            2.0);
+    auto heavier =
+        makePlan(1, {rec(0), rec(1), rec(9), rec(4), rec(5)}, 3.0);
+
+    std::vector<pruning::ThreadPlan> plans{lighter, heavier};
+    double before = plans[0].representedWeight() +
+                    plans[1].representedWeight();
+
+    auto stats = pruning::applyInstructionPruning(plans);
+    EXPECT_TRUE(stats.applicable);
+    EXPECT_EQ(stats.prunedDynInstrs, 4u);
+    EXPECT_EQ(stats.prunedSites, 4u * 32u);
+
+    // Total represented weight is conserved exactly.
+    double after = plans[0].representedWeight() +
+                   plans[1].representedWeight();
+    EXPECT_DOUBLE_EQ(before, after);
+
+    // The heavier plan's prefix/suffix carry 3+2; the lighter plan
+    // keeps only its distinct middle records {2,3}.
+    EXPECT_DOUBLE_EQ(plans[1].weight[0], 5.0);
+    EXPECT_DOUBLE_EQ(plans[1].weight[1], 5.0);
+    EXPECT_DOUBLE_EQ(plans[1].weight[2], 3.0); // distinct middle
+    EXPECT_DOUBLE_EQ(plans[1].weight[3], 5.0);
+    EXPECT_DOUBLE_EQ(plans[1].weight[4], 5.0);
+    EXPECT_DOUBLE_EQ(plans[0].weight[0], 0.0);
+    EXPECT_DOUBLE_EQ(plans[0].weight[2], 2.0);
+    EXPECT_DOUBLE_EQ(plans[0].weight[5], 0.0);
+    EXPECT_EQ(plans[0].liveSites(), 64u);
+}
+
+TEST(InstrCommon, GuardDifferencesDoNotBreakAlignment)
+{
+    // Same static instructions, but `other` has destBits 0 at index 1
+    // (guard failed there).  Alignment spans everything; index 1 is
+    // pruned for free (no sites), the rest folds.
+    auto base = makePlan(0, {rec(0), rec(1, 32), rec(2)}, 1.0);
+    auto other = makePlan(1, {rec(0), rec(1, 0), rec(2)}, 1.0);
+    std::vector<pruning::ThreadPlan> plans{base, other};
+    auto stats = pruning::applyInstructionPruning(plans);
+    EXPECT_EQ(plans[1].liveSites(), 0u);
+    EXPECT_DOUBLE_EQ(plans[0].weight[0], 2.0);
+    EXPECT_DOUBLE_EQ(plans[0].weight[1], 1.0); // nothing folded there
+    EXPECT_EQ(stats.prunedDynInstrs, 2u);
+}
+
+TEST(InstrCommon, SinglePlanIsNoop)
+{
+    std::vector<pruning::ThreadPlan> plans{makePlan(0, {rec(0)})};
+    auto stats = pruning::applyInstructionPruning(plans);
+    EXPECT_FALSE(stats.applicable);
+    EXPECT_DOUBLE_EQ(plans[0].weight[0], 1.0);
+}
+
+// ---------------------------------------------------------------------
+// Loop-wise pruning.
+
+/** Build the trace of a simple counted loop program. */
+struct LoopFixture
+{
+    sim::Program program;
+    std::vector<sim::DynRecord> trace;
+
+    explicit LoopFixture(const char *source, unsigned threads = 1)
+        : program(ptx::assemble("loop", source))
+    {
+        sim::LaunchConfig config;
+        config.grid = {1, 1, 1};
+        config.block = {threads, 1, 1};
+        sim::GlobalMemory memory(1 << 12);
+        sim::TraceOptions opts;
+        opts.traceThreads.insert(0);
+        sim::Executor executor(program, config);
+        auto result = executor.run(memory, &opts);
+        EXPECT_EQ(result.status, sim::RunStatus::Completed);
+        trace = result.trace.dynTraces.at(0);
+    }
+};
+
+const char *kCountedLoop = R"(
+    mov.u32 $r2, 0x00000000
+    loop:
+    add.u32 $r3, $r2, $r2
+    add.u32 $r2, $r2, 0x00000001
+    set.lt.u32.u32 $p0|$o127, $r2, 0x0000000a
+    @$p0.ne bra loop
+    retp
+)";
+
+TEST(Loops, DetectsCountedLoop)
+{
+    LoopFixture f(kCountedLoop);
+    auto loops = pruning::detectLoops(f.trace, f.program);
+    ASSERT_EQ(loops.size(), 1u);
+    EXPECT_EQ(loops[0].headerStatic, 1u);
+    EXPECT_EQ(loops[0].branchStatic, 4u);
+    EXPECT_EQ(loops[0].iterations.size(), 10u);
+    // Iterations tile the loop body contiguously.
+    for (std::size_t k = 1; k < loops[0].iterations.size(); ++k) {
+        EXPECT_EQ(loops[0].iterations[k].first,
+                  loops[0].iterations[k - 1].second);
+    }
+}
+
+TEST(Loops, AnalyzeReportsIterationAndCoverage)
+{
+    LoopFixture f(kCountedLoop);
+    auto stats = pruning::analyzeLoops(f.trace, f.program);
+    EXPECT_EQ(stats.loopIterations, 10u);
+    EXPECT_EQ(stats.totalDynInstrs, f.trace.size());
+    // 40 of 42 dynamic instructions are inside the loop.
+    EXPECT_NEAR(stats.loopInstrFraction(), 40.0 / 42.0, 1e-9);
+}
+
+TEST(Loops, DetectsNestedLoops)
+{
+    LoopFixture f(R"(
+        mov.u32 $r2, 0x00000000
+        outer:
+        mov.u32 $r3, 0x00000000
+        inner:
+        add.u32 $r4, $r3, $r2
+        add.u32 $r3, $r3, 0x00000001
+        set.lt.u32.u32 $p0|$o127, $r3, 0x00000004
+        @$p0.ne bra inner
+        add.u32 $r2, $r2, 0x00000001
+        set.lt.u32.u32 $p0|$o127, $r2, 0x00000003
+        @$p0.ne bra outer
+        retp
+    )");
+    auto loops = pruning::detectLoops(f.trace, f.program);
+    ASSERT_EQ(loops.size(), 2u);
+    // Outermost first.
+    EXPECT_EQ(loops[0].headerStatic, 1u);
+    EXPECT_EQ(loops[0].iterations.size(), 3u);
+    EXPECT_EQ(loops[1].iterations.size(), 12u); // 3 activations x 4
+    EXPECT_TRUE(loops[1].nestedIn(loops[0]));
+    EXPECT_FALSE(loops[0].nestedIn(loops[1]));
+
+    auto stats = pruning::analyzeLoops(f.trace, f.program);
+    EXPECT_EQ(stats.loopIterations, 15u);
+}
+
+TEST(Loops, SamplingKeepsRequestedIterationsAndWeight)
+{
+    LoopFixture f(kCountedLoop);
+    auto plan = makePlan(0, f.trace, 2.0);
+    // Recompute weights to account for real destBits.
+    double before = plan.representedWeight();
+
+    Prng prng(3);
+    auto stats = pruning::applyLoopPruning(plan, f.program, 4, prng);
+    EXPECT_EQ(stats.loopsSampled, 1u);
+    EXPECT_EQ(stats.iterationsTotal, 10u);
+    EXPECT_EQ(stats.iterationsKept, 4u);
+    EXPECT_GT(stats.prunedSites, 0u);
+
+    // Weight is conserved: kept iterations are rescaled by 10/4.
+    EXPECT_NEAR(plan.representedWeight(), before, 1e-9);
+    EXPECT_LT(plan.liveSites(), f.trace.size() * 32);
+}
+
+TEST(Loops, SamplingMoreThanAvailableIsNoop)
+{
+    LoopFixture f(kCountedLoop);
+    auto plan = makePlan(0, f.trace, 1.0);
+    Prng prng(3);
+    auto stats = pruning::applyLoopPruning(plan, f.program, 100, prng);
+    EXPECT_EQ(stats.loopsSampled, 0u);
+    EXPECT_EQ(stats.iterationsKept, 10u);
+    for (double w : plan.weight)
+        EXPECT_DOUBLE_EQ(w, 1.0);
+}
+
+TEST(Loops, LoopFreeTraceUntouched)
+{
+    LoopFixture f(R"(
+        mov.u32 $r2, 0x00000001
+        add.u32 $r3, $r2, $r2
+        retp
+    )");
+    EXPECT_TRUE(pruning::detectLoops(f.trace, f.program).empty());
+    auto stats = pruning::analyzeLoops(f.trace, f.program);
+    EXPECT_EQ(stats.loopIterations, 0u);
+    EXPECT_DOUBLE_EQ(stats.loopInstrFraction(), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Bit-wise pruning.
+
+TEST(Bits, PaperSelectionPattern)
+{
+    // The paper's example: 2 positions per 8-bit section of a 32-bit
+    // register -> {3,7,11,15,19,23,27,31}.
+    auto positions = pruning::sampledBitPositions(32, 8);
+    std::vector<std::uint32_t> expected{3, 7, 11, 15, 19, 23, 27, 31};
+    EXPECT_EQ(positions, expected);
+}
+
+class BitPositionSweep
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+};
+
+TEST_P(BitPositionSweep, PositionsAreValidStridedAndIncludeMsb)
+{
+    auto [width, samples] = GetParam();
+    auto positions = pruning::sampledBitPositions(width, samples);
+    ASSERT_FALSE(positions.empty());
+    EXPECT_TRUE(std::is_sorted(positions.begin(), positions.end()));
+    for (auto b : positions)
+        EXPECT_LT(b, width);
+    EXPECT_EQ(positions.back(), width - 1); // MSB always sampled
+    if (samples == 0 || samples >= width)
+        EXPECT_EQ(positions.size(), width);
+    else
+        EXPECT_LE(positions.size(), samples + 1);
+    // No duplicates.
+    std::set<std::uint32_t> unique(positions.begin(), positions.end());
+    EXPECT_EQ(unique.size(), positions.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WidthsAndSamples, BitPositionSweep,
+    ::testing::Combine(::testing::Values(4u, 16u, 32u, 64u),
+                       ::testing::Values(0u, 4u, 8u, 16u, 64u)));
+
+TEST(Bits, ExpansionConservesWeight)
+{
+    auto plan = makePlan(7, {rec(0, 32), rec(1, 0), rec(2, 4)}, 2.0);
+    plan.weight[1] = 0.0;
+
+    auto result = pruning::applyBitPruning({plan}, 16, true);
+    // 16 sites for the 32-bit dest, 1 zero-flag site for the predicate.
+    EXPECT_EQ(result.sites.size(), 17u);
+    EXPECT_DOUBLE_EQ(result.assumedMaskedWeight, 6.0);
+
+    double total = result.assumedMaskedWeight;
+    for (const auto &s : result.sites) {
+        total += s.weight;
+        EXPECT_EQ(s.site.thread, 7u);
+    }
+    // 32*2 (u32 dest) + 4*2 (pred dest) = 72.
+    EXPECT_DOUBLE_EQ(total, 72.0);
+}
+
+TEST(Bits, AllBitsWhenSamplingDisabled)
+{
+    auto plan = makePlan(0, {rec(0, 32)}, 1.0);
+    auto result = pruning::applyBitPruning({plan}, 0, false);
+    EXPECT_EQ(result.sites.size(), 32u);
+    for (const auto &s : result.sites)
+        EXPECT_DOUBLE_EQ(s.weight, 1.0);
+}
+
+TEST(Bits, PredicateAllBitsWhenZeroFlagOnlyDisabled)
+{
+    auto plan = makePlan(0, {rec(0, 4)}, 1.0);
+    auto result = pruning::applyBitPruning({plan}, 16, false);
+    EXPECT_EQ(result.sites.size(), 4u);
+    EXPECT_DOUBLE_EQ(result.assumedMaskedWeight, 0.0);
+}
+
+} // namespace
+} // namespace fsp

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Unit tests for the util library: PRNG determinism and distribution
+ * sanity, descriptive statistics, the normal critical values behind
+ * Eq. 4, table rendering, and env parsing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+
+#include "util/env.hh"
+#include "util/prng.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+namespace fsp {
+namespace {
+
+TEST(Prng, DeterministicForSameSeed)
+{
+    Prng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Prng, DifferentSeedsDiffer)
+{
+    Prng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a() == b());
+    EXPECT_LT(same, 4);
+}
+
+TEST(Prng, BelowStaysInRange)
+{
+    Prng prng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(prng.below(bound), bound);
+    }
+}
+
+TEST(Prng, BelowCoversAllResidues)
+{
+    Prng prng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(prng.below(7));
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Prng, RangeInclusive)
+{
+    Prng prng(5);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 500; ++i) {
+        std::int64_t v = prng.range(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        saw_lo |= v == -2;
+        saw_hi |= v == 2;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Prng, UniformInUnitInterval)
+{
+    Prng prng(9);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = prng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Prng, ForkIndependentButDeterministic)
+{
+    Prng parent(42);
+    Prng c1 = parent.fork("alpha");
+    Prng c2 = parent.fork("alpha");
+    Prng c3 = parent.fork("beta");
+    EXPECT_EQ(c1(), c2());
+    EXPECT_NE(c1(), c3());
+}
+
+TEST(Prng, SampleWithoutReplacementDistinctSorted)
+{
+    Prng prng(13);
+    auto sample = prng.sampleWithoutReplacement(100, 20);
+    ASSERT_EQ(sample.size(), 20u);
+    EXPECT_TRUE(std::is_sorted(sample.begin(), sample.end()));
+    std::set<std::size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 20u);
+    for (std::size_t v : sample)
+        EXPECT_LT(v, 100u);
+}
+
+TEST(Prng, SampleWithoutReplacementWholePopulation)
+{
+    Prng prng(13);
+    auto sample = prng.sampleWithoutReplacement(5, 10);
+    ASSERT_EQ(sample.size(), 5u);
+    for (std::size_t i = 0; i < 5; ++i)
+        EXPECT_EQ(sample[i], i);
+}
+
+TEST(DeriveSeed, LabelSensitivity)
+{
+    EXPECT_NE(deriveSeed(1, "a"), deriveSeed(1, "b"));
+    EXPECT_NE(deriveSeed(1, "a"), deriveSeed(2, "a"));
+    EXPECT_EQ(deriveSeed(1, "a"), deriveSeed(1, "a"));
+}
+
+TEST(Stats, MeanAndStddev)
+{
+    std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    EXPECT_DOUBLE_EQ(mean(v), 5.0);
+    EXPECT_NEAR(stddev(v), 2.138, 1e-3);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(stddev({1.0}), 0.0);
+}
+
+TEST(Stats, PercentileInterpolation)
+{
+    std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100), 4.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50), 2.5);
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 50), 7.0);
+}
+
+TEST(Stats, BoxplotSummary)
+{
+    std::vector<double> v{1, 2, 3, 4, 5, 6, 7, 8, 9};
+    BoxplotSummary s = boxplot(v);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 9.0);
+    EXPECT_DOUBLE_EQ(s.median, 5.0);
+    EXPECT_DOUBLE_EQ(s.q1, 3.0);
+    EXPECT_DOUBLE_EQ(s.q3, 7.0);
+    EXPECT_DOUBLE_EQ(s.mean, 5.0);
+    EXPECT_EQ(s.count, 9u);
+}
+
+TEST(Stats, LinfDistance)
+{
+    EXPECT_DOUBLE_EQ(linfDistance({0.5, 0.3, 0.2}, {0.5, 0.3, 0.2}), 0.0);
+    EXPECT_NEAR(linfDistance({0.5, 0.3, 0.2}, {0.4, 0.45, 0.15}), 0.15,
+                1e-12);
+}
+
+TEST(Stats, NormalCriticalValues)
+{
+    // Textbook two-sided z values.
+    EXPECT_NEAR(normalTwoSidedCritical(0.95), 1.95996, 1e-4);
+    EXPECT_NEAR(normalTwoSidedCritical(0.99), 2.57583, 1e-4);
+    EXPECT_NEAR(normalTwoSidedCritical(0.998), 3.09023, 1e-4);
+    EXPECT_NEAR(normalTwoSidedCritical(0.68268949), 1.0, 1e-4);
+}
+
+TEST(Table, RendersAlignedRows)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22222"});
+    std::string out = t.str();
+    EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+    EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(Table, Formatters)
+{
+    EXPECT_EQ(fmtFixed(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtPercent(0.123456, 1), "12.3%");
+    EXPECT_EQ(fmtScientific(34400000.0, 2), "3.44E+07");
+    EXPECT_EQ(fmtCount(0), "0");
+    EXPECT_EQ(fmtCount(999), "999");
+    EXPECT_EQ(fmtCount(1234567), "1,234,567");
+}
+
+TEST(Env, ParsesAndFallsBack)
+{
+    ::setenv("FSP_TEST_ENV_U64", "1234", 1);
+    EXPECT_EQ(envU64("FSP_TEST_ENV_U64", 7), 1234u);
+    ::setenv("FSP_TEST_ENV_U64", "not-a-number", 1);
+    EXPECT_EQ(envU64("FSP_TEST_ENV_U64", 7), 7u);
+    ::unsetenv("FSP_TEST_ENV_U64");
+    EXPECT_EQ(envU64("FSP_TEST_ENV_U64", 7), 7u);
+
+    ::setenv("FSP_TEST_ENV_D", "0.25", 1);
+    EXPECT_DOUBLE_EQ(envDouble("FSP_TEST_ENV_D", 1.0), 0.25);
+    ::unsetenv("FSP_TEST_ENV_D");
+    EXPECT_DOUBLE_EQ(envDouble("FSP_TEST_ENV_D", 1.0), 1.0);
+}
+
+} // namespace
+} // namespace fsp

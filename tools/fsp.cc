@@ -1,0 +1,311 @@
+/**
+ * @file
+ * `fsp` -- the command-line front end to the library.  Subcommands:
+ *
+ *   fsp list                         registered kernels
+ *   fsp profile  <App/Kx> [opts]     fault-space enumeration (Eq. 1)
+ *   fsp groups   <App/Kx> [opts]     CTA/thread grouping summary
+ *   fsp disasm   <App/Kx> [opts]     kernel listing (disassembled)
+ *   fsp loops    <App/Kx> [opts]     loop statistics (Table VII row)
+ *   fsp prune    <App/Kx> [opts]     pruning stage counts (Fig. 10 row)
+ *   fsp campaign <App/Kx> [opts]     pruned campaign vs baseline
+ *
+ * Common options:
+ *   --paper            paper-scale geometry (default: small)
+ *   --seed N           master seed (default 1)
+ *   --baseline N       baseline runs for `campaign` (default 2000)
+ *   --loop-iters N     sampled loop iterations (default 8)
+ *   --bit-samples N    sampled bit positions (default 16)
+ *   --pilots N         representatives per thread group (default 1)
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hh"
+#include "analysis/convergence.hh"
+#include "apps/app.hh"
+#include "pruning/loops.hh"
+#include "sim/disasm.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace fsp;
+
+struct Options
+{
+    std::string command;
+    std::string kernel;
+    apps::Scale scale = apps::Scale::Small;
+    std::uint64_t seed = 1;
+    std::size_t baseline = 2000;
+    pruning::PruningConfig pruning;
+};
+
+int
+usage()
+{
+    std::cerr <<
+        "usage: fsp <command> [kernel] [options]\n"
+        "commands: list | profile | groups | disasm | loops | prune |"
+        " campaign\n"
+        "options:  --paper --seed N --baseline N --loop-iters N\n"
+        "          --bit-samples N --pilots N\n";
+    return 2;
+}
+
+bool
+parseArgs(int argc, char **argv, Options &opts)
+{
+    if (argc < 2)
+        return false;
+    opts.command = argv[1];
+    int i = 2;
+    if (i < argc && argv[i][0] != '-')
+        opts.kernel = argv[i++];
+    for (; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--paper") {
+            opts.scale = apps::Scale::Paper;
+        } else if (arg == "--seed") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opts.seed = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--baseline") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opts.baseline = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--loop-iters") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opts.pruning.loopIterations =
+                static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        } else if (arg == "--bit-samples") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opts.pruning.bitSamples =
+                static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        } else if (arg == "--pilots") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opts.pruning.repsPerGroup =
+                static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        } else {
+            std::cerr << "unknown option '" << arg << "'\n";
+            return false;
+        }
+    }
+    opts.pruning.seed = opts.seed;
+    return true;
+}
+
+int
+cmdList()
+{
+    TextTable table({"Kernel", "Suite", "Name"});
+    for (const auto &spec : apps::allKernels())
+        table.addRow({spec.fullName(), spec.suite, spec.kernelName});
+    table.print(std::cout);
+    return 0;
+}
+
+const apps::KernelSpec *
+requireKernel(const Options &opts)
+{
+    if (opts.kernel.empty()) {
+        std::cerr << "this command needs a kernel (try `fsp list`)\n";
+        return nullptr;
+    }
+    const apps::KernelSpec *spec = apps::findKernel(opts.kernel);
+    if (spec == nullptr)
+        std::cerr << "unknown kernel '" << opts.kernel << "'\n";
+    return spec;
+}
+
+int
+cmdProfile(const Options &opts)
+{
+    const apps::KernelSpec *spec = requireKernel(opts);
+    if (!spec)
+        return 1;
+    analysis::KernelAnalysis ka(*spec, opts.scale, opts.seed + 41);
+    const auto &space = ka.space();
+    std::cout << spec->fullName() << " @ " << apps::scaleName(opts.scale)
+              << "\n"
+              << "  threads:      " << space.threadCount() << "\n"
+              << "  dyn instrs:   " << fmtCount(space.totalDynInstrs())
+              << "\n"
+              << "  fault sites:  " << fmtCount(space.totalSites())
+              << "  (" << fmtScientific(
+                     static_cast<double>(space.totalSites()))
+              << ")\n";
+    return 0;
+}
+
+int
+cmdGroups(const Options &opts)
+{
+    const apps::KernelSpec *spec = requireKernel(opts);
+    if (!spec)
+        return 1;
+    analysis::KernelAnalysis ka(*spec, opts.scale, opts.seed + 41);
+    Prng prng(opts.seed);
+    auto grouping = pruning::pruneThreads(
+        ka.space(), ka.executor().config().block.count(), prng,
+        opts.pruning.repsPerGroup);
+
+    TextTable table({"CTA group", "avg iCnt", "#CTAs", "thread group",
+                     "iCnt", "#threads", "representative(s)"});
+    for (std::size_t g = 0; g < grouping.ctaGroups.size(); ++g) {
+        const auto &cg = grouping.ctaGroups[g];
+        bool first = true;
+        for (const auto &tg : cg.threadGroups) {
+            std::string reps;
+            for (std::uint64_t rep : tg.representatives) {
+                if (!reps.empty())
+                    reps += ", ";
+                reps += std::to_string(rep);
+            }
+            table.addRow({first ? "C-" + std::to_string(g + 1) : "",
+                          first ? fmtFixed(cg.avgICnt, 1) : "",
+                          first ? std::to_string(cg.ctas.size()) : "",
+                          "T-" + std::to_string(tg.iCnt),
+                          std::to_string(tg.iCnt),
+                          std::to_string(tg.threads.size()), reps});
+            first = false;
+        }
+        table.addSeparator();
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdDisasm(const Options &opts)
+{
+    const apps::KernelSpec *spec = requireKernel(opts);
+    if (!spec)
+        return 1;
+    apps::KernelSetup setup = spec->setup(opts.scale, opts.seed + 41);
+    std::cout << "// " << spec->fullName() << " (" << spec->kernelName
+              << "), " << setup.program.size() << " instructions\n"
+              << sim::disassembleProgram(setup.program);
+    return 0;
+}
+
+int
+cmdLoops(const Options &opts)
+{
+    const apps::KernelSpec *spec = requireKernel(opts);
+    if (!spec)
+        return 1;
+    analysis::KernelAnalysis ka(*spec, opts.scale, opts.seed + 41);
+    Prng prng(opts.seed);
+    auto grouping = pruning::pruneThreads(
+        ka.space(), ka.executor().config().block.count(), prng);
+    auto plans = pruning::buildThreadPlans(ka.executor(),
+                                           ka.setup().memory, grouping);
+    const pruning::ThreadPlan *longest = &plans.front();
+    for (const auto &plan : plans) {
+        if (plan.trace.size() > longest->trace.size())
+            longest = &plan;
+    }
+    auto loops = pruning::detectLoops(longest->trace, ka.program());
+    auto stats = pruning::analyzeLoops(longest->trace, ka.program());
+    std::cout << spec->fullName() << ": thread " << longest->thread
+              << " (iCnt " << longest->trace.size() << ")\n"
+              << "  loops:              " << loops.size() << "\n"
+              << "  total iterations:   " << stats.loopIterations << "\n"
+              << "  % instrs in loops:  "
+              << fmtPercent(stats.loopInstrFraction(), 2) << "\n";
+    for (const auto &loop : loops) {
+        std::cout << "  loop @" << loop.headerStatic << ".."
+                  << loop.branchStatic << ": "
+                  << loop.iterations.size() << " iterations, "
+                  << loop.dynInstrs() << " dyn instrs\n";
+    }
+    return 0;
+}
+
+int
+cmdPrune(const Options &opts)
+{
+    const apps::KernelSpec *spec = requireKernel(opts);
+    if (!spec)
+        return 1;
+    analysis::KernelAnalysis ka(*spec, opts.scale, opts.seed + 41);
+    auto pruned = ka.prune(opts.pruning);
+    const auto &c = pruned.counts;
+    std::cout << spec->fullName() << " progressive pruning:\n"
+              << "  exhaustive:         " << fmtCount(c.exhaustive)
+              << "\n"
+              << "  + thread-wise:      " << fmtCount(c.afterThread)
+              << "  (" << pruned.grouping.representativeCount()
+              << " representatives)\n"
+              << "  + instruction-wise: " << fmtCount(c.afterInstruction)
+              << "\n"
+              << "  + loop-wise:        " << fmtCount(c.afterLoop) << "\n"
+              << "  + bit-wise:         " << fmtCount(c.afterBit) << "\n"
+              << "  represented weight: "
+              << fmtFixed(pruned.totalRepresentedWeight(), 1) << "\n";
+    return 0;
+}
+
+int
+cmdCampaign(const Options &opts)
+{
+    const apps::KernelSpec *spec = requireKernel(opts);
+    if (!spec)
+        return 1;
+    analysis::KernelAnalysis ka(*spec, opts.scale, opts.seed + 41);
+    auto pruned = ka.prune(opts.pruning);
+    auto estimate = ka.runPrunedCampaign(pruned);
+    std::cout << spec->fullName() << "\n  pruned estimate ("
+              << estimate.runs() << " runs): " << estimate.summary()
+              << "\n";
+    if (opts.baseline > 0) {
+        auto baseline = ka.runBaseline(opts.baseline, opts.seed + 17);
+        std::cout << "  random baseline (" << baseline.runs
+                  << " runs): " << baseline.dist.summary() << "\n";
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    if (!parseArgs(argc, argv, opts))
+        return usage();
+
+    if (opts.command == "list")
+        return cmdList();
+    if (opts.command == "profile")
+        return cmdProfile(opts);
+    if (opts.command == "groups")
+        return cmdGroups(opts);
+    if (opts.command == "disasm")
+        return cmdDisasm(opts);
+    if (opts.command == "loops")
+        return cmdLoops(opts);
+    if (opts.command == "prune")
+        return cmdPrune(opts);
+    if (opts.command == "campaign")
+        return cmdCampaign(opts);
+    std::cerr << "unknown command '" << opts.command << "'\n";
+    return usage();
+}
