@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_reps.dir/bench_ablation_reps.cc.o"
+  "CMakeFiles/bench_ablation_reps.dir/bench_ablation_reps.cc.o.d"
+  "bench_ablation_reps"
+  "bench_ablation_reps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_reps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

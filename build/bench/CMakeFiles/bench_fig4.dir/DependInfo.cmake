@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig4.cc" "bench/CMakeFiles/bench_fig4.dir/bench_fig4.cc.o" "gcc" "bench/CMakeFiles/bench_fig4.dir/bench_fig4.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/fsp_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/fsp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/fsp_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/ptx/CMakeFiles/fsp_ptx.dir/DependInfo.cmake"
+  "/root/repo/build/src/pruning/CMakeFiles/fsp_pruning.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/fsp_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fsp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fsp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

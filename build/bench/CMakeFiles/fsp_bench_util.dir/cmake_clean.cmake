@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsp_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/fsp_bench_util.dir/bench_util.cc.o.d"
+  "libfsp_bench_util.a"
+  "libfsp_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsp_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auto_loop_budget.dir/auto_loop_budget.cpp.o"
+  "CMakeFiles/auto_loop_budget.dir/auto_loop_budget.cpp.o.d"
+  "auto_loop_budget"
+  "auto_loop_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auto_loop_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

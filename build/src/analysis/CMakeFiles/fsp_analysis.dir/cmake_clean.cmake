@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsp_analysis.dir/analyzer.cc.o"
+  "CMakeFiles/fsp_analysis.dir/analyzer.cc.o.d"
+  "CMakeFiles/fsp_analysis.dir/breakdown.cc.o"
+  "CMakeFiles/fsp_analysis.dir/breakdown.cc.o.d"
+  "CMakeFiles/fsp_analysis.dir/convergence.cc.o"
+  "CMakeFiles/fsp_analysis.dir/convergence.cc.o.d"
+  "libfsp_analysis.a"
+  "libfsp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

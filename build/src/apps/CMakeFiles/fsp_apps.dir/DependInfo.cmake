@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/conv2d.cc" "src/apps/CMakeFiles/fsp_apps.dir/conv2d.cc.o" "gcc" "src/apps/CMakeFiles/fsp_apps.dir/conv2d.cc.o.d"
+  "/root/repo/src/apps/gaussian.cc" "src/apps/CMakeFiles/fsp_apps.dir/gaussian.cc.o" "gcc" "src/apps/CMakeFiles/fsp_apps.dir/gaussian.cc.o.d"
+  "/root/repo/src/apps/gemm.cc" "src/apps/CMakeFiles/fsp_apps.dir/gemm.cc.o" "gcc" "src/apps/CMakeFiles/fsp_apps.dir/gemm.cc.o.d"
+  "/root/repo/src/apps/hotspot.cc" "src/apps/CMakeFiles/fsp_apps.dir/hotspot.cc.o" "gcc" "src/apps/CMakeFiles/fsp_apps.dir/hotspot.cc.o.d"
+  "/root/repo/src/apps/kernel_util.cc" "src/apps/CMakeFiles/fsp_apps.dir/kernel_util.cc.o" "gcc" "src/apps/CMakeFiles/fsp_apps.dir/kernel_util.cc.o.d"
+  "/root/repo/src/apps/kmeans.cc" "src/apps/CMakeFiles/fsp_apps.dir/kmeans.cc.o" "gcc" "src/apps/CMakeFiles/fsp_apps.dir/kmeans.cc.o.d"
+  "/root/repo/src/apps/lud.cc" "src/apps/CMakeFiles/fsp_apps.dir/lud.cc.o" "gcc" "src/apps/CMakeFiles/fsp_apps.dir/lud.cc.o.d"
+  "/root/repo/src/apps/mm2.cc" "src/apps/CMakeFiles/fsp_apps.dir/mm2.cc.o" "gcc" "src/apps/CMakeFiles/fsp_apps.dir/mm2.cc.o.d"
+  "/root/repo/src/apps/mvt.cc" "src/apps/CMakeFiles/fsp_apps.dir/mvt.cc.o" "gcc" "src/apps/CMakeFiles/fsp_apps.dir/mvt.cc.o.d"
+  "/root/repo/src/apps/nn.cc" "src/apps/CMakeFiles/fsp_apps.dir/nn.cc.o" "gcc" "src/apps/CMakeFiles/fsp_apps.dir/nn.cc.o.d"
+  "/root/repo/src/apps/pathfinder.cc" "src/apps/CMakeFiles/fsp_apps.dir/pathfinder.cc.o" "gcc" "src/apps/CMakeFiles/fsp_apps.dir/pathfinder.cc.o.d"
+  "/root/repo/src/apps/registry.cc" "src/apps/CMakeFiles/fsp_apps.dir/registry.cc.o" "gcc" "src/apps/CMakeFiles/fsp_apps.dir/registry.cc.o.d"
+  "/root/repo/src/apps/syrk.cc" "src/apps/CMakeFiles/fsp_apps.dir/syrk.cc.o" "gcc" "src/apps/CMakeFiles/fsp_apps.dir/syrk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ptx/CMakeFiles/fsp_ptx.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/fsp_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fsp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fsp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

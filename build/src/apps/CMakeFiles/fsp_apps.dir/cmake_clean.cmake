@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsp_apps.dir/conv2d.cc.o"
+  "CMakeFiles/fsp_apps.dir/conv2d.cc.o.d"
+  "CMakeFiles/fsp_apps.dir/gaussian.cc.o"
+  "CMakeFiles/fsp_apps.dir/gaussian.cc.o.d"
+  "CMakeFiles/fsp_apps.dir/gemm.cc.o"
+  "CMakeFiles/fsp_apps.dir/gemm.cc.o.d"
+  "CMakeFiles/fsp_apps.dir/hotspot.cc.o"
+  "CMakeFiles/fsp_apps.dir/hotspot.cc.o.d"
+  "CMakeFiles/fsp_apps.dir/kernel_util.cc.o"
+  "CMakeFiles/fsp_apps.dir/kernel_util.cc.o.d"
+  "CMakeFiles/fsp_apps.dir/kmeans.cc.o"
+  "CMakeFiles/fsp_apps.dir/kmeans.cc.o.d"
+  "CMakeFiles/fsp_apps.dir/lud.cc.o"
+  "CMakeFiles/fsp_apps.dir/lud.cc.o.d"
+  "CMakeFiles/fsp_apps.dir/mm2.cc.o"
+  "CMakeFiles/fsp_apps.dir/mm2.cc.o.d"
+  "CMakeFiles/fsp_apps.dir/mvt.cc.o"
+  "CMakeFiles/fsp_apps.dir/mvt.cc.o.d"
+  "CMakeFiles/fsp_apps.dir/nn.cc.o"
+  "CMakeFiles/fsp_apps.dir/nn.cc.o.d"
+  "CMakeFiles/fsp_apps.dir/pathfinder.cc.o"
+  "CMakeFiles/fsp_apps.dir/pathfinder.cc.o.d"
+  "CMakeFiles/fsp_apps.dir/registry.cc.o"
+  "CMakeFiles/fsp_apps.dir/registry.cc.o.d"
+  "CMakeFiles/fsp_apps.dir/syrk.cc.o"
+  "CMakeFiles/fsp_apps.dir/syrk.cc.o.d"
+  "libfsp_apps.a"
+  "libfsp_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsp_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

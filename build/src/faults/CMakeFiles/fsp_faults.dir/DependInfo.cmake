@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/faults/campaign.cc" "src/faults/CMakeFiles/fsp_faults.dir/campaign.cc.o" "gcc" "src/faults/CMakeFiles/fsp_faults.dir/campaign.cc.o.d"
+  "/root/repo/src/faults/fault_space.cc" "src/faults/CMakeFiles/fsp_faults.dir/fault_space.cc.o" "gcc" "src/faults/CMakeFiles/fsp_faults.dir/fault_space.cc.o.d"
+  "/root/repo/src/faults/injector.cc" "src/faults/CMakeFiles/fsp_faults.dir/injector.cc.o" "gcc" "src/faults/CMakeFiles/fsp_faults.dir/injector.cc.o.d"
+  "/root/repo/src/faults/outcome.cc" "src/faults/CMakeFiles/fsp_faults.dir/outcome.cc.o" "gcc" "src/faults/CMakeFiles/fsp_faults.dir/outcome.cc.o.d"
+  "/root/repo/src/faults/output_spec.cc" "src/faults/CMakeFiles/fsp_faults.dir/output_spec.cc.o" "gcc" "src/faults/CMakeFiles/fsp_faults.dir/output_spec.cc.o.d"
+  "/root/repo/src/faults/sampling.cc" "src/faults/CMakeFiles/fsp_faults.dir/sampling.cc.o" "gcc" "src/faults/CMakeFiles/fsp_faults.dir/sampling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/fsp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fsp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsp_faults.dir/campaign.cc.o"
+  "CMakeFiles/fsp_faults.dir/campaign.cc.o.d"
+  "CMakeFiles/fsp_faults.dir/fault_space.cc.o"
+  "CMakeFiles/fsp_faults.dir/fault_space.cc.o.d"
+  "CMakeFiles/fsp_faults.dir/injector.cc.o"
+  "CMakeFiles/fsp_faults.dir/injector.cc.o.d"
+  "CMakeFiles/fsp_faults.dir/outcome.cc.o"
+  "CMakeFiles/fsp_faults.dir/outcome.cc.o.d"
+  "CMakeFiles/fsp_faults.dir/output_spec.cc.o"
+  "CMakeFiles/fsp_faults.dir/output_spec.cc.o.d"
+  "CMakeFiles/fsp_faults.dir/sampling.cc.o"
+  "CMakeFiles/fsp_faults.dir/sampling.cc.o.d"
+  "libfsp_faults.a"
+  "libfsp_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsp_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pruning/bits.cc" "src/pruning/CMakeFiles/fsp_pruning.dir/bits.cc.o" "gcc" "src/pruning/CMakeFiles/fsp_pruning.dir/bits.cc.o.d"
+  "/root/repo/src/pruning/grouping.cc" "src/pruning/CMakeFiles/fsp_pruning.dir/grouping.cc.o" "gcc" "src/pruning/CMakeFiles/fsp_pruning.dir/grouping.cc.o.d"
+  "/root/repo/src/pruning/instr_common.cc" "src/pruning/CMakeFiles/fsp_pruning.dir/instr_common.cc.o" "gcc" "src/pruning/CMakeFiles/fsp_pruning.dir/instr_common.cc.o.d"
+  "/root/repo/src/pruning/loops.cc" "src/pruning/CMakeFiles/fsp_pruning.dir/loops.cc.o" "gcc" "src/pruning/CMakeFiles/fsp_pruning.dir/loops.cc.o.d"
+  "/root/repo/src/pruning/pipeline.cc" "src/pruning/CMakeFiles/fsp_pruning.dir/pipeline.cc.o" "gcc" "src/pruning/CMakeFiles/fsp_pruning.dir/pipeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/faults/CMakeFiles/fsp_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fsp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fsp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

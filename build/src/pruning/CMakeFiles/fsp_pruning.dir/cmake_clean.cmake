@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsp_pruning.dir/bits.cc.o"
+  "CMakeFiles/fsp_pruning.dir/bits.cc.o.d"
+  "CMakeFiles/fsp_pruning.dir/grouping.cc.o"
+  "CMakeFiles/fsp_pruning.dir/grouping.cc.o.d"
+  "CMakeFiles/fsp_pruning.dir/instr_common.cc.o"
+  "CMakeFiles/fsp_pruning.dir/instr_common.cc.o.d"
+  "CMakeFiles/fsp_pruning.dir/loops.cc.o"
+  "CMakeFiles/fsp_pruning.dir/loops.cc.o.d"
+  "CMakeFiles/fsp_pruning.dir/pipeline.cc.o"
+  "CMakeFiles/fsp_pruning.dir/pipeline.cc.o.d"
+  "libfsp_pruning.a"
+  "libfsp_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsp_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsp_ptx.dir/assembler.cc.o"
+  "CMakeFiles/fsp_ptx.dir/assembler.cc.o.d"
+  "libfsp_ptx.a"
+  "libfsp_ptx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsp_ptx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

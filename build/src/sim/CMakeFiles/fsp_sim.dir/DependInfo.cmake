@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/disasm.cc" "src/sim/CMakeFiles/fsp_sim.dir/disasm.cc.o" "gcc" "src/sim/CMakeFiles/fsp_sim.dir/disasm.cc.o.d"
+  "/root/repo/src/sim/executor.cc" "src/sim/CMakeFiles/fsp_sim.dir/executor.cc.o" "gcc" "src/sim/CMakeFiles/fsp_sim.dir/executor.cc.o.d"
+  "/root/repo/src/sim/isa.cc" "src/sim/CMakeFiles/fsp_sim.dir/isa.cc.o" "gcc" "src/sim/CMakeFiles/fsp_sim.dir/isa.cc.o.d"
+  "/root/repo/src/sim/memory.cc" "src/sim/CMakeFiles/fsp_sim.dir/memory.cc.o" "gcc" "src/sim/CMakeFiles/fsp_sim.dir/memory.cc.o.d"
+  "/root/repo/src/sim/program.cc" "src/sim/CMakeFiles/fsp_sim.dir/program.cc.o" "gcc" "src/sim/CMakeFiles/fsp_sim.dir/program.cc.o.d"
+  "/root/repo/src/sim/types.cc" "src/sim/CMakeFiles/fsp_sim.dir/types.cc.o" "gcc" "src/sim/CMakeFiles/fsp_sim.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fsp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

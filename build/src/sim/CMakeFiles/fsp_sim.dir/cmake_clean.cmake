@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsp_sim.dir/disasm.cc.o"
+  "CMakeFiles/fsp_sim.dir/disasm.cc.o.d"
+  "CMakeFiles/fsp_sim.dir/executor.cc.o"
+  "CMakeFiles/fsp_sim.dir/executor.cc.o.d"
+  "CMakeFiles/fsp_sim.dir/isa.cc.o"
+  "CMakeFiles/fsp_sim.dir/isa.cc.o.d"
+  "CMakeFiles/fsp_sim.dir/memory.cc.o"
+  "CMakeFiles/fsp_sim.dir/memory.cc.o.d"
+  "CMakeFiles/fsp_sim.dir/program.cc.o"
+  "CMakeFiles/fsp_sim.dir/program.cc.o.d"
+  "CMakeFiles/fsp_sim.dir/types.cc.o"
+  "CMakeFiles/fsp_sim.dir/types.cc.o.d"
+  "libfsp_sim.a"
+  "libfsp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsp_util.dir/csv.cc.o"
+  "CMakeFiles/fsp_util.dir/csv.cc.o.d"
+  "CMakeFiles/fsp_util.dir/env.cc.o"
+  "CMakeFiles/fsp_util.dir/env.cc.o.d"
+  "CMakeFiles/fsp_util.dir/logging.cc.o"
+  "CMakeFiles/fsp_util.dir/logging.cc.o.d"
+  "CMakeFiles/fsp_util.dir/prng.cc.o"
+  "CMakeFiles/fsp_util.dir/prng.cc.o.d"
+  "CMakeFiles/fsp_util.dir/stats.cc.o"
+  "CMakeFiles/fsp_util.dir/stats.cc.o.d"
+  "CMakeFiles/fsp_util.dir/table.cc.o"
+  "CMakeFiles/fsp_util.dir/table.cc.o.d"
+  "libfsp_util.a"
+  "libfsp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

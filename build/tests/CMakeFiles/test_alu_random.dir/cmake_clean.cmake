@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alu_random.dir/test_alu_random.cc.o"
+  "CMakeFiles/test_alu_random.dir/test_alu_random.cc.o.d"
+  "test_alu_random"
+  "test_alu_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alu_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_executor_grid.dir/test_executor_grid.cc.o"
+  "CMakeFiles/test_executor_grid.dir/test_executor_grid.cc.o.d"
+  "test_executor_grid"
+  "test_executor_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_executor_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pruning.dir/test_pruning.cc.o"
+  "CMakeFiles/test_pruning.dir/test_pruning.cc.o.d"
+  "test_pruning"
+  "test_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_assembler "/root/repo/build/tests/test_assembler")
+set_tests_properties(test_assembler PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;21;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_disasm "/root/repo/build/tests/test_disasm")
+set_tests_properties(test_disasm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;21;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_executor "/root/repo/build/tests/test_executor")
+set_tests_properties(test_executor PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;21;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_executor_grid "/root/repo/build/tests/test_executor_grid")
+set_tests_properties(test_executor_grid PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;21;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_faults "/root/repo/build/tests/test_faults")
+set_tests_properties(test_faults PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;21;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_memory "/root/repo/build/tests/test_memory")
+set_tests_properties(test_memory PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;21;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_misc "/root/repo/build/tests/test_misc")
+set_tests_properties(test_misc PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;21;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_pipeline "/root/repo/build/tests/test_pipeline")
+set_tests_properties(test_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;21;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_pruning "/root/repo/build/tests/test_pruning")
+set_tests_properties(test_pruning PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;21;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_robustness "/root/repo/build/tests/test_robustness")
+set_tests_properties(test_robustness PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;21;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_alu_random "/root/repo/build/tests/test_alu_random")
+set_tests_properties(test_alu_random PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;21;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_apps "/root/repo/build/tests/test_apps")
+set_tests_properties(test_apps PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;21;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_util "/root/repo/build/tests/test_util")
+set_tests_properties(test_util PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;21;add_test;/root/repo/tests/CMakeLists.txt;0;")

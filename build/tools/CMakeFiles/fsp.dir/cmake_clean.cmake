@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsp.dir/fsp.cc.o"
+  "CMakeFiles/fsp.dir/fsp.cc.o.d"
+  "fsp"
+  "fsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
