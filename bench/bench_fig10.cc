@@ -9,9 +9,11 @@
 
 #include <cmath>
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hh"
 #include "util/csv.hh"
+#include "util/thread_pool.hh"
 
 namespace {
 
@@ -43,14 +45,24 @@ main()
     CsvWriter csv({"kernel", "exhaustive", "after_thread",
                    "after_instruction", "after_loop", "after_bit"});
 
-    for (const auto *spec : bench::tableOneKernels()) {
-        analysis::KernelAnalysis ka(*spec,
+    // Per-kernel pruning runs are independent and individually seeded,
+    // so fan them out over the pool (FSP_WORKERS); stage counts are
+    // collected per index and rendered in Table I order.
+    auto kernels = bench::tableOneKernels();
+    std::vector<pruning::StageCounts> counts(kernels.size());
+    ThreadPool pool;
+    pool.parallelFor(kernels.size(), [&](std::size_t i, unsigned) {
+        analysis::KernelAnalysis ka(*kernels[i],
                                     bench::scaleFromEnv(
                                         apps::Scale::Small));
         pruning::PruningConfig config;
         config.seed = bench::masterSeed();
-        auto pruned = ka.prune(config);
-        const auto &c = pruned.counts;
+        counts[i] = ka.prune(config).counts;
+    });
+
+    for (std::size_t i = 0; i < kernels.size(); ++i) {
+        const auto *spec = kernels[i];
+        const auto &c = counts[i];
 
         double reduction = static_cast<double>(c.exhaustive) /
                            static_cast<double>(c.afterBit);

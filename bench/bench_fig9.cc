@@ -43,9 +43,13 @@ main()
         pruning::PruningConfig config;
         config.seed = bench::masterSeed();
         auto pruned = ka.prune(config);
-        auto estimate = ka.runPrunedCampaign(pruned);
+        // Parallel campaigns: results are bit-identical to the serial
+        // drivers, only wall-clock changes (FSP_WORKERS/FSP_CHUNK).
+        auto options = bench::campaignOptions();
+        auto estimate = ka.runPrunedCampaign(pruned, options);
         auto baseline =
-            ka.runBaseline(baseline_runs, bench::masterSeed() + 17);
+            ka.runBaseline(baseline_runs, bench::masterSeed() + 17,
+                           options);
 
         double d_msk =
             std::fabs(estimate.fraction(faults::Outcome::Masked) -

@@ -2,18 +2,28 @@
  * @file
  * Engineering baseline (not a paper artifact): google-benchmark
  * measurements of the substrate -- functional-simulator instruction
- * throughput, injection-run latency, fault-space enumeration, and the
- * pruning pipeline itself.  These numbers bound how large a campaign
- * the harness can sustain.
+ * throughput, injection-run latency, fault-space enumeration, the
+ * pruning pipeline itself, and serial-vs-parallel campaign scaling.
+ * These numbers bound how large a campaign the harness can sustain.
+ *
+ * The campaign benchmarks report sites/s at worker counts 1..8 on a
+ * GEMM-sized site list; on a machine with >= 8 hardware threads the
+ * 8-worker row should show the parallel engine's speedup over
+ * BM_CampaignSerial (results are bit-identical either way).
  */
 
 #include <benchmark/benchmark.h>
 
 #include "analysis/analyzer.hh"
 #include "apps/app.hh"
+#include "faults/campaign.hh"
 #include "faults/fault_space.hh"
 #include "faults/injector.hh"
+#include "faults/parallel_campaign.hh"
 #include "pruning/pipeline.hh"
+#include "util/env.hh"
+#include "util/logging.hh"
+#include "util/prng.hh"
 
 namespace {
 
@@ -85,6 +95,72 @@ BM_PruningPipeline(benchmark::State &state)
     }
 }
 BENCHMARK(BM_PruningPipeline);
+
+/** GEMM site list shared by the campaign scaling benchmarks. */
+const std::vector<faults::FaultSite> &
+campaignSites()
+{
+    static const std::vector<faults::FaultSite> sites = [] {
+        const apps::KernelSpec *spec = apps::findKernel("GEMM/K1");
+        apps::KernelSetup setup = spec->setup(apps::Scale::Small, 42);
+        sim::Executor executor(setup.program, setup.launch);
+        faults::FaultSpace space(executor, setup.memory);
+        Prng prng(7);
+        auto count =
+            static_cast<std::size_t>(fsp::envU64("FSP_BENCH_SITES", 512));
+        return space.sampleSites(count, prng);
+    }();
+    return sites;
+}
+
+void
+BM_CampaignSerial(benchmark::State &state)
+{
+    const apps::KernelSpec *spec = apps::findKernel("GEMM/K1");
+    apps::KernelSetup setup = spec->setup(apps::Scale::Small, 42);
+    faults::Injector injector(setup.program, setup.launch, setup.memory,
+                              setup.outputs);
+    const auto &sites = campaignSites();
+
+    std::uint64_t runs = 0;
+    for (auto _ : state) {
+        auto result = faults::runSiteList(injector, sites);
+        benchmark::DoNotOptimize(result.runs);
+        runs += result.runs;
+    }
+    state.counters["sites/s"] = benchmark::Counter(
+        static_cast<double>(runs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CampaignSerial)->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void
+BM_CampaignParallel(benchmark::State &state)
+{
+    fsp::setVerboseLogging(false); // keep per-iteration reports quiet
+    const apps::KernelSpec *spec = apps::findKernel("GEMM/K1");
+    apps::KernelSetup setup = spec->setup(apps::Scale::Small, 42);
+    faults::CampaignOptions options;
+    options.workers = static_cast<unsigned>(state.range(0));
+    faults::ParallelCampaign engine(setup.program, setup.launch,
+                                    setup.memory, setup.outputs,
+                                    options);
+    const auto &sites = campaignSites();
+
+    std::uint64_t runs = 0;
+    for (auto _ : state) {
+        auto result = engine.runSiteList(sites);
+        benchmark::DoNotOptimize(result.runs);
+        runs += result.runs;
+    }
+    state.counters["sites/s"] = benchmark::Counter(
+        static_cast<double>(runs), benchmark::Counter::kIsRate);
+    state.counters["workers"] = static_cast<double>(options.workers);
+}
+BENCHMARK(BM_CampaignParallel)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void
 BM_Assembly(benchmark::State &state)

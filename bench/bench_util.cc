@@ -40,6 +40,17 @@ masterSeed()
     return envU64("FSP_SEED", 1);
 }
 
+faults::CampaignOptions
+campaignOptions()
+{
+    faults::CampaignOptions options;
+    options.workers =
+        static_cast<unsigned>(envU64("FSP_WORKERS", 0)); // 0 = hardware
+    options.chunkSize =
+        static_cast<std::size_t>(envU64("FSP_CHUNK", 0)); // 0 = auto
+    return options;
+}
+
 std::vector<const apps::KernelSpec *>
 tableOneKernels()
 {

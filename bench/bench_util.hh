@@ -9,6 +9,8 @@
  *   FSP_SCALE=paper|small   geometry preset (default: per-bench choice)
  *   FSP_BASELINE_RUNS=N     random-baseline campaign size
  *   FSP_SEED=N              master seed for campaigns/pruning
+ *   FSP_WORKERS=N           campaign worker threads (default: hardware)
+ *   FSP_CHUNK=N             campaign chunk size (default: auto)
  */
 
 #ifndef FSP_BENCH_BENCH_UTIL_HH
@@ -21,6 +23,7 @@
 #include "analysis/analyzer.hh"
 #include "apps/app.hh"
 #include "faults/outcome.hh"
+#include "faults/parallel_campaign.hh"
 #include "util/env.hh"
 #include "util/table.hh"
 
@@ -34,6 +37,14 @@ std::size_t baselineRuns(std::size_t fallback);
 
 /** Master seed (FSP_SEED, default 1). */
 std::uint64_t masterSeed();
+
+/**
+ * Campaign parallelism from the environment: FSP_WORKERS worker
+ * threads (0/unset = hardware default) and FSP_CHUNK chunk size
+ * (0/unset = auto).  Campaign results are bit-identical to serial at
+ * any setting, so benches use this unconditionally.
+ */
+faults::CampaignOptions campaignOptions();
 
 /** The 16 evaluated kernels of Table I (excludes NN). */
 std::vector<const apps::KernelSpec *> tableOneKernels();

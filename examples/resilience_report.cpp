@@ -11,7 +11,12 @@
  *
  * Usage: resilience_report [App/Kx] [--paper] [--baseline N]
  *                          [--loop-iters N] [--bit-samples N]
- *                          [--seed N]
+ *                          [--seed N] [--workers N] [--chunk N]
+ *
+ * --workers selects the parallel campaign engine's worker count
+ * (default: hardware threads); results are bit-identical to a serial
+ * campaign at any worker count, so parallelism only changes the
+ * wall-clock and throughput report.
  */
 
 #include <cstdlib>
@@ -29,7 +34,8 @@ usage()
 {
     std::cerr << "usage: resilience_report [App/Kx] [--paper] "
                  "[--baseline N] [--loop-iters N]\n"
-                 "                         [--bit-samples N] [--seed N]\n"
+                 "                         [--bit-samples N] [--seed N] "
+                 "[--workers N] [--chunk N]\n"
                  "kernels:\n";
     for (const auto &spec : fsp::apps::allKernels())
         std::cerr << "  " << spec.fullName() << "\n";
@@ -46,6 +52,7 @@ main(int argc, char **argv)
     apps::Scale scale = apps::Scale::Small;
     std::size_t baseline_runs = 2000;
     pruning::PruningConfig config;
+    faults::CampaignOptions campaign; // workers=0: hardware default
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -68,6 +75,11 @@ main(int argc, char **argv)
                 static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
         } else if (arg == "--seed") {
             config.seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--workers") {
+            campaign.workers =
+                static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--chunk") {
+            campaign.chunkSize = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
@@ -130,16 +142,30 @@ main(int argc, char **argv)
                    ratio(c.afterBit)});
     stages.print(std::cout);
 
-    // --- 4. Campaigns.
+    // --- 4. Campaigns (parallel engine; bit-identical to serial).
     std::cout << "\n[4] injection campaigns\n";
-    auto estimate = ka.runPrunedCampaign(pruned);
+    auto estimate = ka.runPrunedCampaign(pruned, campaign);
     std::cout << "    pruned estimate:  " << estimate.summary() << "\n";
+    auto pruned_stats = ka.parallelCampaign(campaign).lastStats();
     if (baseline_runs > 0) {
-        auto baseline = ka.runBaseline(baseline_runs, config.seed + 17);
+        auto baseline =
+            ka.runBaseline(baseline_runs, config.seed + 17, campaign);
         std::cout << "    random baseline:  " << baseline.dist.summary()
                   << "\n";
     }
     std::cout << "\ninjections used: " << estimate.runs() << " (vs "
               << fmtCount(space.totalSites()) << " exhaustive)\n";
+
+    // --- 5. Campaign throughput.
+    const auto &stats = ka.parallelCampaign(campaign).lastStats();
+    std::cout << "\n[5] campaign throughput (most recent campaign)\n"
+              << "    workers:        " << stats.workers << " (chunk "
+              << stats.chunkSize << ", " << stats.chunks << " chunks)\n"
+              << "    pruned sweep:   " << pruned_stats.summary() << "\n"
+              << "    last campaign:  " << stats.summary() << "\n"
+              << "    per-worker runs:";
+    for (std::uint64_t runs : stats.perWorkerRuns)
+        std::cout << " " << runs;
+    std::cout << "\n";
     return 0;
 }

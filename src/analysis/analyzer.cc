@@ -50,11 +50,44 @@ KernelAnalysis::runPrunedCampaign(const pruning::PruningResult &pruned)
     return result.dist;
 }
 
+faults::OutcomeDist
+KernelAnalysis::runPrunedCampaign(const pruning::PruningResult &pruned,
+                                  const faults::CampaignOptions &options)
+{
+    faults::CampaignResult result =
+        parallelCampaign(options).runWeightedSiteList(pruned.sites);
+    result.dist.addWeight(faults::Outcome::Masked,
+                          pruned.assumedMaskedWeight);
+    return result.dist;
+}
+
 faults::CampaignResult
 KernelAnalysis::runBaseline(std::size_t runs, std::uint64_t seed)
 {
     Prng prng(seed);
     return faults::runRandomCampaign(injector(), space(), runs, prng);
+}
+
+faults::CampaignResult
+KernelAnalysis::runBaseline(std::size_t runs, std::uint64_t seed,
+                            const faults::CampaignOptions &options)
+{
+    Prng prng(seed);
+    return parallelCampaign(options).runRandomCampaign(space(), runs,
+                                                       prng);
+}
+
+faults::ParallelCampaign &
+KernelAnalysis::parallelCampaign(const faults::CampaignOptions &options)
+{
+    if (!parallel_ || parallel_workers_ != options.workers ||
+        parallel_chunk_ != options.chunkSize) {
+        parallel_ = std::make_unique<faults::ParallelCampaign>(
+            injector(), options);
+        parallel_workers_ = options.workers;
+        parallel_chunk_ = options.chunkSize;
+    }
+    return *parallel_;
 }
 
 } // namespace fsp::analysis

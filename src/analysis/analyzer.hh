@@ -24,6 +24,7 @@
 #include "faults/campaign.hh"
 #include "faults/fault_space.hh"
 #include "faults/injector.hh"
+#include "faults/parallel_campaign.hh"
 #include "pruning/pipeline.hh"
 #include "sim/executor.hh"
 
@@ -64,9 +65,30 @@ class KernelAnalysis
     faults::OutcomeDist
     runPrunedCampaign(const pruning::PruningResult &pruned);
 
+    /**
+     * Parallel variant: same result bit-for-bit (the engine folds
+     * outcomes in site order), campaign sharded per @p options.
+     */
+    faults::OutcomeDist
+    runPrunedCampaign(const pruning::PruningResult &pruned,
+                      const faults::CampaignOptions &options);
+
     /** Statistical baseline campaign (uniform random sites). */
     faults::CampaignResult runBaseline(std::size_t runs,
                                        std::uint64_t seed);
+
+    /** Parallel variant of the baseline; result identical to serial. */
+    faults::CampaignResult runBaseline(std::size_t runs,
+                                       std::uint64_t seed,
+                                       const faults::CampaignOptions &options);
+
+    /**
+     * The parallel campaign engine, cloned from injector() (golden run
+     * shared with the serial path).  Rebuilt when @p options changes
+     * worker count or chunk size.
+     */
+    faults::ParallelCampaign &
+    parallelCampaign(const faults::CampaignOptions &options = {});
 
   private:
     const apps::KernelSpec &spec_;
@@ -74,6 +96,9 @@ class KernelAnalysis
     std::unique_ptr<sim::Executor> executor_;
     std::optional<faults::FaultSpace> space_;
     std::optional<faults::Injector> injector_;
+    std::unique_ptr<faults::ParallelCampaign> parallel_;
+    unsigned parallel_workers_ = 0;
+    std::size_t parallel_chunk_ = 0;
 };
 
 } // namespace fsp::analysis

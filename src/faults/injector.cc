@@ -45,6 +45,14 @@ Injector::Injector(const sim::Program &program,
 {
 }
 
+std::unique_ptr<Injector>
+Injector::clone() const
+{
+    std::unique_ptr<Injector> copy(new Injector(*this));
+    copy->runs_ = 0;
+    return copy;
+}
+
 Outcome
 Injector::inject(const FaultSite &site)
 {

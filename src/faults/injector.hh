@@ -9,6 +9,7 @@
 #define FSP_FAULTS_INJECTOR_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "faults/fault_site.hh"
@@ -38,6 +39,16 @@ class Injector
              const sim::GlobalMemory &image,
              std::vector<OutputRegion> outputs);
 
+    /**
+     * Duplicate this injector without redoing the golden run: the
+     * golden outputs, hang budget, and pristine image are copied.  The
+     * clone references the same Program and starts with a zero run
+     * count.  This is how the parallel campaign engine gives each
+     * worker a private injector while paying for golden-state
+     * derivation only once.
+     */
+    std::unique_ptr<Injector> clone() const;
+
     /** Inject one fault and classify the outcome. */
     Outcome inject(const FaultSite &site);
 
@@ -54,6 +65,8 @@ class Injector
     const sim::GlobalMemory &image() const { return image_; }
 
   private:
+    Injector(const Injector &) = default;
+
     sim::LaunchConfig budgetedConfig(const sim::LaunchConfig &config);
 
     // NOTE: golden_max_icnt_ and golden_outputs_ are declared before

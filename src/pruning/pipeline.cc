@@ -6,6 +6,7 @@
 #include "pruning/pipeline.hh"
 
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace fsp::pruning {
 
@@ -82,15 +83,32 @@ prunePipeline(const sim::Executor &executor, const sim::GlobalMemory &image,
         live += plan.liveSites();
     result.counts.afterInstruction = live;
 
-    // Stage 3: loop-wise pruning.
+    // Stage 3: loop-wise pruning.  Plans are independent (each forks
+    // its PRNG from its own thread id), so the stage fans out over a
+    // pool when configured; per-plan stats are folded in plan order so
+    // the result never depends on worker count.
     if (config.loopIterations > 0) {
         Prng loop_prng = prng.fork("loops");
-        for (auto &plan : result.plans) {
+        auto prune_plan = [&](ThreadPlan &plan) {
             Prng thread_prng =
                 loop_prng.fork("thread-" + std::to_string(plan.thread));
-            LoopPruningStats stats = applyLoopPruning(
-                plan, executor.program(), config.loopIterations,
-                thread_prng);
+            return applyLoopPruning(plan, executor.program(),
+                                    config.loopIterations, thread_prng);
+        };
+
+        std::vector<LoopPruningStats> per_plan(result.plans.size());
+        if (config.workers == 1 || result.plans.size() <= 1) {
+            for (std::size_t i = 0; i < result.plans.size(); ++i)
+                per_plan[i] = prune_plan(result.plans[i]);
+        } else {
+            ThreadPool pool(config.workers);
+            pool.parallelFor(result.plans.size(),
+                             [&](std::size_t i, unsigned) {
+                                 per_plan[i] =
+                                     prune_plan(result.plans[i]);
+                             });
+        }
+        for (const LoopPruningStats &stats : per_plan) {
             result.loopStats.loopsSampled += stats.loopsSampled;
             result.loopStats.iterationsTotal += stats.iterationsTotal;
             result.loopStats.iterationsKept += stats.iterationsKept;

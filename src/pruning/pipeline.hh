@@ -47,6 +47,15 @@ struct PruningConfig
      * (see bench_ablation_reps).
      */
     unsigned repsPerGroup = 1;
+
+    /**
+     * Worker threads for the per-plan loop-pruning stage; 1 keeps the
+     * stage serial, 0 selects the hardware default.  Results are
+     * identical at any setting: each plan's sampling PRNG is forked
+     * from its thread id, and stage statistics are folded in plan
+     * order.
+     */
+    unsigned workers = 1;
 };
 
 /** Fault-site counts after each progressive stage (Fig. 10 series). */

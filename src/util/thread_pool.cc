@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Thread pool implementation.
+ */
+
+#include "util/thread_pool.hh"
+
+#include "util/env.hh"
+#include "util/logging.hh"
+
+namespace fsp {
+
+unsigned
+ThreadPool::defaultWorkerCount()
+{
+    std::uint64_t from_env = envU64("FSP_WORKERS", 0);
+    if (from_env > 0)
+        return static_cast<unsigned>(from_env);
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned workers)
+{
+    if (workers == 0)
+        workers = defaultWorkerCount();
+    threads_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        threads_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto &thread : threads_)
+        thread.join();
+}
+
+void
+ThreadPool::workerLoop(unsigned index)
+{
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+        const std::function<void(std::size_t, unsigned)> *body = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_cv_.wait(lock, [&] {
+                return stop_ || generation_ != seen_generation;
+            });
+            if (stop_)
+                return;
+            seen_generation = generation_;
+            body = body_;
+        }
+
+        // Claim chunks until this job is drained.  Claiming happens
+        // under the mutex together with a generation check, so a worker
+        // that was descheduled across a whole job cannot burn a ticket
+        // (or dereference a stale body) belonging to a later job; chunk
+        // bodies are injection runs, so the lock is not a bottleneck.
+        for (;;) {
+            std::size_t chunk;
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (generation_ != seen_generation ||
+                    next_chunk_ >= chunk_count_) {
+                    break;
+                }
+                chunk = next_chunk_++;
+            }
+            try {
+                (*body)(chunk, index);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (!first_error_)
+                    first_error_ = std::current_exception();
+            }
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                chunks_done_++;
+                if (chunks_done_ == chunk_count_)
+                    done_cv_.notify_all();
+            }
+        }
+    }
+}
+
+void
+ThreadPool::parallelFor(
+    std::size_t chunkCount,
+    const std::function<void(std::size_t, unsigned)> &body)
+{
+    if (chunkCount == 0)
+        return;
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    FSP_ASSERT(body_ == nullptr, "ThreadPool::parallelFor is not reentrant");
+    body_ = &body;
+    chunk_count_ = chunkCount;
+    next_chunk_ = 0;
+    chunks_done_ = 0;
+    first_error_ = nullptr;
+    generation_++;
+    lock.unlock();
+    work_cv_.notify_all();
+
+    lock.lock();
+    done_cv_.wait(lock, [&] { return chunks_done_ == chunk_count_; });
+    body_ = nullptr;
+    chunk_count_ = 0;
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+
+    if (error)
+        std::rethrow_exception(error);
+}
+
+} // namespace fsp

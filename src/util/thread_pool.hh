@@ -1,0 +1,89 @@
+/**
+ * @file
+ * A small chunked thread pool for deterministic fan-out.
+ *
+ * The pool owns a fixed set of persistent worker threads and exposes one
+ * primitive, parallelFor(): chunk indices [0, chunkCount) are claimed
+ * dynamically by whichever worker is free (a ticket counter, so load
+ * imbalance between chunks self-heals), but the *identity* of each
+ * chunk is fixed up front.  Callers that write results into a
+ * per-chunk/per-index slot therefore get output that does not depend on
+ * worker count or scheduling -- the foundation of the parallel campaign
+ * engine's bit-identical-to-serial guarantee.
+ */
+
+#ifndef FSP_UTIL_THREAD_POOL_HH
+#define FSP_UTIL_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fsp {
+
+class ThreadPool
+{
+  public:
+    /**
+     * @param workers worker-thread count; 0 selects
+     *        defaultWorkerCount().
+     */
+    explicit ThreadPool(unsigned workers = 0);
+
+    /** Joins all workers (outstanding work must have completed). */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned workerCount() const
+    {
+        return static_cast<unsigned>(threads_.size());
+    }
+
+    /**
+     * Run @p body(chunk, worker) for every chunk in [0, chunkCount),
+     * distributing chunks dynamically over the pool's workers; blocks
+     * until every chunk has finished.  @p worker is the stable index
+     * (< workerCount()) of the thread executing the chunk, so callers
+     * can give each worker private state without locking.  The first
+     * exception thrown by @p body is rethrown here after all chunks
+     * complete (or are abandoned).  Not reentrant: one parallelFor at a
+     * time per pool.
+     */
+    void parallelFor(std::size_t chunkCount,
+                     const std::function<void(std::size_t chunk,
+                                              unsigned worker)> &body);
+
+    /**
+     * Worker count used when none is requested: the FSP_WORKERS
+     * environment variable when set, otherwise the hardware thread
+     * count (at least 1).
+     */
+    static unsigned defaultWorkerCount();
+
+  private:
+    void workerLoop(unsigned index);
+
+    std::vector<std::thread> threads_;
+
+    std::mutex mutex_;
+    std::condition_variable work_cv_;  ///< signals workers: new job/stop
+    std::condition_variable done_cv_;  ///< signals caller: job finished
+
+    // Current job, all guarded by mutex_.
+    const std::function<void(std::size_t, unsigned)> *body_ = nullptr;
+    std::size_t chunk_count_ = 0;
+    std::size_t next_chunk_ = 0;
+    std::size_t chunks_done_ = 0;
+    std::uint64_t generation_ = 0; ///< bumped per job so workers rewake
+    std::exception_ptr first_error_;
+    bool stop_ = false;
+};
+
+} // namespace fsp
+
+#endif // FSP_UTIL_THREAD_POOL_HH

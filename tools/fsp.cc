@@ -17,6 +17,8 @@
  *   --loop-iters N     sampled loop iterations (default 8)
  *   --bit-samples N    sampled bit positions (default 16)
  *   --pilots N         representatives per thread group (default 1)
+ *   --workers N        campaign worker threads (default: hardware);
+ *                      results are bit-identical at any worker count
  */
 
 #include <cstdlib>
@@ -44,6 +46,7 @@ struct Options
     std::uint64_t seed = 1;
     std::size_t baseline = 2000;
     pruning::PruningConfig pruning;
+    faults::CampaignOptions campaign; // workers=0: hardware default
 };
 
 int
@@ -54,7 +57,7 @@ usage()
         "commands: list | profile | groups | disasm | loops | prune |"
         " campaign\n"
         "options:  --paper --seed N --baseline N --loop-iters N\n"
-        "          --bit-samples N --pilots N\n";
+        "          --bit-samples N --pilots N --workers N\n";
     return 2;
 }
 
@@ -101,6 +104,12 @@ parseArgs(int argc, char **argv, Options &opts)
             if (!v)
                 return false;
             opts.pruning.repsPerGroup =
+                static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        } else if (arg == "--workers") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opts.campaign.workers =
                 static_cast<unsigned>(std::strtoul(v, nullptr, 10));
         } else {
             std::cerr << "unknown option '" << arg << "'\n";
@@ -271,15 +280,19 @@ cmdCampaign(const Options &opts)
         return 1;
     analysis::KernelAnalysis ka(*spec, opts.scale, opts.seed + 41);
     auto pruned = ka.prune(opts.pruning);
-    auto estimate = ka.runPrunedCampaign(pruned);
+    auto estimate = ka.runPrunedCampaign(pruned, opts.campaign);
     std::cout << spec->fullName() << "\n  pruned estimate ("
               << estimate.runs() << " runs): " << estimate.summary()
               << "\n";
     if (opts.baseline > 0) {
-        auto baseline = ka.runBaseline(opts.baseline, opts.seed + 17);
+        auto baseline =
+            ka.runBaseline(opts.baseline, opts.seed + 17, opts.campaign);
         std::cout << "  random baseline (" << baseline.runs
                   << " runs): " << baseline.dist.summary() << "\n";
     }
+    std::cout << "  throughput: "
+              << ka.parallelCampaign(opts.campaign).lastStats().summary()
+              << "\n";
     return 0;
 }
 
