@@ -10,6 +10,11 @@
  * GEMM-sized site list; on a machine with >= 8 hardware threads the
  * 8-worker row should show the parallel engine's speedup over
  * BM_CampaignSerial (results are bit-identical either way).
+ *
+ * BM_CampaignEngine compares the CTA-sliced injection engine against
+ * forced full-grid runs per kernel (identical outcomes); the sliced
+ * rows report restored bytes and executed CTAs per run alongside
+ * sites/s, which is where the engine's speedup shows up.
  */
 
 #include <benchmark/benchmark.h>
@@ -161,6 +166,73 @@ BENCHMARK(BM_CampaignParallel)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+/** Deterministic sampled site list for an arbitrary kernel. */
+std::vector<faults::FaultSite>
+sampledSites(const char *kernel)
+{
+    const apps::KernelSpec *spec = apps::findKernel(kernel);
+    apps::KernelSetup setup = spec->setup(apps::Scale::Small, 42);
+    sim::Executor executor(setup.program, setup.launch);
+    faults::FaultSpace space(executor, setup.memory);
+    Prng prng(7);
+    auto count =
+        static_cast<std::size_t>(fsp::envU64("FSP_BENCH_SITES", 256));
+    return space.sampleSites(count, prng);
+}
+
+/**
+ * Sliced vs full-grid injection throughput for one kernel.  The same
+ * site list is classified with the engine's per-site strategy either
+ * permitted (sliced) or forced off (fullgrid); outcomes are identical,
+ * only the work per run changes.
+ */
+void
+BM_CampaignEngine(benchmark::State &state, const char *kernel,
+                  bool sliced)
+{
+    const apps::KernelSpec *spec = apps::findKernel(kernel);
+    apps::KernelSetup setup = spec->setup(apps::Scale::Small, 42);
+    faults::Injector injector(setup.program, setup.launch, setup.memory,
+                              setup.outputs);
+    injector.setSlicingEnabled(sliced);
+    const auto sites = sampledSites(kernel);
+
+    std::uint64_t runs = 0;
+    for (auto _ : state) {
+        auto result = faults::runSiteList(injector, sites);
+        benchmark::DoNotOptimize(result.runs);
+        runs += result.runs;
+    }
+
+    const faults::InjectionStats &stats = injector.stats();
+    auto per_run = [&](std::uint64_t total) {
+        return stats.injections > 0
+                   ? static_cast<double>(total) /
+                         static_cast<double>(stats.injections)
+                   : 0.0;
+    };
+    state.counters["sites/s"] = benchmark::Counter(
+        static_cast<double>(runs), benchmark::Counter::kIsRate);
+    state.counters["restoredB/run"] = per_run(stats.restoredBytes);
+    state.counters["ctas/run"] = per_run(stats.executedCtas);
+    state.counters["sliced"] =
+        static_cast<double>(injector.slicingActive());
+}
+BENCHMARK_CAPTURE(BM_CampaignEngine, GEMM_sliced, "GEMM/K1", true)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK_CAPTURE(BM_CampaignEngine, GEMM_fullgrid, "GEMM/K1", false)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK_CAPTURE(BM_CampaignEngine, MVT_sliced, "MVT/K1", true)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK_CAPTURE(BM_CampaignEngine, MVT_fullgrid, "MVT/K1", false)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK_CAPTURE(BM_CampaignEngine, PathFinder_sliced, "PathFinder/K1",
+                  true)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK_CAPTURE(BM_CampaignEngine, PathFinder_fullgrid, "PathFinder/K1",
+                  false)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void
 BM_Assembly(benchmark::State &state)

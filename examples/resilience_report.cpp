@@ -12,11 +12,14 @@
  * Usage: resilience_report [App/Kx] [--paper] [--baseline N]
  *                          [--loop-iters N] [--bit-samples N]
  *                          [--seed N] [--workers N] [--chunk N]
+ *                          [--no-slicing]
  *
  * --workers selects the parallel campaign engine's worker count
  * (default: hardware threads); results are bit-identical to a serial
  * campaign at any worker count, so parallelism only changes the
- * wall-clock and throughput report.
+ * wall-clock and throughput report.  --no-slicing forces full-grid
+ * injection runs even for CTA-independent kernels; outcomes are
+ * bit-identical with or without it.
  */
 
 #include <cstdlib>
@@ -36,6 +39,7 @@ usage()
                  "[--baseline N] [--loop-iters N]\n"
                  "                         [--bit-samples N] [--seed N] "
                  "[--workers N] [--chunk N]\n"
+                 "                         [--no-slicing]\n"
                  "kernels:\n";
     for (const auto &spec : fsp::apps::allKernels())
         std::cerr << "  " << spec.fullName() << "\n";
@@ -80,6 +84,9 @@ main(int argc, char **argv)
                 static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
         } else if (arg == "--chunk") {
             campaign.chunkSize = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--no-slicing") {
+            campaign.allowSlicing = false;
+            config.slicedProfiling = false;
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
@@ -95,6 +102,8 @@ main(int argc, char **argv)
     }
 
     analysis::KernelAnalysis ka(*spec, scale);
+    if (!campaign.allowSlicing)
+        ka.setSlicingEnabled(false);
     std::cout << "=============================================\n"
               << " Resilience report: " << spec->suite << " "
               << spec->fullName() << " (" << spec->kernelName << ")\n"
@@ -110,8 +119,17 @@ main(int argc, char **argv)
               << "    fault sites:    " << fmtCount(space.totalSites())
               << "\n\n";
 
+    std::cout << "    engine:         " << ka.injector().slicingDescription()
+              << "\n"
+              << "    independence:   " << ka.slicingPlan().reason()
+              << "\n\n";
+
     // --- 2+3. Pruning pipeline.
     auto pruned = ka.prune(config);
+    if (pruned.slicedProfiling) {
+        std::cout << "    (profiling run sliced to " << pruned.profiledCtas
+                  << " of " << ka.slicingPlan().ctaCount() << " CTAs)\n";
+    }
     std::cout << "[2] thread-wise grouping\n"
               << "    CTA groups:     " << pruned.grouping.ctaGroups.size()
               << "\n"
@@ -163,6 +181,7 @@ main(int argc, char **argv)
               << stats.chunkSize << ", " << stats.chunks << " chunks)\n"
               << "    pruned sweep:   " << pruned_stats.summary() << "\n"
               << "    last campaign:  " << stats.summary() << "\n"
+              << "    injection:      " << stats.injection.summary() << "\n"
               << "    per-worker runs:";
     for (std::uint64_t runs : stats.perWorkerRuns)
         std::cout << " " << runs;

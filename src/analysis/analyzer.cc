@@ -33,11 +33,22 @@ KernelAnalysis::injector()
     return *injector_;
 }
 
+void
+KernelAnalysis::setSlicingEnabled(bool enabled)
+{
+    injector().setSlicingEnabled(enabled);
+    // The engine's worker injectors are clones; rebuild them with the
+    // new setting on next use.
+    parallel_.reset();
+}
+
 pruning::PruningResult
 KernelAnalysis::prune(const pruning::PruningConfig &config)
 {
+    const faults::SlicingPlan *slicing =
+        injector().slicingEnabled() ? &injector().slicingPlan() : nullptr;
     return pruning::prunePipeline(*executor_, setup_.memory, space(),
-                                  config);
+                                  config, slicing);
 }
 
 faults::OutcomeDist
@@ -81,11 +92,13 @@ faults::ParallelCampaign &
 KernelAnalysis::parallelCampaign(const faults::CampaignOptions &options)
 {
     if (!parallel_ || parallel_workers_ != options.workers ||
-        parallel_chunk_ != options.chunkSize) {
+        parallel_chunk_ != options.chunkSize ||
+        parallel_slicing_ != options.allowSlicing) {
         parallel_ = std::make_unique<faults::ParallelCampaign>(
             injector(), options);
         parallel_workers_ = options.workers;
         parallel_chunk_ = options.chunkSize;
+        parallel_slicing_ = options.allowSlicing;
     }
     return *parallel_;
 }

@@ -55,7 +55,26 @@ class KernelAnalysis
     /** Fault injector (lazy; runs the golden execution once). */
     faults::Injector &injector();
 
-    /** Run the progressive pruning pipeline. */
+    /** @{ CTA-sliced engine controls (forwarded to the injector). */
+    /** Enable/disable the sliced path for this analysis. */
+    void setSlicingEnabled(bool enabled);
+
+    /** Will injection runs use the sliced path? */
+    bool slicingActive() { return injector().slicingActive(); }
+
+    /** The kernel's CTA-independence decision. */
+    const faults::SlicingPlan &
+    slicingPlan()
+    {
+        return injector().slicingPlan();
+    }
+    /** @} */
+
+    /**
+     * Run the progressive pruning pipeline.  The injector's slicing
+     * plan scopes the traced profiling run to the representatives'
+     * CTAs when config.slicedProfiling permits.
+     */
     pruning::PruningResult prune(const pruning::PruningConfig &config);
 
     /**
@@ -99,6 +118,7 @@ class KernelAnalysis
     std::unique_ptr<faults::ParallelCampaign> parallel_;
     unsigned parallel_workers_ = 0;
     std::size_t parallel_chunk_ = 0;
+    bool parallel_slicing_ = true;
 };
 
 } // namespace fsp::analysis

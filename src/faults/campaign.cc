@@ -10,11 +10,13 @@ namespace fsp::faults {
 CampaignResult
 runSiteList(Injector &injector, const std::vector<FaultSite> &sites)
 {
+    InjectionStats before = injector.stats();
     CampaignResult result;
     for (const auto &site : sites) {
         result.dist.add(injector.inject(site));
         result.runs++;
     }
+    result.injection = injector.stats().since(before);
     return result;
 }
 
@@ -22,11 +24,13 @@ CampaignResult
 runWeightedSiteList(Injector &injector,
                     const std::vector<WeightedSite> &sites)
 {
+    InjectionStats before = injector.stats();
     CampaignResult result;
     for (const auto &weighted : sites) {
         result.dist.add(injector.inject(weighted.site), weighted.weight);
         result.runs++;
     }
+    result.injection = injector.stats().since(before);
     return result;
 }
 

@@ -23,6 +23,7 @@ struct CampaignResult
 {
     OutcomeDist dist;        ///< (weighted) outcome tally
     std::uint64_t runs = 0;  ///< injection runs performed
+    InjectionStats injection; ///< how the runs were executed
 };
 
 /** Inject every site in the list, tallying unweighted outcomes. */

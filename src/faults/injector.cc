@@ -6,10 +6,56 @@
 #include "faults/injector.hh"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "util/logging.hh"
 
 namespace fsp::faults {
+
+void
+InjectionStats::merge(const InjectionStats &other)
+{
+    injections += other.injections;
+    slicedRuns += other.slicedRuns;
+    fullGridRuns += other.fullGridRuns;
+    hazardFallbacks += other.hazardFallbacks;
+    invalidSites += other.invalidSites;
+    executedCtas += other.executedCtas;
+    restoredBytes += other.restoredBytes;
+}
+
+InjectionStats
+InjectionStats::since(const InjectionStats &before) const
+{
+    InjectionStats delta;
+    delta.injections = injections - before.injections;
+    delta.slicedRuns = slicedRuns - before.slicedRuns;
+    delta.fullGridRuns = fullGridRuns - before.fullGridRuns;
+    delta.hazardFallbacks = hazardFallbacks - before.hazardFallbacks;
+    delta.invalidSites = invalidSites - before.invalidSites;
+    delta.executedCtas = executedCtas - before.executedCtas;
+    delta.restoredBytes = restoredBytes - before.restoredBytes;
+    return delta;
+}
+
+std::string
+InjectionStats::summary() const
+{
+    char buf[240];
+    std::snprintf(
+        buf, sizeof(buf),
+        "injections %llu | sliced %llu | full-grid %llu | "
+        "hazard-fallbacks %llu | invalid %llu | ctas %llu | "
+        "restored %llu B",
+        static_cast<unsigned long long>(injections),
+        static_cast<unsigned long long>(slicedRuns),
+        static_cast<unsigned long long>(fullGridRuns),
+        static_cast<unsigned long long>(hazardFallbacks),
+        static_cast<unsigned long long>(invalidSites),
+        static_cast<unsigned long long>(executedCtas),
+        static_cast<unsigned long long>(restoredBytes));
+    return buf;
+}
 
 sim::LaunchConfig
 Injector::budgetedConfig(const sim::LaunchConfig &config)
@@ -19,14 +65,20 @@ Injector::budgetedConfig(const sim::LaunchConfig &config)
     sim::GlobalMemory scratch = image_;
     sim::TraceOptions opts;
     opts.perThreadProfiles = true;
+    opts.ctaFootprints = true;
     sim::RunResult golden = golden_exec.run(scratch, &opts);
     if (golden.status != sim::RunStatus::Completed)
         fatal("golden run failed: ", golden.diagnostic);
 
-    for (const auto &p : golden.trace.profiles)
+    golden_icnt_.reserve(golden.trace.profiles.size());
+    for (const auto &p : golden.trace.profiles) {
         golden_max_icnt_ = std::max(golden_max_icnt_, p.iCnt);
+        golden_icnt_.push_back(p.iCnt);
+    }
 
     golden_outputs_ = captureOutputs(scratch, outputs_);
+    slicing_ = std::make_shared<const SlicingPlan>(
+        SlicingPlan::analyze(std::move(golden.trace.ctaFootprints)));
 
     // A corrupted loop counter can legitimately lengthen execution; the
     // hang threshold is several times the longest golden thread plus a
@@ -43,24 +95,80 @@ Injector::Injector(const sim::Program &program,
     : program_(program), image_(image), outputs_(std::move(outputs)),
       executor_(program_, budgetedConfig(config)), scratch_(image_)
 {
+    // The caller's setup pokes left dirty marks in the copied images;
+    // scratch_ already equals image_, so start tracking from clean.
+    scratch_.resetDirtyTracking();
 }
 
 std::unique_ptr<Injector>
 Injector::clone() const
 {
     std::unique_ptr<Injector> copy(new Injector(*this));
-    copy->runs_ = 0;
+    copy->stats_ = InjectionStats{};
     return copy;
 }
 
-Outcome
-Injector::inject(const FaultSite &site)
+std::string
+Injector::slicingDescription() const
 {
-    scratch_ = image_;
-    sim::FaultPlan plan = site.toPlan();
-    sim::RunResult result = executor_.run(scratch_, nullptr, &plan);
-    runs_++;
+    std::string text = slicingActive() ? "sliced (" : "full-grid (";
+    if (!slicing_enabled_)
+        text += "slicing disabled";
+    else
+        text += slicing_->reason();
+    if (slicing_->independent()) {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), ", %llu CTAs",
+                      static_cast<unsigned long long>(slicing_->ctaCount()));
+        text += buf;
+    }
+    text += ")";
+    return text;
+}
 
+/**
+ * Exact masked/SDC test for a completed sliced run.
+ *
+ * Reconstructs what the full-grid faulty image would hold inside the
+ * output regions:
+ *
+ *   recon[b] = scratch[b]  if b in (W_c u D) \ W_other
+ *              golden[b]   otherwise
+ *
+ * where W_c is the faulty CTA's golden write footprint, D the
+ * chunk-granular dirty set of this run (covers every byte the faulty
+ * run actually wrote, including wild non-hazardous stores), and
+ * W_other the bytes other CTAs write.  Other CTAs execute fault-free
+ * and bit-identically to golden (the store-hazard check proves the
+ * faulty CTA touched none of their reads or writes), so golden bytes
+ * stand in for them exactly; dirty-chunk over-approximation is safe
+ * because the extra bytes are pristine in both the sliced and the
+ * full-grid image once W_other is subtracted.
+ */
+bool
+Injector::slicedOutputsMatch(std::uint64_t cta)
+{
+    sim::IntervalSet candidates = scratch_.dirtyIntervals();
+    candidates.unionWith(slicing_->writes(cta));
+    // loadHazards(cta) is exactly the set of bytes other CTAs write.
+    candidates = candidates.subtract(slicing_->loadHazards(cta));
+
+    auto test = golden_outputs_;
+    for (std::size_t r = 0; r < outputs_.size(); ++r) {
+        const OutputRegion &region = outputs_[r];
+        sim::IntervalSet overlap =
+            candidates.clipped(region.addr, region.addr + region.bytes);
+        for (const sim::Interval &iv : overlap.ranges())
+            scratch_.readBytes(iv.begin, iv.bytes(),
+                               test[r].data() + (iv.begin - region.addr));
+    }
+    return outputsMatch(outputs_, golden_outputs_, test);
+}
+
+Outcome
+Injector::classifyFullGrid(const FaultSite &site, sim::FaultPlan &plan,
+                           const sim::RunResult &result)
+{
     if (result.status != sim::RunStatus::Completed)
         return Outcome::Other;
 
@@ -77,6 +185,69 @@ Injector::inject(const FaultSite &site)
     return outputsMatch(outputs_, golden_outputs_, test_outputs)
                ? Outcome::Masked
                : Outcome::SDC;
+}
+
+Outcome
+Injector::inject(const FaultSite &site)
+{
+    stats_.injections++;
+
+    // Validate the site against the golden trace: a dynamic index at or
+    // beyond the thread's golden iCnt can never fire and signals a bug
+    // in the caller's site enumeration, not a masked fault.
+    if (site.thread >= golden_icnt_.size() ||
+        site.dynIndex >= golden_icnt_[site.thread]) {
+        stats_.invalidSites++;
+        if (site.thread >= golden_icnt_.size()) {
+            warn("invalid fault site: thread ", site.thread,
+                 " outside launch of ", golden_icnt_.size(), " threads");
+        } else {
+            warn("invalid fault site: thread ", site.thread, " dyn ",
+                 site.dynIndex, " beyond golden iCnt ",
+                 golden_icnt_[site.thread]);
+        }
+        return Outcome::Invalid;
+    }
+
+    stats_.restoredBytes += scratch_.restoreFrom(image_);
+    sim::FaultPlan plan = site.toPlan();
+
+    if (slicingActive()) {
+        const std::uint64_t cta =
+            site.thread / executor_.config().block.count();
+        sim::CtaSlice slice;
+        slice.range = sim::CtaRange::single(cta);
+        slice.loadHazards = &slicing_->loadHazards(cta);
+        slice.storeHazards = &slicing_->storeHazards(cta);
+
+        sim::RunResult result = executor_.run(scratch_, nullptr, &plan,
+                                              &slice);
+        stats_.executedCtas += result.executedCtas;
+
+        if (result.status != sim::RunStatus::SliceHazard) {
+            stats_.slicedRuns++;
+            if (result.status != sim::RunStatus::Completed)
+                return Outcome::Other;
+            if (!plan.applied) {
+                warn("fault plan not applied: thread ", site.thread,
+                     " dyn ", site.dynIndex, " bit ", site.bit);
+                return Outcome::Masked;
+            }
+            return slicedOutputsMatch(cta) ? Outcome::Masked
+                                           : Outcome::SDC;
+        }
+
+        // The fault wandered into another CTA's footprint; replay the
+        // site on the full grid for an exact classification.
+        stats_.hazardFallbacks++;
+        stats_.restoredBytes += scratch_.restoreFrom(image_);
+        plan = site.toPlan();
+    }
+
+    sim::RunResult result = executor_.run(scratch_, nullptr, &plan);
+    stats_.fullGridRuns++;
+    stats_.executedCtas += result.executedCtas;
+    return classifyFullGrid(site, plan, result);
 }
 
 } // namespace fsp::faults

@@ -3,6 +3,14 @@
  * The fault injector: runs one kernel launch per fault site against a
  * pristine memory image and classifies the outcome against the golden
  * (fault-free) output.
+ *
+ * When the golden run's per-CTA footprints prove the kernel's CTAs
+ * independent (see faults/slicing.hh), injection runs execute only the
+ * faulty CTA against a dirty-range-restored image and compare only that
+ * CTA's share of the output -- bit-identical outcomes at a fraction of
+ * the work.  Runs whose fault wanders into another CTA's footprint
+ * abort with RunStatus::SliceHazard and are transparently replayed on
+ * the full grid, so the sliced engine never changes a classification.
  */
 
 #ifndef FSP_FAULTS_INJECTOR_HH
@@ -10,20 +18,44 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "faults/fault_site.hh"
 #include "faults/outcome.hh"
 #include "faults/output_spec.hh"
+#include "faults/slicing.hh"
 #include "sim/executor.hh"
 
 namespace fsp::faults {
+
+/** Counters describing how injection runs were executed. */
+struct InjectionStats
+{
+    std::uint64_t injections = 0;      ///< inject() calls
+    std::uint64_t slicedRuns = 0;      ///< classified via the sliced path
+    std::uint64_t fullGridRuns = 0;    ///< full-grid executor runs
+    std::uint64_t hazardFallbacks = 0; ///< sliced runs aborted on a hazard
+    std::uint64_t invalidSites = 0;    ///< sites rejected by validation
+    std::uint64_t executedCtas = 0;    ///< CTAs simulated, all runs
+    std::uint64_t restoredBytes = 0;   ///< bytes copied by dirty restore
+
+    /** Accumulate another tally into this one. */
+    void merge(const InjectionStats &other);
+
+    /** Counter deltas relative to an earlier snapshot. */
+    InjectionStats since(const InjectionStats &before) const;
+
+    /** One-line human-readable rendering. */
+    std::string summary() const;
+};
 
 /**
  * Injects single-bit destination-register faults and classifies run
  * outcomes.  Construction performs the golden run (which must complete)
  * and derives the hang-detection budget from the observed per-thread
- * dynamic instruction counts.
+ * dynamic instruction counts, the per-thread golden iCnt used for site
+ * validation, and the CTA-slicing plan.
  */
 class Injector
 {
@@ -41,22 +73,57 @@ class Injector
 
     /**
      * Duplicate this injector without redoing the golden run: the
-     * golden outputs, hang budget, and pristine image are copied.  The
-     * clone references the same Program and starts with a zero run
-     * count.  This is how the parallel campaign engine gives each
-     * worker a private injector while paying for golden-state
-     * derivation only once.
+     * golden outputs, hang budget, slicing plan and pristine image are
+     * copied (the plan itself is shared, immutable).  The clone
+     * references the same Program and starts with zeroed stats.  This
+     * is how the parallel campaign engine gives each worker a private
+     * injector while paying for golden-state derivation only once.
      */
     std::unique_ptr<Injector> clone() const;
 
-    /** Inject one fault and classify the outcome. */
+    /**
+     * Inject one fault and classify the outcome.
+     *
+     * Sites whose dynamic index lies beyond the target thread's golden
+     * instruction count (or whose thread id is outside the launch) are
+     * rejected as Outcome::Invalid with a diagnostic -- they denote a
+     * caller bug, not a masked fault.
+     */
     Outcome inject(const FaultSite &site);
 
-    /** Total injection runs performed so far. */
-    std::uint64_t runsPerformed() const { return runs_; }
+    /** Total injection attempts so far (== stats().injections). */
+    std::uint64_t runsPerformed() const { return stats_.injections; }
+
+    /** Execution counters for this injector. */
+    const InjectionStats &stats() const { return stats_; }
 
     /** Maximum golden per-thread iCnt (budget basis). */
     std::uint64_t goldenMaxICnt() const { return golden_max_icnt_; }
+
+    /** Golden dynamic instruction count of one thread. */
+    std::uint64_t
+    goldenICnt(std::uint64_t thread) const
+    {
+        return golden_icnt_[thread];
+    }
+
+    /** @{ Per-site strategy selection. */
+    void setSlicingEnabled(bool enabled) { slicing_enabled_ = enabled; }
+    bool slicingEnabled() const { return slicing_enabled_; }
+
+    /** Will injections actually use the sliced path? */
+    bool
+    slicingActive() const
+    {
+        return slicing_enabled_ && slicing_->independent();
+    }
+
+    /** The CTA-independence analysis result for this kernel. */
+    const SlicingPlan &slicingPlan() const { return *slicing_; }
+
+    /** "sliced (...)" / "full-grid (...)" decision string. */
+    std::string slicingDescription() const;
+    /** @} */
 
     /** The executor used for injection runs (with hang budget set). */
     const sim::Executor &executor() const { return executor_; }
@@ -69,17 +136,24 @@ class Injector
 
     sim::LaunchConfig budgetedConfig(const sim::LaunchConfig &config);
 
-    // NOTE: golden_max_icnt_ and golden_outputs_ are declared before
+    Outcome classifyFullGrid(const FaultSite &site, sim::FaultPlan &plan,
+                             const sim::RunResult &result);
+    bool slicedOutputsMatch(std::uint64_t cta);
+
+    // NOTE: golden state and the slicing plan are declared before
     // executor_ because budgetedConfig() -- invoked while initialising
     // executor_ -- performs the golden run and fills them in.
     const sim::Program &program_;
     sim::GlobalMemory image_;
     std::vector<OutputRegion> outputs_;
     std::uint64_t golden_max_icnt_ = 0;
+    std::vector<std::uint64_t> golden_icnt_;
     std::vector<std::vector<std::uint8_t>> golden_outputs_;
+    std::shared_ptr<const SlicingPlan> slicing_;
     sim::Executor executor_;
     sim::GlobalMemory scratch_;
-    std::uint64_t runs_ = 0;
+    bool slicing_enabled_ = true;
+    InjectionStats stats_;
 };
 
 } // namespace fsp::faults

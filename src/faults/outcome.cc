@@ -18,6 +18,7 @@ outcomeName(Outcome outcome)
       case Outcome::Masked: return "masked";
       case Outcome::SDC: return "sdc";
       case Outcome::Other: return "other";
+      case Outcome::Invalid: return "invalid";
     }
     panic("unreachable Outcome");
 }
@@ -43,6 +44,9 @@ OutcomeDist::addWeight(Outcome outcome, double weight)
       case Outcome::Other:
         other_ += weight;
         break;
+      case Outcome::Invalid:
+        invalid_ += weight;
+        break;
     }
 }
 
@@ -52,6 +56,7 @@ OutcomeDist::merge(const OutcomeDist &other)
     masked_ += other.masked_;
     sdc_ += other.sdc_;
     other_ += other.other_;
+    invalid_ += other.invalid_;
     runs_ += other.runs_;
 }
 
@@ -62,6 +67,7 @@ OutcomeDist::weightOf(Outcome outcome) const
       case Outcome::Masked: return masked_;
       case Outcome::SDC: return sdc_;
       case Outcome::Other: return other_;
+      case Outcome::Invalid: return invalid_;
     }
     panic("unreachable Outcome");
 }
@@ -83,14 +89,19 @@ OutcomeDist::fractions() const
 std::string
 OutcomeDist::summary() const
 {
-    char buf[160];
+    char buf[200];
     std::snprintf(buf, sizeof(buf),
                   "masked %6.2f%% | sdc %6.2f%% | other %6.2f%%  (n=%llu)",
                   100.0 * fraction(Outcome::Masked),
                   100.0 * fraction(Outcome::SDC),
                   100.0 * fraction(Outcome::Other),
                   static_cast<unsigned long long>(runs_));
-    return buf;
+    std::string text = buf;
+    if (invalid_ > 0.0) {
+        std::snprintf(buf, sizeof(buf), " [invalid weight %.6g]", invalid_);
+        text += buf;
+    }
+    return text;
 }
 
 } // namespace fsp::faults

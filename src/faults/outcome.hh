@@ -16,12 +16,13 @@
 
 namespace fsp::faults {
 
-/** The three outcome classes. */
+/** The outcome classes. */
 enum class Outcome : std::uint8_t
 {
     Masked,
     SDC,
-    Other, ///< crash or hang
+    Other,   ///< crash or hang
+    Invalid, ///< site rejected (e.g. dynIndex beyond the golden trace)
 };
 
 std::string outcomeName(Outcome outcome);
@@ -47,7 +48,11 @@ class OutcomeDist
     /** Merge another tally into this one. */
     void merge(const OutcomeDist &other);
 
-    /** Total recorded weight. */
+    /**
+     * Total recorded weight across the three resilience classes.
+     * Invalid weight is excluded: rejected sites are not experiments
+     * and must not dilute the masked/sdc/other profile.
+     */
     double total() const { return masked_ + sdc_ + other_; }
 
     /** Number of add() calls (unweighted run count). */
@@ -68,6 +73,7 @@ class OutcomeDist
     double masked_ = 0.0;
     double sdc_ = 0.0;
     double other_ = 0.0;
+    double invalid_ = 0.0; ///< outside total()/fractions()
     std::uint64_t runs_ = 0;
 };
 

@@ -17,13 +17,23 @@ namespace fsp::faults {
 std::string
 CampaignStats::summary() const
 {
-    char buf[128];
+    char buf[192];
     std::snprintf(buf, sizeof(buf),
                   "%llu sites in %.3f s (%.0f sites/s, %u workers, "
                   "chunk %zu)",
                   static_cast<unsigned long long>(sites),
                   elapsedSeconds, sitesPerSecond, workers, chunkSize);
-    return buf;
+    std::string text = buf;
+    if (injection.slicedRuns > 0) {
+        std::snprintf(buf, sizeof(buf),
+                      ", sliced %llu/%llu (%llu hazard fallbacks)",
+                      static_cast<unsigned long long>(injection.slicedRuns),
+                      static_cast<unsigned long long>(injection.injections),
+                      static_cast<unsigned long long>(
+                          injection.hazardFallbacks));
+        text += buf;
+    }
+    return text;
 }
 
 namespace {
@@ -66,8 +76,11 @@ ParallelCampaign::ParallelCampaign(const Injector &prototype,
     : options_(std::move(options)), pool_(resolveWorkers(options_))
 {
     injectors_.reserve(pool_.workerCount());
-    for (unsigned i = 0; i < pool_.workerCount(); ++i)
+    for (unsigned i = 0; i < pool_.workerCount(); ++i) {
         injectors_.push_back(prototype.clone());
+        if (!options_.allowSlicing)
+            injectors_.back()->setSlicingEnabled(false);
+    }
 }
 
 std::uint64_t
@@ -100,6 +113,11 @@ ParallelCampaign::classifySites(
     std::mutex progress_mutex;
     std::uint64_t sites_done = 0;
 
+    std::vector<InjectionStats> before;
+    before.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        before.push_back(injectors_[w]->stats());
+
     auto start = std::chrono::steady_clock::now();
     pool_.parallelFor(chunks, [&](std::size_t chunk, unsigned worker) {
         std::size_t begin = chunk * chunk_size;
@@ -115,6 +133,9 @@ ParallelCampaign::classifySites(
             options_.progressCallback({sites_done, count});
     });
     auto end = std::chrono::steady_clock::now();
+
+    for (unsigned w = 0; w < workers; ++w)
+        stats_.injection.merge(injectors_[w]->stats().since(before[w]));
 
     stats_.elapsedSeconds =
         std::chrono::duration<double>(end - start).count();
@@ -139,6 +160,7 @@ ParallelCampaign::runSiteList(const std::vector<FaultSite> &sites)
         result.dist.add(outcome);
         result.runs++;
     }
+    result.injection = stats_.injection;
     inform("parallel campaign: ", stats_.summary());
     return result;
 }
@@ -160,6 +182,7 @@ ParallelCampaign::runWeightedSiteList(
         result.dist.add(outcomes[i], sites[i].weight);
         result.runs++;
     }
+    result.injection = stats_.injection;
     inform("parallel campaign (weighted): ", stats_.summary());
     return result;
 }

@@ -51,6 +51,13 @@ struct CampaignOptions
      * the engine's progress lock -- keep it cheap).
      */
     std::function<void(const CampaignProgress &)> progressCallback;
+
+    /**
+     * Permit the sliced injection path when the kernel's CTAs are
+     * independent.  false forces full-grid runs on every worker
+     * (useful for A/B validation and benchmarking).
+     */
+    bool allowSlicing = true;
 };
 
 /** Throughput report for the engine's most recent campaign. */
@@ -63,6 +70,7 @@ struct CampaignStats
     std::vector<std::uint64_t> perWorkerRuns; ///< runs executed per worker
     double elapsedSeconds = 0.0;
     double sitesPerSecond = 0.0;
+    InjectionStats injection; ///< summed over workers, this campaign only
 
     /** One-line human-readable summary for logs. */
     std::string summary() const;
@@ -109,6 +117,16 @@ class ParallelCampaign
                                      std::size_t runs, Prng &prng);
 
     unsigned workerCount() const { return pool_.workerCount(); }
+
+    /** Do the workers' injectors use the sliced path? */
+    bool slicingActive() const { return injectors_[0]->slicingActive(); }
+
+    /** The workers' shared CTA-independence decision. */
+    const SlicingPlan &
+    slicingPlan() const
+    {
+        return injectors_[0]->slicingPlan();
+    }
 
     /** Injection runs performed so far, summed over all workers. */
     std::uint64_t runsPerformed() const;

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * CTA-independence analysis behind the sliced injection engine.
+ *
+ * A fault in one thread can only propagate beyond its CTA through
+ * global memory.  The golden run records every CTA's global read/write
+ * byte footprint; this analysis declares the kernel's CTAs independent
+ * when (a) no two CTAs write a common byte and (b) no CTA reads a byte
+ * another CTA writes.  Under independence, executing just the faulty
+ * CTA against the pristine image is bit-identical to its execution in
+ * the full grid -- the execution-engine counterpart of the paper's
+ * fault-site pruning.
+ *
+ * The fault itself can violate the golden footprints (a corrupted
+ * address register reads or writes anywhere), so independence alone is
+ * not enough for exactness.  The plan therefore precomputes per-CTA
+ * hazard sets that the sliced executor checks on every global access:
+ *
+ *  - loadHazards(c): bytes written by CTAs other than c.  A faulty
+ *    load from one of these would observe a value that differs
+ *    between sliced and full-grid execution.
+ *  - storeHazards(c): bytes read *or* written by other CTAs.  A faulty
+ *    store into one of these could perturb another CTA or be
+ *    overwritten by one.
+ *
+ * Any access hitting a hazard aborts the sliced run (SliceHazard) and
+ * the injector falls back to a full-grid run, keeping outcomes exact.
+ */
+
+#ifndef FSP_FAULTS_SLICING_HH
+#define FSP_FAULTS_SLICING_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/footprint.hh"
+
+namespace fsp::faults {
+
+/** Per-kernel CTA-independence decision plus per-CTA hazard sets. */
+class SlicingPlan
+{
+  public:
+    /** Empty plan: not sliceable (no footprint data). */
+    SlicingPlan() = default;
+
+    /** Analyze the golden run's per-CTA footprints. */
+    static SlicingPlan analyze(std::vector<sim::CtaFootprint> footprints);
+
+    /** May injection runs execute only the faulty CTA? */
+    bool independent() const { return independent_; }
+
+    /** Human-readable decision ("cta-independent" or why not). */
+    const std::string &reason() const { return reason_; }
+
+    std::size_t ctaCount() const { return footprints_.size(); }
+
+    const sim::CtaFootprint &
+    footprint(std::size_t cta) const
+    {
+        return footprints_[cta];
+    }
+
+    /** Golden write footprint of @p cta. */
+    const sim::IntervalSet &
+    writes(std::size_t cta) const
+    {
+        return footprints_[cta].writes;
+    }
+
+    /** @{ Hazard sets (valid only when independent()). */
+    const sim::IntervalSet &
+    loadHazards(std::size_t cta) const
+    {
+        return load_hazards_[cta];
+    }
+
+    const sim::IntervalSet &
+    storeHazards(std::size_t cta) const
+    {
+        return store_hazards_[cta];
+    }
+    /** @} */
+
+  private:
+    bool independent_ = false;
+    std::string reason_ = "no footprint data";
+    std::vector<sim::CtaFootprint> footprints_;
+    std::vector<sim::IntervalSet> load_hazards_;
+    std::vector<sim::IntervalSet> store_hazards_;
+};
+
+} // namespace fsp::faults
+
+#endif // FSP_FAULTS_SLICING_HH

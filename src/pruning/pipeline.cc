@@ -5,6 +5,7 @@
 
 #include "pruning/pipeline.hh"
 
+#include "faults/slicing.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
@@ -13,7 +14,9 @@ namespace fsp::pruning {
 std::vector<ThreadPlan>
 buildThreadPlans(const sim::Executor &executor,
                  const sim::GlobalMemory &image,
-                 const ThreadwisePruning &grouping)
+                 const ThreadwisePruning &grouping,
+                 const faults::SlicingPlan *slicing,
+                 std::uint64_t *profiledCtas)
 {
     sim::TraceOptions opts;
     std::vector<const ThreadGroup *> groups = grouping.allGroups();
@@ -21,8 +24,28 @@ buildThreadPlans(const sim::Executor &executor,
         for (std::uint64_t rep : group->representatives)
             opts.traceThreads.insert(rep);
 
+    // Under CTA independence a fault-free run of just the CTAs holding
+    // the traced representatives produces bit-identical traces; skip
+    // the rest of the grid.  No hazard sets are needed: without a
+    // fault, accesses follow the golden footprints by definition.
+    sim::CtaSlice slice;
+    const sim::CtaSlice *slice_ptr = nullptr;
+    if (slicing && slicing->independent()) {
+        const std::uint64_t block_threads =
+            executor.config().block.count();
+        std::vector<std::uint64_t> ctas;
+        ctas.reserve(opts.traceThreads.size());
+        for (std::uint64_t rep : opts.traceThreads)
+            ctas.push_back(rep / block_threads);
+        slice.range = sim::CtaRange::of(std::move(ctas));
+        slice_ptr = &slice;
+    }
+
     sim::GlobalMemory scratch = image;
-    sim::RunResult result = executor.run(scratch, &opts);
+    sim::RunResult result =
+        executor.run(scratch, &opts, nullptr, slice_ptr);
+    if (profiledCtas)
+        *profiledCtas = result.executedCtas;
     if (result.status != sim::RunStatus::Completed)
         fatal("traced profiling run failed: ", result.diagnostic);
 
@@ -58,7 +81,8 @@ buildThreadPlans(const sim::Executor &executor,
 
 PruningResult
 prunePipeline(const sim::Executor &executor, const sim::GlobalMemory &image,
-              const faults::FaultSpace &space, const PruningConfig &config)
+              const faults::FaultSpace &space, const PruningConfig &config,
+              const faults::SlicingPlan *slicing)
 {
     Prng prng(config.seed);
 
@@ -70,7 +94,13 @@ prunePipeline(const sim::Executor &executor, const sim::GlobalMemory &image,
     result.grouping =
         pruneThreads(space, executor.config().block.count(),
                      grouping_prng, config.repsPerGroup);
-    result.plans = buildThreadPlans(executor, image, result.grouping);
+    const faults::SlicingPlan *profiling_slicing =
+        config.slicedProfiling ? slicing : nullptr;
+    result.slicedProfiling =
+        profiling_slicing && profiling_slicing->independent();
+    result.plans = buildThreadPlans(executor, image, result.grouping,
+                                    profiling_slicing,
+                                    &result.profiledCtas);
     result.counts.afterThread = 0;
     for (const auto &plan : result.plans)
         result.counts.afterThread += plan.liveSites();

@@ -21,6 +21,10 @@
 #include "pruning/thread_plan.hh"
 #include "sim/executor.hh"
 
+namespace fsp::faults {
+class SlicingPlan;
+} // namespace fsp::faults
+
 namespace fsp::pruning {
 
 /** Pipeline configuration. */
@@ -56,6 +60,15 @@ struct PruningConfig
      * order.
      */
     unsigned workers = 1;
+
+    /**
+     * When a SlicingPlan proving CTA independence is supplied to
+     * prunePipeline, restrict the traced profiling run to the CTAs
+     * that contain representative threads.  Traces are bit-identical
+     * either way (independent CTAs execute the same in isolation);
+     * this only skips simulating CTAs nobody looks at.
+     */
+    bool slicedProfiling = true;
 };
 
 /** Fault-site counts after each progressive stage (Fig. 10 series). */
@@ -78,6 +91,8 @@ struct PruningResult
     StageCounts counts;
     InstrPruningStats instrStats;
     LoopPruningStats loopStats;
+    bool slicedProfiling = false;    ///< profiling run was CTA-sliced
+    std::uint64_t profiledCtas = 0;  ///< CTAs executed by the traced run
 
     /**
      * Total weight represented by the pruned space (site weights plus
@@ -102,22 +117,33 @@ struct PruningResult
  * @param image pristine global memory (for the traced profiling run).
  * @param space enumerated fault space of the launch.
  * @param config stage parameters.
+ * @param slicing optional CTA-independence proof; when it declares the
+ *        kernel independent and config.slicedProfiling is set, the
+ *        traced profiling run executes only the representatives' CTAs.
  */
 PruningResult prunePipeline(const sim::Executor &executor,
                             const sim::GlobalMemory &image,
                             const faults::FaultSpace &space,
-                            const PruningConfig &config);
+                            const PruningConfig &config,
+                            const faults::SlicingPlan *slicing = nullptr);
 
 /**
  * Build (unpruned) thread plans for the representatives chosen by
  * thread-wise grouping: one traced run, weights initialised to each
  * group's extrapolation weight.  Exposed separately so experiments can
  * drive individual stages (Figs. 5-8).
+ *
+ * @param slicing optional independence proof enabling a CTA-sliced
+ *        traced run (see PruningConfig::slicedProfiling).
+ * @param profiledCtas when non-null, receives the number of CTAs the
+ *        traced run executed.
  */
 std::vector<ThreadPlan>
 buildThreadPlans(const sim::Executor &executor,
                  const sim::GlobalMemory &image,
-                 const ThreadwisePruning &grouping);
+                 const ThreadwisePruning &grouping,
+                 const faults::SlicingPlan *slicing = nullptr,
+                 std::uint64_t *profiledCtas = nullptr);
 
 } // namespace fsp::pruning
 

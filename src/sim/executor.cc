@@ -13,6 +13,7 @@
 
 #include "sim/executor.hh"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <limits>
@@ -29,8 +30,26 @@ runStatusName(RunStatus status)
       case RunStatus::Completed: return "completed";
       case RunStatus::Crashed: return "crashed";
       case RunStatus::Hung: return "hung";
+      case RunStatus::SliceHazard: return "slice-hazard";
     }
     panic("unreachable RunStatus");
+}
+
+CtaRange
+CtaRange::contiguous(std::uint64_t begin, std::uint64_t end)
+{
+    CtaRange range;
+    for (std::uint64_t cta = begin; cta < end; ++cta)
+        range.ctas.push_back(cta);
+    return range;
+}
+
+CtaRange
+CtaRange::of(std::vector<std::uint64_t> ids)
+{
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    return {std::move(ids)};
 }
 
 namespace {
@@ -115,6 +134,7 @@ enum class StopReason : std::uint8_t
     Barrier,
     Crashed,
     Hung,
+    Hazard, ///< sliced run touched another CTA's footprint
 };
 
 /** Mutable context shared by every thread while one CTA executes. */
@@ -131,6 +151,14 @@ struct CtaContext
     FaultPlan *fault;
     TraceData *trace;
     std::string diagnostic;
+
+    /** Sliced-run hazard sets (null outside sliced injection runs). */
+    const IntervalSet *loadHazards = nullptr;
+    const IntervalSet *storeHazards = nullptr;
+
+    /** Footprint accumulators for the current CTA (null when off). */
+    std::vector<Interval> *fpReads = nullptr;
+    std::vector<Interval> *fpWrites = nullptr;
 };
 
 /** Read a source operand as raw bits appropriate for @p type. */
@@ -562,6 +590,27 @@ runThread(ThreadState &t, const Program &prog, CtaContext &ctx)
                     base + static_cast<std::uint64_t>(mem.memOffset);
                 unsigned width = typeBits(insn.type) / 8;
 
+                if (insn.space == MemSpace::Global) {
+                    // Sliced-run escape: an access into a byte range
+                    // other CTAs touch means this CTA's isolated
+                    // execution could diverge from its execution in
+                    // the full grid -- abort so the injector falls
+                    // back to a full-grid run.
+                    const IntervalSet *hazards = insn.op == Opcode::Ld
+                                                     ? ctx.loadHazards
+                                                     : ctx.storeHazards;
+                    if (hazards &&
+                        hazards->intersectsRange(addr, addr + width)) {
+                        std::ostringstream os;
+                        os << "thread " << t.globalId << " sliced-run "
+                           << (insn.op == Opcode::Ld ? "load" : "store")
+                           << " hazard at global 0x" << std::hex << addr
+                           << std::dec << ": " << insn.text;
+                        ctx.diagnostic = os.str();
+                        return StopReason::Hazard;
+                    }
+                }
+
                 AccessError err;
                 std::uint64_t value = 0;
                 if (insn.op == Opcode::Ld) {
@@ -604,6 +653,14 @@ runThread(ThreadState &t, const Program &prog, CtaContext &ctx)
                        << "): " << insn.text;
                     ctx.diagnostic = os.str();
                     return StopReason::Crashed;
+                }
+
+                if (insn.space == MemSpace::Global) {
+                    std::vector<Interval> *fp = insn.op == Opcode::Ld
+                                                    ? ctx.fpReads
+                                                    : ctx.fpWrites;
+                    if (fp)
+                        fp->push_back({addr, addr + width});
                 }
 
                 if (insn.op == Opcode::Ld) {
@@ -744,7 +801,7 @@ Executor::Executor(const Program &program, LaunchConfig config)
 
 RunResult
 Executor::run(GlobalMemory &gmem, const TraceOptions *opts,
-              FaultPlan *fault) const
+              FaultPlan *fault, const CtaSlice *slice) const
 {
     RunResult result;
     if (fault)
@@ -757,6 +814,19 @@ Executor::run(GlobalMemory &gmem, const TraceOptions *opts,
 
     if (opts && opts->perThreadProfiles)
         result.trace.profiles.resize(total_threads);
+
+    const bool want_footprints = opts && opts->ctaFootprints;
+    std::vector<Interval> fp_reads, fp_writes;
+    if (want_footprints)
+        result.trace.ctaFootprints.resize(grid.count());
+
+    // CtaRange ids are sorted/unique; walk them alongside the linear
+    // CTA enumeration so skipped CTAs cost one comparison each and the
+    // executed CTAs see exactly the state (ids, smem, thread numbers)
+    // they would in a full-grid run.
+    const std::vector<std::uint64_t> *slice_ctas =
+        slice ? &slice->range.ctas : nullptr;
+    std::size_t slice_pos = 0;
 
     SharedMemory smem(config_.sharedBytes);
     std::vector<ThreadState> threads(block_threads);
@@ -775,12 +845,30 @@ Executor::run(GlobalMemory &gmem, const TraceOptions *opts,
                    opts,
                    fault,
                    &result.trace,
-                   {}};
+                   {},
+                   slice ? slice->loadHazards : nullptr,
+                   slice ? slice->storeHazards : nullptr,
+                   nullptr,
+                   nullptr};
 
     std::uint64_t cta_linear = 0;
     for (std::uint32_t cz = 0; cz < grid.z; ++cz) {
         for (std::uint32_t cy = 0; cy < grid.y; ++cy) {
             for (std::uint32_t cx = 0; cx < grid.x; ++cx, ++cta_linear) {
+                if (slice_ctas) {
+                    if (slice_pos >= slice_ctas->size())
+                        continue; // no selected CTAs remain
+                    if ((*slice_ctas)[slice_pos] != cta_linear)
+                        continue;
+                    ++slice_pos;
+                }
+                result.executedCtas++;
+                if (want_footprints) {
+                    fp_reads.clear();
+                    fp_writes.clear();
+                    ctx.fpReads = &fp_reads;
+                    ctx.fpWrites = &fp_writes;
+                }
                 ctx.ctaidX = cx;
                 ctx.ctaidY = cy;
                 ctx.ctaidZ = cz;
@@ -816,9 +904,11 @@ Executor::run(GlobalMemory &gmem, const TraceOptions *opts,
                         any_ran = true;
                         StopReason reason = runThread(t, program_, ctx);
                         if (reason == StopReason::Crashed ||
-                            reason == StopReason::Hung) {
+                            reason == StopReason::Hung ||
+                            reason == StopReason::Hazard) {
                             // Account the partial work, then abort the
-                            // whole launch (a faulting kernel dies).
+                            // whole launch (a faulting kernel dies; a
+                            // hazard makes the caller re-run full-grid).
                             for (const auto &u : threads)
                                 result.totalDynInstrs += u.icnt;
                             if (opts && opts->perThreadProfiles) {
@@ -832,7 +922,9 @@ Executor::run(GlobalMemory &gmem, const TraceOptions *opts,
                             result.status =
                                 reason == StopReason::Crashed
                                     ? RunStatus::Crashed
-                                    : RunStatus::Hung;
+                                    : (reason == StopReason::Hung
+                                           ? RunStatus::Hung
+                                           : RunStatus::SliceHazard);
                             result.diagnostic = ctx.diagnostic;
                             return result;
                         }
@@ -849,7 +941,7 @@ Executor::run(GlobalMemory &gmem, const TraceOptions *opts,
                         t.atBarrier = false;
                 }
 
-                // CTA retired: accumulate profiles.
+                // CTA retired: accumulate profiles and footprints.
                 for (const auto &t : threads) {
                     result.totalDynInstrs += t.icnt;
                     if (opts && opts->perThreadProfiles) {
@@ -857,6 +949,11 @@ Executor::run(GlobalMemory &gmem, const TraceOptions *opts,
                         p.iCnt = t.icnt;
                         p.faultBits = t.faultBits;
                     }
+                }
+                if (want_footprints) {
+                    auto &fp = result.trace.ctaFootprints[cta_linear];
+                    fp.reads = IntervalSet::fromUnsorted(fp_reads);
+                    fp.writes = IntervalSet::fromUnsorted(fp_writes);
                 }
             }
         }

@@ -12,8 +12,10 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "sim/fault.hh"
+#include "sim/footprint.hh"
 #include "sim/launch.hh"
 #include "sim/memory.hh"
 #include "sim/program.hh"
@@ -24,18 +26,60 @@ namespace fsp::sim {
 /** Terminal status of a kernel launch. */
 enum class RunStatus : std::uint8_t
 {
-    Completed, ///< every thread retired normally
-    Crashed,   ///< a thread performed an invalid memory access
-    Hung,      ///< a thread exceeded its dynamic-instruction budget
+    Completed,   ///< every thread retired normally
+    Crashed,     ///< a thread performed an invalid memory access
+    Hung,        ///< a thread exceeded its dynamic-instruction budget
+    SliceHazard, ///< a sliced run touched another CTA's footprint
 };
 
 std::string runStatusName(RunStatus status);
+
+/**
+ * A subset of a launch's CTAs, identified by linear CTA id (the
+ * cz-major order in which the executor schedules CTAs).  Ids are kept
+ * sorted and unique; ids beyond the grid are ignored.
+ */
+struct CtaRange
+{
+    std::vector<std::uint64_t> ctas;
+
+    /** Range containing a single CTA. */
+    static CtaRange single(std::uint64_t cta) { return {{cta}}; }
+
+    /** Half-open contiguous range [begin, end). */
+    static CtaRange contiguous(std::uint64_t begin, std::uint64_t end);
+
+    /** Arbitrary id list; sorted and deduplicated. */
+    static CtaRange of(std::vector<std::uint64_t> ids);
+};
+
+/**
+ * Scope a run to a CTA subset, optionally guarded by hazard sets.
+ *
+ * The executor runs exactly the CTAs in @p range, in the same order
+ * and with the same thread numbering as a full-grid run -- for CTAs
+ * whose inputs are untouched by the skipped CTAs, execution is
+ * bit-identical to their execution within the full grid.
+ *
+ * The hazard sets make that safe under fault injection: if a load
+ * touches @p loadHazards (bytes other CTAs write) or a store touches
+ * @p storeHazards (bytes other CTAs read or write), the run aborts
+ * with RunStatus::SliceHazard so the caller can fall back to a
+ * full-grid run instead of silently diverging from it.
+ */
+struct CtaSlice
+{
+    CtaRange range;
+    const IntervalSet *loadHazards = nullptr;  ///< may be null
+    const IntervalSet *storeHazards = nullptr; ///< may be null
+};
 
 /** Result of one simulated kernel launch. */
 struct RunResult
 {
     RunStatus status = RunStatus::Completed;
     std::uint64_t totalDynInstrs = 0; ///< across all threads
+    std::uint64_t executedCtas = 0;   ///< CTAs actually run
     std::string diagnostic;           ///< crash/hang detail (human readable)
     TraceData trace;                  ///< populated per TraceOptions
 };
@@ -60,9 +104,11 @@ class Executor
      * @param gmem global memory image, mutated in place.
      * @param opts optional trace collection.
      * @param fault optional single-bit fault to apply.
+     * @param slice optional CTA subset to execute (see CtaSlice).
      */
     RunResult run(GlobalMemory &gmem, const TraceOptions *opts = nullptr,
-                  FaultPlan *fault = nullptr) const;
+                  FaultPlan *fault = nullptr,
+                  const CtaSlice *slice = nullptr) const;
 
     const LaunchConfig &config() const { return config_; }
     const Program &program() const { return program_; }

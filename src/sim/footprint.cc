@@ -1,0 +1,152 @@
+/**
+ * @file
+ * IntervalSet implementation.
+ */
+
+#include "sim/footprint.hh"
+
+#include <algorithm>
+
+namespace fsp::sim {
+
+void
+IntervalSet::add(std::uint64_t begin, std::uint64_t end)
+{
+    if (begin >= end)
+        return;
+
+    // First range whose end reaches begin (merge candidate; adjacent
+    // ranges coalesce too, hence >=).
+    auto first = std::lower_bound(
+        ranges_.begin(), ranges_.end(), begin,
+        [](const Interval &iv, std::uint64_t v) { return iv.end < v; });
+
+    auto it = first;
+    while (it != ranges_.end() && it->begin <= end) {
+        begin = std::min(begin, it->begin);
+        end = std::max(end, it->end);
+        ++it;
+    }
+    it = ranges_.erase(first, it);
+    ranges_.insert(it, Interval{begin, end});
+}
+
+IntervalSet
+IntervalSet::fromUnsorted(std::vector<Interval> raw)
+{
+    std::erase_if(raw, [](const Interval &iv) { return iv.empty(); });
+    std::sort(raw.begin(), raw.end(),
+              [](const Interval &a, const Interval &b) {
+                  return a.begin < b.begin;
+              });
+
+    IntervalSet out;
+    out.ranges_.reserve(raw.size());
+    for (const Interval &iv : raw) {
+        if (!out.ranges_.empty() && iv.begin <= out.ranges_.back().end) {
+            out.ranges_.back().end =
+                std::max(out.ranges_.back().end, iv.end);
+        } else {
+            out.ranges_.push_back(iv);
+        }
+    }
+    return out;
+}
+
+std::uint64_t
+IntervalSet::totalBytes() const
+{
+    std::uint64_t total = 0;
+    for (const Interval &iv : ranges_)
+        total += iv.bytes();
+    return total;
+}
+
+bool
+IntervalSet::intersectsRange(std::uint64_t begin, std::uint64_t end) const
+{
+    if (begin >= end)
+        return false;
+    // First range whose end exceeds begin; it is the only candidate.
+    auto it = std::upper_bound(
+        ranges_.begin(), ranges_.end(), begin,
+        [](std::uint64_t v, const Interval &iv) { return v < iv.end; });
+    return it != ranges_.end() && it->begin < end;
+}
+
+bool
+IntervalSet::intersects(const IntervalSet &other) const
+{
+    auto a = ranges_.begin();
+    auto b = other.ranges_.begin();
+    while (a != ranges_.end() && b != other.ranges_.end()) {
+        if (a->end <= b->begin)
+            ++a;
+        else if (b->end <= a->begin)
+            ++b;
+        else
+            return true;
+    }
+    return false;
+}
+
+bool
+IntervalSet::containsRange(std::uint64_t begin, std::uint64_t end) const
+{
+    if (begin >= end)
+        return true;
+    auto it = std::upper_bound(
+        ranges_.begin(), ranges_.end(), begin,
+        [](std::uint64_t v, const Interval &iv) { return v < iv.end; });
+    return it != ranges_.end() && it->begin <= begin && end <= it->end;
+}
+
+IntervalSet
+IntervalSet::clipped(std::uint64_t begin, std::uint64_t end) const
+{
+    IntervalSet out;
+    if (begin >= end)
+        return out;
+    for (const Interval &iv : ranges_) {
+        if (iv.end <= begin)
+            continue;
+        if (iv.begin >= end)
+            break;
+        out.ranges_.push_back(
+            {std::max(iv.begin, begin), std::min(iv.end, end)});
+    }
+    return out;
+}
+
+void
+IntervalSet::unionWith(const IntervalSet &other)
+{
+    for (const Interval &iv : other.ranges_)
+        add(iv.begin, iv.end);
+}
+
+IntervalSet
+IntervalSet::subtract(const IntervalSet &other) const
+{
+    IntervalSet out;
+    auto cursor = other.ranges_.begin();
+    for (const Interval &iv : ranges_) {
+        std::uint64_t pos = iv.begin;
+        while (cursor != other.ranges_.end() && cursor->end <= pos)
+            ++cursor;
+        auto hole = cursor;
+        while (pos < iv.end) {
+            if (hole == other.ranges_.end() || hole->begin >= iv.end) {
+                out.ranges_.push_back({pos, iv.end});
+                break;
+            }
+            if (hole->begin > pos)
+                out.ranges_.push_back({pos, hole->begin});
+            pos = std::max(pos, hole->end);
+            ++hole;
+        }
+    }
+    return out;
+}
+
+} // namespace fsp::sim

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Byte-interval sets over the device address space, used to describe
+ * per-CTA global-memory footprints.
+ *
+ * The sliced injection engine (see DESIGN.md) needs exact byte-level
+ * reasoning about which CTAs touch which global-memory ranges: the
+ * golden run records every CTA's read and write intervals, the
+ * independence analysis intersects them, and the sliced executor
+ * consults "hazard" sets on every global access.  An IntervalSet keeps
+ * a sorted vector of disjoint half-open [begin, end) ranges, which
+ * makes membership tests a binary search and the set algebra a linear
+ * merge -- cheap enough for the executor's hot path because real
+ * kernels touch a handful of contiguous ranges per CTA.
+ */
+
+#ifndef FSP_SIM_FOOTPRINT_HH
+#define FSP_SIM_FOOTPRINT_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace fsp::sim {
+
+/** Half-open byte range [begin, end) of device addresses. */
+struct Interval
+{
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+
+    bool empty() const { return begin >= end; }
+    std::uint64_t bytes() const { return empty() ? 0 : end - begin; }
+
+    bool
+    operator==(const Interval &other) const
+    {
+        return begin == other.begin && end == other.end;
+    }
+};
+
+/** A set of bytes stored as sorted, disjoint, non-adjacent intervals. */
+class IntervalSet
+{
+  public:
+    IntervalSet() = default;
+
+    /** Insert [begin, end), merging with existing ranges. */
+    void add(std::uint64_t begin, std::uint64_t end);
+
+    /** Build from an arbitrary (unsorted, overlapping) interval list. */
+    static IntervalSet fromUnsorted(std::vector<Interval> raw);
+
+    bool empty() const { return ranges_.empty(); }
+
+    /** Number of disjoint ranges. */
+    std::size_t rangeCount() const { return ranges_.size(); }
+
+    /** Total bytes covered. */
+    std::uint64_t totalBytes() const;
+
+    /** Does any byte of [begin, end) belong to the set? */
+    bool intersectsRange(std::uint64_t begin, std::uint64_t end) const;
+
+    /** Does any byte of @p other belong to the set? */
+    bool intersects(const IntervalSet &other) const;
+
+    /** Is every byte of [begin, end) in the set? */
+    bool containsRange(std::uint64_t begin, std::uint64_t end) const;
+
+    /** The subset of bytes inside [begin, end). */
+    IntervalSet clipped(std::uint64_t begin, std::uint64_t end) const;
+
+    /** Add every byte of @p other to this set. */
+    void unionWith(const IntervalSet &other);
+
+    /** Bytes of this set that are not in @p other. */
+    IntervalSet subtract(const IntervalSet &other) const;
+
+    const std::vector<Interval> &ranges() const { return ranges_; }
+
+    bool
+    operator==(const IntervalSet &other) const
+    {
+        return ranges_ == other.ranges_;
+    }
+
+  private:
+    std::vector<Interval> ranges_;
+};
+
+/** One CTA's global-memory footprint from a fault-free run. */
+struct CtaFootprint
+{
+    IntervalSet reads;  ///< bytes loaded from global memory
+    IntervalSet writes; ///< bytes stored to global memory
+};
+
+} // namespace fsp::sim
+
+#endif // FSP_SIM_FOOTPRINT_HH

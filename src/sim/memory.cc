@@ -5,6 +5,8 @@
 
 #include "sim/memory.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace fsp::sim {
@@ -50,6 +52,8 @@ GlobalMemory::allocate(std::size_t bytes, std::size_t alignment)
     }
     bump_ = start + bytes;
     data_.resize(bump_, 0);
+    dirty_flags_.resize(
+        (bump_ + kDirtyChunkBytes - 1) / kDirtyChunkBytes, 0);
     return kBaseAddr + start;
 }
 
@@ -78,7 +82,9 @@ GlobalMemory::store(std::uint64_t addr, unsigned width, std::uint64_t value)
         return AccessError::Unmapped;
     if (!aligned(addr, width))
         return AccessError::Misaligned;
-    storeRaw(data_.data() + (addr - kBaseAddr), width, value);
+    std::size_t offset = static_cast<std::size_t>(addr - kBaseAddr);
+    storeRaw(data_.data() + offset, width, value);
+    markDirty(offset, width);
     return AccessError::None;
 }
 
@@ -86,14 +92,18 @@ void
 GlobalMemory::pokeU32(std::uint64_t addr, std::uint32_t value)
 {
     FSP_ASSERT(inBounds(addr, 4), "host poke out of bounds");
-    storeRaw(data_.data() + (addr - kBaseAddr), 4, value);
+    std::size_t offset = static_cast<std::size_t>(addr - kBaseAddr);
+    storeRaw(data_.data() + offset, 4, value);
+    markDirty(offset, 4);
 }
 
 void
 GlobalMemory::pokeU64(std::uint64_t addr, std::uint64_t value)
 {
     FSP_ASSERT(inBounds(addr, 8), "host poke out of bounds");
-    storeRaw(data_.data() + (addr - kBaseAddr), 8, value);
+    std::size_t offset = static_cast<std::size_t>(addr - kBaseAddr);
+    storeRaw(data_.data() + offset, 8, value);
+    markDirty(offset, 8);
 }
 
 void
@@ -142,6 +152,59 @@ GlobalMemory::snapshot(std::uint64_t addr, std::size_t bytes) const
                "snapshot out of bounds");
     auto first = data_.begin() + static_cast<std::ptrdiff_t>(addr - kBaseAddr);
     return {first, first + static_cast<std::ptrdiff_t>(bytes)};
+}
+
+void
+GlobalMemory::readBytes(std::uint64_t addr, std::size_t bytes,
+                        std::uint8_t *out) const
+{
+    if (bytes == 0)
+        return;
+    FSP_ASSERT(inBounds(addr, 1) && addr + bytes <= kBaseAddr + bump_,
+               "readBytes out of bounds");
+    std::memcpy(out, data_.data() + (addr - kBaseAddr), bytes);
+}
+
+std::uint64_t
+GlobalMemory::restoreFrom(const GlobalMemory &pristine)
+{
+    FSP_ASSERT(bump_ == pristine.bump_,
+               "restoreFrom: allocation layouts differ");
+    std::uint64_t restored = 0;
+    for (std::uint32_t chunk : dirty_chunks_) {
+        std::size_t offset =
+            static_cast<std::size_t>(chunk) * kDirtyChunkBytes;
+        std::size_t len = std::min(kDirtyChunkBytes, bump_ - offset);
+        std::memcpy(data_.data() + offset, pristine.data_.data() + offset,
+                    len);
+        dirty_flags_[chunk] = 0;
+        restored += len;
+    }
+    dirty_chunks_.clear();
+    return restored;
+}
+
+void
+GlobalMemory::resetDirtyTracking()
+{
+    for (std::uint32_t chunk : dirty_chunks_)
+        dirty_flags_[chunk] = 0;
+    dirty_chunks_.clear();
+}
+
+IntervalSet
+GlobalMemory::dirtyIntervals() const
+{
+    std::vector<Interval> raw;
+    raw.reserve(dirty_chunks_.size());
+    for (std::uint32_t chunk : dirty_chunks_) {
+        std::uint64_t begin =
+            static_cast<std::uint64_t>(chunk) * kDirtyChunkBytes;
+        std::uint64_t end = std::min<std::uint64_t>(
+            begin + kDirtyChunkBytes, bump_);
+        raw.push_back({kBaseAddr + begin, kBaseAddr + end});
+    }
+    return IntervalSet::fromUnsorted(std::move(raw));
 }
 
 AccessError

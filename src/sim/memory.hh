@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/footprint.hh"
+
 namespace fsp::sim {
 
 /** Result of an address check. */
@@ -33,16 +35,26 @@ enum class AccessError : std::uint8_t
  * Flat global-memory arena with a bump allocator.
  *
  * Copyable by design: fault-injection campaigns keep one pristine copy of
- * the initialised memory image and restore it (copy-assign) before every
- * injected run.  The backing store grows lazily to the allocation
- * frontier (capacity is only an upper bound), so those per-run copies
- * cost the bytes actually allocated, not the configured capacity.
+ * the initialised memory image and restore it before every injected run.
+ * The backing store grows lazily to the allocation frontier (capacity is
+ * only an upper bound), so per-run copies cost the bytes actually
+ * allocated, not the configured capacity.
+ *
+ * Device stores (and host pokes) additionally mark 256-byte chunks
+ * dirty, so restoreFrom() can revert a scratch image to a pristine one
+ * by copying only the chunks a run actually wrote -- the injection
+ * engine's dominant cost at small write footprints.  Dirty tracking is
+ * conservative at chunk granularity; dirtyIntervals() therefore
+ * over-approximates the written byte set, never under-approximates it.
  */
 class GlobalMemory
 {
   public:
     /** Lowest valid address; [0, kBaseAddr) models the null page. */
     static constexpr std::uint64_t kBaseAddr = 0x1000;
+
+    /** Dirty-tracking granularity in bytes (power of two). */
+    static constexpr std::size_t kDirtyChunkBytes = 256;
 
     /** Construct with a maximum arena capacity in bytes. */
     explicit GlobalMemory(std::size_t capacity_bytes = 1u << 24);
@@ -83,12 +95,56 @@ class GlobalMemory
     std::vector<std::uint8_t> snapshot(std::uint64_t addr,
                                        std::size_t bytes) const;
 
+    /** Copy @p bytes raw bytes starting at @p addr into @p out. */
+    void readBytes(std::uint64_t addr, std::size_t bytes,
+                   std::uint8_t *out) const;
+
+    /**
+     * Revert every dirty chunk to @p pristine's contents and clear the
+     * dirty state.  The two images must share an allocation layout
+     * (i.e. @p pristine is the image this one was copied from).
+     *
+     * @return bytes copied (0 when nothing was written since the last
+     *         reset -- restore is idempotent).
+     */
+    std::uint64_t restoreFrom(const GlobalMemory &pristine);
+
+    /** Forget all dirty marks without touching the contents. */
+    void resetDirtyTracking();
+
+    /** Has any byte been written since the last reset/restore? */
+    bool hasDirtyBytes() const { return !dirty_chunks_.empty(); }
+
+    /**
+     * Device-address intervals covering every dirty chunk (merged,
+     * clipped to the allocation frontier).  A chunk-granular superset
+     * of the bytes actually written.
+     */
+    IntervalSet dirtyIntervals() const;
+
   private:
     bool inBounds(std::uint64_t addr, unsigned width) const;
+
+    /** Mark the chunks covering @p bytes at arena @p offset dirty. */
+    void
+    markDirty(std::size_t offset, std::size_t bytes)
+    {
+        std::size_t first = offset / kDirtyChunkBytes;
+        std::size_t last = (offset + bytes - 1) / kDirtyChunkBytes;
+        for (std::size_t chunk = first; chunk <= last; ++chunk) {
+            if (!dirty_flags_[chunk]) {
+                dirty_flags_[chunk] = 1;
+                dirty_chunks_.push_back(
+                    static_cast<std::uint32_t>(chunk));
+            }
+        }
+    }
 
     std::vector<std::uint8_t> data_; ///< sized to the frontier
     std::size_t capacity_;           ///< maximum arena bytes
     std::size_t bump_ = 0;
+    std::vector<std::uint8_t> dirty_flags_;   ///< one flag per chunk
+    std::vector<std::uint32_t> dirty_chunks_; ///< dirty chunk indices
 };
 
 /** Per-CTA software-managed scratchpad. */

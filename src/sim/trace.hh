@@ -22,6 +22,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "sim/footprint.hh"
+
 namespace fsp::sim {
 
 /** Summary of one thread's fault-free execution. */
@@ -44,6 +46,12 @@ struct TraceOptions
     /** Collect a ThreadProfile for every thread in the launch. */
     bool perThreadProfiles = false;
 
+    /**
+     * Collect per-CTA global-memory read/write footprints (the input
+     * to the CTA-independence analysis behind sliced injection).
+     */
+    bool ctaFootprints = false;
+
     /** Collect full DynRecord streams for these global thread ids. */
     std::unordered_set<std::uint64_t> traceThreads;
 };
@@ -53,6 +61,7 @@ struct TraceData
 {
     std::vector<ThreadProfile> profiles; ///< indexed by global thread id
     std::unordered_map<std::uint64_t, std::vector<DynRecord>> dynTraces;
+    std::vector<CtaFootprint> ctaFootprints; ///< indexed by linear CTA id
 };
 
 } // namespace fsp::sim

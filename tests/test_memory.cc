@@ -116,6 +116,146 @@ TEST(SharedMemory, BoundsCheckedAndClearable)
     EXPECT_EQ(v, 0u);
 }
 
+TEST(DirtyTracking, StartsCleanAndMarksOnStore)
+{
+    GlobalMemory m(1 << 14);
+    std::uint64_t a = m.allocate(1024);
+    EXPECT_FALSE(m.hasDirtyBytes());
+    EXPECT_TRUE(m.dirtyIntervals().empty());
+
+    ASSERT_EQ(m.store(a + 4, 4, 0xAABBCCDDu), AccessError::None);
+    EXPECT_TRUE(m.hasDirtyBytes());
+    auto dirty = m.dirtyIntervals();
+    ASSERT_EQ(dirty.rangeCount(), 1u);
+    // Chunk-granular superset of the written word.
+    EXPECT_TRUE(dirty.containsRange(a + 4, a + 8));
+    EXPECT_EQ(dirty.totalBytes() % GlobalMemory::kDirtyChunkBytes, 0u);
+}
+
+TEST(DirtyTracking, PokesMarkDirtyToo)
+{
+    GlobalMemory m(1 << 14);
+    std::uint64_t a = m.allocate(64);
+    m.pokeU32(a, 1);
+    EXPECT_TRUE(m.hasDirtyBytes());
+    m.resetDirtyTracking();
+    EXPECT_FALSE(m.hasDirtyBytes());
+    m.pokeU64(a + 8, 2);
+    EXPECT_TRUE(m.hasDirtyBytes());
+    m.resetDirtyTracking();
+    m.pokeF32(a + 16, 1.5f);
+    EXPECT_TRUE(m.hasDirtyBytes());
+    m.resetDirtyTracking();
+    m.pokeF64(a + 24, 2.5);
+    EXPECT_TRUE(m.hasDirtyBytes());
+}
+
+TEST(DirtyTracking, WriteStraddlingChunkBoundaryMarksBothChunks)
+{
+    constexpr std::size_t kChunk = GlobalMemory::kDirtyChunkBytes;
+    GlobalMemory m(1 << 14);
+    std::uint64_t a = m.allocate(4 * kChunk, kChunk);
+
+    // An 8-byte write whose last 4 bytes land in the next chunk.
+    // (Device stores are naturally aligned and cannot straddle; host
+    // pokes are only bounds-checked, so they can.)
+    std::uint64_t straddle = a + kChunk * 2 - 4;
+    GlobalMemory pristine = m;
+    pristine.resetDirtyTracking();
+    m.resetDirtyTracking();
+
+    m.pokeU64(straddle, ~0ull);
+    auto dirty = m.dirtyIntervals();
+    EXPECT_TRUE(dirty.containsRange(straddle, straddle + 8));
+    EXPECT_EQ(dirty.totalBytes(), 2 * kChunk); // both chunks, merged
+
+    EXPECT_EQ(m.restoreFrom(pristine), 2 * kChunk);
+    EXPECT_EQ(m.peekU64(straddle), 0u);
+    EXPECT_FALSE(m.hasDirtyBytes());
+}
+
+TEST(DirtyTracking, AdjacentChunksMergeIntoOneInterval)
+{
+    constexpr std::size_t kChunk = GlobalMemory::kDirtyChunkBytes;
+    GlobalMemory m(1 << 14);
+    std::uint64_t a = m.allocate(8 * kChunk, kChunk);
+    m.resetDirtyTracking();
+
+    // Two stores in adjacent chunks, issued out of order.
+    ASSERT_EQ(m.store(a + kChunk, 4, 1), AccessError::None);
+    ASSERT_EQ(m.store(a, 4, 2), AccessError::None);
+    auto dirty = m.dirtyIntervals();
+    ASSERT_EQ(dirty.rangeCount(), 1u);
+    EXPECT_EQ(dirty.totalBytes(), 2 * kChunk);
+
+    // A distant store stays a separate interval.
+    ASSERT_EQ(m.store(a + 5 * kChunk, 4, 3), AccessError::None);
+    EXPECT_EQ(m.dirtyIntervals().rangeCount(), 2u);
+}
+
+TEST(DirtyTracking, RestoreOfZeroWriteRunCopiesNothing)
+{
+    GlobalMemory m(1 << 14);
+    m.allocate(1024);
+    GlobalMemory pristine = m;
+    m.resetDirtyTracking();
+    EXPECT_EQ(m.restoreFrom(pristine), 0u);
+    EXPECT_EQ(m.restoreFrom(pristine), 0u);
+}
+
+TEST(DirtyTracking, RestoreAfterRestoreIsIdempotent)
+{
+    GlobalMemory m(1 << 14);
+    std::uint64_t a = m.allocate(1024);
+    m.pokeU32(a, 41);
+    GlobalMemory pristine = m;
+    m.resetDirtyTracking();
+
+    m.pokeU32(a, 42);
+    std::uint64_t first = m.restoreFrom(pristine);
+    EXPECT_GT(first, 0u);
+    EXPECT_EQ(m.peekU32(a), 41u);
+    // Nothing written since: the second restore is a no-op.
+    EXPECT_EQ(m.restoreFrom(pristine), 0u);
+    EXPECT_EQ(m.peekU32(a), 41u);
+}
+
+TEST(DirtyTracking, MarksSurviveAbortedMutationSequences)
+{
+    // A crash-aborted run leaves whatever it wrote before the crash;
+    // the marks must cover those bytes so restore reverts them.
+    GlobalMemory m(1 << 14);
+    std::uint64_t a = m.allocate(1024);
+    GlobalMemory pristine = m;
+    m.resetDirtyTracking();
+
+    ASSERT_EQ(m.store(a + 128, 4, 0xDEADu), AccessError::None);
+    // The "crash": an out-of-bounds store that mutates nothing.
+    std::uint64_t v = 0;
+    EXPECT_EQ(m.load(a + 100000, 4, v), AccessError::Unmapped);
+
+    EXPECT_TRUE(m.hasDirtyBytes());
+    EXPECT_GT(m.restoreFrom(pristine), 0u);
+    EXPECT_EQ(m.peekU32(a + 128), 0u);
+}
+
+TEST(DirtyTracking, CopyCarriesDirtyStateAndRestoresIndependently)
+{
+    GlobalMemory m(1 << 14);
+    std::uint64_t a = m.allocate(512);
+    GlobalMemory pristine = m;
+    m.resetDirtyTracking();
+    m.pokeU32(a, 7);
+
+    GlobalMemory copy = m;
+    EXPECT_TRUE(copy.hasDirtyBytes());
+    EXPECT_GT(copy.restoreFrom(pristine), 0u);
+    EXPECT_EQ(copy.peekU32(a), 0u);
+    // The original still holds its value and its own dirty state.
+    EXPECT_EQ(m.peekU32(a), 7u);
+    EXPECT_TRUE(m.hasDirtyBytes());
+}
+
 TEST(ParamBuffer, OffsetsAndAlignment)
 {
     ParamBuffer p;

@@ -19,6 +19,9 @@
  *   --pilots N         representatives per thread group (default 1)
  *   --workers N        campaign worker threads (default: hardware);
  *                      results are bit-identical at any worker count
+ *   --no-slicing       force full-grid injection runs even when the
+ *                      kernel's CTAs are independent (A/B validation);
+ *                      outcomes are bit-identical either way
  */
 
 #include <cstdlib>
@@ -57,7 +60,7 @@ usage()
         "commands: list | profile | groups | disasm | loops | prune |"
         " campaign\n"
         "options:  --paper --seed N --baseline N --loop-iters N\n"
-        "          --bit-samples N --pilots N --workers N\n";
+        "          --bit-samples N --pilots N --workers N --no-slicing\n";
     return 2;
 }
 
@@ -111,6 +114,9 @@ parseArgs(int argc, char **argv, Options &opts)
                 return false;
             opts.campaign.workers =
                 static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        } else if (arg == "--no-slicing") {
+            opts.campaign.allowSlicing = false;
+            opts.pruning.slicedProfiling = false;
         } else {
             std::cerr << "unknown option '" << arg << "'\n";
             return false;
@@ -279,20 +285,23 @@ cmdCampaign(const Options &opts)
     if (!spec)
         return 1;
     analysis::KernelAnalysis ka(*spec, opts.scale, opts.seed + 41);
+    if (!opts.campaign.allowSlicing)
+        ka.setSlicingEnabled(false);
     auto pruned = ka.prune(opts.pruning);
+    std::cout << spec->fullName() << "\n  engine: "
+              << ka.injector().slicingDescription() << "\n";
     auto estimate = ka.runPrunedCampaign(pruned, opts.campaign);
-    std::cout << spec->fullName() << "\n  pruned estimate ("
-              << estimate.runs() << " runs): " << estimate.summary()
-              << "\n";
+    std::cout << "  pruned estimate (" << estimate.runs()
+              << " runs): " << estimate.summary() << "\n";
     if (opts.baseline > 0) {
         auto baseline =
             ka.runBaseline(opts.baseline, opts.seed + 17, opts.campaign);
         std::cout << "  random baseline (" << baseline.runs
                   << " runs): " << baseline.dist.summary() << "\n";
     }
-    std::cout << "  throughput: "
-              << ka.parallelCampaign(opts.campaign).lastStats().summary()
-              << "\n";
+    const auto &stats = ka.parallelCampaign(opts.campaign).lastStats();
+    std::cout << "  throughput: " << stats.summary() << "\n"
+              << "  injection:  " << stats.injection.summary() << "\n";
     return 0;
 }
 
