@@ -15,9 +15,22 @@
  * forced full-grid runs per kernel (identical outcomes); the sliced
  * rows report restored bytes and executed CTAs per run alongside
  * sites/s, which is where the engine's speedup shows up.
+ *
+ * BM_CheckpointReplay measures the orthogonal temporal axis: the same
+ * site list classified with golden-run checkpoints on vs off
+ * (identical outcomes).  The `late` rows map each site's dynamic index
+ * into the late half of its thread's golden trace -- where temporal
+ * replay saves the most re-execution -- while the plain rows keep the
+ * uniform sample.
+ *
+ * The sampled site-list length for the campaign/engine benchmarks is
+ * overridable via the FSP_BENCH_SITES environment variable.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <tuple>
 
 #include "analysis/analyzer.hh"
 #include "apps/app.hh"
@@ -232,6 +245,89 @@ BENCHMARK_CAPTURE(BM_CampaignEngine, PathFinder_sliced, "PathFinder/K1",
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 BENCHMARK_CAPTURE(BM_CampaignEngine, PathFinder_fullgrid, "PathFinder/K1",
                   false)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/**
+ * Checkpointed temporal replay vs from-start execution for one kernel.
+ * The same site list is classified with golden-run checkpoints either
+ * used (on) or disabled (off); outcomes are identical, only the golden
+ * prefix each run re-executes changes.  With @p late, each site's
+ * dynamic index is remapped into the late half of its thread's golden
+ * trace, the regime where replay saves the most work; sites are
+ * processed in (cta, thread, dynIndex) order either way, matching the
+ * parallel engine's chunk-local ordering.
+ */
+void
+BM_CheckpointReplay(benchmark::State &state, const char *kernel,
+                    bool checkpoints, bool late)
+{
+    const apps::KernelSpec *spec = apps::findKernel(kernel);
+    apps::KernelSetup setup = spec->setup(apps::Scale::Small, 42);
+    faults::InjectorOptions options;
+    options.checkpoints = checkpoints;
+    faults::Injector injector(setup.program, setup.launch, setup.memory,
+                              setup.outputs, options);
+    auto sites = sampledSites(kernel);
+    if (late) {
+        // Replace the uniform sample with equally many valid sites
+        // drawn from the late half of each thread's golden trace.
+        // (Remapping indices blindly could land on instructions with
+        // no destination register, where the fault never fires.)
+        sim::Executor executor(setup.program, setup.launch);
+        faults::FaultSpace space(executor, setup.memory);
+        Prng prng(11);
+        std::vector<faults::FaultSite> late_sites;
+        for (int round = 0;
+             round < 16 && late_sites.size() < sites.size(); ++round) {
+            for (auto &s : space.sampleSites(sites.size() * 2, prng)) {
+                if (2 * s.dynIndex >= injector.goldenICnt(s.thread) &&
+                    late_sites.size() < sites.size())
+                    late_sites.push_back(s);
+            }
+        }
+        sites = std::move(late_sites);
+    }
+    const unsigned block = setup.launch.block.count();
+    std::sort(sites.begin(), sites.end(),
+              [block](const faults::FaultSite &a,
+                      const faults::FaultSite &b) {
+                  return std::tuple(a.thread / block, a.thread,
+                                    a.dynIndex) <
+                         std::tuple(b.thread / block, b.thread,
+                                    b.dynIndex);
+              });
+
+    std::uint64_t runs = 0;
+    for (auto _ : state) {
+        auto result = faults::runSiteList(injector, sites);
+        benchmark::DoNotOptimize(result.runs);
+        runs += result.runs;
+    }
+
+    const faults::InjectionStats &stats = injector.stats();
+    auto per_run = [&](std::uint64_t total) {
+        return stats.injections > 0
+                   ? static_cast<double>(total) /
+                         static_cast<double>(stats.injections)
+                   : 0.0;
+    };
+    state.counters["sites/s"] = benchmark::Counter(
+        static_cast<double>(runs), benchmark::Counter::kIsRate);
+    state.counters["restores/run"] = per_run(stats.checkpointRestores);
+    state.counters["skipped/run"] = per_run(stats.skippedDynInstrs);
+    state.counters["ckpt"] =
+        static_cast<double>(injector.checkpointsActive());
+}
+BENCHMARK_CAPTURE(BM_CheckpointReplay, GEMM_ckpt, "GEMM/K1", true, false)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK_CAPTURE(BM_CheckpointReplay, GEMM_nockpt, "GEMM/K1", false,
+                  false)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK_CAPTURE(BM_CheckpointReplay, GEMM_late_ckpt, "GEMM/K1", true,
+                  true)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK_CAPTURE(BM_CheckpointReplay, GEMM_late_nockpt, "GEMM/K1",
+                  false, true)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void

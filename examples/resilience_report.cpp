@@ -12,14 +12,17 @@
  * Usage: resilience_report [App/Kx] [--paper] [--baseline N]
  *                          [--loop-iters N] [--bit-samples N]
  *                          [--seed N] [--workers N] [--chunk N]
- *                          [--no-slicing]
+ *                          [--no-slicing] [--no-checkpoints] [--json]
  *
  * --workers selects the parallel campaign engine's worker count
  * (default: hardware threads); results are bit-identical to a serial
  * campaign at any worker count, so parallelism only changes the
  * wall-clock and throughput report.  --no-slicing forces full-grid
- * injection runs even for CTA-independent kernels; outcomes are
- * bit-identical with or without it.
+ * injection runs even for CTA-independent kernels; --no-checkpoints
+ * executes every injection run from instruction zero instead of
+ * resuming from golden-run checkpoints; outcomes are bit-identical
+ * with or without either.  --json replaces the report with a single
+ * machine-readable document on stdout.
  */
 
 #include <cstdlib>
@@ -28,6 +31,7 @@
 
 #include "analysis/analyzer.hh"
 #include "apps/app.hh"
+#include "util/json.hh"
 #include "util/table.hh"
 
 namespace {
@@ -39,10 +43,26 @@ usage()
                  "[--baseline N] [--loop-iters N]\n"
                  "                         [--bit-samples N] [--seed N] "
                  "[--workers N] [--chunk N]\n"
-                 "                         [--no-slicing]\n"
+                 "                         [--no-slicing] "
+                 "[--no-checkpoints] [--json]\n"
                  "kernels:\n";
     for (const auto &spec : fsp::apps::allKernels())
         std::cerr << "  " << spec.fullName() << "\n";
+}
+
+/** Emit an outcome distribution as a named JSON object. */
+void
+writeProfile(fsp::JsonWriter &json, std::string_view key,
+             const fsp::faults::OutcomeDist &dist)
+{
+    using fsp::faults::Outcome;
+    json.beginObject(key);
+    json.field("runs", dist.runs());
+    json.field("totalWeight", dist.total());
+    json.field("masked", dist.fraction(Outcome::Masked));
+    json.field("sdc", dist.fraction(Outcome::SDC));
+    json.field("other", dist.fraction(Outcome::Other));
+    json.endObject();
 }
 
 } // namespace
@@ -55,6 +75,7 @@ main(int argc, char **argv)
     std::string name = "PathFinder/K1";
     apps::Scale scale = apps::Scale::Small;
     std::size_t baseline_runs = 2000;
+    bool json_output = false;
     pruning::PruningConfig config;
     faults::CampaignOptions campaign; // workers=0: hardware default
 
@@ -87,6 +108,11 @@ main(int argc, char **argv)
         } else if (arg == "--no-slicing") {
             campaign.allowSlicing = false;
             config.slicedProfiling = false;
+        } else if (arg == "--no-checkpoints") {
+            campaign.allowCheckpoints = false;
+            config.checkpoints = false;
+        } else if (arg == "--json") {
+            json_output = true;
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
@@ -104,6 +130,61 @@ main(int argc, char **argv)
     analysis::KernelAnalysis ka(*spec, scale);
     if (!campaign.allowSlicing)
         ka.setSlicingEnabled(false);
+    if (!campaign.allowCheckpoints)
+        ka.setCheckpointsEnabled(false);
+
+    if (json_output) {
+        const auto &space = ka.space();
+        auto pruned = ka.prune(config);
+        auto estimate = ka.runPrunedCampaign(pruned, campaign);
+        auto pruned_stats = ka.parallelCampaign(campaign).lastStats();
+        faults::CampaignResult baseline;
+        if (baseline_runs > 0)
+            baseline =
+                ka.runBaseline(baseline_runs, config.seed + 17, campaign);
+
+        JsonWriter json(std::cout);
+        json.beginObject();
+        json.field("kernel", spec->fullName());
+        json.field("suite", spec->suite);
+        json.field("scale", apps::scaleName(scale));
+        json.field("seed", config.seed);
+        json.beginObject("faultSpace");
+        json.field("threads", space.threadCount());
+        json.field("dynInstrs", space.totalDynInstrs());
+        json.field("sites", space.totalSites());
+        json.endObject();
+        json.beginObject("engine");
+        json.field("slicing", ka.injector().slicingDescription());
+        json.field("checkpoints", ka.injector().checkpointDescription());
+        json.field("slicingActive", ka.injector().slicingActive());
+        json.field("checkpointsActive",
+                   ka.injector().checkpointsActive());
+        json.endObject();
+        json.beginObject("stageCounts");
+        json.field("exhaustive", pruned.counts.exhaustive);
+        json.field("afterThread", pruned.counts.afterThread);
+        json.field("afterInstruction", pruned.counts.afterInstruction);
+        json.field("afterLoop", pruned.counts.afterLoop);
+        json.field("afterBit", pruned.counts.afterBit);
+        json.endObject();
+        writeProfile(json, "prunedEstimate", estimate);
+        if (baseline_runs > 0)
+            writeProfile(json, "randomBaseline", baseline.dist);
+        json.beginObject("throughput");
+        json.field("workers",
+                   static_cast<std::uint64_t>(pruned_stats.workers));
+        json.field("sites", pruned_stats.sites);
+        json.field("elapsedSeconds", pruned_stats.elapsedSeconds);
+        json.field("sitesPerSecond", pruned_stats.sitesPerSecond);
+        json.endObject();
+        json.beginObject("injectionStats");
+        faults::writeInjectionStats(json, pruned_stats.injection);
+        json.endObject();
+        json.endObject();
+        return 0;
+    }
+
     std::cout << "=============================================\n"
               << " Resilience report: " << spec->suite << " "
               << spec->fullName() << " (" << spec->kernelName << ")\n"
@@ -121,6 +202,8 @@ main(int argc, char **argv)
 
     std::cout << "    engine:         " << ka.injector().slicingDescription()
               << "\n"
+              << "    replay:         "
+              << ka.injector().checkpointDescription() << "\n"
               << "    independence:   " << ka.slicingPlan().reason()
               << "\n\n";
 

@@ -27,8 +27,10 @@ faults::Injector &
 KernelAnalysis::injector()
 {
     if (!injector_) {
+        faults::InjectorOptions options;
+        options.checkpoints = checkpoints_enabled_;
         injector_.emplace(setup_.program, setup_.launch, setup_.memory,
-                          setup_.outputs);
+                          setup_.outputs, options);
     }
     return *injector_;
 }
@@ -42,9 +44,22 @@ KernelAnalysis::setSlicingEnabled(bool enabled)
     parallel_.reset();
 }
 
+void
+KernelAnalysis::setCheckpointsEnabled(bool enabled)
+{
+    checkpoints_enabled_ = enabled;
+    if (injector_)
+        injector_->setCheckpointsEnabled(enabled);
+    parallel_.reset();
+}
+
 pruning::PruningResult
 KernelAnalysis::prune(const pruning::PruningConfig &config)
 {
+    // The pipeline itself never injects, but the campaigns that follow
+    // it do: honour the config's A/B switch before they run.
+    if (!config.checkpoints)
+        setCheckpointsEnabled(false);
     const faults::SlicingPlan *slicing =
         injector().slicingEnabled() ? &injector().slicingPlan() : nullptr;
     return pruning::prunePipeline(*executor_, setup_.memory, space(),
@@ -93,12 +108,14 @@ KernelAnalysis::parallelCampaign(const faults::CampaignOptions &options)
 {
     if (!parallel_ || parallel_workers_ != options.workers ||
         parallel_chunk_ != options.chunkSize ||
-        parallel_slicing_ != options.allowSlicing) {
+        parallel_slicing_ != options.allowSlicing ||
+        parallel_checkpoints_ != options.allowCheckpoints) {
         parallel_ = std::make_unique<faults::ParallelCampaign>(
             injector(), options);
         parallel_workers_ = options.workers;
         parallel_chunk_ = options.chunkSize;
         parallel_slicing_ = options.allowSlicing;
+        parallel_checkpoints_ = options.allowCheckpoints;
     }
     return *parallel_;
 }

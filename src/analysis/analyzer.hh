@@ -70,6 +70,17 @@ class KernelAnalysis
     }
     /** @} */
 
+    /** @{ Checkpointed-replay controls (forwarded to the injector). */
+    /**
+     * Enable/disable checkpointed temporal replay.  Disabling before
+     * the first injector() use also skips checkpoint recording.
+     */
+    void setCheckpointsEnabled(bool enabled);
+
+    /** Will injection runs resume from checkpoints? */
+    bool checkpointsActive() { return injector().checkpointsActive(); }
+    /** @} */
+
     /**
      * Run the progressive pruning pipeline.  The injector's slicing
      * plan scopes the traced profiling run to the representatives'
@@ -119,6 +130,8 @@ class KernelAnalysis
     unsigned parallel_workers_ = 0;
     std::size_t parallel_chunk_ = 0;
     bool parallel_slicing_ = true;
+    bool parallel_checkpoints_ = true;
+    bool checkpoints_enabled_ = true;
 };
 
 } // namespace fsp::analysis

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Golden-run checkpoint recording and lookup.
+ */
+
+#include "faults/checkpoint.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace fsp::faults {
+
+CheckpointStore
+CheckpointStore::record(const sim::Executor &executor,
+                        const sim::GlobalMemory &image,
+                        const std::vector<std::uint64_t> &goldenICnt,
+                        const CheckpointOptions &options)
+{
+    const sim::LaunchConfig &config = executor.config();
+    const std::uint64_t block_threads = config.block.count();
+    const std::uint64_t cta_count = config.grid.count();
+    FSP_ASSERT(goldenICnt.size() == cta_count * block_threads,
+               "golden iCnt vector does not match the launch");
+
+    CheckpointStore store;
+    store.ctas_.resize(cta_count);
+
+    // One scratch image for the whole grid: CTAs execute sequentially,
+    // so after CTA c-1 retires the image is exactly the golden memory
+    // state CTA c started from.  Dirty tracking is reset per CTA to
+    // keep each delta CTA-local.
+    sim::GlobalMemory scratch = image;
+    scratch.resetDirtyTracking();
+
+    for (std::uint64_t cta = 0; cta < cta_count; ++cta) {
+        std::uint64_t cta_total = 0;
+        for (std::uint64_t t = 0; t < block_threads; ++t)
+            cta_total += goldenICnt[cta * block_threads + t];
+
+        const std::uint64_t interval =
+            std::max<std::uint64_t>(options.minInterval,
+                                    cta_total /
+                                        std::max(1u, options.perCta));
+
+        scratch.resetDirtyTracking();
+        sim::MachineState ms = executor.initialCtaState(cta);
+        PerCta &per_cta = store.ctas_[cta];
+        std::uint64_t watermark = interval;
+
+        while (true) {
+            std::string diagnostic;
+            sim::CtaStepStatus status = executor.stepCta(
+                ms, scratch, watermark, nullptr, nullptr, &diagnostic);
+            if (status == sim::CtaStepStatus::Watermark) {
+                // Skip the degenerate capture at the very end of the
+                // CTA: resuming there saves nothing.
+                if (ms.executedDynInstrs > 0 &&
+                    ms.executedDynInstrs < cta_total) {
+                    per_cta.checkpoints.push_back(
+                        {ms, scratch.captureDelta(),
+                         ms.executedDynInstrs});
+                }
+                watermark = ms.executedDynInstrs + interval;
+                continue;
+            }
+            if (status == sim::CtaStepStatus::Retired) {
+                per_cta.finalDelta = scratch.captureDelta();
+                per_cta.finalDynInstrs = ms.executedDynInstrs;
+                break;
+            }
+            // The caller verified the golden run completes before
+            // recording; any abort here is an engine bug.
+            fatal("checkpoint recording aborted in CTA ", cta, ": ",
+                  diagnostic);
+        }
+    }
+    return store;
+}
+
+const CtaCheckpoint *
+CheckpointStore::find(std::uint64_t cta, std::uint64_t localThread,
+                      std::uint64_t dynIndex) const
+{
+    if (cta >= ctas_.size())
+        return nullptr;
+    const CtaCheckpoint *best = nullptr;
+    for (const CtaCheckpoint &cp : ctas_[cta].checkpoints) {
+        // Per-thread icnt is monotone across capture points.
+        if (cp.state.threads[localThread].icnt > dynIndex)
+            break;
+        best = &cp;
+    }
+    return best;
+}
+
+std::size_t
+CheckpointStore::totalCheckpoints() const
+{
+    std::size_t total = 0;
+    for (const PerCta &per_cta : ctas_)
+        total += per_cta.checkpoints.size();
+    return total;
+}
+
+std::uint64_t
+CheckpointStore::byteSize() const
+{
+    std::uint64_t total = 0;
+    for (const PerCta &per_cta : ctas_) {
+        for (const CtaCheckpoint &cp : per_cta.checkpoints)
+            total += cp.state.byteSize() + cp.delta.byteSize();
+        total += per_cta.finalDelta.byteSize();
+    }
+    return total;
+}
+
+} // namespace fsp::faults

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Temporal checkpoints of the golden run for checkpointed replay.
+ *
+ * Every injected run executes the golden instruction stream verbatim
+ * until the fault's dynamic index fires -- everything before that point
+ * is recomputation.  CheckpointStore removes it: while the golden run
+ * executes, the store records periodic per-CTA capture points (the
+ * CTA's MachineState plus a MemoryDelta of the global-memory chunks
+ * dirtied so far).  Injector::inject() then restores the latest
+ * checkpoint at-or-before the fault's dynamic index and executes
+ * forward only, composing with CTA slicing so a late-trace fault in an
+ * independent CTA touches a small fraction of the original work.
+ *
+ * Why replaying from a golden checkpoint is exact: a faulty run is
+ * bit-identical to the golden run up to the instruction the fault
+ * targets (the only perturbation is the single bit flip).  The
+ * checkpoint chosen satisfies state.threads[t].icnt <= dynIndex for the
+ * fault thread, so the fault instruction is still ahead of the resume
+ * point and fires during replay exactly as it would from scratch.  The
+ * captured MemoryDelta holds whole 256-byte chunks and may include
+ * bytes of other CTAs' regions (chunk bleed); for sliced replay those
+ * bytes lie in the CTA's load-hazard set, which both the hazard guard
+ * and the output comparison already exclude, and for full-grid replay
+ * the deltas of all preceding CTAs are applied first, reproducing the
+ * exact golden image at the capture point.
+ *
+ * The store is immutable after record() and is shared across the
+ * parallel campaign's worker clones via shared_ptr; resuming copies
+ * the stored MachineState, never mutates it.
+ */
+
+#ifndef FSP_FAULTS_CHECKPOINT_HH
+#define FSP_FAULTS_CHECKPOINT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/executor.hh"
+#include "sim/machine_state.hh"
+#include "sim/memory.hh"
+
+namespace fsp::faults {
+
+/** Recording cadence for CheckpointStore::record. */
+struct CheckpointOptions
+{
+    /** Target number of capture points per CTA. */
+    unsigned perCta = 16;
+
+    /**
+     * Minimum dynamic instructions between capture points; CTAs
+     * shorter than this get no checkpoints (replaying them from the
+     * start is already cheap).
+     */
+    std::uint64_t minInterval = 256;
+};
+
+/** One capture point: CTA machine state + memory written so far. */
+struct CtaCheckpoint
+{
+    sim::MachineState state; ///< resumable CTA execution state
+    sim::MemoryDelta delta;  ///< chunks this CTA dirtied by this point
+    std::uint64_t ctaDynInstrs = 0; ///< == state.executedDynInstrs
+};
+
+/**
+ * Periodic golden-run checkpoints for every CTA of a launch, plus each
+ * CTA's final memory delta (needed to reconstruct the pre-CTA memory
+ * image for full-grid replay of later CTAs).
+ */
+class CheckpointStore
+{
+  public:
+    /**
+     * Re-execute the golden run CTA by CTA, capturing checkpoints.
+     *
+     * @param executor the injection executor (budgeted config).
+     * @param image pristine initialised memory image.
+     * @param goldenICnt per-thread golden dynamic instruction counts
+     *        (sets each CTA's capture interval).
+     * @param options recording cadence.
+     */
+    static CheckpointStore record(const sim::Executor &executor,
+                                  const sim::GlobalMemory &image,
+                                  const std::vector<std::uint64_t> &goldenICnt,
+                                  const CheckpointOptions &options = {});
+
+    /**
+     * Latest checkpoint of @p cta usable for a fault at @p dynIndex on
+     * local thread @p localThread, i.e. the last capture point where
+     * that thread had executed at most @p dynIndex instructions.
+     * Null when no checkpoint qualifies (resume from the start).
+     */
+    const CtaCheckpoint *find(std::uint64_t cta,
+                              std::uint64_t localThread,
+                              std::uint64_t dynIndex) const;
+
+    /** Memory delta of @p cta's complete golden execution. */
+    const sim::MemoryDelta &
+    finalDelta(std::uint64_t cta) const
+    {
+        return ctas_[cta].finalDelta;
+    }
+
+    /** Dynamic instructions of @p cta's complete golden execution. */
+    std::uint64_t
+    finalDynInstrs(std::uint64_t cta) const
+    {
+        return ctas_[cta].finalDynInstrs;
+    }
+
+    /** All capture points of one CTA, in execution order. */
+    const std::vector<CtaCheckpoint> &
+    checkpoints(std::uint64_t cta) const
+    {
+        return ctas_[cta].checkpoints;
+    }
+
+    std::size_t ctaCount() const { return ctas_.size(); }
+
+    /** Capture points across all CTAs. */
+    std::size_t totalCheckpoints() const;
+
+    /** True when no CTA has a capture point (all-short kernel). */
+    bool empty() const { return totalCheckpoints() == 0; }
+
+    /** Approximate in-memory footprint of the whole store. */
+    std::uint64_t byteSize() const;
+
+  private:
+    struct PerCta
+    {
+        std::vector<CtaCheckpoint> checkpoints;
+        sim::MemoryDelta finalDelta;
+        std::uint64_t finalDynInstrs = 0;
+    };
+
+    std::vector<PerCta> ctas_;
+};
+
+} // namespace fsp::faults
+
+#endif // FSP_FAULTS_CHECKPOINT_HH

@@ -8,9 +8,16 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "util/json.hh"
 #include "util/logging.hh"
 
 namespace fsp::faults {
+
+// Trips when a counter is added to InjectionStats without updating
+// merge(), since(), summary() and the tools' JSON emission.
+static_assert(sizeof(InjectionStats) == 9 * sizeof(std::uint64_t),
+              "InjectionStats field list changed: update merge(), "
+              "since(), summary() and writeInjectionStats()");
 
 void
 InjectionStats::merge(const InjectionStats &other)
@@ -22,6 +29,8 @@ InjectionStats::merge(const InjectionStats &other)
     invalidSites += other.invalidSites;
     executedCtas += other.executedCtas;
     restoredBytes += other.restoredBytes;
+    checkpointRestores += other.checkpointRestores;
+    skippedDynInstrs += other.skippedDynInstrs;
 }
 
 InjectionStats
@@ -35,26 +44,44 @@ InjectionStats::since(const InjectionStats &before) const
     delta.invalidSites = invalidSites - before.invalidSites;
     delta.executedCtas = executedCtas - before.executedCtas;
     delta.restoredBytes = restoredBytes - before.restoredBytes;
+    delta.checkpointRestores = checkpointRestores - before.checkpointRestores;
+    delta.skippedDynInstrs = skippedDynInstrs - before.skippedDynInstrs;
     return delta;
 }
 
 std::string
 InjectionStats::summary() const
 {
-    char buf[240];
+    char buf[320];
     std::snprintf(
         buf, sizeof(buf),
         "injections %llu | sliced %llu | full-grid %llu | "
         "hazard-fallbacks %llu | invalid %llu | ctas %llu | "
-        "restored %llu B",
+        "restored %llu B | ckpt-restores %llu | skipped %llu instrs",
         static_cast<unsigned long long>(injections),
         static_cast<unsigned long long>(slicedRuns),
         static_cast<unsigned long long>(fullGridRuns),
         static_cast<unsigned long long>(hazardFallbacks),
         static_cast<unsigned long long>(invalidSites),
         static_cast<unsigned long long>(executedCtas),
-        static_cast<unsigned long long>(restoredBytes));
+        static_cast<unsigned long long>(restoredBytes),
+        static_cast<unsigned long long>(checkpointRestores),
+        static_cast<unsigned long long>(skippedDynInstrs));
     return buf;
+}
+
+void
+writeInjectionStats(JsonWriter &json, const InjectionStats &stats)
+{
+    json.field("injections", stats.injections);
+    json.field("slicedRuns", stats.slicedRuns);
+    json.field("fullGridRuns", stats.fullGridRuns);
+    json.field("hazardFallbacks", stats.hazardFallbacks);
+    json.field("invalidSites", stats.invalidSites);
+    json.field("executedCtas", stats.executedCtas);
+    json.field("restoredBytes", stats.restoredBytes);
+    json.field("checkpointRestores", stats.checkpointRestores);
+    json.field("skippedDynInstrs", stats.skippedDynInstrs);
 }
 
 sim::LaunchConfig
@@ -91,13 +118,22 @@ Injector::budgetedConfig(const sim::LaunchConfig &config)
 Injector::Injector(const sim::Program &program,
                    const sim::LaunchConfig &config,
                    const sim::GlobalMemory &image,
-                   std::vector<OutputRegion> outputs)
+                   std::vector<OutputRegion> outputs,
+                   const InjectorOptions &options)
     : program_(program), image_(image), outputs_(std::move(outputs)),
       executor_(program_, budgetedConfig(config)), scratch_(image_)
 {
     // The caller's setup pokes left dirty marks in the copied images;
     // scratch_ already equals image_, so start tracking from clean.
     scratch_.resetDirtyTracking();
+
+    // Recording is eager so clone() can share the immutable store:
+    // workers never record, they only read.
+    if (options.checkpoints) {
+        checkpoints_ = std::make_shared<const CheckpointStore>(
+            CheckpointStore::record(executor_, image_, golden_icnt_,
+                                    options.checkpointing));
+    }
 }
 
 std::unique_ptr<Injector>
@@ -124,6 +160,24 @@ Injector::slicingDescription() const
     }
     text += ")";
     return text;
+}
+
+std::string
+Injector::checkpointDescription() const
+{
+    if (!checkpoints_enabled_)
+        return "checkpoints off (disabled)";
+    if (!checkpoints_)
+        return "checkpoints off (not recorded)";
+    if (checkpoints_->empty())
+        return "checkpoints off (all CTAs below capture interval)";
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "checkpoints on (%llu capture points, %.1f KiB)",
+                  static_cast<unsigned long long>(
+                      checkpoints_->totalCheckpoints()),
+                  static_cast<double>(checkpoints_->byteSize()) / 1024.0);
+    return buf;
 }
 
 /**
@@ -212,16 +266,39 @@ Injector::inject(const FaultSite &site)
     stats_.restoredBytes += scratch_.restoreFrom(image_);
     sim::FaultPlan plan = site.toPlan();
 
+    // A checkpoint is usable when the fault thread had executed at most
+    // dynIndex instructions at the capture point: the pre-fault replay
+    // is bit-identical to golden, so the fault still fires in-replay.
+    const std::uint64_t block_threads =
+        executor_.config().block.count();
+    const std::uint64_t cta = site.thread / block_threads;
+    const CtaCheckpoint *checkpoint =
+        checkpointsActive()
+            ? checkpoints_->find(cta, site.thread % block_threads,
+                                 site.dynIndex)
+            : nullptr;
+
     if (slicingActive()) {
-        const std::uint64_t cta =
-            site.thread / executor_.config().block.count();
         sim::CtaSlice slice;
         slice.range = sim::CtaRange::single(cta);
         slice.loadHazards = &slicing_->loadHazards(cta);
         slice.storeHazards = &slicing_->storeHazards(cta);
 
-        sim::RunResult result = executor_.run(scratch_, nullptr, &plan,
-                                              &slice);
+        sim::RunResult result;
+        if (checkpoint) {
+            // Deltas are CTA-local, so pristine image + delta is the
+            // memory exactly as the CTA's golden execution had left it
+            // at the capture point (chunk bleed only reaches bytes in
+            // the load-hazard set, which the comparison excludes).
+            stats_.restoredBytes +=
+                scratch_.applyDelta(checkpoint->delta);
+            stats_.checkpointRestores++;
+            stats_.skippedDynInstrs += checkpoint->ctaDynInstrs;
+            result = executor_.run(scratch_, nullptr, &plan, &slice,
+                                   &checkpoint->state);
+        } else {
+            result = executor_.run(scratch_, nullptr, &plan, &slice);
+        }
         stats_.executedCtas += result.executedCtas;
 
         if (result.status != sim::RunStatus::SliceHazard) {
@@ -244,7 +321,26 @@ Injector::inject(const FaultSite &site)
         plan = site.toPlan();
     }
 
-    sim::RunResult result = executor_.run(scratch_, nullptr, &plan);
+    sim::RunResult result;
+    if (checkpoint) {
+        // Full-grid resume: apply the complete deltas of all preceding
+        // CTAs (they execute fault-free, identically to golden), then
+        // the faulty CTA's capture-point delta; the run resumes CTA
+        // `cta` from the checkpoint and executes every later CTA live.
+        for (std::uint64_t before = 0; before < cta; ++before) {
+            stats_.restoredBytes +=
+                scratch_.applyDelta(checkpoints_->finalDelta(before));
+            stats_.skippedDynInstrs +=
+                checkpoints_->finalDynInstrs(before);
+        }
+        stats_.restoredBytes += scratch_.applyDelta(checkpoint->delta);
+        stats_.checkpointRestores++;
+        stats_.skippedDynInstrs += checkpoint->ctaDynInstrs;
+        result = executor_.run(scratch_, nullptr, &plan, nullptr,
+                               &checkpoint->state);
+    } else {
+        result = executor_.run(scratch_, nullptr, &plan);
+    }
     stats_.fullGridRuns++;
     stats_.executedCtas += result.executedCtas;
     return classifyFullGrid(site, plan, result);

@@ -11,6 +11,12 @@
  * the work.  Runs whose fault wanders into another CTA's footprint
  * abort with RunStatus::SliceHazard and are transparently replayed on
  * the full grid, so the sliced engine never changes a classification.
+ *
+ * Orthogonally, golden-run checkpoints (faults/checkpoint.hh) cut the
+ * temporal axis: injections resume from the latest capture point
+ * at-or-before the fault's dynamic index instead of re-executing the
+ * kernel from instruction zero.  Both axes compose, both have A/B
+ * switches, and neither ever changes a classification.
  */
 
 #ifndef FSP_FAULTS_INJECTOR_HH
@@ -21,15 +27,26 @@
 #include <string>
 #include <vector>
 
+#include "faults/checkpoint.hh"
 #include "faults/fault_site.hh"
 #include "faults/outcome.hh"
 #include "faults/output_spec.hh"
 #include "faults/slicing.hh"
 #include "sim/executor.hh"
 
+namespace fsp {
+class JsonWriter;
+} // namespace fsp
+
 namespace fsp::faults {
 
-/** Counters describing how injection runs were executed. */
+/**
+ * Counters describing how injection runs were executed.
+ *
+ * Every field must be a std::uint64_t counter: merge()/since() cover
+ * the full field list and a static_assert on the struct size (see
+ * injector.cc) catches fields added without updating them.
+ */
 struct InjectionStats
 {
     std::uint64_t injections = 0;      ///< inject() calls
@@ -38,7 +55,9 @@ struct InjectionStats
     std::uint64_t hazardFallbacks = 0; ///< sliced runs aborted on a hazard
     std::uint64_t invalidSites = 0;    ///< sites rejected by validation
     std::uint64_t executedCtas = 0;    ///< CTAs simulated, all runs
-    std::uint64_t restoredBytes = 0;   ///< bytes copied by dirty restore
+    std::uint64_t restoredBytes = 0;   ///< bytes copied by restore/delta
+    std::uint64_t checkpointRestores = 0; ///< runs resumed from a checkpoint
+    std::uint64_t skippedDynInstrs = 0;   ///< golden instrs not re-executed
 
     /** Accumulate another tally into this one. */
     void merge(const InjectionStats &other);
@@ -48,6 +67,23 @@ struct InjectionStats
 
     /** One-line human-readable rendering. */
     std::string summary() const;
+};
+
+/**
+ * Emit every InjectionStats counter as fields of the currently open
+ * JSON object (the machine-readable counterpart of summary(), shared
+ * by the fsp and resilience_report --json outputs).
+ */
+void writeInjectionStats(JsonWriter &json, const InjectionStats &stats);
+
+/** Engine knobs fixed at Injector construction. */
+struct InjectorOptions
+{
+    /** Record golden checkpoints and resume injections from them. */
+    bool checkpoints = true;
+
+    /** Recording cadence when checkpoints are on. */
+    CheckpointOptions checkpointing;
 };
 
 /**
@@ -66,10 +102,12 @@ class Injector
      * @param image pristine initialised global memory (copied; restored
      *        before every injection).
      * @param outputs the application's output regions.
+     * @param options engine knobs (checkpoint recording).
      */
     Injector(const sim::Program &program, const sim::LaunchConfig &config,
              const sim::GlobalMemory &image,
-             std::vector<OutputRegion> outputs);
+             std::vector<OutputRegion> outputs,
+             const InjectorOptions &options = {});
 
     /**
      * Duplicate this injector without redoing the golden run: the
@@ -125,6 +163,31 @@ class Injector
     std::string slicingDescription() const;
     /** @} */
 
+    /** @{ Checkpointed temporal replay (A/B switch mirrors slicing). */
+    void setCheckpointsEnabled(bool enabled)
+    {
+        checkpoints_enabled_ = enabled;
+    }
+    bool checkpointsEnabled() const { return checkpoints_enabled_; }
+
+    /** Will injections actually resume from checkpoints? */
+    bool
+    checkpointsActive() const
+    {
+        return checkpoints_enabled_ && checkpoints_ &&
+               !checkpoints_->empty();
+    }
+
+    /** The recorded store; null when built with checkpoints off. */
+    const CheckpointStore *checkpointStore() const
+    {
+        return checkpoints_.get();
+    }
+
+    /** "checkpoints on (...)" / "checkpoints off (...)" string. */
+    std::string checkpointDescription() const;
+    /** @} */
+
     /** The executor used for injection runs (with hang budget set). */
     const sim::Executor &executor() const { return executor_; }
 
@@ -152,7 +215,10 @@ class Injector
     std::shared_ptr<const SlicingPlan> slicing_;
     sim::Executor executor_;
     sim::GlobalMemory scratch_;
+    /** Immutable once recorded; shared across clone()s like slicing_. */
+    std::shared_ptr<const CheckpointStore> checkpoints_;
     bool slicing_enabled_ = true;
+    bool checkpoints_enabled_ = true;
     InjectionStats stats_;
 };
 

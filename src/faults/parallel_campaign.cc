@@ -33,6 +33,14 @@ CampaignStats::summary() const
                           injection.hazardFallbacks));
         text += buf;
     }
+    if (injection.checkpointRestores > 0) {
+        std::snprintf(
+            buf, sizeof(buf),
+            ", ckpt-restores %llu (skipped %llu instrs)",
+            static_cast<unsigned long long>(injection.checkpointRestores),
+            static_cast<unsigned long long>(injection.skippedDynInstrs));
+        text += buf;
+    }
     return text;
 }
 
@@ -58,6 +66,15 @@ resolveChunkSize(const CampaignOptions &options, std::size_t sites,
                                         target_chunks);
 }
 
+/** Prototype-injector knobs implied by the campaign options. */
+InjectorOptions
+injectorOptionsFor(const CampaignOptions &options)
+{
+    InjectorOptions injector_options;
+    injector_options.checkpoints = options.allowCheckpoints;
+    return injector_options;
+}
+
 } // namespace
 
 ParallelCampaign::ParallelCampaign(const sim::Program &program,
@@ -65,9 +82,13 @@ ParallelCampaign::ParallelCampaign(const sim::Program &program,
                                    const sim::GlobalMemory &image,
                                    std::vector<OutputRegion> outputs,
                                    CampaignOptions options)
+    // Pass `options` by copy rather than move: the Injector temporary
+    // also reads it (injectorOptionsFor) and argument evaluation order
+    // is unspecified.
     : ParallelCampaign(
-          Injector(program, config, image, std::move(outputs)),
-          std::move(options))
+          Injector(program, config, image, std::move(outputs),
+                   injectorOptionsFor(options)),
+          options)
 {
 }
 
@@ -80,6 +101,8 @@ ParallelCampaign::ParallelCampaign(const Injector &prototype,
         injectors_.push_back(prototype.clone());
         if (!options_.allowSlicing)
             injectors_.back()->setSlicingEnabled(false);
+        if (!options_.allowCheckpoints)
+            injectors_.back()->setCheckpointsEnabled(false);
     }
 }
 
@@ -92,10 +115,22 @@ ParallelCampaign::runsPerformed() const
     return total;
 }
 
+std::function<ParallelCampaign::SiteKey(std::size_t)>
+ParallelCampaign::siteOrderKey(const std::vector<FaultSite> &sites) const
+{
+    const std::uint64_t block_threads =
+        injectors_[0]->executor().config().block.count();
+    return [&sites, block_threads](std::size_t i) -> SiteKey {
+        const FaultSite &site = sites[i];
+        return {site.thread / block_threads, site.thread, site.dynIndex};
+    };
+}
+
 std::vector<Outcome>
 ParallelCampaign::classifySites(
     std::size_t count,
-    const std::function<Outcome(std::size_t, Injector &)> &outcomeOf)
+    const std::function<Outcome(std::size_t, Injector &)> &outcomeOf,
+    const std::function<SiteKey(std::size_t)> &keyOf)
 {
     unsigned workers = pool_.workerCount();
     std::size_t chunk_size = resolveChunkSize(options_, count, workers);
@@ -123,7 +158,20 @@ ParallelCampaign::classifySites(
         std::size_t begin = chunk * chunk_size;
         std::size_t end = std::min(begin + chunk_size, count);
         Injector &injector = *injectors_[worker];
+
+        // Process the chunk in (cta, thread, dynIndex) order so
+        // consecutive sites resume from the same checkpoint; outcomes
+        // land at their original index, so results are unaffected.
+        std::vector<std::size_t> order(end - begin);
         for (std::size_t i = begin; i < end; ++i)
+            order[i - begin] = i;
+        if (keyOf) {
+            std::sort(order.begin(), order.end(),
+                      [&keyOf](std::size_t a, std::size_t b) {
+                          return keyOf(a) < keyOf(b);
+                      });
+        }
+        for (std::size_t i : order)
             outcomes[i] = outcomeOf(i, injector);
 
         std::lock_guard<std::mutex> lock(progress_mutex);
@@ -150,9 +198,11 @@ CampaignResult
 ParallelCampaign::runSiteList(const std::vector<FaultSite> &sites)
 {
     auto outcomes = classifySites(
-        sites.size(), [&](std::size_t i, Injector &injector) {
+        sites.size(),
+        [&](std::size_t i, Injector &injector) {
             return injector.inject(sites[i]);
-        });
+        },
+        siteOrderKey(sites));
 
     // Serial fold in site order: identical to faults::runSiteList.
     CampaignResult result;
@@ -169,9 +219,17 @@ CampaignResult
 ParallelCampaign::runWeightedSiteList(
     const std::vector<WeightedSite> &sites)
 {
+    const std::uint64_t block_threads =
+        injectors_[0]->executor().config().block.count();
     auto outcomes = classifySites(
-        sites.size(), [&](std::size_t i, Injector &injector) {
+        sites.size(),
+        [&](std::size_t i, Injector &injector) {
             return injector.inject(sites[i].site);
+        },
+        [&sites, block_threads](std::size_t i) -> SiteKey {
+            const FaultSite &site = sites[i].site;
+            return {site.thread / block_threads, site.thread,
+                    site.dynIndex};
         });
 
     // Serial fold in site order: the double accumulation happens in

@@ -17,6 +17,7 @@
 #ifndef FSP_FAULTS_PARALLEL_CAMPAIGN_HH
 #define FSP_FAULTS_PARALLEL_CAMPAIGN_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -58,6 +59,14 @@ struct CampaignOptions
      * (useful for A/B validation and benchmarking).
      */
     bool allowSlicing = true;
+
+    /**
+     * Permit checkpointed temporal replay.  false skips checkpoint
+     * recording (when the engine constructs its own prototype) and
+     * forces every worker to execute injections from instruction zero
+     * (the A/B switch behind fsp/resilience_report --no-checkpoints).
+     */
+    bool allowCheckpoints = true;
 };
 
 /** Throughput report for the engine's most recent campaign. */
@@ -121,6 +130,13 @@ class ParallelCampaign
     /** Do the workers' injectors use the sliced path? */
     bool slicingActive() const { return injectors_[0]->slicingActive(); }
 
+    /** Do the workers' injectors resume from checkpoints? */
+    bool
+    checkpointsActive() const
+    {
+        return injectors_[0]->checkpointsActive();
+    }
+
     /** The workers' shared CTA-independence decision. */
     const SlicingPlan &
     slicingPlan() const
@@ -135,15 +151,27 @@ class ParallelCampaign
     const CampaignStats &lastStats() const { return stats_; }
 
   private:
+    /** Chunk-local processing key: (cta, thread, dynIndex). */
+    using SiteKey = std::array<std::uint64_t, 3>;
+
     /**
      * Shard [0, count) into chunks, classify every site via
      * @p outcomeOf(index, injector) on the pool, and return the
-     * outcomes indexed by site.
+     * outcomes indexed by site.  When @p keyOf is provided, each chunk
+     * processes its sites in ascending key order -- successive sites
+     * then share a CTA checkpoint, maximizing replay locality.  The
+     * outcome array (and thus the fold) is indexed by the original
+     * site position, so processing order never affects results.
      */
     std::vector<Outcome>
     classifySites(std::size_t count,
                   const std::function<Outcome(std::size_t, Injector &)>
-                      &outcomeOf);
+                      &outcomeOf,
+                  const std::function<SiteKey(std::size_t)> &keyOf = {});
+
+    /** Key function ordering a concrete site list for checkpoint reuse. */
+    std::function<SiteKey(std::size_t)>
+    siteOrderKey(const std::vector<FaultSite> &sites) const;
 
     CampaignOptions options_;
     std::vector<std::unique_ptr<Injector>> injectors_; ///< one per worker

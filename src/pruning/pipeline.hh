@@ -69,6 +69,14 @@ struct PruningConfig
      * this only skips simulating CTAs nobody looks at.
      */
     bool slicedProfiling = true;
+
+    /**
+     * Permit checkpointed temporal replay in the campaigns run over
+     * the pruned space (forwarded by the analysis facade to the
+     * injector/campaign engines; the pipeline stages themselves do
+     * not inject).  The A/B switch behind `--no-checkpoints`.
+     */
+    bool checkpoints = true;
 };
 
 /** Fault-site counts after each progressive stage (Fig. 10 series). */

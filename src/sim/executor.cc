@@ -98,40 +98,12 @@ fromF64(double v)
     return std::bit_cast<std::uint64_t>(v);
 }
 
-/** Per-thread architectural state. */
-struct ThreadState
-{
-    std::uint64_t regs[kNumGpRegs];
-    std::uint8_t ccs[kNumPredRegs];
-    std::uint64_t pc = 0;
-    std::uint64_t icnt = 0;
-    std::uint64_t faultBits = 0;
-    bool exited = false;
-    bool atBarrier = false;
-    bool traced = false;
-
-    std::uint32_t tidX = 0, tidY = 0, tidZ = 0;
-    std::uint64_t globalId = 0;
-
-    void
-    reset()
-    {
-        std::fill(std::begin(regs), std::end(regs), 0);
-        std::fill(std::begin(ccs), std::end(ccs), 0);
-        pc = 0;
-        icnt = 0;
-        faultBits = 0;
-        exited = false;
-        atBarrier = false;
-        traced = false;
-    }
-};
-
 /** Why a thread stopped running in the current scheduling slice. */
 enum class StopReason : std::uint8_t
 {
     Exited,
     Barrier,
+    Limit, ///< per-call step limit reached (stepCta watermark)
     Crashed,
     Hung,
     Hazard, ///< sliced run touched another CTA's footprint
@@ -141,7 +113,7 @@ enum class StopReason : std::uint8_t
 struct CtaContext
 {
     GlobalMemory &gmem;
-    SharedMemory &smem;
+    SharedMemory *smem; ///< the current CTA's scratchpad (in its state)
     const ParamBuffer &params;
     const Dim3 &ntid;
     const Dim3 &nctaid;
@@ -519,26 +491,32 @@ evalCvt(const Instruction &insn, std::uint64_t raw)
 
 /**
  * The per-thread interpreter loop.  Runs until the thread exits,
- * reaches a barrier, crashes, or exceeds its budget.
+ * reaches a barrier, crashes, exceeds its budget, or has executed
+ * @p max_steps instructions in this call (the stepping engine's
+ * watermark, surfaced as StopReason::Limit).
  */
 StopReason
-runThread(ThreadState &t, const Program &prog, CtaContext &ctx)
+runThread(ThreadState &t, const Program &prog, CtaContext &ctx,
+          std::uint64_t max_steps)
 {
     const auto &code = prog.instructions();
     const std::size_t code_size = code.size();
 
     std::vector<DynRecord> *dyn_trace = nullptr;
-    if (t.traced)
+    if (t.traced && ctx.trace)
         dyn_trace = &ctx.trace->dynTraces[t.globalId];
 
     const bool is_fault_thread =
         ctx.fault != nullptr && ctx.fault->thread == t.globalId;
 
+    std::uint64_t steps = 0;
     while (true) {
         if (t.pc >= code_size) {
             t.exited = true;
             return StopReason::Exited;
         }
+        if (steps >= max_steps)
+            return StopReason::Limit;
         if (t.icnt >= ctx.budget) {
             std::ostringstream os;
             os << "thread " << t.globalId << " exceeded budget of "
@@ -550,6 +528,7 @@ runThread(ThreadState &t, const Program &prog, CtaContext &ctx)
         const Instruction &insn = code[t.pc];
         const std::uint64_t dyn_index = t.icnt;
         t.icnt++;
+        steps++;
 
         const bool pass = guardPasses(insn.guard, t);
         std::uint16_t recorded_bits = 0;
@@ -619,7 +598,7 @@ runThread(ThreadState &t, const Program &prog, CtaContext &ctx)
                         err = ctx.gmem.load(addr, width, value);
                         break;
                       case MemSpace::Shared:
-                        err = ctx.smem.load(addr, width, value);
+                        err = ctx.smem->load(addr, width, value);
                         break;
                       case MemSpace::Param:
                         err = ctx.params.load(addr, width, value);
@@ -635,7 +614,7 @@ runThread(ThreadState &t, const Program &prog, CtaContext &ctx)
                         err = ctx.gmem.store(addr, width, value);
                         break;
                       case MemSpace::Shared:
-                        err = ctx.smem.store(addr, width, value);
+                        err = ctx.smem->store(addr, width, value);
                         break;
                       default:
                         panic("st without writable address space");
@@ -789,6 +768,65 @@ runThread(ThreadState &t, const Program &prog, CtaContext &ctx)
     }
 }
 
+/**
+ * Advance one CTA under the cooperative barrier-phase scheduler until
+ * it retires, faults, or reaches @p watermark executed instructions.
+ * This is the scheduling loop that used to be inlined in run(); the
+ * MachineState cursor makes it resumable -- stopping at a watermark and
+ * calling again continues exactly where execution left off, and a
+ * copied state can be continued independently later.
+ */
+CtaStepStatus
+stepCtaImpl(MachineState &ms, CtaContext &ctx, const Program &prog,
+            std::uint64_t watermark)
+{
+    while (true) {
+        for (; ms.cursor < ms.threads.size(); ++ms.cursor) {
+            ThreadState &t = ms.threads[ms.cursor];
+            if (t.exited || t.atBarrier)
+                continue;
+            std::uint64_t max_steps = kNoWatermark;
+            if (watermark != kNoWatermark) {
+                if (ms.executedDynInstrs >= watermark)
+                    return CtaStepStatus::Watermark;
+                max_steps = watermark - ms.executedDynInstrs;
+            }
+            const std::uint64_t before = t.icnt;
+            StopReason reason = runThread(t, prog, ctx, max_steps);
+            ms.executedDynInstrs += t.icnt - before;
+            switch (reason) {
+              case StopReason::Exited:
+                break;
+              case StopReason::Barrier:
+                t.atBarrier = true;
+                break;
+              case StopReason::Limit:
+                // The cursor stays on this mid-slice thread; the next
+                // stepCta call (or a resumed run) continues it.
+                return CtaStepStatus::Watermark;
+              case StopReason::Crashed:
+                return CtaStepStatus::Crashed;
+              case StopReason::Hung:
+                return CtaStepStatus::Hung;
+              case StopReason::Hazard:
+                return CtaStepStatus::Hazard;
+            }
+        }
+
+        // Phase complete: every thread has exited or arrived at the
+        // barrier.  Retire the CTA once nobody is left, otherwise
+        // release the barrier and start the next phase.
+        bool all_exited = true;
+        for (const auto &t : ms.threads)
+            all_exited = all_exited && t.exited;
+        if (all_exited)
+            return CtaStepStatus::Retired;
+        for (auto &t : ms.threads)
+            t.atBarrier = false;
+        ms.cursor = 0;
+    }
+}
+
 } // namespace
 
 Executor::Executor(const Program &program, LaunchConfig config)
@@ -799,17 +837,91 @@ Executor::Executor(const Program &program, LaunchConfig config)
                "empty launch");
 }
 
+void
+Executor::resetCtaState(MachineState &ms, std::uint64_t cta_linear) const
+{
+    FSP_ASSERT(cta_linear < config_.grid.count(), "CTA id outside grid");
+    const Dim3 &block = config_.block;
+    const std::uint64_t block_threads = block.count();
+
+    ms.ctaLinear = cta_linear;
+    ms.cursor = 0;
+    ms.executedDynInstrs = 0;
+    if (ms.smem.size() == config_.sharedBytes)
+        ms.smem.clear();
+    else
+        ms.smem = SharedMemory(config_.sharedBytes);
+    ms.threads.resize(block_threads);
+
+    std::uint64_t tl = 0;
+    for (std::uint32_t tz = 0; tz < block.z; ++tz) {
+        for (std::uint32_t ty = 0; ty < block.y; ++ty) {
+            for (std::uint32_t tx = 0; tx < block.x; ++tx, ++tl) {
+                ThreadState &t = ms.threads[tl];
+                t.reset();
+                t.tidX = tx;
+                t.tidY = ty;
+                t.tidZ = tz;
+                t.globalId = cta_linear * block_threads + tl;
+            }
+        }
+    }
+}
+
+MachineState
+Executor::initialCtaState(std::uint64_t cta_linear) const
+{
+    MachineState ms;
+    resetCtaState(ms, cta_linear);
+    return ms;
+}
+
+CtaStepStatus
+Executor::stepCta(MachineState &ms, GlobalMemory &gmem,
+                  std::uint64_t watermark, FaultPlan *fault,
+                  const CtaSlice *slice, std::string *diagnostic) const
+{
+    const Dim3 &grid = config_.grid;
+    const std::uint64_t lin = ms.ctaLinear;
+    const std::uint64_t plane =
+        static_cast<std::uint64_t>(grid.x) * grid.y;
+
+    CtaContext ctx{gmem,
+                   &ms.smem,
+                   config_.params,
+                   config_.block,
+                   grid,
+                   static_cast<std::uint32_t>(lin % grid.x),
+                   static_cast<std::uint32_t>((lin / grid.x) % grid.y),
+                   static_cast<std::uint32_t>(lin / plane),
+                   config_.maxDynInstrPerThread
+                       ? config_.maxDynInstrPerThread
+                       : kDefaultBudget,
+                   nullptr,
+                   fault,
+                   nullptr,
+                   {},
+                   slice ? slice->loadHazards : nullptr,
+                   slice ? slice->storeHazards : nullptr,
+                   nullptr,
+                   nullptr};
+
+    CtaStepStatus status = stepCtaImpl(ms, ctx, program_, watermark);
+    if (diagnostic)
+        *diagnostic = ctx.diagnostic;
+    return status;
+}
+
 RunResult
 Executor::run(GlobalMemory &gmem, const TraceOptions *opts,
-              FaultPlan *fault, const CtaSlice *slice) const
+              FaultPlan *fault, const CtaSlice *slice,
+              const MachineState *resume) const
 {
     RunResult result;
     if (fault)
         fault->applied = false;
 
     const Dim3 &grid = config_.grid;
-    const Dim3 &block = config_.block;
-    const std::uint64_t block_threads = block.count();
     const std::uint64_t total_threads = config_.threadCount();
 
     if (opts && opts->perThreadProfiles)
@@ -828,13 +940,13 @@ Executor::run(GlobalMemory &gmem, const TraceOptions *opts,
         slice ? &slice->range.ctas : nullptr;
     std::size_t slice_pos = 0;
 
-    SharedMemory smem(config_.sharedBytes);
-    std::vector<ThreadState> threads(block_threads);
+    const std::uint64_t start_cta = resume ? resume->ctaLinear : 0;
+    MachineState ms; // reused across CTAs to avoid reallocation
 
     CtaContext ctx{gmem,
-                   smem,
+                   nullptr,
                    config_.params,
-                   block,
+                   config_.block,
                    grid,
                    0,
                    0,
@@ -862,6 +974,8 @@ Executor::run(GlobalMemory &gmem, const TraceOptions *opts,
                         continue;
                     ++slice_pos;
                 }
+                if (cta_linear < start_cta)
+                    continue; // resume: prefix is baked into gmem
                 result.executedCtas++;
                 if (want_footprints) {
                     fp_reads.clear();
@@ -872,83 +986,42 @@ Executor::run(GlobalMemory &gmem, const TraceOptions *opts,
                 ctx.ctaidX = cx;
                 ctx.ctaidY = cy;
                 ctx.ctaidZ = cz;
-                smem.clear();
 
-                // Initialise thread states for this CTA.
-                std::uint64_t tl = 0;
-                for (std::uint32_t tz = 0; tz < block.z; ++tz) {
-                    for (std::uint32_t ty = 0; ty < block.y; ++ty) {
-                        for (std::uint32_t tx = 0; tx < block.x;
-                             ++tx, ++tl) {
-                            ThreadState &t = threads[tl];
-                            t.reset();
-                            t.tidX = tx;
-                            t.tidY = ty;
-                            t.tidZ = tz;
-                            t.globalId =
-                                cta_linear * block_threads + tl;
-                            t.traced =
-                                opts &&
-                                opts->traceThreads.count(t.globalId) > 0;
-                        }
+                if (resume && cta_linear == start_cta)
+                    ms = *resume; // copy: the checkpoint stays pristine
+                else
+                    resetCtaState(ms, cta_linear);
+                if (opts) {
+                    for (auto &t : ms.threads) {
+                        t.traced =
+                            opts->traceThreads.count(t.globalId) > 0;
                     }
                 }
+                ctx.smem = &ms.smem;
 
-                // Cooperative barrier-phase scheduling.
-                bool cta_live = true;
-                while (cta_live) {
-                    bool any_ran = false;
-                    for (auto &t : threads) {
-                        if (t.exited)
-                            continue;
-                        any_ran = true;
-                        StopReason reason = runThread(t, program_, ctx);
-                        if (reason == StopReason::Crashed ||
-                            reason == StopReason::Hung ||
-                            reason == StopReason::Hazard) {
-                            // Account the partial work, then abort the
-                            // whole launch (a faulting kernel dies; a
-                            // hazard makes the caller re-run full-grid).
-                            for (const auto &u : threads)
-                                result.totalDynInstrs += u.icnt;
-                            if (opts && opts->perThreadProfiles) {
-                                for (const auto &u : threads) {
-                                    auto &p =
-                                        result.trace.profiles[u.globalId];
-                                    p.iCnt = u.icnt;
-                                    p.faultBits = u.faultBits;
-                                }
-                            }
-                            result.status =
-                                reason == StopReason::Crashed
-                                    ? RunStatus::Crashed
-                                    : (reason == StopReason::Hung
-                                           ? RunStatus::Hung
-                                           : RunStatus::SliceHazard);
-                            result.diagnostic = ctx.diagnostic;
-                            return result;
-                        }
-                        if (reason == StopReason::Barrier)
-                            t.atBarrier = true;
-                    }
-                    if (!any_ran) {
-                        cta_live = false;
-                        break;
-                    }
-                    // Every live thread is either exited or at a
-                    // barrier here; release the barrier.
-                    for (auto &t : threads)
-                        t.atBarrier = false;
-                }
+                CtaStepStatus status =
+                    stepCtaImpl(ms, ctx, program_, kNoWatermark);
 
-                // CTA retired: accumulate profiles and footprints.
-                for (const auto &t : threads) {
+                // Accumulate per-thread work whether the CTA retired or
+                // aborted the launch (a faulting kernel dies; a hazard
+                // makes the caller re-run full-grid).
+                for (const auto &t : ms.threads) {
                     result.totalDynInstrs += t.icnt;
                     if (opts && opts->perThreadProfiles) {
                         auto &p = result.trace.profiles[t.globalId];
                         p.iCnt = t.icnt;
                         p.faultBits = t.faultBits;
                     }
+                }
+                if (status != CtaStepStatus::Retired) {
+                    result.status =
+                        status == CtaStepStatus::Crashed
+                            ? RunStatus::Crashed
+                            : (status == CtaStepStatus::Hung
+                                   ? RunStatus::Hung
+                                   : RunStatus::SliceHazard);
+                    result.diagnostic = ctx.diagnostic;
+                    return result;
                 }
                 if (want_footprints) {
                     auto &fp = result.trace.ctaFootprints[cta_linear];

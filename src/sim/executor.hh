@@ -17,6 +17,7 @@
 #include "sim/fault.hh"
 #include "sim/footprint.hh"
 #include "sim/launch.hh"
+#include "sim/machine_state.hh"
 #include "sim/memory.hh"
 #include "sim/program.hh"
 #include "sim/trace.hh"
@@ -74,6 +75,19 @@ struct CtaSlice
     const IntervalSet *storeHazards = nullptr; ///< may be null
 };
 
+/** Why Executor::stepCta stopped advancing a CTA. */
+enum class CtaStepStatus : std::uint8_t
+{
+    Retired,   ///< every thread of the CTA exited
+    Watermark, ///< the dynamic-instruction watermark was reached
+    Crashed,   ///< a thread performed an invalid memory access
+    Hung,      ///< a thread exceeded its dynamic-instruction budget
+    Hazard,    ///< a sliced run touched another CTA's footprint
+};
+
+/** Sentinel watermark: run the CTA to retirement. */
+inline constexpr std::uint64_t kNoWatermark = ~std::uint64_t{0};
+
 /** Result of one simulated kernel launch. */
 struct RunResult
 {
@@ -105,15 +119,50 @@ class Executor
      * @param opts optional trace collection.
      * @param fault optional single-bit fault to apply.
      * @param slice optional CTA subset to execute (see CtaSlice).
+     * @param resume optional checkpointed CTA state: the run starts at
+     *        resume->ctaLinear from a copy of that state (the caller
+     *        must have placed global memory in the matching condition,
+     *        e.g. via GlobalMemory::applyDelta) and then continues with
+     *        any later CTAs selected by @p slice.  CTAs before the
+     *        resume point are skipped entirely.
      */
     RunResult run(GlobalMemory &gmem, const TraceOptions *opts = nullptr,
                   FaultPlan *fault = nullptr,
-                  const CtaSlice *slice = nullptr) const;
+                  const CtaSlice *slice = nullptr,
+                  const MachineState *resume = nullptr) const;
+
+    /** Pristine pre-execution state of one CTA of this launch. */
+    MachineState initialCtaState(std::uint64_t ctaLinear) const;
+
+    /**
+     * Advance one CTA until it retires, crashes, hangs, hits a slice
+     * hazard, or reaches @p watermark total executed instructions.  On
+     * Watermark the state is a valid capture point: copy it and call
+     * stepCta again (with a higher watermark) to continue, or stash the
+     * copy and resume from it later via run().
+     *
+     * @param state CTA state, advanced in place.
+     * @param gmem global memory image, mutated in place.
+     * @param watermark stop once state.executedDynInstrs reaches this.
+     * @param fault optional single-bit fault to apply.
+     * @param slice optional hazard sets (the range is ignored here;
+     *        stepping is inherently single-CTA).
+     * @param diagnostic receives crash/hang/hazard detail when non-null.
+     */
+    CtaStepStatus stepCta(MachineState &state, GlobalMemory &gmem,
+                          std::uint64_t watermark = kNoWatermark,
+                          FaultPlan *fault = nullptr,
+                          const CtaSlice *slice = nullptr,
+                          std::string *diagnostic = nullptr) const;
 
     const LaunchConfig &config() const { return config_; }
     const Program &program() const { return program_; }
 
   private:
+    /** Re-initialise @p state for @p ctaLinear, reusing its buffers. */
+    void resetCtaState(MachineState &state,
+                       std::uint64_t ctaLinear) const;
+
     const Program &program_;
     LaunchConfig config_;
 };

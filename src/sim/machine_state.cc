@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Machine-state value semantics for the resumable executor.
+ */
+
+#include "sim/machine_state.hh"
+
+#include <algorithm>
+
+namespace fsp::sim {
+
+void
+ThreadState::reset()
+{
+    std::fill(std::begin(regs), std::end(regs), 0);
+    std::fill(std::begin(ccs), std::end(ccs), 0);
+    pc = 0;
+    icnt = 0;
+    faultBits = 0;
+    exited = false;
+    atBarrier = false;
+    traced = false;
+}
+
+std::uint64_t
+MachineState::byteSize() const
+{
+    return sizeof(MachineState) + threads.size() * sizeof(ThreadState) +
+           smem.size();
+}
+
+} // namespace fsp::sim

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Explicit machine state for the resumable executor core.
+ *
+ * The executor's interpreter loop used to keep all mutable launch state
+ * (per-thread register files, barrier flags, the scheduling cursor, CTA
+ * shared memory) in locals of a monolithic run() -- execution could only
+ * ever start from dynamic instruction zero.  MachineState reifies that
+ * state as a value object: the stepping engine (Executor::stepCta) can
+ * run a CTA to a dynamic-instruction watermark, the caller can copy the
+ * state, and a later run can resume from the copy and execute forward
+ * only.  This is the substrate of checkpointed temporal replay in the
+ * fault-injection engine (see faults/checkpoint.hh and DESIGN.md §9).
+ *
+ * Branch divergence needs no explicit reconvergence stack here: the
+ * interpreter executes threads cooperatively (each to its next barrier
+ * or exit), so a thread's entire control-flow position is its pc.
+ */
+
+#ifndef FSP_SIM_MACHINE_STATE_HH
+#define FSP_SIM_MACHINE_STATE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/instruction.hh"
+#include "sim/memory.hh"
+
+namespace fsp::sim {
+
+/** Per-thread architectural state. */
+struct ThreadState
+{
+    std::uint64_t regs[kNumGpRegs];
+    std::uint8_t ccs[kNumPredRegs];
+    std::uint64_t pc = 0;
+    std::uint64_t icnt = 0;
+    std::uint64_t faultBits = 0;
+    bool exited = false;
+    bool atBarrier = false;
+    bool traced = false;
+
+    std::uint32_t tidX = 0, tidY = 0, tidZ = 0;
+    std::uint64_t globalId = 0;
+
+    void reset();
+};
+
+/**
+ * Complete execution state of one CTA, sufficient to resume it.
+ *
+ * Invariants at a capture point (i.e. whenever stepCta returns):
+ *  - threads[i] for i < cursor have finished their slice of the current
+ *    barrier phase (exited or atBarrier);
+ *  - threads[cursor], if any, may be mid-slice (neither flag set);
+ *  - threads past cursor have not run in this phase (atBarrier false).
+ *
+ * Copying the object is the serialization: every field is a value, so a
+ * copied state is a self-contained checkpoint that can be resumed any
+ * number of times (Executor::run copies before resuming, leaving the
+ * stored checkpoint immutable and shareable across threads).
+ */
+struct MachineState
+{
+    std::uint64_t ctaLinear = 0;        ///< linear CTA id in the grid
+    std::size_t cursor = 0;             ///< next thread index this phase
+    std::uint64_t executedDynInstrs = 0; ///< total executed in this CTA
+    std::vector<ThreadState> threads;   ///< one per CTA thread
+    SharedMemory smem;                  ///< CTA shared-memory contents
+
+    /** Approximate in-memory footprint (checkpoint-budget metric). */
+    std::uint64_t byteSize() const;
+};
+
+} // namespace fsp::sim
+
+#endif // FSP_SIM_MACHINE_STATE_HH

@@ -192,6 +192,46 @@ GlobalMemory::resetDirtyTracking()
     dirty_chunks_.clear();
 }
 
+MemoryDelta
+GlobalMemory::captureDelta() const
+{
+    MemoryDelta delta;
+    delta.chunks = dirty_chunks_;
+    std::sort(delta.chunks.begin(), delta.chunks.end());
+    delta.bytes.reserve(delta.chunks.size() * kDirtyChunkBytes);
+    for (std::uint32_t chunk : delta.chunks) {
+        std::size_t offset =
+            static_cast<std::size_t>(chunk) * kDirtyChunkBytes;
+        std::size_t len = std::min(kDirtyChunkBytes, bump_ - offset);
+        delta.bytes.insert(delta.bytes.end(), data_.begin() +
+                               static_cast<std::ptrdiff_t>(offset),
+                           data_.begin() +
+                               static_cast<std::ptrdiff_t>(offset + len));
+    }
+    return delta;
+}
+
+std::uint64_t
+GlobalMemory::applyDelta(const MemoryDelta &delta)
+{
+    std::uint64_t applied = 0;
+    std::size_t pos = 0;
+    for (std::uint32_t chunk : delta.chunks) {
+        std::size_t offset =
+            static_cast<std::size_t>(chunk) * kDirtyChunkBytes;
+        FSP_ASSERT(offset < bump_, "applyDelta: layouts differ");
+        std::size_t len = std::min(kDirtyChunkBytes, bump_ - offset);
+        FSP_ASSERT(pos + len <= delta.bytes.size(),
+                   "applyDelta: truncated delta");
+        std::memcpy(data_.data() + offset, delta.bytes.data() + pos, len);
+        markDirty(offset, len);
+        pos += len;
+        applied += len;
+    }
+    FSP_ASSERT(pos == delta.bytes.size(), "applyDelta: trailing bytes");
+    return applied;
+}
+
 IntervalSet
 GlobalMemory::dirtyIntervals() const
 {

@@ -32,6 +32,29 @@ enum class AccessError : std::uint8_t
 };
 
 /**
+ * Snapshot of a GlobalMemory's dirty chunks: the chunk indices plus
+ * their byte contents at capture time.  A delta captured on one image
+ * can be applied to any image sharing the same allocation layout,
+ * re-dirtying exactly the captured chunks -- the persistence format of
+ * the checkpointed replay engine (pristine image + delta = memory as
+ * it was at the capture point).
+ */
+struct MemoryDelta
+{
+    std::vector<std::uint32_t> chunks; ///< dirty chunk indices, sorted
+    std::vector<std::uint8_t> bytes;   ///< concatenated chunk contents
+
+    bool empty() const { return chunks.empty(); }
+
+    /** Approximate in-memory footprint (checkpoint-budget metric). */
+    std::uint64_t
+    byteSize() const
+    {
+        return bytes.size() + chunks.size() * sizeof(std::uint32_t);
+    }
+};
+
+/**
  * Flat global-memory arena with a bump allocator.
  *
  * Copyable by design: fault-injection campaigns keep one pristine copy of
@@ -112,6 +135,22 @@ class GlobalMemory
     /** Forget all dirty marks without touching the contents. */
     void resetDirtyTracking();
 
+    /**
+     * Snapshot the contents of every currently-dirty chunk (chunks at
+     * the allocation frontier are clipped, mirroring restoreFrom).
+     * Dirty state is left untouched.
+     */
+    MemoryDelta captureDelta() const;
+
+    /**
+     * Write a delta's chunk contents into this image and mark those
+     * chunks dirty (so a later restoreFrom reverts them).  The delta
+     * must come from an image with the same allocation layout.
+     *
+     * @return bytes copied.
+     */
+    std::uint64_t applyDelta(const MemoryDelta &delta);
+
     /** Has any byte been written since the last reset/restore? */
     bool hasDirtyBytes() const { return !dirty_chunks_.empty(); }
 
@@ -151,12 +190,14 @@ class GlobalMemory
 class SharedMemory
 {
   public:
+    SharedMemory() = default;
     explicit SharedMemory(std::size_t bytes) : data_(bytes, 0) {}
 
     /** Reset all bytes to zero (fresh CTA launch). */
     void clear() { std::fill(data_.begin(), data_.end(), 0); }
 
     std::size_t size() const { return data_.size(); }
+    const std::vector<std::uint8_t> &bytes() const { return data_; }
 
     AccessError load(std::uint64_t addr, unsigned width,
                      std::uint64_t &out) const;

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Streaming JSON writer implementation.
+ */
+
+#include "util/json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace fsp {
+
+JsonWriter::JsonWriter(std::ostream &os, int indentWidth)
+    : os_(os), indent_width_(indentWidth)
+{
+}
+
+void
+JsonWriter::comma()
+{
+    if (!has_elements_.empty()) {
+        if (has_elements_.back())
+            os_ << ',';
+        has_elements_.back() = true;
+        newlineIndent();
+    }
+}
+
+void
+JsonWriter::newlineIndent()
+{
+    os_ << '\n';
+    for (std::size_t i = 0;
+         i < has_elements_.size() * static_cast<std::size_t>(indent_width_);
+         ++i) {
+        os_ << ' ';
+    }
+}
+
+void
+JsonWriter::quoted(std::string_view s)
+{
+    os_ << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': os_ << "\\\""; break;
+          case '\\': os_ << "\\\\"; break;
+          case '\n': os_ << "\\n"; break;
+          case '\r': os_ << "\\r"; break;
+          case '\t': os_ << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                os_ << buf;
+            } else {
+                os_ << c;
+            }
+        }
+    }
+    os_ << '"';
+}
+
+void
+JsonWriter::key(std::string_view k)
+{
+    comma();
+    quoted(k);
+    os_ << ": ";
+}
+
+void
+JsonWriter::beginObject()
+{
+    comma();
+    os_ << '{';
+    has_elements_.push_back(false);
+}
+
+void
+JsonWriter::beginObject(std::string_view k)
+{
+    key(k);
+    os_ << '{';
+    has_elements_.push_back(false);
+}
+
+void
+JsonWriter::beginArray()
+{
+    comma();
+    os_ << '[';
+    has_elements_.push_back(false);
+}
+
+void
+JsonWriter::beginArray(std::string_view k)
+{
+    key(k);
+    os_ << '[';
+    has_elements_.push_back(false);
+}
+
+void
+JsonWriter::endObject()
+{
+    FSP_ASSERT(!has_elements_.empty(), "JsonWriter: endObject underflow");
+    bool had = has_elements_.back();
+    has_elements_.pop_back();
+    if (had)
+        newlineIndent();
+    os_ << '}';
+    if (has_elements_.empty())
+        os_ << '\n';
+}
+
+void
+JsonWriter::endArray()
+{
+    FSP_ASSERT(!has_elements_.empty(), "JsonWriter: endArray underflow");
+    bool had = has_elements_.back();
+    has_elements_.pop_back();
+    if (had)
+        newlineIndent();
+    os_ << ']';
+    if (has_elements_.empty())
+        os_ << '\n';
+}
+
+void
+JsonWriter::field(std::string_view k, std::string_view v)
+{
+    key(k);
+    quoted(v);
+}
+
+void
+JsonWriter::field(std::string_view k, const char *v)
+{
+    field(k, std::string_view(v));
+}
+
+void
+JsonWriter::field(std::string_view k, std::uint64_t v)
+{
+    key(k);
+    os_ << v;
+}
+
+void
+JsonWriter::field(std::string_view k, std::int64_t v)
+{
+    key(k);
+    os_ << v;
+}
+
+void
+JsonWriter::field(std::string_view k, unsigned v)
+{
+    field(k, static_cast<std::uint64_t>(v));
+}
+
+void
+JsonWriter::field(std::string_view k, double v)
+{
+    key(k);
+    if (std::isfinite(v)) {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        os_ << buf;
+    } else {
+        os_ << "null"; // JSON has no Inf/NaN literals
+    }
+}
+
+void
+JsonWriter::field(std::string_view k, bool v)
+{
+    key(k);
+    os_ << (v ? "true" : "false");
+}
+
+void
+JsonWriter::value(std::string_view v)
+{
+    comma();
+    quoted(v);
+}
+
+void
+JsonWriter::value(std::uint64_t v)
+{
+    comma();
+    os_ << v;
+}
+
+void
+JsonWriter::value(double v)
+{
+    comma();
+    if (std::isfinite(v)) {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        os_ << buf;
+    } else {
+        os_ << "null";
+    }
+}
+
+} // namespace fsp

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Minimal streaming JSON writer for the tools' --json output.
+ *
+ * No reflection and no DOM: callers emit objects/arrays in order and
+ * the writer handles quoting, escaping, commas and indentation.  Kept
+ * deliberately tiny -- the repo's machine-readable surface is a handful
+ * of flat reports (resilience profiles, injection stats, throughput),
+ * not general serialization.
+ */
+
+#ifndef FSP_UTIL_JSON_HH
+#define FSP_UTIL_JSON_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fsp {
+
+/**
+ * Streaming JSON emitter.  Usage:
+ *
+ *     JsonWriter w(std::cout);
+ *     w.beginObject();
+ *     w.field("kernel", "GEMM/K1");
+ *     w.beginObject("stats");
+ *     w.field("runs", std::uint64_t{42});
+ *     w.endObject();
+ *     w.endObject();   // prints a trailing newline at top level
+ *
+ * Misnesting (ending more scopes than were opened) panics.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os, int indentWidth = 2);
+
+    /** @{ Anonymous scopes (top level or inside arrays). */
+    void beginObject();
+    void beginArray();
+    /** @} */
+
+    /** @{ Named scopes (inside objects). */
+    void beginObject(std::string_view key);
+    void beginArray(std::string_view key);
+    /** @} */
+
+    void endObject();
+    void endArray();
+
+    /** @{ Named scalar fields (inside objects). */
+    void field(std::string_view key, std::string_view value);
+    void field(std::string_view key, const char *value);
+    void field(std::string_view key, std::uint64_t value);
+    void field(std::string_view key, std::int64_t value);
+    void field(std::string_view key, unsigned value);
+    void field(std::string_view key, double value);
+    void field(std::string_view key, bool value);
+    /** @} */
+
+    /** @{ Anonymous scalar values (inside arrays). */
+    void value(std::string_view v);
+    void value(std::uint64_t v);
+    void value(double v);
+    /** @} */
+
+  private:
+    void comma();
+    void newlineIndent();
+    void key(std::string_view k);
+    void quoted(std::string_view s);
+
+    std::ostream &os_;
+    int indent_width_;
+    /** One entry per open scope; true once it holds an element. */
+    std::vector<bool> has_elements_;
+};
+
+} // namespace fsp
+
+#endif // FSP_UTIL_JSON_HH

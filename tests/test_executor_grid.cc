@@ -101,6 +101,56 @@ TEST(ExecutorGrid, TwoDimensionalIdentity)
     }
 }
 
+TEST(CtaRange, ConstructorsNormaliseEdgeCases)
+{
+    // Empty and inverted contiguous ranges select nothing.
+    EXPECT_TRUE(CtaRange::contiguous(3, 3).ctas.empty());
+    EXPECT_TRUE(CtaRange::contiguous(5, 3).ctas.empty());
+    EXPECT_EQ(CtaRange::contiguous(1, 4).ctas,
+              (std::vector<std::uint64_t>{1, 2, 3}));
+
+    // of() sorts and deduplicates an arbitrary id list.
+    EXPECT_TRUE(CtaRange::of({}).ctas.empty());
+    EXPECT_EQ(CtaRange::of({4, 1, 4, 2, 1}).ctas,
+              (std::vector<std::uint64_t>{1, 2, 4}));
+}
+
+TEST(ExecutorGrid, SliceSkipsEmptyAndOutOfGridRanges)
+{
+    // out[cta] = cta + 1, one thread per CTA: selected CTAs are easy
+    // to tell apart from untouched (zero) slots.
+    GridKernel k(R"(
+        ld.param.u32 $r1, [0]
+        cvt.u32.u16 $r2, %ctaid.x
+        shl.u32 $r3, $r2, 0x00000002
+        add.u32 $r3, $r1, $r3
+        add.u32 $r4, $r2, 0x00000001
+        st.global.u32 [$r3], $r4
+        retp
+    )",
+                 {4, 1, 1}, {1, 1, 1}, 4);
+    Executor executor(k.program, k.launch);
+
+    // Out-of-grid ids are silently ignored; duplicates collapse.
+    CtaSlice slice;
+    slice.range = CtaRange::of({2, 99, 2});
+    auto result = executor.run(k.memory, nullptr, nullptr, &slice);
+    EXPECT_EQ(result.status, RunStatus::Completed);
+    EXPECT_EQ(result.executedCtas, 1u);
+    EXPECT_EQ(k.at(2), 3u);
+    EXPECT_EQ(k.at(0), 0u);
+    EXPECT_EQ(k.at(1), 0u);
+    EXPECT_EQ(k.at(3), 0u);
+
+    // An empty range runs no CTA at all.
+    CtaSlice none;
+    none.range = CtaRange::of({});
+    auto empty = executor.run(k.memory, nullptr, nullptr, &none);
+    EXPECT_EQ(empty.status, RunStatus::Completed);
+    EXPECT_EQ(empty.executedCtas, 0u);
+    EXPECT_EQ(empty.totalDynInstrs, 0u);
+}
+
 TEST(ExecutorGrid, SharedMemoryIsolatedPerCta)
 {
     // Each CTA's thread 0 writes ctaid into shared; after a barrier,

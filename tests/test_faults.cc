@@ -151,6 +151,72 @@ TEST_F(InjectorTest, InjectionsAreIndependent)
     EXPECT_EQ(injector.inject({0, 3, 0}), faults::Outcome::SDC);
 }
 
+TEST_F(InjectorTest, CloneStatsAreIsolated)
+{
+    faults::Injector injector(kernel_.program(), config_, kernel_.memory(),
+                              outputs_);
+    EXPECT_EQ(injector.inject({0, 3, 0}), faults::Outcome::SDC);
+    EXPECT_EQ(injector.stats().injections, 1u);
+
+    // A clone starts from zeroed stats, not a copy of the prototype's.
+    auto clone = injector.clone();
+    EXPECT_EQ(clone->stats().injections, 0u);
+    EXPECT_EQ(clone->runsPerformed(), 0u);
+
+    // Runs tally into exactly one injector, in either direction.
+    EXPECT_EQ(clone->inject({0, 5, 3}), faults::Outcome::Masked);
+    EXPECT_EQ(clone->stats().injections, 1u);
+    EXPECT_EQ(injector.stats().injections, 1u);
+    EXPECT_EQ(injector.inject({0, 3, 0}), faults::Outcome::SDC);
+    EXPECT_EQ(injector.stats().injections, 2u);
+    EXPECT_EQ(clone->stats().injections, 1u);
+}
+
+TEST(InjectionStats, MergeAndSinceCoverEveryField)
+{
+    // Every counter gets a distinct value, so a field skipped by
+    // merge() or since() shows up as a wrong sum here (and the
+    // struct-size static_assert in injector.cc catches fields added
+    // without updating them).
+    faults::InjectionStats a;
+    a.injections = 1;
+    a.slicedRuns = 2;
+    a.fullGridRuns = 3;
+    a.hazardFallbacks = 4;
+    a.invalidSites = 5;
+    a.executedCtas = 6;
+    a.restoredBytes = 7;
+    a.checkpointRestores = 8;
+    a.skippedDynInstrs = 9;
+
+    faults::InjectionStats sum = a;
+    sum.merge(a);
+    EXPECT_EQ(sum.injections, 2u);
+    EXPECT_EQ(sum.slicedRuns, 4u);
+    EXPECT_EQ(sum.fullGridRuns, 6u);
+    EXPECT_EQ(sum.hazardFallbacks, 8u);
+    EXPECT_EQ(sum.invalidSites, 10u);
+    EXPECT_EQ(sum.executedCtas, 12u);
+    EXPECT_EQ(sum.restoredBytes, 14u);
+    EXPECT_EQ(sum.checkpointRestores, 16u);
+    EXPECT_EQ(sum.skippedDynInstrs, 18u);
+
+    faults::InjectionStats delta = sum.since(a);
+    EXPECT_EQ(delta.injections, a.injections);
+    EXPECT_EQ(delta.slicedRuns, a.slicedRuns);
+    EXPECT_EQ(delta.fullGridRuns, a.fullGridRuns);
+    EXPECT_EQ(delta.hazardFallbacks, a.hazardFallbacks);
+    EXPECT_EQ(delta.invalidSites, a.invalidSites);
+    EXPECT_EQ(delta.executedCtas, a.executedCtas);
+    EXPECT_EQ(delta.restoredBytes, a.restoredBytes);
+    EXPECT_EQ(delta.checkpointRestores, a.checkpointRestores);
+    EXPECT_EQ(delta.skippedDynInstrs, a.skippedDynInstrs);
+
+    // The one-line rendering includes the replay counters.
+    EXPECT_NE(a.summary().find("ckpt-restores 8"), std::string::npos);
+    EXPECT_NE(a.summary().find("skipped 9 instrs"), std::string::npos);
+}
+
 TEST(Injector, ClassifiesHang)
 {
     // A loop whose trip count register can be corrupted into (almost)

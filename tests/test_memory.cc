@@ -256,6 +256,59 @@ TEST(DirtyTracking, CopyCarriesDirtyStateAndRestoresIndependently)
     EXPECT_TRUE(m.hasDirtyBytes());
 }
 
+TEST(MemoryDelta, CaptureAndApplyRoundTrip)
+{
+    GlobalMemory pristine(1 << 12);
+    std::uint64_t a = pristine.allocate(1024);
+
+    GlobalMemory m = pristine;
+    m.resetDirtyTracking();
+    EXPECT_TRUE(m.captureDelta().empty());
+
+    m.pokeU32(a, 0xdeadbeef);
+    m.pokeU32(a + 600, 7);
+    MemoryDelta delta = m.captureDelta();
+    EXPECT_FALSE(delta.empty());
+    ASSERT_EQ(delta.chunks.size(), 2u); // two distinct 256-byte chunks
+    EXPECT_LT(delta.chunks[0], delta.chunks[1]);
+    EXPECT_GT(delta.byteSize(), delta.bytes.size());
+
+    // Applying onto a pristine copy reproduces the captured contents.
+    GlobalMemory other = pristine;
+    other.resetDirtyTracking();
+    std::uint64_t applied = other.applyDelta(delta);
+    EXPECT_EQ(applied, delta.bytes.size());
+    EXPECT_EQ(other.peekU32(a), 0xdeadbeefu);
+    EXPECT_EQ(other.peekU32(a + 600), 7u);
+
+    // applyDelta marks its chunks dirty, so a dirty-range restore
+    // reverts exactly what was applied -- the injector relies on this
+    // between checkpointed runs.
+    EXPECT_EQ(other.restoreFrom(pristine), applied);
+    EXPECT_EQ(other.peekU32(a), pristine.peekU32(a));
+    EXPECT_EQ(other.peekU32(a + 600), pristine.peekU32(a + 600));
+}
+
+TEST(MemoryDelta, ContentsClipAtAllocationFrontier)
+{
+    GlobalMemory pristine(1 << 12);
+    std::uint64_t a = pristine.allocate(300);
+    GlobalMemory m = pristine;
+    m.resetDirtyTracking();
+
+    // The dirtied chunk spans [256, 512) but only [256, 300) is
+    // allocated; the capture must not leak past the frontier.
+    m.pokeU32(a + 280, 9);
+    MemoryDelta delta = m.captureDelta();
+    ASSERT_EQ(delta.chunks.size(), 1u);
+    EXPECT_EQ(delta.bytes.size(), 300u - 256u);
+
+    GlobalMemory other = pristine;
+    other.resetDirtyTracking();
+    EXPECT_EQ(other.applyDelta(delta), delta.bytes.size());
+    EXPECT_EQ(other.peekU32(a + 280), 9u);
+}
+
 TEST(ParamBuffer, OffsetsAndAlignment)
 {
     ParamBuffer p;

@@ -22,6 +22,12 @@
  *   --no-slicing       force full-grid injection runs even when the
  *                      kernel's CTAs are independent (A/B validation);
  *                      outcomes are bit-identical either way
+ *   --no-checkpoints   execute every injection run from instruction
+ *                      zero instead of resuming from golden-run
+ *                      checkpoints (A/B validation); outcomes are
+ *                      bit-identical either way
+ *   --json             machine-readable output (profile, prune and
+ *                      campaign commands)
  */
 
 #include <cstdlib>
@@ -35,6 +41,7 @@
 #include "apps/app.hh"
 #include "pruning/loops.hh"
 #include "sim/disasm.hh"
+#include "util/json.hh"
 #include "util/table.hh"
 
 namespace {
@@ -48,6 +55,7 @@ struct Options
     apps::Scale scale = apps::Scale::Small;
     std::uint64_t seed = 1;
     std::size_t baseline = 2000;
+    bool json = false;
     pruning::PruningConfig pruning;
     faults::CampaignOptions campaign; // workers=0: hardware default
 };
@@ -60,7 +68,8 @@ usage()
         "commands: list | profile | groups | disasm | loops | prune |"
         " campaign\n"
         "options:  --paper --seed N --baseline N --loop-iters N\n"
-        "          --bit-samples N --pilots N --workers N --no-slicing\n";
+        "          --bit-samples N --pilots N --workers N --no-slicing\n"
+        "          --no-checkpoints --json\n";
     return 2;
 }
 
@@ -117,6 +126,11 @@ parseArgs(int argc, char **argv, Options &opts)
         } else if (arg == "--no-slicing") {
             opts.campaign.allowSlicing = false;
             opts.pruning.slicedProfiling = false;
+        } else if (arg == "--no-checkpoints") {
+            opts.campaign.allowCheckpoints = false;
+            opts.pruning.checkpoints = false;
+        } else if (arg == "--json") {
+            opts.json = true;
         } else {
             std::cerr << "unknown option '" << arg << "'\n";
             return false;
@@ -149,6 +163,20 @@ requireKernel(const Options &opts)
     return spec;
 }
 
+/** Emit an outcome distribution as a named JSON object. */
+void
+writeProfile(JsonWriter &json, std::string_view key,
+             const faults::OutcomeDist &dist)
+{
+    json.beginObject(key);
+    json.field("runs", dist.runs());
+    json.field("totalWeight", dist.total());
+    json.field("masked", dist.fraction(faults::Outcome::Masked));
+    json.field("sdc", dist.fraction(faults::Outcome::SDC));
+    json.field("other", dist.fraction(faults::Outcome::Other));
+    json.endObject();
+}
+
 int
 cmdProfile(const Options &opts)
 {
@@ -157,6 +185,17 @@ cmdProfile(const Options &opts)
         return 1;
     analysis::KernelAnalysis ka(*spec, opts.scale, opts.seed + 41);
     const auto &space = ka.space();
+    if (opts.json) {
+        JsonWriter json(std::cout);
+        json.beginObject();
+        json.field("kernel", spec->fullName());
+        json.field("scale", apps::scaleName(opts.scale));
+        json.field("threads", space.threadCount());
+        json.field("dynInstrs", space.totalDynInstrs());
+        json.field("faultSites", space.totalSites());
+        json.endObject();
+        return 0;
+    }
     std::cout << spec->fullName() << " @ " << apps::scaleName(opts.scale)
               << "\n"
               << "  threads:      " << space.threadCount() << "\n"
@@ -263,6 +302,25 @@ cmdPrune(const Options &opts)
     analysis::KernelAnalysis ka(*spec, opts.scale, opts.seed + 41);
     auto pruned = ka.prune(opts.pruning);
     const auto &c = pruned.counts;
+    if (opts.json) {
+        JsonWriter json(std::cout);
+        json.beginObject();
+        json.field("kernel", spec->fullName());
+        json.field("scale", apps::scaleName(opts.scale));
+        json.beginObject("stageCounts");
+        json.field("exhaustive", c.exhaustive);
+        json.field("afterThread", c.afterThread);
+        json.field("afterInstruction", c.afterInstruction);
+        json.field("afterLoop", c.afterLoop);
+        json.field("afterBit", c.afterBit);
+        json.endObject();
+        json.field("representatives",
+                   static_cast<std::uint64_t>(
+                       pruned.grouping.representativeCount()));
+        json.field("representedWeight", pruned.totalRepresentedWeight());
+        json.endObject();
+        return 0;
+    }
     std::cout << spec->fullName() << " progressive pruning:\n"
               << "  exhaustive:         " << fmtCount(c.exhaustive)
               << "\n"
@@ -287,19 +345,57 @@ cmdCampaign(const Options &opts)
     analysis::KernelAnalysis ka(*spec, opts.scale, opts.seed + 41);
     if (!opts.campaign.allowSlicing)
         ka.setSlicingEnabled(false);
+    if (!opts.campaign.allowCheckpoints)
+        ka.setCheckpointsEnabled(false);
     auto pruned = ka.prune(opts.pruning);
-    std::cout << spec->fullName() << "\n  engine: "
-              << ka.injector().slicingDescription() << "\n";
+    if (!opts.json) {
+        std::cout << spec->fullName() << "\n  engine: "
+                  << ka.injector().slicingDescription() << ", "
+                  << ka.injector().checkpointDescription() << "\n";
+    }
     auto estimate = ka.runPrunedCampaign(pruned, opts.campaign);
+    faults::CampaignResult baseline;
+    if (opts.baseline > 0)
+        baseline =
+            ka.runBaseline(opts.baseline, opts.seed + 17, opts.campaign);
+    const auto &stats = ka.parallelCampaign(opts.campaign).lastStats();
+
+    if (opts.json) {
+        JsonWriter json(std::cout);
+        json.beginObject();
+        json.field("kernel", spec->fullName());
+        json.field("scale", apps::scaleName(opts.scale));
+        json.field("seed", opts.seed);
+        json.beginObject("engine");
+        json.field("slicing", ka.injector().slicingDescription());
+        json.field("checkpoints", ka.injector().checkpointDescription());
+        json.field("slicingActive", ka.injector().slicingActive());
+        json.field("checkpointsActive",
+                   ka.injector().checkpointsActive());
+        json.field("workers", static_cast<std::uint64_t>(stats.workers));
+        json.endObject();
+        writeProfile(json, "prunedEstimate", estimate);
+        if (opts.baseline > 0)
+            writeProfile(json, "randomBaseline", baseline.dist);
+        json.beginObject("throughput");
+        json.field("sites", stats.sites);
+        json.field("chunks", stats.chunks);
+        json.field("elapsedSeconds", stats.elapsedSeconds);
+        json.field("sitesPerSecond", stats.sitesPerSecond);
+        json.endObject();
+        json.beginObject("injectionStats");
+        faults::writeInjectionStats(json, stats.injection);
+        json.endObject();
+        json.endObject();
+        return 0;
+    }
+
     std::cout << "  pruned estimate (" << estimate.runs()
               << " runs): " << estimate.summary() << "\n";
     if (opts.baseline > 0) {
-        auto baseline =
-            ka.runBaseline(opts.baseline, opts.seed + 17, opts.campaign);
         std::cout << "  random baseline (" << baseline.runs
                   << " runs): " << baseline.dist.summary() << "\n";
     }
-    const auto &stats = ka.parallelCampaign(opts.campaign).lastStats();
     std::cout << "  throughput: " << stats.summary() << "\n"
               << "  injection:  " << stats.injection.summary() << "\n";
     return 0;
