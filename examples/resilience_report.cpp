@@ -9,46 +9,27 @@
  *   4. inject the pruned space and print the weighted error-resilience
  *      profile, with a random baseline cross-check.
  *
- * Usage: resilience_report [App/Kx] [--paper] [--baseline N]
- *                          [--loop-iters N] [--bit-samples N]
- *                          [--seed N] [--workers N] [--chunk N]
- *                          [--no-slicing] [--no-checkpoints] [--json]
- *
- * --workers selects the parallel campaign engine's worker count
- * (default: hardware threads); results are bit-identical to a serial
- * campaign at any worker count, so parallelism only changes the
- * wall-clock and throughput report.  --no-slicing forces full-grid
- * injection runs even for CTA-independent kernels; --no-checkpoints
- * executes every injection run from instruction zero instead of
- * resuming from golden-run checkpoints; outcomes are bit-identical
- * with or without either.  --json replaces the report with a single
+ * Options are the shared tool set (analysis/cli_options.hh); run with
+ * --help for the generated list.  Highlights: --workers selects the
+ * campaign engine's worker count (results are bit-identical to serial
+ * at any setting); --no-slicing / --no-checkpoints are A/B switches
+ * (outcomes identical either way); --journal PATH makes the pruned
+ * campaign crash-safe and --resume continues a killed one without
+ * repeating its injections; --json replaces the report with a single
  * machine-readable document on stdout.
  */
 
-#include <cstdlib>
-#include <cstring>
 #include <iostream>
+#include <string>
 
 #include "analysis/analyzer.hh"
+#include "analysis/cli_options.hh"
 #include "apps/app.hh"
+#include "util/cli.hh"
 #include "util/json.hh"
 #include "util/table.hh"
 
 namespace {
-
-void
-usage()
-{
-    std::cerr << "usage: resilience_report [App/Kx] [--paper] "
-                 "[--baseline N] [--loop-iters N]\n"
-                 "                         [--bit-samples N] [--seed N] "
-                 "[--workers N] [--chunk N]\n"
-                 "                         [--no-slicing] "
-                 "[--no-checkpoints] [--json]\n"
-                 "kernels:\n";
-    for (const auto &spec : fsp::apps::allKernels())
-        std::cerr << "  " << spec.fullName() << "\n";
-}
 
 /** Emit an outcome distribution as a named JSON object. */
 void
@@ -73,82 +54,78 @@ main(int argc, char **argv)
     using namespace fsp;
 
     std::string name = "PathFinder/K1";
-    apps::Scale scale = apps::Scale::Small;
-    std::size_t baseline_runs = 2000;
-    bool json_output = false;
-    pruning::PruningConfig config;
-    faults::CampaignOptions campaign; // workers=0: hardware default
+    analysis::CommonCliOptions common;
 
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        auto next = [&]() -> const char * {
-            if (i + 1 >= argc) {
-                usage();
-                std::exit(1);
-            }
-            return argv[++i];
-        };
-        if (arg == "--paper") {
-            scale = apps::Scale::Paper;
-        } else if (arg == "--baseline") {
-            baseline_runs = std::strtoull(next(), nullptr, 10);
-        } else if (arg == "--loop-iters") {
-            config.loopIterations =
-                static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
-        } else if (arg == "--bit-samples") {
-            config.bitSamples =
-                static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
-        } else if (arg == "--seed") {
-            config.seed = std::strtoull(next(), nullptr, 10);
-        } else if (arg == "--workers") {
-            campaign.workers =
-                static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
-        } else if (arg == "--chunk") {
-            campaign.chunkSize = std::strtoull(next(), nullptr, 10);
-        } else if (arg == "--no-slicing") {
-            campaign.allowSlicing = false;
-            config.slicedProfiling = false;
-        } else if (arg == "--no-checkpoints") {
-            campaign.allowCheckpoints = false;
-            config.checkpoints = false;
-        } else if (arg == "--json") {
-            json_output = true;
-        } else if (arg == "--help" || arg == "-h") {
-            usage();
-            return 0;
-        } else {
-            name = arg;
-        }
+    OptionTable table;
+    table.setUsage("resilience_report [App/Kx] [options]");
+    table.positional("App/Kx", "kernel to analyse (default " + name + ")",
+                     [&name](const std::string &arg) {
+                         name = arg;
+                         return true;
+                     });
+    analysis::addCommonOptions(table, common);
+    std::string kernels = "kernels:\n";
+    for (const auto &spec : apps::allKernels())
+        kernels += "  " + spec.fullName() + "\n";
+    table.setEpilog(kernels);
+
+    switch (table.parse(argc, argv, 1, std::cerr)) {
+      case OptionTable::Parse::Ok:
+        break;
+      case OptionTable::Parse::Help:
+        return 0;
+      case OptionTable::Parse::Error:
+        return 1;
     }
+    if (!analysis::finalizeCommonOptions(common))
+        return 1;
 
     const apps::KernelSpec *spec = apps::findKernel(name);
     if (spec == nullptr) {
-        usage();
+        std::cerr << "unknown kernel '" << name << "'\n";
+        table.printHelp(std::cerr);
         return 1;
     }
 
-    analysis::KernelAnalysis ka(*spec, scale);
-    if (!campaign.allowSlicing)
+    analysis::KernelAnalysis ka(*spec, common.scale);
+    if (!common.campaign.allowSlicing)
         ka.setSlicingEnabled(false);
-    if (!campaign.allowCheckpoints)
+    if (!common.campaign.allowCheckpoints)
         ka.setCheckpointsEnabled(false);
 
-    if (json_output) {
+    // Journal (when requested) covers the pruned campaign only; the
+    // baseline runs journal-less (its random site list is a different
+    // campaign and would fail the header hash anyway).
+    faults::CampaignOptions pruned_options = common.campaign;
+    if (!pruned_options.journalPath.empty())
+        pruned_options.journalKey =
+            analysis::campaignJournalKey(*spec, common.scale, common);
+    faults::CampaignOptions baseline_options = common.campaign;
+    baseline_options.journalPath.clear();
+    baseline_options.resume = false;
+
+    if (common.json) {
         const auto &space = ka.space();
-        auto pruned = ka.prune(config);
-        auto estimate = ka.runPrunedCampaign(pruned, campaign);
-        auto pruned_stats = ka.parallelCampaign(campaign).lastStats();
+        auto pruned = ka.prune(common.pruning);
+        faults::OutcomeDist estimate;
+        try {
+            estimate = ka.runPrunedCampaign(pruned, pruned_options);
+        } catch (const faults::JournalError &error) {
+            std::cerr << "journal error: " << error.what() << "\n";
+            return 1;
+        }
+        auto pruned_stats = ka.campaignEngine(pruned_options).lastStats();
         faults::CampaignResult baseline;
-        if (baseline_runs > 0)
-            baseline =
-                ka.runBaseline(baseline_runs, config.seed + 17, campaign);
+        if (common.baseline > 0)
+            baseline = ka.runBaseline(common.baseline, common.seed + 17,
+                                      baseline_options);
 
         JsonWriter json(std::cout);
         json.beginObject();
         json.field("kernel", spec->fullName());
         json.field("suite", spec->suite);
-        json.field("scale", apps::scaleName(scale));
-        json.field("seed", config.seed);
+        json.field("scale", apps::scaleName(common.scale));
+        json.field("seed", common.seed);
         json.beginObject("faultSpace");
         json.field("threads", space.threadCount());
         json.field("dynInstrs", space.totalDynInstrs());
@@ -169,17 +146,10 @@ main(int argc, char **argv)
         json.field("afterBit", pruned.counts.afterBit);
         json.endObject();
         writeProfile(json, "prunedEstimate", estimate);
-        if (baseline_runs > 0)
+        if (common.baseline > 0)
             writeProfile(json, "randomBaseline", baseline.dist);
-        json.beginObject("throughput");
-        json.field("workers",
-                   static_cast<std::uint64_t>(pruned_stats.workers));
-        json.field("sites", pruned_stats.sites);
-        json.field("elapsedSeconds", pruned_stats.elapsedSeconds);
-        json.field("sitesPerSecond", pruned_stats.sitesPerSecond);
-        json.endObject();
-        json.beginObject("injectionStats");
-        faults::writeInjectionStats(json, pruned_stats.injection);
+        json.beginObject("campaignStats");
+        faults::writeCampaignStats(json, pruned_stats);
         json.endObject();
         json.endObject();
         return 0;
@@ -188,7 +158,7 @@ main(int argc, char **argv)
     std::cout << "=============================================\n"
               << " Resilience report: " << spec->suite << " "
               << spec->fullName() << " (" << spec->kernelName << ")\n"
-              << " scale: " << apps::scaleName(scale) << "\n"
+              << " scale: " << apps::scaleName(common.scale) << "\n"
               << "=============================================\n\n";
 
     // --- 1. Fault space.
@@ -208,7 +178,7 @@ main(int argc, char **argv)
               << "\n\n";
 
     // --- 2+3. Pruning pipeline.
-    auto pruned = ka.prune(config);
+    auto pruned = ka.prune(common.pruning);
     if (pruned.slicedProfiling) {
         std::cout << "    (profiling run sliced to " << pruned.profiledCtas
                   << " of " << ka.slicingPlan().ctaCount() << " CTAs)\n";
@@ -243,30 +213,46 @@ main(int argc, char **argv)
                    ratio(c.afterBit)});
     stages.print(std::cout);
 
-    // --- 4. Campaigns (parallel engine; bit-identical to serial).
+    // --- 4. Campaigns (unified engine; bit-identical to serial).
     std::cout << "\n[4] injection campaigns\n";
-    auto estimate = ka.runPrunedCampaign(pruned, campaign);
+    faults::OutcomeDist estimate;
+    try {
+        estimate = ka.runPrunedCampaign(pruned, pruned_options);
+    } catch (const faults::JournalError &error) {
+        std::cerr << "journal error: " << error.what() << "\n";
+        return 1;
+    }
     std::cout << "    pruned estimate:  " << estimate.summary() << "\n";
-    auto pruned_stats = ka.parallelCampaign(campaign).lastStats();
-    if (baseline_runs > 0) {
-        auto baseline =
-            ka.runBaseline(baseline_runs, config.seed + 17, campaign);
+    auto pruned_stats = ka.campaignEngine(pruned_options).lastStats();
+    if (pruned_stats.replayedSites > 0) {
+        std::cout << "    (journal resume: "
+                  << pruned_stats.replayedSites << " of "
+                  << pruned_stats.sites
+                  << " outcomes replayed, not re-injected)\n";
+    }
+    if (common.baseline > 0) {
+        auto baseline = ka.runBaseline(common.baseline, common.seed + 17,
+                                       baseline_options);
         std::cout << "    random baseline:  " << baseline.dist.summary()
                   << "\n";
     }
     std::cout << "\ninjections used: " << estimate.runs() << " (vs "
               << fmtCount(space.totalSites()) << " exhaustive)\n";
 
-    // --- 5. Campaign throughput.
-    const auto &stats = ka.parallelCampaign(campaign).lastStats();
-    std::cout << "\n[5] campaign throughput (most recent campaign)\n"
-              << "    workers:        " << stats.workers << " (chunk "
-              << stats.chunkSize << ", " << stats.chunks << " chunks)\n"
-              << "    pruned sweep:   " << pruned_stats.summary() << "\n"
-              << "    last campaign:  " << stats.summary() << "\n"
-              << "    injection:      " << stats.injection.summary() << "\n"
+    // --- 5. Campaign throughput (pruned sweep; per-phase breakdown).
+    std::cout << "\n[5] campaign throughput (pruned sweep)\n"
+              << "    workers:        " << pruned_stats.workers
+              << " (chunk " << pruned_stats.chunkSize << ", "
+              << pruned_stats.chunks << " chunks)\n"
+              << "    campaign:       " << pruned_stats.summary() << "\n"
+              << "    phases:         replay "
+              << fmtFixed(pruned_stats.replaySeconds, 3) << " s, inject "
+              << fmtFixed(pruned_stats.injectSeconds, 3) << " s, fold "
+              << fmtFixed(pruned_stats.foldSeconds, 3) << " s\n"
+              << "    injection:      " << pruned_stats.injection.summary()
+              << "\n"
               << "    per-worker runs:";
-    for (std::uint64_t runs : stats.perWorkerRuns)
+    for (std::uint64_t runs : pruned_stats.perWorkerRuns)
         std::cout << " " << runs;
     std::cout << "\n";
     return 0;

@@ -41,7 +41,7 @@ KernelAnalysis::setSlicingEnabled(bool enabled)
     injector().setSlicingEnabled(enabled);
     // The engine's worker injectors are clones; rebuild them with the
     // new setting on next use.
-    parallel_.reset();
+    engine_.reset();
 }
 
 void
@@ -50,7 +50,7 @@ KernelAnalysis::setCheckpointsEnabled(bool enabled)
     checkpoints_enabled_ = enabled;
     if (injector_)
         injector_->setCheckpointsEnabled(enabled);
-    parallel_.reset();
+    engine_.reset();
 }
 
 pruning::PruningResult
@@ -58,7 +58,7 @@ KernelAnalysis::prune(const pruning::PruningConfig &config)
 {
     // The pipeline itself never injects, but the campaigns that follow
     // it do: honour the config's A/B switch before they run.
-    if (!config.checkpoints)
+    if (!config.execution.checkpoints)
         setCheckpointsEnabled(false);
     const faults::SlicingPlan *slicing =
         injector().slicingEnabled() ? &injector().slicingPlan() : nullptr;
@@ -81,7 +81,7 @@ KernelAnalysis::runPrunedCampaign(const pruning::PruningResult &pruned,
                                   const faults::CampaignOptions &options)
 {
     faults::CampaignResult result =
-        parallelCampaign(options).runWeightedSiteList(pruned.sites);
+        campaignEngine(options).run(pruned.sites);
     result.dist.addWeight(faults::Outcome::Masked,
                           pruned.assumedMaskedWeight);
     return result.dist;
@@ -99,25 +99,18 @@ KernelAnalysis::runBaseline(std::size_t runs, std::uint64_t seed,
                             const faults::CampaignOptions &options)
 {
     Prng prng(seed);
-    return parallelCampaign(options).runRandomCampaign(space(), runs,
-                                                       prng);
+    return campaignEngine(options).run(space(), runs, prng);
 }
 
-faults::ParallelCampaign &
-KernelAnalysis::parallelCampaign(const faults::CampaignOptions &options)
+faults::CampaignEngine &
+KernelAnalysis::campaignEngine(const faults::CampaignOptions &options)
 {
-    if (!parallel_ || parallel_workers_ != options.workers ||
-        parallel_chunk_ != options.chunkSize ||
-        parallel_slicing_ != options.allowSlicing ||
-        parallel_checkpoints_ != options.allowCheckpoints) {
-        parallel_ = std::make_unique<faults::ParallelCampaign>(
-            injector(), options);
-        parallel_workers_ = options.workers;
-        parallel_chunk_ = options.chunkSize;
-        parallel_slicing_ = options.allowSlicing;
-        parallel_checkpoints_ = options.allowCheckpoints;
+    if (!engine_ || !engine_options_.sameEngineConfig(options)) {
+        engine_ =
+            std::make_unique<faults::CampaignEngine>(injector(), options);
+        engine_options_ = options;
     }
-    return *parallel_;
+    return *engine_;
 }
 
 } // namespace fsp::analysis

@@ -22,9 +22,9 @@
 
 #include "apps/app.hh"
 #include "faults/campaign.hh"
+#include "faults/campaign_engine.hh"
 #include "faults/fault_space.hh"
 #include "faults/injector.hh"
-#include "faults/parallel_campaign.hh"
 #include "pruning/pipeline.hh"
 #include "sim/executor.hh"
 
@@ -84,7 +84,7 @@ class KernelAnalysis
     /**
      * Run the progressive pruning pipeline.  The injector's slicing
      * plan scopes the traced profiling run to the representatives'
-     * CTAs when config.slicedProfiling permits.
+     * CTAs when config.execution.slicedProfiling permits.
      */
     pruning::PruningResult prune(const pruning::PruningConfig &config);
 
@@ -113,12 +113,21 @@ class KernelAnalysis
                                        const faults::CampaignOptions &options);
 
     /**
-     * The parallel campaign engine, cloned from injector() (golden run
-     * shared with the serial path).  Rebuilt when @p options changes
-     * worker count or chunk size.
+     * The campaign engine, cloned from injector() (golden run shared
+     * with the serial path).  Rebuilt when @p options configures a
+     * different engine (see CampaignOptions::sameEngineConfig); the
+     * cached engine's most recent CampaignStats are reachable through
+     * the returned reference's lastStats().
      */
-    faults::ParallelCampaign &
-    parallelCampaign(const faults::CampaignOptions &options = {});
+    faults::CampaignEngine &
+    campaignEngine(const faults::CampaignOptions &options = {});
+
+    /** DEPRECATED pre-facade name for campaignEngine(). */
+    faults::CampaignEngine &
+    parallelCampaign(const faults::CampaignOptions &options = {})
+    {
+        return campaignEngine(options);
+    }
 
   private:
     const apps::KernelSpec &spec_;
@@ -126,11 +135,8 @@ class KernelAnalysis
     std::unique_ptr<sim::Executor> executor_;
     std::optional<faults::FaultSpace> space_;
     std::optional<faults::Injector> injector_;
-    std::unique_ptr<faults::ParallelCampaign> parallel_;
-    unsigned parallel_workers_ = 0;
-    std::size_t parallel_chunk_ = 0;
-    bool parallel_slicing_ = true;
-    bool parallel_checkpoints_ = true;
+    std::unique_ptr<faults::CampaignEngine> engine_;
+    faults::CampaignOptions engine_options_; ///< config engine_ was built with
     bool checkpoints_enabled_ = true;
 };
 

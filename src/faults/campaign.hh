@@ -1,8 +1,15 @@
 /**
  * @file
- * Campaign drivers: exhaustive injection over an explicit (optionally
- * weighted) site list, and the statistical random-sampling baseline the
- * paper compares against (section II-D).
+ * Serial campaign drivers: exhaustive injection over an explicit
+ * (optionally weighted) site list, and the statistical random-sampling
+ * baseline the paper compares against (section II-D).
+ *
+ * DEPRECATED entry points: new code should drive campaigns through the
+ * faults::CampaignEngine facade (campaign_engine.hh), which subsumes
+ * these drivers (bit-identical results at any worker count) and adds
+ * crash-safe journaling/resume.  The free functions below remain as
+ * thin aliases for existing callers and as the reference
+ * implementation the engine's determinism suite compares against.
  */
 
 #ifndef FSP_FAULTS_CAMPAIGN_HH

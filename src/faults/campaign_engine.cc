@@ -1,0 +1,359 @@
+/**
+ * @file
+ * Unified campaign engine implementation.
+ */
+
+#include "faults/campaign_engine.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <numeric>
+#include <optional>
+
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace fsp::faults {
+
+std::string
+CampaignStats::summary() const
+{
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "%llu sites in %.3f s (%.0f sites/s, %u workers, "
+                  "chunk %zu)",
+                  static_cast<unsigned long long>(sites),
+                  elapsedSeconds, sitesPerSecond, workers, chunkSize);
+    std::string text = buf;
+    if (replayedSites > 0) {
+        std::snprintf(buf, sizeof(buf),
+                      ", %llu replayed from journal",
+                      static_cast<unsigned long long>(replayedSites));
+        text += buf;
+    }
+    if (injection.slicedRuns > 0) {
+        std::snprintf(buf, sizeof(buf),
+                      ", sliced %llu/%llu (%llu hazard fallbacks)",
+                      static_cast<unsigned long long>(injection.slicedRuns),
+                      static_cast<unsigned long long>(injection.injections),
+                      static_cast<unsigned long long>(
+                          injection.hazardFallbacks));
+        text += buf;
+    }
+    if (injection.checkpointRestores > 0) {
+        std::snprintf(
+            buf, sizeof(buf),
+            ", ckpt-restores %llu (skipped %llu instrs)",
+            static_cast<unsigned long long>(injection.checkpointRestores),
+            static_cast<unsigned long long>(injection.skippedDynInstrs));
+        text += buf;
+    }
+    return text;
+}
+
+void
+writeCampaignStats(JsonWriter &json, const CampaignStats &stats)
+{
+    json.field("workers", static_cast<std::uint64_t>(stats.workers));
+    json.field("chunks", stats.chunks);
+    json.field("sites", stats.sites);
+    json.field("injectedSites", stats.injectedSites);
+    json.field("replayedSites", stats.replayedSites);
+    json.beginObject("phases");
+    json.field("replaySeconds", stats.replaySeconds);
+    json.field("injectSeconds", stats.injectSeconds);
+    json.field("foldSeconds", stats.foldSeconds);
+    json.field("elapsedSeconds", stats.elapsedSeconds);
+    json.endObject();
+    json.field("sitesPerSecond", stats.sitesPerSecond);
+    if (!stats.journalPath.empty()) {
+        json.beginObject("journal");
+        json.field("path", stats.journalPath);
+        json.field("resumed", stats.resumed);
+        json.field("replayedSites", stats.replayedSites);
+        json.endObject();
+    }
+    json.beginObject("injectionStats");
+    writeInjectionStats(json, stats.injection);
+    json.endObject();
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** Resolve the worker count an options struct asks for. */
+unsigned
+resolveWorkers(const CampaignOptions &options)
+{
+    return options.workers > 0 ? options.workers
+                               : ThreadPool::defaultWorkerCount();
+}
+
+/** Resolve the chunk size: explicit, or ~4 chunks per worker. */
+std::size_t
+resolveChunkSize(const CampaignOptions &options, std::size_t sites,
+                 unsigned workers)
+{
+    if (options.chunkSize > 0)
+        return options.chunkSize;
+    std::size_t target_chunks = static_cast<std::size_t>(workers) * 4;
+    return std::max<std::size_t>(1, (sites + target_chunks - 1) /
+                                        target_chunks);
+}
+
+/** Prototype-injector knobs implied by the campaign options. */
+InjectorOptions
+injectorOptionsFor(const CampaignOptions &options)
+{
+    InjectorOptions injector_options;
+    injector_options.checkpoints = options.allowCheckpoints;
+    return injector_options;
+}
+
+} // namespace
+
+CampaignEngine::CampaignEngine(const sim::Program &program,
+                               const sim::LaunchConfig &config,
+                               const sim::GlobalMemory &image,
+                               std::vector<OutputRegion> outputs,
+                               CampaignOptions options)
+    // Pass `options` by copy rather than move: the Injector temporary
+    // also reads it (injectorOptionsFor) and argument evaluation order
+    // is unspecified.
+    : CampaignEngine(
+          Injector(program, config, image, std::move(outputs),
+                   injectorOptionsFor(options)),
+          options)
+{
+}
+
+CampaignEngine::CampaignEngine(const Injector &prototype,
+                               CampaignOptions options)
+    : options_(std::move(options)), pool_(resolveWorkers(options_))
+{
+    injectors_.reserve(pool_.workerCount());
+    for (unsigned i = 0; i < pool_.workerCount(); ++i) {
+        injectors_.push_back(prototype.clone());
+        if (!options_.allowSlicing)
+            injectors_.back()->setSlicingEnabled(false);
+        if (!options_.allowCheckpoints)
+            injectors_.back()->setCheckpointsEnabled(false);
+    }
+}
+
+std::uint64_t
+CampaignEngine::runsPerformed() const
+{
+    std::uint64_t total = 0;
+    for (const auto &injector : injectors_)
+        total += injector->runsPerformed();
+    return total;
+}
+
+void
+CampaignEngine::classifyPending(
+    const std::vector<std::size_t> &pending,
+    const std::function<const FaultSite &(std::size_t)> &siteAt,
+    std::vector<Outcome> &outcomes, CampaignJournal *journal)
+{
+    unsigned workers = pool_.workerCount();
+    std::size_t count = pending.size();
+    std::size_t chunk_size = resolveChunkSize(options_, count, workers);
+    std::size_t chunks =
+        count > 0 ? (count + chunk_size - 1) / chunk_size : 0;
+
+    stats_.workers = workers;
+    stats_.chunkSize = chunk_size;
+    stats_.chunks = chunks;
+    stats_.perWorkerRuns.assign(workers, 0);
+
+    const std::uint64_t block_threads =
+        injectors_[0]->executor().config().block.count();
+
+    std::mutex progress_mutex;
+    std::uint64_t sites_done = 0;
+
+    std::vector<InjectionStats> before;
+    before.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        before.push_back(injectors_[w]->stats());
+
+    pool_.parallelFor(chunks, [&](std::size_t chunk, unsigned worker) {
+        std::size_t begin = chunk * chunk_size;
+        std::size_t end = std::min(begin + chunk_size, count);
+        Injector &injector = *injectors_[worker];
+
+        // Process the chunk in (cta, thread, dynIndex) order so
+        // consecutive sites resume from the same checkpoint; outcomes
+        // land at their original index, so results are unaffected.
+        std::vector<std::size_t> order(pending.begin() +
+                                           static_cast<std::ptrdiff_t>(
+                                               begin),
+                                       pending.begin() +
+                                           static_cast<std::ptrdiff_t>(
+                                               end));
+        auto keyOf = [&](std::size_t original) -> SiteKey {
+            const FaultSite &site = siteAt(original);
+            return {site.thread / block_threads, site.thread,
+                    site.dynIndex};
+        };
+        std::sort(order.begin(), order.end(),
+                  [&keyOf](std::size_t a, std::size_t b) {
+                      return keyOf(a) < keyOf(b);
+                  });
+        for (std::size_t original : order)
+            outcomes[original] = injector.inject(siteAt(original));
+
+        std::lock_guard<std::mutex> lock(progress_mutex);
+        stats_.perWorkerRuns[worker] += end - begin;
+        sites_done += end - begin;
+        if (journal) {
+            // The chunk fold point: make this chunk's outcomes durable
+            // in one write + fsync before reporting progress, so a
+            // kill never loses a chunk whose progress was observed.
+            for (std::size_t p = begin; p < end; ++p)
+                journal->append(pending[p], outcomes[pending[p]]);
+            journal->commitChunk();
+        }
+        if (options_.progressCallback)
+            options_.progressCallback({sites_done, count});
+        if (options_.abortAfterSites > 0 &&
+            sites_done >= options_.abortAfterSites) {
+            throw CampaignAborted(
+                "campaign aborted by abortAfterSites after " +
+                std::to_string(sites_done) + " sites");
+        }
+    });
+
+    for (unsigned w = 0; w < workers; ++w)
+        stats_.injection.merge(injectors_[w]->stats().since(before[w]));
+}
+
+CampaignResult
+CampaignEngine::runCampaign(
+    std::size_t count,
+    const std::function<const FaultSite &(std::size_t)> &siteAt,
+    const std::function<double(std::size_t)> &weightAt, bool weighted,
+    const char *label)
+{
+    auto t_start = Clock::now();
+    stats_ = CampaignStats{};
+    stats_.sites = count;
+    stats_.journalPath = options_.journalPath;
+
+    // --- Phase 1: journal open / outcome replay.
+    std::vector<Outcome> outcomes(count, Outcome::Invalid);
+    std::vector<std::size_t> pending;
+    std::optional<CampaignJournal> journal;
+    CampaignJournal::Resume resume;
+    if (!options_.journalPath.empty()) {
+        std::uint64_t hash =
+            journalHeaderHash(options_.journalKey, count, siteAt,
+                              weightAt);
+        if (options_.resume) {
+            journal.emplace(CampaignJournal::openOrResume(
+                options_.journalPath, hash, count, resume));
+            stats_.resumed = true;
+        } else {
+            journal.emplace(CampaignJournal::create(options_.journalPath,
+                                                    hash, count));
+        }
+    }
+    if (resume.done.size() == count && resume.doneCount > 0) {
+        for (std::size_t i = 0; i < count; ++i) {
+            if (resume.done[i])
+                outcomes[i] = resume.outcomes[i];
+            else
+                pending.push_back(i);
+        }
+    } else {
+        pending.resize(count);
+        std::iota(pending.begin(), pending.end(), std::size_t{0});
+    }
+    stats_.replayedSites = count - pending.size();
+    stats_.replaySeconds = secondsSince(t_start);
+
+    // --- Phase 2: parallel classification of the remaining sites.
+    auto t_inject = Clock::now();
+    classifyPending(pending, siteAt, outcomes,
+                    journal ? &*journal : nullptr);
+    stats_.injectedSites = pending.size();
+    stats_.injectSeconds = secondsSince(t_inject);
+    stats_.sitesPerSecond =
+        stats_.injectSeconds > 0.0
+            ? static_cast<double>(stats_.injectedSites) /
+                  stats_.injectSeconds
+            : 0.0;
+
+    // --- Phase 3: serial fold in site order.  Identical order whether
+    // an outcome was injected now or replayed from the journal, so the
+    // weighted double accumulation is bit-identical to an
+    // uninterrupted serial campaign.
+    auto t_fold = Clock::now();
+    CampaignResult result;
+    for (std::size_t i = 0; i < count; ++i) {
+        if (weighted)
+            result.dist.add(outcomes[i], weightAt(i));
+        else
+            result.dist.add(outcomes[i]);
+        result.runs++;
+    }
+    result.injection = stats_.injection;
+    stats_.foldSeconds = secondsSince(t_fold);
+    stats_.elapsedSeconds = secondsSince(t_start);
+
+    // Seal the journal unless this was a replay of an already-complete
+    // campaign (its footer already records the original run's phases).
+    if (journal && !resume.complete) {
+        CampaignJournal::Phases phases;
+        phases.replaySeconds = stats_.replaySeconds;
+        phases.injectSeconds = stats_.injectSeconds;
+        phases.foldSeconds = stats_.foldSeconds;
+        phases.sitesPerSecond = stats_.sitesPerSecond;
+        phases.sitesDone = count;
+        phases.workers = stats_.workers;
+        journal->writeFooter(phases);
+    }
+
+    inform(label, stats_.summary());
+    return result;
+}
+
+CampaignResult
+CampaignEngine::run(const std::vector<FaultSite> &sites)
+{
+    return runCampaign(
+        sites.size(),
+        [&sites](std::size_t i) -> const FaultSite & { return sites[i]; },
+        [](std::size_t) { return 1.0; }, false, "campaign: ");
+}
+
+CampaignResult
+CampaignEngine::run(const std::vector<WeightedSite> &sites)
+{
+    return runCampaign(
+        sites.size(),
+        [&sites](std::size_t i) -> const FaultSite & {
+            return sites[i].site;
+        },
+        [&sites](std::size_t i) { return sites[i].weight; }, true,
+        "campaign (weighted): ");
+}
+
+CampaignResult
+CampaignEngine::run(const FaultSpace &space, std::size_t runs, Prng &prng)
+{
+    auto sites = space.sampleSites(runs, prng);
+    return run(sites);
+}
+
+} // namespace fsp::faults

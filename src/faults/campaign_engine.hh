@@ -1,0 +1,300 @@
+/**
+ * @file
+ * The unified campaign engine: one facade over every way this library
+ * runs an injection campaign -- explicit site lists, weighted (pruned)
+ * site lists, and the random-sampling statistical baseline -- serial
+ * or parallel, with optional crash-safe journaling and resume.
+ *
+ * Every injection run of a campaign is independent (the injector
+ * restores the pristine image before each run), so the engine shards
+ * its site list into fixed chunks, executes the chunks on a thread
+ * pool with one private Injector per worker, and records each site's
+ * Outcome into its slot of a pre-sized array.  The final tally is then
+ * folded *serially in site order*, which makes the result -- run
+ * counts and the weighted double accumulation alike -- bit-identical
+ * to the serial drivers in campaign.hh regardless of worker count,
+ * chunk size, scheduling, or how many outcomes were replayed from a
+ * journal instead of injected.
+ *
+ * Durable sessions: when CampaignOptions::journalPath is set, every
+ * completed chunk's outcomes are appended to a faults::CampaignJournal
+ * and fsync'd from the chunk fold point.  A campaign killed mid-run
+ * and restarted with CampaignOptions::resume replays the journal,
+ * injects only the remaining sites, and produces the same profile
+ * bit-for-bit (see tests/test_campaign_journal).
+ */
+
+#ifndef FSP_FAULTS_CAMPAIGN_ENGINE_HH
+#define FSP_FAULTS_CAMPAIGN_ENGINE_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "faults/campaign.hh"
+#include "faults/campaign_journal.hh"
+#include "faults/fault_space.hh"
+#include "faults/injector.hh"
+#include "util/prng.hh"
+#include "util/thread_pool.hh"
+
+namespace fsp {
+class JsonWriter;
+} // namespace fsp
+
+namespace fsp::faults {
+
+/** Snapshot handed to a campaign progress callback. */
+struct CampaignProgress
+{
+    std::uint64_t sitesDone = 0;
+    std::uint64_t sitesTotal = 0;
+};
+
+/**
+ * Thrown by the engine's testing hook (abortAfterSites) after the
+ * current chunk's journal records are durably committed -- the state a
+ * SIGKILL between chunk commits leaves behind.
+ */
+class CampaignAborted : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Campaign engine knobs. */
+struct CampaignOptions
+{
+    /** Worker threads; 0 selects ThreadPool::defaultWorkerCount(). */
+    unsigned workers = 0;
+
+    /** Sites per chunk; 0 derives one from the list and worker count. */
+    std::size_t chunkSize = 0;
+
+    /**
+     * Invoked after every completed chunk (from a worker thread, under
+     * the engine's progress lock -- keep it cheap).
+     */
+    std::function<void(const CampaignProgress &)> progressCallback;
+
+    /**
+     * Permit the sliced injection path when the kernel's CTAs are
+     * independent.  false forces full-grid runs on every worker
+     * (useful for A/B validation and benchmarking).
+     */
+    bool allowSlicing = true;
+
+    /**
+     * Permit checkpointed temporal replay.  false skips checkpoint
+     * recording (when the engine constructs its own prototype) and
+     * forces every worker to execute injections from instruction zero
+     * (the A/B switch behind fsp/resilience_report --no-checkpoints).
+     */
+    bool allowCheckpoints = true;
+
+    /** @{ Durable sessions (crash-safe result journal). */
+    /** On-disk journal path; empty disables journaling. */
+    std::string journalPath;
+
+    /**
+     * Resume from an existing journal (validating its header hash and
+     * replaying completed sites) instead of truncating it.  A missing
+     * file starts a fresh journal either way.
+     */
+    bool resume = false;
+
+    /** Campaign identity folded into the journal header hash. */
+    JournalKey journalKey;
+
+    /**
+     * Testing hook simulating a kill: once at least this many sites of
+     * the run have been classified, throw CampaignAborted from the
+     * chunk fold point *after* the journal commit (so the journal is
+     * exactly as durable as a real SIGKILL between commits would leave
+     * it); 0 disables.
+     */
+    std::uint64_t abortAfterSites = 0;
+    /** @} */
+
+    /**
+     * Does @p other configure an identical engine?  Ignores the
+     * progress callback; used by caches (the analysis facade) to
+     * decide whether an existing engine can be reused.
+     */
+    bool sameEngineConfig(const CampaignOptions &other) const
+    {
+        return workers == other.workers && chunkSize == other.chunkSize &&
+               allowSlicing == other.allowSlicing &&
+               allowCheckpoints == other.allowCheckpoints &&
+               journalPath == other.journalPath &&
+               resume == other.resume &&
+               journalKey.tag == other.journalKey.tag &&
+               journalKey.seed == other.journalKey.seed &&
+               abortAfterSites == other.abortAfterSites;
+    }
+};
+
+/**
+ * Per-phase wall time and throughput report for the engine's most
+ * recent campaign, sealed into the journal footer when a journal is
+ * attached and surfaced by the tools' --json output.
+ */
+struct CampaignStats
+{
+    unsigned workers = 0;
+    std::size_t chunkSize = 0;
+    std::uint64_t chunks = 0;
+    std::uint64_t sites = 0;         ///< campaign size (replayed + injected)
+    std::uint64_t injectedSites = 0; ///< classified by this run
+    std::uint64_t replayedSites = 0; ///< satisfied from the journal
+    std::vector<std::uint64_t> perWorkerRuns; ///< runs executed per worker
+    double replaySeconds = 0.0;  ///< journal open + outcome replay
+    double injectSeconds = 0.0;  ///< parallel classification
+    double foldSeconds = 0.0;    ///< serial outcome fold + footer
+    double elapsedSeconds = 0.0; ///< replay + inject + fold
+    double sitesPerSecond = 0.0; ///< injectedSites / injectSeconds
+    InjectionStats injection; ///< summed over workers, this campaign only
+    std::string journalPath;  ///< empty when no journal was attached
+    bool resumed = false;     ///< run opened an existing journal
+
+    /** One-line human-readable summary for logs. */
+    std::string summary() const;
+};
+
+/**
+ * Emit a CampaignStats report as fields of the currently open JSON
+ * object: phase wall times, throughput, journal state, and the nested
+ * injection counters (the machine-readable counterpart of summary(),
+ * shared by the fsp and resilience_report --json outputs).
+ */
+void writeCampaignStats(JsonWriter &json, const CampaignStats &stats);
+
+/**
+ * A reusable campaign engine for one kernel launch.
+ *
+ * Construction performs the golden run once (via a prototype Injector)
+ * and clones it per worker; the engine can then run any number of
+ * campaigns.  Results are guaranteed identical to campaign.hh's serial
+ * drivers (see the determinism suite in tests/test_parallel_campaign),
+ * including across journal kill/resume cycles.
+ */
+class CampaignEngine
+{
+  public:
+    /** Mirror of Injector's constructor; performs the golden run. */
+    CampaignEngine(const sim::Program &program,
+                   const sim::LaunchConfig &config,
+                   const sim::GlobalMemory &image,
+                   std::vector<OutputRegion> outputs,
+                   CampaignOptions options = {});
+
+    /**
+     * Build from an existing injector whose golden state is simply
+     * cloned -- no additional golden run.
+     */
+    CampaignEngine(const Injector &prototype,
+                   CampaignOptions options = {});
+
+    /** Inject every site in the list, tallying unweighted outcomes. */
+    CampaignResult run(const std::vector<FaultSite> &sites);
+
+    /** Inject every weighted site, tallying weighted outcomes. */
+    CampaignResult run(const std::vector<WeightedSite> &sites);
+
+    /**
+     * The statistical baseline: @p runs sites drawn uniformly at
+     * random from the full fault space (with replacement) by the
+     * caller's @p prng exactly as in the serial driver (the generator
+     * advances identically), then injected and tallied.
+     */
+    CampaignResult run(const FaultSpace &space, std::size_t runs,
+                       Prng &prng);
+
+    /** @{ Deprecated aliases: the pre-facade ParallelCampaign names. */
+    CampaignResult
+    runSiteList(const std::vector<FaultSite> &sites)
+    {
+        return run(sites);
+    }
+
+    CampaignResult
+    runWeightedSiteList(const std::vector<WeightedSite> &sites)
+    {
+        return run(sites);
+    }
+
+    CampaignResult
+    runRandomCampaign(const FaultSpace &space, std::size_t runs,
+                      Prng &prng)
+    {
+        return run(space, runs, prng);
+    }
+    /** @} */
+
+    unsigned workerCount() const { return pool_.workerCount(); }
+
+    /** Do the workers' injectors use the sliced path? */
+    bool slicingActive() const { return injectors_[0]->slicingActive(); }
+
+    /** Do the workers' injectors resume from checkpoints? */
+    bool
+    checkpointsActive() const
+    {
+        return injectors_[0]->checkpointsActive();
+    }
+
+    /** The workers' shared CTA-independence decision. */
+    const SlicingPlan &
+    slicingPlan() const
+    {
+        return injectors_[0]->slicingPlan();
+    }
+
+    /** Injection runs performed so far, summed over all workers. */
+    std::uint64_t runsPerformed() const;
+
+    /** Throughput/worker report for the most recent campaign. */
+    const CampaignStats &lastStats() const { return stats_; }
+
+  private:
+    /** Chunk-local processing key: (cta, thread, dynIndex). */
+    using SiteKey = std::array<std::uint64_t, 3>;
+
+    /**
+     * One complete campaign: journal open/replay, parallel
+     * classification of the pending sites, serial in-order fold, and
+     * footer sealing.  @p siteAt / @p weightAt address the campaign's
+     * site list by original index; @p weighted selects the fold.
+     */
+    CampaignResult runCampaign(
+        std::size_t count,
+        const std::function<const FaultSite &(std::size_t)> &siteAt,
+        const std::function<double(std::size_t)> &weightAt, bool weighted,
+        const char *label);
+
+    /**
+     * Shard @p pending (original site indices) into chunks, classify
+     * every pending site on the pool, and write outcomes into
+     * @p outcomes indexed by *original* site position -- so the fold
+     * never depends on scheduling.  Each chunk processes its sites in
+     * ascending (cta, thread, dynIndex) order (successive sites then
+     * share a CTA checkpoint), and commits its records to @p journal
+     * (when non-null) from the fold point under the progress lock.
+     */
+    void classifyPending(
+        const std::vector<std::size_t> &pending,
+        const std::function<const FaultSite &(std::size_t)> &siteAt,
+        std::vector<Outcome> &outcomes, CampaignJournal *journal);
+
+    CampaignOptions options_;
+    std::vector<std::unique_ptr<Injector>> injectors_; ///< one per worker
+    ThreadPool pool_;
+    CampaignStats stats_;
+};
+
+} // namespace fsp::faults
+
+#endif // FSP_FAULTS_CAMPAIGN_ENGINE_HH

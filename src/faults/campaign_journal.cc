@@ -1,0 +1,444 @@
+/**
+ * @file
+ * Campaign journal implementation.  POSIX I/O by design: durability
+ * comes from one write() + fsync() per chunk, and the reader parses a
+ * whole-file snapshot so validation sees exactly what a restarted
+ * process would.
+ */
+
+#include "faults/campaign_journal.hh"
+
+#include <bit>
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "util/logging.hh"
+
+namespace fsp::faults {
+
+namespace {
+
+constexpr char kMagic[8] = {'F', 'S', 'P', 'J', 'N', 'L', '0', '1'};
+constexpr std::uint64_t kFooterSentinel = ~std::uint64_t{0};
+
+struct JournalHeader
+{
+    char magic[8];
+    std::uint64_t headerHash;
+    std::uint64_t siteCount;
+    std::uint64_t reserved;
+    std::uint64_t checksum; ///< hash of every preceding field
+};
+static_assert(sizeof(JournalHeader) == 40, "header layout drifted");
+
+struct JournalRecord
+{
+    std::uint64_t siteIndex;
+    std::uint32_t outcome;
+    std::uint32_t checksum; ///< hash of (headerHash, siteIndex, outcome)
+};
+static_assert(sizeof(JournalRecord) == 16, "record layout drifted");
+
+struct JournalFooter
+{
+    std::uint64_t sentinel; ///< kFooterSentinel, never a site index
+    double replaySeconds;
+    double injectSeconds;
+    double foldSeconds;
+    double sitesPerSecond;
+    std::uint64_t sitesDone;
+    std::uint32_t workers;
+    std::uint32_t checksum; ///< hash of every preceding field
+};
+static_assert(sizeof(JournalFooter) == 56, "footer layout drifted");
+
+std::uint64_t
+headerChecksum(const JournalHeader &header)
+{
+    JournalHasher hasher;
+    hasher.update(header.magic, sizeof(header.magic));
+    hasher.update(header.headerHash);
+    hasher.update(header.siteCount);
+    hasher.update(header.reserved);
+    return hasher.digest();
+}
+
+std::uint32_t
+recordChecksum(std::uint64_t headerHash, std::uint64_t siteIndex,
+               std::uint32_t outcome)
+{
+    JournalHasher hasher;
+    hasher.update(headerHash);
+    hasher.update(siteIndex);
+    hasher.update(std::uint64_t{outcome});
+    return static_cast<std::uint32_t>(hasher.digest());
+}
+
+std::uint32_t
+footerChecksum(std::uint64_t headerHash, const JournalFooter &footer)
+{
+    JournalHasher hasher;
+    hasher.update(headerHash);
+    hasher.update(footer.sentinel);
+    hasher.update(footer.replaySeconds);
+    hasher.update(footer.injectSeconds);
+    hasher.update(footer.foldSeconds);
+    hasher.update(footer.sitesPerSecond);
+    hasher.update(footer.sitesDone);
+    hasher.update(std::uint64_t{footer.workers});
+    return static_cast<std::uint32_t>(hasher.digest());
+}
+
+[[noreturn]] void
+throwErrno(const std::string &what, const std::string &path)
+{
+    throw JournalError(what + " '" + path + "': " + std::strerror(errno));
+}
+
+/** Read the whole file through @p fd (position is left undefined). */
+std::vector<std::uint8_t>
+readWholeFile(int fd, const std::string &path)
+{
+    std::vector<std::uint8_t> bytes;
+    if (::lseek(fd, 0, SEEK_SET) < 0)
+        throwErrno("cannot seek journal", path);
+    std::uint8_t buf[1 << 16];
+    for (;;) {
+        ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throwErrno("cannot read journal", path);
+        }
+        if (n == 0)
+            break;
+        bytes.insert(bytes.end(), buf, buf + n);
+    }
+    return bytes;
+}
+
+} // namespace
+
+void
+JournalHasher::update(const void *bytes, std::size_t size)
+{
+    const auto *p = static_cast<const std::uint8_t *>(bytes);
+    for (std::size_t i = 0; i < size; ++i) {
+        state_ ^= p[i];
+        state_ *= 0x100000001b3ULL;
+    }
+}
+
+void
+JournalHasher::update(std::string_view text)
+{
+    // Fold the length in first so "ab","c" and "a","bc" differ.
+    update(static_cast<std::uint64_t>(text.size()));
+    update(text.data(), text.size());
+}
+
+void
+JournalHasher::update(std::uint64_t value)
+{
+    update(&value, sizeof(value));
+}
+
+void
+JournalHasher::update(double value)
+{
+    update(std::bit_cast<std::uint64_t>(value));
+}
+
+std::uint64_t
+journalHeaderHash(const JournalKey &key, std::size_t count,
+                  const std::function<const FaultSite &(std::size_t)> &siteAt,
+                  const std::function<double(std::size_t)> &weightAt)
+{
+    JournalHasher hasher;
+    hasher.update(key.tag);
+    hasher.update(key.seed);
+    hasher.update(static_cast<std::uint64_t>(count));
+    for (std::size_t i = 0; i < count; ++i) {
+        const FaultSite &site = siteAt(i);
+        hasher.update(site.thread);
+        hasher.update(site.dynIndex);
+        hasher.update(std::uint64_t{site.bit});
+        hasher.update(weightAt(i));
+    }
+    return hasher.digest();
+}
+
+std::uint64_t
+journalHeaderHash(const JournalKey &key,
+                  const std::vector<WeightedSite> &sites)
+{
+    return journalHeaderHash(
+        key, sites.size(),
+        [&sites](std::size_t i) -> const FaultSite & {
+            return sites[i].site;
+        },
+        [&sites](std::size_t i) { return sites[i].weight; });
+}
+
+std::uint64_t
+journalHeaderHash(const JournalKey &key,
+                  const std::vector<FaultSite> &sites)
+{
+    return journalHeaderHash(
+        key, sites.size(),
+        [&sites](std::size_t i) -> const FaultSite & { return sites[i]; },
+        [](std::size_t) { return 1.0; });
+}
+
+CampaignJournal::CampaignJournal(std::string path, int fd,
+                                 std::uint64_t headerHash)
+    : path_(std::move(path)), fd_(fd), header_hash_(headerHash)
+{
+}
+
+CampaignJournal::CampaignJournal(CampaignJournal &&other) noexcept
+    : path_(std::move(other.path_)), fd_(other.fd_),
+      header_hash_(other.header_hash_),
+      pending_(std::move(other.pending_)), committed_(other.committed_)
+{
+    other.fd_ = -1;
+}
+
+CampaignJournal &
+CampaignJournal::operator=(CampaignJournal &&other) noexcept
+{
+    if (this != &other) {
+        if (fd_ >= 0)
+            ::close(fd_);
+        path_ = std::move(other.path_);
+        fd_ = other.fd_;
+        header_hash_ = other.header_hash_;
+        pending_ = std::move(other.pending_);
+        committed_ = other.committed_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+CampaignJournal::~CampaignJournal()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+CampaignJournal
+CampaignJournal::create(const std::string &path, std::uint64_t headerHash,
+                        std::uint64_t siteCount)
+{
+    int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        throwErrno("cannot create journal", path);
+    CampaignJournal journal(path, fd, headerHash);
+
+    JournalHeader header{};
+    std::memcpy(header.magic, kMagic, sizeof(kMagic));
+    header.headerHash = headerHash;
+    header.siteCount = siteCount;
+    header.reserved = 0;
+    header.checksum = headerChecksum(header);
+    journal.writeAll(&header, sizeof(header));
+    journal.syncToDisk();
+    return journal;
+}
+
+CampaignJournal
+CampaignJournal::openOrResume(const std::string &path,
+                              std::uint64_t headerHash,
+                              std::uint64_t siteCount, Resume &resume)
+{
+    resume = Resume{};
+    resume.outcomes.assign(siteCount, Outcome::Invalid);
+    resume.done.assign(siteCount, false);
+
+    int fd = ::open(path.c_str(), O_RDWR);
+    if (fd < 0) {
+        if (errno == ENOENT)
+            return create(path, headerHash, siteCount);
+        throwErrno("cannot open journal", path);
+    }
+    CampaignJournal journal(path, fd, headerHash);
+    auto bytes = readWholeFile(fd, path);
+
+    if (bytes.size() < sizeof(JournalHeader)) {
+        throw JournalError("journal '" + path +
+                           "' is truncated: no complete header");
+    }
+    JournalHeader header;
+    std::memcpy(&header, bytes.data(), sizeof(header));
+    if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0)
+        throw JournalError("'" + path + "' is not a campaign journal");
+    if (header.checksum != headerChecksum(header))
+        throw JournalError("journal '" + path +
+                           "' has a corrupt header (checksum mismatch)");
+    if (header.headerHash != headerHash) {
+        throw JournalError(
+            "journal '" + path +
+            "' has a stale header hash: it records a different campaign "
+            "(site list, kernel/pruning config, or seed changed)");
+    }
+    if (header.siteCount != siteCount) {
+        throw JournalError("journal '" + path + "' covers " +
+                           std::to_string(header.siteCount) +
+                           " sites, campaign has " +
+                           std::to_string(siteCount));
+    }
+
+    std::size_t offset = sizeof(JournalHeader);
+    bool sawFooter = false;
+    while (offset < bytes.size()) {
+        if (sawFooter) {
+            throw JournalError("journal '" + path +
+                               "' has trailing bytes after its footer");
+        }
+        std::uint64_t lead;
+        if (bytes.size() - offset < sizeof(lead)) {
+            throw JournalError(
+                "journal '" + path + "' is truncated: partial record at "
+                "byte " + std::to_string(offset));
+        }
+        std::memcpy(&lead, bytes.data() + offset, sizeof(lead));
+
+        if (lead == kFooterSentinel) {
+            if (bytes.size() - offset < sizeof(JournalFooter)) {
+                throw JournalError("journal '" + path +
+                                   "' is truncated: partial footer");
+            }
+            JournalFooter footer;
+            std::memcpy(&footer, bytes.data() + offset, sizeof(footer));
+            if (footer.checksum != footerChecksum(headerHash, footer)) {
+                throw JournalError("journal '" + path +
+                                   "' has a corrupt footer "
+                                   "(checksum mismatch)");
+            }
+            resume.complete = true;
+            resume.footer.replaySeconds = footer.replaySeconds;
+            resume.footer.injectSeconds = footer.injectSeconds;
+            resume.footer.foldSeconds = footer.foldSeconds;
+            resume.footer.sitesPerSecond = footer.sitesPerSecond;
+            resume.footer.sitesDone = footer.sitesDone;
+            resume.footer.workers = footer.workers;
+            offset += sizeof(footer);
+            sawFooter = true;
+            continue;
+        }
+
+        if (bytes.size() - offset < sizeof(JournalRecord)) {
+            throw JournalError(
+                "journal '" + path + "' is truncated: partial record at "
+                "byte " + std::to_string(offset));
+        }
+        JournalRecord record;
+        std::memcpy(&record, bytes.data() + offset, sizeof(record));
+        std::size_t recordNumber = resume.doneCount;
+        if (record.checksum != recordChecksum(headerHash, record.siteIndex,
+                                              record.outcome)) {
+            throw JournalError("journal '" + path +
+                               "' has a corrupt record (checksum "
+                               "mismatch at record " +
+                               std::to_string(recordNumber) + ")");
+        }
+        if (record.siteIndex >= siteCount ||
+            record.outcome > static_cast<std::uint32_t>(Outcome::Invalid)) {
+            throw JournalError("journal '" + path +
+                               "' has a corrupt record (out-of-range "
+                               "values at record " +
+                               std::to_string(recordNumber) + ")");
+        }
+        if (resume.done[record.siteIndex]) {
+            throw JournalError("journal '" + path +
+                               "' has a duplicate record for site " +
+                               std::to_string(record.siteIndex));
+        }
+        resume.done[record.siteIndex] = true;
+        resume.outcomes[record.siteIndex] =
+            static_cast<Outcome>(record.outcome);
+        resume.doneCount++;
+        offset += sizeof(record);
+    }
+
+    if (resume.complete && resume.doneCount != resume.footer.sitesDone) {
+        throw JournalError(
+            "journal '" + path + "' footer claims " +
+            std::to_string(resume.footer.sitesDone) + " sites but " +
+            std::to_string(resume.doneCount) + " records are present");
+    }
+
+    journal.committed_ = resume.doneCount;
+    if (::lseek(fd, 0, SEEK_END) < 0)
+        throwErrno("cannot seek journal", path);
+    return journal;
+}
+
+void
+CampaignJournal::append(std::uint64_t siteIndex, Outcome outcome)
+{
+    JournalRecord record;
+    record.siteIndex = siteIndex;
+    record.outcome = static_cast<std::uint32_t>(outcome);
+    record.checksum =
+        recordChecksum(header_hash_, record.siteIndex, record.outcome);
+    const auto *p = reinterpret_cast<const std::uint8_t *>(&record);
+    pending_.insert(pending_.end(), p, p + sizeof(record));
+}
+
+void
+CampaignJournal::commitChunk()
+{
+    if (pending_.empty())
+        return;
+    writeAll(pending_.data(), pending_.size());
+    syncToDisk();
+    committed_ += pending_.size() / sizeof(JournalRecord);
+    pending_.clear();
+}
+
+void
+CampaignJournal::writeFooter(const Phases &phases)
+{
+    commitChunk();
+    JournalFooter footer{};
+    footer.sentinel = kFooterSentinel;
+    footer.replaySeconds = phases.replaySeconds;
+    footer.injectSeconds = phases.injectSeconds;
+    footer.foldSeconds = phases.foldSeconds;
+    footer.sitesPerSecond = phases.sitesPerSecond;
+    footer.sitesDone = phases.sitesDone;
+    footer.workers = phases.workers;
+    footer.checksum = footerChecksum(header_hash_, footer);
+    writeAll(&footer, sizeof(footer));
+    syncToDisk();
+}
+
+void
+CampaignJournal::writeAll(const void *bytes, std::size_t size)
+{
+    FSP_ASSERT(fd_ >= 0, "journal used after move");
+    const auto *p = static_cast<const std::uint8_t *>(bytes);
+    while (size > 0) {
+        ssize_t n = ::write(fd_, p, size);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throwErrno("cannot write journal", path_);
+        }
+        p += n;
+        size -= static_cast<std::size_t>(n);
+    }
+}
+
+void
+CampaignJournal::syncToDisk()
+{
+    if (::fsync(fd_) < 0 && errno != EINVAL && errno != ENOTSUP)
+        throwErrno("cannot fsync journal", path_);
+}
+
+} // namespace fsp::faults

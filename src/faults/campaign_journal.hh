@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Durable campaign sessions: an append-only, integrity-checked on-disk
+ * journal of completed injection outcomes.
+ *
+ * A statistical baseline at the paper's scale is 60K injection runs
+ * per kernel, and pruned campaigns grow multi-hour as kernels are
+ * added -- yet a killed process used to lose every completed outcome.
+ * The journal makes campaigns preemption-safe: the engine appends one
+ * fixed-size binary record per classified site and fsyncs the batch at
+ * every chunk fold point, so a restarted campaign replays the recorded
+ * outcomes, injects only the remaining sites, and still folds a
+ * bit-identical resilience profile (the fold always runs serially in
+ * site order over the full outcome vector, no matter which outcomes
+ * came from disk).
+ *
+ * File layout (native endianness; a journal is machine-local state,
+ * not an interchange format):
+ *
+ *   [JournalHeader]  magic, header hash, site count, checksum
+ *   [JournalRecord]* one per completed site, any order, no duplicates
+ *   [JournalFooter]  optional; present only on completed campaigns,
+ *                    carries per-phase wall time and throughput
+ *
+ * The header hash is computed over the campaign's identity -- the full
+ * site list with weights, the caller's kernel/config tag, and the
+ * seed -- so a journal can never be resumed against a different
+ * campaign.  Every record and the footer carry a checksum mixed with
+ * the header hash; truncated or corrupted entries are rejected with a
+ * clear error rather than silently dropped (recovery from a torn file
+ * is: delete the journal and rerun).
+ */
+
+#ifndef FSP_FAULTS_CAMPAIGN_JOURNAL_HH
+#define FSP_FAULTS_CAMPAIGN_JOURNAL_HH
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "faults/fault_site.hh"
+#include "faults/outcome.hh"
+
+namespace fsp::faults {
+
+/** Any journal validation or I/O failure (message explains which). */
+class JournalError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * Incremental FNV-1a 64-bit hasher; the journal's sole integrity
+ * primitive (headers, records, footers and the campaign-identity
+ * hash all use it).
+ */
+class JournalHasher
+{
+  public:
+    void update(const void *bytes, std::size_t size);
+    void update(std::string_view text);
+    void update(std::uint64_t value);
+    void update(double value);
+
+    std::uint64_t digest() const { return state_; }
+
+  private:
+    std::uint64_t state_ = 0xcbf29ce484222325ULL;
+};
+
+/** The campaign identity folded into the journal header hash. */
+struct JournalKey
+{
+    /** Free-form campaign tag (kernel name, scale, pruning config). */
+    std::string tag;
+
+    /** Master seed of the campaign. */
+    std::uint64_t seed = 0;
+};
+
+/** @{ Header hash over the campaign identity and its full site list. */
+std::uint64_t
+journalHeaderHash(const JournalKey &key, std::size_t count,
+                  const std::function<const FaultSite &(std::size_t)> &siteAt,
+                  const std::function<double(std::size_t)> &weightAt);
+std::uint64_t journalHeaderHash(const JournalKey &key,
+                                const std::vector<WeightedSite> &sites);
+std::uint64_t journalHeaderHash(const JournalKey &key,
+                                const std::vector<FaultSite> &sites);
+/** @} */
+
+/**
+ * Append-only journal of campaign outcomes.  Writers append records
+ * (buffered) and make them durable with commitChunk(); a completed
+ * campaign seals the file with writeFooter().  All validation happens
+ * in openOrResume().
+ */
+class CampaignJournal
+{
+  public:
+    /** Per-phase wall time and throughput sealed into the footer. */
+    struct Phases
+    {
+        double replaySeconds = 0.0; ///< journal open + outcome replay
+        double injectSeconds = 0.0; ///< parallel classification
+        double foldSeconds = 0.0;   ///< serial outcome fold
+        double sitesPerSecond = 0.0;
+        std::uint64_t sitesDone = 0;
+        std::uint32_t workers = 0;
+    };
+
+    /** What openOrResume() recovered from an existing journal. */
+    struct Resume
+    {
+        /** Per-site outcome; meaningful where done[i] is set. */
+        std::vector<Outcome> outcomes;
+        std::vector<bool> done; ///< one flag per site
+        std::uint64_t doneCount = 0;
+        bool complete = false; ///< a valid footer was found
+        Phases footer;         ///< valid when complete
+    };
+
+    /**
+     * Start a fresh journal at @p path (truncating any existing file)
+     * for a campaign of @p siteCount sites identified by
+     * @p headerHash.  The header is durable on return.
+     */
+    static CampaignJournal create(const std::string &path,
+                                  std::uint64_t headerHash,
+                                  std::uint64_t siteCount);
+
+    /**
+     * Open an existing journal, validate its header against
+     * @p headerHash / @p siteCount, replay every record into
+     * @p resume, and position the file for further appends -- or
+     * create a fresh journal when @p path does not exist.  Throws
+     * JournalError on a stale header hash, a site-count mismatch, or
+     * any truncated/corrupted record.
+     */
+    static CampaignJournal openOrResume(const std::string &path,
+                                        std::uint64_t headerHash,
+                                        std::uint64_t siteCount,
+                                        Resume &resume);
+
+    CampaignJournal(CampaignJournal &&other) noexcept;
+    CampaignJournal &operator=(CampaignJournal &&other) noexcept;
+    CampaignJournal(const CampaignJournal &) = delete;
+    CampaignJournal &operator=(const CampaignJournal &) = delete;
+    ~CampaignJournal();
+
+    /** Buffer one completed site's record (durable after commitChunk). */
+    void append(std::uint64_t siteIndex, Outcome outcome);
+
+    /**
+     * Write all buffered records in one append and fsync them --
+     * called from the campaign engine's chunk fold point, so a kill
+     * between commits loses at most the in-flight chunks.
+     */
+    void commitChunk();
+
+    /** Seal a completed campaign: commit, append the footer, fsync. */
+    void writeFooter(const Phases &phases);
+
+    /** Records made durable by this writer (excludes buffered ones). */
+    std::uint64_t committedRecords() const { return committed_; }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    CampaignJournal(std::string path, int fd, std::uint64_t headerHash);
+
+    void writeAll(const void *bytes, std::size_t size);
+    void syncToDisk();
+
+    std::string path_;
+    int fd_ = -1;
+    std::uint64_t header_hash_ = 0;
+    std::vector<std::uint8_t> pending_; ///< serialized unflushed records
+    std::uint64_t committed_ = 0;
+};
+
+} // namespace fsp::faults
+
+#endif // FSP_FAULTS_CAMPAIGN_JOURNAL_HH

@@ -1,183 +1,24 @@
 /**
  * @file
- * Parallel campaign engine: the multi-worker counterpart of the serial
- * drivers in campaign.hh.
- *
- * Every injection run of a campaign is independent (the injector
- * restores the pristine image before each run), so a campaign shards
- * its site list into fixed chunks, executes the chunks on a thread
- * pool with one private Injector per worker, and records each site's
- * Outcome into its slot of a pre-sized array.  The final tally is then
- * folded *serially in site order*, which makes the result -- run
- * counts and the weighted double accumulation alike -- bit-identical
- * to the serial drivers regardless of worker count, chunk size, or
- * scheduling.
+ * Deprecated compatibility shim: the parallel campaign engine was
+ * folded into the unified faults::CampaignEngine facade
+ * (campaign_engine.hh), which subsumes the serial drivers and adds
+ * durable journaled sessions.  Existing code spelling
+ * `faults::ParallelCampaign` (and its runSiteList /
+ * runWeightedSiteList / runRandomCampaign methods) keeps compiling
+ * through this alias; new code should include campaign_engine.hh and
+ * use CampaignEngine::run() directly.
  */
 
 #ifndef FSP_FAULTS_PARALLEL_CAMPAIGN_HH
 #define FSP_FAULTS_PARALLEL_CAMPAIGN_HH
 
-#include <array>
-#include <cstdint>
-#include <functional>
-#include <memory>
-#include <vector>
-
-#include "faults/campaign.hh"
-#include "faults/fault_space.hh"
-#include "faults/injector.hh"
-#include "util/prng.hh"
-#include "util/thread_pool.hh"
+#include "faults/campaign_engine.hh"
 
 namespace fsp::faults {
 
-/** Snapshot handed to a campaign progress callback. */
-struct CampaignProgress
-{
-    std::uint64_t sitesDone = 0;
-    std::uint64_t sitesTotal = 0;
-};
-
-/** Parallel campaign knobs. */
-struct CampaignOptions
-{
-    /** Worker threads; 0 selects ThreadPool::defaultWorkerCount(). */
-    unsigned workers = 0;
-
-    /** Sites per chunk; 0 derives one from the list and worker count. */
-    std::size_t chunkSize = 0;
-
-    /**
-     * Invoked after every completed chunk (from a worker thread, under
-     * the engine's progress lock -- keep it cheap).
-     */
-    std::function<void(const CampaignProgress &)> progressCallback;
-
-    /**
-     * Permit the sliced injection path when the kernel's CTAs are
-     * independent.  false forces full-grid runs on every worker
-     * (useful for A/B validation and benchmarking).
-     */
-    bool allowSlicing = true;
-
-    /**
-     * Permit checkpointed temporal replay.  false skips checkpoint
-     * recording (when the engine constructs its own prototype) and
-     * forces every worker to execute injections from instruction zero
-     * (the A/B switch behind fsp/resilience_report --no-checkpoints).
-     */
-    bool allowCheckpoints = true;
-};
-
-/** Throughput report for the engine's most recent campaign. */
-struct CampaignStats
-{
-    unsigned workers = 0;
-    std::size_t chunkSize = 0;
-    std::uint64_t chunks = 0;
-    std::uint64_t sites = 0;
-    std::vector<std::uint64_t> perWorkerRuns; ///< runs executed per worker
-    double elapsedSeconds = 0.0;
-    double sitesPerSecond = 0.0;
-    InjectionStats injection; ///< summed over workers, this campaign only
-
-    /** One-line human-readable summary for logs. */
-    std::string summary() const;
-};
-
-/**
- * A reusable parallel campaign engine for one kernel launch.
- *
- * Construction performs the golden run once (via a prototype Injector)
- * and clones it per worker; the engine can then run any number of
- * campaigns.  Results are guaranteed identical to campaign.hh's serial
- * drivers (see the determinism suite in tests/test_parallel_campaign).
- */
-class ParallelCampaign
-{
-  public:
-    /** Mirror of Injector's constructor; performs the golden run. */
-    ParallelCampaign(const sim::Program &program,
-                     const sim::LaunchConfig &config,
-                     const sim::GlobalMemory &image,
-                     std::vector<OutputRegion> outputs,
-                     CampaignOptions options = {});
-
-    /**
-     * Build from an existing injector whose golden state is simply
-     * cloned -- no additional golden run.
-     */
-    ParallelCampaign(const Injector &prototype,
-                     CampaignOptions options = {});
-
-    /** Parallel variant of faults::runSiteList. */
-    CampaignResult runSiteList(const std::vector<FaultSite> &sites);
-
-    /** Parallel variant of faults::runWeightedSiteList. */
-    CampaignResult
-    runWeightedSiteList(const std::vector<WeightedSite> &sites);
-
-    /**
-     * Parallel variant of faults::runRandomCampaign.  Sites are drawn
-     * by the caller's @p prng exactly as in the serial driver (the
-     * generator advances identically), then injected in parallel.
-     */
-    CampaignResult runRandomCampaign(const FaultSpace &space,
-                                     std::size_t runs, Prng &prng);
-
-    unsigned workerCount() const { return pool_.workerCount(); }
-
-    /** Do the workers' injectors use the sliced path? */
-    bool slicingActive() const { return injectors_[0]->slicingActive(); }
-
-    /** Do the workers' injectors resume from checkpoints? */
-    bool
-    checkpointsActive() const
-    {
-        return injectors_[0]->checkpointsActive();
-    }
-
-    /** The workers' shared CTA-independence decision. */
-    const SlicingPlan &
-    slicingPlan() const
-    {
-        return injectors_[0]->slicingPlan();
-    }
-
-    /** Injection runs performed so far, summed over all workers. */
-    std::uint64_t runsPerformed() const;
-
-    /** Throughput/worker report for the most recent campaign. */
-    const CampaignStats &lastStats() const { return stats_; }
-
-  private:
-    /** Chunk-local processing key: (cta, thread, dynIndex). */
-    using SiteKey = std::array<std::uint64_t, 3>;
-
-    /**
-     * Shard [0, count) into chunks, classify every site via
-     * @p outcomeOf(index, injector) on the pool, and return the
-     * outcomes indexed by site.  When @p keyOf is provided, each chunk
-     * processes its sites in ascending key order -- successive sites
-     * then share a CTA checkpoint, maximizing replay locality.  The
-     * outcome array (and thus the fold) is indexed by the original
-     * site position, so processing order never affects results.
-     */
-    std::vector<Outcome>
-    classifySites(std::size_t count,
-                  const std::function<Outcome(std::size_t, Injector &)>
-                      &outcomeOf,
-                  const std::function<SiteKey(std::size_t)> &keyOf = {});
-
-    /** Key function ordering a concrete site list for checkpoint reuse. */
-    std::function<SiteKey(std::size_t)>
-    siteOrderKey(const std::vector<FaultSite> &sites) const;
-
-    CampaignOptions options_;
-    std::vector<std::unique_ptr<Injector>> injectors_; ///< one per worker
-    ThreadPool pool_;
-    CampaignStats stats_;
-};
+/** Deprecated alias; use CampaignEngine. */
+using ParallelCampaign = CampaignEngine;
 
 } // namespace fsp::faults
 

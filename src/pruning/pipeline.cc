@@ -93,9 +93,9 @@ prunePipeline(const sim::Executor &executor, const sim::GlobalMemory &image,
     Prng grouping_prng = prng.fork("grouping");
     result.grouping =
         pruneThreads(space, executor.config().block.count(),
-                     grouping_prng, config.repsPerGroup);
+                     grouping_prng, config.thread.repsPerGroup);
     const faults::SlicingPlan *profiling_slicing =
-        config.slicedProfiling ? slicing : nullptr;
+        config.execution.slicedProfiling ? slicing : nullptr;
     result.slicedProfiling =
         profiling_slicing && profiling_slicing->independent();
     result.plans = buildThreadPlans(executor, image, result.grouping,
@@ -106,7 +106,7 @@ prunePipeline(const sim::Executor &executor, const sim::GlobalMemory &image,
         result.counts.afterThread += plan.liveSites();
 
     // Stage 2: instruction-wise pruning.
-    if (config.instructionStage)
+    if (config.instruction.enabled)
         result.instrStats = applyInstructionPruning(result.plans);
     std::uint64_t live = 0;
     for (const auto &plan : result.plans)
@@ -117,21 +117,21 @@ prunePipeline(const sim::Executor &executor, const sim::GlobalMemory &image,
     // its PRNG from its own thread id), so the stage fans out over a
     // pool when configured; per-plan stats are folded in plan order so
     // the result never depends on worker count.
-    if (config.loopIterations > 0) {
+    if (config.loop.iterations > 0) {
         Prng loop_prng = prng.fork("loops");
         auto prune_plan = [&](ThreadPlan &plan) {
             Prng thread_prng =
                 loop_prng.fork("thread-" + std::to_string(plan.thread));
             return applyLoopPruning(plan, executor.program(),
-                                    config.loopIterations, thread_prng);
+                                    config.loop.iterations, thread_prng);
         };
 
         std::vector<LoopPruningStats> per_plan(result.plans.size());
-        if (config.workers == 1 || result.plans.size() <= 1) {
+        if (config.execution.workers == 1 || result.plans.size() <= 1) {
             for (std::size_t i = 0; i < result.plans.size(); ++i)
                 per_plan[i] = prune_plan(result.plans[i]);
         } else {
-            ThreadPool pool(config.workers);
+            ThreadPool pool(config.execution.workers);
             pool.parallelFor(result.plans.size(),
                              [&](std::size_t i, unsigned) {
                                  per_plan[i] =
@@ -152,7 +152,7 @@ prunePipeline(const sim::Executor &executor, const sim::GlobalMemory &image,
 
     // Stage 4: bit-wise pruning.
     BitPruningResult bits = applyBitPruning(
-        result.plans, config.bitSamples, config.predZeroFlagOnly);
+        result.plans, config.bit.samples, config.bit.predZeroFlagOnly);
     result.sites = std::move(bits.sites);
     result.assumedMaskedWeight = bits.assumedMaskedWeight;
     result.counts.afterBit = result.sites.size();

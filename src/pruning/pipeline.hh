@@ -27,56 +27,129 @@ class SlicingPlan;
 
 namespace fsp::pruning {
 
-/** Pipeline configuration. */
+/**
+ * Pipeline configuration, grouped by stage so future stages extend
+ * their own sub-struct instead of widening one flat bag of knobs.
+ * The pre-grouping flat field names remain available as deprecated
+ * reference aliases (see the block at the bottom of the struct), so
+ * existing code keeps compiling; new code should address the
+ * per-stage sub-structs.
+ */
 struct PruningConfig
 {
     std::uint64_t seed = 1;
 
-    /** Enable instruction-wise common-block pruning. */
-    bool instructionStage = true;
+    /** Thread-wise grouping stage (paper section III-A). */
+    struct ThreadStage
+    {
+        /**
+         * Representatives ("pilots") injected per thread group.  The
+         * paper uses 1; raising this reduces the variance introduced
+         * by standing one thread in for a whole group, at proportional
+         * injection cost (see bench_ablation_reps).
+         */
+        unsigned repsPerGroup = 1;
+    };
 
-    /** Sampled loop iterations per loop; 0 disables the loop stage. */
-    unsigned loopIterations = 8;
+    /** Instruction-wise common-block stage (section III-B). */
+    struct InstructionStage
+    {
+        /** Enable instruction-wise common-block pruning. */
+        bool enabled = true;
+    };
 
-    /** Sampled bit positions per register; 0 keeps every bit. */
-    unsigned bitSamples = 16;
+    /** Loop-wise iteration-sampling stage (section III-C). */
+    struct LoopStage
+    {
+        /** Sampled iterations per loop; 0 disables the stage. */
+        unsigned iterations = 8;
+    };
 
-    /** Prune non-zero-flag predicate bits as masked. */
-    bool predZeroFlagOnly = true;
+    /** Bit-wise sampling stage (section III-D). */
+    struct BitStage
+    {
+        /** Sampled bit positions per register; 0 keeps every bit. */
+        unsigned samples = 16;
+
+        /** Prune non-zero-flag predicate bits as masked. */
+        bool predZeroFlagOnly = true;
+    };
+
+    /** How the pipeline (and the campaigns after it) execute. */
+    struct ExecutionStage
+    {
+        /**
+         * Worker threads for the per-plan loop-pruning stage; 1 keeps
+         * the stage serial, 0 selects the hardware default.  Results
+         * are identical at any setting: each plan's sampling PRNG is
+         * forked from its thread id, and stage statistics are folded
+         * in plan order.
+         */
+        unsigned workers = 1;
+
+        /**
+         * When a SlicingPlan proving CTA independence is supplied to
+         * prunePipeline, restrict the traced profiling run to the CTAs
+         * that contain representative threads.  Traces are
+         * bit-identical either way (independent CTAs execute the same
+         * in isolation); this only skips simulating CTAs nobody looks
+         * at.
+         */
+        bool slicedProfiling = true;
+
+        /**
+         * Permit checkpointed temporal replay in the campaigns run
+         * over the pruned space (forwarded by the analysis facade to
+         * the injector/campaign engines; the pipeline stages
+         * themselves do not inject).  The A/B switch behind
+         * `--no-checkpoints`.
+         */
+        bool checkpoints = true;
+    };
+
+    ThreadStage thread;
+    InstructionStage instruction;
+    LoopStage loop;
+    BitStage bit;
+    ExecutionStage execution;
 
     /**
-     * Representatives ("pilots") injected per thread group.  The paper
-     * uses 1; raising this reduces the variance introduced by standing
-     * one thread in for a whole group, at proportional injection cost
-     * (see bench_ablation_reps).
+     * @{ DEPRECATED flat aliases of the per-stage fields above, kept
+     * so pre-grouping code compiles unchanged.  They are references
+     * into this object's sub-structs; the user-provided copy
+     * operations below keep them bound to the *owning* object (the
+     * implicit ones would alias the source).
      */
-    unsigned repsPerGroup = 1;
+    unsigned &repsPerGroup = thread.repsPerGroup;
+    bool &instructionStage = instruction.enabled;
+    unsigned &loopIterations = loop.iterations;
+    unsigned &bitSamples = bit.samples;
+    bool &predZeroFlagOnly = bit.predZeroFlagOnly;
+    unsigned &workers = execution.workers;
+    bool &slicedProfiling = execution.slicedProfiling;
+    bool &checkpoints = execution.checkpoints;
+    /** @} */
 
-    /**
-     * Worker threads for the per-plan loop-pruning stage; 1 keeps the
-     * stage serial, 0 selects the hardware default.  Results are
-     * identical at any setting: each plan's sampling PRNG is forked
-     * from its thread id, and stage statistics are folded in plan
-     * order.
-     */
-    unsigned workers = 1;
+    PruningConfig() = default;
 
-    /**
-     * When a SlicingPlan proving CTA independence is supplied to
-     * prunePipeline, restrict the traced profiling run to the CTAs
-     * that contain representative threads.  Traces are bit-identical
-     * either way (independent CTAs execute the same in isolation);
-     * this only skips simulating CTAs nobody looks at.
-     */
-    bool slicedProfiling = true;
+    PruningConfig(const PruningConfig &other)
+        : seed(other.seed), thread(other.thread),
+          instruction(other.instruction), loop(other.loop),
+          bit(other.bit), execution(other.execution)
+    {
+    }
 
-    /**
-     * Permit checkpointed temporal replay in the campaigns run over
-     * the pruned space (forwarded by the analysis facade to the
-     * injector/campaign engines; the pipeline stages themselves do
-     * not inject).  The A/B switch behind `--no-checkpoints`.
-     */
-    bool checkpoints = true;
+    PruningConfig &
+    operator=(const PruningConfig &other)
+    {
+        seed = other.seed;
+        thread = other.thread;
+        instruction = other.instruction;
+        loop = other.loop;
+        bit = other.bit;
+        execution = other.execution;
+        return *this;
+    }
 };
 
 /** Fault-site counts after each progressive stage (Fig. 10 series). */
@@ -126,7 +199,7 @@ struct PruningResult
  * @param space enumerated fault space of the launch.
  * @param config stage parameters.
  * @param slicing optional CTA-independence proof; when it declares the
- *        kernel independent and config.slicedProfiling is set, the
+ *        kernel independent and config.execution.slicedProfiling is set, the
  *        traced profiling run executes only the representatives' CTAs.
  */
 PruningResult prunePipeline(const sim::Executor &executor,
@@ -142,7 +215,7 @@ PruningResult prunePipeline(const sim::Executor &executor,
  * drive individual stages (Figs. 5-8).
  *
  * @param slicing optional independence proof enabling a CTA-sliced
- *        traced run (see PruningConfig::slicedProfiling).
+ *        traced run (see PruningConfig::ExecutionStage::slicedProfiling).
  * @param profiledCtas when non-null, receives the number of CTAs the
  *        traced run executed.
  */

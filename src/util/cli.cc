@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Option-table implementation.
+ */
+
+#include "util/cli.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+
+namespace fsp {
+
+namespace {
+
+/** Strict unsigned decimal parse; rejects empty/trailing garbage. */
+bool
+parseU64(const std::string &text, std::uint64_t &value)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    unsigned long long parsed = std::strtoull(text.c_str(), &end, 10);
+    if (errno != 0 || end == text.c_str() || *end != '\0')
+        return false;
+    value = parsed;
+    return true;
+}
+
+} // namespace
+
+void
+OptionTable::positional(std::string name, std::string help,
+                        std::function<bool(const std::string &)> sink)
+{
+    positional_name_ = std::move(name);
+    positional_help_ = std::move(help);
+    positional_sink_ = std::move(sink);
+}
+
+void
+OptionTable::flag(std::string name, std::string help,
+                  std::function<void()> action)
+{
+    Option opt;
+    opt.name = std::move(name);
+    opt.help = std::move(help);
+    opt.flagAction = std::move(action);
+    options_.push_back(std::move(opt));
+}
+
+void
+OptionTable::flag(std::string name, std::string help, bool &target,
+                  bool value)
+{
+    flag(std::move(name), std::move(help),
+         [&target, value] { target = value; });
+}
+
+void
+OptionTable::option(std::string name, std::string argName,
+                    std::string help,
+                    std::function<bool(const std::string &)> action)
+{
+    Option opt;
+    opt.name = std::move(name);
+    opt.argName = std::move(argName);
+    opt.help = std::move(help);
+    opt.argAction = std::move(action);
+    options_.push_back(std::move(opt));
+}
+
+void
+OptionTable::optionU64(std::string name, std::string argName,
+                       std::string help, std::uint64_t &target)
+{
+    option(std::move(name), std::move(argName), std::move(help),
+           [&target](const std::string &text) {
+               return parseU64(text, target);
+           });
+}
+
+void
+OptionTable::optionSize(std::string name, std::string argName,
+                        std::string help, std::size_t &target)
+{
+    option(std::move(name), std::move(argName), std::move(help),
+           [&target](const std::string &text) {
+               std::uint64_t value = 0;
+               if (!parseU64(text, value))
+                   return false;
+               target = static_cast<std::size_t>(value);
+               return true;
+           });
+}
+
+void
+OptionTable::optionUnsigned(std::string name, std::string argName,
+                            std::string help, unsigned &target)
+{
+    option(std::move(name), std::move(argName), std::move(help),
+           [&target](const std::string &text) {
+               std::uint64_t value = 0;
+               if (!parseU64(text, value) || value > 0xffffffffull)
+                   return false;
+               target = static_cast<unsigned>(value);
+               return true;
+           });
+}
+
+void
+OptionTable::optionString(std::string name, std::string argName,
+                          std::string help, std::string &target)
+{
+    option(std::move(name), std::move(argName), std::move(help),
+           [&target](const std::string &text) {
+               target = text;
+               return true;
+           });
+}
+
+const OptionTable::Option *
+OptionTable::find(const std::string &name) const
+{
+    for (const Option &opt : options_) {
+        if (opt.name == name)
+            return &opt;
+    }
+    return nullptr;
+}
+
+OptionTable::Parse
+OptionTable::parse(int argc, char **argv, int firstArg,
+                   std::ostream &err) const
+{
+    for (int i = firstArg; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            printHelp(err);
+            return Parse::Help;
+        }
+        if (arg.empty() || arg[0] != '-') {
+            if (!positional_sink_ || !positional_sink_(arg)) {
+                err << "unexpected argument '" << arg
+                    << "' (try --help)\n";
+                return Parse::Error;
+            }
+            continue;
+        }
+        const Option *opt = find(arg);
+        if (opt == nullptr) {
+            err << "unknown option '" << arg << "' (try --help)\n";
+            return Parse::Error;
+        }
+        if (opt->flagAction) {
+            opt->flagAction();
+            continue;
+        }
+        if (i + 1 >= argc) {
+            err << "option '" << arg << "' needs a value (try --help)\n";
+            return Parse::Error;
+        }
+        std::string value = argv[++i];
+        if (!opt->argAction(value)) {
+            err << "bad value '" << value << "' for option '" << arg
+                << "' (try --help)\n";
+            return Parse::Error;
+        }
+    }
+    return Parse::Ok;
+}
+
+void
+OptionTable::printHelp(std::ostream &out) const
+{
+    if (!usage_.empty())
+        out << "usage: " << usage_ << "\n";
+    if (!positional_help_.empty())
+        out << "  " << positional_name_ << ": " << positional_help_
+            << "\n";
+    if (!options_.empty())
+        out << "options:\n";
+
+    std::size_t width = 0;
+    auto spelled = [](const Option &opt) {
+        return opt.argName.empty() ? opt.name
+                                   : opt.name + " " + opt.argName;
+    };
+    for (const Option &opt : options_)
+        width = std::max(width, spelled(opt).size());
+
+    for (const Option &opt : options_) {
+        std::string left = spelled(opt);
+        out << "  " << left << std::string(width - left.size() + 2, ' ');
+        // Wrap continuation lines of multi-line help onto the column.
+        for (std::size_t at = 0; at < opt.help.size();) {
+            std::size_t nl = opt.help.find('\n', at);
+            std::size_t end = nl == std::string::npos ? opt.help.size()
+                                                      : nl;
+            if (at > 0)
+                out << std::string(width + 4, ' ');
+            out << opt.help.substr(at, end - at) << "\n";
+            at = end + 1;
+        }
+        if (opt.help.empty())
+            out << "\n";
+    }
+    if (!epilog_.empty())
+        out << epilog_;
+}
+
+} // namespace fsp

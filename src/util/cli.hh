@@ -1,0 +1,121 @@
+/**
+ * @file
+ * A small declarative command-line option table.
+ *
+ * The tools used to hand-roll their flag loops, which drifted apart
+ * (fsp and resilience_report accepted different subsets of the same
+ * options and printed hand-maintained usage strings).  OptionTable
+ * centralises the parse: callers register each option once with its
+ * help text, and `--help` output is generated from the same table, so
+ * the parser and its documentation cannot disagree.
+ *
+ *     OptionTable table;
+ *     table.setUsage("mytool [kernel] [options]");
+ *     table.flag("--paper", "paper-scale geometry",
+ *                [&] { scale = Scale::Paper; });
+ *     table.optionU64("--seed", "N", "master seed (default 1)", seed);
+ *     switch (table.parse(argc, argv, 1, std::cerr)) { ... }
+ *
+ * Only long options (`--name`, plus `-h` as an alias of `--help`) are
+ * supported; option arguments are separate argv entries (`--seed 7`).
+ * Arguments that do not start with '-' go to the positional handler.
+ */
+
+#ifndef FSP_UTIL_CLI_HH
+#define FSP_UTIL_CLI_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fsp {
+
+class OptionTable
+{
+  public:
+    /** Outcome of parse(). */
+    enum class Parse
+    {
+        Ok,    ///< every argument consumed
+        Help,  ///< --help/-h was given (help already printed)
+        Error, ///< unknown option or bad argument (diagnostic printed)
+    };
+
+    /** First line of --help, without the leading "usage: ". */
+    void setUsage(std::string usage) { usage_ = std::move(usage); }
+
+    /**
+     * Accept non-option arguments ("positionals"); without a handler
+     * they are parse errors.  @p name/@p help document the positional
+     * in the generated usage; @p sink is invoked per argument.
+     */
+    void positional(std::string name, std::string help,
+                    std::function<bool(const std::string &)> sink);
+
+    /** Append free-form text (e.g. a kernel list) after the options. */
+    void setEpilog(std::string epilog) { epilog_ = std::move(epilog); }
+
+    /** An option taking no argument. */
+    void flag(std::string name, std::string help,
+              std::function<void()> action);
+
+    /** Flag convenience: stores @p value into @p target. */
+    void flag(std::string name, std::string help, bool &target,
+              bool value = true);
+
+    /**
+     * An option taking one argument (the following argv entry).
+     * @p action returns false to reject the value.
+     */
+    void option(std::string name, std::string argName, std::string help,
+                std::function<bool(const std::string &)> action);
+
+    /** @{ Typed conveniences over option(): parse into @p target. */
+    void optionU64(std::string name, std::string argName,
+                   std::string help, std::uint64_t &target);
+    void optionSize(std::string name, std::string argName,
+                    std::string help, std::size_t &target);
+    void optionUnsigned(std::string name, std::string argName,
+                        std::string help, unsigned &target);
+    void optionString(std::string name, std::string argName,
+                      std::string help, std::string &target);
+    /** @} */
+
+    /**
+     * Parse argv[firstArg..argc).  `--help`/`-h` prints the generated
+     * help to @p err and returns Parse::Help; unknown options, missing
+     * or malformed arguments print a one-line diagnostic (plus a
+     * "try --help" hint) and return Parse::Error.
+     */
+    Parse parse(int argc, char **argv, int firstArg,
+                std::ostream &err) const;
+
+    /** The generated help text (usage, option table, epilog). */
+    void printHelp(std::ostream &out) const;
+
+  private:
+    struct Option
+    {
+        std::string name;     ///< "--seed"
+        std::string argName;  ///< "N"; empty for flags
+        std::string help;
+        std::function<void()> flagAction;
+        std::function<bool(const std::string &)> argAction;
+    };
+
+    const Option *find(const std::string &name) const;
+
+    std::string usage_;
+    std::string epilog_;
+    std::string positional_name_;
+    std::string positional_help_;
+    std::function<bool(const std::string &)> positional_sink_;
+    std::vector<Option> options_;
+};
+
+} // namespace fsp
+
+#endif // FSP_UTIL_CLI_HH

@@ -70,6 +70,16 @@ ThreadPool::workerLoop(unsigned index)
                     next_chunk_ >= chunk_count_) {
                     break;
                 }
+                if (first_error_) {
+                    // Abandon the job's unclaimed chunks: account them
+                    // as done so the caller wakes once every in-flight
+                    // chunk has drained, then rethrows the error.
+                    chunks_done_ += chunk_count_ - next_chunk_;
+                    next_chunk_ = chunk_count_;
+                    if (chunks_done_ == chunk_count_)
+                        done_cv_.notify_all();
+                    break;
+                }
                 chunk = next_chunk_++;
             }
             try {

@@ -50,9 +50,10 @@ class ThreadPool
      * until every chunk has finished.  @p worker is the stable index
      * (< workerCount()) of the thread executing the chunk, so callers
      * can give each worker private state without locking.  The first
-     * exception thrown by @p body is rethrown here after all chunks
-     * complete (or are abandoned).  Not reentrant: one parallelFor at a
-     * time per pool.
+     * exception thrown by @p body is rethrown here; chunks not yet
+     * claimed when that exception is recorded are abandoned (in-flight
+     * chunks still drain), so a throwing body cancels the remainder of
+     * the job.  Not reentrant: one parallelFor at a time per pool.
      */
     void parallelFor(std::size_t chunkCount,
                      const std::function<void(std::size_t chunk,

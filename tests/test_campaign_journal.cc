@@ -1,0 +1,416 @@
+/**
+ * @file
+ * Durable-session suite for the campaign journal: a campaign killed
+ * mid-run and resumed must reproduce the uninterrupted campaign's
+ * weighted profile *bit-for-bit* at every worker count, and every
+ * tampered journal (stale header hash, truncated tail, corrupted
+ * record) must be rejected with a clear error instead of silently
+ * poisoning a resume.  Also covers the JSON string escaping the tools'
+ * --json output depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hh"
+#include "apps/app.hh"
+#include "faults/campaign_engine.hh"
+#include "faults/campaign_journal.hh"
+#include "util/json.hh"
+
+namespace fsp {
+namespace {
+
+/** A per-test journal path under gtest's temp dir, removed on setup. */
+std::string
+journalPath(const std::string &name)
+{
+    std::string path = testing::TempDir() + "fsp_" + name + ".fspj";
+    std::remove(path.c_str());
+    return path;
+}
+
+std::uintmax_t
+fileSize(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    EXPECT_TRUE(in.good()) << path;
+    return static_cast<std::uintmax_t>(in.tellg());
+}
+
+void
+truncateFile(const std::string &path, std::uintmax_t size)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::vector<char> bytes(size);
+    in.read(bytes.data(), static_cast<std::streamsize>(size));
+    ASSERT_TRUE(in.good());
+    in.close();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(size));
+}
+
+void
+flipByte(const std::string &path, std::uintmax_t offset)
+{
+    std::fstream file(path,
+                      std::ios::binary | std::ios::in | std::ios::out);
+    file.seekg(static_cast<std::streamoff>(offset));
+    char byte = 0;
+    file.read(&byte, 1);
+    ASSERT_TRUE(file.good());
+    byte = static_cast<char>(byte ^ 0x5a);
+    file.seekp(static_cast<std::streamoff>(offset));
+    file.write(&byte, 1);
+}
+
+/** Weights chosen to expose any reordering of the double sums. */
+std::vector<faults::WeightedSite>
+weightSites(const std::vector<faults::FaultSite> &sites)
+{
+    std::vector<faults::WeightedSite> weighted;
+    weighted.reserve(sites.size());
+    for (std::size_t i = 0; i < sites.size(); ++i)
+        weighted.push_back(
+            {sites[i], 0.1 + 0.3 * static_cast<double>(i % 7)});
+    return weighted;
+}
+
+void
+expectSameResult(const faults::CampaignResult &expected,
+                 const faults::CampaignResult &actual)
+{
+    EXPECT_EQ(expected.runs, actual.runs);
+    EXPECT_EQ(expected.dist.runs(), actual.dist.runs());
+    for (faults::Outcome o :
+         {faults::Outcome::Masked, faults::Outcome::SDC,
+          faults::Outcome::Other}) {
+        // Exact equality, not a tolerance: resumed campaigns fold the
+        // same outcomes in the same site order, so the weighted double
+        // accumulation must match bit-for-bit.
+        EXPECT_EQ(expected.dist.weightOf(o), actual.dist.weightOf(o))
+            << "outcome " << faults::outcomeName(o);
+    }
+}
+
+/** The one kernel this suite injects into (small and fast). */
+class CampaignJournalTest : public testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const apps::KernelSpec *spec = apps::findKernel("PathFinder/K1");
+        ASSERT_NE(spec, nullptr);
+        ka_.emplace(*spec, apps::Scale::Small);
+        Prng prng(2026);
+        weighted_ = weightSites(ka_->space().sampleSites(60, prng));
+    }
+
+    faults::CampaignOptions
+    baseOptions(unsigned workers, const std::string &journal) const
+    {
+        faults::CampaignOptions options;
+        options.workers = workers;
+        options.chunkSize = 3;
+        options.journalPath = journal;
+        options.journalKey = {"journal-suite", 2026};
+        return options;
+    }
+
+    std::optional<analysis::KernelAnalysis> ka_;
+    std::vector<faults::WeightedSite> weighted_;
+};
+
+TEST_F(CampaignJournalTest, KillAndResumeBitIdentical)
+{
+    // The reference profile, computed without any journal.
+    faults::CampaignEngine reference(ka_->injector(), {});
+    auto expected = reference.run(weighted_);
+
+    for (unsigned workers : {1u, 2u, 4u, 8u}) {
+        SCOPED_TRACE("workers=" + std::to_string(workers));
+        std::string path =
+            journalPath("kill_w" + std::to_string(workers));
+
+        // Phase 1: run with the kill hook armed.  CampaignAborted is
+        // thrown from a chunk fold point *after* that chunk's records
+        // were committed -- exactly the state a SIGKILL between chunk
+        // commits leaves behind.
+        faults::CampaignOptions killed = baseOptions(workers, path);
+        killed.abortAfterSites = 18;
+        faults::CampaignEngine first(ka_->injector(), killed);
+        EXPECT_THROW(first.run(weighted_), faults::CampaignAborted);
+
+        // Phase 2: resume.  Journaled sites are replayed, not
+        // re-injected; the profile must match the uninterrupted run.
+        faults::CampaignOptions resumed = baseOptions(workers, path);
+        resumed.resume = true;
+        faults::CampaignEngine second(ka_->injector(), resumed);
+        auto result = second.run(weighted_);
+        expectSameResult(expected, result);
+
+        const auto &stats = second.lastStats();
+        EXPECT_GE(stats.replayedSites, killed.abortAfterSites);
+        EXPECT_LT(stats.replayedSites, weighted_.size());
+        EXPECT_EQ(stats.replayedSites + stats.injectedSites,
+                  weighted_.size());
+        EXPECT_TRUE(stats.resumed);
+    }
+}
+
+TEST_F(CampaignJournalTest, ResumeOfCompleteJournalInjectsNothing)
+{
+    std::string path = journalPath("complete");
+    faults::CampaignOptions options = baseOptions(2, path);
+    faults::CampaignEngine first(ka_->injector(), options);
+    auto expected = first.run(weighted_);
+
+    options.resume = true;
+    faults::CampaignEngine second(ka_->injector(), options);
+    auto replayed = second.run(weighted_);
+    expectSameResult(expected, replayed);
+    EXPECT_EQ(second.lastStats().injectedSites, 0u);
+    EXPECT_EQ(second.lastStats().replayedSites, weighted_.size());
+    EXPECT_EQ(second.runsPerformed(), 0u);
+}
+
+TEST_F(CampaignJournalTest, StaleHeaderHashRejected)
+{
+    std::string path = journalPath("stale");
+    faults::CampaignEngine first(ka_->injector(), baseOptions(2, path));
+    first.run(weighted_);
+
+    // Same site list, different campaign identity (the seed): resume
+    // must refuse rather than mix the two campaigns' outcomes.
+    faults::CampaignOptions other = baseOptions(2, path);
+    other.journalKey.seed = 9;
+    other.resume = true;
+    faults::CampaignEngine second(ka_->injector(), other);
+    try {
+        second.run(weighted_);
+        FAIL() << "stale journal accepted";
+    } catch (const faults::JournalError &error) {
+        EXPECT_NE(std::string(error.what()).find("stale header hash"),
+                  std::string::npos)
+            << error.what();
+    }
+}
+
+TEST_F(CampaignJournalTest, SiteListChangeRejected)
+{
+    std::string path = journalPath("sites_changed");
+    faults::CampaignEngine first(ka_->injector(), baseOptions(2, path));
+    first.run(weighted_);
+
+    // Perturbing one weight changes the site-list hash.
+    auto changed = weighted_;
+    changed[7].weight += 0.5;
+    faults::CampaignOptions resume = baseOptions(2, path);
+    resume.resume = true;
+    faults::CampaignEngine second(ka_->injector(), resume);
+    EXPECT_THROW(second.run(changed), faults::JournalError);
+}
+
+TEST_F(CampaignJournalTest, TruncatedRecordRejected)
+{
+    std::string path = journalPath("truncated");
+    {
+        faults::CampaignOptions killed = baseOptions(2, path);
+        killed.abortAfterSites = 18;
+        faults::CampaignEngine engine(ka_->injector(), killed);
+        EXPECT_THROW(engine.run(weighted_), faults::CampaignAborted);
+    }
+
+    // Chop into the middle of the last record: the torn tail must be
+    // diagnosed, not skipped.
+    truncateFile(path, fileSize(path) - 5);
+
+    faults::CampaignOptions resume = baseOptions(2, path);
+    resume.resume = true;
+    faults::CampaignEngine second(ka_->injector(), resume);
+    try {
+        second.run(weighted_);
+        FAIL() << "truncated journal accepted";
+    } catch (const faults::JournalError &error) {
+        EXPECT_NE(std::string(error.what()).find("truncated"),
+                  std::string::npos)
+            << error.what();
+    }
+}
+
+TEST_F(CampaignJournalTest, CorruptedRecordRejected)
+{
+    std::string path = journalPath("corrupt");
+    {
+        faults::CampaignOptions killed = baseOptions(2, path);
+        killed.abortAfterSites = 18;
+        faults::CampaignEngine engine(ka_->injector(), killed);
+        EXPECT_THROW(engine.run(weighted_), faults::CampaignAborted);
+    }
+
+    // Flip one byte inside the first record's payload (the header is
+    // 40 bytes, each record 16).
+    flipByte(path, 40 + 4);
+
+    faults::CampaignOptions resume = baseOptions(2, path);
+    resume.resume = true;
+    faults::CampaignEngine second(ka_->injector(), resume);
+    try {
+        second.run(weighted_);
+        FAIL() << "corrupted journal accepted";
+    } catch (const faults::JournalError &error) {
+        EXPECT_NE(std::string(error.what()).find("corrupt"),
+                  std::string::npos)
+            << error.what();
+    }
+}
+
+TEST(CampaignJournalFormat, FooterRoundTrip)
+{
+    std::string path = journalPath("footer");
+    std::vector<faults::FaultSite> sites = {
+        {0, 1, 2}, {0, 3, 4}, {1, 0, 5}};
+    faults::JournalKey key{"footer-suite", 7};
+    std::uint64_t hash = faults::journalHeaderHash(key, sites);
+
+    {
+        auto journal =
+            faults::CampaignJournal::create(path, hash, sites.size());
+        journal.append(0, faults::Outcome::Masked);
+        journal.append(1, faults::Outcome::SDC);
+        journal.append(2, faults::Outcome::Other);
+        journal.commitChunk();
+        faults::CampaignJournal::Phases phases;
+        phases.replaySeconds = 0.125;
+        phases.injectSeconds = 2.5;
+        phases.foldSeconds = 0.0625;
+        phases.sitesPerSecond = 1.2;
+        phases.sitesDone = sites.size();
+        phases.workers = 4;
+        journal.writeFooter(phases);
+    }
+
+    faults::CampaignJournal::Resume resume;
+    auto journal = faults::CampaignJournal::openOrResume(
+        path, hash, sites.size(), resume);
+    EXPECT_TRUE(resume.complete);
+    EXPECT_EQ(resume.doneCount, sites.size());
+    EXPECT_EQ(resume.outcomes[0], faults::Outcome::Masked);
+    EXPECT_EQ(resume.outcomes[1], faults::Outcome::SDC);
+    EXPECT_EQ(resume.outcomes[2], faults::Outcome::Other);
+    EXPECT_EQ(resume.footer.replaySeconds, 0.125);
+    EXPECT_EQ(resume.footer.injectSeconds, 2.5);
+    EXPECT_EQ(resume.footer.foldSeconds, 0.0625);
+    EXPECT_EQ(resume.footer.sitesPerSecond, 1.2);
+    EXPECT_EQ(resume.footer.sitesDone, sites.size());
+    EXPECT_EQ(resume.footer.workers, 4u);
+}
+
+TEST(CampaignJournalFormat, DuplicateRecordRejected)
+{
+    std::string path = journalPath("duplicate");
+    std::vector<faults::FaultSite> sites = {{0, 1, 2}, {0, 3, 4}};
+    faults::JournalKey key{"dup-suite", 1};
+    std::uint64_t hash = faults::journalHeaderHash(key, sites);
+    {
+        auto journal =
+            faults::CampaignJournal::create(path, hash, sites.size());
+        journal.append(1, faults::Outcome::Masked);
+        journal.append(1, faults::Outcome::SDC);
+        journal.commitChunk();
+    }
+    faults::CampaignJournal::Resume resume;
+    EXPECT_THROW(faults::CampaignJournal::openOrResume(path, hash,
+                                                       sites.size(),
+                                                       resume),
+                 faults::JournalError);
+}
+
+// --- JSON string escaping (the --json surface the journal stats ride
+// on).  Minimal scanner: extract the first string value and unescape.
+
+std::string
+unescapeFirstJsonString(const std::string &doc, const std::string &key)
+{
+    std::size_t at = doc.find('"' + key + '"');
+    EXPECT_NE(at, std::string::npos) << doc;
+    at = doc.find(':', at);
+    at = doc.find('"', at);
+    EXPECT_NE(at, std::string::npos) << doc;
+    ++at;
+    std::string out;
+    while (at < doc.size() && doc[at] != '"') {
+        char c = doc[at++];
+        if (c != '\\') {
+            out += c;
+            continue;
+        }
+        char esc = doc[at++];
+        switch (esc) {
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case 'u': {
+            unsigned code = static_cast<unsigned>(
+                std::stoul(doc.substr(at, 4), nullptr, 16));
+            at += 4;
+            EXPECT_LT(code, 0x80u) << "suite only decodes ASCII escapes";
+            out += static_cast<char>(code);
+            break;
+          }
+          default:
+            ADD_FAILURE() << "unexpected escape \\" << esc;
+        }
+    }
+    return out;
+}
+
+TEST(JsonEscaping, StringRoundTrip)
+{
+    // Journal paths land in --json output verbatim; exercise every
+    // class the writer escapes: quotes, backslashes (Windows-looking
+    // paths), whitespace controls, and raw control bytes.
+    const std::string nasty = "C:\\tmp\\\"journal\".fspj\n\tbell:\x07 end";
+    std::ostringstream os;
+    {
+        JsonWriter json(os);
+        json.beginObject();
+        json.field("path", nasty);
+        json.endObject();
+    }
+    EXPECT_EQ(unescapeFirstJsonString(os.str(), "path"), nasty);
+}
+
+TEST(JsonEscaping, CampaignStatsDocumentParsesBack)
+{
+    faults::CampaignStats stats;
+    stats.workers = 3;
+    stats.chunks = 7;
+    stats.sites = 21;
+    stats.injectedSites = 13;
+    stats.replayedSites = 8;
+    stats.journalPath = "dir with space/\"quoted\"\tname.fspj";
+    stats.resumed = true;
+    std::ostringstream os;
+    {
+        JsonWriter json(os);
+        json.beginObject();
+        faults::writeCampaignStats(json, stats);
+        json.endObject();
+    }
+    EXPECT_EQ(unescapeFirstJsonString(os.str(), "path"),
+              stats.journalPath);
+}
+
+} // namespace
+} // namespace fsp

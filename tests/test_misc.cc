@@ -16,6 +16,7 @@
 #include "apps/app.hh"
 #include "faults/fault_space.hh"
 #include "pruning/grouping.hh"
+#include "pruning/pipeline.hh"
 #include "sim_test_util.hh"
 #include "util/csv.hh"
 
@@ -189,6 +190,40 @@ TEST(Breakdown, BucketsCoverRepresentativeSites)
         auto f = entry.dist.fractions();
         EXPECT_NEAR(f[0] + f[1] + f[2], 1.0, 1e-9);
     }
+}
+
+TEST(PruningConfig, FlatAliasesTrackSubStructs)
+{
+    pruning::PruningConfig config;
+    // Writing through a deprecated flat alias must land in the
+    // per-stage sub-struct, and vice versa.
+    config.loopIterations = 5;
+    EXPECT_EQ(config.loop.iterations, 5u);
+    config.bit.samples = 9;
+    EXPECT_EQ(config.bitSamples, 9u);
+    config.slicedProfiling = false;
+    EXPECT_FALSE(config.execution.slicedProfiling);
+}
+
+TEST(PruningConfig, CopyRebindsAliasesToOwningObject)
+{
+    pruning::PruningConfig source;
+    source.thread.repsPerGroup = 3;
+    source.execution.workers = 7;
+
+    // Copy construction and assignment must copy the sub-structs but
+    // keep each copy's aliases bound to *its own* fields -- an
+    // implicitly-copied reference member would alias the source.
+    pruning::PruningConfig copy(source);
+    copy.repsPerGroup = 4;
+    EXPECT_EQ(copy.thread.repsPerGroup, 4u);
+    EXPECT_EQ(source.thread.repsPerGroup, 3u);
+
+    pruning::PruningConfig assigned;
+    assigned = source;
+    assigned.workers = 1;
+    EXPECT_EQ(assigned.execution.workers, 1u);
+    EXPECT_EQ(source.execution.workers, 7u);
 }
 
 TEST(Program, ListingAndValidation)

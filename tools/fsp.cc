@@ -10,37 +10,24 @@
  *   fsp prune    <App/Kx> [opts]     pruning stage counts (Fig. 10 row)
  *   fsp campaign <App/Kx> [opts]     pruned campaign vs baseline
  *
- * Common options:
- *   --paper            paper-scale geometry (default: small)
- *   --seed N           master seed (default 1)
- *   --baseline N       baseline runs for `campaign` (default 2000)
- *   --loop-iters N     sampled loop iterations (default 8)
- *   --bit-samples N    sampled bit positions (default 16)
- *   --pilots N         representatives per thread group (default 1)
- *   --workers N        campaign worker threads (default: hardware);
- *                      results are bit-identical at any worker count
- *   --no-slicing       force full-grid injection runs even when the
- *                      kernel's CTAs are independent (A/B validation);
- *                      outcomes are bit-identical either way
- *   --no-checkpoints   execute every injection run from instruction
- *                      zero instead of resuming from golden-run
- *                      checkpoints (A/B validation); outcomes are
- *                      bit-identical either way
- *   --json             machine-readable output (profile, prune and
- *                      campaign commands)
+ * Options are the shared tool set (analysis/cli_options.hh); run
+ * `fsp --help` (or any command with --help) for the generated list.
+ * `fsp campaign ... --journal p.fspj` makes the pruned campaign
+ * durable: re-running with `--resume` skips already-journaled sites
+ * and still produces a bit-identical profile.
  */
 
-#include <cstdlib>
-#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "analysis/analyzer.hh"
+#include "analysis/cli_options.hh"
 #include "analysis/convergence.hh"
 #include "apps/app.hh"
 #include "pruning/loops.hh"
 #include "sim/disasm.hh"
+#include "util/cli.hh"
 #include "util/json.hh"
 #include "util/table.hh"
 
@@ -52,92 +39,23 @@ struct Options
 {
     std::string command;
     std::string kernel;
-    apps::Scale scale = apps::Scale::Small;
-    std::uint64_t seed = 1;
-    std::size_t baseline = 2000;
-    bool json = false;
-    pruning::PruningConfig pruning;
-    faults::CampaignOptions campaign; // workers=0: hardware default
+    analysis::CommonCliOptions common;
 };
 
-int
-usage()
+void
+buildTable(OptionTable &table, Options &opts)
 {
-    std::cerr <<
-        "usage: fsp <command> [kernel] [options]\n"
-        "commands: list | profile | groups | disasm | loops | prune |"
-        " campaign\n"
-        "options:  --paper --seed N --baseline N --loop-iters N\n"
-        "          --bit-samples N --pilots N --workers N --no-slicing\n"
-        "          --no-checkpoints --json\n";
-    return 2;
-}
-
-bool
-parseArgs(int argc, char **argv, Options &opts)
-{
-    if (argc < 2)
-        return false;
-    opts.command = argv[1];
-    int i = 2;
-    if (i < argc && argv[i][0] != '-')
-        opts.kernel = argv[i++];
-    for (; i < argc; ++i) {
-        std::string arg = argv[i];
-        auto next = [&]() -> const char * {
-            return i + 1 < argc ? argv[++i] : nullptr;
-        };
-        if (arg == "--paper") {
-            opts.scale = apps::Scale::Paper;
-        } else if (arg == "--seed") {
-            const char *v = next();
-            if (!v)
-                return false;
-            opts.seed = std::strtoull(v, nullptr, 10);
-        } else if (arg == "--baseline") {
-            const char *v = next();
-            if (!v)
-                return false;
-            opts.baseline = std::strtoull(v, nullptr, 10);
-        } else if (arg == "--loop-iters") {
-            const char *v = next();
-            if (!v)
-                return false;
-            opts.pruning.loopIterations =
-                static_cast<unsigned>(std::strtoul(v, nullptr, 10));
-        } else if (arg == "--bit-samples") {
-            const char *v = next();
-            if (!v)
-                return false;
-            opts.pruning.bitSamples =
-                static_cast<unsigned>(std::strtoul(v, nullptr, 10));
-        } else if (arg == "--pilots") {
-            const char *v = next();
-            if (!v)
-                return false;
-            opts.pruning.repsPerGroup =
-                static_cast<unsigned>(std::strtoul(v, nullptr, 10));
-        } else if (arg == "--workers") {
-            const char *v = next();
-            if (!v)
-                return false;
-            opts.campaign.workers =
-                static_cast<unsigned>(std::strtoul(v, nullptr, 10));
-        } else if (arg == "--no-slicing") {
-            opts.campaign.allowSlicing = false;
-            opts.pruning.slicedProfiling = false;
-        } else if (arg == "--no-checkpoints") {
-            opts.campaign.allowCheckpoints = false;
-            opts.pruning.checkpoints = false;
-        } else if (arg == "--json") {
-            opts.json = true;
-        } else {
-            std::cerr << "unknown option '" << arg << "'\n";
-            return false;
-        }
-    }
-    opts.pruning.seed = opts.seed;
-    return true;
+    table.setUsage("fsp <command> [kernel] [options]\n"
+                   "commands: list | profile | groups | disasm | loops |"
+                   " prune | campaign");
+    table.positional("kernel", "kernel name, e.g. GEMM/K1 (`fsp list`)",
+                     [&opts](const std::string &arg) {
+                         if (!opts.kernel.empty())
+                             return false;
+                         opts.kernel = arg;
+                         return true;
+                     });
+    analysis::addCommonOptions(table, opts.common);
 }
 
 int
@@ -183,21 +101,22 @@ cmdProfile(const Options &opts)
     const apps::KernelSpec *spec = requireKernel(opts);
     if (!spec)
         return 1;
-    analysis::KernelAnalysis ka(*spec, opts.scale, opts.seed + 41);
+    const auto &common = opts.common;
+    analysis::KernelAnalysis ka(*spec, common.scale, common.seed + 41);
     const auto &space = ka.space();
-    if (opts.json) {
+    if (common.json) {
         JsonWriter json(std::cout);
         json.beginObject();
         json.field("kernel", spec->fullName());
-        json.field("scale", apps::scaleName(opts.scale));
+        json.field("scale", apps::scaleName(common.scale));
         json.field("threads", space.threadCount());
         json.field("dynInstrs", space.totalDynInstrs());
         json.field("faultSites", space.totalSites());
         json.endObject();
         return 0;
     }
-    std::cout << spec->fullName() << " @ " << apps::scaleName(opts.scale)
-              << "\n"
+    std::cout << spec->fullName() << " @ "
+              << apps::scaleName(common.scale) << "\n"
               << "  threads:      " << space.threadCount() << "\n"
               << "  dyn instrs:   " << fmtCount(space.totalDynInstrs())
               << "\n"
@@ -214,11 +133,12 @@ cmdGroups(const Options &opts)
     const apps::KernelSpec *spec = requireKernel(opts);
     if (!spec)
         return 1;
-    analysis::KernelAnalysis ka(*spec, opts.scale, opts.seed + 41);
-    Prng prng(opts.seed);
+    const auto &common = opts.common;
+    analysis::KernelAnalysis ka(*spec, common.scale, common.seed + 41);
+    Prng prng(common.seed);
     auto grouping = pruning::pruneThreads(
         ka.space(), ka.executor().config().block.count(), prng,
-        opts.pruning.repsPerGroup);
+        common.pruning.thread.repsPerGroup);
 
     TextTable table({"CTA group", "avg iCnt", "#CTAs", "thread group",
                      "iCnt", "#threads", "representative(s)"});
@@ -252,7 +172,8 @@ cmdDisasm(const Options &opts)
     const apps::KernelSpec *spec = requireKernel(opts);
     if (!spec)
         return 1;
-    apps::KernelSetup setup = spec->setup(opts.scale, opts.seed + 41);
+    apps::KernelSetup setup =
+        spec->setup(opts.common.scale, opts.common.seed + 41);
     std::cout << "// " << spec->fullName() << " (" << spec->kernelName
               << "), " << setup.program.size() << " instructions\n"
               << sim::disassembleProgram(setup.program);
@@ -265,8 +186,9 @@ cmdLoops(const Options &opts)
     const apps::KernelSpec *spec = requireKernel(opts);
     if (!spec)
         return 1;
-    analysis::KernelAnalysis ka(*spec, opts.scale, opts.seed + 41);
-    Prng prng(opts.seed);
+    const auto &common = opts.common;
+    analysis::KernelAnalysis ka(*spec, common.scale, common.seed + 41);
+    Prng prng(common.seed);
     auto grouping = pruning::pruneThreads(
         ka.space(), ka.executor().config().block.count(), prng);
     auto plans = pruning::buildThreadPlans(ka.executor(),
@@ -299,14 +221,15 @@ cmdPrune(const Options &opts)
     const apps::KernelSpec *spec = requireKernel(opts);
     if (!spec)
         return 1;
-    analysis::KernelAnalysis ka(*spec, opts.scale, opts.seed + 41);
-    auto pruned = ka.prune(opts.pruning);
+    const auto &common = opts.common;
+    analysis::KernelAnalysis ka(*spec, common.scale, common.seed + 41);
+    auto pruned = ka.prune(common.pruning);
     const auto &c = pruned.counts;
-    if (opts.json) {
+    if (common.json) {
         JsonWriter json(std::cout);
         json.beginObject();
         json.field("kernel", spec->fullName());
-        json.field("scale", apps::scaleName(opts.scale));
+        json.field("scale", apps::scaleName(common.scale));
         json.beginObject("stageCounts");
         json.field("exhaustive", c.exhaustive);
         json.field("afterThread", c.afterThread);
@@ -342,30 +265,52 @@ cmdCampaign(const Options &opts)
     const apps::KernelSpec *spec = requireKernel(opts);
     if (!spec)
         return 1;
-    analysis::KernelAnalysis ka(*spec, opts.scale, opts.seed + 41);
-    if (!opts.campaign.allowSlicing)
+    const auto &common = opts.common;
+    analysis::KernelAnalysis ka(*spec, common.scale, common.seed + 41);
+    if (!common.campaign.allowSlicing)
         ka.setSlicingEnabled(false);
-    if (!opts.campaign.allowCheckpoints)
+    if (!common.campaign.allowCheckpoints)
         ka.setCheckpointsEnabled(false);
-    auto pruned = ka.prune(opts.pruning);
-    if (!opts.json) {
+    auto pruned = ka.prune(common.pruning);
+    if (!common.json) {
         std::cout << spec->fullName() << "\n  engine: "
                   << ka.injector().slicingDescription() << ", "
                   << ka.injector().checkpointDescription() << "\n";
     }
-    auto estimate = ka.runPrunedCampaign(pruned, opts.campaign);
-    faults::CampaignResult baseline;
-    if (opts.baseline > 0)
-        baseline =
-            ka.runBaseline(opts.baseline, opts.seed + 17, opts.campaign);
-    const auto &stats = ka.parallelCampaign(opts.campaign).lastStats();
 
-    if (opts.json) {
+    // The journal (when requested) records the *pruned* campaign; its
+    // header hash binds the weighted site list, kernel/pruning config
+    // and seed, so only that campaign may write it.
+    faults::CampaignOptions pruned_options = common.campaign;
+    if (!pruned_options.journalPath.empty())
+        pruned_options.journalKey =
+            analysis::campaignJournalKey(*spec, common.scale, common);
+    faults::OutcomeDist estimate;
+    try {
+        estimate = ka.runPrunedCampaign(pruned, pruned_options);
+    } catch (const faults::JournalError &error) {
+        std::cerr << "journal error: " << error.what() << "\n";
+        return 1;
+    }
+    // Copy the stats now: the journal-less baseline below configures a
+    // different engine, which evicts this one from the facade's cache.
+    faults::CampaignStats stats =
+        ka.campaignEngine(pruned_options).lastStats();
+
+    faults::CampaignOptions baseline_options = common.campaign;
+    baseline_options.journalPath.clear();
+    baseline_options.resume = false;
+    faults::CampaignResult baseline;
+    if (common.baseline > 0)
+        baseline = ka.runBaseline(common.baseline, common.seed + 17,
+                                  baseline_options);
+
+    if (common.json) {
         JsonWriter json(std::cout);
         json.beginObject();
         json.field("kernel", spec->fullName());
-        json.field("scale", apps::scaleName(opts.scale));
-        json.field("seed", opts.seed);
+        json.field("scale", apps::scaleName(common.scale));
+        json.field("seed", common.seed);
         json.beginObject("engine");
         json.field("slicing", ka.injector().slicingDescription());
         json.field("checkpoints", ka.injector().checkpointDescription());
@@ -375,16 +320,10 @@ cmdCampaign(const Options &opts)
         json.field("workers", static_cast<std::uint64_t>(stats.workers));
         json.endObject();
         writeProfile(json, "prunedEstimate", estimate);
-        if (opts.baseline > 0)
+        if (common.baseline > 0)
             writeProfile(json, "randomBaseline", baseline.dist);
-        json.beginObject("throughput");
-        json.field("sites", stats.sites);
-        json.field("chunks", stats.chunks);
-        json.field("elapsedSeconds", stats.elapsedSeconds);
-        json.field("sitesPerSecond", stats.sitesPerSecond);
-        json.endObject();
-        json.beginObject("injectionStats");
-        faults::writeInjectionStats(json, stats.injection);
+        json.beginObject("campaignStats");
+        faults::writeCampaignStats(json, stats);
         json.endObject();
         json.endObject();
         return 0;
@@ -392,7 +331,7 @@ cmdCampaign(const Options &opts)
 
     std::cout << "  pruned estimate (" << estimate.runs()
               << " runs): " << estimate.summary() << "\n";
-    if (opts.baseline > 0) {
+    if (common.baseline > 0) {
         std::cout << "  random baseline (" << baseline.runs
                   << " runs): " << baseline.dist.summary() << "\n";
     }
@@ -407,8 +346,28 @@ int
 main(int argc, char **argv)
 {
     Options opts;
-    if (!parseArgs(argc, argv, opts))
-        return usage();
+    OptionTable table;
+    buildTable(table, opts);
+
+    if (argc < 2) {
+        table.printHelp(std::cerr);
+        return 2;
+    }
+    opts.command = argv[1];
+    if (opts.command == "--help" || opts.command == "-h") {
+        table.printHelp(std::cout);
+        return 0;
+    }
+    switch (table.parse(argc, argv, 2, std::cerr)) {
+      case OptionTable::Parse::Ok:
+        break;
+      case OptionTable::Parse::Help:
+        return 0;
+      case OptionTable::Parse::Error:
+        return 2;
+    }
+    if (!analysis::finalizeCommonOptions(opts.common))
+        return 2;
 
     if (opts.command == "list")
         return cmdList();
@@ -425,5 +384,6 @@ main(int argc, char **argv)
     if (opts.command == "campaign")
         return cmdCampaign(opts);
     std::cerr << "unknown command '" << opts.command << "'\n";
-    return usage();
+    table.printHelp(std::cerr);
+    return 2;
 }
