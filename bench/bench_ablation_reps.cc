@@ -39,7 +39,7 @@ main()
         for (unsigned pilots : {1u, 2u, 4u}) {
             pruning::PruningConfig config;
             config.seed = bench::masterSeed();
-            config.repsPerGroup = pilots;
+            config.thread.repsPerGroup = pilots;
             auto pruned = ka.prune(config);
             auto estimate = ka.runPrunedCampaign(pruned);
             double est_masked =

@@ -34,7 +34,7 @@ runApp(const char *name, std::uint64_t seed, unsigned max_iter)
     for (unsigned n = 1; n <= max_iter; ++n) {
         pruning::PruningConfig config;
         config.seed = seed;
-        config.loopIterations = n;
+        config.loop.iterations = n;
         auto pruned = ka.prune(config);
         auto estimate = ka.runPrunedCampaign(pruned);
         auto fractions = estimate.fractions();

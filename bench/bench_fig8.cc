@@ -28,7 +28,7 @@ runApp(const char *name)
     for (unsigned samples : {4u, 8u, 16u, 0u}) {
         pruning::PruningConfig config;
         config.seed = bench::masterSeed();
-        config.bitSamples = samples;
+        config.bit.samples = samples;
         // The paper studies the bit dimension with every register bit
         // of the (thread/instruction/loop-)pruned space as reference.
         auto pruned = ka.prune(config);

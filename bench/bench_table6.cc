@@ -36,7 +36,7 @@ main()
         pruning::PruningConfig with;
         with.seed = bench::masterSeed();
         pruning::PruningConfig without = with;
-        without.instructionStage = false;
+        without.instruction.enabled = false;
 
         auto pruned_with = ka.prune(with);
         if (!pruned_with.instrStats.applicable) {

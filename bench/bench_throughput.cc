@@ -37,7 +37,7 @@
 #include "faults/campaign.hh"
 #include "faults/fault_space.hh"
 #include "faults/injector.hh"
-#include "faults/parallel_campaign.hh"
+#include "faults/campaign_engine.hh"
 #include "pruning/pipeline.hh"
 #include "util/env.hh"
 #include "util/logging.hh"
@@ -160,14 +160,14 @@ BM_CampaignParallel(benchmark::State &state)
     apps::KernelSetup setup = spec->setup(apps::Scale::Small, 42);
     faults::CampaignOptions options;
     options.workers = static_cast<unsigned>(state.range(0));
-    faults::ParallelCampaign engine(setup.program, setup.launch,
+    faults::CampaignEngine engine(setup.program, setup.launch,
                                     setup.memory, setup.outputs,
                                     options);
     const auto &sites = campaignSites();
 
     std::uint64_t runs = 0;
     for (auto _ : state) {
-        auto result = engine.runSiteList(sites);
+        auto result = engine.run(sites);
         benchmark::DoNotOptimize(result.runs);
         runs += result.runs;
     }
@@ -179,6 +179,49 @@ BENCHMARK(BM_CampaignParallel)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+/**
+ * Observer overhead: the same engine campaign with no observer vs the
+ * full metrics bridge attached.  Compare the two rows directly; the
+ * observed row also reports how many events landed in the registry.
+ * (Per-site wall-clock reads only happen while an observer is
+ * attached, so the bare row is the engine's true hot path.)
+ */
+void
+BM_CampaignObserved(benchmark::State &state, bool observed)
+{
+    fsp::setVerboseLogging(false);
+    const apps::KernelSpec *spec = apps::findKernel("GEMM/K1");
+    apps::KernelSetup setup = spec->setup(apps::Scale::Small, 42);
+    metrics::Registry registry;
+    faults::MetricsObserver metrics_observer(registry);
+    faults::CampaignOptions options;
+    options.workers = 4;
+    if (observed)
+        options.observer = &metrics_observer;
+    faults::CampaignEngine engine(setup.program, setup.launch,
+                                  setup.memory, setup.outputs, options);
+    const auto &sites = campaignSites();
+
+    std::uint64_t runs = 0;
+    for (auto _ : state) {
+        auto result = engine.run(sites);
+        benchmark::DoNotOptimize(result.runs);
+        runs += result.runs;
+    }
+    state.counters["sites/s"] = benchmark::Counter(
+        static_cast<double>(runs), benchmark::Counter::kIsRate);
+    state.counters["observed"] = observed ? 1.0 : 0.0;
+    if (observed) {
+        state.counters["eventsInRegistry"] =
+            static_cast<double>(registry.counterValue(registry.counter(
+                "fsp_campaign_sites_total", "", "outcome=\"masked\"")));
+    }
+}
+BENCHMARK_CAPTURE(BM_CampaignObserved, bare, false)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK_CAPTURE(BM_CampaignObserved, metrics, true)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 /** Deterministic sampled site list for an arbitrary kernel. */
 std::vector<faults::FaultSite>

@@ -23,7 +23,7 @@
 #include "analysis/analyzer.hh"
 #include "apps/app.hh"
 #include "faults/outcome.hh"
-#include "faults/parallel_campaign.hh"
+#include "faults/campaign_engine.hh"
 #include "util/env.hh"
 #include "util/table.hh"
 

@@ -9,9 +9,8 @@
 
 #include <iostream>
 
-#include "faults/campaign.hh"
+#include "faults/campaign_engine.hh"
 #include "faults/fault_space.hh"
-#include "faults/injector.hh"
 #include "pruning/pipeline.hh"
 #include "ptx/assembler.hh"
 #include "sim/executor.hh"
@@ -100,16 +99,18 @@ main()
               << pruned.grouping.representativeCount()
               << " representative threads)\n";
 
-    // 5. Inject.
-    faults::Injector injector(program, launch, memory, outputs);
-    auto campaign = faults::runWeightedSiteList(injector, pruned.sites);
+    // 5. Inject.  One engine serves both campaigns: the golden run
+    // happens once at construction, and results are bit-identical to
+    // the serial drivers at any worker count.
+    faults::CampaignEngine engine(program, launch, memory, outputs);
+    auto campaign = engine.run(pruned.sites);
     campaign.dist.addWeight(faults::Outcome::Masked,
                             pruned.assumedMaskedWeight);
     std::cout << "[4] weighted profile: " << campaign.dist.summary()
               << "\n";
 
     Prng prng(99);
-    auto baseline = faults::runRandomCampaign(injector, space, 1500, prng);
+    auto baseline = engine.run(space, 1500, prng);
     std::cout << "    random baseline:  " << baseline.dist.summary()
               << "\n";
     return 0;

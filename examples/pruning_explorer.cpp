@@ -30,27 +30,27 @@ variants()
     std::vector<Variant> out;
 
     PruningConfig off;
-    off.instructionStage = false;
-    off.loopIterations = 0;
-    off.bitSamples = 0;
-    off.predZeroFlagOnly = false;
+    off.instruction.enabled = false;
+    off.loop.iterations = 0;
+    off.bit.samples = 0;
+    off.bit.predZeroFlagOnly = false;
     out.push_back({"thread only", off});
 
     PruningConfig instr = off;
-    instr.instructionStage = true;
+    instr.instruction.enabled = true;
     out.push_back({"+instr", instr});
 
     for (unsigned iters : {4u, 8u, 12u}) {
         PruningConfig c = instr;
-        c.loopIterations = iters;
+        c.loop.iterations = iters;
         out.push_back({"+loop(" + std::to_string(iters) + ")", c});
     }
 
     for (unsigned bits : {8u, 16u}) {
         PruningConfig c = instr;
-        c.loopIterations = 8;
-        c.bitSamples = bits;
-        c.predZeroFlagOnly = true;
+        c.loop.iterations = 8;
+        c.bit.samples = bits;
+        c.bit.predZeroFlagOnly = true;
         out.push_back({"+loop(8)+bit(" + std::to_string(bits) + ")", c});
     }
     return out;

@@ -24,6 +24,7 @@
 
 #include "analysis/analyzer.hh"
 #include "analysis/cli_options.hh"
+#include "analysis/observability.hh"
 #include "apps/app.hh"
 #include "util/cli.hh"
 #include "util/json.hh"
@@ -88,6 +89,8 @@ main(int argc, char **argv)
     }
 
     analysis::KernelAnalysis ka(*spec, common.scale);
+    analysis::Observability obs(common.progressEvery);
+    ka.attachExecMetrics(&obs.exec);
     if (!common.campaign.allowSlicing)
         ka.setSlicingEnabled(false);
     if (!common.campaign.allowCheckpoints)
@@ -97,16 +100,18 @@ main(int argc, char **argv)
     // baseline runs journal-less (its random site list is a different
     // campaign and would fail the header hash anyway).
     faults::CampaignOptions pruned_options = common.campaign;
+    pruned_options.observer = obs.observer();
     if (!pruned_options.journalPath.empty())
         pruned_options.journalKey =
             analysis::campaignJournalKey(*spec, common.scale, common);
     faults::CampaignOptions baseline_options = common.campaign;
+    baseline_options.observer = obs.observer();
     baseline_options.journalPath.clear();
     baseline_options.resume = false;
 
     if (common.json) {
         const auto &space = ka.space();
-        auto pruned = ka.prune(common.pruning);
+        auto pruned = ka.prune(common.pruning, &obs.registry);
         faults::OutcomeDist estimate;
         try {
             estimate = ka.runPrunedCampaign(pruned, pruned_options);
@@ -119,6 +124,13 @@ main(int argc, char **argv)
         if (common.baseline > 0)
             baseline = ka.runBaseline(common.baseline, common.seed + 17,
                                       baseline_options);
+        obs.finalize();
+        if (!common.metricsOut.empty() &&
+            !obs.writePrometheusFile(common.metricsOut)) {
+            std::cerr << "cannot write metrics snapshot to '"
+                      << common.metricsOut << "'\n";
+            return 1;
+        }
 
         JsonWriter json(std::cout);
         json.beginObject();
@@ -151,6 +163,7 @@ main(int argc, char **argv)
         json.beginObject("campaignStats");
         faults::writeCampaignStats(json, pruned_stats);
         json.endObject();
+        obs.writeJsonSnapshot(json);
         json.endObject();
         return 0;
     }
@@ -178,7 +191,7 @@ main(int argc, char **argv)
               << "\n\n";
 
     // --- 2+3. Pruning pipeline.
-    auto pruned = ka.prune(common.pruning);
+    auto pruned = ka.prune(common.pruning, &obs.registry);
     if (pruned.slicedProfiling) {
         std::cout << "    (profiling run sliced to " << pruned.profiledCtas
                   << " of " << ka.slicingPlan().ctaCount() << " CTAs)\n";
@@ -255,5 +268,16 @@ main(int argc, char **argv)
     for (std::uint64_t runs : pruned_stats.perWorkerRuns)
         std::cout << " " << runs;
     std::cout << "\n";
+
+    obs.finalize();
+    if (!common.metricsOut.empty()) {
+        if (!obs.writePrometheusFile(common.metricsOut)) {
+            std::cerr << "cannot write metrics snapshot to '"
+                      << common.metricsOut << "'\n";
+            return 1;
+        }
+        std::cout << "\nmetrics snapshot written to " << common.metricsOut
+                  << "\n";
+    }
     return 0;
 }

@@ -54,7 +54,8 @@ KernelAnalysis::setCheckpointsEnabled(bool enabled)
 }
 
 pruning::PruningResult
-KernelAnalysis::prune(const pruning::PruningConfig &config)
+KernelAnalysis::prune(const pruning::PruningConfig &config,
+                      metrics::Registry *metrics)
 {
     // The pipeline itself never injects, but the campaigns that follow
     // it do: honour the config's A/B switch before they run.
@@ -63,7 +64,7 @@ KernelAnalysis::prune(const pruning::PruningConfig &config)
     const faults::SlicingPlan *slicing =
         injector().slicingEnabled() ? &injector().slicingPlan() : nullptr;
     return pruning::prunePipeline(*executor_, setup_.memory, space(),
-                                  config, slicing);
+                                  config, slicing, metrics);
 }
 
 faults::OutcomeDist
@@ -109,6 +110,12 @@ KernelAnalysis::campaignEngine(const faults::CampaignOptions &options)
         engine_ =
             std::make_unique<faults::CampaignEngine>(injector(), options);
         engine_options_ = options;
+    } else {
+        // sameEngineConfig ignores the notification-only fields, so a
+        // cache hit must still re-target them -- a stale observer
+        // pointer from an earlier caller would dangle.
+        engine_->setObserver(options.observer);
+        engine_->setProgressCallback(options.progressCallback);
     }
     return *engine_;
 }

@@ -84,9 +84,12 @@ class KernelAnalysis
     /**
      * Run the progressive pruning pipeline.  The injector's slicing
      * plan scopes the traced profiling run to the representatives'
-     * CTAs when config.execution.slicedProfiling permits.
+     * CTAs when config.execution.slicedProfiling permits.  @p metrics
+     * optionally receives the pipeline's per-stage gauges (see
+     * prunePipeline); it never affects results.
      */
-    pruning::PruningResult prune(const pruning::PruningConfig &config);
+    pruning::PruningResult prune(const pruning::PruningConfig &config,
+                                 metrics::Registry *metrics = nullptr);
 
     /**
      * Exhaustive weighted injection over a pruned space; the
@@ -122,11 +125,16 @@ class KernelAnalysis
     faults::CampaignEngine &
     campaignEngine(const faults::CampaignOptions &options = {});
 
-    /** DEPRECATED pre-facade name for campaignEngine(). */
-    faults::CampaignEngine &
-    parallelCampaign(const faults::CampaignOptions &options = {})
+    /**
+     * Feed the facade's own (profiling) executor's run counters into
+     * @p sink (see sim::Executor::setMetricsSink).  The sink must
+     * outlive this analysis; null detaches.  Injectors build their own
+     * executors, so campaign workers never touch this sink -- it only
+     * counts the facade's single-threaded enumeration/profiling runs.
+     */
+    void attachExecMetrics(sim::ExecMetrics *sink)
     {
-        return campaignEngine(options);
+        executor_->setMetricsSink(sink);
     }
 
   private:

@@ -5,6 +5,7 @@
 
 #include "analysis/cli_options.hh"
 
+#include <cstdlib>
 #include <iostream>
 
 namespace fsp::analysis {
@@ -62,6 +63,26 @@ addCommonOptions(OptionTable &table, CommonCliOptions &opts)
                "already-injected sites (profile is bit-identical\n"
                "to an uninterrupted run)",
                opts.resume);
+    table.optionString(
+        "--metrics-out", "PATH",
+        "write a Prometheus text-format metrics snapshot\n"
+        "to PATH on exit (pruning stages, campaign phases,\n"
+        "outcome counters, injection-latency histograms)",
+        opts.metricsOut);
+    table.option("--progress", "SEC",
+                 "print a live progress line (completion, outcome\n"
+                 "mix, throughput, ETA) at most every SEC seconds;\n"
+                 "0 reports at every chunk",
+                 [&opts](const std::string &text) {
+                     char *end = nullptr;
+                     double seconds = std::strtod(text.c_str(), &end);
+                     if (end == text.c_str() || *end != '\0' ||
+                         seconds < 0.0) {
+                         return false;
+                     }
+                     opts.progressEvery = seconds;
+                     return true;
+                 });
     table.flag("--json",
                "machine-readable output on stdout", opts.json);
 }

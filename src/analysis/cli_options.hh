@@ -28,6 +28,8 @@ struct CommonCliOptions
     bool json = false;
     std::string journalPath;        ///< --journal; empty disables
     bool resume = false;            ///< --resume
+    std::string metricsOut;         ///< --metrics-out; empty disables
+    double progressEvery = -1.0;    ///< --progress seconds; <0 disables
     pruning::PruningConfig pruning;
     faults::CampaignOptions campaign;
 };
@@ -35,8 +37,9 @@ struct CommonCliOptions
 /**
  * Register the shared options (--paper, --seed, --baseline,
  * --loop-iters, --bit-samples, --pilots, --workers, --chunk,
- * --no-slicing, --no-checkpoints, --journal, --resume, --json) against
- * @p opts.  Call finalizeCommonOptions() after a successful parse.
+ * --no-slicing, --no-checkpoints, --journal, --resume, --metrics-out,
+ * --progress, --json) against @p opts.  Call finalizeCommonOptions()
+ * after a successful parse.
  */
 void addCommonOptions(OptionTable &table, CommonCliOptions &opts);
 

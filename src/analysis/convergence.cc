@@ -23,7 +23,7 @@ convergeLoopIterations(KernelAnalysis &ka, pruning::PruningConfig base,
     std::vector<double> previous;
 
     for (unsigned n = 1; n <= max_iterations; ++n) {
-        base.loopIterations = n;
+        base.loop.iterations = n;
         auto pruned = ka.prune(base);
         auto estimate = ka.runPrunedCampaign(pruned);
 

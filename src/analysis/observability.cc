@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Observability bundle implementation.
+ */
+
+#include "analysis/observability.hh"
+
+#include "util/json.hh"
+
+namespace fsp::analysis {
+
+Observability::Observability(double progressEverySeconds)
+    : metricsObserver(registry)
+{
+    sim_runs_ = registry.counter("fsp_sim_runs_total",
+                                 "simulated kernel launches");
+    sim_ctas_ = registry.counter("fsp_sim_executed_ctas_total",
+                                 "CTAs simulated across all runs");
+    sim_instrs_ =
+        registry.counter("fsp_sim_dyn_instrs_total",
+                         "dynamic instructions simulated across all runs");
+
+    observers_.add(&metricsObserver);
+    if (progressEverySeconds >= 0.0) {
+        live.emplace(progressEverySeconds);
+        observers_.add(&*live);
+    }
+}
+
+void
+Observability::finalize()
+{
+    registry.add(sim_runs_, exec.runs);
+    registry.add(sim_ctas_, exec.executedCtas);
+    registry.add(sim_instrs_, exec.dynInstrs);
+    exec = sim::ExecMetrics{};
+}
+
+void
+Observability::writeJsonSnapshot(JsonWriter &json) const
+{
+    json.beginObject("metricsSnapshot");
+    registry.writeJson(json);
+    json.endObject();
+}
+
+} // namespace fsp::analysis

@@ -119,6 +119,34 @@ injectorOptionsFor(const CampaignOptions &options)
     return injector_options;
 }
 
+/**
+ * Scope guard attaching an observer to every worker injector for one
+ * campaign and detaching on exit -- the observer chain lives on
+ * runCampaign's stack, so a dangling pointer must never survive it
+ * (abortAfterSites unwinds through here).
+ */
+class InjectorObserverScope
+{
+  public:
+    InjectorObserverScope(
+        std::vector<std::unique_ptr<Injector>> &injectors,
+        CampaignObserver *observer)
+        : injectors_(injectors)
+    {
+        for (unsigned w = 0; w < injectors_.size(); ++w)
+            injectors_[w]->setObserver(observer, w);
+    }
+
+    ~InjectorObserverScope()
+    {
+        for (auto &injector : injectors_)
+            injector->setObserver(nullptr, 0);
+    }
+
+  private:
+    std::vector<std::unique_ptr<Injector>> &injectors_;
+};
+
 } // namespace
 
 CampaignEngine::CampaignEngine(const sim::Program &program,
@@ -163,7 +191,8 @@ void
 CampaignEngine::classifyPending(
     const std::vector<std::size_t> &pending,
     const std::function<const FaultSite &(std::size_t)> &siteAt,
-    std::vector<Outcome> &outcomes, CampaignJournal *journal)
+    std::vector<Outcome> &outcomes, CampaignJournal *journal,
+    CampaignObserver *observer)
 {
     unsigned workers = pool_.workerCount();
     std::size_t count = pending.size();
@@ -186,6 +215,10 @@ CampaignEngine::classifyPending(
     before.reserve(workers);
     for (unsigned w = 0; w < workers; ++w)
         before.push_back(injectors_[w]->stats());
+
+    // The injectors relay checkpoint-restore and slice-hazard events
+    // while classified; detached again even if a worker body throws.
+    InjectorObserverScope injector_observers(injectors_, observer);
 
     pool_.parallelFor(chunks, [&](std::size_t chunk, unsigned worker) {
         std::size_t begin = chunk * chunk_size;
@@ -210,8 +243,21 @@ CampaignEngine::classifyPending(
                   [&keyOf](std::size_t a, std::size_t b) {
                       return keyOf(a) < keyOf(b);
                   });
-        for (std::size_t original : order)
-            outcomes[original] = injector.inject(siteAt(original));
+        if (observer) {
+            // Per-site wall time is only measured with an observer
+            // attached: the unobserved path pays nothing.
+            for (std::size_t original : order) {
+                auto t_site = Clock::now();
+                const FaultSite &site = siteAt(original);
+                Outcome outcome = injector.inject(site);
+                outcomes[original] = outcome;
+                observer->onSiteClassified(
+                    {&site, outcome, secondsSince(t_site), worker});
+            }
+        } else {
+            for (std::size_t original : order)
+                outcomes[original] = injector.inject(siteAt(original));
+        }
 
         std::lock_guard<std::mutex> lock(progress_mutex);
         stats_.perWorkerRuns[worker] += end - begin;
@@ -222,10 +268,16 @@ CampaignEngine::classifyPending(
             // kill never loses a chunk whose progress was observed.
             for (std::size_t p = begin; p < end; ++p)
                 journal->append(pending[p], outcomes[pending[p]]);
-            journal->commitChunk();
+            CampaignJournal::CommitInfo commit = journal->commitChunk();
+            if (observer) {
+                observer->onJournalCommit(
+                    {commit.records, commit.bytes, false});
+            }
         }
-        if (options_.progressCallback)
-            options_.progressCallback({sites_done, count});
+        if (observer) {
+            observer->onChunkFolded({chunk, end - begin, sites_done,
+                                     count, worker});
+        }
         if (options_.abortAfterSites > 0 &&
             sites_done >= options_.abortAfterSites) {
             throw CampaignAborted(
@@ -249,6 +301,25 @@ CampaignEngine::runCampaign(
     stats_ = CampaignStats{};
     stats_.sites = count;
     stats_.journalPath = options_.journalPath;
+
+    // The single notification path: the caller's observer plus an
+    // adapter translating events back into the deprecated progress
+    // callback.  Both live on this frame; the injector scope guard in
+    // classifyPending keeps no pointer past it.
+    ObserverList observer_chain;
+    ProgressCallbackAdapter progress_adapter(options_.progressCallback);
+    observer_chain.add(options_.observer);
+    if (options_.progressCallback)
+        observer_chain.add(&progress_adapter);
+    CampaignObserver *observer =
+        observer_chain.empty() ? nullptr : &observer_chain;
+
+    if (observer) {
+        observer->onCampaignBegin({label,
+                                   static_cast<std::uint64_t>(count),
+                                   pool_.workerCount(),
+                                   !options_.journalPath.empty()});
+    }
 
     // --- Phase 1: journal open / outcome replay.
     std::vector<Outcome> outcomes(count, Outcome::Invalid);
@@ -281,11 +352,14 @@ CampaignEngine::runCampaign(
     }
     stats_.replayedSites = count - pending.size();
     stats_.replaySeconds = secondsSince(t_start);
+    if (observer)
+        observer->onPhaseDone(
+            {CampaignPhase::Replay, stats_.replaySeconds});
 
     // --- Phase 2: parallel classification of the remaining sites.
     auto t_inject = Clock::now();
     classifyPending(pending, siteAt, outcomes,
-                    journal ? &*journal : nullptr);
+                    journal ? &*journal : nullptr, observer);
     stats_.injectedSites = pending.size();
     stats_.injectSeconds = secondsSince(t_inject);
     stats_.sitesPerSecond =
@@ -293,6 +367,9 @@ CampaignEngine::runCampaign(
             ? static_cast<double>(stats_.injectedSites) /
                   stats_.injectSeconds
             : 0.0;
+    if (observer)
+        observer->onPhaseDone(
+            {CampaignPhase::Inject, stats_.injectSeconds});
 
     // --- Phase 3: serial fold in site order.  Identical order whether
     // an outcome was injected now or replayed from the journal, so the
@@ -321,7 +398,14 @@ CampaignEngine::runCampaign(
         phases.sitesPerSecond = stats_.sitesPerSecond;
         phases.sitesDone = count;
         phases.workers = stats_.workers;
-        journal->writeFooter(phases);
+        CampaignJournal::CommitInfo sealed = journal->writeFooter(phases);
+        if (observer)
+            observer->onJournalCommit(
+                {sealed.records, sealed.bytes, true});
+    }
+    if (observer) {
+        observer->onPhaseDone({CampaignPhase::Fold, stats_.foldSeconds});
+        observer->onCampaignEnd({&stats_});
     }
 
     inform(label, stats_.summary());

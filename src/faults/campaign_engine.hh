@@ -22,6 +22,12 @@
  * and restarted with CampaignOptions::resume replays the journal,
  * injects only the remaining sites, and produces the same profile
  * bit-for-bit (see tests/test_campaign_journal).
+ *
+ * Observability: CampaignOptions::observer receives typed events
+ * (site classified, chunk folded, checkpoint restored, slice hazard,
+ * journal commit, phase boundaries -- see observer.hh) without ever
+ * influencing results; per-site wall times are only measured while an
+ * observer is attached, so the unobserved hot path stays untouched.
  */
 
 #ifndef FSP_FAULTS_CAMPAIGN_ENGINE_HH
@@ -38,6 +44,7 @@
 #include "faults/campaign_journal.hh"
 #include "faults/fault_space.hh"
 #include "faults/injector.hh"
+#include "faults/observer.hh"
 #include "util/prng.hh"
 #include "util/thread_pool.hh"
 
@@ -46,13 +53,6 @@ class JsonWriter;
 } // namespace fsp
 
 namespace fsp::faults {
-
-/** Snapshot handed to a campaign progress callback. */
-struct CampaignProgress
-{
-    std::uint64_t sitesDone = 0;
-    std::uint64_t sitesTotal = 0;
-};
 
 /**
  * Thrown by the engine's testing hook (abortAfterSites) after the
@@ -75,8 +75,20 @@ struct CampaignOptions
     std::size_t chunkSize = 0;
 
     /**
-     * Invoked after every completed chunk (from a worker thread, under
-     * the engine's progress lock -- keep it cheap).
+     * Event sink for this engine's campaigns (not owned; must outlive
+     * every run).  See observer.hh for the event set and the per-event
+     * threading contract.  Observers never influence results: profiles
+     * are bit-identical with or without one attached.
+     */
+    CampaignObserver *observer = nullptr;
+
+    /**
+     * DEPRECATED: progress notification now flows through the
+     * CampaignObserver interface; this callback is adapted onto
+     * ChunkFolded events internally (see ProgressCallbackAdapter) and
+     * will be removed next release.  Invoked after every completed
+     * chunk (from a worker thread, under the engine's progress lock --
+     * keep it cheap).
      */
     std::function<void(const CampaignProgress &)> progressCallback;
 
@@ -121,8 +133,9 @@ struct CampaignOptions
 
     /**
      * Does @p other configure an identical engine?  Ignores the
-     * progress callback; used by caches (the analysis facade) to
-     * decide whether an existing engine can be reused.
+     * notification-only fields (observer, progress callback); used by
+     * caches (the analysis facade) to decide whether an existing
+     * engine can be reused.
      */
     bool sameEngineConfig(const CampaignOptions &other) const
     {
@@ -213,24 +226,21 @@ class CampaignEngine
     CampaignResult run(const FaultSpace &space, std::size_t runs,
                        Prng &prng);
 
-    /** @{ Deprecated aliases: the pre-facade ParallelCampaign names. */
-    CampaignResult
-    runSiteList(const std::vector<FaultSite> &sites)
+    /**
+     * @{ Re-target the notification-only option fields without
+     * rebuilding the engine (they are ignored by sameEngineConfig, so
+     * a cached engine may carry stale ones from an earlier caller).
+     */
+    void setObserver(CampaignObserver *observer)
     {
-        return run(sites);
+        options_.observer = observer;
     }
 
-    CampaignResult
-    runWeightedSiteList(const std::vector<WeightedSite> &sites)
+    void
+    setProgressCallback(
+        std::function<void(const CampaignProgress &)> callback)
     {
-        return run(sites);
-    }
-
-    CampaignResult
-    runRandomCampaign(const FaultSpace &space, std::size_t runs,
-                      Prng &prng)
-    {
-        return run(space, runs, prng);
+        options_.progressCallback = std::move(callback);
     }
     /** @} */
 
@@ -287,7 +297,8 @@ class CampaignEngine
     void classifyPending(
         const std::vector<std::size_t> &pending,
         const std::function<const FaultSite &(std::size_t)> &siteAt,
-        std::vector<Outcome> &outcomes, CampaignJournal *journal);
+        std::vector<Outcome> &outcomes, CampaignJournal *journal,
+        CampaignObserver *observer);
 
     CampaignOptions options_;
     std::vector<std::unique_ptr<Injector>> injectors_; ///< one per worker

@@ -389,21 +389,25 @@ CampaignJournal::append(std::uint64_t siteIndex, Outcome outcome)
     pending_.insert(pending_.end(), p, p + sizeof(record));
 }
 
-void
+CampaignJournal::CommitInfo
 CampaignJournal::commitChunk()
 {
     if (pending_.empty())
-        return;
+        return {};
+    CommitInfo info;
+    info.records = pending_.size() / sizeof(JournalRecord);
+    info.bytes = pending_.size();
     writeAll(pending_.data(), pending_.size());
     syncToDisk();
-    committed_ += pending_.size() / sizeof(JournalRecord);
+    committed_ += info.records;
     pending_.clear();
+    return info;
 }
 
-void
+CampaignJournal::CommitInfo
 CampaignJournal::writeFooter(const Phases &phases)
 {
-    commitChunk();
+    CommitInfo info = commitChunk();
     JournalFooter footer{};
     footer.sentinel = kFooterSentinel;
     footer.replaySeconds = phases.replaySeconds;
@@ -415,6 +419,8 @@ CampaignJournal::writeFooter(const Phases &phases)
     footer.checksum = footerChecksum(header_hash_, footer);
     writeAll(&footer, sizeof(footer));
     syncToDisk();
+    info.bytes += sizeof(footer);
+    return info;
 }
 
 void

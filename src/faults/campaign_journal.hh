@@ -155,15 +155,26 @@ class CampaignJournal
     /** Buffer one completed site's record (durable after commitChunk). */
     void append(std::uint64_t siteIndex, Outcome outcome);
 
+    /** What one commit made durable (observability, not control flow). */
+    struct CommitInfo
+    {
+        std::uint64_t records = 0; ///< records flushed by this commit
+        std::uint64_t bytes = 0;   ///< bytes written by this commit
+    };
+
     /**
      * Write all buffered records in one append and fsync them --
      * called from the campaign engine's chunk fold point, so a kill
      * between commits loses at most the in-flight chunks.
      */
-    void commitChunk();
+    CommitInfo commitChunk();
 
-    /** Seal a completed campaign: commit, append the footer, fsync. */
-    void writeFooter(const Phases &phases);
+    /**
+     * Seal a completed campaign: commit, append the footer, fsync.
+     * The returned CommitInfo covers the whole seal (inner commit's
+     * records; its bytes plus the footer's).
+     */
+    CommitInfo writeFooter(const Phases &phases);
 
     /** Records made durable by this writer (excludes buffered ones). */
     std::uint64_t committedRecords() const { return committed_; }

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "faults/observer.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
 
@@ -141,6 +142,8 @@ Injector::clone() const
 {
     std::unique_ptr<Injector> copy(new Injector(*this));
     copy->stats_ = InjectionStats{};
+    copy->observer_ = nullptr;
+    copy->observer_worker_ = 0;
     return copy;
 }
 
@@ -294,6 +297,10 @@ Injector::inject(const FaultSite &site)
                 scratch_.applyDelta(checkpoint->delta);
             stats_.checkpointRestores++;
             stats_.skippedDynInstrs += checkpoint->ctaDynInstrs;
+            if (observer_) {
+                observer_->onCheckpointRestored(
+                    {cta, checkpoint->ctaDynInstrs, observer_worker_});
+            }
             result = executor_.run(scratch_, nullptr, &plan, &slice,
                                    &checkpoint->state);
         } else {
@@ -317,6 +324,8 @@ Injector::inject(const FaultSite &site)
         // The fault wandered into another CTA's footprint; replay the
         // site on the full grid for an exact classification.
         stats_.hazardFallbacks++;
+        if (observer_)
+            observer_->onSliceHazard({cta, observer_worker_});
         stats_.restoredBytes += scratch_.restoreFrom(image_);
         plan = site.toPlan();
     }
@@ -336,6 +345,10 @@ Injector::inject(const FaultSite &site)
         stats_.restoredBytes += scratch_.applyDelta(checkpoint->delta);
         stats_.checkpointRestores++;
         stats_.skippedDynInstrs += checkpoint->ctaDynInstrs;
+        if (observer_) {
+            observer_->onCheckpointRestored(
+                {cta, checkpoint->ctaDynInstrs, observer_worker_});
+        }
         result = executor_.run(scratch_, nullptr, &plan, nullptr,
                                &checkpoint->state);
     } else {

@@ -40,6 +40,8 @@ class JsonWriter;
 
 namespace fsp::faults {
 
+class CampaignObserver;
+
 /**
  * Counters describing how injection runs were executed.
  *
@@ -188,6 +190,19 @@ class Injector
     std::string checkpointDescription() const;
     /** @} */
 
+    /**
+     * Attach a campaign observer receiving this injector's
+     * CheckpointRestored / SliceHazard events, tagged with @p worker.
+     * Not owned; null detaches.  The campaign engine scopes this to one
+     * run (see InjectorObserverScope); clones start detached.
+     */
+    void
+    setObserver(CampaignObserver *observer, unsigned worker)
+    {
+        observer_ = observer;
+        observer_worker_ = worker;
+    }
+
     /** The executor used for injection runs (with hang budget set). */
     const sim::Executor &executor() const { return executor_; }
 
@@ -220,6 +235,9 @@ class Injector
     bool slicing_enabled_ = true;
     bool checkpoints_enabled_ = true;
     InjectionStats stats_;
+    /** Event sink for checkpoint/hazard events; never cloned. */
+    CampaignObserver *observer_ = nullptr;
+    unsigned observer_worker_ = 0;
 };
 
 } // namespace fsp::faults

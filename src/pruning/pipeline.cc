@@ -79,45 +79,113 @@ buildThreadPlans(const sim::Executor &executor,
     return plans;
 }
 
+namespace {
+
+/**
+ * Per-stage instrumentation: wall-time and surviving-site gauges,
+ * registered idempotently so pipeline, observers and tools share one
+ * registry without duplicating families.  All members stay invalid
+ * when no registry is attached, and ScopedPhaseTimer / the setters
+ * are null-safe, so the unobserved pipeline pays nothing.
+ */
+struct StageMetrics
+{
+    explicit StageMetrics(metrics::Registry *registry)
+        : registry_(registry)
+    {
+        if (!registry_)
+            return;
+        static const char *const kStages[5] = {
+            "thread", "profiling", "instruction", "loop", "bit"};
+        for (std::size_t s = 0; s < 5; ++s) {
+            seconds[s] = registry_->gauge(
+                "fsp_pruning_stage_seconds",
+                "cumulative wall time per pruning stage",
+                std::string("stage=\"") + kStages[s] + "\"");
+        }
+        static const char *const kCounts[5] = {
+            "exhaustive", "thread", "instruction", "loop", "bit"};
+        for (std::size_t s = 0; s < 5; ++s) {
+            sites[s] = registry_->gauge(
+                "fsp_pruning_stage_sites",
+                "fault sites surviving each pruning stage",
+                std::string("stage=\"") + kCounts[s] + "\"");
+        }
+    }
+
+    metrics::ScopedPhaseTimer
+    timeStage(std::size_t stage) const
+    {
+        return metrics::ScopedPhaseTimer(registry_, seconds[stage]);
+    }
+
+    void
+    setSites(std::size_t stage, std::uint64_t count) const
+    {
+        if (registry_)
+            registry_->set(sites[stage], static_cast<double>(count));
+    }
+
+    metrics::Registry *registry_;
+    metrics::GaugeId seconds[5];
+    metrics::GaugeId sites[5];
+};
+
+} // namespace
+
 PruningResult
 prunePipeline(const sim::Executor &executor, const sim::GlobalMemory &image,
               const faults::FaultSpace &space, const PruningConfig &config,
-              const faults::SlicingPlan *slicing)
+              const faults::SlicingPlan *slicing,
+              metrics::Registry *metrics)
 {
     Prng prng(config.seed);
+    StageMetrics stage_metrics(metrics);
 
     PruningResult result;
     result.counts.exhaustive = space.totalSites();
+    stage_metrics.setSites(0, result.counts.exhaustive);
 
     // Stage 1: thread-wise pruning.
     Prng grouping_prng = prng.fork("grouping");
-    result.grouping =
-        pruneThreads(space, executor.config().block.count(),
-                     grouping_prng, config.thread.repsPerGroup);
+    {
+        auto timer = stage_metrics.timeStage(0);
+        result.grouping =
+            pruneThreads(space, executor.config().block.count(),
+                         grouping_prng, config.thread.repsPerGroup);
+    }
     const faults::SlicingPlan *profiling_slicing =
         config.execution.slicedProfiling ? slicing : nullptr;
     result.slicedProfiling =
         profiling_slicing && profiling_slicing->independent();
-    result.plans = buildThreadPlans(executor, image, result.grouping,
-                                    profiling_slicing,
-                                    &result.profiledCtas);
+    {
+        auto timer = stage_metrics.timeStage(1);
+        result.plans = buildThreadPlans(executor, image, result.grouping,
+                                        profiling_slicing,
+                                        &result.profiledCtas);
+    }
     result.counts.afterThread = 0;
     for (const auto &plan : result.plans)
         result.counts.afterThread += plan.liveSites();
+    stage_metrics.setSites(1, result.counts.afterThread);
 
     // Stage 2: instruction-wise pruning.
-    if (config.instruction.enabled)
+    if (config.instruction.enabled) {
+        auto timer = stage_metrics.timeStage(2);
         result.instrStats = applyInstructionPruning(result.plans);
+    }
     std::uint64_t live = 0;
     for (const auto &plan : result.plans)
         live += plan.liveSites();
     result.counts.afterInstruction = live;
+    stage_metrics.setSites(2, live);
 
     // Stage 3: loop-wise pruning.  Plans are independent (each forks
     // its PRNG from its own thread id), so the stage fans out over a
     // pool when configured; per-plan stats are folded in plan order so
     // the result never depends on worker count.
     if (config.loop.iterations > 0) {
+        auto timer = stage_metrics.timeStage(3);
         Prng loop_prng = prng.fork("loops");
         auto prune_plan = [&](ThreadPlan &plan) {
             Prng thread_prng =
@@ -149,13 +217,19 @@ prunePipeline(const sim::Executor &executor, const sim::GlobalMemory &image,
     for (const auto &plan : result.plans)
         live += plan.liveSites();
     result.counts.afterLoop = live;
+    stage_metrics.setSites(3, live);
 
     // Stage 4: bit-wise pruning.
-    BitPruningResult bits = applyBitPruning(
-        result.plans, config.bit.samples, config.bit.predZeroFlagOnly);
-    result.sites = std::move(bits.sites);
-    result.assumedMaskedWeight = bits.assumedMaskedWeight;
+    {
+        auto timer = stage_metrics.timeStage(4);
+        BitPruningResult bits = applyBitPruning(
+            result.plans, config.bit.samples,
+            config.bit.predZeroFlagOnly);
+        result.sites = std::move(bits.sites);
+        result.assumedMaskedWeight = bits.assumedMaskedWeight;
+    }
     result.counts.afterBit = result.sites.size();
+    stage_metrics.setSites(4, result.counts.afterBit);
 
     return result;
 }

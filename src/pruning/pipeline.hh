@@ -20,6 +20,7 @@
 #include "pruning/loops.hh"
 #include "pruning/thread_plan.hh"
 #include "sim/executor.hh"
+#include "util/metrics.hh"
 
 namespace fsp::faults {
 class SlicingPlan;
@@ -30,10 +31,8 @@ namespace fsp::pruning {
 /**
  * Pipeline configuration, grouped by stage so future stages extend
  * their own sub-struct instead of widening one flat bag of knobs.
- * The pre-grouping flat field names remain available as deprecated
- * reference aliases (see the block at the bottom of the struct), so
- * existing code keeps compiling; new code should address the
- * per-stage sub-structs.
+ * (The pre-grouping flat field names lived on as deprecated reference
+ * aliases for one release; address the per-stage sub-structs.)
  */
 struct PruningConfig
 {
@@ -112,44 +111,6 @@ struct PruningConfig
     LoopStage loop;
     BitStage bit;
     ExecutionStage execution;
-
-    /**
-     * @{ DEPRECATED flat aliases of the per-stage fields above, kept
-     * so pre-grouping code compiles unchanged.  They are references
-     * into this object's sub-structs; the user-provided copy
-     * operations below keep them bound to the *owning* object (the
-     * implicit ones would alias the source).
-     */
-    unsigned &repsPerGroup = thread.repsPerGroup;
-    bool &instructionStage = instruction.enabled;
-    unsigned &loopIterations = loop.iterations;
-    unsigned &bitSamples = bit.samples;
-    bool &predZeroFlagOnly = bit.predZeroFlagOnly;
-    unsigned &workers = execution.workers;
-    bool &slicedProfiling = execution.slicedProfiling;
-    bool &checkpoints = execution.checkpoints;
-    /** @} */
-
-    PruningConfig() = default;
-
-    PruningConfig(const PruningConfig &other)
-        : seed(other.seed), thread(other.thread),
-          instruction(other.instruction), loop(other.loop),
-          bit(other.bit), execution(other.execution)
-    {
-    }
-
-    PruningConfig &
-    operator=(const PruningConfig &other)
-    {
-        seed = other.seed;
-        thread = other.thread;
-        instruction = other.instruction;
-        loop = other.loop;
-        bit = other.bit;
-        execution = other.execution;
-        return *this;
-    }
 };
 
 /** Fault-site counts after each progressive stage (Fig. 10 series). */
@@ -201,12 +162,16 @@ struct PruningResult
  * @param slicing optional CTA-independence proof; when it declares the
  *        kernel independent and config.execution.slicedProfiling is set, the
  *        traced profiling run executes only the representatives' CTAs.
+ * @param metrics optional registry receiving per-stage wall time
+ *        (fsp_pruning_stage_seconds) and surviving-site-count
+ *        (fsp_pruning_stage_sites) gauges; never affects results.
  */
 PruningResult prunePipeline(const sim::Executor &executor,
                             const sim::GlobalMemory &image,
                             const faults::FaultSpace &space,
                             const PruningConfig &config,
-                            const faults::SlicingPlan *slicing = nullptr);
+                            const faults::SlicingPlan *slicing = nullptr,
+                            metrics::Registry *metrics = nullptr);
 
 /**
  * Build (unpruned) thread plans for the representatives chosen by

@@ -1021,6 +1021,7 @@ Executor::run(GlobalMemory &gmem, const TraceOptions *opts,
                                    ? RunStatus::Hung
                                    : RunStatus::SliceHazard);
                     result.diagnostic = ctx.diagnostic;
+                    noteRun(result);
                     return result;
                 }
                 if (want_footprints) {
@@ -1032,6 +1033,7 @@ Executor::run(GlobalMemory &gmem, const TraceOptions *opts,
         }
     }
 
+    noteRun(result);
     return result;
 }
 

@@ -99,6 +99,21 @@ struct RunResult
 };
 
 /**
+ * Aggregate simulation counters an Executor feeds into an attached
+ * sink (see Executor::setMetricsSink): plain accumulators, bumped once
+ * per run() from the calling thread.  Attach a sink only to executors
+ * driven from a single thread at a time (e.g. the analysis facade's
+ * golden executor) -- the fields are unsynchronized by design so the
+ * unobserved path stays free.
+ */
+struct ExecMetrics
+{
+    std::uint64_t runs = 0;         ///< completed run() calls
+    std::uint64_t executedCtas = 0; ///< CTAs simulated, all runs
+    std::uint64_t dynInstrs = 0;    ///< dynamic instructions, all runs
+};
+
+/**
  * Executes kernel launches.  Stateless between runs: all mutable state
  * (global memory) is passed in, so a campaign can restore a pristine
  * memory image and re-run cheaply.
@@ -158,13 +173,32 @@ class Executor
     const LaunchConfig &config() const { return config_; }
     const Program &program() const { return program_; }
 
+    /**
+     * Attach a counter sink fed once per run() (not owned; null
+     * detaches).  Copied executors inherit the pointer, so only attach
+     * to an executor that is never cloned into worker threads.
+     */
+    void setMetricsSink(ExecMetrics *sink) { metrics_ = sink; }
+
   private:
+    /** Fold one run's counters into the attached sink, if any. */
+    void
+    noteRun(const RunResult &result) const
+    {
+        if (metrics_ == nullptr)
+            return;
+        metrics_->runs++;
+        metrics_->executedCtas += result.executedCtas;
+        metrics_->dynInstrs += result.totalDynInstrs;
+    }
+
     /** Re-initialise @p state for @p ctaLinear, reusing its buffers. */
     void resetCtaState(MachineState &state,
                        std::uint64_t ctaLinear) const;
 
     const Program &program_;
     LaunchConfig config_;
+    ExecMetrics *metrics_ = nullptr; ///< not owned; see setMetricsSink
 };
 
 } // namespace fsp::sim

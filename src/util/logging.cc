@@ -6,12 +6,25 @@
 #include "util/logging.hh"
 
 #include <atomic>
+#include <chrono>
 
 namespace fsp {
 
 namespace {
 
 std::atomic<bool> verbose{true};
+
+/** Worker id of the calling thread; < 0 outside pool workers. */
+thread_local int log_worker = -1;
+
+/** Seconds since the first log line of the process. */
+double
+logElapsed()
+{
+    using Clock = std::chrono::steady_clock;
+    static const Clock::time_point start = Clock::now();
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
 
 } // namespace
 
@@ -27,12 +40,26 @@ setVerboseLogging(bool enabled)
     verbose.store(enabled, std::memory_order_relaxed);
 }
 
+void
+setLogWorkerId(int worker)
+{
+    log_worker = worker;
+}
+
 namespace detail {
 
 void
 emit(const char *tag, const std::string &message)
 {
-    std::fprintf(stderr, "[%s] %s\n", tag, message.c_str());
+    // One fprintf per line: stderr is unbuffered but a single call
+    // keeps concurrent workers' lines from interleaving mid-line.
+    if (log_worker >= 0) {
+        std::fprintf(stderr, "[%10.3f] [%s/w%d] %s\n", logElapsed(),
+                     tag, log_worker, message.c_str());
+    } else {
+        std::fprintf(stderr, "[%10.3f] [%s] %s\n", logElapsed(), tag,
+                     message.c_str());
+    }
     std::fflush(stderr);
 }
 

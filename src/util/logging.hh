@@ -29,6 +29,17 @@ bool verboseLogging();
 /** Enable or disable inform() output (default: enabled). */
 void setVerboseLogging(bool enabled);
 
+/**
+ * Tag every log line emitted by the calling thread with a worker id
+ * (thread-local; pass a negative id to clear).  Campaign workers set
+ * this from the thread pool so interleaved lines are attributable:
+ *
+ *     [   12.345] [warn/w3] ...
+ *
+ * The timestamp is seconds since the first log line of the process.
+ */
+void setLogWorkerId(int worker);
+
 namespace detail {
 
 [[noreturn]] void exitFatal();

@@ -1,0 +1,367 @@
+/**
+ * @file
+ * Metrics registry implementation and exporters.
+ */
+
+#include "util/metrics.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace fsp::metrics {
+
+namespace {
+
+/** Prometheus sample-value rendering (integers stay integral). */
+std::string
+fmtValue(double v)
+{
+    if (v == static_cast<double>(static_cast<long long>(v))) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+        return buf;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+}
+
+std::string
+fmtValue(std::uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/** Render a sample line: name{labels} value. */
+void
+sampleLine(std::ostream &os, const std::string &name,
+           const std::string &labels, const std::string &value)
+{
+    os << name;
+    if (!labels.empty())
+        os << '{' << labels << '}';
+    os << ' ' << value << '\n';
+}
+
+/** labels + an extra le="..." entry for histogram buckets. */
+std::string
+withLe(const std::string &labels, const std::string &le)
+{
+    std::string merged = labels;
+    if (!merged.empty())
+        merged += ',';
+    merged += "le=\"" + le + "\"";
+    return merged;
+}
+
+} // namespace
+
+void
+Shard::add(CounterId id, std::uint64_t n)
+{
+    FSP_ASSERT(id.valid(), "shard add on unregistered counter");
+    if (id.slot >= counters_.size())
+        counters_.resize(id.slot + 1, 0);
+    counters_[id.slot] += n;
+}
+
+void
+Shard::observe(HistogramId id, double value)
+{
+    FSP_ASSERT(id.valid() && owner_,
+               "shard observe on unregistered histogram");
+    if (id.slot >= hists_.size())
+        hists_.resize(id.slot + 1);
+    Hist &hist = hists_[id.slot];
+    const Registry::Metric &metric =
+        owner_->metrics_[owner_->hist_slots_[id.slot]];
+    if (hist.buckets.empty())
+        hist.buckets.assign(metric.edges.size() + 1, 0);
+    std::size_t bucket = metric.edges.size();
+    for (std::size_t i = 0; i < metric.edges.size(); ++i) {
+        if (value <= metric.edges[i]) {
+            bucket = i;
+            break;
+        }
+    }
+    hist.buckets[bucket]++;
+    hist.count++;
+    hist.sum += value;
+}
+
+std::size_t
+Registry::findOrAdd(Kind kind, std::string_view name,
+                    std::string_view help, std::string_view labels,
+                    bool &existed)
+{
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+        if (metrics_[i].name == name && metrics_[i].labels == labels) {
+            FSP_ASSERT(metrics_[i].kind == kind,
+                       "metric re-registered with a different kind: ",
+                       name);
+            existed = true;
+            return i;
+        }
+    }
+    existed = false;
+    Metric metric;
+    metric.kind = kind;
+    metric.name = std::string(name);
+    metric.help = std::string(help);
+    metric.labels = std::string(labels);
+    metrics_.push_back(std::move(metric));
+    return metrics_.size() - 1;
+}
+
+CounterId
+Registry::counter(std::string_view name, std::string_view help,
+                  std::string_view labels)
+{
+    bool existed = false;
+    std::size_t index = findOrAdd(Kind::Counter, name, help, labels,
+                                  existed);
+    if (existed) {
+        for (std::size_t slot = 0; slot < counter_slots_.size(); ++slot)
+            if (counter_slots_[slot] == index)
+                return CounterId{slot};
+    }
+    counter_slots_.push_back(index);
+    return CounterId{counter_slots_.size() - 1};
+}
+
+GaugeId
+Registry::gauge(std::string_view name, std::string_view help,
+                std::string_view labels)
+{
+    bool existed = false;
+    return GaugeId{findOrAdd(Kind::Gauge, name, help, labels, existed)};
+}
+
+HistogramId
+Registry::histogram(std::string_view name, std::string_view help,
+                    std::vector<double> edges, std::string_view labels)
+{
+    bool existed = false;
+    std::size_t index = findOrAdd(Kind::Histogram, name, help, labels,
+                                  existed);
+    if (existed) {
+        for (std::size_t slot = 0; slot < hist_slots_.size(); ++slot)
+            if (hist_slots_[slot] == index)
+                return HistogramId{slot};
+    }
+    Metric &metric = metrics_[index];
+    metric.edges = std::move(edges);
+    metric.buckets.assign(metric.edges.size() + 1, 0);
+    hist_slots_.push_back(index);
+    return HistogramId{hist_slots_.size() - 1};
+}
+
+void
+Registry::add(CounterId id, std::uint64_t n)
+{
+    FSP_ASSERT(id.valid() && id.slot < counter_slots_.size(),
+               "add on unregistered counter");
+    metrics_[counter_slots_[id.slot]].counter += n;
+}
+
+void
+Registry::set(GaugeId id, double value)
+{
+    FSP_ASSERT(id.valid() && id.metric < metrics_.size(),
+               "set on unregistered gauge");
+    metrics_[id.metric].gauge = value;
+}
+
+void
+Registry::addGauge(GaugeId id, double delta)
+{
+    FSP_ASSERT(id.valid() && id.metric < metrics_.size(),
+               "addGauge on unregistered gauge");
+    metrics_[id.metric].gauge += delta;
+}
+
+void
+Registry::observe(HistogramId id, double value)
+{
+    FSP_ASSERT(id.valid() && id.slot < hist_slots_.size(),
+               "observe on unregistered histogram");
+    Metric &metric = metrics_[hist_slots_[id.slot]];
+    std::size_t bucket = metric.edges.size();
+    for (std::size_t i = 0; i < metric.edges.size(); ++i) {
+        if (value <= metric.edges[i]) {
+            bucket = i;
+            break;
+        }
+    }
+    metric.buckets[bucket]++;
+    metric.count++;
+    metric.sum += value;
+}
+
+Shard
+Registry::makeShard() const
+{
+    Shard shard;
+    shard.owner_ = this;
+    shard.counters_.assign(counter_slots_.size(), 0);
+    shard.hists_.resize(hist_slots_.size());
+    return shard;
+}
+
+void
+Registry::fold(Shard &shard)
+{
+    FSP_ASSERT(shard.owner_ == nullptr || shard.owner_ == this,
+               "shard folded into a foreign registry");
+    for (std::size_t slot = 0; slot < shard.counters_.size(); ++slot) {
+        metrics_[counter_slots_[slot]].counter += shard.counters_[slot];
+        shard.counters_[slot] = 0;
+    }
+    for (std::size_t slot = 0; slot < shard.hists_.size(); ++slot) {
+        Shard::Hist &hist = shard.hists_[slot];
+        if (hist.count == 0)
+            continue;
+        Metric &metric = metrics_[hist_slots_[slot]];
+        for (std::size_t b = 0; b < hist.buckets.size(); ++b)
+            metric.buckets[b] += hist.buckets[b];
+        metric.count += hist.count;
+        metric.sum += hist.sum;
+        hist.buckets.assign(hist.buckets.size(), 0);
+        hist.count = 0;
+        hist.sum = 0.0;
+    }
+}
+
+std::uint64_t
+Registry::counterValue(CounterId id) const
+{
+    FSP_ASSERT(id.valid() && id.slot < counter_slots_.size(),
+               "counterValue on unregistered counter");
+    return metrics_[counter_slots_[id.slot]].counter;
+}
+
+double
+Registry::gaugeValue(GaugeId id) const
+{
+    FSP_ASSERT(id.valid() && id.metric < metrics_.size(),
+               "gaugeValue on unregistered gauge");
+    return metrics_[id.metric].gauge;
+}
+
+Registry::HistogramView
+Registry::histogramView(HistogramId id) const
+{
+    FSP_ASSERT(id.valid() && id.slot < hist_slots_.size(),
+               "histogramView on unregistered histogram");
+    const Metric &metric = metrics_[hist_slots_[id.slot]];
+    return HistogramView{&metric.edges, &metric.buckets, metric.count,
+                         metric.sum};
+}
+
+void
+Registry::writePrometheus(std::ostream &os) const
+{
+    const std::string *announced = nullptr;
+    for (const Metric &metric : metrics_) {
+        if (!announced || *announced != metric.name) {
+            os << "# HELP " << metric.name << ' ' << metric.help << '\n';
+            os << "# TYPE " << metric.name << ' '
+               << (metric.kind == Kind::Counter
+                       ? "counter"
+                       : (metric.kind == Kind::Gauge ? "gauge"
+                                                     : "histogram"))
+               << '\n';
+            announced = &metric.name;
+        }
+        switch (metric.kind) {
+          case Kind::Counter:
+            sampleLine(os, metric.name, metric.labels,
+                       fmtValue(metric.counter));
+            break;
+          case Kind::Gauge:
+            sampleLine(os, metric.name, metric.labels,
+                       fmtValue(metric.gauge));
+            break;
+          case Kind::Histogram: {
+            // Prometheus buckets are cumulative and end at +Inf.
+            std::uint64_t cumulative = 0;
+            for (std::size_t i = 0; i < metric.edges.size(); ++i) {
+                cumulative += metric.buckets[i];
+                sampleLine(os, metric.name + "_bucket",
+                           withLe(metric.labels,
+                                  fmtValue(metric.edges[i])),
+                           fmtValue(cumulative));
+            }
+            sampleLine(os, metric.name + "_bucket",
+                       withLe(metric.labels, "+Inf"),
+                       fmtValue(metric.count));
+            sampleLine(os, metric.name + "_sum", metric.labels,
+                       fmtValue(metric.sum));
+            sampleLine(os, metric.name + "_count", metric.labels,
+                       fmtValue(metric.count));
+            break;
+          }
+        }
+    }
+}
+
+bool
+Registry::writePrometheusFile(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        return false;
+    writePrometheus(out);
+    out.flush();
+    return static_cast<bool>(out);
+}
+
+void
+Registry::writeJson(JsonWriter &json) const
+{
+    json.beginArray("metrics");
+    for (const Metric &metric : metrics_) {
+        json.beginObject();
+        json.field("name", metric.name);
+        json.field("type",
+                   metric.kind == Kind::Counter
+                       ? "counter"
+                       : (metric.kind == Kind::Gauge ? "gauge"
+                                                     : "histogram"));
+        if (!metric.labels.empty())
+            json.field("labels", metric.labels);
+        switch (metric.kind) {
+          case Kind::Counter:
+            json.field("value", metric.counter);
+            break;
+          case Kind::Gauge:
+            json.field("value", metric.gauge);
+            break;
+          case Kind::Histogram: {
+            json.beginArray("edges");
+            for (double edge : metric.edges)
+                json.value(edge);
+            json.endArray();
+            json.beginArray("bucketCounts"); // per-bucket; overflow last
+            for (std::uint64_t n : metric.buckets)
+                json.value(n);
+            json.endArray();
+            json.field("count", metric.count);
+            json.field("sum", metric.sum);
+            break;
+          }
+        }
+        json.endObject();
+    }
+    json.endArray();
+}
+
+} // namespace fsp::metrics

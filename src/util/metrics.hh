@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Zero-dependency metrics primitives: counters, gauges, fixed-bucket
+ * histograms and phase timers, exported as Prometheus text or JSON.
+ *
+ * The campaign engine's determinism guarantee ("bit-identical at any
+ * worker count") must extend to its instrumentation, so the design
+ * splits mutation into two disciplines:
+ *
+ *  - Direct Registry mutation (add/set/observe) for call sites that
+ *    are already serialized -- the engine's chunk fold point, phase
+ *    boundaries, and single-threaded pipeline stages.
+ *  - Worker-private Shards for hot per-injection paths: a Shard is a
+ *    plain array of integers a worker bumps without any locking, and
+ *    fold() adds it into the Registry wherever the caller is already
+ *    holding its own serialization (the chunk fold point).  Counter
+ *    and bucket values are integers, so the folded totals are
+ *    independent of fold order and worker count.
+ *
+ * Registration is idempotent: asking for an existing (name, labels)
+ * pair returns the existing id, so independent components (the
+ * campaign observer, the pruning pipeline, the tools) can share one
+ * Registry without coordinating registration.
+ */
+
+#ifndef FSP_UTIL_METRICS_HH
+#define FSP_UTIL_METRICS_HH
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fsp {
+class JsonWriter;
+} // namespace fsp
+
+namespace fsp::metrics {
+
+/** @{ Typed handles returned by registration; cheap to copy. */
+struct CounterId
+{
+    std::size_t slot = SIZE_MAX;
+    bool valid() const { return slot != SIZE_MAX; }
+};
+
+struct GaugeId
+{
+    std::size_t metric = SIZE_MAX;
+    bool valid() const { return metric != SIZE_MAX; }
+};
+
+struct HistogramId
+{
+    std::size_t slot = SIZE_MAX;
+    bool valid() const { return slot != SIZE_MAX; }
+};
+/** @} */
+
+class Registry;
+
+/**
+ * A worker-private slice of a Registry: counter increments and
+ * histogram observations accumulate locally with no synchronization
+ * and become visible only when the owner folds the shard (from a call
+ * site that serializes folds, e.g. under the campaign engine's
+ * progress lock).  Gauges are not sharded -- they are set, not summed,
+ * and only from serialized contexts.
+ */
+class Shard
+{
+  public:
+    Shard() = default;
+
+    /** Bump a counter locally (no locking; visible after fold()). */
+    void add(CounterId id, std::uint64_t n = 1);
+
+    /** Record one histogram observation locally. */
+    void observe(HistogramId id, double value);
+
+  private:
+    friend class Registry;
+
+    struct Hist
+    {
+        std::vector<std::uint64_t> buckets; ///< edges.size()+1 (overflow last)
+        std::uint64_t count = 0;
+        double sum = 0.0;
+    };
+
+    const Registry *owner_ = nullptr;
+    std::vector<std::uint64_t> counters_; ///< indexed by CounterId::slot
+    std::vector<Hist> hists_;             ///< indexed by HistogramId::slot
+};
+
+/**
+ * The metric store: registration, direct mutation, shard folding, and
+ * the Prometheus/JSON exporters.  Not internally synchronized --
+ * callers serialize mutation (the engine's progress lock, or plain
+ * single-threaded use); Shards exist precisely so hot paths never
+ * touch the Registry directly.
+ */
+class Registry
+{
+  public:
+    /**
+     * @{ Register one sample of a family.  @p name is the Prometheus
+     * family name; @p labels is a pre-rendered label body without
+     * braces (e.g. `outcome="masked"`), empty for an unlabelled
+     * sample.  Samples of one family share @p name (and should be
+     * registered with the same @p help).  Re-registering an existing
+     * (name, labels) pair returns the existing id.
+     */
+    CounterId counter(std::string_view name, std::string_view help,
+                      std::string_view labels = {});
+    GaugeId gauge(std::string_view name, std::string_view help,
+                  std::string_view labels = {});
+
+    /** @p edges are the ascending bucket upper bounds (v <= edge). */
+    HistogramId histogram(std::string_view name, std::string_view help,
+                          std::vector<double> edges,
+                          std::string_view labels = {});
+    /** @} */
+
+    /** @{ Direct (caller-serialized) mutation. */
+    void add(CounterId id, std::uint64_t n = 1);
+    void set(GaugeId id, double value);
+    void addGauge(GaugeId id, double delta);
+    void observe(HistogramId id, double value);
+    /** @} */
+
+    /** A worker-private shard sized for the current registrations. */
+    Shard makeShard() const;
+
+    /**
+     * Add @p shard's local tallies into the registry and reset them.
+     * Must be called from a serialized context; integer counters make
+     * the folded totals independent of fold order.
+     */
+    void fold(Shard &shard);
+
+    /** @{ Introspection (tests and exporters). */
+    std::uint64_t counterValue(CounterId id) const;
+    double gaugeValue(GaugeId id) const;
+
+    struct HistogramView
+    {
+        const std::vector<double> *edges = nullptr;
+        const std::vector<std::uint64_t> *buckets = nullptr; ///< +overflow
+        std::uint64_t count = 0;
+        double sum = 0.0;
+    };
+    HistogramView histogramView(HistogramId id) const;
+
+    std::size_t sampleCount() const { return metrics_.size(); }
+    /** @} */
+
+    /** Prometheus text exposition format (HELP/TYPE per family). */
+    void writePrometheus(std::ostream &os) const;
+
+    /** Write the Prometheus snapshot to @p path; false on I/O error. */
+    bool writePrometheusFile(const std::string &path) const;
+
+    /**
+     * Emit the snapshot as a "metrics" array inside the currently open
+     * JSON object: one entry per sample with its name, type, labels,
+     * and value (histograms carry edges, per-bucket counts, count and
+     * sum).
+     */
+    void writeJson(JsonWriter &json) const;
+
+  private:
+    friend class Shard;
+
+    enum class Kind : std::uint8_t
+    {
+        Counter,
+        Gauge,
+        Histogram
+    };
+
+    struct Metric
+    {
+        Kind kind;
+        std::string name;
+        std::string help;
+        std::string labels;
+        std::uint64_t counter = 0;
+        double gauge = 0.0;
+        std::vector<double> edges;
+        std::vector<std::uint64_t> buckets; ///< edges.size()+1
+        std::uint64_t count = 0;
+        double sum = 0.0;
+    };
+
+    std::size_t findOrAdd(Kind kind, std::string_view name,
+                          std::string_view help, std::string_view labels,
+                          bool &existed);
+
+    std::vector<Metric> metrics_;          ///< registration order
+    std::vector<std::size_t> counter_slots_; ///< slot -> metrics_ index
+    std::vector<std::size_t> hist_slots_;    ///< slot -> metrics_ index
+};
+
+/**
+ * RAII phase timer: adds the scope's elapsed wall time (seconds) to a
+ * gauge on destruction.  A null registry (or invalid id) makes it a
+ * no-op, so call sites need no "metrics attached?" branches.
+ */
+class ScopedPhaseTimer
+{
+  public:
+    ScopedPhaseTimer(Registry *registry, GaugeId id)
+        : registry_(registry), id_(id),
+          start_(std::chrono::steady_clock::now())
+    {
+    }
+
+    ~ScopedPhaseTimer() { stop(); }
+
+    ScopedPhaseTimer(const ScopedPhaseTimer &) = delete;
+    ScopedPhaseTimer &operator=(const ScopedPhaseTimer &) = delete;
+
+    /** Record now instead of at scope exit (idempotent). */
+    void
+    stop()
+    {
+        if (!registry_ || !id_.valid())
+            return;
+        registry_->addGauge(
+            id_, std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start_)
+                     .count());
+        registry_ = nullptr;
+    }
+
+  private:
+    Registry *registry_;
+    GaugeId id_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace fsp::metrics
+
+#endif // FSP_UTIL_METRICS_HH

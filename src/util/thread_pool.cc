@@ -43,6 +43,10 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::workerLoop(unsigned index)
 {
+    // Tag this thread's log lines with its worker id so interleaved
+    // campaign output stays attributable.
+    setLogWorkerId(static_cast<int>(index));
+
     std::uint64_t seen_generation = 0;
     for (;;) {
         const std::function<void(std::size_t, unsigned)> *body = nullptr;

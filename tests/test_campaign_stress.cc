@@ -17,7 +17,7 @@
 #include "analysis/analyzer.hh"
 #include "apps/app.hh"
 #include "faults/campaign.hh"
-#include "faults/parallel_campaign.hh"
+#include "faults/campaign_engine.hh"
 #include "util/thread_pool.hh"
 
 namespace fsp {
@@ -111,12 +111,12 @@ TEST(CampaignStress, SameSeedSameDistributionAcrossRunsAndWorkers)
         faults::CampaignOptions options;
         options.workers = workers;
         options.chunkSize = 7;
-        faults::ParallelCampaign engine(ka.injector(), options);
+        faults::CampaignEngine engine(ka.injector(), options);
 
         for (int repeat = 0; repeat < 2; ++repeat) {
             Prng prng(seed);
             auto result =
-                engine.runRandomCampaign(ka.space(), runs, prng);
+                engine.run(ka.space(), runs, prng);
             EXPECT_EQ(result.runs, runs);
             expectSameDist(reference.dist, result.dist);
 
@@ -161,8 +161,8 @@ TEST(CampaignStress, WeightedPropertyOverRandomLists)
             faults::CampaignOptions options;
             options.workers = workers;
             options.chunkSize = 1 + trial; // varies 1..4
-            faults::ParallelCampaign engine(ka.injector(), options);
-            auto parallel = engine.runWeightedSiteList(weighted);
+            faults::CampaignEngine engine(ka.injector(), options);
+            auto parallel = engine.run(weighted);
             EXPECT_EQ(serial.runs, parallel.runs);
             expectSameDist(serial.dist, parallel.dist);
         }
@@ -191,8 +191,8 @@ TEST(CampaignStress, ProgressCallbackCoversAllSites)
             EXPECT_EQ(progress.sitesTotal, sites.size());
             last_done = progress.sitesDone;
         };
-    faults::ParallelCampaign engine(ka.injector(), options);
-    auto result = engine.runSiteList(sites);
+    faults::CampaignEngine engine(ka.injector(), options);
+    auto result = engine.run(sites);
     EXPECT_EQ(result.runs, sites.size());
     EXPECT_EQ(last_done, sites.size());
 }

@@ -25,7 +25,7 @@
 #include "faults/checkpoint.hh"
 #include "faults/fault_space.hh"
 #include "faults/injector.hh"
-#include "faults/parallel_campaign.hh"
+#include "faults/campaign_engine.hh"
 #include "ptx/assembler.hh"
 #include "sim/executor.hh"
 #include "util/logging.hh"
@@ -189,8 +189,8 @@ TEST(CheckpointEquivalence, EveryKernelSerialAndParallel)
             SCOPED_TRACE(workers);
             CampaignOptions options;
             options.workers = workers;
-            ParallelCampaign engine(prototype, options);
-            CampaignResult par = engine.runSiteList(sites);
+            CampaignEngine engine(prototype, options);
+            CampaignResult par = engine.run(sites);
             expectSameDist(par.dist, scratch_result.dist);
             EXPECT_EQ(par.runs, scratch_result.runs);
         }
@@ -320,16 +320,16 @@ TEST(CheckpointEngine, ParallelSwitchForcesFromStartWorkers)
 
     CampaignOptions on;
     on.workers = 4;
-    ParallelCampaign with(prototype, on);
+    CampaignEngine with(prototype, on);
     ASSERT_TRUE(with.checkpointsActive());
-    CampaignResult a = with.runSiteList(sites);
+    CampaignResult a = with.run(sites);
     EXPECT_GT(with.lastStats().injection.checkpointRestores, 0u);
 
     CampaignOptions off = on;
     off.allowCheckpoints = false;
-    ParallelCampaign without(prototype, off);
+    CampaignEngine without(prototype, off);
     EXPECT_FALSE(without.checkpointsActive());
-    CampaignResult b = without.runSiteList(sites);
+    CampaignResult b = without.run(sites);
     EXPECT_EQ(without.lastStats().injection.checkpointRestores, 0u);
     EXPECT_EQ(without.lastStats().injection.skippedDynInstrs, 0u);
 
@@ -434,7 +434,7 @@ TEST(CheckpointAnalysis, FacadeSwitchMatchesPrunedCampaigns)
 
     // The config switch alone must reach the injector too.
     pruning::PruningConfig no_ckpt = config;
-    no_ckpt.checkpoints = false;
+    no_ckpt.execution.checkpoints = false;
     auto b = off.prune(no_ckpt);
     auto db = off.runPrunedCampaign(b);
 

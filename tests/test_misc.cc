@@ -123,7 +123,7 @@ TEST(MultiPilot, PipelineConservesWeightAcrossPilots)
                                 apps::Scale::Small);
     pruning::PruningConfig config;
     config.seed = 5;
-    config.repsPerGroup = 3;
+    config.thread.repsPerGroup = 3;
     auto pruned = ka.prune(config);
 
     EXPECT_EQ(pruned.plans.size(), 3u);
@@ -144,7 +144,7 @@ TEST(MultiPilot, MorePilotsMeanMoreSites)
     pruning::PruningConfig one;
     one.seed = 5;
     pruning::PruningConfig two = one;
-    two.repsPerGroup = 2;
+    two.thread.repsPerGroup = 2;
     auto p1 = ka.prune(one);
     auto p2 = ka.prune(two);
     EXPECT_GT(p2.sites.size(), p1.sites.size());
@@ -192,36 +192,28 @@ TEST(Breakdown, BucketsCoverRepresentativeSites)
     }
 }
 
-TEST(PruningConfig, FlatAliasesTrackSubStructs)
+TEST(PruningConfig, CopySemantics)
 {
-    pruning::PruningConfig config;
-    // Writing through a deprecated flat alias must land in the
-    // per-stage sub-struct, and vice versa.
-    config.loopIterations = 5;
-    EXPECT_EQ(config.loop.iterations, 5u);
-    config.bit.samples = 9;
-    EXPECT_EQ(config.bitSamples, 9u);
-    config.slicedProfiling = false;
-    EXPECT_FALSE(config.execution.slicedProfiling);
-}
-
-TEST(PruningConfig, CopyRebindsAliasesToOwningObject)
-{
+    // The config is a plain aggregate of per-stage sub-structs; copies
+    // must be deep and fully independent of their source.
     pruning::PruningConfig source;
     source.thread.repsPerGroup = 3;
+    source.loop.iterations = 5;
+    source.bit.samples = 9;
     source.execution.workers = 7;
+    source.execution.slicedProfiling = false;
 
-    // Copy construction and assignment must copy the sub-structs but
-    // keep each copy's aliases bound to *its own* fields -- an
-    // implicitly-copied reference member would alias the source.
     pruning::PruningConfig copy(source);
-    copy.repsPerGroup = 4;
+    EXPECT_EQ(copy.loop.iterations, 5u);
+    EXPECT_EQ(copy.bit.samples, 9u);
+    EXPECT_FALSE(copy.execution.slicedProfiling);
+    copy.thread.repsPerGroup = 4;
     EXPECT_EQ(copy.thread.repsPerGroup, 4u);
     EXPECT_EQ(source.thread.repsPerGroup, 3u);
 
     pruning::PruningConfig assigned;
     assigned = source;
-    assigned.workers = 1;
+    assigned.execution.workers = 1;
     EXPECT_EQ(assigned.execution.workers, 1u);
     EXPECT_EQ(source.execution.workers, 7u);
 }

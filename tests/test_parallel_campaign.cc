@@ -15,7 +15,7 @@
 #include "analysis/analyzer.hh"
 #include "apps/app.hh"
 #include "faults/campaign.hh"
-#include "faults/parallel_campaign.hh"
+#include "faults/campaign_engine.hh"
 
 namespace fsp {
 namespace {
@@ -64,7 +64,7 @@ weightSites(const std::vector<faults::FaultSite> &sites)
     return weighted;
 }
 
-TEST(ParallelCampaign, MatchesSerialOnEveryRegisteredKernel)
+TEST(CampaignEngine, MatchesSerialOnEveryRegisteredKernel)
 {
     for (const auto &spec : apps::allKernels()) {
         SCOPED_TRACE(spec.fullName());
@@ -84,16 +84,16 @@ TEST(ParallelCampaign, MatchesSerialOnEveryRegisteredKernel)
             faults::CampaignOptions options;
             options.workers = shape.workers;
             options.chunkSize = shape.chunk;
-            faults::ParallelCampaign engine(ka.injector(), options);
+            faults::CampaignEngine engine(ka.injector(), options);
 
-            expectSameResult(serial_plain, engine.runSiteList(sites));
+            expectSameResult(serial_plain, engine.run(sites));
             expectSameResult(serial_weighted,
-                             engine.runWeightedSiteList(weighted));
+                             engine.run(weighted));
         }
     }
 }
 
-TEST(ParallelCampaign, EmptySiteList)
+TEST(CampaignEngine, EmptySiteList)
 {
     const apps::KernelSpec *spec = apps::findKernel("PathFinder/K1");
     ASSERT_NE(spec, nullptr);
@@ -103,21 +103,22 @@ TEST(ParallelCampaign, EmptySiteList)
         faults::CampaignOptions options;
         options.workers = shape.workers;
         options.chunkSize = shape.chunk;
-        faults::ParallelCampaign engine(ka.injector(), options);
+        faults::CampaignEngine engine(ka.injector(), options);
 
-        auto plain = engine.runSiteList({});
+        auto plain = engine.run(std::vector<faults::FaultSite>{});
         EXPECT_EQ(plain.runs, 0u);
         EXPECT_EQ(plain.dist.runs(), 0u);
         EXPECT_EQ(plain.dist.total(), 0.0);
 
-        auto weighted = engine.runWeightedSiteList({});
+        auto weighted =
+            engine.run(std::vector<faults::WeightedSite>{});
         EXPECT_EQ(weighted.runs, 0u);
         EXPECT_EQ(weighted.dist.total(), 0.0);
         EXPECT_EQ(engine.runsPerformed(), 0u);
     }
 }
 
-TEST(ParallelCampaign, SiteListSmallerThanWorkerCount)
+TEST(CampaignEngine, SiteListSmallerThanWorkerCount)
 {
     const apps::KernelSpec *spec = apps::findKernel("PathFinder/K1");
     ASSERT_NE(spec, nullptr);
@@ -134,14 +135,14 @@ TEST(ParallelCampaign, SiteListSmallerThanWorkerCount)
         faults::CampaignOptions options;
         options.workers = workers;
         options.chunkSize = 1;
-        faults::ParallelCampaign engine(ka.injector(), options);
-        expectSameResult(serial_plain, engine.runSiteList(sites));
+        faults::CampaignEngine engine(ka.injector(), options);
+        expectSameResult(serial_plain, engine.run(sites));
         expectSameResult(serial_weighted,
-                         engine.runWeightedSiteList(weighted));
+                         engine.run(weighted));
     }
 }
 
-TEST(ParallelCampaign, RandomCampaignMatchesSerial)
+TEST(CampaignEngine, RandomCampaignMatchesSerial)
 {
     const apps::KernelSpec *spec = apps::findKernel("GEMM/K1");
     ASSERT_NE(spec, nullptr);
@@ -158,15 +159,15 @@ TEST(ParallelCampaign, RandomCampaignMatchesSerial)
         faults::CampaignOptions options;
         options.workers = shape.workers;
         options.chunkSize = shape.chunk;
-        faults::ParallelCampaign engine(ka.injector(), options);
+        faults::CampaignEngine engine(ka.injector(), options);
         Prng parallel_prng(99);
-        expectSameResult(serial, engine.runRandomCampaign(
+        expectSameResult(serial, engine.run(
                                      ka.space(), 40, parallel_prng));
         EXPECT_EQ(next_after_campaign, parallel_prng());
     }
 }
 
-TEST(ParallelCampaign, AnalyzerParallelPathsMatchSerial)
+TEST(CampaignEngine, AnalyzerParallelPathsMatchSerial)
 {
     const apps::KernelSpec *spec = apps::findKernel("MVT/K1");
     ASSERT_NE(spec, nullptr);
@@ -185,7 +186,7 @@ TEST(ParallelCampaign, AnalyzerParallelPathsMatchSerial)
     expectSameResult(serial_baseline, ka.runBaseline(60, 123, options));
 }
 
-TEST(ParallelCampaign, PipelineWorkersDoNotChangePruning)
+TEST(CampaignEngine, PipelineWorkersDoNotChangePruning)
 {
     const apps::KernelSpec *spec = apps::findKernel("HotSpot/K1");
     ASSERT_NE(spec, nullptr);
@@ -195,7 +196,7 @@ TEST(ParallelCampaign, PipelineWorkersDoNotChangePruning)
     auto serial = ka.prune(serial_config);
 
     pruning::PruningConfig parallel_config;
-    parallel_config.workers = 4;
+    parallel_config.execution.workers = 4;
     auto parallel = ka.prune(parallel_config);
 
     ASSERT_EQ(serial.sites.size(), parallel.sites.size());

@@ -133,10 +133,10 @@ TEST(Pipeline, DisabledStagesAreSkipped)
     analysis::KernelAnalysis ka(*apps::findKernel("PathFinder/K1"),
                                 apps::Scale::Small);
     pruning::PruningConfig config;
-    config.instructionStage = false;
-    config.loopIterations = 0;
-    config.bitSamples = 0;
-    config.predZeroFlagOnly = false;
+    config.instruction.enabled = false;
+    config.loop.iterations = 0;
+    config.bit.samples = 0;
+    config.bit.predZeroFlagOnly = false;
     auto pruned = ka.prune(config);
 
     EXPECT_EQ(pruned.counts.afterInstruction, pruned.counts.afterThread);
@@ -180,7 +180,7 @@ TEST(Pipeline, LoopStageDominatesForMvt)
     analysis::KernelAnalysis ka(*apps::findKernel("MVT/K1"),
                                 apps::Scale::Small);
     pruning::PruningConfig config;
-    config.loopIterations = 8;
+    config.loop.iterations = 8;
     auto pruned = ka.prune(config);
     // 64-iteration loop sampled down to 8: better than 5x reduction.
     EXPECT_LT(pruned.counts.afterLoop,

@@ -21,7 +21,7 @@
 #include "faults/campaign.hh"
 #include "faults/fault_space.hh"
 #include "faults/injector.hh"
-#include "faults/parallel_campaign.hh"
+#include "faults/campaign_engine.hh"
 #include "ptx/assembler.hh"
 #include "util/logging.hh"
 #include "util/prng.hh"
@@ -72,8 +72,8 @@ TEST(SlicedEquivalence, EveryKernelSerialAndParallel)
             SCOPED_TRACE(workers);
             CampaignOptions options;
             options.workers = workers;
-            ParallelCampaign engine(prototype, options);
-            CampaignResult par = engine.runSiteList(sites);
+            CampaignEngine engine(prototype, options);
+            CampaignResult par = engine.run(sites);
             expectSameDist(par.dist, full_result.dist);
             EXPECT_EQ(par.runs, full_result.runs);
         }
@@ -113,8 +113,8 @@ TEST(SlicedEquivalence, WeightedCampaignMatchesBitExactly)
     for (unsigned workers : {2u, 4u, 8u}) {
         CampaignOptions options;
         options.workers = workers;
-        ParallelCampaign engine(prototype, options);
-        CampaignResult par = engine.runWeightedSiteList(sites);
+        CampaignEngine engine(prototype, options);
+        CampaignResult par = engine.run(sites);
         expectSameDist(par.dist, b.dist);
         EXPECT_GT(par.injection.slicedRuns, 0u);
     }
@@ -284,9 +284,9 @@ TEST(SlicedPruning, SlicedProfilingMatchesFullProfiling)
     ASSERT_TRUE(ka.slicingActive());
 
     pruning::PruningConfig with;
-    with.slicedProfiling = true;
+    with.execution.slicedProfiling = true;
     pruning::PruningConfig without;
-    without.slicedProfiling = false;
+    without.execution.slicedProfiling = false;
 
     auto a = ka.prune(with);
     auto b = ka.prune(without);

@@ -24,6 +24,7 @@
 #include "analysis/analyzer.hh"
 #include "analysis/cli_options.hh"
 #include "analysis/convergence.hh"
+#include "analysis/observability.hh"
 #include "apps/app.hh"
 #include "pruning/loops.hh"
 #include "sim/disasm.hh"
@@ -79,6 +80,21 @@ requireKernel(const Options &opts)
     if (spec == nullptr)
         std::cerr << "unknown kernel '" << opts.kernel << "'\n";
     return spec;
+}
+
+/** Honour --metrics-out: export the snapshot; false on I/O failure. */
+bool
+exportMetrics(const analysis::Observability &obs,
+              const std::string &path)
+{
+    if (path.empty())
+        return true;
+    if (!obs.writePrometheusFile(path)) {
+        std::cerr << "cannot write metrics snapshot to '" << path
+                  << "'\n";
+        return false;
+    }
+    return true;
 }
 
 /** Emit an outcome distribution as a named JSON object. */
@@ -223,7 +239,12 @@ cmdPrune(const Options &opts)
         return 1;
     const auto &common = opts.common;
     analysis::KernelAnalysis ka(*spec, common.scale, common.seed + 41);
-    auto pruned = ka.prune(common.pruning);
+    analysis::Observability obs(common.progressEvery);
+    ka.attachExecMetrics(&obs.exec);
+    auto pruned = ka.prune(common.pruning, &obs.registry);
+    obs.finalize();
+    if (!exportMetrics(obs, common.metricsOut))
+        return 1;
     const auto &c = pruned.counts;
     if (common.json) {
         JsonWriter json(std::cout);
@@ -241,6 +262,7 @@ cmdPrune(const Options &opts)
                    static_cast<std::uint64_t>(
                        pruned.grouping.representativeCount()));
         json.field("representedWeight", pruned.totalRepresentedWeight());
+        obs.writeJsonSnapshot(json);
         json.endObject();
         return 0;
     }
@@ -267,11 +289,13 @@ cmdCampaign(const Options &opts)
         return 1;
     const auto &common = opts.common;
     analysis::KernelAnalysis ka(*spec, common.scale, common.seed + 41);
+    analysis::Observability obs(common.progressEvery);
+    ka.attachExecMetrics(&obs.exec);
     if (!common.campaign.allowSlicing)
         ka.setSlicingEnabled(false);
     if (!common.campaign.allowCheckpoints)
         ka.setCheckpointsEnabled(false);
-    auto pruned = ka.prune(common.pruning);
+    auto pruned = ka.prune(common.pruning, &obs.registry);
     if (!common.json) {
         std::cout << spec->fullName() << "\n  engine: "
                   << ka.injector().slicingDescription() << ", "
@@ -282,6 +306,7 @@ cmdCampaign(const Options &opts)
     // header hash binds the weighted site list, kernel/pruning config
     // and seed, so only that campaign may write it.
     faults::CampaignOptions pruned_options = common.campaign;
+    pruned_options.observer = obs.observer();
     if (!pruned_options.journalPath.empty())
         pruned_options.journalKey =
             analysis::campaignJournalKey(*spec, common.scale, common);
@@ -298,12 +323,17 @@ cmdCampaign(const Options &opts)
         ka.campaignEngine(pruned_options).lastStats();
 
     faults::CampaignOptions baseline_options = common.campaign;
+    baseline_options.observer = obs.observer();
     baseline_options.journalPath.clear();
     baseline_options.resume = false;
     faults::CampaignResult baseline;
     if (common.baseline > 0)
         baseline = ka.runBaseline(common.baseline, common.seed + 17,
                                   baseline_options);
+
+    obs.finalize();
+    if (!exportMetrics(obs, common.metricsOut))
+        return 1;
 
     if (common.json) {
         JsonWriter json(std::cout);
@@ -325,6 +355,7 @@ cmdCampaign(const Options &opts)
         json.beginObject("campaignStats");
         faults::writeCampaignStats(json, stats);
         json.endObject();
+        obs.writeJsonSnapshot(json);
         json.endObject();
         return 0;
     }
