@@ -112,18 +112,21 @@ main(int argc, char **argv)
     if (common.json) {
         const auto &space = ka.space();
         auto pruned = ka.prune(common.pruning, &obs.registry);
-        faults::OutcomeDist estimate;
+        faults::CampaignResult estimated;
         try {
-            estimate = ka.runPrunedCampaign(pruned, pruned_options);
+            estimated =
+                ka.runPrunedCampaignDetailed(pruned, pruned_options);
         } catch (const faults::JournalError &error) {
             std::cerr << "journal error: " << error.what() << "\n";
             return 1;
         }
+        const faults::OutcomeDist &estimate = estimated.dist;
         auto pruned_stats = ka.campaignEngine(pruned_options).lastStats();
         faults::CampaignResult baseline;
         if (common.baseline > 0)
             baseline = ka.runBaseline(common.baseline, common.seed + 17,
                                       baseline_options);
+        estimated.anatomy.exportMetrics(obs.registry);
         obs.finalize();
         if (!common.metricsOut.empty() &&
             !obs.writePrometheusFile(common.metricsOut)) {
@@ -149,6 +152,7 @@ main(int argc, char **argv)
         json.field("slicingActive", ka.injector().slicingActive());
         json.field("checkpointsActive",
                    ka.injector().checkpointsActive());
+        json.field("faultModel", common.campaign.faultModelIdentity());
         json.endObject();
         json.beginObject("stageCounts");
         json.field("exhaustive", pruned.counts.exhaustive);
@@ -160,6 +164,7 @@ main(int argc, char **argv)
         writeProfile(json, "prunedEstimate", estimate);
         if (common.baseline > 0)
             writeProfile(json, "randomBaseline", baseline.dist);
+        estimated.anatomy.writeJson(json);
         json.beginObject("campaignStats");
         faults::writeCampaignStats(json, pruned_stats);
         json.endObject();
@@ -188,7 +193,9 @@ main(int argc, char **argv)
               << "    replay:         "
               << ka.injector().checkpointDescription() << "\n"
               << "    independence:   " << ka.slicingPlan().reason()
-              << "\n\n";
+              << "\n"
+              << "    fault model:    "
+              << common.campaign.faultModelIdentity() << "\n\n";
 
     // --- 2+3. Pruning pipeline.
     auto pruned = ka.prune(common.pruning, &obs.registry);
@@ -228,13 +235,14 @@ main(int argc, char **argv)
 
     // --- 4. Campaigns (unified engine; bit-identical to serial).
     std::cout << "\n[4] injection campaigns\n";
-    faults::OutcomeDist estimate;
+    faults::CampaignResult estimated;
     try {
-        estimate = ka.runPrunedCampaign(pruned, pruned_options);
+        estimated = ka.runPrunedCampaignDetailed(pruned, pruned_options);
     } catch (const faults::JournalError &error) {
         std::cerr << "journal error: " << error.what() << "\n";
         return 1;
     }
+    const faults::OutcomeDist &estimate = estimated.dist;
     std::cout << "    pruned estimate:  " << estimate.summary() << "\n";
     auto pruned_stats = ka.campaignEngine(pruned_options).lastStats();
     if (pruned_stats.replayedSites > 0) {
@@ -251,6 +259,28 @@ main(int argc, char **argv)
     }
     std::cout << "\ninjections used: " << estimate.runs() << " (vs "
               << fmtCount(space.totalSites()) << " exhaustive)\n";
+
+    // --- 4b. SDC anatomy (how the silent corruptions look).
+    const faults::SdcAnatomyProfile &anatomy = estimated.anatomy;
+    if (anatomy.sdcRuns() > 0) {
+        std::cout << "\n[4b] sdc anatomy (" << anatomy.sdcRuns()
+                  << " SDC runs)\n"
+                  << "    " << anatomy.summary() << "\n";
+        auto ranked = anatomy.ranking(5);
+        if (!ranked.empty()) {
+            TextTable top({"static instr", "SDC wt", "masked wt",
+                           "other wt", "runs"});
+            for (const auto &entry : ranked) {
+                top.addRow({std::to_string(entry.staticIndex),
+                            fmtFixed(entry.counts.sdc, 1),
+                            fmtFixed(entry.counts.masked, 1),
+                            fmtFixed(entry.counts.other, 1),
+                            std::to_string(entry.counts.runs)});
+            }
+            std::cout << "    most SDC-prone static instructions:\n";
+            top.print(std::cout);
+        }
+    }
 
     // --- 5. Campaign throughput (pruned sweep; per-phase breakdown).
     std::cout << "\n[5] campaign throughput (pruned sweep)\n"

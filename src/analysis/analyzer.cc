@@ -81,11 +81,30 @@ faults::OutcomeDist
 KernelAnalysis::runPrunedCampaign(const pruning::PruningResult &pruned,
                                   const faults::CampaignOptions &options)
 {
+    return runPrunedCampaignDetailed(pruned, options).dist;
+}
+
+faults::CampaignResult
+KernelAnalysis::runPrunedCampaignDetailed(
+    const pruning::PruningResult &pruned,
+    const faults::CampaignOptions &options)
+{
     faults::CampaignResult result =
         campaignEngine(options).run(pruned.sites);
     result.dist.addWeight(faults::Outcome::Masked,
                           pruned.assumedMaskedWeight);
-    return result.dist;
+    return result;
+}
+
+void
+KernelAnalysis::setFaultModel(
+    std::shared_ptr<const faults::FaultModel> model,
+    std::uint64_t modelSeed)
+{
+    injector().setFaultModel(std::move(model), modelSeed);
+    // Engine workers are clones of the injector; rebuild on next use so
+    // they pick the new model up.
+    engine_.reset();
 }
 
 faults::CampaignResult

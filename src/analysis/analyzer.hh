@@ -81,6 +81,21 @@ class KernelAnalysis
     bool checkpointsActive() { return injector().checkpointsActive(); }
     /** @} */
 
+    /** @{ Fault-model strategy (single-bit destination flip default). */
+    /**
+     * Inject every campaign under @p model.  Forwarded to the injector
+     * (and, via clone, to every campaign-engine worker built after this
+     * call); @p modelSeed seeds the model's deterministic randomness.
+     * Prefer CampaignOptions::faultModel for engine campaigns -- this
+     * facade covers the serial drivers and ad-hoc injector use.
+     */
+    void setFaultModel(std::shared_ptr<const faults::FaultModel> model,
+                       std::uint64_t modelSeed = 0);
+
+    /** The model the facade's injector currently injects under. */
+    const faults::FaultModel &faultModel() { return injector().faultModel(); }
+    /** @} */
+
     /**
      * Run the progressive pruning pipeline.  The injector's slicing
      * plan scopes the traced profiling run to the representatives'
@@ -105,6 +120,16 @@ class KernelAnalysis
     faults::OutcomeDist
     runPrunedCampaign(const pruning::PruningResult &pruned,
                       const faults::CampaignOptions &options);
+
+    /**
+     * As the parallel runPrunedCampaign but returning the engine's
+     * full CampaignResult -- SDC anatomy profile, per-static ranking,
+     * run counters -- with the assumed-masked weight already folded
+     * into the distribution.  This is what the tools' --json rides on.
+     */
+    faults::CampaignResult
+    runPrunedCampaignDetailed(const pruning::PruningResult &pruned,
+                              const faults::CampaignOptions &options);
 
     /** Statistical baseline campaign (uniform random sites). */
     faults::CampaignResult runBaseline(std::size_t runs,

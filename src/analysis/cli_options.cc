@@ -54,6 +54,15 @@ addCommonOptions(OptionTable &table, CommonCliOptions &opts)
                    opts.pruning.execution.checkpoints = false;
                });
     table.optionString(
+        "--fault-model", "SPEC",
+        "fault-model strategy mapping each (thread, instr,\n"
+        "bit) site to an injected fault (default: the\n"
+        "paper's single-bit destination-register flip);\n"
+        "SPEC is name[:key=value[,key=value...]], e.g.\n"
+        "multi-bit:width=3 or intermittent-stuck:period=8\n"
+        "(`fsp models` lists every built-in model)",
+        opts.faultModel);
+    table.optionString(
         "--journal", "PATH",
         "append each completed chunk of the pruned\n"
         "campaign to a crash-safe journal at PATH",
@@ -94,9 +103,22 @@ finalizeCommonOptions(CommonCliOptions &opts)
         std::cerr << "--resume needs --journal <path>\n";
         return false;
     }
+    if (!opts.faultModel.empty()) {
+        std::string error;
+        std::unique_ptr<faults::FaultModel> model =
+            faults::parseFaultModel(opts.faultModel, &error);
+        if (!model) {
+            std::cerr << "--fault-model: " << error << "\n";
+            return false;
+        }
+        opts.campaign.faultModel = std::move(model);
+    }
     opts.pruning.seed = opts.seed;
     opts.campaign.journalPath = opts.journalPath;
     opts.campaign.resume = opts.resume;
+    // Model randomness (memory addresses, activation schedules) keys
+    // off the campaign seed whether or not a journal tags the key.
+    opts.campaign.journalKey.seed = opts.seed;
     return true;
 }
 

@@ -30,6 +30,7 @@ struct CommonCliOptions
     bool resume = false;            ///< --resume
     std::string metricsOut;         ///< --metrics-out; empty disables
     double progressEvery = -1.0;    ///< --progress seconds; <0 disables
+    std::string faultModel;         ///< --fault-model spec; empty = default
     pruning::PruningConfig pruning;
     faults::CampaignOptions campaign;
 };
@@ -37,17 +38,19 @@ struct CommonCliOptions
 /**
  * Register the shared options (--paper, --seed, --baseline,
  * --loop-iters, --bit-samples, --pilots, --workers, --chunk,
- * --no-slicing, --no-checkpoints, --journal, --resume, --metrics-out,
- * --progress, --json) against @p opts.  Call finalizeCommonOptions()
- * after a successful parse.
+ * --no-slicing, --no-checkpoints, --fault-model, --journal, --resume,
+ * --metrics-out, --progress, --json) against @p opts.  Call
+ * finalizeCommonOptions() after a successful parse.
  */
 void addCommonOptions(OptionTable &table, CommonCliOptions &opts);
 
 /**
  * Propagate cross-cutting values after parsing: the master seed into
- * the pruning config, and the journal path/resume flag into the
- * campaign options.  Returns false (with a diagnostic on stderr) when
- * the combination is invalid (--resume without --journal).
+ * the pruning config and the campaign's model-randomness seed, the
+ * journal path/resume flag into the campaign options, and the parsed
+ * --fault-model strategy into CampaignOptions::faultModel.  Returns
+ * false (with a diagnostic on stderr) when the combination is invalid
+ * (--resume without --journal, malformed --fault-model spec).
  */
 bool finalizeCommonOptions(CommonCliOptions &opts);
 

@@ -106,7 +106,7 @@ setupConv2d(Scale scale, std::uint64_t seed)
     setup.launch.params.addU32(g.nj);
 
     setup.outputs.push_back({"B", b, 4ull * g.ni * g.nj,
-                             faults::ElemType::F32, 0.0});
+                             faults::ElemType::F32, 0.0, g.ni});
     return setup;
 }
 

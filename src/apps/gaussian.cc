@@ -160,7 +160,7 @@ setupFan1(Scale scale, std::uint64_t seed, unsigned step)
     setup.launch.params.addU32(step);
 
     setup.outputs.push_back({"m", m, 4ull * g.size * g.size,
-                             faults::ElemType::F32, 0.0});
+                             faults::ElemType::F32, 0.0, g.size});
     return setup;
 }
 
@@ -194,7 +194,7 @@ setupFan2(Scale scale, std::uint64_t seed, unsigned step)
     setup.launch.params.addU32(step);
 
     setup.outputs.push_back({"a", a, 4ull * g.size * g.size,
-                             faults::ElemType::F32, 0.0});
+                             faults::ElemType::F32, 0.0, g.size});
     setup.outputs.push_back({"b", b, 4ull * g.size, faults::ElemType::F32,
                              0.0});
     return setup;

@@ -98,7 +98,7 @@ setupGemm(Scale scale, std::uint64_t seed)
     setup.launch.params.addF32(0.75f); // beta
 
     setup.outputs.push_back({"C", c, 4ull * g.ni * g.nj,
-                             faults::ElemType::F32, 0.0});
+                             faults::ElemType::F32, 0.0, g.ni});
     return setup;
 }
 

@@ -191,7 +191,7 @@ setupHotspot(Scale scale, std::uint64_t seed)
     setup.launch.params.addU32(nr);
 
     setup.outputs.push_back({"temp_out", temp_out, 4ull * nr * nc,
-                             faults::ElemType::F32, 0.0});
+                             faults::ElemType::F32, 0.0, nr});
     return setup;
 }
 

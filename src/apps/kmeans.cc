@@ -165,7 +165,7 @@ setupInvertMapping(Scale scale, std::uint64_t seed)
 
     setup.outputs.push_back({"output", out,
                              4ull * g.points * g.features,
-                             faults::ElemType::F32, 0.0});
+                             faults::ElemType::F32, 0.0, g.points});
     return setup;
 }
 

@@ -243,7 +243,7 @@ setupDiagonal(Scale scale, std::uint64_t seed)
     setup.launch.params.addU32(static_cast<std::uint32_t>(a));
 
     setup.outputs.push_back({"tile", a, 4ull * bs * bs,
-                             faults::ElemType::F32, 0.0});
+                             faults::ElemType::F32, 0.0, bs});
     return setup;
 }
 
@@ -267,9 +267,9 @@ setupPerimeter(Scale scale, std::uint64_t seed)
     setup.launch.params.addU32(static_cast<std::uint32_t>(c));
 
     setup.outputs.push_back({"row_strip", r, 4ull * bs * bs,
-                             faults::ElemType::F32, 0.0});
+                             faults::ElemType::F32, 0.0, bs});
     setup.outputs.push_back({"col_strip", c, 4ull * bs * bs,
-                             faults::ElemType::F32, 0.0});
+                             faults::ElemType::F32, 0.0, bs});
     return setup;
 }
 
@@ -292,7 +292,7 @@ setupInternal(Scale scale, std::uint64_t seed)
     setup.launch.params.addU32(static_cast<std::uint32_t>(c));
 
     setup.outputs.push_back({"tile", c, 4ull * bs * bs,
-                             faults::ElemType::F32, 0.0});
+                             faults::ElemType::F32, 0.0, bs});
     return setup;
 }
 

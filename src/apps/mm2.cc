@@ -90,7 +90,7 @@ setupMm2(Scale scale, std::uint64_t seed)
     setup.launch.params.addU32(g.nk);
 
     setup.outputs.push_back({"tmp", tmp, 4ull * g.ni * g.nj,
-                             faults::ElemType::F32, 0.0});
+                             faults::ElemType::F32, 0.0, g.ni});
     return setup;
 }
 

@@ -94,7 +94,7 @@ setupSyrk(Scale scale, std::uint64_t seed)
     setup.launch.params.addF32(0.5f);  // beta
 
     setup.outputs.push_back({"C", c, 4ull * g.n * g.n,
-                             faults::ElemType::F32, 0.0});
+                             faults::ElemType::F32, 0.0, g.n});
     return setup;
 }
 

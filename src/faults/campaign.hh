@@ -21,6 +21,7 @@
 #include "faults/fault_space.hh"
 #include "faults/injector.hh"
 #include "faults/outcome.hh"
+#include "faults/sdc_anatomy.hh"
 #include "util/prng.hh"
 
 namespace fsp::faults {
@@ -31,6 +32,13 @@ struct CampaignResult
     OutcomeDist dist;        ///< (weighted) outcome tally
     std::uint64_t runs = 0;  ///< injection runs performed
     InjectionStats injection; ///< how the runs were executed
+
+    /**
+     * SDC anatomy + per-static-instruction failure-class ranking.
+     * Filled by CampaignEngine (serially, in site order); the
+     * deprecated serial drivers leave it empty.
+     */
+    SdcAnatomyProfile anatomy;
 };
 
 /** Inject every site in the list, tallying unweighted outcomes. */

@@ -175,6 +175,12 @@ CampaignEngine::CampaignEngine(const Injector &prototype,
             injectors_.back()->setSlicingEnabled(false);
         if (!options_.allowCheckpoints)
             injectors_.back()->setCheckpointsEnabled(false);
+        if (options_.faultModel) {
+            // Model randomness is keyed off the campaign seed, making
+            // site -> plan a pure function of the campaign identity.
+            injectors_.back()->setFaultModel(options_.faultModel,
+                                             options_.journalKey.seed);
+        }
     }
 }
 
@@ -191,7 +197,8 @@ void
 CampaignEngine::classifyPending(
     const std::vector<std::size_t> &pending,
     const std::function<const FaultSite &(std::size_t)> &siteAt,
-    std::vector<Outcome> &outcomes, CampaignJournal *journal,
+    std::vector<Outcome> &outcomes,
+    std::vector<InjectionDetail> &details, CampaignJournal *journal,
     CampaignObserver *observer)
 {
     unsigned workers = pool_.workerCount();
@@ -249,14 +256,17 @@ CampaignEngine::classifyPending(
             for (std::size_t original : order) {
                 auto t_site = Clock::now();
                 const FaultSite &site = siteAt(original);
-                Outcome outcome = injector.inject(site);
+                Outcome outcome =
+                    injector.inject(site, &details[original]);
                 outcomes[original] = outcome;
                 observer->onSiteClassified(
                     {&site, outcome, secondsSince(t_site), worker});
             }
         } else {
-            for (std::size_t original : order)
-                outcomes[original] = injector.inject(siteAt(original));
+            for (std::size_t original : order) {
+                outcomes[original] =
+                    injector.inject(siteAt(original), &details[original]);
+            }
         }
 
         std::lock_guard<std::mutex> lock(progress_mutex);
@@ -266,8 +276,10 @@ CampaignEngine::classifyPending(
             // The chunk fold point: make this chunk's outcomes durable
             // in one write + fsync before reporting progress, so a
             // kill never loses a chunk whose progress was observed.
-            for (std::size_t p = begin; p < end; ++p)
-                journal->append(pending[p], outcomes[pending[p]]);
+            for (std::size_t p = begin; p < end; ++p) {
+                journal->append(pending[p], outcomes[pending[p]],
+                                details[pending[p]]);
+            }
             CampaignJournal::CommitInfo commit = journal->commitChunk();
             if (observer) {
                 observer->onJournalCommit(
@@ -323,6 +335,7 @@ CampaignEngine::runCampaign(
 
     // --- Phase 1: journal open / outcome replay.
     std::vector<Outcome> outcomes(count, Outcome::Invalid);
+    std::vector<InjectionDetail> details(count);
     std::vector<std::size_t> pending;
     std::optional<CampaignJournal> journal;
     CampaignJournal::Resume resume;
@@ -330,21 +343,26 @@ CampaignEngine::runCampaign(
         std::uint64_t hash =
             journalHeaderHash(options_.journalKey, count, siteAt,
                               weightAt);
+        std::uint64_t model_hash =
+            injectors_[0]->faultModel().identityHash();
         if (options_.resume) {
             journal.emplace(CampaignJournal::openOrResume(
-                options_.journalPath, hash, count, resume));
+                options_.journalPath, hash, model_hash, count, resume));
             stats_.resumed = true;
         } else {
             journal.emplace(CampaignJournal::create(options_.journalPath,
-                                                    hash, count));
+                                                    hash, model_hash,
+                                                    count));
         }
     }
     if (resume.done.size() == count && resume.doneCount > 0) {
         for (std::size_t i = 0; i < count; ++i) {
-            if (resume.done[i])
+            if (resume.done[i]) {
                 outcomes[i] = resume.outcomes[i];
-            else
+                details[i] = resume.details[i];
+            } else {
                 pending.push_back(i);
+            }
         }
     } else {
         pending.resize(count);
@@ -358,7 +376,7 @@ CampaignEngine::runCampaign(
 
     // --- Phase 2: parallel classification of the remaining sites.
     auto t_inject = Clock::now();
-    classifyPending(pending, siteAt, outcomes,
+    classifyPending(pending, siteAt, outcomes, details,
                     journal ? &*journal : nullptr, observer);
     stats_.injectedSites = pending.size();
     stats_.injectSeconds = secondsSince(t_inject);
@@ -378,11 +396,19 @@ CampaignEngine::runCampaign(
     auto t_fold = Clock::now();
     CampaignResult result;
     for (std::size_t i = 0; i < count; ++i) {
-        if (weighted)
-            result.dist.add(outcomes[i], weightAt(i));
-        else
-            result.dist.add(outcomes[i]);
+        double weight = weighted ? weightAt(i) : 1.0;
+        result.dist.add(outcomes[i], weight);
         result.runs++;
+        // Anatomy aggregation rides the same serial in-site-order fold,
+        // so the profile is bit-identical at any worker count; Invalid
+        // sites never reach it.
+        if (outcomes[i] != Outcome::Invalid) {
+            result.anatomy.addRun(outcomes[i], weight,
+                                  details[i].staticIndex,
+                                  details[i].hasAnatomy
+                                      ? &details[i].anatomy
+                                      : nullptr);
+        }
     }
     result.injection = stats_.injection;
     stats_.foldSeconds = secondsSince(t_fold);

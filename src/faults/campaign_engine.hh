@@ -107,6 +107,15 @@ struct CampaignOptions
      */
     bool allowCheckpoints = true;
 
+    /**
+     * Fault-model strategy applied to every worker injector; null
+     * selects the paper's default (single-bit destination flip).
+     * Shared const -- models are immutable and thread-safe.  Model
+     * randomness (memory addresses, activation schedules) is seeded
+     * from journalKey.seed, so it is part of the campaign identity.
+     */
+    std::shared_ptr<const FaultModel> faultModel;
+
     /** @{ Durable sessions (crash-safe result journal). */
     /** On-disk journal path; empty disables journaling. */
     std::string journalPath;
@@ -146,7 +155,15 @@ struct CampaignOptions
                resume == other.resume &&
                journalKey.tag == other.journalKey.tag &&
                journalKey.seed == other.journalKey.seed &&
-               abortAfterSites == other.abortAfterSites;
+               abortAfterSites == other.abortAfterSites &&
+               faultModelIdentity() == other.faultModelIdentity();
+    }
+
+    /** Identity of the effective model (default when faultModel null). */
+    std::string
+    faultModelIdentity() const
+    {
+        return faultModel ? faultModel->identity() : "single-bit()";
     }
 };
 
@@ -246,6 +263,13 @@ class CampaignEngine
 
     unsigned workerCount() const { return pool_.workerCount(); }
 
+    /** The fault model every worker injects under. */
+    const FaultModel &
+    faultModel() const
+    {
+        return injectors_[0]->faultModel();
+    }
+
     /** Do the workers' injectors use the sliced path? */
     bool slicingActive() const { return injectors_[0]->slicingActive(); }
 
@@ -287,17 +311,19 @@ class CampaignEngine
 
     /**
      * Shard @p pending (original site indices) into chunks, classify
-     * every pending site on the pool, and write outcomes into
-     * @p outcomes indexed by *original* site position -- so the fold
-     * never depends on scheduling.  Each chunk processes its sites in
-     * ascending (cta, thread, dynIndex) order (successive sites then
-     * share a CTA checkpoint), and commits its records to @p journal
-     * (when non-null) from the fold point under the progress lock.
+     * every pending site on the pool, and write outcomes and details
+     * into @p outcomes / @p details indexed by *original* site
+     * position -- so the fold never depends on scheduling.  Each chunk
+     * processes its sites in ascending (cta, thread, dynIndex) order
+     * (successive sites then share a CTA checkpoint), and commits its
+     * records to @p journal (when non-null) from the fold point under
+     * the progress lock.
      */
     void classifyPending(
         const std::vector<std::size_t> &pending,
         const std::function<const FaultSite &(std::size_t)> &siteAt,
-        std::vector<Outcome> &outcomes, CampaignJournal *journal,
+        std::vector<Outcome> &outcomes,
+        std::vector<InjectionDetail> &details, CampaignJournal *journal,
         CampaignObserver *observer);
 
     CampaignOptions options_;

@@ -21,7 +21,7 @@ namespace fsp::faults {
 
 namespace {
 
-constexpr char kMagic[8] = {'F', 'S', 'P', 'J', 'N', 'L', '0', '1'};
+constexpr char kMagic[8] = {'F', 'S', 'P', 'J', 'N', 'L', '0', '2'};
 constexpr std::uint64_t kFooterSentinel = ~std::uint64_t{0};
 
 struct JournalHeader
@@ -29,18 +29,27 @@ struct JournalHeader
     char magic[8];
     std::uint64_t headerHash;
     std::uint64_t siteCount;
-    std::uint64_t reserved;
-    std::uint64_t checksum; ///< hash of every preceding field
+    std::uint64_t modelHash; ///< FaultModel::identityHash()
+    std::uint64_t checksum;  ///< hash of every preceding field
 };
 static_assert(sizeof(JournalHeader) == 40, "header layout drifted");
+
+/** Record flag bits. */
+constexpr std::uint8_t kRecordHasAnatomy = 0x01;
 
 struct JournalRecord
 {
     std::uint64_t siteIndex;
     std::uint32_t outcome;
-    std::uint32_t checksum; ///< hash of (headerHash, siteIndex, outcome)
+    std::uint32_t staticIndex; ///< InjectionDetail::staticIndex
+    std::uint8_t pattern;      ///< SdcPattern (valid with kRecordHasAnatomy)
+    std::uint8_t flags;        ///< kRecordHasAnatomy
+    std::uint16_t pad0;
+    std::uint32_t pad1;
+    std::uint32_t magnitude[kMagnitudeBuckets]; ///< anatomy histogram
+    std::uint32_t checksum; ///< hash of headerHash + every field above
 };
-static_assert(sizeof(JournalRecord) == 16, "record layout drifted");
+static_assert(sizeof(JournalRecord) == 56, "record layout drifted");
 
 struct JournalFooter
 {
@@ -62,18 +71,22 @@ headerChecksum(const JournalHeader &header)
     hasher.update(header.magic, sizeof(header.magic));
     hasher.update(header.headerHash);
     hasher.update(header.siteCount);
-    hasher.update(header.reserved);
+    hasher.update(header.modelHash);
     return hasher.digest();
 }
 
 std::uint32_t
-recordChecksum(std::uint64_t headerHash, std::uint64_t siteIndex,
-               std::uint32_t outcome)
+recordChecksum(std::uint64_t headerHash, const JournalRecord &record)
 {
     JournalHasher hasher;
     hasher.update(headerHash);
-    hasher.update(siteIndex);
-    hasher.update(std::uint64_t{outcome});
+    hasher.update(record.siteIndex);
+    hasher.update(std::uint64_t{record.outcome});
+    hasher.update(std::uint64_t{record.staticIndex});
+    hasher.update(std::uint64_t{record.pattern});
+    hasher.update(std::uint64_t{record.flags});
+    for (std::uint32_t bucket : record.magnitude)
+        hasher.update(std::uint64_t{bucket});
     return static_cast<std::uint32_t>(hasher.digest());
 }
 
@@ -231,7 +244,7 @@ CampaignJournal::~CampaignJournal()
 
 CampaignJournal
 CampaignJournal::create(const std::string &path, std::uint64_t headerHash,
-                        std::uint64_t siteCount)
+                        std::uint64_t modelHash, std::uint64_t siteCount)
 {
     int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
     if (fd < 0)
@@ -242,7 +255,7 @@ CampaignJournal::create(const std::string &path, std::uint64_t headerHash,
     std::memcpy(header.magic, kMagic, sizeof(kMagic));
     header.headerHash = headerHash;
     header.siteCount = siteCount;
-    header.reserved = 0;
+    header.modelHash = modelHash;
     header.checksum = headerChecksum(header);
     journal.writeAll(&header, sizeof(header));
     journal.syncToDisk();
@@ -252,16 +265,18 @@ CampaignJournal::create(const std::string &path, std::uint64_t headerHash,
 CampaignJournal
 CampaignJournal::openOrResume(const std::string &path,
                               std::uint64_t headerHash,
+                              std::uint64_t modelHash,
                               std::uint64_t siteCount, Resume &resume)
 {
     resume = Resume{};
     resume.outcomes.assign(siteCount, Outcome::Invalid);
+    resume.details.assign(siteCount, InjectionDetail{});
     resume.done.assign(siteCount, false);
 
     int fd = ::open(path.c_str(), O_RDWR);
     if (fd < 0) {
         if (errno == ENOENT)
-            return create(path, headerHash, siteCount);
+            return create(path, headerHash, modelHash, siteCount);
         throwErrno("cannot open journal", path);
     }
     CampaignJournal journal(path, fd, headerHash);
@@ -278,6 +293,12 @@ CampaignJournal::openOrResume(const std::string &path,
     if (header.checksum != headerChecksum(header))
         throw JournalError("journal '" + path +
                            "' has a corrupt header (checksum mismatch)");
+    if (header.modelHash != modelHash && header.headerHash == headerHash) {
+        throw JournalError(
+            "journal '" + path +
+            "' was recorded under a different fault model; resume with "
+            "the original --fault-model or delete the journal");
+    }
     if (header.headerHash != headerHash) {
         throw JournalError(
             "journal '" + path +
@@ -338,15 +359,16 @@ CampaignJournal::openOrResume(const std::string &path,
         JournalRecord record;
         std::memcpy(&record, bytes.data() + offset, sizeof(record));
         std::size_t recordNumber = resume.doneCount;
-        if (record.checksum != recordChecksum(headerHash, record.siteIndex,
-                                              record.outcome)) {
+        if (record.checksum != recordChecksum(headerHash, record)) {
             throw JournalError("journal '" + path +
                                "' has a corrupt record (checksum "
                                "mismatch at record " +
                                std::to_string(recordNumber) + ")");
         }
         if (record.siteIndex >= siteCount ||
-            record.outcome > static_cast<std::uint32_t>(Outcome::Invalid)) {
+            record.outcome > static_cast<std::uint32_t>(Outcome::Invalid) ||
+            record.pattern >= kNumSdcPatterns ||
+            (record.flags & ~kRecordHasAnatomy) != 0) {
             throw JournalError("journal '" + path +
                                "' has a corrupt record (out-of-range "
                                "values at record " +
@@ -360,6 +382,14 @@ CampaignJournal::openOrResume(const std::string &path,
         resume.done[record.siteIndex] = true;
         resume.outcomes[record.siteIndex] =
             static_cast<Outcome>(record.outcome);
+        InjectionDetail &detail = resume.details[record.siteIndex];
+        detail.staticIndex = record.staticIndex;
+        detail.hasAnatomy = (record.flags & kRecordHasAnatomy) != 0;
+        if (detail.hasAnatomy) {
+            detail.anatomy.pattern = static_cast<SdcPattern>(record.pattern);
+            for (std::size_t i = 0; i < kMagnitudeBuckets; ++i)
+                detail.anatomy.magnitude[i] = record.magnitude[i];
+        }
         resume.doneCount++;
         offset += sizeof(record);
     }
@@ -378,13 +408,20 @@ CampaignJournal::openOrResume(const std::string &path,
 }
 
 void
-CampaignJournal::append(std::uint64_t siteIndex, Outcome outcome)
+CampaignJournal::append(std::uint64_t siteIndex, Outcome outcome,
+                        const InjectionDetail &detail)
 {
-    JournalRecord record;
+    JournalRecord record{};
     record.siteIndex = siteIndex;
     record.outcome = static_cast<std::uint32_t>(outcome);
-    record.checksum =
-        recordChecksum(header_hash_, record.siteIndex, record.outcome);
+    record.staticIndex = detail.staticIndex;
+    if (detail.hasAnatomy) {
+        record.flags = kRecordHasAnatomy;
+        record.pattern = static_cast<std::uint8_t>(detail.anatomy.pattern);
+        for (std::size_t i = 0; i < kMagnitudeBuckets; ++i)
+            record.magnitude[i] = detail.anatomy.magnitude[i];
+    }
+    record.checksum = recordChecksum(header_hash_, record);
     const auto *p = reinterpret_cast<const std::uint8_t *>(&record);
     pending_.insert(pending_.end(), p, p + sizeof(record));
 }

@@ -17,18 +17,24 @@
  * File layout (native endianness; a journal is machine-local state,
  * not an interchange format):
  *
- *   [JournalHeader]  magic, header hash, site count, checksum
- *   [JournalRecord]* one per completed site, any order, no duplicates
+ *   [JournalHeader]  magic, header hash, model hash, site count,
+ *                    checksum
+ *   [JournalRecord]* one per completed site, any order, no duplicates;
+ *                    each carries the outcome plus the injection
+ *                    detail (static instruction index, SDC anatomy)
  *   [JournalFooter]  optional; present only on completed campaigns,
  *                    carries per-phase wall time and throughput
  *
  * The header hash is computed over the campaign's identity -- the full
  * site list with weights, the caller's kernel/config tag, and the
  * seed -- so a journal can never be resumed against a different
- * campaign.  Every record and the footer carry a checksum mixed with
- * the header hash; truncated or corrupted entries are rejected with a
- * clear error rather than silently dropped (recovery from a torn file
- * is: delete the journal and rerun).
+ * campaign.  The model hash is the fault model's identity hash
+ * (FaultModel::identityHash()), checked separately so resuming under a
+ * different model fails with a message naming the actual problem.
+ * Every record and the footer carry a checksum mixed with the header
+ * hash; truncated or corrupted entries are rejected with a clear error
+ * rather than silently dropped (recovery from a torn file is: delete
+ * the journal and rerun).
  */
 
 #ifndef FSP_FAULTS_CAMPAIGN_JOURNAL_HH
@@ -43,6 +49,7 @@
 
 #include "faults/fault_site.hh"
 #include "faults/outcome.hh"
+#include "faults/sdc_anatomy.hh"
 
 namespace fsp::faults {
 
@@ -118,6 +125,10 @@ class CampaignJournal
     {
         /** Per-site outcome; meaningful where done[i] is set. */
         std::vector<Outcome> outcomes;
+
+        /** Per-site detail (static index, anatomy); same validity. */
+        std::vector<InjectionDetail> details;
+
         std::vector<bool> done; ///< one flag per site
         std::uint64_t doneCount = 0;
         bool complete = false; ///< a valid footer was found
@@ -127,22 +138,26 @@ class CampaignJournal
     /**
      * Start a fresh journal at @p path (truncating any existing file)
      * for a campaign of @p siteCount sites identified by
-     * @p headerHash.  The header is durable on return.
+     * @p headerHash, run under the fault model identified by
+     * @p modelHash (FaultModel::identityHash()).  The header is
+     * durable on return.
      */
     static CampaignJournal create(const std::string &path,
                                   std::uint64_t headerHash,
+                                  std::uint64_t modelHash,
                                   std::uint64_t siteCount);
 
     /**
      * Open an existing journal, validate its header against
-     * @p headerHash / @p siteCount, replay every record into
-     * @p resume, and position the file for further appends -- or
+     * @p headerHash / @p modelHash / @p siteCount, replay every record
+     * into @p resume, and position the file for further appends -- or
      * create a fresh journal when @p path does not exist.  Throws
-     * JournalError on a stale header hash, a site-count mismatch, or
-     * any truncated/corrupted record.
+     * JournalError on a stale header hash, a fault-model mismatch, a
+     * site-count mismatch, or any truncated/corrupted record.
      */
     static CampaignJournal openOrResume(const std::string &path,
                                         std::uint64_t headerHash,
+                                        std::uint64_t modelHash,
                                         std::uint64_t siteCount,
                                         Resume &resume);
 
@@ -153,7 +168,8 @@ class CampaignJournal
     ~CampaignJournal();
 
     /** Buffer one completed site's record (durable after commitChunk). */
-    void append(std::uint64_t siteIndex, Outcome outcome);
+    void append(std::uint64_t siteIndex, Outcome outcome,
+                const InjectionDetail &detail = {});
 
     /** What one commit made durable (observability, not control flow). */
     struct CommitInfo

@@ -1,0 +1,652 @@
+#include "faults/fault_model.hh"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "faults/campaign_journal.hh"
+#include "sim/instruction.hh"
+#include "util/prng.hh"
+
+namespace fsp::faults {
+
+namespace {
+
+/**
+ * Deterministic per-site randomness: every stochastic model decision
+ * (scattered bit choice, memory addresses, activation periods) comes
+ * from this mix of the campaign seed, a model-specific label and the
+ * site triple.  Same campaign + same site -> same draw, independent of
+ * injection order and worker count.
+ */
+std::uint64_t
+siteSeed(const ModelContext &ctx, const FaultSite &site,
+         std::string_view label)
+{
+    std::uint64_t state = deriveSeed(ctx.seed, label);
+    state ^= site.thread + 0x9e3779b97f4a7c15ULL;
+    state = splitMix64(state);
+    state ^= site.dynIndex + 0x9e3779b97f4a7c15ULL;
+    state = splitMix64(state);
+    state ^= site.bit;
+    return splitMix64(state);
+}
+
+/** Shared base plan: copy the site coordinates, leave the rest. */
+sim::FaultPlan
+basePlan(const FaultSite &site, sim::FaultKind kind)
+{
+    sim::FaultPlan plan;
+    plan.kind = kind;
+    plan.thread = site.thread;
+    plan.dynIndex = site.dynIndex;
+    return plan;
+}
+
+std::uint64_t
+singleBitMask(std::uint32_t bit)
+{
+    return bit < 64 ? std::uint64_t{1} << bit : 0;
+}
+
+// ---------------------------------------------------------------------
+// Register-destination transients
+// ---------------------------------------------------------------------
+
+/** The paper's model: one transient destination-register bit flip. */
+class SingleBitModel final : public FaultModel
+{
+  public:
+    std::string_view kind() const override { return "single-bit"; }
+    std::unique_ptr<FaultModel> clone() const override
+    {
+        return std::make_unique<SingleBitModel>(*this);
+    }
+    ModelFootprint footprint() const override
+    {
+        return ModelFootprint::ThreadLocal;
+    }
+
+    sim::FaultPlan
+    plan(const FaultSite &site, const ModelContext &) const override
+    {
+        sim::FaultPlan p = basePlan(site, sim::FaultKind::DestReg);
+        p.mask = singleBitMask(site.bit);
+        return p;
+    }
+};
+
+/** Spatially-correlated burst: @c width adjacent bits flip together. */
+class MultiBitModel final : public FaultModel
+{
+  public:
+    explicit MultiBitModel(unsigned width) : width_(width) {}
+
+    std::string_view kind() const override { return "multi-bit"; }
+    std::string
+    params() const override
+    {
+        return "width=" + std::to_string(width_);
+    }
+    std::unique_ptr<FaultModel> clone() const override
+    {
+        return std::make_unique<MultiBitModel>(*this);
+    }
+    ModelFootprint footprint() const override
+    {
+        return ModelFootprint::ThreadLocal;
+    }
+
+    sim::FaultPlan
+    plan(const FaultSite &site, const ModelContext &) const override
+    {
+        sim::FaultPlan p = basePlan(site, sim::FaultKind::DestReg);
+        std::uint64_t mask = 0;
+        for (unsigned i = 0; i < width_; ++i)
+            mask |= singleBitMask(site.bit + i);
+        p.mask = mask;
+        return p;
+    }
+
+  private:
+    unsigned width_;
+};
+
+/** Uncorrelated multi-bit upset: @c count pseudorandom bits flip. */
+class ScatteredBitsModel final : public FaultModel
+{
+  public:
+    explicit ScatteredBitsModel(unsigned count) : count_(count) {}
+
+    std::string_view kind() const override { return "scattered-bits"; }
+    std::string
+    params() const override
+    {
+        return "count=" + std::to_string(count_);
+    }
+    std::unique_ptr<FaultModel> clone() const override
+    {
+        return std::make_unique<ScatteredBitsModel>(*this);
+    }
+    ModelFootprint footprint() const override
+    {
+        return ModelFootprint::ThreadLocal;
+    }
+
+    sim::FaultPlan
+    plan(const FaultSite &site, const ModelContext &ctx) const override
+    {
+        sim::FaultPlan p = basePlan(site, sim::FaultKind::DestReg);
+        // The site's own bit always participates so the model stays a
+        // strict superset of single-bit; extra bits come from the
+        // deterministic per-site stream.
+        std::uint64_t mask = singleBitMask(site.bit);
+        Prng prng(siteSeed(ctx, site, "scattered-bits"));
+        for (unsigned i = 1; i < count_; ++i)
+            mask |= std::uint64_t{1} << prng.below(64);
+        p.mask = mask;
+        return p;
+    }
+
+  private:
+    unsigned count_;
+};
+
+// ---------------------------------------------------------------------
+// Stuck-at faults (permanent / intermittent)
+// ---------------------------------------------------------------------
+
+/**
+ * Destination-writeback stuck-at fault.  @c period 0 is permanent
+ * (active from the site's dynamic index to thread exit); a non-zero
+ * period alternates active/idle windows of that many dynamic
+ * instructions.  @c period == kPeriodFromPrng draws the period
+ * deterministically from the campaign PRNG per site.
+ */
+class StuckAtModel final : public FaultModel
+{
+  public:
+    static constexpr std::uint64_t kPeriodFromPrng = ~std::uint64_t{0};
+
+    StuckAtModel(std::string_view kind, bool stuckHigh, std::uint64_t period)
+        : kind_(kind), stuck_high_(stuckHigh), period_(period)
+    {
+    }
+
+    std::string_view kind() const override { return kind_; }
+    std::string
+    params() const override
+    {
+        if (period_ == kPeriodFromPrng)
+            return "period=prng";
+        if (period_ == 0)
+            return {};
+        return "period=" + std::to_string(period_);
+    }
+    std::unique_ptr<FaultModel> clone() const override
+    {
+        return std::make_unique<StuckAtModel>(*this);
+    }
+    ModelFootprint footprint() const override
+    {
+        return ModelFootprint::ThreadLocal;
+    }
+
+    sim::FaultPlan
+    plan(const FaultSite &site, const ModelContext &ctx) const override
+    {
+        sim::FaultPlan p = basePlan(site, sim::FaultKind::DestRegStuck);
+        p.mask = singleBitMask(site.bit);
+        p.stuckValue = stuck_high_ ? p.mask : 0;
+        if (period_ == kPeriodFromPrng) {
+            // Intermittent activation schedule keyed off the campaign
+            // PRNG: windows of 1..16 dynamic instructions.
+            Prng prng(siteSeed(ctx, site, "stuck-period"));
+            p.period = 1 + prng.below(16);
+        } else {
+            p.period = period_;
+        }
+        return p;
+    }
+
+  private:
+    std::string_view kind_;
+    bool stuck_high_;
+    std::uint64_t period_;
+};
+
+// ---------------------------------------------------------------------
+// Control-state faults
+// ---------------------------------------------------------------------
+
+/** Flip a stored predicate-register flag of the faulty thread. */
+class PredFlipModel final : public FaultModel
+{
+  public:
+    std::string_view kind() const override { return "pred-flip"; }
+    std::unique_ptr<FaultModel> clone() const override
+    {
+        return std::make_unique<PredFlipModel>(*this);
+    }
+    ModelFootprint footprint() const override
+    {
+        return ModelFootprint::ThreadLocal;
+    }
+
+    sim::FaultPlan
+    plan(const FaultSite &site, const ModelContext &) const override
+    {
+        sim::FaultPlan p = basePlan(site, sim::FaultKind::PredState);
+        // Spread the site's bit axis over (register, flag) pairs so a
+        // bit sweep covers the whole predicate file.
+        p.reg = (site.bit / 4) % sim::kNumPredRegs;
+        p.mask = std::uint64_t{1} << (site.bit % 4);
+        return p;
+    }
+};
+
+/** Corrupt the thread's control-flow position (a wild branch). */
+class PcFlipModel final : public FaultModel
+{
+  public:
+    std::string_view kind() const override { return "pc-flip"; }
+    std::unique_ptr<FaultModel> clone() const override
+    {
+        return std::make_unique<PcFlipModel>(*this);
+    }
+    ModelFootprint footprint() const override
+    {
+        return ModelFootprint::ThreadLocal;
+    }
+
+    sim::FaultPlan
+    plan(const FaultSite &site, const ModelContext &) const override
+    {
+        sim::FaultPlan p = basePlan(site, sim::FaultKind::PcState);
+        // Low bits only: the pc is an instruction index, so flipping a
+        // low bit lands near the fault while higher choices jump out of
+        // the code entirely (an implicit thread exit).
+        p.mask = std::uint64_t{1} << (site.bit % 8);
+        return p;
+    }
+};
+
+/** Corrupted barrier bookkeeping: the thread skips one rendezvous. */
+class BarrierSkipModel final : public FaultModel
+{
+  public:
+    std::string_view kind() const override { return "barrier-skip"; }
+    std::unique_ptr<FaultModel> clone() const override
+    {
+        return std::make_unique<BarrierSkipModel>(*this);
+    }
+    ModelFootprint footprint() const override
+    {
+        // Skipping a rendezvous perturbs the phase interleaving of the
+        // whole CTA, not just the faulty thread.
+        return ModelFootprint::CtaLocal;
+    }
+
+    sim::FaultPlan
+    plan(const FaultSite &site, const ModelContext &) const override
+    {
+        return basePlan(site, sim::FaultKind::BarrierSkip);
+    }
+};
+
+// ---------------------------------------------------------------------
+// Memory faults
+// ---------------------------------------------------------------------
+
+/** Flip one bit of one shared-memory byte of the faulty thread's CTA. */
+class SharedMemFlipModel final : public FaultModel
+{
+  public:
+    std::string_view kind() const override { return "smem-flip"; }
+    std::unique_ptr<FaultModel> clone() const override
+    {
+        return std::make_unique<SharedMemFlipModel>(*this);
+    }
+    ModelFootprint footprint() const override
+    {
+        return ModelFootprint::CtaLocal;
+    }
+
+    bool
+    validate(const FaultSite &site, const ModelContext &ctx,
+             std::string *why) const override
+    {
+        if (!FaultModel::validate(site, ctx, why))
+            return false;
+        if (ctx.sharedBytes == 0) {
+            if (why)
+                *why = "smem-flip: kernel allocates no shared memory";
+            return false;
+        }
+        return true;
+    }
+
+    sim::FaultPlan
+    plan(const FaultSite &site, const ModelContext &ctx) const override
+    {
+        sim::FaultPlan p = basePlan(site, sim::FaultKind::SharedMem);
+        p.addr = siteSeed(ctx, site, "smem-addr") % ctx.sharedBytes;
+        p.mask = std::uint64_t{1} << (site.bit % 8);
+        return p;
+    }
+};
+
+/**
+ * Flip one bit of one global-memory byte when the faulty thread reaches
+ * its dynamic index.  Hazard-guarded in sliced runs (the executor
+ * treats the flip as a load+store by the faulty thread), so it composes
+ * with CTA slicing without changing classifications.
+ */
+class GlobalMemFlipModel final : public FaultModel
+{
+  public:
+    explicit GlobalMemFlipModel(bool atLaunch) : at_launch_(atLaunch) {}
+
+    std::string_view
+    kind() const override
+    {
+        return at_launch_ ? "gmem-launch-flip" : "gmem-flip";
+    }
+    std::unique_ptr<FaultModel> clone() const override
+    {
+        return std::make_unique<GlobalMemFlipModel>(*this);
+    }
+    ModelFootprint footprint() const override
+    {
+        return ModelFootprint::GlobalMemory;
+    }
+    bool supportsSlicing() const override { return !at_launch_; }
+    bool supportsCheckpoints() const override { return !at_launch_; }
+
+    bool
+    validate(const FaultSite &site, const ModelContext &ctx,
+             std::string *why) const override
+    {
+        if (!FaultModel::validate(site, ctx, why))
+            return false;
+        if (ctx.globalBytes == 0) {
+            if (why)
+                *why = std::string(kind()) +
+                       ": kernel allocates no global memory";
+            return false;
+        }
+        return true;
+    }
+
+    sim::FaultPlan
+    plan(const FaultSite &site, const ModelContext &ctx) const override
+    {
+        sim::FaultPlan p =
+            basePlan(site, at_launch_ ? sim::FaultKind::GlobalMemLaunch
+                                      : sim::FaultKind::GlobalMem);
+        p.addr = ctx.globalBase +
+                 siteSeed(ctx, site, "gmem-addr") % ctx.globalBytes;
+        p.mask = std::uint64_t{1} << (site.bit % 8);
+        return p;
+    }
+
+  private:
+    bool at_launch_;
+};
+
+// ---------------------------------------------------------------------
+// Spec parsing
+// ---------------------------------------------------------------------
+
+struct SpecParams
+{
+    bool ok = true;
+    std::string error;
+    std::vector<std::pair<std::string, std::string>> pairs;
+
+    /** Consume an unsigned integer parameter; @p fallback when absent. */
+    std::uint64_t
+    getU64(std::string_view key, std::uint64_t fallback,
+           std::uint64_t minValue, std::uint64_t maxValue)
+    {
+        for (auto it = pairs.begin(); it != pairs.end(); ++it) {
+            if (it->first != key)
+                continue;
+            std::uint64_t value = 0;
+            std::istringstream in(it->second);
+            in >> value;
+            if (!in || !in.eof() || value < minValue || value > maxValue) {
+                ok = false;
+                error = "bad value for '" + std::string(key) +
+                        "': " + it->second;
+                return fallback;
+            }
+            pairs.erase(it);
+            return value;
+        }
+        return fallback;
+    }
+};
+
+SpecParams
+splitParams(std::string_view text)
+{
+    SpecParams out;
+    while (!text.empty()) {
+        std::size_t comma = text.find(',');
+        std::string_view item = text.substr(0, comma);
+        text = comma == std::string_view::npos ? std::string_view{}
+                                               : text.substr(comma + 1);
+        if (item.empty())
+            continue;
+        std::size_t eq = item.find('=');
+        if (eq == std::string_view::npos) {
+            out.ok = false;
+            out.error = "expected key=value, got '" + std::string(item) + "'";
+            return out;
+        }
+        out.pairs.emplace_back(std::string(item.substr(0, eq)),
+                               std::string(item.substr(eq + 1)));
+    }
+    return out;
+}
+
+struct BuiltinModel
+{
+    std::string_view name;
+    std::string_view description;
+};
+
+constexpr BuiltinModel kBuiltins[] = {
+    {"single-bit",
+     "transient single-bit destination-register flip (the paper's model)"},
+    {"multi-bit",
+     "spatially-correlated burst of adjacent destination bits (width=N)"},
+    {"scattered-bits",
+     "uncorrelated multi-bit destination upset (count=N pseudorandom bits)"},
+    {"stuck-at-0", "permanent stuck-at-0 destination writeback bit"},
+    {"stuck-at-1", "permanent stuck-at-1 destination writeback bit"},
+    {"intermittent-stuck",
+     "intermittent stuck-at bit, PRNG-scheduled activation (period=N|prng)"},
+    {"pred-flip", "flip a stored predicate-register flag"},
+    {"pc-flip", "corrupt the thread's control-flow position (wild branch)"},
+    {"barrier-skip", "thread skips its next barrier rendezvous"},
+    {"smem-flip", "flip one CTA shared-memory bit at the fault's moment"},
+    {"gmem-flip", "flip one global-memory bit at the fault's moment"},
+    {"gmem-launch-flip",
+     "flip one global-memory bit before launch (corrupted input)"},
+};
+
+std::unique_ptr<FaultModel>
+makeModel(std::string_view name, SpecParams &params, std::string *error)
+{
+    std::unique_ptr<FaultModel> model;
+    if (name == "single-bit") {
+        model = std::make_unique<SingleBitModel>();
+    } else if (name == "multi-bit") {
+        auto width = params.getU64("width", 2, 2, 64);
+        model = std::make_unique<MultiBitModel>(
+            static_cast<unsigned>(width));
+    } else if (name == "scattered-bits") {
+        auto count = params.getU64("count", 3, 2, 64);
+        model = std::make_unique<ScatteredBitsModel>(
+            static_cast<unsigned>(count));
+    } else if (name == "stuck-at-0") {
+        model = std::make_unique<StuckAtModel>("stuck-at-0", false, 0);
+    } else if (name == "stuck-at-1") {
+        model = std::make_unique<StuckAtModel>("stuck-at-1", true, 0);
+    } else if (name == "intermittent-stuck") {
+        std::uint64_t period = StuckAtModel::kPeriodFromPrng;
+        auto it = std::find_if(
+            params.pairs.begin(), params.pairs.end(),
+            [](const auto &pair) { return pair.first == "period"; });
+        if (it != params.pairs.end()) {
+            if (it->second == "prng")
+                params.pairs.erase(it);
+            else
+                period = params.getU64("period", period, 1,
+                                       std::uint64_t{1} << 32);
+        }
+        model = std::make_unique<StuckAtModel>("intermittent-stuck", true,
+                                               period);
+    } else if (name == "pred-flip") {
+        model = std::make_unique<PredFlipModel>();
+    } else if (name == "pc-flip") {
+        model = std::make_unique<PcFlipModel>();
+    } else if (name == "barrier-skip") {
+        model = std::make_unique<BarrierSkipModel>();
+    } else if (name == "smem-flip") {
+        model = std::make_unique<SharedMemFlipModel>();
+    } else if (name == "gmem-flip") {
+        model = std::make_unique<GlobalMemFlipModel>(false);
+    } else if (name == "gmem-launch-flip") {
+        model = std::make_unique<GlobalMemFlipModel>(true);
+    } else {
+        if (error) {
+            std::ostringstream os;
+            os << "unknown fault model '" << name << "' (known:";
+            for (const auto &builtin : kBuiltins)
+                os << ' ' << builtin.name;
+            os << ')';
+            *error = os.str();
+        }
+        return nullptr;
+    }
+    if (!params.ok) {
+        if (error)
+            *error = std::string(name) + ": " + params.error;
+        return nullptr;
+    }
+    if (!params.pairs.empty()) {
+        if (error)
+            *error = std::string(name) + ": unknown parameter '" +
+                     params.pairs.front().first + "'";
+        return nullptr;
+    }
+    return model;
+}
+
+} // namespace
+
+std::string_view
+modelFootprintName(ModelFootprint footprint)
+{
+    switch (footprint) {
+    case ModelFootprint::ThreadLocal: return "thread-local";
+    case ModelFootprint::CtaLocal: return "cta-local";
+    case ModelFootprint::GlobalMemory: return "global-memory";
+    }
+    return "unknown";
+}
+
+std::string
+FaultModel::identity() const
+{
+    std::string out(kind());
+    out += '(';
+    out += params();
+    out += ')';
+    return out;
+}
+
+std::uint64_t
+FaultModel::identityHash() const
+{
+    JournalHasher hasher;
+    hasher.update(std::string_view("fsp-fault-model"));
+    hasher.update(std::string_view(identity()));
+    return hasher.digest();
+}
+
+bool
+FaultModel::validate(const FaultSite &site, const ModelContext &ctx,
+                     std::string *why) const
+{
+    const auto &icnt = *ctx.goldenICnt;
+    if (site.thread >= icnt.size()) {
+        if (why) {
+            std::ostringstream os;
+            os << "site thread " << site.thread
+               << " outside launch of " << icnt.size() << " threads";
+            *why = os.str();
+        }
+        return false;
+    }
+    if (site.dynIndex >= icnt[site.thread]) {
+        if (why) {
+            std::ostringstream os;
+            os << "site dynIndex " << site.dynIndex
+               << " beyond thread's golden instruction count "
+               << icnt[site.thread];
+            *why = os.str();
+        }
+        return false;
+    }
+    return true;
+}
+
+std::unique_ptr<FaultModel>
+defaultFaultModel()
+{
+    return std::make_unique<SingleBitModel>();
+}
+
+std::unique_ptr<FaultModel>
+parseFaultModel(std::string_view spec, std::string *error)
+{
+    std::size_t colon = spec.find(':');
+    std::string_view name = spec.substr(0, colon);
+    SpecParams params;
+    if (colon != std::string_view::npos) {
+        params = splitParams(spec.substr(colon + 1));
+        if (!params.ok) {
+            if (error)
+                *error = std::string(name) + ": " + params.error;
+            return nullptr;
+        }
+    }
+    return makeModel(name, params, error);
+}
+
+const std::vector<std::string> &
+builtinFaultModels()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> out;
+        for (const auto &builtin : kBuiltins)
+            out.emplace_back(builtin.name);
+        return out;
+    }();
+    return names;
+}
+
+std::string_view
+faultModelDescription(std::string_view kind)
+{
+    for (const auto &builtin : kBuiltins)
+        if (builtin.name == kind)
+            return builtin.description;
+    return {};
+}
+
+} // namespace fsp::faults

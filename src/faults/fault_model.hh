@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Pluggable fault-model strategies.
+ *
+ * The paper's injector hard-codes one interpretation of a fault site:
+ * flip one bit of one destination-register writeback.  A FaultModel
+ * generalises that mapping -- it turns the unchanged (thread, dynamic
+ * instruction, bit) triple into a sim::FaultPlan of any FaultKind, so
+ * the whole campaign stack (site spaces, pruning, the parallel engine,
+ * slicing, checkpoints, the journal) keeps trafficking in triples while
+ * the *meaning* of a triple becomes a strategy.
+ *
+ * Contract (see DESIGN.md section 12):
+ *  - plan() and validate() must be pure functions of (site, context):
+ *    the same inputs always yield the same plan.  All model randomness
+ *    (scattered bit choice, memory addresses, activation periods) is
+ *    derived from ModelContext::seed and the site via deterministic
+ *    mixing, never from mutable generator state.
+ *  - Models are immutable after construction and shared const across
+ *    campaign workers; clone() exists for callers that need an owning
+ *    copy.  No mutable state means no locking.
+ *  - footprint() declares the widest architectural state the planned
+ *    faults may touch; the fuzz harness asserts that golden state
+ *    outside the declared footprint survives every injection.
+ *  - identity() (kind plus canonical parameter rendering) is hashed
+ *    into the campaign journal header; resuming under a model with a
+ *    different identity is rejected (see campaign_journal.hh).
+ *  - supportsSlicing()/supportsCheckpoints() veto the injector's
+ *    sliced/checkpointed fast paths for models whose faults predate
+ *    the target dynamic instruction (e.g. launch-time memory
+ *    corruption); such models run full-grid from instruction zero.
+ */
+
+#ifndef FSP_FAULTS_FAULT_MODEL_HH
+#define FSP_FAULTS_FAULT_MODEL_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "faults/fault_site.hh"
+#include "sim/fault.hh"
+
+namespace fsp::faults {
+
+/** Launch-derived facts a model may consult when planning a fault. */
+struct ModelContext
+{
+    std::uint64_t threads = 0;      ///< launch thread count
+    std::uint64_t blockThreads = 0; ///< threads per CTA
+    std::uint64_t globalBase = 0;   ///< first mapped global address
+    std::uint64_t globalBytes = 0;  ///< allocated global bytes
+    std::uint64_t sharedBytes = 0;  ///< per-CTA shared memory bytes
+    std::uint64_t seed = 0;         ///< campaign seed for model randomness
+
+    /** Per-thread golden dynamic instruction counts (site validation). */
+    const std::vector<std::uint64_t> *goldenICnt = nullptr;
+};
+
+/** Widest architectural state a model's faults may corrupt. */
+enum class ModelFootprint : std::uint8_t
+{
+    ThreadLocal,  ///< registers / pc / barrier state of the faulty thread
+    CtaLocal,     ///< plus the faulty thread's CTA (shared memory)
+    GlobalMemory, ///< global memory visible to the whole grid
+};
+
+/** Human-readable footprint name ("thread-local" etc.). */
+std::string_view modelFootprintName(ModelFootprint footprint);
+
+/**
+ * Strategy mapping fault-site triples to executor fault plans.
+ * Implementations are immutable and thread-safe by construction.
+ */
+class FaultModel
+{
+  public:
+    virtual ~FaultModel() = default;
+
+    /** Stable model name, e.g. "single-bit" (the --fault-model key). */
+    virtual std::string_view kind() const = 0;
+
+    /** Canonical "key=value,..." parameter rendering; "" when none. */
+    virtual std::string params() const { return {}; }
+
+    /** "kind(params)" -- the string hashed into the journal header. */
+    std::string identity() const;
+
+    /** FNV-1a hash of identity(); stored as the journal's model hash. */
+    std::uint64_t identityHash() const;
+
+    /** Owning copy (models are immutable; copies are cheap). */
+    virtual std::unique_ptr<FaultModel> clone() const = 0;
+
+    /** Widest state the planned faults may touch. */
+    virtual ModelFootprint footprint() const = 0;
+
+    /**
+     * May injections under this model use CTA-sliced runs?  Models
+     * whose corruption is hazard-guarded or confined to the faulty
+     * thread's CTA return true (the default).
+     */
+    virtual bool supportsSlicing() const { return true; }
+
+    /**
+     * May injections resume from golden checkpoints?  True (the
+     * default) whenever the fault fires at or after the site's dynamic
+     * index, so pre-fault execution is bit-identical to the golden run.
+     */
+    virtual bool supportsCheckpoints() const { return true; }
+
+    /**
+     * Is @p site injectable under this model and launch?  The base
+     * implementation enforces the universal rule -- the thread exists
+     * and the dynamic index lies within its golden instruction count --
+     * and derived models add their own requirements (e.g. the kernel
+     * actually has shared memory).  On rejection @p why (if non-null)
+     * receives a diagnostic.
+     */
+    virtual bool validate(const FaultSite &site, const ModelContext &ctx,
+                          std::string *why) const;
+
+    /**
+     * Map a (validated) site to the fault plan to execute.  Must be
+     * deterministic in (site, ctx).
+     */
+    virtual sim::FaultPlan plan(const FaultSite &site,
+                                const ModelContext &ctx) const = 0;
+};
+
+/** The paper's model: transient single-bit destination flip. */
+std::unique_ptr<FaultModel> defaultFaultModel();
+
+/**
+ * Build a model from a spec string: a model name optionally followed
+ * by ':' and comma-separated key=value parameters, e.g. "single-bit",
+ * "multi-bit:width=3", "intermittent-stuck:period=8".  Returns null
+ * and fills @p error on unknown names, unknown keys or bad values.
+ */
+std::unique_ptr<FaultModel> parseFaultModel(std::string_view spec,
+                                            std::string *error);
+
+/** Spec names of every built-in model (for --help and test matrices). */
+const std::vector<std::string> &builtinFaultModels();
+
+/** One-line description of a built-in model name ("" if unknown). */
+std::string_view faultModelDescription(std::string_view kind);
+
+} // namespace fsp::faults
+
+#endif // FSP_FAULTS_FAULT_MODEL_HH

@@ -23,14 +23,19 @@ struct FaultSite
     std::uint64_t dynIndex = 0; ///< dynamic instruction index in thread
     std::uint32_t bit = 0;      ///< destination bit position
 
-    /** Convert to the executor's fault plan. */
+    /**
+     * Convert to the executor's fault plan under the paper's default
+     * model: a transient single-bit destination-register flip.  Other
+     * interpretations of the triple live in faults::FaultModel
+     * implementations (fault_model.hh).
+     */
     sim::FaultPlan
     toPlan() const
     {
         sim::FaultPlan plan;
         plan.thread = thread;
         plan.dynIndex = dynIndex;
-        plan.bit = bit;
+        plan.mask = bit < 64 ? std::uint64_t{1} << bit : 0;
         return plan;
     }
 

@@ -135,6 +135,14 @@ Injector::Injector(const sim::Program &program,
             CheckpointStore::record(executor_, image_, golden_icnt_,
                                     options.checkpointing));
     }
+
+    model_ = defaultFaultModel();
+    model_ctx_.threads = golden_icnt_.size();
+    model_ctx_.blockThreads = executor_.config().block.count();
+    model_ctx_.globalBase = sim::GlobalMemory::kBaseAddr;
+    model_ctx_.globalBytes = image_.allocatedBytes();
+    model_ctx_.sharedBytes = executor_.config().sharedBytes;
+    model_ctx_.goldenICnt = &golden_icnt_;
 }
 
 std::unique_ptr<Injector>
@@ -144,7 +152,19 @@ Injector::clone() const
     copy->stats_ = InjectionStats{};
     copy->observer_ = nullptr;
     copy->observer_worker_ = 0;
+    // The copied context still points at *this* injector's golden
+    // trace; repoint it at the clone's own copy.
+    copy->model_ctx_.goldenICnt = &copy->golden_icnt_;
     return copy;
+}
+
+void
+Injector::setFaultModel(std::shared_ptr<const FaultModel> model,
+                        std::uint64_t modelSeed)
+{
+    FSP_ASSERT(model != nullptr, "fault model must not be null");
+    model_ = std::move(model);
+    model_ctx_.seed = modelSeed;
 }
 
 std::string
@@ -202,8 +222,8 @@ Injector::checkpointDescription() const
  * because the extra bytes are pristine in both the sliced and the
  * full-grid image once W_other is subtracted.
  */
-bool
-Injector::slicedOutputsMatch(std::uint64_t cta)
+std::vector<std::vector<std::uint8_t>>
+Injector::reconstructSlicedOutputs(std::uint64_t cta)
 {
     sim::IntervalSet candidates = scratch_.dirtyIntervals();
     candidates.unionWith(slicing_->writes(cta));
@@ -219,69 +239,92 @@ Injector::slicedOutputsMatch(std::uint64_t cta)
             scratch_.readBytes(iv.begin, iv.bytes(),
                                test[r].data() + (iv.begin - region.addr));
     }
-    return outputsMatch(outputs_, golden_outputs_, test);
+    return test;
+}
+
+/** Masked/SDC decision over captured outputs, with anatomy on SDC. */
+Outcome
+Injector::classifyOutputs(
+    const std::vector<std::vector<std::uint8_t>> &test,
+    InjectionDetail *detail)
+{
+    if (outputsMatch(outputs_, golden_outputs_, test))
+        return Outcome::Masked;
+    if (detail) {
+        detail->hasAnatomy = true;
+        detail->anatomy = classifySdc(outputs_, golden_outputs_, test);
+    }
+    return Outcome::SDC;
 }
 
 Outcome
-Injector::classifyFullGrid(const FaultSite &site, sim::FaultPlan &plan,
-                           const sim::RunResult &result)
+Injector::classifyFullGrid(const FaultSite &site,
+                           const sim::FaultPlan &plan,
+                           const sim::RunResult &result,
+                           InjectionDetail *detail)
 {
     if (result.status != sim::RunStatus::Completed)
         return Outcome::Other;
 
     if (!plan.applied) {
-        // The target dynamic instruction performed no destination write
-        // (possible only if injection targeted a site outside the
-        // enumerated space); the run is trivially fault-free.
-        warn("fault plan not applied: thread ", site.thread, " dyn ",
-             site.dynIndex, " bit ", site.bit);
+        // The planned corruption never fired.  Under the default model
+        // that means the caller targeted a site outside the enumerated
+        // space (worth a warning); richer models reach this state
+        // legitimately -- e.g. a barrier-skip site in a thread with no
+        // barrier left, or a stuck-at mask beyond the destination
+        // width -- and the run is trivially fault-free.
+        if (plan.kind == sim::FaultKind::DestReg &&
+            model_->kind() == "single-bit") {
+            warn("fault plan not applied: thread ", site.thread, " dyn ",
+                 site.dynIndex, " bit ", site.bit);
+        }
         return Outcome::Masked;
     }
 
-    auto test_outputs = captureOutputs(scratch_, outputs_);
-    return outputsMatch(outputs_, golden_outputs_, test_outputs)
-               ? Outcome::Masked
-               : Outcome::SDC;
+    return classifyOutputs(captureOutputs(scratch_, outputs_), detail);
 }
 
 Outcome
 Injector::inject(const FaultSite &site)
 {
-    stats_.injections++;
+    return inject(site, nullptr);
+}
 
-    // Validate the site against the golden trace: a dynamic index at or
-    // beyond the thread's golden iCnt can never fire and signals a bug
-    // in the caller's site enumeration, not a masked fault.
-    if (site.thread >= golden_icnt_.size() ||
-        site.dynIndex >= golden_icnt_[site.thread]) {
+Outcome
+Injector::inject(const FaultSite &site, InjectionDetail *detail)
+{
+    stats_.injections++;
+    if (detail)
+        *detail = InjectionDetail{};
+
+    // Validate the site under the active model: universally, a dynamic
+    // index at or beyond the thread's golden iCnt can never fire and
+    // signals a bug in the caller's site enumeration, not a masked
+    // fault; models add their own launch requirements.
+    std::string why;
+    if (!model_->validate(site, model_ctx_, &why)) {
         stats_.invalidSites++;
-        if (site.thread >= golden_icnt_.size()) {
-            warn("invalid fault site: thread ", site.thread,
-                 " outside launch of ", golden_icnt_.size(), " threads");
-        } else {
-            warn("invalid fault site: thread ", site.thread, " dyn ",
-                 site.dynIndex, " beyond golden iCnt ",
-                 golden_icnt_[site.thread]);
-        }
+        warn("invalid fault site under ", model_->identity(), ": ", why);
         return Outcome::Invalid;
     }
 
     stats_.restoredBytes += scratch_.restoreFrom(image_);
-    sim::FaultPlan plan = site.toPlan();
+    sim::FaultPlan plan = model_->plan(site, model_ctx_);
 
     // A checkpoint is usable when the fault thread had executed at most
     // dynIndex instructions at the capture point: the pre-fault replay
     // is bit-identical to golden, so the fault still fires in-replay.
+    // Models whose faults predate the site's dynamic index veto this.
     const std::uint64_t block_threads =
         executor_.config().block.count();
     const std::uint64_t cta = site.thread / block_threads;
     const CtaCheckpoint *checkpoint =
-        checkpointsActive()
+        (checkpointsActive() && model_->supportsCheckpoints())
             ? checkpoints_->find(cta, site.thread % block_threads,
                                  site.dynIndex)
             : nullptr;
 
-    if (slicingActive()) {
+    if (slicingActive() && model_->supportsSlicing()) {
         sim::CtaSlice slice;
         slice.range = sim::CtaRange::single(cta);
         slice.loadHazards = &slicing_->loadHazards(cta);
@@ -310,15 +353,19 @@ Injector::inject(const FaultSite &site)
 
         if (result.status != sim::RunStatus::SliceHazard) {
             stats_.slicedRuns++;
+            if (detail)
+                detail->staticIndex = plan.appliedStatic;
             if (result.status != sim::RunStatus::Completed)
                 return Outcome::Other;
             if (!plan.applied) {
-                warn("fault plan not applied: thread ", site.thread,
-                     " dyn ", site.dynIndex, " bit ", site.bit);
+                if (plan.kind == sim::FaultKind::DestReg &&
+                    model_->kind() == "single-bit") {
+                    warn("fault plan not applied: thread ", site.thread,
+                         " dyn ", site.dynIndex, " bit ", site.bit);
+                }
                 return Outcome::Masked;
             }
-            return slicedOutputsMatch(cta) ? Outcome::Masked
-                                           : Outcome::SDC;
+            return classifyOutputs(reconstructSlicedOutputs(cta), detail);
         }
 
         // The fault wandered into another CTA's footprint; replay the
@@ -327,7 +374,7 @@ Injector::inject(const FaultSite &site)
         if (observer_)
             observer_->onSliceHazard({cta, observer_worker_});
         stats_.restoredBytes += scratch_.restoreFrom(image_);
-        plan = site.toPlan();
+        plan = model_->plan(site, model_ctx_);
     }
 
     sim::RunResult result;
@@ -356,7 +403,9 @@ Injector::inject(const FaultSite &site)
     }
     stats_.fullGridRuns++;
     stats_.executedCtas += result.executedCtas;
-    return classifyFullGrid(site, plan, result);
+    if (detail)
+        detail->staticIndex = plan.appliedStatic;
+    return classifyFullGrid(site, plan, result, detail);
 }
 
 } // namespace fsp::faults

@@ -28,9 +28,11 @@
 #include <vector>
 
 #include "faults/checkpoint.hh"
+#include "faults/fault_model.hh"
 #include "faults/fault_site.hh"
 #include "faults/outcome.hh"
 #include "faults/output_spec.hh"
+#include "faults/sdc_anatomy.hh"
 #include "faults/slicing.hh"
 #include "sim/executor.hh"
 
@@ -124,12 +126,32 @@ class Injector
     /**
      * Inject one fault and classify the outcome.
      *
-     * Sites whose dynamic index lies beyond the target thread's golden
-     * instruction count (or whose thread id is outside the launch) are
-     * rejected as Outcome::Invalid with a diagnostic -- they denote a
-     * caller bug, not a masked fault.
+     * The active fault model (single-bit destination flip by default)
+     * maps the site triple to the executed fault plan.  Sites the
+     * model rejects -- universally, a dynamic index beyond the target
+     * thread's golden instruction count or a thread id outside the
+     * launch; per-model, e.g. a shared-memory fault in a kernel
+     * without shared memory -- classify as Outcome::Invalid with a
+     * diagnostic: they denote a caller bug, not a masked fault.
      */
     Outcome inject(const FaultSite &site);
+
+    /**
+     * As inject(site), additionally filling @p detail (when non-null)
+     * with the static instruction the fault first corrupted and, for
+     * SDC outcomes, the corruption anatomy.
+     */
+    Outcome inject(const FaultSite &site, InjectionDetail *detail);
+
+    /** @{ Fault-model strategy selection (single-bit by default). */
+    void setFaultModel(std::shared_ptr<const FaultModel> model,
+                       std::uint64_t modelSeed = 0);
+    const FaultModel &faultModel() const { return *model_; }
+    std::shared_ptr<const FaultModel> faultModelPtr() const
+    {
+        return model_;
+    }
+    /** @} */
 
     /** Total injection attempts so far (== stats().injections). */
     std::uint64_t runsPerformed() const { return stats_.injections; }
@@ -214,9 +236,15 @@ class Injector
 
     sim::LaunchConfig budgetedConfig(const sim::LaunchConfig &config);
 
-    Outcome classifyFullGrid(const FaultSite &site, sim::FaultPlan &plan,
-                             const sim::RunResult &result);
-    bool slicedOutputsMatch(std::uint64_t cta);
+    Outcome classifyFullGrid(const FaultSite &site,
+                             const sim::FaultPlan &plan,
+                             const sim::RunResult &result,
+                             InjectionDetail *detail);
+    Outcome classifyOutputs(
+        const std::vector<std::vector<std::uint8_t>> &test,
+        InjectionDetail *detail);
+    std::vector<std::vector<std::uint8_t>>
+    reconstructSlicedOutputs(std::uint64_t cta);
 
     // NOTE: golden state and the slicing plan are declared before
     // executor_ because budgetedConfig() -- invoked while initialising
@@ -234,6 +262,10 @@ class Injector
     std::shared_ptr<const CheckpointStore> checkpoints_;
     bool slicing_enabled_ = true;
     bool checkpoints_enabled_ = true;
+    /** Immutable strategy, shared across clone()s. */
+    std::shared_ptr<const FaultModel> model_;
+    /** Launch facts handed to the model; goldenICnt stays per-clone. */
+    ModelContext model_ctx_;
     InjectionStats stats_;
     /** Event sink for checkpoint/hazard events; never cloned. */
     CampaignObserver *observer_ = nullptr;

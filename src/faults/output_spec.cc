@@ -9,6 +9,7 @@
 #include <bit>
 #include <cmath>
 #include <cstring>
+#include <limits>
 #include <type_traits>
 
 #include "util/logging.hh"
@@ -60,7 +61,114 @@ elementsMatch(const std::uint8_t *a, const std::uint8_t *b,
     return std::memcmp(a + bytes - tail, b + bytes - tail, tail) == 0;
 }
 
+template <typename T>
+double
+relativeError(T va, T vb)
+{
+    double da = static_cast<double>(va);
+    double db = static_cast<double>(vb);
+    if (std::isnan(da) || std::isnan(db) || std::isinf(da) ||
+        std::isinf(db)) {
+        return std::numeric_limits<double>::infinity();
+    }
+    double scale = std::max({1.0, std::fabs(da), std::fabs(db)});
+    return std::fabs(da - db) / scale;
+}
+
+/**
+ * Element-wise diff mirroring elementsMatch(): @p exact forces bitwise
+ * comparison (integer types, Raw, and floats under tolerance 0).
+ */
+template <typename T>
+void
+diffElements(const std::uint8_t *a, const std::uint8_t *b,
+             std::size_t bytes, double tolerance, bool exact,
+             std::vector<ElementDiff> &out)
+{
+    std::size_t count = bytes / sizeof(T);
+    for (std::size_t i = 0; i < count; ++i) {
+        T va, vb;
+        std::memcpy(&va, a + i * sizeof(T), sizeof(T));
+        std::memcpy(&vb, b + i * sizeof(T), sizeof(T));
+        bool corrupted;
+        if (exact) {
+            corrupted =
+                std::memcmp(a + i * sizeof(T), b + i * sizeof(T),
+                            sizeof(T)) != 0;
+        } else if constexpr (std::is_floating_point_v<T>) {
+            if (va == vb) {
+                corrupted = false;
+            } else if (std::isnan(va) || std::isnan(vb) ||
+                       std::isinf(va) || std::isinf(vb)) {
+                corrupted = true;
+            } else {
+                double da = va, db = vb;
+                double scale =
+                    std::max({1.0, std::fabs(da), std::fabs(db)});
+                corrupted = std::fabs(da - db) > tolerance * scale;
+            }
+        } else {
+            corrupted = va != vb;
+        }
+        if (corrupted)
+            out.push_back({i, relativeError(va, vb)});
+    }
+    // Tail bytes (regions not a multiple of the element size) compare
+    // exactly and report as one trailing pseudo-element.
+    std::size_t tail = bytes % sizeof(T);
+    if (tail != 0 &&
+        std::memcmp(a + bytes - tail, b + bytes - tail, tail) != 0) {
+        out.push_back({count, std::numeric_limits<double>::infinity()});
+    }
+}
+
 } // namespace
+
+std::size_t
+elemSize(ElemType type)
+{
+    switch (type) {
+      case ElemType::U32:
+      case ElemType::F32:
+        return 4;
+      case ElemType::F64:
+        return 8;
+      case ElemType::Raw:
+        return 1;
+    }
+    return 1;
+}
+
+std::vector<ElementDiff>
+diffRegion(const OutputRegion &region,
+           const std::vector<std::uint8_t> &golden,
+           const std::vector<std::uint8_t> &test)
+{
+    FSP_ASSERT(golden.size() == region.bytes && test.size() == region.bytes,
+               "output capture size mismatch");
+    std::vector<ElementDiff> out;
+    switch (region.type) {
+      case ElemType::U32:
+        diffElements<std::uint32_t>(golden.data(), test.data(),
+                                    golden.size(), 0.0, true, out);
+        break;
+      case ElemType::F32:
+        diffElements<float>(golden.data(), test.data(), golden.size(),
+                            region.tolerance, region.tolerance == 0.0,
+                            out);
+        break;
+      case ElemType::F64:
+        diffElements<double>(golden.data(), test.data(), golden.size(),
+                             region.tolerance, region.tolerance == 0.0,
+                             out);
+        break;
+      case ElemType::Raw:
+        diffElements<std::uint8_t>(golden.data(), test.data(),
+                                   golden.size(), 0.0, true, out);
+        break;
+    }
+    return out;
+}
 
 bool
 outputsMatch(const std::vector<OutputRegion> &regions,

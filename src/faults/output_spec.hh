@@ -39,7 +39,41 @@ struct OutputRegion
      * |a-b| <= tolerance * max(1, |a|, |b|).  0 demands bit equality.
      */
     double tolerance = 0.0;
+
+    /**
+     * Row count for 2-D corruption-pattern analysis (faults::SdcAnatomy):
+     * the region is a rows x (elements/rows) row-major matrix.  0 (the
+     * default) treats the region as a single row.  Purely descriptive --
+     * never affects classification into masked/SDC.
+     */
+    std::uint64_t rows = 0;
 };
+
+/** Element width in bytes for a region's type (1 for Raw). */
+std::size_t elemSize(ElemType type);
+
+/** One corrupted element found by diffRegion. */
+struct ElementDiff
+{
+    std::uint64_t index = 0; ///< element index within the region
+
+    /**
+     * Relative error |a-b| / max(1, |a|, |b|) of the corrupted element
+     * (computed in double for every element type); +infinity when the
+     * corruption produced or destroyed a NaN/Inf.
+     */
+    double relError = 0.0;
+};
+
+/**
+ * Per-element diff of one region, using exactly the match semantics of
+ * outputsMatch(): an element appears here iff it would make the region
+ * compare unequal.  The returned indices are strictly increasing.
+ */
+std::vector<ElementDiff>
+diffRegion(const OutputRegion &region,
+           const std::vector<std::uint8_t> &golden,
+           const std::vector<std::uint8_t> &test);
 
 /** Captured output bytes of all regions of one run. */
 std::vector<std::vector<std::uint8_t>>

@@ -1,0 +1,261 @@
+#include "faults/sdc_anatomy.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/json.hh"
+#include "util/logging.hh"
+#include "util/metrics.hh"
+
+namespace fsp::faults {
+
+namespace {
+
+constexpr std::string_view kPatternNames[kNumSdcPatterns] = {
+    "none",   "single-element", "row-streak",
+    "column-streak", "block",   "scattered",
+};
+
+constexpr std::string_view kBucketLabels[kMagnitudeBuckets] = {
+    "<=1e-06", "<=1e-04", "<=1e-02", "<=1", "<=1e+02", "<=1e+06", ">1e+06",
+};
+
+/** Spatial classification of one region's corrupted element indices. */
+SdcPattern
+classifyRegion(const OutputRegion &region,
+               const std::vector<ElementDiff> &diffs)
+{
+    if (diffs.empty())
+        return SdcPattern::None;
+    if (diffs.size() == 1)
+        return SdcPattern::SingleElement;
+
+    std::uint64_t elems =
+        (region.bytes + elemSize(region.type) - 1) / elemSize(region.type);
+    std::uint64_t rows = region.rows ? region.rows : 1;
+    std::uint64_t cols = std::max<std::uint64_t>(1, (elems + rows - 1) / rows);
+
+    std::uint64_t min_row = ~std::uint64_t{0}, max_row = 0;
+    std::uint64_t min_col = ~std::uint64_t{0}, max_col = 0;
+    bool contiguous = true;
+    bool same_col_stride = true;
+    for (std::size_t i = 0; i < diffs.size(); ++i) {
+        std::uint64_t idx = diffs[i].index;
+        std::uint64_t row = idx / cols, col = idx % cols;
+        min_row = std::min(min_row, row);
+        max_row = std::max(max_row, row);
+        min_col = std::min(min_col, col);
+        max_col = std::max(max_col, col);
+        if (i > 0) {
+            if (idx != diffs[i - 1].index + 1)
+                contiguous = false;
+            if (idx != diffs[i - 1].index + cols)
+                same_col_stride = false;
+        }
+    }
+
+    if (min_row == max_row && contiguous)
+        return SdcPattern::RowStreak;
+    if (min_col == max_col && same_col_stride)
+        return SdcPattern::ColumnStreak;
+
+    std::uint64_t height = max_row - min_row + 1;
+    std::uint64_t width = max_col - min_col + 1;
+    if (height > 1 && width > 1 && diffs.size() * 2 >= height * width)
+        return SdcPattern::Block;
+    return SdcPattern::Scattered;
+}
+
+} // namespace
+
+std::string_view
+sdcPatternName(SdcPattern pattern)
+{
+    auto index = static_cast<std::size_t>(pattern);
+    return index < kNumSdcPatterns ? kPatternNames[index] : "unknown";
+}
+
+std::size_t
+magnitudeBucket(double relError)
+{
+    for (std::size_t i = 0; i < kMagnitudeEdges.size(); ++i)
+        if (relError <= kMagnitudeEdges[i])
+            return i;
+    return kMagnitudeBuckets - 1; // overflow, incl. NaN/Inf
+}
+
+std::string_view
+magnitudeBucketLabel(std::size_t bucket)
+{
+    return bucket < kMagnitudeBuckets ? kBucketLabels[bucket] : "unknown";
+}
+
+SdcAnatomyRecord
+classifySdc(const std::vector<OutputRegion> &regions,
+            const std::vector<std::vector<std::uint8_t>> &golden,
+            const std::vector<std::vector<std::uint8_t>> &test)
+{
+    FSP_ASSERT(golden.size() == regions.size() &&
+                   test.size() == regions.size(),
+               "output capture arity mismatch");
+    SdcAnatomyRecord record;
+    SdcPattern pattern = SdcPattern::None;
+    std::size_t corrupted_regions = 0;
+    for (std::size_t r = 0; r < regions.size(); ++r) {
+        std::vector<ElementDiff> diffs =
+            diffRegion(regions[r], golden[r], test[r]);
+        if (diffs.empty())
+            continue;
+        ++corrupted_regions;
+        pattern = classifyRegion(regions[r], diffs);
+        for (const ElementDiff &diff : diffs)
+            ++record.magnitude[magnitudeBucket(diff.relError)];
+    }
+    if (corrupted_regions == 0)
+        record.pattern = SdcPattern::None;
+    else if (corrupted_regions > 1)
+        record.pattern = record.corruptedElements() == 1
+                             ? SdcPattern::SingleElement
+                             : SdcPattern::Scattered;
+    else
+        record.pattern = pattern;
+    return record;
+}
+
+void
+SdcAnatomyProfile::addRun(Outcome outcome, double weight,
+                          std::uint32_t staticIndex,
+                          const SdcAnatomyRecord *anatomy)
+{
+    FSP_ASSERT(outcome != Outcome::Invalid,
+               "Invalid outcomes must not reach the anatomy profile");
+    StaticClassCounts &entry = by_static_[staticIndex];
+    ++entry.runs;
+    switch (outcome) {
+      case Outcome::Masked: entry.masked += weight; break;
+      case Outcome::SDC: entry.sdc += weight; break;
+      case Outcome::Other: entry.other += weight; break;
+      case Outcome::Invalid: break;
+    }
+    if (outcome != Outcome::SDC || !anatomy)
+        return;
+    ++sdc_runs_;
+    auto pattern = static_cast<std::size_t>(anatomy->pattern);
+    pattern_weight_[pattern] += weight;
+    ++pattern_runs_[pattern];
+    for (std::size_t i = 0; i < kMagnitudeBuckets; ++i)
+        magnitude_[i] += anatomy->magnitude[i];
+}
+
+void
+SdcAnatomyProfile::merge(const SdcAnatomyProfile &other)
+{
+    for (std::size_t i = 0; i < kNumSdcPatterns; ++i) {
+        pattern_weight_[i] += other.pattern_weight_[i];
+        pattern_runs_[i] += other.pattern_runs_[i];
+    }
+    for (std::size_t i = 0; i < kMagnitudeBuckets; ++i)
+        magnitude_[i] += other.magnitude_[i];
+    for (const auto &[index, counts] : other.by_static_) {
+        StaticClassCounts &entry = by_static_[index];
+        entry.masked += counts.masked;
+        entry.sdc += counts.sdc;
+        entry.other += counts.other;
+        entry.runs += counts.runs;
+    }
+    sdc_runs_ += other.sdc_runs_;
+}
+
+std::vector<SdcAnatomyProfile::RankedStatic>
+SdcAnatomyProfile::ranking(std::size_t limit) const
+{
+    std::vector<RankedStatic> out;
+    out.reserve(by_static_.size());
+    for (const auto &[index, counts] : by_static_)
+        out.push_back({index, counts});
+    std::stable_sort(out.begin(), out.end(),
+                     [](const RankedStatic &a, const RankedStatic &b) {
+                         if (a.counts.sdc != b.counts.sdc)
+                             return a.counts.sdc > b.counts.sdc;
+                         return a.staticIndex < b.staticIndex;
+                     });
+    if (limit && out.size() > limit)
+        out.resize(limit);
+    return out;
+}
+
+std::string
+SdcAnatomyProfile::summary() const
+{
+    std::ostringstream os;
+    os << "sdc anatomy:";
+    bool any = false;
+    for (std::size_t i = 1; i < kNumSdcPatterns; ++i) {
+        if (pattern_runs_[i] == 0)
+            continue;
+        os << (any ? " | " : " ") << kPatternNames[i] << ' '
+           << pattern_runs_[i];
+        any = true;
+    }
+    if (!any)
+        os << " no SDC runs";
+    os << "  (n=" << sdc_runs_ << ')';
+    return os.str();
+}
+
+void
+SdcAnatomyProfile::writeJson(JsonWriter &json, std::size_t rankLimit) const
+{
+    json.beginObject("sdc_anatomy");
+    json.field("sdc_runs", sdc_runs_);
+    json.beginObject("patterns");
+    for (std::size_t i = 1; i < kNumSdcPatterns; ++i) {
+        json.beginObject(kPatternNames[i]);
+        json.field("runs", pattern_runs_[i]);
+        json.field("weight", pattern_weight_[i]);
+        json.endObject();
+    }
+    json.endObject();
+    json.beginObject("magnitude_histogram");
+    for (std::size_t i = 0; i < kMagnitudeBuckets; ++i)
+        json.field(kBucketLabels[i], magnitude_[i]);
+    json.endObject();
+    json.beginArray("static_ranking");
+    for (const RankedStatic &entry : ranking(rankLimit)) {
+        json.beginObject();
+        json.field("static_index",
+                   static_cast<std::uint64_t>(entry.staticIndex));
+        json.field("runs", entry.counts.runs);
+        json.field("masked", entry.counts.masked);
+        json.field("sdc", entry.counts.sdc);
+        json.field("other", entry.counts.other);
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+}
+
+void
+SdcAnatomyProfile::exportMetrics(metrics::Registry &registry) const
+{
+    for (std::size_t i = 1; i < kNumSdcPatterns; ++i) {
+        std::string labels = "pattern=\"" + std::string(kPatternNames[i]) +
+                             "\"";
+        registry.add(registry.counter("fsp_sdc_pattern_runs_total",
+                                      "SDC runs by corruption pattern",
+                                      labels),
+                     pattern_runs_[i]);
+    }
+    for (std::size_t i = 0; i < kMagnitudeBuckets; ++i) {
+        std::string labels = "bucket=\"" + std::string(kBucketLabels[i]) +
+                             "\"";
+        registry.add(
+            registry.counter("fsp_sdc_magnitude_elements_total",
+                             "corrupted output elements by relative-error "
+                             "magnitude",
+                             labels),
+            magnitude_[i]);
+    }
+}
+
+} // namespace fsp::faults

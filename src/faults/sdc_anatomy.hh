@@ -1,0 +1,222 @@
+/**
+ * @file
+ * SDC anatomy: *how* an output was silently corrupted, not just *that*
+ * it was.
+ *
+ * The masked/SDC/other split (outcome.hh) treats every silent data
+ * corruption alike, but downstream consumers care about the corruption
+ * pattern: one wrong element is often tolerable for iterative solvers,
+ * a corrupted row/column usually is not, and magnitude decides whether
+ * an error survives later reductions.  The classifier here runs over
+ * the same OutputSpec diffs the injector already computes, so anatomy
+ * never changes a classification -- it only refines SDC.
+ *
+ * Per-run product: an SdcAnatomyRecord (spatial pattern + log-scale
+ * relative-error histogram).  Per-campaign product: an
+ * SdcAnatomyProfile aggregating records and ranking static instructions
+ * by the failure classes their faults produced (via
+ * sim::FaultPlan::appliedStatic).  Both serialize through the campaign
+ * journal and the tools' --json output.
+ */
+
+#ifndef FSP_FAULTS_SDC_ANATOMY_HH
+#define FSP_FAULTS_SDC_ANATOMY_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string_view>
+#include <vector>
+
+#include "faults/outcome.hh"
+#include "faults/output_spec.hh"
+#include "sim/fault.hh"
+
+namespace fsp {
+class JsonWriter;
+} // namespace fsp
+
+namespace fsp::metrics {
+class Registry;
+} // namespace fsp::metrics
+
+namespace fsp::faults {
+
+/** Spatial shape of the corrupted elements of an SDC run. */
+enum class SdcPattern : std::uint8_t
+{
+    None,          ///< no corrupted elements (not an SDC)
+    SingleElement, ///< exactly one corrupted element
+    RowStreak,     ///< a contiguous run within one row
+    ColumnStreak,  ///< a contiguous run down one column
+    Block,         ///< a dense 2-D rectangle (>= half its bounding box)
+    Scattered,     ///< anything else (incl. multi-region corruption)
+};
+
+/** Number of SdcPattern values (array sizing). */
+inline constexpr std::size_t kNumSdcPatterns = 6;
+
+std::string_view sdcPatternName(SdcPattern pattern);
+
+/**
+ * Relative-error magnitude buckets (log scale).  Bucket i holds
+ * corrupted elements with relError <= kMagnitudeEdges[i] (first
+ * matching bucket); the last bucket is the overflow, including
+ * NaN/Inf corruption.
+ */
+inline constexpr std::size_t kMagnitudeBuckets = 7;
+inline constexpr std::array<double, kMagnitudeBuckets - 1>
+    kMagnitudeEdges = {1e-6, 1e-4, 1e-2, 1.0, 1e2, 1e6};
+
+/** Bucket index for one element's relative error. */
+std::size_t magnitudeBucket(double relError);
+
+/** Human label of one bucket, e.g. "<=1e-4" / ">1e+06". */
+std::string_view magnitudeBucketLabel(std::size_t bucket);
+
+/** Anatomy of one SDC run. */
+struct SdcAnatomyRecord
+{
+    SdcPattern pattern = SdcPattern::None;
+
+    /** Corrupted-element count per magnitude bucket (sums to the total
+     *  corrupted-element count of the run). */
+    std::array<std::uint32_t, kMagnitudeBuckets> magnitude{};
+
+    /** Total corrupted elements across all regions. */
+    std::uint64_t
+    corruptedElements() const
+    {
+        std::uint64_t total = 0;
+        for (std::uint32_t bucket : magnitude)
+            total += bucket;
+        return total;
+    }
+
+    bool operator==(const SdcAnatomyRecord &other) const = default;
+};
+
+/**
+ * Per-injection classification detail accompanying the Outcome: which
+ * static instruction the fault first corrupted
+ * (sim::FaultPlan::appliedStatic) and, for SDC runs, the corruption
+ * anatomy.  Round-trips through the campaign journal.
+ */
+struct InjectionDetail
+{
+    std::uint32_t staticIndex = sim::kNoStaticIndex;
+    bool hasAnatomy = false; ///< anatomy is meaningful (classified SDC)
+    SdcAnatomyRecord anatomy;
+
+    bool operator==(const InjectionDetail &other) const = default;
+};
+
+/**
+ * Classify one run's output diff.  @p golden / @p test are the
+ * captured region bytes (captureOutputs order).  Uses exactly the
+ * element-match semantics of outputsMatch(), so a run classifies as
+ * SdcPattern::None iff outputsMatch() would return true.
+ */
+SdcAnatomyRecord
+classifySdc(const std::vector<OutputRegion> &regions,
+            const std::vector<std::vector<std::uint8_t>> &golden,
+            const std::vector<std::vector<std::uint8_t>> &test);
+
+/**
+ * Campaign-level anatomy aggregate.  Deterministic by construction:
+ * the engine folds records serially in site order, and every field is
+ * an order-independent sum or a key-ordered map.
+ */
+class SdcAnatomyProfile
+{
+  public:
+    /** Weighted failure-class tally of one static instruction. */
+    struct StaticClassCounts
+    {
+        double masked = 0.0;
+        double sdc = 0.0;
+        double other = 0.0;
+        std::uint64_t runs = 0;
+    };
+
+    /** One entry of the SDC-ranked static-instruction table. */
+    struct RankedStatic
+    {
+        std::uint32_t staticIndex = 0;
+        StaticClassCounts counts;
+    };
+
+    /**
+     * Fold one classified run.  @p staticIndex is the fault plan's
+     * appliedStatic (sim::kNoStaticIndex when the fault never fired or
+     * is not attributable); @p anatomy may be null for non-SDC runs.
+     * Outcome::Invalid runs must never reach the profile.
+     */
+    void addRun(Outcome outcome, double weight, std::uint32_t staticIndex,
+                const SdcAnatomyRecord *anatomy);
+
+    /** Merge another profile (order-independent sums). */
+    void merge(const SdcAnatomyProfile &other);
+
+    /** SDC runs folded so far (unweighted). */
+    std::uint64_t sdcRuns() const { return sdc_runs_; }
+
+    /** Weighted SDC-pattern tally. */
+    double
+    patternWeight(SdcPattern pattern) const
+    {
+        return pattern_weight_[static_cast<std::size_t>(pattern)];
+    }
+
+    /** Unweighted SDC-pattern run count. */
+    std::uint64_t
+    patternRuns(SdcPattern pattern) const
+    {
+        return pattern_runs_[static_cast<std::size_t>(pattern)];
+    }
+
+    /** Summed magnitude histogram over all SDC runs. */
+    const std::array<std::uint64_t, kMagnitudeBuckets> &
+    magnitude() const
+    {
+        return magnitude_;
+    }
+
+    /** Per-static-instruction tallies, keyed by static index. */
+    const std::map<std::uint32_t, StaticClassCounts> &
+    byStatic() const
+    {
+        return by_static_;
+    }
+
+    /**
+     * Static instructions ranked by weighted SDC contribution
+     * (descending; ties by ascending index -- fully deterministic).
+     * @p limit 0 returns the full table.
+     */
+    std::vector<RankedStatic> ranking(std::size_t limit = 0) const;
+
+    /** "patterns: single 12 | row 3 ... " one-line summary. */
+    std::string summary() const;
+
+    /**
+     * Emit as an "sdc_anatomy" object inside the currently open JSON
+     * object: pattern tallies, magnitude histogram, and the top
+     * @p rankLimit ranked static instructions.
+     */
+    void writeJson(JsonWriter &json, std::size_t rankLimit = 10) const;
+
+    /** Export tallies into the metrics registry (serialized context). */
+    void exportMetrics(metrics::Registry &registry) const;
+
+  private:
+    std::array<double, kNumSdcPatterns> pattern_weight_{};
+    std::array<std::uint64_t, kNumSdcPatterns> pattern_runs_{};
+    std::array<std::uint64_t, kMagnitudeBuckets> magnitude_{};
+    std::map<std::uint32_t, StaticClassCounts> by_static_;
+    std::uint64_t sdc_runs_ = 0;
+};
+
+} // namespace fsp::faults
+
+#endif // FSP_FAULTS_SDC_ANATOMY_HH

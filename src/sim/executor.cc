@@ -489,6 +489,163 @@ evalCvt(const Instruction &insn, std::uint64_t raw)
     return truncVal(static_cast<std::uint64_t>(sv), typeBits(dt));
 }
 
+/** Record a plan's first application and its static instruction. */
+inline void
+noteApplied(FaultPlan &fault, std::uint32_t static_index)
+{
+    if (!fault.applied) {
+        fault.applied = true;
+        fault.appliedStatic = static_index;
+    }
+}
+
+/**
+ * Corrupt a just-written destination value per the plan.  Covers the
+ * transient XOR model (DestReg, the paper's default) and the stuck-at
+ * variants (DestRegStuck); mask bits outside the destination's
+ * recorded width never take effect, so a plan targeting a wider value
+ * than the instruction produced stays un-applied exactly as the
+ * original single-bit engine behaved.
+ *
+ * @return true when the value was corrupted (callers then writeback
+ *         and mark the plan applied).
+ */
+inline bool
+corruptDest(std::uint64_t &value, const FaultPlan &fault,
+            std::uint64_t dyn_index, unsigned recorded_bits)
+{
+    const std::uint64_t width_mask =
+        recorded_bits >= 64
+            ? ~std::uint64_t{0}
+            : ((std::uint64_t{1} << recorded_bits) - 1);
+    const std::uint64_t mask = fault.mask & width_mask;
+    if (mask == 0)
+        return false;
+    if (fault.kind == FaultKind::DestReg) {
+        if (dyn_index != fault.dynIndex)
+            return false;
+        value ^= mask;
+        return true;
+    }
+    // DestRegStuck: active from dynIndex onward; a non-zero period
+    // alternates active/idle windows (deterministic intermittency).
+    if (dyn_index < fault.dynIndex)
+        return false;
+    if (fault.period != 0 &&
+        (((dyn_index - fault.dynIndex) / fault.period) & 1) != 0) {
+        return false;
+    }
+    value = (value & ~mask) | (fault.stuckValue & mask);
+    return true;
+}
+
+/** Does this plan corrupt destination writebacks? */
+inline bool
+isDestKind(FaultKind kind)
+{
+    return kind == FaultKind::DestReg || kind == FaultKind::DestRegStuck;
+}
+
+/**
+ * Apply a reach-time fault: architectural state corrupted when the
+ * target thread arrives at its target dynamic instruction, before
+ * executing it (PredState, PcState, SharedMem, GlobalMem).  Other
+ * kinds fall through untouched -- in particular BarrierSkip, which is
+ * consumed at the next Bar instruction instead.
+ *
+ * @return true when the interpreter loop must stop with @p halt (a
+ *         crash on an unmapped flip address, or a sliced-run hazard
+ *         when the flipped global byte is shared with other CTAs).
+ */
+inline bool
+applyReachFault(ThreadState &t, CtaContext &ctx, std::size_t code_size,
+                StopReason &halt)
+{
+    FaultPlan &fault = *ctx.fault;
+    const std::uint32_t static_index =
+        t.pc < code_size ? static_cast<std::uint32_t>(t.pc)
+                         : kNoStaticIndex;
+    switch (fault.kind) {
+      case FaultKind::PredState: {
+        const std::uint8_t mask =
+            static_cast<std::uint8_t>(fault.mask & 0xF);
+        if (mask == 0)
+            return false;
+        t.ccs[fault.reg % kNumPredRegs] ^= mask;
+        noteApplied(fault, static_index);
+        return false;
+      }
+
+      case FaultKind::PcState:
+        // Record the instruction the thread was about to execute; a
+        // flipped pc past the code makes the thread exit (implicit
+        // wild-jump exit), which the loop's bounds check handles.
+        noteApplied(fault, static_index);
+        t.pc ^= fault.mask;
+        return false;
+
+      case FaultKind::SharedMem: {
+        std::uint64_t byte = 0;
+        AccessError err = ctx.smem->load(fault.addr, 1, byte);
+        if (err == AccessError::None) {
+            err = ctx.smem->store(fault.addr, 1,
+                                  byte ^ (fault.mask & 0xFF));
+        }
+        if (err != AccessError::None) {
+            std::ostringstream os;
+            os << "thread " << t.globalId
+               << " shared-memory fault flip at unmapped 0x" << std::hex
+               << fault.addr << std::dec;
+            ctx.diagnostic = os.str();
+            halt = StopReason::Crashed;
+            return true;
+        }
+        noteApplied(fault, static_index);
+        return false;
+      }
+
+      case FaultKind::GlobalMem: {
+        // The flip is a read-modify-write of one global byte by the
+        // faulty thread; in sliced runs it must honour the same hazard
+        // discipline as an instruction's load+store so the sliced
+        // classification stays exact.
+        const std::uint64_t begin = fault.addr, end = fault.addr + 1;
+        if ((ctx.loadHazards &&
+             ctx.loadHazards->intersectsRange(begin, end)) ||
+            (ctx.storeHazards &&
+             ctx.storeHazards->intersectsRange(begin, end))) {
+            std::ostringstream os;
+            os << "thread " << t.globalId
+               << " sliced-run fault-flip hazard at global 0x"
+               << std::hex << fault.addr << std::dec;
+            ctx.diagnostic = os.str();
+            halt = StopReason::Hazard;
+            return true;
+        }
+        std::uint64_t byte = 0;
+        AccessError err = ctx.gmem.load(fault.addr, 1, byte);
+        if (err == AccessError::None) {
+            err = ctx.gmem.store(fault.addr, 1,
+                                 byte ^ (fault.mask & 0xFF));
+        }
+        if (err != AccessError::None) {
+            std::ostringstream os;
+            os << "thread " << t.globalId
+               << " global-memory fault flip at unmapped 0x" << std::hex
+               << fault.addr << std::dec;
+            ctx.diagnostic = os.str();
+            halt = StopReason::Crashed;
+            return true;
+        }
+        noteApplied(fault, static_index);
+        return false;
+      }
+
+      default:
+        return false;
+    }
+}
+
 /**
  * The per-thread interpreter loop.  Runs until the thread exits,
  * reaches a barrier, crashes, exceeds its budget, or has executed
@@ -511,6 +668,15 @@ runThread(ThreadState &t, const Program &prog, CtaContext &ctx,
 
     std::uint64_t steps = 0;
     while (true) {
+        // Reach-time faults fire when the thread is about to execute
+        // its target dynamic instruction (pre-fault execution is
+        // bit-identical to golden, so a valid site always fires).
+        if (is_fault_thread && !ctx.fault->applied &&
+            t.icnt == ctx.fault->dynIndex) {
+            StopReason halt;
+            if (applyReachFault(t, ctx, code_size, halt))
+                return halt;
+        }
         if (t.pc >= code_size) {
             t.exited = true;
             return StopReason::Exited;
@@ -552,7 +718,19 @@ runThread(ThreadState &t, const Program &prog, CtaContext &ctx,
 
               case Opcode::Bar:
                 t.pc++;
-                hit_barrier = true;
+                if (is_fault_thread &&
+                    ctx.fault->kind == FaultKind::BarrierSkip &&
+                    !ctx.fault->applied &&
+                    dyn_index >= ctx.fault->dynIndex) {
+                    // Corrupted barrier bookkeeping: the thread's
+                    // arrival is lost, so it runs ahead into the next
+                    // phase while the others rendezvous without it.
+                    noteApplied(*ctx.fault,
+                                static_cast<std::uint32_t>(
+                                    &insn - code.data()));
+                } else {
+                    hit_barrier = true;
+                }
                 break;
 
               case Opcode::Ld:
@@ -654,12 +832,14 @@ runThread(ThreadState &t, const Program &prog, CtaContext &ctx,
                         t.regs[insn.dest.reg] = value;
                         recorded_bits = static_cast<std::uint16_t>(
                             typeBits(insn.type));
-                        if (is_fault_thread && dyn_index ==
-                            ctx.fault->dynIndex &&
-                            ctx.fault->bit < recorded_bits) {
-                            t.regs[insn.dest.reg] ^= std::uint64_t{1}
-                                                     << ctx.fault->bit;
-                            ctx.fault->applied = true;
+                        if (is_fault_thread &&
+                            isDestKind(ctx.fault->kind) &&
+                            corruptDest(t.regs[insn.dest.reg],
+                                        *ctx.fault, dyn_index,
+                                        recorded_bits)) {
+                            noteApplied(*ctx.fault,
+                                        static_cast<std::uint32_t>(
+                                            &insn - code.data()));
                         }
                     }
                 }
@@ -717,11 +897,16 @@ runThread(ThreadState &t, const Program &prog, CtaContext &ctx,
                     t.ccs[insn.dest.reg] = ccFromValue(result, cc_type);
                     recorded_bits = typeBits(DataType::Pred);
                     if (is_fault_thread &&
-                        dyn_index == ctx.fault->dynIndex &&
-                        ctx.fault->bit < recorded_bits) {
-                        t.ccs[insn.dest.reg] ^=
-                            static_cast<std::uint8_t>(1u << ctx.fault->bit);
-                        ctx.fault->applied = true;
+                        isDestKind(ctx.fault->kind)) {
+                        std::uint64_t cc = t.ccs[insn.dest.reg];
+                        if (corruptDest(cc, *ctx.fault, dyn_index,
+                                        recorded_bits)) {
+                            t.ccs[insn.dest.reg] =
+                                static_cast<std::uint8_t>(cc);
+                            noteApplied(*ctx.fault,
+                                        static_cast<std::uint32_t>(
+                                            &insn - code.data()));
+                        }
                     }
                     if (insn.dest2.kind == Operand::Kind::GpReg &&
                         insn.dest2.reg != kZeroReg) {
@@ -736,11 +921,12 @@ runThread(ThreadState &t, const Program &prog, CtaContext &ctx,
                             ? 2 * typeBits(insn.type)
                             : typeBits(insn.type));
                     if (is_fault_thread &&
-                        dyn_index == ctx.fault->dynIndex &&
-                        ctx.fault->bit < recorded_bits) {
-                        t.regs[insn.dest.reg] ^= std::uint64_t{1}
-                                                 << ctx.fault->bit;
-                        ctx.fault->applied = true;
+                        isDestKind(ctx.fault->kind) &&
+                        corruptDest(t.regs[insn.dest.reg], *ctx.fault,
+                                    dyn_index, recorded_bits)) {
+                        noteApplied(*ctx.fault,
+                                    static_cast<std::uint32_t>(
+                                        &insn - code.data()));
                     }
                 }
                 t.pc++;
@@ -918,8 +1104,33 @@ Executor::run(GlobalMemory &gmem, const TraceOptions *opts,
               const MachineState *resume) const
 {
     RunResult result;
-    if (fault)
+    if (fault) {
         fault->applied = false;
+        fault->appliedStatic = kNoStaticIndex;
+        if (fault->kind == FaultKind::GlobalMemLaunch) {
+            // A fault that predates the kernel: flip the byte in the
+            // initial image, once, before any CTA runs.  Models of
+            // this kind declare themselves full-grid-only, so resume
+            // and slicing never see it.
+            std::uint64_t byte = 0;
+            AccessError err = gmem.load(fault->addr, 1, byte);
+            if (err == AccessError::None) {
+                err = gmem.store(fault->addr, 1,
+                                 byte ^ (fault->mask & 0xFF));
+            }
+            if (err != AccessError::None) {
+                std::ostringstream os;
+                os << "launch-time global-memory fault flip at "
+                      "unmapped 0x"
+                   << std::hex << fault->addr << std::dec;
+                result.status = RunStatus::Crashed;
+                result.diagnostic = os.str();
+                noteRun(result);
+                return result;
+            }
+            fault->applied = true;
+        }
+    }
 
     const Dim3 &grid = config_.grid;
     const std::uint64_t total_threads = config_.threadCount();

@@ -1,13 +1,22 @@
 /**
  * @file
- * The single-bit-flip fault plan applied by the executor.
+ * Fault plans applied by the executor.
  *
- * Following the paper's fault model (section II-C), a fault site is the
- * triple (thread id, dynamic instruction id, destination-register bit
- * position): after the target dynamic instruction of the target thread
- * writes its destination register, one bit of the written value is
- * flipped, mimicking a soft error in the functional unit that produced
- * the value.
+ * Following the paper's fault model (section II-C), the canonical fault
+ * site is the triple (thread id, dynamic instruction id,
+ * destination-register bit position): after the target dynamic
+ * instruction of the target thread writes its destination register, one
+ * bit of the written value is flipped, mimicking a soft error in the
+ * functional unit that produced the value.
+ *
+ * The plan has since been generalised into the executor-side half of
+ * the faults::FaultModel strategy layer: a FaultKind selects which
+ * architectural state is corrupted (destination writeback, stored
+ * predicate state, the pc, barrier bookkeeping, shared or global
+ * memory) and the mask/addr/reg/stuck fields parameterise the
+ * mutation.  The executor stays model-agnostic -- it interprets plans,
+ * it never constructs them (fault models do, see
+ * faults/fault_model.hh).
  */
 
 #ifndef FSP_SIM_FAULT_HH
@@ -17,19 +26,121 @@
 
 namespace fsp::sim {
 
-/** A planned single-bit flip, consumed by Executor::run. */
-struct FaultPlan
+/** Which architectural state a fault plan corrupts. */
+enum class FaultKind : std::uint8_t
 {
-    std::uint64_t thread = 0;   ///< global linear thread id
-    std::uint64_t dynIndex = 0; ///< 0-based dynamic instruction index
-    std::uint32_t bit = 0;      ///< bit position within the destination
+    /**
+     * XOR @c mask into the destination register written by the target
+     * dynamic instruction (the paper's transient model; only mask bits
+     * within the destination's recorded width take effect).
+     */
+    DestReg,
 
     /**
-     * Set by the executor when the flip was actually performed (the
-     * target thread reached the target dynamic instruction and that
-     * instruction wrote a destination register wide enough).
+     * Stuck-at fault in the unit feeding the destination writeback:
+     * for every destination write at or after the target dynamic
+     * instruction, force the @c mask bits of the written value to
+     * @c stuckValue.  @c period 0 is a permanent fault; a non-zero
+     * period alternates active/idle windows of that many dynamic
+     * instructions (an intermittent fault with a deterministic
+     * activation schedule).
+     */
+    DestRegStuck,
+
+    /**
+     * XOR the low nibble of @c mask into predicate register @c reg of
+     * the target thread when it reaches the target dynamic instruction
+     * (corrupts stored control state rather than a fresh writeback).
+     */
+    PredState,
+
+    /**
+     * XOR @c mask into the target thread's pc when it reaches the
+     * target dynamic instruction -- a corrupted branch target.  A pc
+     * landing outside the code makes the thread exit, mirroring real
+     * wild-jump behaviour under this ISA's implicit-exit semantics.
+     */
+    PcState,
+
+    /**
+     * Suppress the target thread's first barrier arrival at or after
+     * the target dynamic instruction (corrupted barrier bookkeeping:
+     * the thread skips the rendezvous and keeps executing into the
+     * next phase).
+     */
+    BarrierSkip,
+
+    /**
+     * XOR the low byte of @c mask into the CTA shared-memory byte at
+     * @c addr when the target thread reaches the target dynamic
+     * instruction.
+     */
+    SharedMem,
+
+    /**
+     * XOR the low byte of @c mask into the global-memory byte at
+     * @c addr when the target thread reaches the target dynamic
+     * instruction.  In sliced runs the flip is hazard-checked like a
+     * load+store by the faulty thread, so CTA-sliced classification
+     * stays exact (the run escapes to a full-grid replay when another
+     * CTA touches that byte).
+     */
+    GlobalMem,
+
+    /**
+     * XOR the low byte of @c mask into the global-memory byte at
+     * @c addr once, before the launch starts -- a fault that predates
+     * the kernel (e.g. a corrupted input buffer).  Models of this kind
+     * must run full-grid from instruction zero (see
+     * FaultModel::supportsSlicing / supportsCheckpoints).
+     */
+    GlobalMemLaunch,
+};
+
+/** "No static instruction recorded" sentinel for appliedStatic. */
+inline constexpr std::uint32_t kNoStaticIndex = ~std::uint32_t{0};
+
+/** A planned fault, consumed by Executor::run / stepCta. */
+struct FaultPlan
+{
+    FaultKind kind = FaultKind::DestReg;
+    std::uint64_t thread = 0;   ///< global linear thread id
+    std::uint64_t dynIndex = 0; ///< 0-based dynamic instruction index
+
+    /**
+     * Corruption mask.  DestReg/DestRegStuck: XOR/stuck bits within
+     * the destination width.  PredState: low 4 bits.  Memory kinds:
+     * low 8 bits.  PcState: XORed into the pc value.
+     */
+    std::uint64_t mask = 1;
+
+    std::uint64_t addr = 0;     ///< byte address (SharedMem/GlobalMem*)
+    std::uint32_t reg = 0;      ///< predicate register (PredState)
+    std::uint64_t stuckValue = 0; ///< forced bit values (DestRegStuck)
+
+    /**
+     * DestRegStuck activation period: 0 keeps the fault active from
+     * dynIndex onward; N alternates N active / N idle dynamic
+     * instructions starting active at dynIndex.
+     */
+    std::uint64_t period = 0;
+
+    /**
+     * Set by the executor when the corruption was actually performed
+     * at least once (the target thread reached the target dynamic
+     * instruction and the mutation had effect per the kind's rules).
      */
     bool applied = false;
+
+    /**
+     * Static instruction index at the first application (the
+     * instruction whose writeback was corrupted, or the instruction
+     * the thread was about to execute for reach-time kinds);
+     * kNoStaticIndex when not applied or not attributable
+     * (GlobalMemLaunch).  Feeds the per-static-instruction
+     * failure-class ranking in faults::SdcAnatomyProfile.
+     */
+    std::uint32_t appliedStatic = kNoStaticIndex;
 };
 
 } // namespace fsp::sim

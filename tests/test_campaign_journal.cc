@@ -257,7 +257,7 @@ TEST_F(CampaignJournalTest, CorruptedRecordRejected)
     }
 
     // Flip one byte inside the first record's payload (the header is
-    // 40 bytes, each record 16).
+    // 40 bytes, each record 56).
     flipByte(path, 40 + 4);
 
     faults::CampaignOptions resume = baseOptions(2, path);
@@ -280,12 +280,24 @@ TEST(CampaignJournalFormat, FooterRoundTrip)
         {0, 1, 2}, {0, 3, 4}, {1, 0, 5}};
     faults::JournalKey key{"footer-suite", 7};
     std::uint64_t hash = faults::journalHeaderHash(key, sites);
+    const std::uint64_t modelHash = 0xfeedfacecafe1234ull;
+
+    // An SDC record carries its full anatomy payload; the others carry
+    // only the static-instruction index.
+    faults::InjectionDetail sdcDetail;
+    sdcDetail.staticIndex = 11;
+    sdcDetail.hasAnatomy = true;
+    sdcDetail.anatomy.pattern = faults::SdcPattern::RowStreak;
+    sdcDetail.anatomy.magnitude[2] = 5;
+    sdcDetail.anatomy.magnitude[6] = 1;
+    faults::InjectionDetail maskedDetail;
+    maskedDetail.staticIndex = 3;
 
     {
-        auto journal =
-            faults::CampaignJournal::create(path, hash, sites.size());
-        journal.append(0, faults::Outcome::Masked);
-        journal.append(1, faults::Outcome::SDC);
+        auto journal = faults::CampaignJournal::create(
+            path, hash, modelHash, sites.size());
+        journal.append(0, faults::Outcome::Masked, maskedDetail);
+        journal.append(1, faults::Outcome::SDC, sdcDetail);
         journal.append(2, faults::Outcome::Other);
         journal.commitChunk();
         faults::CampaignJournal::Phases phases;
@@ -300,12 +312,16 @@ TEST(CampaignJournalFormat, FooterRoundTrip)
 
     faults::CampaignJournal::Resume resume;
     auto journal = faults::CampaignJournal::openOrResume(
-        path, hash, sites.size(), resume);
+        path, hash, modelHash, sites.size(), resume);
     EXPECT_TRUE(resume.complete);
     EXPECT_EQ(resume.doneCount, sites.size());
     EXPECT_EQ(resume.outcomes[0], faults::Outcome::Masked);
     EXPECT_EQ(resume.outcomes[1], faults::Outcome::SDC);
     EXPECT_EQ(resume.outcomes[2], faults::Outcome::Other);
+    ASSERT_EQ(resume.details.size(), sites.size());
+    EXPECT_EQ(resume.details[0], maskedDetail);
+    EXPECT_EQ(resume.details[1], sdcDetail);
+    EXPECT_EQ(resume.details[2], faults::InjectionDetail{});
     EXPECT_EQ(resume.footer.replaySeconds, 0.125);
     EXPECT_EQ(resume.footer.injectSeconds, 2.5);
     EXPECT_EQ(resume.footer.foldSeconds, 0.0625);
@@ -321,17 +337,51 @@ TEST(CampaignJournalFormat, DuplicateRecordRejected)
     faults::JournalKey key{"dup-suite", 1};
     std::uint64_t hash = faults::journalHeaderHash(key, sites);
     {
-        auto journal =
-            faults::CampaignJournal::create(path, hash, sites.size());
+        auto journal = faults::CampaignJournal::create(path, hash, 0,
+                                                       sites.size());
         journal.append(1, faults::Outcome::Masked);
         journal.append(1, faults::Outcome::SDC);
         journal.commitChunk();
     }
     faults::CampaignJournal::Resume resume;
-    EXPECT_THROW(faults::CampaignJournal::openOrResume(path, hash,
+    EXPECT_THROW(faults::CampaignJournal::openOrResume(path, hash, 0,
                                                        sites.size(),
                                                        resume),
                  faults::JournalError);
+}
+
+TEST(CampaignJournalFormat, ModelMismatchRejected)
+{
+    std::string path = journalPath("model_mismatch");
+    std::vector<faults::FaultSite> sites = {{0, 1, 2}, {0, 3, 4}};
+    faults::JournalKey key{"model-suite", 1};
+    std::uint64_t hash = faults::journalHeaderHash(key, sites);
+    auto recorded = faults::defaultFaultModel();
+    std::string error;
+    auto other = faults::parseFaultModel("multi-bit:width=3", &error);
+    ASSERT_NE(other, nullptr) << error;
+    {
+        auto journal = faults::CampaignJournal::create(
+            path, hash, recorded->identityHash(), sites.size());
+        journal.append(0, faults::Outcome::Masked);
+        journal.commitChunk();
+    }
+    // Same campaign identity, different fault model: the resume must
+    // name the model as the reason, not report a stale header.
+    faults::CampaignJournal::Resume resume;
+    try {
+        faults::CampaignJournal::openOrResume(
+            path, hash, other->identityHash(), sites.size(), resume);
+        FAIL() << "model mismatch accepted";
+    } catch (const faults::JournalError &error) {
+        EXPECT_NE(std::string(error.what()).find("fault model"),
+                  std::string::npos)
+            << error.what();
+    }
+    // The matching model still resumes.
+    faults::CampaignJournal::openOrResume(
+        path, hash, recorded->identityHash(), sites.size(), resume);
+    EXPECT_EQ(resume.doneCount, 1u);
 }
 
 // --- JSON string escaping (the --json surface the journal stats ride

@@ -18,6 +18,7 @@
 #include "apps/app.hh"
 #include "faults/campaign.hh"
 #include "faults/campaign_engine.hh"
+#include "faults/fault_model.hh"
 #include "util/thread_pool.hh"
 
 namespace fsp {
@@ -142,8 +143,20 @@ TEST(CampaignStress, WeightedPropertyOverRandomLists)
     ASSERT_NE(spec, nullptr);
     analysis::KernelAnalysis ka(*spec, apps::Scale::Small);
 
+    // Each trial runs under a different fault model, so the weighted
+    // serial==parallel property is stressed across the strategy
+    // matrix, not just the default single-bit flip.
+    const std::vector<std::string> model_matrix = {
+        "single-bit", "multi-bit:width=3", "pred-flip", "gmem-flip"};
+
     Prng meta(1337);
     for (int trial = 0; trial < 4; ++trial) {
+        std::string error;
+        auto model = faults::parseFaultModel(
+            model_matrix[trial % model_matrix.size()], &error);
+        ASSERT_NE(model, nullptr) << error;
+        ka.setFaultModel(std::move(model), 2026);
+
         // A fresh random weighted list per trial: random length, sites
         // drawn from the space, weights spread over orders of
         // magnitude to stress the double accumulation.

@@ -464,7 +464,7 @@ TEST(Executor, FaultFlipChangesRegisterValue)
     sim::FaultPlan plan;
     plan.thread = 0;
     plan.dynIndex = 1; // the mov
-    plan.bit = 5;
+    plan.mask = std::uint64_t{1} << 5;
     auto result = k.run(nullptr, &plan);
     ASSERT_EQ(result.status, RunStatus::Completed);
     EXPECT_TRUE(plan.applied);
@@ -481,7 +481,7 @@ TEST(Executor, FaultOnGuardFailedInstructionNotApplied)
     sim::FaultPlan plan;
     plan.thread = 0;
     plan.dynIndex = 1;
-    plan.bit = 0;
+    plan.mask = 1;
     auto result = k.run(nullptr, &plan);
     ASSERT_EQ(result.status, RunStatus::Completed);
     EXPECT_FALSE(plan.applied);
@@ -511,7 +511,7 @@ TEST(Executor, FaultOnPredicateZeroFlagFlipsBranch)
     sim::FaultPlan plan;
     plan.thread = 0;
     plan.dynIndex = 1;
-    plan.bit = 0; // zero flag
+    plan.mask = 1; // zero flag
     auto result = k2.run(nullptr, &plan);
     ASSERT_EQ(result.status, RunStatus::Completed);
     EXPECT_TRUE(plan.applied);
@@ -527,7 +527,7 @@ TEST(Executor, FaultBitBeyondWidthNotApplied)
     sim::FaultPlan plan;
     plan.thread = 0;
     plan.dynIndex = 0;
-    plan.bit = 40; // beyond a 32-bit destination
+    plan.mask = std::uint64_t{1} << 40; // beyond a 32-bit destination
     auto result = k.run(nullptr, &plan);
     ASSERT_EQ(result.status, RunStatus::Completed);
     EXPECT_FALSE(plan.applied);
@@ -544,7 +544,7 @@ TEST(Executor, FaultInAddressRegisterCanCrash)
     sim::FaultPlan plan;
     plan.thread = 0;
     plan.dynIndex = 0; // the param load producing the address
-    plan.bit = 23;     // high bit -> wild address
+    plan.mask = std::uint64_t{1} << 23; // high bit -> wild address
     auto result = k.run(nullptr, &plan);
     EXPECT_TRUE(plan.applied);
     EXPECT_EQ(result.status, RunStatus::Crashed);
@@ -572,7 +572,7 @@ TEST_P(FaultBitSweep, XorFlipMatchesInjectedBit)
     sim::FaultPlan plan;
     plan.thread = 0;
     plan.dynIndex = 1;
-    plan.bit = bit;
+    plan.mask = std::uint64_t{1} << bit;
     ASSERT_EQ(k.run(nullptr, &plan).status, RunStatus::Completed);
     ASSERT_TRUE(plan.applied);
     EXPECT_EQ(k.outU32(0), 1u << bit);

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Property-based fuzz harness for the FaultModel strategy layer: a
+ * seeded generator draws random model configurations, kernels, worker
+ * counts and fault sites, and asserts the invariants every model must
+ * uphold regardless of configuration:
+ *
+ *  - plans stay inside the model's declared footprint (kind and
+ *    address range), and injection never mutates the injector's
+ *    pristine golden image;
+ *  - Outcome::Invalid sites never reach the anatomy profile (they are
+ *    counted, not folded);
+ *  - a completed journal replays and re-folds bit-identically, without
+ *    re-injecting anything.
+ *
+ * The iteration budget is bounded and tunable: FSP_FUZZ_ITERS
+ * (default 12) -- CI's long-fuzz job raises it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hh"
+#include "apps/app.hh"
+#include "faults/campaign_engine.hh"
+#include "faults/fault_model.hh"
+#include "sim/memory.hh"
+#include "util/env.hh"
+#include "util/prng.hh"
+
+namespace fsp {
+namespace {
+
+/** Draw a random-but-valid spec string for one built-in model. */
+std::string
+randomSpec(Prng &prng)
+{
+    const std::vector<std::string> &names = faults::builtinFaultModels();
+    const std::string &name = names[prng.below(names.size())];
+    if (name == "multi-bit")
+        return name + ":width=" + std::to_string(2 + prng.below(7));
+    if (name == "scattered-bits")
+        return name + ":count=" + std::to_string(2 + prng.below(5));
+    if (name == "intermittent-stuck") {
+        if (prng.below(2) == 0)
+            return name + ":period=prng";
+        return name + ":period=" + std::to_string(1 + prng.below(32));
+    }
+    return name;
+}
+
+std::shared_ptr<const faults::FaultModel>
+makeModel(const std::string &spec)
+{
+    std::string error;
+    auto model = faults::parseFaultModel(spec, &error);
+    EXPECT_NE(model, nullptr) << spec << ": " << error;
+    return std::shared_ptr<const faults::FaultModel>(std::move(model));
+}
+
+/** Is @p kind permitted under @p footprint? */
+bool
+kindWithinFootprint(sim::FaultKind kind, faults::ModelFootprint footprint)
+{
+    switch (kind) {
+      case sim::FaultKind::DestReg:
+      case sim::FaultKind::DestRegStuck:
+      case sim::FaultKind::PredState:
+      case sim::FaultKind::PcState:
+        return true; // thread-local state, legal for every footprint
+      case sim::FaultKind::BarrierSkip:
+      case sim::FaultKind::SharedMem:
+        return footprint != faults::ModelFootprint::ThreadLocal;
+      case sim::FaultKind::GlobalMem:
+      case sim::FaultKind::GlobalMemLaunch:
+        return footprint == faults::ModelFootprint::GlobalMemory;
+    }
+    return false;
+}
+
+/** Lazily constructed analyses so each kernel pays one golden run. */
+analysis::KernelAnalysis &
+analysisFor(std::size_t kernelIndex)
+{
+    static std::map<std::size_t,
+                    std::unique_ptr<analysis::KernelAnalysis>>
+        cache;
+    auto &slot = cache[kernelIndex];
+    if (!slot) {
+        slot = std::make_unique<analysis::KernelAnalysis>(
+            apps::allKernels()[kernelIndex], apps::Scale::Small);
+    }
+    return *slot;
+}
+
+TEST(FaultModelFuzz, InvariantsHoldForRandomConfigs)
+{
+    const std::uint64_t iters = envU64("FSP_FUZZ_ITERS", 12);
+    const std::uint64_t master_seed = envU64("FSP_FUZZ_SEED", 20260809);
+    Prng prng(master_seed);
+    const auto &kernels = apps::allKernels();
+
+    for (std::uint64_t iter = 0; iter < iters; ++iter) {
+        const std::string spec = randomSpec(prng);
+        const std::size_t kernel_index = prng.below(kernels.size());
+        const std::uint64_t campaign_seed = prng();
+        SCOPED_TRACE("iter=" + std::to_string(iter) + " model=" + spec +
+                     " kernel=" + kernels[kernel_index].fullName() +
+                     " seed=" + std::to_string(campaign_seed));
+
+        analysis::KernelAnalysis &ka = analysisFor(kernel_index);
+        auto model = makeModel(spec);
+        ASSERT_NE(model, nullptr);
+
+        // --- Draw sites: mostly valid, with deliberate out-of-range
+        // ones mixed in so Invalid outcomes flow through the engine.
+        auto sites = ka.space().sampleSites(5 + prng.below(6), prng);
+        std::uint64_t threads = ka.space().threadCount();
+        sites.push_back({threads + prng.below(4), 0, 1});  // no such thread
+        sites.push_back(
+            {prng.below(threads), ~std::uint64_t{0} >> 1, 2}); // icnt over
+
+        // --- Invariant 1: plans stay inside the declared footprint.
+        faults::ModelContext ctx;
+        ctx.threads = threads;
+        ctx.blockThreads = ka.executor().config().block.count();
+        ctx.globalBase = sim::GlobalMemory::kBaseAddr;
+        ctx.globalBytes = ka.injector().image().allocatedBytes();
+        ctx.sharedBytes = ka.executor().config().sharedBytes;
+        ctx.seed = campaign_seed;
+        std::vector<std::uint64_t> icnt(threads);
+        for (std::uint64_t t = 0; t < threads; ++t)
+            icnt[t] = ka.injector().goldenICnt(t);
+        ctx.goldenICnt = &icnt;
+        for (const faults::FaultSite &site : sites) {
+            if (!model->validate(site, ctx, nullptr))
+                continue;
+            sim::FaultPlan plan = model->plan(site, ctx);
+            EXPECT_TRUE(kindWithinFootprint(plan.kind, model->footprint()))
+                << "kind outside declared footprint";
+            if (plan.kind == sim::FaultKind::SharedMem) {
+                EXPECT_LT(plan.addr, ctx.sharedBytes);
+            }
+            if (plan.kind == sim::FaultKind::GlobalMem ||
+                plan.kind == sim::FaultKind::GlobalMemLaunch) {
+                EXPECT_GE(plan.addr, ctx.globalBase);
+                EXPECT_LT(plan.addr, ctx.globalBase + ctx.globalBytes);
+            }
+        }
+
+        // --- Run the campaign journaled; then the remaining invariants
+        // fall out of one engine result + one replay.
+        std::string path = testing::TempDir() + "fsp_fuzz_" +
+                           std::to_string(iter) + ".fspj";
+        std::remove(path.c_str());
+        faults::CampaignOptions options;
+        options.workers = 1 + static_cast<unsigned>(prng.below(4));
+        options.chunkSize = 1 + prng.below(5);
+        options.faultModel = model;
+        options.journalPath = path;
+        options.journalKey = {"fuzz-" + spec, campaign_seed};
+
+        const std::vector<std::uint8_t> pristine =
+            ka.injector().image().snapshot(
+                sim::GlobalMemory::kBaseAddr,
+                ka.injector().image().allocatedBytes());
+
+        faults::CampaignEngine engine(ka.injector(), options);
+        auto result = engine.run(sites);
+        EXPECT_EQ(result.runs, sites.size());
+
+        // Injection must never corrupt the pristine golden image the
+        // injector restores from.
+        EXPECT_EQ(ka.injector().image().snapshot(
+                      sim::GlobalMemory::kBaseAddr,
+                      ka.injector().image().allocatedBytes()),
+                  pristine)
+            << "pristine image mutated by injection";
+
+        // --- Invariant 2: Invalid sites are tallied in the outcome
+        // distribution but never folded into the anatomy profile.
+        double invalid = result.dist.weightOf(faults::Outcome::Invalid);
+        EXPECT_GE(invalid, 2.0) << "crafted invalid sites were accepted";
+        std::uint64_t profiled = 0;
+        for (const auto &[index, counts] : result.anatomy.byStatic())
+            profiled += counts.runs;
+        EXPECT_EQ(profiled + static_cast<std::uint64_t>(invalid),
+                  result.runs)
+            << "anatomy profile saw an Invalid run";
+
+        // --- Invariant 3: a completed journal replays bit-identically
+        // with zero injections.
+        faults::CampaignOptions replay = options;
+        replay.resume = true;
+        faults::CampaignEngine second(ka.injector(), replay);
+        auto replayed = second.run(sites);
+        EXPECT_EQ(second.lastStats().injectedSites, 0u);
+        EXPECT_EQ(result.runs, replayed.runs);
+        for (faults::Outcome o :
+             {faults::Outcome::Masked, faults::Outcome::SDC,
+              faults::Outcome::Other, faults::Outcome::Invalid}) {
+            EXPECT_EQ(result.dist.weightOf(o), replayed.dist.weightOf(o))
+                << faults::outcomeName(o);
+        }
+        EXPECT_EQ(result.anatomy.sdcRuns(), replayed.anatomy.sdcRuns());
+        EXPECT_EQ(result.anatomy.magnitude(),
+                  replayed.anatomy.magnitude());
+        for (std::size_t p = 0; p < faults::kNumSdcPatterns; ++p) {
+            auto pattern = static_cast<faults::SdcPattern>(p);
+            EXPECT_EQ(result.anatomy.patternRuns(pattern),
+                      replayed.anatomy.patternRuns(pattern));
+            EXPECT_EQ(result.anatomy.patternWeight(pattern),
+                      replayed.anatomy.patternWeight(pattern));
+        }
+        std::remove(path.c_str());
+    }
+}
+
+} // namespace
+} // namespace fsp

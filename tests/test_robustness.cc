@@ -11,6 +11,7 @@
 
 #include "analysis/analyzer.hh"
 #include "apps/app.hh"
+#include "faults/fault_model.hh"
 #include "sim/executor.hh"
 
 namespace fsp {
@@ -115,6 +116,64 @@ TEST(Robustness, InjectorHandlesArbitraryInSpaceSites)
     EXPECT_EQ(tally, sites.size());
     EXPECT_EQ(ka.injector().runsPerformed(), sites.size());
 }
+
+/**
+ * The injector robustness properties hold for every strategy in a
+ * small model matrix, not just the default single-bit flip:
+ * classification over arbitrary in-space sites is total (the four
+ * outcome classes, never a crash) and bitwise repeatable.
+ */
+class ModelMatrix : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ModelMatrix, InjectorClassifiesArbitrarySitesUnderModel)
+{
+    const apps::KernelSpec *spec = apps::findKernel("PathFinder/K1");
+    ASSERT_NE(spec, nullptr);
+    analysis::KernelAnalysis ka(*spec, apps::Scale::Small);
+
+    std::string error;
+    auto model = faults::parseFaultModel(GetParam(), &error);
+    ASSERT_NE(model, nullptr) << error;
+    ka.setFaultModel(std::move(model), 77);
+    EXPECT_EQ(ka.faultModel().identity(),
+              ka.injector().faultModel().identity());
+
+    Prng prng(2026);
+    auto sites = ka.space().sampleSites(40, prng);
+    std::vector<faults::Outcome> outcomes;
+    for (const auto &site : sites) {
+        faults::Outcome outcome = ka.injector().inject(site);
+        // Some models reject sites the default accepts (e.g. shared
+        // memory flips on a kernel without shared state), so Invalid
+        // is a legal member of the total classification here.
+        EXPECT_TRUE(outcome == faults::Outcome::Masked ||
+                    outcome == faults::Outcome::SDC ||
+                    outcome == faults::Outcome::Other ||
+                    outcome == faults::Outcome::Invalid)
+            << GetParam();
+        outcomes.push_back(outcome);
+    }
+
+    // Re-injecting the same sites classifies identically.
+    for (std::size_t i = 0; i < sites.size(); i += 7)
+        EXPECT_EQ(ka.injector().inject(sites[i]), outcomes[i]) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallModelMatrix, ModelMatrix,
+    ::testing::Values("single-bit", "multi-bit:width=3", "scattered-bits",
+                      "pred-flip", "intermittent-stuck:period=8",
+                      "gmem-flip"),
+    [](const auto &info) {
+        std::string name = info.param;
+        for (char &c : name) {
+            if (c == ':' || c == '=' || c == '-')
+                c = '_';
+        }
+        return name;
+    });
 
 TEST(Robustness, InjectionDoesNotContaminateGoldenState)
 {

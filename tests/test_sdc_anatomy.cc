@@ -1,0 +1,401 @@
+/**
+ * @file
+ * SDC anatomy suite: synthetic corrupted-output fixtures pinning the
+ * classifier's spatial labels (single element, row/column streak,
+ * block, scattered) and the magnitude-histogram bucket edges, plus
+ * round-trips of anatomy records through the tools' --json surface and
+ * the campaign journal, ranking determinism, and the metrics export.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "faults/campaign_journal.hh"
+#include "faults/output_spec.hh"
+#include "faults/sdc_anatomy.hh"
+#include "util/json.hh"
+#include "util/metrics.hh"
+#include "util/prng.hh"
+
+namespace fsp {
+namespace {
+
+using faults::SdcPattern;
+
+/** One float region of @p rows x @p cols elements at address 0. */
+faults::OutputRegion
+gridRegion(std::uint64_t rows, std::uint64_t cols, double tolerance)
+{
+    return {"grid", 0, 4ull * rows * cols, faults::ElemType::F32,
+            tolerance, rows};
+}
+
+std::vector<std::uint8_t>
+floatBytes(const std::vector<float> &values)
+{
+    std::vector<std::uint8_t> bytes(values.size() * sizeof(float));
+    std::memcpy(bytes.data(), values.data(), bytes.size());
+    return bytes;
+}
+
+/** Golden 8x8 grid: element i holds 1 + i (away from denormal edges). */
+std::vector<float>
+goldenGrid()
+{
+    std::vector<float> values(64);
+    for (std::size_t i = 0; i < values.size(); ++i)
+        values[i] = 1.0f + static_cast<float>(i);
+    return values;
+}
+
+faults::SdcAnatomyRecord
+classifyGrid(const std::vector<std::size_t> &corrupted,
+             double tolerance = 0.0)
+{
+    auto golden = goldenGrid();
+    auto test = golden;
+    for (std::size_t index : corrupted)
+        test[index] += 100.0f;
+    std::vector<faults::OutputRegion> regions = {
+        gridRegion(8, 8, tolerance)};
+    return faults::classifySdc(regions, {floatBytes(golden)},
+                               {floatBytes(test)});
+}
+
+TEST(SdcClassifier, CleanOutputIsNone)
+{
+    auto record = classifyGrid({});
+    EXPECT_EQ(record.pattern, SdcPattern::None);
+    EXPECT_EQ(record.corruptedElements(), 0u);
+}
+
+TEST(SdcClassifier, SingleElement)
+{
+    auto record = classifyGrid({27});
+    EXPECT_EQ(record.pattern, SdcPattern::SingleElement);
+    EXPECT_EQ(record.corruptedElements(), 1u);
+}
+
+TEST(SdcClassifier, RowStreak)
+{
+    // Contiguous run inside row 1 of the 8x8 grid.
+    auto record = classifyGrid({10, 11, 12, 13});
+    EXPECT_EQ(record.pattern, SdcPattern::RowStreak);
+    EXPECT_EQ(record.corruptedElements(), 4u);
+}
+
+TEST(SdcClassifier, ColumnStreak)
+{
+    // Column 3, stride 8 between consecutive corrupted elements.
+    auto record = classifyGrid({3, 11, 19, 27});
+    EXPECT_EQ(record.pattern, SdcPattern::ColumnStreak);
+}
+
+TEST(SdcClassifier, Block)
+{
+    // Dense 2x3 rectangle spanning rows 2-3, columns 1-3.
+    auto record = classifyGrid({17, 18, 19, 25, 26, 27});
+    EXPECT_EQ(record.pattern, SdcPattern::Block);
+}
+
+TEST(SdcClassifier, SparseBoundingBoxIsScattered)
+{
+    // Opposite grid corners: huge bounding box, two elements.
+    auto record = classifyGrid({0, 63});
+    EXPECT_EQ(record.pattern, SdcPattern::Scattered);
+}
+
+TEST(SdcClassifier, FlatRegionUsesSingleRowGeometry)
+{
+    // rows=0 regions are one logical row: any contiguous run reads as
+    // a row streak, never a column.
+    auto golden = goldenGrid();
+    auto test = golden;
+    test[5] += 1.0f;
+    test[6] += 1.0f;
+    std::vector<faults::OutputRegion> regions = {
+        {"flat", 0, 4ull * 64, faults::ElemType::F32, 0.0}};
+    auto record = faults::classifySdc(regions, {floatBytes(golden)},
+                                      {floatBytes(test)});
+    EXPECT_EQ(record.pattern, SdcPattern::RowStreak);
+}
+
+TEST(SdcClassifier, MultiRegionCorruptionIsScattered)
+{
+    auto golden = goldenGrid();
+    auto a = golden;
+    auto b = golden;
+    a[1] += 1.0f;
+    b[2] += 1.0f;
+    std::vector<faults::OutputRegion> regions = {gridRegion(8, 8, 0.0),
+                                                 gridRegion(8, 8, 0.0)};
+    auto record =
+        faults::classifySdc(regions, {floatBytes(golden), floatBytes(golden)},
+                            {floatBytes(a), floatBytes(b)});
+    EXPECT_EQ(record.pattern, SdcPattern::Scattered);
+    EXPECT_EQ(record.corruptedElements(), 2u);
+
+    // ... but a single corrupted element stays SingleElement no matter
+    // which of several regions it lives in.
+    auto single =
+        faults::classifySdc(regions, {floatBytes(golden), floatBytes(golden)},
+                            {floatBytes(golden), floatBytes(b)});
+    EXPECT_EQ(single.pattern, SdcPattern::SingleElement);
+}
+
+TEST(SdcClassifier, ToleranceZeroMatchesMemcmpSemantics)
+{
+    // Under tolerance 0 float regions compare bitwise (outputsMatch
+    // uses memcmp), so -0.0 vs +0.0 is a corruption -- with relative
+    // error 0, landing in the smallest magnitude bucket.
+    std::vector<float> golden = {0.0f, 1.0f};
+    std::vector<float> test = {-0.0f, 1.0f};
+    std::vector<faults::OutputRegion> regions = {
+        {"pair", 0, 8, faults::ElemType::F32, 0.0}};
+    auto record = faults::classifySdc(regions, {floatBytes(golden)},
+                                      {floatBytes(test)});
+    EXPECT_EQ(record.pattern, SdcPattern::SingleElement);
+    EXPECT_EQ(record.magnitude[0], 1u);
+}
+
+TEST(SdcClassifier, TailBytesReportAsPseudoElement)
+{
+    // A 6-byte F32 region holds one full element plus a 2-byte tail;
+    // corrupting the tail reports one trailing pseudo-element in the
+    // overflow magnitude bucket.
+    std::vector<std::uint8_t> golden = {0, 0, 0x80, 0x3f, 0xaa, 0xbb};
+    auto test = golden;
+    test[5] ^= 0xff;
+    std::vector<faults::OutputRegion> regions = {
+        {"tail", 0, 6, faults::ElemType::F32, 0.0}};
+    auto record = faults::classifySdc(regions, {golden}, {test});
+    EXPECT_EQ(record.pattern, SdcPattern::SingleElement);
+    EXPECT_EQ(record.magnitude[faults::kMagnitudeBuckets - 1], 1u);
+}
+
+TEST(SdcMagnitude, BucketEdges)
+{
+    const double inf = std::numeric_limits<double>::infinity();
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_EQ(faults::magnitudeBucket(0.0), 0u);
+    // Edges are inclusive upper bounds; the next representable value
+    // falls into the following bucket.
+    for (std::size_t i = 0; i < faults::kMagnitudeEdges.size(); ++i) {
+        double edge = faults::kMagnitudeEdges[i];
+        EXPECT_EQ(faults::magnitudeBucket(edge), i) << edge;
+        EXPECT_EQ(faults::magnitudeBucket(std::nextafter(edge, inf)),
+                  i + 1)
+            << edge;
+    }
+    EXPECT_EQ(faults::magnitudeBucket(inf),
+              faults::kMagnitudeBuckets - 1);
+    EXPECT_EQ(faults::magnitudeBucket(nan),
+              faults::kMagnitudeBuckets - 1);
+    EXPECT_EQ(faults::magnitudeBucketLabel(0), "<=1e-06");
+    EXPECT_EQ(
+        faults::magnitudeBucketLabel(faults::kMagnitudeBuckets - 1),
+        ">1e+06");
+}
+
+TEST(SdcMagnitude, HistogramFromClassifier)
+{
+    // Tolerant region (tolerance 1e-8) so relative errors are computed
+    // rather than bitwise: corrupt three elements with known relative
+    // errors and one with NaN.
+    std::vector<float> golden = {1.0f, 1.0f, 1.0f, 1.0f, 1.0f};
+    std::vector<float> test = golden;
+    test[0] = 1.00001f; // relError ~1e-5        -> bucket 1 (<=1e-4)
+    test[1] = 1.5f;     // relError ~0.333       -> bucket 3 (<=1)
+    test[2] = 1000.0f;  // relError ~0.999       -> bucket 3 (<=1)
+    test[3] = std::numeric_limits<float>::quiet_NaN(); // -> overflow
+    std::vector<faults::OutputRegion> regions = {
+        {"vec", 0, 4ull * golden.size(), faults::ElemType::F32, 1e-8}};
+    auto record = faults::classifySdc(regions, {floatBytes(golden)},
+                                      {floatBytes(test)});
+    EXPECT_EQ(record.corruptedElements(), 4u);
+    EXPECT_EQ(record.magnitude[1], 1u);
+    EXPECT_EQ(record.magnitude[3], 2u);
+    EXPECT_EQ(record.magnitude[faults::kMagnitudeBuckets - 1], 1u);
+}
+
+TEST(SdcClassifier, NoneIffOutputsMatchUnderRandomCorruption)
+{
+    // Invariant behind "anatomy never changes a classification": the
+    // classifier reports None exactly when outputsMatch() passes, for
+    // random corruption across element types and tolerances.
+    Prng prng(77);
+    for (int iter = 0; iter < 200; ++iter) {
+        faults::ElemType type = iter % 2 == 0 ? faults::ElemType::F32
+                                              : faults::ElemType::U32;
+        double tolerance =
+            (type == faults::ElemType::F32 && iter % 4 == 0) ? 1e-3 : 0.0;
+        std::uint64_t rows = 1 + prng.below(4);
+        std::uint64_t elems = rows * (1 + prng.below(8));
+        faults::OutputRegion region = {"r", 0, 4 * elems, type, tolerance,
+                                       rows};
+        std::vector<std::uint8_t> golden(region.bytes);
+        for (auto &byte : golden)
+            byte = static_cast<std::uint8_t>(prng.below(256));
+        auto test = golden;
+        std::uint64_t flips = prng.below(4);
+        for (std::uint64_t f = 0; f < flips; ++f)
+            test[prng.below(test.size())] ^=
+                static_cast<std::uint8_t>(1 + prng.below(255));
+        std::vector<faults::OutputRegion> regions = {region};
+        bool match = faults::outputsMatch(regions, {golden}, {test});
+        auto record = faults::classifySdc(regions, {golden}, {test});
+        EXPECT_EQ(match, record.pattern == SdcPattern::None)
+            << "iter " << iter;
+        EXPECT_EQ(match, record.corruptedElements() == 0) << "iter " << iter;
+    }
+}
+
+// --- Profile aggregation, ranking, JSON and journal round-trips.
+
+faults::SdcAnatomyRecord
+sampleRecord()
+{
+    faults::SdcAnatomyRecord record;
+    record.pattern = SdcPattern::RowStreak;
+    record.magnitude[2] = 3;
+    record.magnitude[6] = 1;
+    return record;
+}
+
+TEST(SdcProfile, RankingOrderIsDeterministic)
+{
+    faults::SdcAnatomyProfile profile;
+    auto sdc = sampleRecord();
+    // static 7: two weighted SDC runs; static 3: one heavier SDC run;
+    // static 9: masked only.  Ties (none here) break by index.
+    profile.addRun(faults::Outcome::SDC, 1.0, 7, &sdc);
+    profile.addRun(faults::Outcome::SDC, 1.5, 7, &sdc);
+    profile.addRun(faults::Outcome::SDC, 4.0, 3, &sdc);
+    profile.addRun(faults::Outcome::Masked, 2.0, 9, nullptr);
+    profile.addRun(faults::Outcome::Other, 1.0, 3, nullptr);
+
+    EXPECT_EQ(profile.sdcRuns(), 3u);
+    EXPECT_EQ(profile.patternRuns(SdcPattern::RowStreak), 3u);
+    EXPECT_DOUBLE_EQ(profile.patternWeight(SdcPattern::RowStreak), 6.5);
+    EXPECT_EQ(profile.magnitude()[2], 9u);
+    EXPECT_EQ(profile.magnitude()[6], 3u);
+
+    auto ranked = profile.ranking();
+    ASSERT_EQ(ranked.size(), 3u);
+    EXPECT_EQ(ranked[0].staticIndex, 3u);
+    EXPECT_DOUBLE_EQ(ranked[0].counts.sdc, 4.0);
+    EXPECT_DOUBLE_EQ(ranked[0].counts.other, 1.0);
+    EXPECT_EQ(ranked[1].staticIndex, 7u);
+    EXPECT_EQ(ranked[1].counts.runs, 2u);
+    EXPECT_EQ(ranked[2].staticIndex, 9u);
+    EXPECT_EQ(profile.ranking(1).size(), 1u);
+
+    // merge() folds order-independent sums.
+    faults::SdcAnatomyProfile other;
+    other.addRun(faults::Outcome::SDC, 0.5, 7, &sdc);
+    profile.merge(other);
+    EXPECT_EQ(profile.sdcRuns(), 4u);
+    EXPECT_DOUBLE_EQ(profile.byStatic().at(7).sdc, 3.0);
+}
+
+TEST(SdcProfile, JsonRoundTrip)
+{
+    faults::SdcAnatomyProfile profile;
+    auto sdc = sampleRecord();
+    profile.addRun(faults::Outcome::SDC, 2.0, 5, &sdc);
+    profile.addRun(faults::Outcome::Masked, 1.0, 5, nullptr);
+
+    std::ostringstream os;
+    {
+        JsonWriter json(os);
+        json.beginObject();
+        profile.writeJson(json);
+        json.endObject();
+    }
+    const std::string doc = os.str();
+    // The document carries the profile's tallies under stable keys --
+    // the contract the bench artifact and downstream dashboards read.
+    EXPECT_NE(doc.find("\"sdc_anatomy\""), std::string::npos) << doc;
+    EXPECT_NE(doc.find("\"sdc_runs\": 1"), std::string::npos) << doc;
+    EXPECT_NE(doc.find("\"row-streak\""), std::string::npos) << doc;
+    EXPECT_NE(doc.find("\"<=1e-02\": 3"), std::string::npos) << doc;
+    EXPECT_NE(doc.find("\">1e+06\": 1"), std::string::npos) << doc;
+    EXPECT_NE(doc.find("\"static_ranking\""), std::string::npos) << doc;
+    EXPECT_NE(doc.find("\"static_index\": 5"), std::string::npos) << doc;
+}
+
+TEST(SdcProfile, JournalRoundTripPreservesAnatomy)
+{
+    std::string path = testing::TempDir() + "fsp_anatomy_roundtrip.fspj";
+    std::remove(path.c_str());
+
+    std::vector<faults::FaultSite> sites = {{0, 1, 2}, {0, 3, 4},
+                                            {1, 0, 5}};
+    std::uint64_t hash =
+        faults::journalHeaderHash({"anatomy-suite", 3}, sites);
+
+    faults::InjectionDetail sdcDetail;
+    sdcDetail.staticIndex = 21;
+    sdcDetail.hasAnatomy = true;
+    sdcDetail.anatomy = sampleRecord();
+    faults::InjectionDetail otherDetail;
+    otherDetail.staticIndex = 4;
+
+    {
+        auto journal =
+            faults::CampaignJournal::create(path, hash, 99, sites.size());
+        journal.append(0, faults::Outcome::SDC, sdcDetail);
+        journal.append(1, faults::Outcome::Other, otherDetail);
+        journal.append(2, faults::Outcome::Masked);
+        journal.commitChunk();
+    }
+
+    faults::CampaignJournal::Resume resume;
+    faults::CampaignJournal::openOrResume(path, hash, 99, sites.size(),
+                                          resume);
+    ASSERT_EQ(resume.details.size(), sites.size());
+    EXPECT_EQ(resume.details[0], sdcDetail);
+    EXPECT_EQ(resume.details[1], otherDetail);
+    EXPECT_EQ(resume.details[2], faults::InjectionDetail{});
+
+    // Re-folding the replayed records reproduces the profile the
+    // original campaign would have built.
+    faults::SdcAnatomyProfile profile;
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+        const auto &detail = resume.details[i];
+        profile.addRun(resume.outcomes[i], 1.0, detail.staticIndex,
+                       detail.hasAnatomy ? &detail.anatomy : nullptr);
+    }
+    EXPECT_EQ(profile.sdcRuns(), 1u);
+    EXPECT_EQ(profile.patternRuns(SdcPattern::RowStreak), 1u);
+    EXPECT_EQ(profile.magnitude()[2], 3u);
+    std::remove(path.c_str());
+}
+
+TEST(SdcProfile, MetricsExport)
+{
+    faults::SdcAnatomyProfile profile;
+    auto sdc = sampleRecord();
+    profile.addRun(faults::Outcome::SDC, 1.0, 2, &sdc);
+    profile.addRun(faults::Outcome::SDC, 1.0, 2, &sdc);
+
+    metrics::Registry registry;
+    profile.exportMetrics(registry);
+    auto runs = registry.counter("fsp_sdc_pattern_runs_total", "",
+                                 "pattern=\"row-streak\"");
+    EXPECT_EQ(registry.counterValue(runs), 2u);
+    auto elems = registry.counter("fsp_sdc_magnitude_elements_total", "",
+                                  "bucket=\"<=1e-02\"");
+    EXPECT_EQ(registry.counterValue(elems), 6u);
+}
+
+} // namespace
+} // namespace fsp

@@ -3,6 +3,7 @@
  * `fsp` -- the command-line front end to the library.  Subcommands:
  *
  *   fsp list                         registered kernels
+ *   fsp models                       built-in fault models
  *   fsp profile  <App/Kx> [opts]     fault-space enumeration (Eq. 1)
  *   fsp groups   <App/Kx> [opts]     CTA/thread grouping summary
  *   fsp disasm   <App/Kx> [opts]     kernel listing (disassembled)
@@ -47,8 +48,8 @@ void
 buildTable(OptionTable &table, Options &opts)
 {
     table.setUsage("fsp <command> [kernel] [options]\n"
-                   "commands: list | profile | groups | disasm | loops |"
-                   " prune | campaign");
+                   "commands: list | models | profile | groups | disasm |"
+                   " loops | prune | campaign");
     table.positional("kernel", "kernel name, e.g. GEMM/K1 (`fsp list`)",
                      [&opts](const std::string &arg) {
                          if (!opts.kernel.empty())
@@ -66,6 +67,19 @@ cmdList()
     for (const auto &spec : apps::allKernels())
         table.addRow({spec.fullName(), spec.suite, spec.kernelName});
     table.print(std::cout);
+    return 0;
+}
+
+int
+cmdModels()
+{
+    TextTable table({"Model", "Description"});
+    for (const std::string &name : faults::builtinFaultModels())
+        table.addRow({name,
+                      std::string(faults::faultModelDescription(name))});
+    table.print(std::cout);
+    std::cout << "\nselect with --fault-model name[:key=value,...], "
+                 "e.g. --fault-model multi-bit:width=3\n";
     return 0;
 }
 
@@ -299,7 +313,9 @@ cmdCampaign(const Options &opts)
     if (!common.json) {
         std::cout << spec->fullName() << "\n  engine: "
                   << ka.injector().slicingDescription() << ", "
-                  << ka.injector().checkpointDescription() << "\n";
+                  << ka.injector().checkpointDescription() << "\n"
+                  << "  fault model: "
+                  << common.campaign.faultModelIdentity() << "\n";
     }
 
     // The journal (when requested) records the *pruned* campaign; its
@@ -310,13 +326,14 @@ cmdCampaign(const Options &opts)
     if (!pruned_options.journalPath.empty())
         pruned_options.journalKey =
             analysis::campaignJournalKey(*spec, common.scale, common);
-    faults::OutcomeDist estimate;
+    faults::CampaignResult estimated;
     try {
-        estimate = ka.runPrunedCampaign(pruned, pruned_options);
+        estimated = ka.runPrunedCampaignDetailed(pruned, pruned_options);
     } catch (const faults::JournalError &error) {
         std::cerr << "journal error: " << error.what() << "\n";
         return 1;
     }
+    const faults::OutcomeDist &estimate = estimated.dist;
     // Copy the stats now: the journal-less baseline below configures a
     // different engine, which evicts this one from the facade's cache.
     faults::CampaignStats stats =
@@ -331,6 +348,7 @@ cmdCampaign(const Options &opts)
         baseline = ka.runBaseline(common.baseline, common.seed + 17,
                                   baseline_options);
 
+    estimated.anatomy.exportMetrics(obs.registry);
     obs.finalize();
     if (!exportMetrics(obs, common.metricsOut))
         return 1;
@@ -347,11 +365,13 @@ cmdCampaign(const Options &opts)
         json.field("slicingActive", ka.injector().slicingActive());
         json.field("checkpointsActive",
                    ka.injector().checkpointsActive());
+        json.field("faultModel", common.campaign.faultModelIdentity());
         json.field("workers", static_cast<std::uint64_t>(stats.workers));
         json.endObject();
         writeProfile(json, "prunedEstimate", estimate);
         if (common.baseline > 0)
             writeProfile(json, "randomBaseline", baseline.dist);
+        estimated.anatomy.writeJson(json);
         json.beginObject("campaignStats");
         faults::writeCampaignStats(json, stats);
         json.endObject();
@@ -362,6 +382,8 @@ cmdCampaign(const Options &opts)
 
     std::cout << "  pruned estimate (" << estimate.runs()
               << " runs): " << estimate.summary() << "\n";
+    if (estimated.anatomy.sdcRuns() > 0)
+        std::cout << "  " << estimated.anatomy.summary() << "\n";
     if (common.baseline > 0) {
         std::cout << "  random baseline (" << baseline.runs
                   << " runs): " << baseline.dist.summary() << "\n";
@@ -402,6 +424,8 @@ main(int argc, char **argv)
 
     if (opts.command == "list")
         return cmdList();
+    if (opts.command == "models")
+        return cmdModels();
     if (opts.command == "profile")
         return cmdProfile(opts);
     if (opts.command == "groups")
