@@ -30,7 +30,10 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <tuple>
+#include <vector>
 
 #include "analysis/analyzer.hh"
 #include "apps/app.hh"
@@ -38,6 +41,7 @@
 #include "faults/fault_space.hh"
 #include "faults/injector.hh"
 #include "faults/campaign_engine.hh"
+#include "perf_counters.hh"
 #include "pruning/pipeline.hh"
 #include "util/env.hh"
 #include "util/logging.hh"
@@ -238,6 +242,26 @@ sampledSites(const char *kernel)
 }
 
 /**
+ * Nearest-rank percentile of a sample set (0 when empty).  The
+ * campaign benches publish p50/p99 per-iteration rates alongside the
+ * mean so tail behaviour (allocator hiccups, page-cache pressure,
+ * noisy neighbours) is visible in the JSON export.
+ */
+double
+percentileOf(std::vector<double> samples, double q)
+{
+    if (samples.empty())
+        return 0.0;
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(samples.size())));
+    const std::size_t idx = rank == 0 ? 0 : rank - 1;
+    std::nth_element(samples.begin(),
+                     samples.begin() + static_cast<std::ptrdiff_t>(idx),
+                     samples.end());
+    return samples[idx];
+}
+
+/**
  * Sliced vs full-grid injection throughput for one kernel.  The same
  * site list is classified with the engine's per-site strategy either
  * permitted (sliced) or forced off (fullgrid); outcomes are identical,
@@ -254,11 +278,23 @@ BM_CampaignEngine(benchmark::State &state, const char *kernel,
     injector.setSlicingEnabled(sliced);
     const auto sites = sampledSites(kernel);
 
+    bench::PerfCounters perf;
+    std::vector<double> iter_rates; // per-iteration sites/s
     std::uint64_t runs = 0;
     for (auto _ : state) {
+        const auto t0 = std::chrono::steady_clock::now();
+        perf.start();
         auto result = faults::runSiteList(injector, sites);
+        perf.stop();
+        const double secs =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
         benchmark::DoNotOptimize(result.runs);
         runs += result.runs;
+        if (secs > 0.0)
+            iter_rates.push_back(
+                static_cast<double>(result.runs) / secs);
     }
 
     const faults::InjectionStats &stats = injector.stats();
@@ -270,10 +306,23 @@ BM_CampaignEngine(benchmark::State &state, const char *kernel,
     };
     state.counters["sites/s"] = benchmark::Counter(
         static_cast<double>(runs), benchmark::Counter::kIsRate);
+    state.counters["sites/s_p50"] = percentileOf(iter_rates, 0.50);
+    state.counters["sites/s_p99"] = percentileOf(iter_rates, 0.99);
     state.counters["restoredB/run"] = per_run(stats.restoredBytes);
     state.counters["ctas/run"] = per_run(stats.executedCtas);
     state.counters["sliced"] =
         static_cast<double>(injector.slicingActive());
+    // Microarchitectural columns, emitted only where the PMU is
+    // reachable (bare metal; most VMs and containers fall back).
+    if (perf.available() && runs > 0) {
+        const double n = static_cast<double>(runs);
+        state.counters["cyc/site"] =
+            static_cast<double>(perf.total().cycles) / n;
+        state.counters["cacheMiss/site"] =
+            static_cast<double>(perf.total().cacheMisses) / n;
+        state.counters["branchMiss/site"] =
+            static_cast<double>(perf.total().branchMisses) / n;
+    }
 }
 BENCHMARK_CAPTURE(BM_CampaignEngine, GEMM_sliced, "GEMM/K1", true)
     ->Unit(benchmark::kMillisecond)->UseRealTime();

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Throughput regression gate for the CI bench smoke.
+
+Usage: check_throughput.py <benchmark-json> <baseline-json>
+
+Reads a google-benchmark JSON export and a committed baseline file
+(bench/throughput_baseline.json) and fails when any floored user
+counter comes in below its minimum.  When a benchmark ran with
+repetitions, the median aggregate row is preferred over raw
+iterations; otherwise the plain row is used.
+"""
+
+import json
+import sys
+
+
+def pick_row(benchmarks, name):
+    """The median aggregate for *name* if present, else the raw row."""
+    median = None
+    plain = None
+    for row in benchmarks:
+        if row.get("name") == name + "_median":
+            median = row
+        elif row.get("name") == name and row.get("run_type") != "aggregate":
+            plain = row
+    return median if median is not None else plain
+
+
+def main(argv):
+    if len(argv) != 3:
+        sys.stderr.write(__doc__)
+        return 2
+    with open(argv[1]) as f:
+        report = json.load(f)
+    with open(argv[2]) as f:
+        baseline = json.load(f)
+
+    benchmarks = report.get("benchmarks", [])
+    failures = []
+    for name, floor in baseline["floors"].items():
+        row = pick_row(benchmarks, name)
+        if row is None:
+            failures.append(f"{name}: benchmark missing from report")
+            continue
+        counter = floor["counter"]
+        value = row.get(counter)
+        if value is None:
+            failures.append(f"{name}: counter {counter!r} missing")
+            continue
+        status = "ok" if value >= floor["min"] else "FAIL"
+        print(f"{status}: {name} {counter}={value:.0f} (floor {floor['min']})")
+        if value < floor["min"]:
+            failures.append(
+                f"{name}: {counter}={value:.0f} below floor {floor['min']}"
+            )
+
+    for failure in failures:
+        sys.stderr.write(f"regression: {failure}\n")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * PerfCounters implementation.  Linux-only by nature; every other
+ * platform compiles the graceful-fallback stubs.
+ */
+
+#include "perf_counters.hh"
+
+#ifdef __linux__
+
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace fsp::bench {
+
+namespace {
+
+/** The three events measured, in fds_[] order. */
+constexpr std::uint64_t kEventConfigs[3] = {
+    PERF_COUNT_HW_CPU_CYCLES,
+    PERF_COUNT_HW_CACHE_MISSES,
+    PERF_COUNT_HW_BRANCH_MISSES,
+};
+
+int
+openCounter(std::uint64_t config)
+{
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.type = PERF_TYPE_HARDWARE;
+    attr.size = sizeof(attr);
+    attr.config = config;
+    attr.disabled = 1;
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    // Current thread, any CPU, no group leader.
+    return static_cast<int>(
+        ::syscall(SYS_perf_event_open, &attr, 0, -1, -1, 0));
+}
+
+} // namespace
+
+PerfCounters::PerfCounters()
+{
+    available_ = true;
+    for (int i = 0; i < 3; ++i) {
+        fds_[i] = openCounter(kEventConfigs[i]);
+        if (fds_[i] < 0)
+            available_ = false;
+    }
+    // All or nothing: partial counter sets would silently skew
+    // ratios like cycles-per-cache-miss.
+    if (!available_) {
+        for (int &fd : fds_) {
+            if (fd >= 0)
+                ::close(fd);
+            fd = -1;
+        }
+    }
+}
+
+PerfCounters::~PerfCounters()
+{
+    for (int fd : fds_) {
+        if (fd >= 0)
+            ::close(fd);
+    }
+}
+
+void
+PerfCounters::start()
+{
+    if (!available_)
+        return;
+    for (int fd : fds_) {
+        ::ioctl(fd, PERF_EVENT_IOC_RESET, 0);
+        ::ioctl(fd, PERF_EVENT_IOC_ENABLE, 0);
+    }
+}
+
+void
+PerfCounters::stop()
+{
+    if (!available_)
+        return;
+    std::uint64_t counts[3] = {};
+    for (int i = 0; i < 3; ++i) {
+        ::ioctl(fds_[i], PERF_EVENT_IOC_DISABLE, 0);
+        if (::read(fds_[i], &counts[i], sizeof(counts[i])) !=
+            static_cast<ssize_t>(sizeof(counts[i]))) {
+            counts[i] = 0;
+        }
+    }
+    total_.cycles += counts[0];
+    total_.cacheMisses += counts[1];
+    total_.branchMisses += counts[2];
+}
+
+} // namespace fsp::bench
+
+#else // !__linux__
+
+namespace fsp::bench {
+
+PerfCounters::PerfCounters() = default;
+PerfCounters::~PerfCounters() = default;
+void PerfCounters::start() {}
+void PerfCounters::stop() {}
+
+} // namespace fsp::bench
+
+#endif // __linux__

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Thin perf_event_open wrapper for the bench harnesses: counts CPU
+ * cycles, cache misses and branch misses for the calling thread
+ * between start() and stop().
+ *
+ * Opening hardware counters can fail for many legitimate reasons --
+ * non-Linux builds, perf_event_paranoid, seccomp filters in
+ * containers, or a VM without a virtualised PMU.  The wrapper then
+ * degrades to available() == false with zero readings instead of
+ * failing the bench, so throughput numbers are always produced and
+ * the microarchitectural columns appear only where they mean
+ * something.
+ */
+
+#ifndef FSP_BENCH_PERF_COUNTERS_HH
+#define FSP_BENCH_PERF_COUNTERS_HH
+
+#include <cstdint>
+
+namespace fsp::bench {
+
+/** Accumulated hardware-counter readings (zero when unavailable). */
+struct PerfSample
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t branchMisses = 0;
+};
+
+/** RAII owner of one thread's cycle/cache/branch counter set. */
+class PerfCounters
+{
+  public:
+    PerfCounters();
+    ~PerfCounters();
+    PerfCounters(const PerfCounters &) = delete;
+    PerfCounters &operator=(const PerfCounters &) = delete;
+
+    /** Did every counter open?  False means total() stays zero. */
+    bool available() const { return available_; }
+
+    /** Begin a measurement window (resets nothing already summed). */
+    void start();
+
+    /** End the window and fold its counts into total(). */
+    void stop();
+
+    /** Counts summed over all start()/stop() windows so far. */
+    const PerfSample &total() const { return total_; }
+
+  private:
+    int fds_[3] = {-1, -1, -1};
+    bool available_ = false;
+    PerfSample total_{};
+};
+
+} // namespace fsp::bench
+
+#endif // FSP_BENCH_PERF_COUNTERS_HH

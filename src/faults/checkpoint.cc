@@ -6,6 +6,7 @@
 #include "faults/checkpoint.hh"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "util/logging.hh"
 
@@ -57,8 +58,16 @@ CheckpointStore::record(const sim::Executor &executor,
                 // CTA: resuming there saves nothing.
                 if (ms.executedDynInstrs > 0 &&
                     ms.executedDynInstrs < cta_total) {
+                    // Chain the COW capture off the previous point so
+                    // unchanged 4 KiB pages are shared, not copied.
+                    const sim::StateSnapshot *prev =
+                        per_cta.checkpoints.empty()
+                            ? nullptr
+                            : &per_cta.checkpoints.back().state;
+                    sim::StateSnapshot snap;
+                    snap.capture(ms, prev);
                     per_cta.checkpoints.push_back(
-                        {ms, scratch.captureDelta(),
+                        {std::move(snap), scratch.captureDelta(),
                          ms.executedDynInstrs});
                 }
                 watermark = ms.executedDynInstrs + interval;
@@ -87,7 +96,7 @@ CheckpointStore::find(std::uint64_t cta, std::uint64_t localThread,
     const CtaCheckpoint *best = nullptr;
     for (const CtaCheckpoint &cp : ctas_[cta].checkpoints) {
         // Per-thread icnt is monotone across capture points.
-        if (cp.state.threads[localThread].icnt > dynIndex)
+        if (cp.state.icntOf(localThread) > dynIndex)
             break;
         best = &cp;
     }
@@ -106,10 +115,14 @@ CheckpointStore::totalCheckpoints() const
 std::uint64_t
 CheckpointStore::byteSize() const
 {
+    // Snapshot pages are shared between consecutive capture points;
+    // count each distinct page once so the reported footprint matches
+    // what the store actually holds.
+    std::unordered_set<const void *> seen;
     std::uint64_t total = 0;
     for (const PerCta &per_cta : ctas_) {
         for (const CtaCheckpoint &cp : per_cta.checkpoints)
-            total += cp.state.byteSize() + cp.delta.byteSize();
+            total += cp.state.uniqueBytes(seen) + cp.delta.byteSize();
         total += per_cta.finalDelta.byteSize();
     }
     return total;

@@ -5,17 +5,18 @@
  * Every injected run executes the golden instruction stream verbatim
  * until the fault's dynamic index fires -- everything before that point
  * is recomputation.  CheckpointStore removes it: while the golden run
- * executes, the store records periodic per-CTA capture points (the
- * CTA's MachineState plus a MemoryDelta of the global-memory chunks
- * dirtied so far).  Injector::inject() then restores the latest
- * checkpoint at-or-before the fault's dynamic index and executes
- * forward only, composing with CTA slicing so a late-trace fault in an
- * independent CTA touches a small fraction of the original work.
+ * executes, the store records periodic per-CTA capture points (a
+ * StateSnapshot of the CTA's machine state plus a MemoryDelta of the
+ * global-memory chunks dirtied so far).  Injector::inject() then
+ * restores the latest checkpoint at-or-before the fault's dynamic index
+ * and executes forward only, composing with CTA slicing so a late-trace
+ * fault in an independent CTA touches a small fraction of the original
+ * work.
  *
  * Why replaying from a golden checkpoint is exact: a faulty run is
  * bit-identical to the golden run up to the instruction the fault
  * targets (the only perturbation is the single bit flip).  The
- * checkpoint chosen satisfies state.threads[t].icnt <= dynIndex for the
+ * checkpoint chosen satisfies state.icntOf(t) <= dynIndex for the
  * fault thread, so the fault instruction is still ahead of the resume
  * point and fires during replay exactly as it would from scratch.  The
  * captured MemoryDelta holds whole 256-byte chunks and may include
@@ -25,9 +26,15 @@
  * the deltas of all preceding CTAs are applied first, reproducing the
  * exact golden image at the capture point.
  *
+ * Snapshots are copy-on-write page deltas: consecutive capture points
+ * of one CTA share every 4 KiB page that did not change between them
+ * (see sim::StateSnapshot), so deepening the capture cadence costs
+ * memory proportional to what actually changed, not to perCta * state
+ * size.  byteSize() reports the deduplicated footprint.
+ *
  * The store is immutable after record() and is shared across the
- * parallel campaign's worker clones via shared_ptr; resuming copies
- * the stored MachineState, never mutates it.
+ * parallel campaign's worker clones via shared_ptr; resuming restores
+ * pages into the executor's scratch state, never mutating the store.
  */
 
 #ifndef FSP_FAULTS_CHECKPOINT_HH
@@ -59,9 +66,9 @@ struct CheckpointOptions
 /** One capture point: CTA machine state + memory written so far. */
 struct CtaCheckpoint
 {
-    sim::MachineState state; ///< resumable CTA execution state
-    sim::MemoryDelta delta;  ///< chunks this CTA dirtied by this point
-    std::uint64_t ctaDynInstrs = 0; ///< == state.executedDynInstrs
+    sim::StateSnapshot state; ///< COW snapshot of the CTA state
+    sim::MemoryDelta delta;   ///< chunks this CTA dirtied by this point
+    std::uint64_t ctaDynInstrs = 0; ///< == state.executedDynInstrs()
 };
 
 /**

@@ -349,6 +349,9 @@ Injector::inject(const FaultSite &site, InjectionDetail *detail)
         } else {
             result = executor_.run(scratch_, nullptr, &plan, &slice);
         }
+        // Machine-state pages copied out of the snapshot count toward
+        // the restore traffic, same as memory-image bytes.
+        stats_.restoredBytes += result.restoredStateBytes;
         stats_.executedCtas += result.executedCtas;
 
         if (result.status != sim::RunStatus::SliceHazard) {
@@ -401,6 +404,7 @@ Injector::inject(const FaultSite &site, InjectionDetail *detail)
     } else {
         result = executor_.run(scratch_, nullptr, &plan);
     }
+    stats_.restoredBytes += result.restoredStateBytes;
     stats_.fullGridRuns++;
     stats_.executedCtas += result.executedCtas;
     if (detail)

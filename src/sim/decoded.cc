@@ -1,0 +1,292 @@
+/**
+ * @file
+ * DecodedProgram builder: one pass over the instruction stream that
+ * resolves operands, renames registers densely and assigns dispatch
+ * handler ids.  See decoded.hh for the representation rationale.
+ */
+
+#include "sim/decoded.hh"
+
+#include "util/logging.hh"
+
+namespace fsp::sim {
+
+namespace {
+
+/** Fast-path handler for an (opcode, type) pair; AluSlow otherwise. */
+XOp
+pickAluOp(Opcode op, DataType t)
+{
+    if (t == DataType::F32) {
+        switch (op) {
+          case Opcode::Add: return XOp::AddF32;
+          case Opcode::Sub: return XOp::SubF32;
+          case Opcode::Mul: return XOp::MulF32;
+          case Opcode::Mad: return XOp::MadF32;
+          case Opcode::Min: return XOp::MinF32;
+          case Opcode::Max: return XOp::MaxF32;
+          case Opcode::Neg: return XOp::NegF32;
+          case Opcode::Abs: return XOp::AbsF32;
+          default: return XOp::AluSlow;
+        }
+    }
+    if (t == DataType::F64) {
+        switch (op) {
+          case Opcode::Add: return XOp::AddF64;
+          case Opcode::Sub: return XOp::SubF64;
+          case Opcode::Mul: return XOp::MulF64;
+          case Opcode::Mad: return XOp::MadF64;
+          case Opcode::Min: return XOp::MinF64;
+          case Opcode::Max: return XOp::MaxF64;
+          case Opcode::Neg: return XOp::NegF64;
+          case Opcode::Abs: return XOp::AbsF64;
+          default: return XOp::AluSlow;
+        }
+    }
+    switch (op) {
+      case Opcode::Add: return XOp::AddI;
+      case Opcode::Sub: return XOp::SubI;
+      case Opcode::Mul: return XOp::MulI;
+      case Opcode::Mad: return XOp::MadI;
+      case Opcode::MulWide: return XOp::MulWideI;
+      case Opcode::MadWide: return XOp::MadWideI;
+      case Opcode::Min: return XOp::MinI;
+      case Opcode::Max: return XOp::MaxI;
+      case Opcode::Neg: return XOp::NegI;
+      case Opcode::Abs: return XOp::AbsI;
+      case Opcode::And: return XOp::AndI;
+      case Opcode::Or: return XOp::OrI;
+      case Opcode::Xor: return XOp::XorI;
+      case Opcode::Not: return XOp::NotI;
+      case Opcode::Shl: return XOp::ShlI;
+      case Opcode::Shr: return XOp::ShrI;
+      default: return XOp::AluSlow;
+    }
+}
+
+inline std::uint64_t
+truncMask(unsigned bits)
+{
+    return bits >= 64 ? ~std::uint64_t{0}
+                      : ((std::uint64_t{1} << bits) - 1);
+}
+
+} // namespace
+
+std::uint8_t
+DecodedProgram::denseReg(unsigned arch)
+{
+    FSP_ASSERT(arch < kNumGpRegs, "register index out of range");
+    if (reg_map_[arch] == kNoDenseReg) {
+        FSP_ASSERT(num_regs_ < kNumGpRegs, "dense register overflow");
+        reg_map_[arch] = static_cast<std::uint8_t>(num_regs_++);
+    }
+    return reg_map_[arch];
+}
+
+XSrc
+DecodedProgram::decodeSrc(const Operand &o, DataType readType)
+{
+    XSrc s;
+    switch (o.kind) {
+      case Operand::Kind::GpReg:
+        if (o.negated) {
+            // Negation (with an optional half select) is rare enough
+            // to take the generic read; the dense slot still applies.
+            s.k = XSrc::K::RegComplex;
+            s.reg = denseReg(o.reg);
+            s.half = static_cast<std::uint8_t>(o.half);
+            s.negType = static_cast<std::uint8_t>(readType);
+            return s;
+        }
+        if (o.reg == kZeroReg) {
+            s.k = XSrc::K::Zero; // halves of zero are zero
+            return s;
+        }
+        s.reg = denseReg(o.reg);
+        s.k = o.half == HalfSel::Lo   ? XSrc::K::RegLo
+              : o.half == HalfSel::Hi ? XSrc::K::RegHi
+                                      : XSrc::K::Reg;
+        return s;
+
+      case Operand::Kind::PredReg:
+        s.k = XSrc::K::Pred;
+        s.reg = o.reg;
+        return s;
+
+      case Operand::Kind::Discard:
+        s.k = XSrc::K::Zero;
+        return s;
+
+      case Operand::Kind::Special:
+        switch (o.special) {
+          case SpecialReg::TidX: s.k = XSrc::K::TidX; return s;
+          case SpecialReg::TidY: s.k = XSrc::K::TidY; return s;
+          case SpecialReg::TidZ: s.k = XSrc::K::TidZ; return s;
+          case SpecialReg::CtaidX: s.k = XSrc::K::CtaidX; return s;
+          case SpecialReg::CtaidY: s.k = XSrc::K::CtaidY; return s;
+          case SpecialReg::CtaidZ: s.k = XSrc::K::CtaidZ; return s;
+          // Launch constants fold to immediates at decode time.
+          case SpecialReg::NtidX:
+          case SpecialReg::NtidY:
+          case SpecialReg::NtidZ:
+          case SpecialReg::NctaidX:
+          case SpecialReg::NctaidY:
+          case SpecialReg::NctaidZ:
+            s.k = XSrc::K::Imm;
+            s.imm = ntid_nctaid_[static_cast<unsigned>(o.special)];
+            return s;
+        }
+        panic("unreachable SpecialReg");
+
+      case Operand::Kind::Imm:
+        s.k = XSrc::K::Imm;
+        s.imm = o.imm;
+        return s;
+
+      case Operand::Kind::MemRef:
+      case Operand::Kind::None:
+        // Never read as a value; keep the zero default so accidental
+        // reads are at least deterministic.
+        return s;
+    }
+    panic("unreachable Operand::Kind");
+}
+
+DecodedProgram::DecodedProgram(const Program &program,
+                               const LaunchConfig &config)
+{
+    reg_map_.fill(kNoDenseReg);
+    ntid_nctaid_ = {0, 0, 0,
+                    config.block.x, config.block.y, config.block.z,
+                    0, 0, 0,
+                    config.grid.x, config.grid.y, config.grid.z};
+
+    const auto &code = program.instructions();
+    code_.reserve(code.size());
+
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        const Instruction &insn = code[i];
+        DecodedOp op;
+        op.orig = &insn;
+        op.staticIndex = static_cast<std::uint32_t>(i);
+        op.guardCond = insn.guard.cond;
+        op.guardPred = insn.guard.pred;
+        op.dtype = static_cast<std::uint8_t>(insn.type);
+        op.stype = static_cast<std::uint8_t>(insn.stype);
+        op.cmp = static_cast<std::uint8_t>(insn.cmp);
+        op.bits = static_cast<std::uint8_t>(typeBits(insn.type));
+        op.mask = truncMask(op.bits);
+        op.sgn = isSignedType(insn.type);
+
+        // Destination renaming.  Zero-register and discard writes
+        // vanish; they record no fault bits either (matching the
+        // per-step interpreter and Instruction::hasDest()).
+        if (insn.dest.kind == Operand::Kind::PredReg) {
+            op.destKind = DecodedOp::Dest::Pred;
+            op.destReg = insn.dest.reg;
+            op.recordedBits =
+                static_cast<std::uint16_t>(typeBits(DataType::Pred));
+        } else if (insn.dest.kind == Operand::Kind::GpReg &&
+                   insn.dest.reg != kZeroReg) {
+            op.destKind = DecodedOp::Dest::Gp;
+            op.destReg = denseReg(insn.dest.reg);
+            op.recordedBits = static_cast<std::uint16_t>(
+                insn.op == Opcode::MulWide || insn.op == Opcode::MadWide
+                    ? 2 * typeBits(insn.type)
+                    : typeBits(insn.type));
+        }
+        if (insn.dest2.kind == Operand::Kind::GpReg &&
+            insn.dest2.reg != kZeroReg) {
+            op.dest2Reg = denseReg(insn.dest2.reg);
+        }
+        DataType cc_type =
+            insn.op == Opcode::Set || insn.op == Opcode::Setp
+                ? (insn.type == DataType::Pred ? DataType::U32
+                                               : insn.type)
+                : insn.type;
+        op.ccType = static_cast<std::uint8_t>(cc_type);
+
+        switch (insn.op) {
+          case Opcode::Nop:
+          case Opcode::Ssy:
+            op.x = XOp::Nop;
+            break;
+          case Opcode::Ret:
+          case Opcode::Exit:
+            op.x = XOp::Exit;
+            break;
+          case Opcode::Bra:
+            op.x = XOp::Bra;
+            op.target = static_cast<std::uint32_t>(insn.target);
+            break;
+          case Opcode::Bar:
+            op.x = XOp::Bar;
+            break;
+          case Opcode::Ld:
+          case Opcode::St: {
+            const Operand &mem = insn.src[0];
+            op.width =
+                static_cast<std::uint8_t>(typeBits(insn.type) / 8);
+            op.memOffset = mem.memOffset;
+            if (mem.memBase >= 0 &&
+                mem.memBase != static_cast<std::int32_t>(kZeroReg)) {
+                op.memBase =
+                    denseReg(static_cast<unsigned>(mem.memBase));
+            }
+            if (insn.op == Opcode::Ld) {
+                op.ldSigned = isSignedType(insn.type);
+                switch (insn.space) {
+                  case MemSpace::Global: op.x = XOp::LdGlobal; break;
+                  case MemSpace::Shared: op.x = XOp::LdShared; break;
+                  case MemSpace::Param: op.x = XOp::LdParam; break;
+                  default: panic("ld without address space");
+                }
+            } else {
+                op.src[1] = decodeSrc(insn.src[1], insn.type);
+                switch (insn.space) {
+                  case MemSpace::Global: op.x = XOp::StGlobal; break;
+                  case MemSpace::Shared: op.x = XOp::StShared; break;
+                  default: panic("st without writable address space");
+                }
+            }
+            break;
+          }
+          case Opcode::Cvt:
+            op.x = XOp::CvtV;
+            op.src[0] = decodeSrc(insn.src[0], insn.stype);
+            break;
+          case Opcode::Set:
+          case Opcode::Setp:
+            op.x = XOp::SetCmp;
+            op.src[0] = decodeSrc(insn.src[0], insn.stype);
+            op.src[1] = decodeSrc(insn.src[1], insn.stype);
+            break;
+          case Opcode::Selp:
+            op.x = XOp::SelpV;
+            op.src[0] = decodeSrc(insn.src[0], insn.type);
+            op.src[1] = decodeSrc(insn.src[1], insn.type);
+            op.src[2] = decodeSrc(insn.src[2], DataType::U32);
+            break;
+          case Opcode::Mov:
+            op.x = XOp::MovI; // bit-preserving for every type
+            op.src[0] = decodeSrc(insn.src[0], insn.type);
+            break;
+          default: {
+            op.x = pickAluOp(insn.op, insn.type);
+            const unsigned n = opcodeSrcCount(insn.op);
+            for (unsigned k = 0; k < n && k < 3; ++k)
+                op.src[k] = decodeSrc(insn.src[k], insn.type);
+            break;
+          }
+        }
+        code_.push_back(op);
+    }
+
+    // Every kernel gets at least one dense slot so register-slab
+    // pointers stay valid even for register-free programs.
+    if (num_regs_ == 0)
+        num_regs_ = 1;
+}
+
+} // namespace fsp::sim

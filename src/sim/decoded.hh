@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Pre-decoded execution pipeline: the DecodedProgram.
+ *
+ * The assembler's Instruction representation is optimised for analysis
+ * and diagnostics -- operands carry every syntactic possibility, the
+ * original source text rides along, and the interpreter used to
+ * re-resolve all of it on every dynamic instruction.  A DecodedProgram
+ * is built once per (Program, LaunchConfig) pair and resolves
+ * everything that is static for a launch:
+ *
+ *  - every (opcode, type) pair collapses to a dense XOp handler id the
+ *    executor switches on (the compiler lowers the dense switch to a
+ *    jump table, i.e. computed-goto dispatch);
+ *  - operands become XSrc descriptors with immediate payloads and
+ *    *dense* register slots: the GPRs a kernel actually references are
+ *    renamed to a compact 0..numRegs()-1 range so MachineState's
+ *    register slabs stay cache-resident (see machine_state.hh);
+ *  - launch-constant special registers (%ntid, %nctaid) become
+ *    immediates; %tid/%ctaid stay symbolic (per-thread / per-CTA);
+ *  - branch targets and barrier bookkeeping are pre-linked.
+ *
+ * Rare or irregular instructions (div/rem, transcendentals, exotic
+ * operand combinations) keep a pointer to their original Instruction
+ * and take a slow path through the shared evaluation helpers -- the
+ * fast and slow paths are the *same arithmetic code*, which is what
+ * keeps the decoded engine bit-identical to the reference interpreter
+ * (tests/test_decoded_executor.cc holds that line).
+ */
+
+#ifndef FSP_SIM_DECODED_HH
+#define FSP_SIM_DECODED_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/launch.hh"
+#include "sim/program.hh"
+
+namespace fsp::sim {
+
+/** Dense handler ids the decoded interpreter dispatches on. */
+enum class XOp : std::uint8_t
+{
+    Nop,
+    Exit,
+    Bra,
+    Bar,
+    LdGlobal,
+    LdShared,
+    LdParam,
+    StGlobal,
+    StShared,
+    MovI, ///< bit-preserving move, all types (trunc to width)
+    AddI,
+    SubI,
+    MulI,
+    MadI,
+    MulWideI,
+    MadWideI,
+    MinI,
+    MaxI,
+    NegI,
+    AbsI,
+    AndI,
+    OrI,
+    XorI,
+    NotI,
+    ShlI,
+    ShrI,
+    AddF32,
+    SubF32,
+    MulF32,
+    MadF32,
+    MinF32,
+    MaxF32,
+    NegF32,
+    AbsF32,
+    AddF64,
+    SubF64,
+    MulF64,
+    MadF64,
+    MinF64,
+    MaxF64,
+    NegF64,
+    AbsF64,
+    SetCmp, ///< set/setp comparison (boolean result + CC writeback)
+    SelpV,
+    CvtV,
+    AluSlow, ///< generic fallback through evalAluOp on the original op
+};
+
+/** Pre-resolved source operand. */
+struct XSrc
+{
+    enum class K : std::uint8_t
+    {
+        Zero,   ///< constant zero ($r124 reads, discards)
+        Reg,    ///< dense GPR, full width
+        RegLo,  ///< dense GPR, low 16 bits
+        RegHi,  ///< dense GPR, bits 16..31
+        Imm,    ///< immediate payload (includes %ntid/%nctaid)
+        Pred,   ///< predicate as data: zero-flag clear -> 1
+        TidX,
+        TidY,
+        TidZ,
+        CtaidX,
+        CtaidY,
+        CtaidZ,
+        RegComplex, ///< negated (optionally halved) GPR; slow read
+    };
+
+    K k = K::Zero;
+    std::uint8_t reg = 0;     ///< dense GPR slot or predicate index
+    std::uint8_t half = 0;    ///< HalfSel (RegComplex only)
+    std::uint8_t negType = 0; ///< DataType of the negation (RegComplex)
+    std::uint64_t imm = 0;
+};
+
+/** Sentinel for "no register" in DecodedOp fields. */
+inline constexpr std::uint8_t kNoDenseReg = 0xFF;
+
+/** One pre-decoded instruction. */
+struct DecodedOp
+{
+    XOp x = XOp::Nop;
+    GuardCond guardCond = GuardCond::Always;
+    std::uint8_t guardPred = 0;
+
+    enum class Dest : std::uint8_t { None, Gp, Pred };
+    Dest destKind = Dest::None;
+    std::uint8_t destReg = 0;             ///< dense slot / pred index
+    std::uint8_t dest2Reg = kNoDenseReg;  ///< set's data side-effect
+
+    std::uint8_t bits = 0;     ///< result width for int/move ops
+    std::uint8_t width = 0;    ///< ld/st access bytes
+    bool sgn = false;          ///< signed integer semantics
+    bool ldSigned = false;     ///< sign-extend the loaded value
+    std::uint8_t ccType = 0;   ///< DataType feeding ccFromValue
+    std::uint8_t stype = 0;    ///< DataType: cvt/set source
+    std::uint8_t dtype = 0;    ///< DataType: result type
+    std::uint8_t cmp = 0;      ///< CmpOp for set/setp
+    std::uint8_t memBase = kNoDenseReg; ///< ld/st base register slot
+    std::uint16_t recordedBits = 0;     ///< dest width (fault bits)
+    std::uint32_t target = 0;           ///< branch target
+    std::uint32_t staticIndex = 0;
+    std::int64_t memOffset = 0;
+    std::uint64_t mask = 0;    ///< truncation mask for `bits`
+
+    const Instruction *orig = nullptr; ///< diagnostics + slow paths
+    XSrc src[3];
+};
+
+/**
+ * A kernel pre-decoded against one launch configuration.  Immutable
+ * after construction; the executor holds it via shared_ptr so injector
+ * clones share a single decode.
+ */
+class DecodedProgram
+{
+  public:
+    DecodedProgram(const Program &program, const LaunchConfig &config);
+
+    const std::vector<DecodedOp> &code() const { return code_; }
+    std::size_t size() const { return code_.size(); }
+
+    /** Dense register-file size (slots actually referenced). */
+    std::uint32_t numRegs() const { return num_regs_; }
+
+    /**
+     * Architectural GPR index -> dense slot (kNoDenseReg when the
+     * kernel never references the register).  The reference
+     * interpreter addresses the same dense MachineState slabs through
+     * this map, so both engines see identical state.
+     */
+    const std::array<std::uint8_t, kNumGpRegs> &
+    regMap() const
+    {
+        return reg_map_;
+    }
+
+  private:
+    std::uint8_t denseReg(unsigned arch);
+    XSrc decodeSrc(const Operand &o, DataType readType);
+
+    std::vector<DecodedOp> code_;
+    std::array<std::uint8_t, kNumGpRegs> reg_map_;
+    /** Launch-constant special registers, indexed by SpecialReg. */
+    std::array<std::uint64_t, 12> ntid_nctaid_{};
+    std::uint32_t num_regs_ = 0;
+};
+
+} // namespace fsp::sim
+
+#endif // FSP_SIM_DECODED_HH

@@ -1,6 +1,7 @@
 /**
  * @file
- * Implementation of the functional SIMT executor.
+ * The functional SIMT executor: scheduler, decoded dispatch loop and
+ * shared evaluation helpers.
  *
  * Execution model: CTAs run sequentially (they are independent up to
  * global memory, as in the CUDA model where no inter-CTA ordering may be
@@ -9,16 +10,24 @@
  * has arrived, the barrier releases.  This is functionally equivalent to
  * warp-synchronous execution for barrier-correct programs while keeping
  * the interpreter simple and fast.
+ *
+ * The hot path is runThreadDecoded: a dense switch over pre-decoded
+ * DecodedOps (compiled to a jump table) with the thread's pc/icnt/
+ * faultBits cached in locals and its register slab addressed directly.
+ * The original per-step interpreter lives on in executor_ref.cc as the
+ * reference engine; both share every arithmetic and fault-hook helper
+ * through exec_impl.hh, and the differential suite holds them
+ * bit-identical.
  */
 
 #include "sim/executor.hh"
 
 #include <algorithm>
-#include <bit>
-#include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <sstream>
 
+#include "sim/exec_impl.hh"
 #include "util/logging.hh"
 
 namespace fsp::sim {
@@ -52,227 +61,9 @@ CtaRange::of(std::vector<std::uint64_t> ids)
     return {std::move(ids)};
 }
 
+namespace exec {
+
 namespace {
-
-constexpr std::uint64_t kDefaultBudget = 50'000'000;
-
-/** Zero-extend truncation to @p bits. */
-inline std::uint64_t
-truncVal(std::uint64_t v, unsigned bits)
-{
-    return bits >= 64 ? v : (v & ((std::uint64_t{1} << bits) - 1));
-}
-
-/** Sign extension of the low @p bits of @p v. */
-inline std::int64_t
-signExt(std::uint64_t v, unsigned bits)
-{
-    if (bits >= 64)
-        return static_cast<std::int64_t>(v);
-    std::uint64_t m = std::uint64_t{1} << (bits - 1);
-    std::uint64_t t = truncVal(v, bits);
-    return static_cast<std::int64_t>((t ^ m) - m);
-}
-
-inline float
-asF32(std::uint64_t raw)
-{
-    return std::bit_cast<float>(static_cast<std::uint32_t>(raw));
-}
-
-inline std::uint64_t
-fromF32(float v)
-{
-    return std::bit_cast<std::uint32_t>(v);
-}
-
-inline double
-asF64(std::uint64_t raw)
-{
-    return std::bit_cast<double>(raw);
-}
-
-inline std::uint64_t
-fromF64(double v)
-{
-    return std::bit_cast<std::uint64_t>(v);
-}
-
-/** Why a thread stopped running in the current scheduling slice. */
-enum class StopReason : std::uint8_t
-{
-    Exited,
-    Barrier,
-    Limit, ///< per-call step limit reached (stepCta watermark)
-    Crashed,
-    Hung,
-    Hazard, ///< sliced run touched another CTA's footprint
-};
-
-/** Mutable context shared by every thread while one CTA executes. */
-struct CtaContext
-{
-    GlobalMemory &gmem;
-    SharedMemory *smem; ///< the current CTA's scratchpad (in its state)
-    const ParamBuffer &params;
-    const Dim3 &ntid;
-    const Dim3 &nctaid;
-    std::uint32_t ctaidX, ctaidY, ctaidZ;
-    std::uint64_t budget;
-    const TraceOptions *opts;
-    FaultPlan *fault;
-    TraceData *trace;
-    std::string diagnostic;
-
-    /** Sliced-run hazard sets (null outside sliced injection runs). */
-    const IntervalSet *loadHazards = nullptr;
-    const IntervalSet *storeHazards = nullptr;
-
-    /** Footprint accumulators for the current CTA (null when off). */
-    std::vector<Interval> *fpReads = nullptr;
-    std::vector<Interval> *fpWrites = nullptr;
-};
-
-/** Read a source operand as raw bits appropriate for @p type. */
-inline std::uint64_t
-readSrc(const ThreadState &t, const CtaContext &ctx, const Operand &o,
-        DataType type)
-{
-    switch (o.kind) {
-      case Operand::Kind::GpReg: {
-        std::uint64_t raw = (o.reg == kZeroReg) ? 0 : t.regs[o.reg];
-        if (o.half == HalfSel::Lo)
-            raw = raw & 0xFFFF;
-        else if (o.half == HalfSel::Hi)
-            raw = (raw >> 16) & 0xFFFF;
-        if (o.negated) {
-            if (type == DataType::F32)
-                raw = fromF32(-asF32(raw));
-            else if (type == DataType::F64)
-                raw = fromF64(-asF64(raw));
-            else
-                raw = truncVal(0 - raw, typeBits(type));
-        }
-        return raw;
-      }
-      case Operand::Kind::PredReg:
-        // Predicate as a data source (selp): true iff zero flag clear.
-        return (t.ccs[o.reg] & CcZero) ? 0 : 1;
-      case Operand::Kind::Discard:
-        return 0;
-      case Operand::Kind::Special:
-        switch (o.special) {
-          case SpecialReg::TidX: return t.tidX;
-          case SpecialReg::TidY: return t.tidY;
-          case SpecialReg::TidZ: return t.tidZ;
-          case SpecialReg::NtidX: return ctx.ntid.x;
-          case SpecialReg::NtidY: return ctx.ntid.y;
-          case SpecialReg::NtidZ: return ctx.ntid.z;
-          case SpecialReg::CtaidX: return ctx.ctaidX;
-          case SpecialReg::CtaidY: return ctx.ctaidY;
-          case SpecialReg::CtaidZ: return ctx.ctaidZ;
-          case SpecialReg::NctaidX: return ctx.nctaid.x;
-          case SpecialReg::NctaidY: return ctx.nctaid.y;
-          case SpecialReg::NctaidZ: return ctx.nctaid.z;
-        }
-        panic("unreachable SpecialReg");
-      case Operand::Kind::Imm:
-        return o.imm;
-      case Operand::Kind::MemRef:
-      case Operand::Kind::None:
-        panic("operand kind not readable as a value");
-    }
-    panic("unreachable Operand::Kind");
-}
-
-/** Condition-code flags derived from a result value of @p type. */
-inline std::uint8_t
-ccFromValue(std::uint64_t raw, DataType type)
-{
-    std::uint8_t cc = 0;
-    if (isFloatType(type)) {
-        double v = type == DataType::F32 ? asF32(raw) : asF64(raw);
-        if (v == 0.0)
-            cc |= CcZero;
-        if (std::signbit(v))
-            cc |= CcSign;
-    } else {
-        unsigned bits = typeBits(type);
-        if (truncVal(raw, bits) == 0)
-            cc |= CcZero;
-        if (signExt(raw, bits) < 0)
-            cc |= CcSign;
-    }
-    return cc;
-}
-
-/** Evaluate a guard against a CC register. */
-inline bool
-guardPasses(const Guard &g, const ThreadState &t)
-{
-    if (g.cond == GuardCond::Always)
-        return true;
-    std::uint8_t cc = t.ccs[g.pred];
-    bool zero = cc & CcZero;
-    bool sign = cc & CcSign;
-    switch (g.cond) {
-      case GuardCond::Eq: return zero;
-      case GuardCond::Ne: return !zero;
-      case GuardCond::Lt: return sign;
-      case GuardCond::Le: return sign || zero;
-      case GuardCond::Gt: return !sign && !zero;
-      case GuardCond::Ge: return !sign;
-      case GuardCond::Always: return true;
-    }
-    panic("unreachable GuardCond");
-}
-
-/** Integer comparison on raw values per @p type. */
-inline bool
-compareValues(CmpOp cmp, std::uint64_t a, std::uint64_t b, DataType type)
-{
-    if (isFloatType(type)) {
-        double fa = type == DataType::F32 ? asF32(a) : asF64(a);
-        double fb = type == DataType::F32 ? asF32(b) : asF64(b);
-        switch (cmp) {
-          case CmpOp::Eq: return fa == fb;
-          case CmpOp::Ne: return fa != fb;
-          case CmpOp::Lt: return fa < fb;
-          case CmpOp::Le: return fa <= fb;
-          case CmpOp::Gt: return fa > fb;
-          case CmpOp::Ge: return fa >= fb;
-          case CmpOp::None: break;
-        }
-        panic("set/setp without comparison");
-    }
-    unsigned bits = typeBits(type);
-    if (isSignedType(type)) {
-        std::int64_t sa = signExt(a, bits);
-        std::int64_t sb = signExt(b, bits);
-        switch (cmp) {
-          case CmpOp::Eq: return sa == sb;
-          case CmpOp::Ne: return sa != sb;
-          case CmpOp::Lt: return sa < sb;
-          case CmpOp::Le: return sa <= sb;
-          case CmpOp::Gt: return sa > sb;
-          case CmpOp::Ge: return sa >= sb;
-          case CmpOp::None: break;
-        }
-        panic("set/setp without comparison");
-    }
-    std::uint64_t ua = truncVal(a, bits);
-    std::uint64_t ub = truncVal(b, bits);
-    switch (cmp) {
-      case CmpOp::Eq: return ua == ub;
-      case CmpOp::Ne: return ua != ub;
-      case CmpOp::Lt: return ua < ub;
-      case CmpOp::Le: return ua <= ub;
-      case CmpOp::Gt: return ua > ub;
-      case CmpOp::Ge: return ua >= ub;
-      case CmpOp::None: break;
-    }
-    panic("set/setp without comparison");
-}
 
 /** Float->int conversion with CUDA-like saturation and NaN->0. */
 inline std::int64_t
@@ -295,22 +86,39 @@ floatToInt(double v, unsigned bits, bool is_signed)
     return static_cast<std::int64_t>(std::trunc(v));
 }
 
-/** ALU evaluation for two/three-operand ops; returns the raw result. */
-std::uint64_t
-evalAlu(const Instruction &insn, std::uint64_t a, std::uint64_t b,
-        std::uint64_t c)
+/**
+ * Fused-multiply-add candidates live in one place so the decoded fast
+ * path and evalAluOp compile the *same expression* -- whatever the
+ * compiler's floating-point contraction policy, both engines agree.
+ */
+inline std::uint64_t
+madF32(std::uint64_t a, std::uint64_t b, std::uint64_t c)
 {
-    const DataType t = insn.type;
+    return fromF32(asF32(a) * asF32(b) + asF32(c));
+}
+
+inline std::uint64_t
+madF64(std::uint64_t a, std::uint64_t b, std::uint64_t c)
+{
+    return fromF64(asF64(a) * asF64(b) + asF64(c));
+}
+
+} // namespace
+
+std::uint64_t
+evalAluOp(Opcode op, DataType t, std::uint64_t a, std::uint64_t b,
+          std::uint64_t c)
+{
     const unsigned bits = typeBits(t);
 
     if (t == DataType::F32) {
-        float fa = asF32(a), fb = asF32(b), fc = asF32(c);
-        switch (insn.op) {
+        float fa = asF32(a), fb = asF32(b);
+        switch (op) {
           case Opcode::Mov: return fromF32(fa);
           case Opcode::Add: return fromF32(fa + fb);
           case Opcode::Sub: return fromF32(fa - fb);
           case Opcode::Mul: return fromF32(fa * fb);
-          case Opcode::Mad: return fromF32(fa * fb + fc);
+          case Opcode::Mad: return madF32(a, b, c);
           case Opcode::Div: return fromF32(fa / fb);
           case Opcode::Min: return fromF32(std::fmin(fa, fb));
           case Opcode::Max: return fromF32(std::fmax(fa, fb));
@@ -324,17 +132,17 @@ evalAlu(const Instruction &insn, std::uint64_t a, std::uint64_t b,
           case Opcode::Rem: return fromF32(std::fmod(fa, fb));
           default: break;
         }
-        panic("opcode ", opcodeName(insn.op), " not valid for f32");
+        panic("opcode ", opcodeName(op), " not valid for f32");
     }
 
     if (t == DataType::F64) {
-        double fa = asF64(a), fb = asF64(b), fc = asF64(c);
-        switch (insn.op) {
+        double fa = asF64(a), fb = asF64(b);
+        switch (op) {
           case Opcode::Mov: return fromF64(fa);
           case Opcode::Add: return fromF64(fa + fb);
           case Opcode::Sub: return fromF64(fa - fb);
           case Opcode::Mul: return fromF64(fa * fb);
-          case Opcode::Mad: return fromF64(fa * fb + fc);
+          case Opcode::Mad: return madF64(a, b, c);
           case Opcode::Div: return fromF64(fa / fb);
           case Opcode::Min: return fromF64(std::fmin(fa, fb));
           case Opcode::Max: return fromF64(std::fmax(fa, fb));
@@ -346,11 +154,11 @@ evalAlu(const Instruction &insn, std::uint64_t a, std::uint64_t b,
           case Opcode::Rem: return fromF64(std::fmod(fa, fb));
           default: break;
         }
-        panic("opcode ", opcodeName(insn.op), " not valid for f64");
+        panic("opcode ", opcodeName(op), " not valid for f64");
     }
 
     const bool sgn = isSignedType(t);
-    switch (insn.op) {
+    switch (op) {
       case Opcode::Mov:
         return truncVal(a, bits);
       case Opcode::Add:
@@ -370,8 +178,7 @@ evalAlu(const Instruction &insn, std::uint64_t a, std::uint64_t b,
         } else {
             prod = truncVal(a, bits) * truncVal(b, bits);
         }
-        std::uint64_t acc =
-            insn.op == Opcode::MadWide ? prod + c : prod;
+        std::uint64_t acc = op == Opcode::MadWide ? prod + c : prod;
         return truncVal(acc, 2 * bits);
       }
       case Opcode::Div: {
@@ -415,7 +222,8 @@ evalAlu(const Instruction &insn, std::uint64_t a, std::uint64_t b,
         return truncVal(0 - a, bits);
       case Opcode::Abs: {
         std::int64_t sa = signExt(a, bits);
-        return truncVal(static_cast<std::uint64_t>(sa < 0 ? -sa : sa), bits);
+        return truncVal(static_cast<std::uint64_t>(sa < 0 ? -sa : sa),
+                        bits);
       }
       case Opcode::And:
         return truncVal(a & b, bits);
@@ -449,16 +257,12 @@ evalAlu(const Instruction &insn, std::uint64_t a, std::uint64_t b,
       default:
         break;
     }
-    panic("opcode ", opcodeName(insn.op), " not valid for integer types");
+    panic("opcode ", opcodeName(op), " not valid for integer types");
 }
 
-/** cvt semantics: read as stype, convert to dtype, return raw bits. */
 std::uint64_t
-evalCvt(const Instruction &insn, std::uint64_t raw)
+evalCvtTyped(DataType st, DataType dt, std::uint64_t raw)
 {
-    const DataType st = insn.stype;
-    const DataType dt = insn.type;
-
     if (isFloatType(st)) {
         double v = st == DataType::F32 ? asF32(raw) : asF64(raw);
         if (dt == DataType::F32)
@@ -489,89 +293,21 @@ evalCvt(const Instruction &insn, std::uint64_t raw)
     return truncVal(static_cast<std::uint64_t>(sv), typeBits(dt));
 }
 
-/** Record a plan's first application and its static instruction. */
-inline void
-noteApplied(FaultPlan &fault, std::uint32_t static_index)
-{
-    if (!fault.applied) {
-        fault.applied = true;
-        fault.appliedStatic = static_index;
-    }
-}
-
-/**
- * Corrupt a just-written destination value per the plan.  Covers the
- * transient XOR model (DestReg, the paper's default) and the stuck-at
- * variants (DestRegStuck); mask bits outside the destination's
- * recorded width never take effect, so a plan targeting a wider value
- * than the instruction produced stays un-applied exactly as the
- * original single-bit engine behaved.
- *
- * @return true when the value was corrupted (callers then writeback
- *         and mark the plan applied).
- */
-inline bool
-corruptDest(std::uint64_t &value, const FaultPlan &fault,
-            std::uint64_t dyn_index, unsigned recorded_bits)
-{
-    const std::uint64_t width_mask =
-        recorded_bits >= 64
-            ? ~std::uint64_t{0}
-            : ((std::uint64_t{1} << recorded_bits) - 1);
-    const std::uint64_t mask = fault.mask & width_mask;
-    if (mask == 0)
-        return false;
-    if (fault.kind == FaultKind::DestReg) {
-        if (dyn_index != fault.dynIndex)
-            return false;
-        value ^= mask;
-        return true;
-    }
-    // DestRegStuck: active from dynIndex onward; a non-zero period
-    // alternates active/idle windows (deterministic intermittency).
-    if (dyn_index < fault.dynIndex)
-        return false;
-    if (fault.period != 0 &&
-        (((dyn_index - fault.dynIndex) / fault.period) & 1) != 0) {
-        return false;
-    }
-    value = (value & ~mask) | (fault.stuckValue & mask);
-    return true;
-}
-
-/** Does this plan corrupt destination writebacks? */
-inline bool
-isDestKind(FaultKind kind)
-{
-    return kind == FaultKind::DestReg || kind == FaultKind::DestRegStuck;
-}
-
-/**
- * Apply a reach-time fault: architectural state corrupted when the
- * target thread arrives at its target dynamic instruction, before
- * executing it (PredState, PcState, SharedMem, GlobalMem).  Other
- * kinds fall through untouched -- in particular BarrierSkip, which is
- * consumed at the next Bar instruction instead.
- *
- * @return true when the interpreter loop must stop with @p halt (a
- *         crash on an unmapped flip address, or a sliced-run hazard
- *         when the flipped global byte is shared with other CTAs).
- */
-inline bool
-applyReachFault(ThreadState &t, CtaContext &ctx, std::size_t code_size,
+bool
+applyReachFault(CtaContext &ctx, std::uint64_t &pc, std::uint8_t *ccs,
+                std::uint64_t global_id, std::size_t code_size,
                 StopReason &halt)
 {
     FaultPlan &fault = *ctx.fault;
     const std::uint32_t static_index =
-        t.pc < code_size ? static_cast<std::uint32_t>(t.pc)
-                         : kNoStaticIndex;
+        pc < code_size ? static_cast<std::uint32_t>(pc) : kNoStaticIndex;
     switch (fault.kind) {
       case FaultKind::PredState: {
         const std::uint8_t mask =
             static_cast<std::uint8_t>(fault.mask & 0xF);
         if (mask == 0)
             return false;
-        t.ccs[fault.reg % kNumPredRegs] ^= mask;
+        ccs[fault.reg % kNumPredRegs] ^= mask;
         noteApplied(fault, static_index);
         return false;
       }
@@ -581,7 +317,7 @@ applyReachFault(ThreadState &t, CtaContext &ctx, std::size_t code_size,
         // flipped pc past the code makes the thread exit (implicit
         // wild-jump exit), which the loop's bounds check handles.
         noteApplied(fault, static_index);
-        t.pc ^= fault.mask;
+        pc ^= fault.mask;
         return false;
 
       case FaultKind::SharedMem: {
@@ -593,7 +329,7 @@ applyReachFault(ThreadState &t, CtaContext &ctx, std::size_t code_size,
         }
         if (err != AccessError::None) {
             std::ostringstream os;
-            os << "thread " << t.globalId
+            os << "thread " << global_id
                << " shared-memory fault flip at unmapped 0x" << std::hex
                << fault.addr << std::dec;
             ctx.diagnostic = os.str();
@@ -615,7 +351,7 @@ applyReachFault(ThreadState &t, CtaContext &ctx, std::size_t code_size,
             (ctx.storeHazards &&
              ctx.storeHazards->intersectsRange(begin, end))) {
             std::ostringstream os;
-            os << "thread " << t.globalId
+            os << "thread " << global_id
                << " sliced-run fault-flip hazard at global 0x"
                << std::hex << fault.addr << std::dec;
             ctx.diagnostic = os.str();
@@ -630,7 +366,7 @@ applyReachFault(ThreadState &t, CtaContext &ctx, std::size_t code_size,
         }
         if (err != AccessError::None) {
             std::ostringstream os;
-            os << "thread " << t.globalId
+            os << "thread " << global_id
                << " global-memory fault flip at unmapped 0x" << std::hex
                << fault.addr << std::dec;
             ctx.diagnostic = os.str();
@@ -646,330 +382,641 @@ applyReachFault(ThreadState &t, CtaContext &ctx, std::size_t code_size,
     }
 }
 
-/**
- * The per-thread interpreter loop.  Runs until the thread exits,
- * reaches a barrier, crashes, exceeds its budget, or has executed
- * @p max_steps instructions in this call (the stepping engine's
- * watermark, surfaced as StopReason::Limit).
- */
-StopReason
-runThread(ThreadState &t, const Program &prog, CtaContext &ctx,
-          std::uint64_t max_steps)
+namespace {
+
+/** Resolve one pre-decoded source operand. */
+[[gnu::always_inline]] inline std::uint64_t
+readX(const XSrc &s, const std::uint64_t *R, const std::uint8_t *P,
+      const CtaContext &ctx, std::uint32_t tid_x, std::uint32_t tid_y,
+      std::uint32_t tid_z)
 {
-    const auto &code = prog.instructions();
-    const std::size_t code_size = code.size();
+    // Plain registers and immediates dominate every real operand mix;
+    // test for them with well-predicted conditional branches before
+    // falling back to the jump table for the exotic kinds.
+    if (s.k == XSrc::K::Reg) [[likely]]
+        return R[s.reg];
+    if (s.k == XSrc::K::Imm)
+        return s.imm;
+    switch (s.k) {
+      case XSrc::K::Zero: return 0;
+      case XSrc::K::Reg: return R[s.reg];
+      case XSrc::K::RegLo: return R[s.reg] & 0xFFFF;
+      case XSrc::K::RegHi: return (R[s.reg] >> 16) & 0xFFFF;
+      case XSrc::K::Imm: return s.imm;
+      case XSrc::K::Pred: return (P[s.reg] & CcZero) ? 0 : 1;
+      case XSrc::K::TidX: return tid_x;
+      case XSrc::K::TidY: return tid_y;
+      case XSrc::K::TidZ: return tid_z;
+      case XSrc::K::CtaidX: return ctx.ctaidX;
+      case XSrc::K::CtaidY: return ctx.ctaidY;
+      case XSrc::K::CtaidZ: return ctx.ctaidZ;
+      case XSrc::K::RegComplex: {
+        std::uint64_t raw = R[s.reg];
+        if (s.half == static_cast<std::uint8_t>(HalfSel::Lo))
+            raw &= 0xFFFF;
+        else if (s.half == static_cast<std::uint8_t>(HalfSel::Hi))
+            raw = (raw >> 16) & 0xFFFF;
+        const DataType t = static_cast<DataType>(s.negType);
+        if (t == DataType::F32)
+            return fromF32(-asF32(raw));
+        if (t == DataType::F64)
+            return fromF64(-asF64(raw));
+        return truncVal(0 - raw, typeBits(t));
+      }
+    }
+    panic("unreachable XSrc::K");
+}
+
+/**
+ * Threaded-dispatch macros for runThreadDecodedImpl.  Each handler
+ * ends by expanding the epilogue + fetch + indirect jump inline, so
+ * every opcode owns its own branch-prediction site (classic threaded
+ * interpretation): the predictor learns (this op -> next op) pairs
+ * instead of sharing one over-subscribed jump.  Computed goto is a
+ * GNU extension, used unconditionally like the rest of the tree's
+ * GNU attributes; the reference engine keeps a portable switch.
+ *
+ * FSP_DISPATCH: the per-instruction prologue -- reach-fault hook
+ * (compiled out unless kFault), program-end check, the fused
+ * step-limit/hang-budget check, fetch, guard evaluation, dispatch.
+ * FSP_EPI(REC): the per-instruction epilogue -- fault-bits
+ * accumulation and the optional trace push -- followed by the
+ * prologue of the next instruction.
+ */
+#define FSP_DISPATCH()                                                  \
+    do {                                                                \
+        if constexpr (kFault) {                                         \
+            if (!ctx.fault->applied && icnt == ctx.fault->dynIndex) {   \
+                StopReason halt;                                        \
+                if (applyReachFault(ctx, pc, P, global_id, code_size,   \
+                                    halt)) {                            \
+                    ret = halt;                                         \
+                    goto done;                                          \
+                }                                                       \
+            }                                                           \
+        }                                                               \
+        if (pc >= code_size)                                            \
+            goto ran_off_end;                                           \
+        if (icnt >= stop_icnt) [[unlikely]]                             \
+            goto hit_stop;                                              \
+        op = code + pc;                                                 \
+        dyn_index = icnt++;                                             \
+        if (!guardCcPasses(op->guardCond, op->guardPred, P))            \
+            [[unlikely]]                                                \
+            goto guard_failed;                                          \
+        goto *kJump[static_cast<unsigned>(op->x)];                      \
+    } while (0)
+
+#define FSP_EPI(REC)                                                    \
+    do {                                                                \
+        fbits += (REC);                                                 \
+        if constexpr (kTraced)                                          \
+            dyn_trace->push_back({op->staticIndex, (REC)});             \
+        FSP_DISPATCH();                                                 \
+    } while (0)
+
+/**
+ * Writeback of @p VALUE through the op's destination -- a GPR value
+ * or a 4-bit CC register (with an optional data side-effect through
+ * dest2, PTXPlus "$p0|$r1" style) -- then the epilogue.
+ */
+#define FSP_WB_EPI(VALUE)                                               \
+    do {                                                                \
+        const std::uint64_t wb_value_ = (VALUE);                        \
+        std::uint16_t recorded = 0;                                     \
+        if (op->destKind == DecodedOp::Dest::Gp) [[likely]] {           \
+            R[op->destReg] = wb_value_;                                 \
+            recorded = op->recordedBits;                                \
+            if (kFault && isDestKind(ctx.fault->kind) &&                \
+                corruptDest(R[op->destReg], *ctx.fault, dyn_index,      \
+                            recorded)) {                                \
+                noteApplied(*ctx.fault, op->staticIndex);               \
+            }                                                           \
+        } else if (op->destKind == DecodedOp::Dest::Pred) {             \
+            P[op->destReg] = ccFromValue(                               \
+                wb_value_, static_cast<DataType>(op->ccType));          \
+            recorded = op->recordedBits;                                \
+            if (kFault && isDestKind(ctx.fault->kind)) {                \
+                std::uint64_t cc = P[op->destReg];                      \
+                if (corruptDest(cc, *ctx.fault, dyn_index,              \
+                                recorded)) {                            \
+                    P[op->destReg] = static_cast<std::uint8_t>(cc);     \
+                    noteApplied(*ctx.fault, op->staticIndex);           \
+                }                                                       \
+            }                                                           \
+            if (op->dest2Reg != kNoDenseReg)                            \
+                R[op->dest2Reg] = wb_value_;                            \
+        }                                                               \
+        pc++;                                                           \
+        FSP_EPI(recorded);                                              \
+    } while (0)
+
+/**
+ * The interpreter loop, specialised at compile time on the two rare
+ * per-thread conditions: @p kFault (this thread carries the fault
+ * plan) and @p kTraced (this thread records a dynamic trace).  All
+ * but one thread per injection run -- and every thread of a golden
+ * run -- execute the <false, false> instantiation, where the
+ * fault-reach check, the corrupt-destination probes, and the trace
+ * push compile out of the per-instruction path entirely.
+ */
+template <bool kFault, bool kTraced>
+StopReason
+runThreadDecodedImpl(MachineState &ms, std::uint32_t tl,
+                     CtaContext &ctx, std::uint64_t max_steps,
+                     [[maybe_unused]] std::vector<DynRecord> *dyn_trace)
+{
+    // Label-address dispatch table, indexed by the XOp enumerator
+    // value: entry order MUST match the XOp declaration order in
+    // decoded.hh (the static_assert pins the count).
+    static const void *const kJump[] = {
+        &&x_Nop,      &&x_Exit,     &&x_Bra,      &&x_Bar,
+        &&x_LdGlobal, &&x_LdShared, &&x_LdParam,  &&x_StGlobal,
+        &&x_StShared, &&x_MovI,     &&x_AddI,     &&x_SubI,
+        &&x_MulI,     &&x_MadI,     &&x_MulWideI, &&x_MadWideI,
+        &&x_MinI,     &&x_MaxI,     &&x_NegI,     &&x_AbsI,
+        &&x_AndI,     &&x_OrI,      &&x_XorI,     &&x_NotI,
+        &&x_ShlI,     &&x_ShrI,     &&x_AddF32,   &&x_SubF32,
+        &&x_MulF32,   &&x_MadF32,   &&x_MinF32,   &&x_MaxF32,
+        &&x_NegF32,   &&x_AbsF32,   &&x_AddF64,   &&x_SubF64,
+        &&x_MulF64,   &&x_MadF64,   &&x_MinF64,   &&x_MaxF64,
+        &&x_NegF64,   &&x_AbsF64,   &&x_SetCmp,   &&x_SelpV,
+        &&x_CvtV,     &&x_AluSlow,
+    };
+    static_assert(static_cast<unsigned>(XOp::AluSlow) + 1 ==
+                      sizeof(kJump) / sizeof(kJump[0]),
+                  "dispatch table must cover every XOp");
+
+    const DecodedOp *code = ctx.dec->code().data();
+    const std::size_t code_size = ctx.dec->size();
+
+    const std::uint64_t global_id =
+        ms.ctaLinear * ctx.blockThreads + tl;
+    const std::uint32_t bx = ctx.block.x;
+    const std::uint32_t tid_x = tl % bx;
+    const std::uint32_t tid_y = (tl / bx) % ctx.block.y;
+    const std::uint32_t tid_z = tl / (bx * ctx.block.y);
+
+    // Hot per-thread scalars live in locals for the whole slice; every
+    // exit path below funnels through `done` to write them back.
+    std::uint64_t *R = ms.regs(tl);
+    std::uint8_t *P = ms.ccs(tl);
+    std::uint64_t pc = ms.pc(tl);
+    std::uint64_t icnt = ms.icnt(tl);
+    std::uint64_t fbits = ms.faultBits(tl);
+    StopReason ret;
+
+    // Fold the slice-step ceiling and the hang budget into a single
+    // per-iteration compare: stop at min(icnt0 + max_steps, budget)
+    // and disambiguate Limit vs Hung only when actually stopping
+    // (Limit wins ties, matching the historical check order).
+    const std::uint64_t icnt0 = icnt;
+    std::uint64_t stop_icnt = icnt0 + max_steps;
+    if (stop_icnt < icnt0) // saturate on overflow
+        stop_icnt = ~std::uint64_t{0};
+    if (ctx.budget < stop_icnt)
+        stop_icnt = ctx.budget;
+
+    // Dispatch state and the carriers for the cold memory-fault
+    // diagnostics below the handlers.
+    const DecodedOp *op = code;
+    std::uint64_t dyn_index = 0;
+    bool mem_is_ld = false;
+    std::uint64_t mem_addr = 0;
+    AccessError mem_err = AccessError::None;
+    const DecodedOp *mem_op = nullptr;
+
+    auto rd = [&](unsigned k) __attribute__((always_inline)) {
+        return readX(op->src[k], R, P, ctx, tid_x, tid_y, tid_z);
+    };
+
+    FSP_DISPATCH(); // enter the threaded loop
+
+  guard_failed:
+    // Guard failed: the instruction issues (counted in iCnt, as in
+    // the PTXPlus trace model) but performs no writeback, no branch,
+    // and no barrier arrival.
+    pc++;
+    FSP_EPI(0);
+
+  x_Nop:
+    pc++;
+    FSP_EPI(0);
+
+  x_Exit:
+    if constexpr (kTraced)
+        dyn_trace->push_back({op->staticIndex, 0});
+    ms.setExited(tl);
+    ret = StopReason::Exited;
+    goto done;
+
+  x_Bra:
+    pc = op->target;
+    FSP_EPI(0);
+
+  x_Bar:
+    pc++;
+    if (kFault && ctx.fault->kind == FaultKind::BarrierSkip &&
+        !ctx.fault->applied && dyn_index >= ctx.fault->dynIndex) {
+        // Corrupted barrier bookkeeping: the thread's arrival is
+        // lost, so it runs ahead into the next phase while the
+        // others rendezvous without it.
+        noteApplied(*ctx.fault, op->staticIndex);
+        FSP_EPI(0);
+    }
+    if constexpr (kTraced)
+        dyn_trace->push_back({op->staticIndex, 0});
+    ret = StopReason::Barrier;
+    goto done;
+
+    // The five memory forms each run straight-line: only globals pay
+    // the sliced-run hazard probe and footprint append.  Mem
+    // addressing is shared: addr = 32-bit base reg (or 0) + offset.
+    // Error and hazard diagnostics funnel through the cold labels
+    // below the handlers.
+  x_LdGlobal: {
+    const std::uint64_t addr =
+        (op->memBase != kNoDenseReg ? truncVal(R[op->memBase], 32)
+                                    : 0) +
+        static_cast<std::uint64_t>(op->memOffset);
+    if (ctx.loadHazards &&
+        ctx.loadHazards->intersectsRange(addr, addr + op->width))
+        [[unlikely]] {
+        mem_is_ld = true;
+        mem_addr = addr;
+        mem_op = op;
+        goto mem_hazard;
+    }
+    std::uint64_t value = 0;
+    const AccessError err = ctx.gmem.load(addr, op->width, value);
+    if (err != AccessError::None) [[unlikely]] {
+        mem_is_ld = true;
+        mem_addr = addr;
+        mem_err = err;
+        mem_op = op;
+        goto mem_crash;
+    }
+    if (ctx.fpReads)
+        ctx.fpReads->push_back({addr, addr + op->width});
+    // Sign-extend signed loads into the register.
+    if (op->ldSigned)
+        value = static_cast<std::uint64_t>(signExt(value, op->bits));
+    std::uint16_t recorded = 0;
+    if (op->destKind == DecodedOp::Dest::Gp) {
+        R[op->destReg] = value;
+        recorded = op->recordedBits;
+        if (kFault && isDestKind(ctx.fault->kind) &&
+            corruptDest(R[op->destReg], *ctx.fault, dyn_index,
+                        recorded)) {
+            noteApplied(*ctx.fault, op->staticIndex);
+        }
+    }
+    pc++;
+    FSP_EPI(recorded);
+  }
+
+  x_LdShared:
+  x_LdParam: {
+    const std::uint64_t addr =
+        (op->memBase != kNoDenseReg ? truncVal(R[op->memBase], 32)
+                                    : 0) +
+        static_cast<std::uint64_t>(op->memOffset);
+    std::uint64_t value = 0;
+    const AccessError err =
+        op->x == XOp::LdShared
+            ? ctx.smem->load(addr, op->width, value)
+            : ctx.params.load(addr, op->width, value);
+    if (err != AccessError::None) [[unlikely]] {
+        mem_is_ld = true;
+        mem_addr = addr;
+        mem_err = err;
+        mem_op = op;
+        goto mem_crash;
+    }
+    if (op->ldSigned)
+        value = static_cast<std::uint64_t>(signExt(value, op->bits));
+    std::uint16_t recorded = 0;
+    if (op->destKind == DecodedOp::Dest::Gp) {
+        R[op->destReg] = value;
+        recorded = op->recordedBits;
+        if (kFault && isDestKind(ctx.fault->kind) &&
+            corruptDest(R[op->destReg], *ctx.fault, dyn_index,
+                        recorded)) {
+            noteApplied(*ctx.fault, op->staticIndex);
+        }
+    }
+    pc++;
+    FSP_EPI(recorded);
+  }
+
+  x_StGlobal: {
+    const std::uint64_t addr =
+        (op->memBase != kNoDenseReg ? truncVal(R[op->memBase], 32)
+                                    : 0) +
+        static_cast<std::uint64_t>(op->memOffset);
+    if (ctx.storeHazards &&
+        ctx.storeHazards->intersectsRange(addr, addr + op->width))
+        [[unlikely]] {
+        mem_is_ld = false;
+        mem_addr = addr;
+        mem_op = op;
+        goto mem_hazard;
+    }
+    const std::uint64_t value = truncVal(rd(1), op->bits);
+    const AccessError err = ctx.gmem.store(addr, op->width, value);
+    if (err != AccessError::None) [[unlikely]] {
+        mem_is_ld = false;
+        mem_addr = addr;
+        mem_err = err;
+        mem_op = op;
+        goto mem_crash;
+    }
+    if (ctx.fpWrites)
+        ctx.fpWrites->push_back({addr, addr + op->width});
+    pc++;
+    FSP_EPI(0);
+  }
+
+  x_StShared: {
+    const std::uint64_t addr =
+        (op->memBase != kNoDenseReg ? truncVal(R[op->memBase], 32)
+                                    : 0) +
+        static_cast<std::uint64_t>(op->memOffset);
+    const std::uint64_t value = truncVal(rd(1), op->bits);
+    const AccessError err = ctx.smem->store(addr, op->width, value);
+    if (err != AccessError::None) [[unlikely]] {
+        mem_is_ld = false;
+        mem_addr = addr;
+        mem_err = err;
+        mem_op = op;
+        goto mem_crash;
+    }
+    pc++;
+    FSP_EPI(0);
+  }
+
+  x_MovI:
+    FSP_WB_EPI(rd(0) & op->mask);
+  x_AddI:
+    FSP_WB_EPI((rd(0) + rd(1)) & op->mask);
+  x_SubI:
+    FSP_WB_EPI((rd(0) - rd(1)) & op->mask);
+  x_MulI:
+    FSP_WB_EPI((rd(0) * rd(1)) & op->mask);
+  x_MadI:
+    FSP_WB_EPI((rd(0) * rd(1) + rd(2)) & op->mask);
+
+  x_MulWideI:
+  x_MadWideI: {
+    const std::uint64_t a = rd(0), b = rd(1);
+    std::uint64_t prod;
+    if (op->sgn) {
+        prod = static_cast<std::uint64_t>(signExt(a, op->bits) *
+                                          signExt(b, op->bits));
+    } else {
+        prod = truncVal(a, op->bits) * truncVal(b, op->bits);
+    }
+    const std::uint64_t acc =
+        op->x == XOp::MadWideI ? prod + rd(2) : prod;
+    FSP_WB_EPI(truncVal(acc, 2 * op->bits));
+  }
+
+  x_MinI: {
+    const std::uint64_t a = rd(0), b = rd(1);
+    FSP_WB_EPI(op->sgn
+                   ? truncVal(static_cast<std::uint64_t>(std::min(
+                                  signExt(a, op->bits),
+                                  signExt(b, op->bits))),
+                              op->bits)
+                   : std::min(truncVal(a, op->bits),
+                              truncVal(b, op->bits)));
+  }
+  x_MaxI: {
+    const std::uint64_t a = rd(0), b = rd(1);
+    FSP_WB_EPI(op->sgn
+                   ? truncVal(static_cast<std::uint64_t>(std::max(
+                                  signExt(a, op->bits),
+                                  signExt(b, op->bits))),
+                              op->bits)
+                   : std::max(truncVal(a, op->bits),
+                              truncVal(b, op->bits)));
+  }
+  x_NegI:
+    FSP_WB_EPI(truncVal(0 - rd(0), op->bits));
+  x_AbsI: {
+    const std::int64_t sa = signExt(rd(0), op->bits);
+    FSP_WB_EPI(truncVal(static_cast<std::uint64_t>(sa < 0 ? -sa : sa),
+                        op->bits));
+  }
+  x_AndI:
+    FSP_WB_EPI((rd(0) & rd(1)) & op->mask);
+  x_OrI:
+    FSP_WB_EPI((rd(0) | rd(1)) & op->mask);
+  x_XorI:
+    FSP_WB_EPI((rd(0) ^ rd(1)) & op->mask);
+  x_NotI:
+    FSP_WB_EPI((~rd(0)) & op->mask);
+  x_ShlI: {
+    const std::uint64_t s = truncVal(rd(1), op->bits);
+    FSP_WB_EPI(s >= op->bits
+                   ? 0
+                   : truncVal(truncVal(rd(0), op->bits) << s,
+                              op->bits));
+  }
+  x_ShrI: {
+    const std::uint64_t a = rd(0);
+    const std::uint64_t s = truncVal(rd(1), op->bits);
+    std::uint64_t result;
+    if (op->sgn) {
+        const std::int64_t sa = signExt(a, op->bits);
+        result = s >= op->bits
+                     ? truncVal(static_cast<std::uint64_t>(
+                                    sa < 0 ? -1 : 0),
+                                op->bits)
+                     : truncVal(static_cast<std::uint64_t>(
+                                    sa >> static_cast<int>(s)),
+                                op->bits);
+    } else {
+        result = s >= op->bits ? 0 : truncVal(a, op->bits) >> s;
+    }
+    FSP_WB_EPI(result);
+  }
+
+  x_AddF32:
+    FSP_WB_EPI(fromF32(asF32(rd(0)) + asF32(rd(1))));
+  x_SubF32:
+    FSP_WB_EPI(fromF32(asF32(rd(0)) - asF32(rd(1))));
+  x_MulF32:
+    FSP_WB_EPI(fromF32(asF32(rd(0)) * asF32(rd(1))));
+  x_MadF32:
+    FSP_WB_EPI(madF32(rd(0), rd(1), rd(2)));
+  x_MinF32:
+    FSP_WB_EPI(fromF32(std::fmin(asF32(rd(0)), asF32(rd(1)))));
+  x_MaxF32:
+    FSP_WB_EPI(fromF32(std::fmax(asF32(rd(0)), asF32(rd(1)))));
+  x_NegF32:
+    FSP_WB_EPI(fromF32(-asF32(rd(0))));
+  x_AbsF32:
+    FSP_WB_EPI(fromF32(std::fabs(asF32(rd(0)))));
+
+  x_AddF64:
+    FSP_WB_EPI(fromF64(asF64(rd(0)) + asF64(rd(1))));
+  x_SubF64:
+    FSP_WB_EPI(fromF64(asF64(rd(0)) - asF64(rd(1))));
+  x_MulF64:
+    FSP_WB_EPI(fromF64(asF64(rd(0)) * asF64(rd(1))));
+  x_MadF64:
+    FSP_WB_EPI(madF64(rd(0), rd(1), rd(2)));
+  x_MinF64:
+    FSP_WB_EPI(fromF64(std::fmin(asF64(rd(0)), asF64(rd(1)))));
+  x_MaxF64:
+    FSP_WB_EPI(fromF64(std::fmax(asF64(rd(0)), asF64(rd(1)))));
+  x_NegF64:
+    FSP_WB_EPI(fromF64(-asF64(rd(0))));
+  x_AbsF64:
+    FSP_WB_EPI(fromF64(std::fabs(asF64(rd(0)))));
+
+  x_SetCmp: {
+    const bool r =
+        compareValues(static_cast<CmpOp>(op->cmp), rd(0), rd(1),
+                      static_cast<DataType>(op->stype));
+    const unsigned dbits =
+        static_cast<DataType>(op->dtype) == DataType::Pred ? 32
+                                                           : op->bits;
+    FSP_WB_EPI(r ? truncVal(~std::uint64_t{0}, dbits) : 0);
+  }
+
+  x_SelpV: {
+    const std::uint64_t a = rd(0), b = rd(1);
+    FSP_WB_EPI(rd(2) ? truncVal(a, op->bits) : truncVal(b, op->bits));
+  }
+
+  x_CvtV:
+    FSP_WB_EPI(evalCvtTyped(static_cast<DataType>(op->stype),
+                            static_cast<DataType>(op->dtype), rd(0)));
+
+  x_AluSlow:
+    FSP_WB_EPI(evalAluOp(op->orig->op, op->orig->type, rd(0), rd(1),
+                         rd(2)));
+
+  ran_off_end:
+    ms.setExited(tl);
+    ret = StopReason::Exited;
+    goto done;
+
+  hit_stop:
+    if (icnt - icnt0 >= max_steps) {
+        ret = StopReason::Limit;
+        goto done;
+    }
+    {
+        std::ostringstream os;
+        os << "thread " << global_id << " exceeded budget of "
+           << ctx.budget << " dynamic instructions";
+        ctx.diagnostic = os.str();
+        ret = StopReason::Hung;
+        goto done;
+    }
+
+    // Cold diagnostics for the memory handlers above; pulled out of
+    // the hot path, which carries only the compare-and-goto.
+  mem_hazard:
+    {
+        // Sliced-run escape: an access into a byte range other CTAs
+        // touch means this CTA's isolated execution could diverge
+        // from its execution in the full grid -- abort so the
+        // injector falls back to a full-grid run.
+        std::ostringstream os;
+        os << "thread " << global_id << " sliced-run "
+           << (mem_is_ld ? "load" : "store") << " hazard at global 0x"
+           << std::hex << mem_addr << std::dec << ": "
+           << mem_op->orig->text;
+        ctx.diagnostic = os.str();
+        ret = StopReason::Hazard;
+        goto done;
+    }
+
+  mem_crash:
+    {
+        std::ostringstream os;
+        os << "thread " << global_id << " "
+           << (mem_is_ld ? "load" : "store") << " fault at "
+           << spaceName(mem_op->orig->space) << " 0x" << std::hex
+           << mem_addr << std::dec << " ("
+           << (mem_err == AccessError::Unmapped ? "unmapped"
+                                                : "misaligned")
+           << "): " << mem_op->orig->text;
+        ctx.diagnostic = os.str();
+        ret = StopReason::Crashed;
+        goto done;
+    }
+
+  done:
+    ms.pc(tl) = pc;
+    ms.icnt(tl) = icnt;
+    ms.faultBits(tl) = fbits;
+    return ret;
+}
+
+#undef FSP_WB_EPI
+#undef FSP_EPI
+#undef FSP_DISPATCH
+
+} // namespace
+
+StopReason
+runThreadDecoded(MachineState &ms, std::uint32_t tl, CtaContext &ctx,
+                 std::uint64_t max_steps)
+{
+    const std::uint64_t global_id =
+        ms.ctaLinear * ctx.blockThreads + tl;
 
     std::vector<DynRecord> *dyn_trace = nullptr;
-    if (t.traced && ctx.trace)
-        dyn_trace = &ctx.trace->dynTraces[t.globalId];
+    if (ctx.trace && ctx.opts &&
+        ctx.opts->traceThreads.count(global_id) > 0) {
+        dyn_trace = &ctx.trace->dynTraces[global_id];
+    }
 
     const bool is_fault_thread =
-        ctx.fault != nullptr && ctx.fault->thread == t.globalId;
+        ctx.fault != nullptr && ctx.fault->thread == global_id;
 
-    std::uint64_t steps = 0;
-    while (true) {
-        // Reach-time faults fire when the thread is about to execute
-        // its target dynamic instruction (pre-fault execution is
-        // bit-identical to golden, so a valid site always fires).
-        if (is_fault_thread && !ctx.fault->applied &&
-            t.icnt == ctx.fault->dynIndex) {
-            StopReason halt;
-            if (applyReachFault(t, ctx, code_size, halt))
-                return halt;
-        }
-        if (t.pc >= code_size) {
-            t.exited = true;
-            return StopReason::Exited;
-        }
-        if (steps >= max_steps)
-            return StopReason::Limit;
-        if (t.icnt >= ctx.budget) {
-            std::ostringstream os;
-            os << "thread " << t.globalId << " exceeded budget of "
-               << ctx.budget << " dynamic instructions";
-            ctx.diagnostic = os.str();
-            return StopReason::Hung;
-        }
-
-        const Instruction &insn = code[t.pc];
-        const std::uint64_t dyn_index = t.icnt;
-        t.icnt++;
-        steps++;
-
-        const bool pass = guardPasses(insn.guard, t);
-        std::uint16_t recorded_bits = 0;
-        bool hit_barrier = false;
-
-        if (pass) {
-            switch (insn.op) {
-              case Opcode::Nop:
-              case Opcode::Ssy:
-                t.pc++;
-                break;
-
-              case Opcode::Ret:
-              case Opcode::Exit:
-                t.exited = true;
-                break;
-
-              case Opcode::Bra:
-                t.pc = static_cast<std::uint64_t>(insn.target);
-                break;
-
-              case Opcode::Bar:
-                t.pc++;
-                if (is_fault_thread &&
-                    ctx.fault->kind == FaultKind::BarrierSkip &&
-                    !ctx.fault->applied &&
-                    dyn_index >= ctx.fault->dynIndex) {
-                    // Corrupted barrier bookkeeping: the thread's
-                    // arrival is lost, so it runs ahead into the next
-                    // phase while the others rendezvous without it.
-                    noteApplied(*ctx.fault,
-                                static_cast<std::uint32_t>(
-                                    &insn - code.data()));
-                } else {
-                    hit_barrier = true;
-                }
-                break;
-
-              case Opcode::Ld:
-              case Opcode::St: {
-                const Operand &mem = insn.src[0];
-                std::uint64_t base =
-                    mem.memBase >= 0
-                        ? truncVal(t.regs[static_cast<unsigned>(mem.memBase)],
-                                   32)
-                        : 0;
-                if (mem.memBase == static_cast<std::int32_t>(kZeroReg))
-                    base = 0;
-                std::uint64_t addr =
-                    base + static_cast<std::uint64_t>(mem.memOffset);
-                unsigned width = typeBits(insn.type) / 8;
-
-                if (insn.space == MemSpace::Global) {
-                    // Sliced-run escape: an access into a byte range
-                    // other CTAs touch means this CTA's isolated
-                    // execution could diverge from its execution in
-                    // the full grid -- abort so the injector falls
-                    // back to a full-grid run.
-                    const IntervalSet *hazards = insn.op == Opcode::Ld
-                                                     ? ctx.loadHazards
-                                                     : ctx.storeHazards;
-                    if (hazards &&
-                        hazards->intersectsRange(addr, addr + width)) {
-                        std::ostringstream os;
-                        os << "thread " << t.globalId << " sliced-run "
-                           << (insn.op == Opcode::Ld ? "load" : "store")
-                           << " hazard at global 0x" << std::hex << addr
-                           << std::dec << ": " << insn.text;
-                        ctx.diagnostic = os.str();
-                        return StopReason::Hazard;
-                    }
-                }
-
-                AccessError err;
-                std::uint64_t value = 0;
-                if (insn.op == Opcode::Ld) {
-                    switch (insn.space) {
-                      case MemSpace::Global:
-                        err = ctx.gmem.load(addr, width, value);
-                        break;
-                      case MemSpace::Shared:
-                        err = ctx.smem->load(addr, width, value);
-                        break;
-                      case MemSpace::Param:
-                        err = ctx.params.load(addr, width, value);
-                        break;
-                      default:
-                        panic("ld without address space");
-                    }
-                } else {
-                    value = readSrc(t, ctx, insn.src[1], insn.type);
-                    value = truncVal(value, typeBits(insn.type));
-                    switch (insn.space) {
-                      case MemSpace::Global:
-                        err = ctx.gmem.store(addr, width, value);
-                        break;
-                      case MemSpace::Shared:
-                        err = ctx.smem->store(addr, width, value);
-                        break;
-                      default:
-                        panic("st without writable address space");
-                    }
-                }
-
-                if (err != AccessError::None) {
-                    std::ostringstream os;
-                    os << "thread " << t.globalId << " "
-                       << (insn.op == Opcode::Ld ? "load" : "store")
-                       << " fault at " << spaceName(insn.space) << " 0x"
-                       << std::hex << addr << std::dec << " ("
-                       << (err == AccessError::Unmapped ? "unmapped"
-                                                        : "misaligned")
-                       << "): " << insn.text;
-                    ctx.diagnostic = os.str();
-                    return StopReason::Crashed;
-                }
-
-                if (insn.space == MemSpace::Global) {
-                    std::vector<Interval> *fp = insn.op == Opcode::Ld
-                                                    ? ctx.fpReads
-                                                    : ctx.fpWrites;
-                    if (fp)
-                        fp->push_back({addr, addr + width});
-                }
-
-                if (insn.op == Opcode::Ld) {
-                    // Sign-extend signed loads into the register.
-                    if (isSignedType(insn.type)) {
-                        value = static_cast<std::uint64_t>(
-                            signExt(value, typeBits(insn.type)));
-                        value = truncVal(value, 64);
-                    }
-                    if (insn.dest.kind == Operand::Kind::GpReg &&
-                        insn.dest.reg != kZeroReg) {
-                        t.regs[insn.dest.reg] = value;
-                        recorded_bits = static_cast<std::uint16_t>(
-                            typeBits(insn.type));
-                        if (is_fault_thread &&
-                            isDestKind(ctx.fault->kind) &&
-                            corruptDest(t.regs[insn.dest.reg],
-                                        *ctx.fault, dyn_index,
-                                        recorded_bits)) {
-                            noteApplied(*ctx.fault,
-                                        static_cast<std::uint32_t>(
-                                            &insn - code.data()));
-                        }
-                    }
-                }
-                t.pc++;
-                break;
-              }
-
-              default: {
-                // ALU / SFU / compare / conversion path.
-                std::uint64_t result;
-                if (insn.op == Opcode::Cvt) {
-                    std::uint64_t a = readSrc(t, ctx, insn.src[0],
-                                              insn.stype);
-                    result = evalCvt(insn, a);
-                } else if (insn.op == Opcode::Set ||
-                           insn.op == Opcode::Setp) {
-                    std::uint64_t a = readSrc(t, ctx, insn.src[0],
-                                              insn.stype);
-                    std::uint64_t b = readSrc(t, ctx, insn.src[1],
-                                              insn.stype);
-                    bool r = compareValues(insn.cmp, a, b, insn.stype);
-                    unsigned dbits = insn.type == DataType::Pred
-                                         ? 32
-                                         : typeBits(insn.type);
-                    result = r ? truncVal(~std::uint64_t{0}, dbits) : 0;
-                } else if (insn.op == Opcode::Selp) {
-                    std::uint64_t a = readSrc(t, ctx, insn.src[0],
-                                              insn.type);
-                    std::uint64_t b = readSrc(t, ctx, insn.src[1],
-                                              insn.type);
-                    std::uint64_t cnd = readSrc(t, ctx, insn.src[2],
-                                                DataType::U32);
-                    result = cnd ? truncVal(a, typeBits(insn.type))
-                                 : truncVal(b, typeBits(insn.type));
-                } else {
-                    unsigned n = opcodeSrcCount(insn.op);
-                    std::uint64_t a = readSrc(t, ctx, insn.src[0],
-                                              insn.type);
-                    std::uint64_t b =
-                        n > 1 ? readSrc(t, ctx, insn.src[1], insn.type) : 0;
-                    std::uint64_t c =
-                        n > 2 ? readSrc(t, ctx, insn.src[2], insn.type) : 0;
-                    result = evalAlu(insn, a, b, c);
-                }
-
-                // Writeback: primary dest is either a GPR value or a
-                // 4-bit CC register (with an optional data side-effect
-                // through dest2, PTXPlus "$p0|$r1" style).
-                if (insn.dest.kind == Operand::Kind::PredReg) {
-                    DataType cc_type =
-                        insn.op == Opcode::Set || insn.op == Opcode::Setp
-                            ? (insn.type == DataType::Pred ? DataType::U32
-                                                           : insn.type)
-                            : insn.type;
-                    t.ccs[insn.dest.reg] = ccFromValue(result, cc_type);
-                    recorded_bits = typeBits(DataType::Pred);
-                    if (is_fault_thread &&
-                        isDestKind(ctx.fault->kind)) {
-                        std::uint64_t cc = t.ccs[insn.dest.reg];
-                        if (corruptDest(cc, *ctx.fault, dyn_index,
-                                        recorded_bits)) {
-                            t.ccs[insn.dest.reg] =
-                                static_cast<std::uint8_t>(cc);
-                            noteApplied(*ctx.fault,
-                                        static_cast<std::uint32_t>(
-                                            &insn - code.data()));
-                        }
-                    }
-                    if (insn.dest2.kind == Operand::Kind::GpReg &&
-                        insn.dest2.reg != kZeroReg) {
-                        t.regs[insn.dest2.reg] = result;
-                    }
-                } else if (insn.dest.kind == Operand::Kind::GpReg &&
-                           insn.dest.reg != kZeroReg) {
-                    t.regs[insn.dest.reg] = result;
-                    recorded_bits = static_cast<std::uint16_t>(
-                        insn.op == Opcode::MulWide ||
-                                insn.op == Opcode::MadWide
-                            ? 2 * typeBits(insn.type)
-                            : typeBits(insn.type));
-                    if (is_fault_thread &&
-                        isDestKind(ctx.fault->kind) &&
-                        corruptDest(t.regs[insn.dest.reg], *ctx.fault,
-                                    dyn_index, recorded_bits)) {
-                        noteApplied(*ctx.fault,
-                                    static_cast<std::uint32_t>(
-                                        &insn - code.data()));
-                    }
-                }
-                t.pc++;
-                break;
-              }
-            }
-        } else {
-            // Guard failed: the instruction issues (counted in iCnt, as
-            // in the PTXPlus trace model) but performs no writeback, no
-            // branch, and no barrier arrival.
-            t.pc++;
-        }
-
-        t.faultBits += recorded_bits;
-        if (dyn_trace) {
-            dyn_trace->push_back(
-                {static_cast<std::uint32_t>(&insn - code.data()),
-                 recorded_bits});
-        }
-
-        if (hit_barrier)
-            return StopReason::Barrier;
-        if (t.exited)
-            return StopReason::Exited;
+    if (is_fault_thread) {
+        return dyn_trace
+                   ? runThreadDecodedImpl<true, true>(
+                         ms, tl, ctx, max_steps, dyn_trace)
+                   : runThreadDecodedImpl<true, false>(
+                         ms, tl, ctx, max_steps, nullptr);
     }
+    return dyn_trace ? runThreadDecodedImpl<false, true>(
+                           ms, tl, ctx, max_steps, dyn_trace)
+                     : runThreadDecodedImpl<false, false>(
+                           ms, tl, ctx, max_steps, nullptr);
 }
+
+} // namespace exec
+
+namespace {
+
+using exec::CtaContext;
+using exec::StopReason;
 
 /**
  * Advance one CTA under the cooperative barrier-phase scheduler until
  * it retires, faults, or reaches @p watermark executed instructions.
- * This is the scheduling loop that used to be inlined in run(); the
- * MachineState cursor makes it resumable -- stopping at a watermark and
- * calling again continues exactly where execution left off, and a
- * copied state can be continued independently later.
+ * The MachineState cursor makes it resumable -- stopping at a watermark
+ * and calling again continues exactly where execution left off, and a
+ * snapshot of the state can be continued independently later.
  */
 CtaStepStatus
-stepCtaImpl(MachineState &ms, CtaContext &ctx, const Program &prog,
+stepCtaImpl(MachineState &ms, CtaContext &ctx, ExecEngine engine,
             std::uint64_t watermark)
 {
+    const std::uint32_t num_threads = ms.numThreads();
     while (true) {
-        for (; ms.cursor < ms.threads.size(); ++ms.cursor) {
-            ThreadState &t = ms.threads[ms.cursor];
-            if (t.exited || t.atBarrier)
+        for (; ms.cursor < num_threads; ++ms.cursor) {
+            const std::uint32_t tl =
+                static_cast<std::uint32_t>(ms.cursor);
+            if (ms.exited(tl) || ms.atBarrier(tl))
                 continue;
             std::uint64_t max_steps = kNoWatermark;
             if (watermark != kNoWatermark) {
@@ -977,14 +1024,17 @@ stepCtaImpl(MachineState &ms, CtaContext &ctx, const Program &prog,
                     return CtaStepStatus::Watermark;
                 max_steps = watermark - ms.executedDynInstrs;
             }
-            const std::uint64_t before = t.icnt;
-            StopReason reason = runThread(t, prog, ctx, max_steps);
-            ms.executedDynInstrs += t.icnt - before;
+            const std::uint64_t before = ms.icnt(tl);
+            StopReason reason =
+                engine == ExecEngine::Decoded
+                    ? exec::runThreadDecoded(ms, tl, ctx, max_steps)
+                    : exec::runThreadReference(ms, tl, ctx, max_steps);
+            ms.executedDynInstrs += ms.icnt(tl) - before;
             switch (reason) {
               case StopReason::Exited:
                 break;
               case StopReason::Barrier:
-                t.atBarrier = true;
+                ms.setAtBarrier(tl);
                 break;
               case StopReason::Limit:
                 // The cursor stays on this mid-slice thread; the next
@@ -1003,33 +1053,49 @@ stepCtaImpl(MachineState &ms, CtaContext &ctx, const Program &prog,
         // barrier.  Retire the CTA once nobody is left, otherwise
         // release the barrier and start the next phase.
         bool all_exited = true;
-        for (const auto &t : ms.threads)
-            all_exited = all_exited && t.exited;
+        for (std::uint32_t t = 0; t < num_threads && all_exited; ++t)
+            all_exited = ms.exited(t);
         if (all_exited)
             return CtaStepStatus::Retired;
-        for (auto &t : ms.threads)
-            t.atBarrier = false;
+        ms.clearBarriers();
         ms.cursor = 0;
     }
 }
 
+/** FSP_EXEC_ENGINE overrides the constructor's engine choice. */
+ExecEngine
+engineFromEnv(ExecEngine requested)
+{
+    const char *v = std::getenv("FSP_EXEC_ENGINE");
+    if (v == nullptr)
+        return requested;
+    const std::string s(v);
+    if (s == "reference")
+        return ExecEngine::Reference;
+    if (s == "decoded")
+        return ExecEngine::Decoded;
+    return requested;
+}
+
 } // namespace
 
-Executor::Executor(const Program &program, LaunchConfig config)
-    : program_(program), config_(std::move(config))
+Executor::Executor(const Program &program, LaunchConfig config,
+                   ExecEngine engine)
+    : program_(program), config_(std::move(config)),
+      engine_(engineFromEnv(engine))
 {
     program_.validate();
     FSP_ASSERT(config_.grid.count() > 0 && config_.block.count() > 0,
                "empty launch");
+    decoded_ = std::make_shared<const DecodedProgram>(program_, config_);
 }
 
 void
 Executor::resetCtaState(MachineState &ms, std::uint64_t cta_linear) const
 {
     FSP_ASSERT(cta_linear < config_.grid.count(), "CTA id outside grid");
-    const Dim3 &block = config_.block;
-    const std::uint64_t block_threads = block.count();
-
+    ms.configure(static_cast<std::uint32_t>(config_.block.count()),
+                 decoded_->numRegs());
     ms.ctaLinear = cta_linear;
     ms.cursor = 0;
     ms.executedDynInstrs = 0;
@@ -1037,21 +1103,6 @@ Executor::resetCtaState(MachineState &ms, std::uint64_t cta_linear) const
         ms.smem.clear();
     else
         ms.smem = SharedMemory(config_.sharedBytes);
-    ms.threads.resize(block_threads);
-
-    std::uint64_t tl = 0;
-    for (std::uint32_t tz = 0; tz < block.z; ++tz) {
-        for (std::uint32_t ty = 0; ty < block.y; ++ty) {
-            for (std::uint32_t tx = 0; tx < block.x; ++tx, ++tl) {
-                ThreadState &t = ms.threads[tl];
-                t.reset();
-                t.tidX = tx;
-                t.tidY = ty;
-                t.tidZ = tz;
-                t.globalId = cta_linear * block_threads + tl;
-            }
-        }
-    }
 }
 
 MachineState
@@ -1072,27 +1123,24 @@ Executor::stepCta(MachineState &ms, GlobalMemory &gmem,
     const std::uint64_t plane =
         static_cast<std::uint64_t>(grid.x) * grid.y;
 
-    CtaContext ctx{gmem,
-                   &ms.smem,
-                   config_.params,
-                   config_.block,
-                   grid,
-                   static_cast<std::uint32_t>(lin % grid.x),
-                   static_cast<std::uint32_t>((lin / grid.x) % grid.y),
-                   static_cast<std::uint32_t>(lin / plane),
-                   config_.maxDynInstrPerThread
-                       ? config_.maxDynInstrPerThread
-                       : kDefaultBudget,
-                   nullptr,
-                   fault,
-                   nullptr,
-                   {},
-                   slice ? slice->loadHazards : nullptr,
-                   slice ? slice->storeHazards : nullptr,
-                   nullptr,
-                   nullptr};
+    CtaContext ctx{gmem, config_.params};
+    ctx.smem = &ms.smem;
+    ctx.prog = &program_;
+    ctx.dec = decoded_.get();
+    ctx.block = config_.block;
+    ctx.grid = grid;
+    ctx.blockThreads = config_.block.count();
+    ctx.ctaidX = static_cast<std::uint32_t>(lin % grid.x);
+    ctx.ctaidY = static_cast<std::uint32_t>((lin / grid.x) % grid.y);
+    ctx.ctaidZ = static_cast<std::uint32_t>(lin / plane);
+    ctx.budget = config_.maxDynInstrPerThread
+                     ? config_.maxDynInstrPerThread
+                     : exec::kDefaultBudget;
+    ctx.fault = fault;
+    ctx.loadHazards = slice ? slice->loadHazards : nullptr;
+    ctx.storeHazards = slice ? slice->storeHazards : nullptr;
 
-    CtaStepStatus status = stepCtaImpl(ms, ctx, program_, watermark);
+    CtaStepStatus status = stepCtaImpl(ms, ctx, engine_, watermark);
     if (diagnostic)
         *diagnostic = ctx.diagnostic;
     return status;
@@ -1101,7 +1149,7 @@ Executor::stepCta(MachineState &ms, GlobalMemory &gmem,
 RunResult
 Executor::run(GlobalMemory &gmem, const TraceOptions *opts,
               FaultPlan *fault, const CtaSlice *slice,
-              const MachineState *resume) const
+              const StateSnapshot *resume) const
 {
     RunResult result;
     if (fault) {
@@ -1133,6 +1181,7 @@ Executor::run(GlobalMemory &gmem, const TraceOptions *opts,
     }
 
     const Dim3 &grid = config_.grid;
+    const std::uint64_t block_threads = config_.block.count();
     const std::uint64_t total_threads = config_.threadCount();
 
     if (opts && opts->perThreadProfiles)
@@ -1151,28 +1200,23 @@ Executor::run(GlobalMemory &gmem, const TraceOptions *opts,
         slice ? &slice->range.ctas : nullptr;
     std::size_t slice_pos = 0;
 
-    const std::uint64_t start_cta = resume ? resume->ctaLinear : 0;
-    MachineState ms; // reused across CTAs to avoid reallocation
+    const std::uint64_t start_cta = resume ? resume->ctaLinear() : 0;
+    MachineState &ms = scratch_; // reused across CTAs and runs
 
-    CtaContext ctx{gmem,
-                   nullptr,
-                   config_.params,
-                   config_.block,
-                   grid,
-                   0,
-                   0,
-                   0,
-                   config_.maxDynInstrPerThread
-                       ? config_.maxDynInstrPerThread
-                       : kDefaultBudget,
-                   opts,
-                   fault,
-                   &result.trace,
-                   {},
-                   slice ? slice->loadHazards : nullptr,
-                   slice ? slice->storeHazards : nullptr,
-                   nullptr,
-                   nullptr};
+    CtaContext ctx{gmem, config_.params};
+    ctx.prog = &program_;
+    ctx.dec = decoded_.get();
+    ctx.block = config_.block;
+    ctx.grid = grid;
+    ctx.blockThreads = block_threads;
+    ctx.budget = config_.maxDynInstrPerThread
+                     ? config_.maxDynInstrPerThread
+                     : exec::kDefaultBudget;
+    ctx.opts = opts;
+    ctx.fault = fault;
+    ctx.trace = &result.trace;
+    ctx.loadHazards = slice ? slice->loadHazards : nullptr;
+    ctx.storeHazards = slice ? slice->storeHazards : nullptr;
 
     std::uint64_t cta_linear = 0;
     for (std::uint32_t cz = 0; cz < grid.z; ++cz) {
@@ -1198,30 +1242,29 @@ Executor::run(GlobalMemory &gmem, const TraceOptions *opts,
                 ctx.ctaidY = cy;
                 ctx.ctaidZ = cz;
 
-                if (resume && cta_linear == start_cta)
-                    ms = *resume; // copy: the checkpoint stays pristine
-                else
+                if (resume && cta_linear == start_cta) {
+                    // Page-restore straight into the scratch state;
+                    // the stored snapshot stays pristine.
+                    result.restoredStateBytes +=
+                        resume->restoreInto(ms);
+                } else {
                     resetCtaState(ms, cta_linear);
-                if (opts) {
-                    for (auto &t : ms.threads) {
-                        t.traced =
-                            opts->traceThreads.count(t.globalId) > 0;
-                    }
                 }
                 ctx.smem = &ms.smem;
 
                 CtaStepStatus status =
-                    stepCtaImpl(ms, ctx, program_, kNoWatermark);
+                    stepCtaImpl(ms, ctx, engine_, kNoWatermark);
 
                 // Accumulate per-thread work whether the CTA retired or
                 // aborted the launch (a faulting kernel dies; a hazard
                 // makes the caller re-run full-grid).
-                for (const auto &t : ms.threads) {
-                    result.totalDynInstrs += t.icnt;
+                for (std::uint32_t t = 0; t < ms.numThreads(); ++t) {
+                    result.totalDynInstrs += ms.icnt(t);
                     if (opts && opts->perThreadProfiles) {
-                        auto &p = result.trace.profiles[t.globalId];
-                        p.iCnt = t.icnt;
-                        p.faultBits = t.faultBits;
+                        auto &p = result.trace.profiles
+                                      [ms.ctaLinear * block_threads + t];
+                        p.iCnt = ms.icnt(t);
+                        p.faultBits = ms.faultBits(t);
                     }
                 }
                 if (status != CtaStepStatus::Retired) {

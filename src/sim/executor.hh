@@ -5,15 +5,26 @@
  * branch divergence, crash detection (wild/misaligned addresses) and
  * hang detection (per-thread instruction budgets).  Optional hooks
  * collect traces and apply a single-bit destination-register fault.
+ *
+ * Two interchangeable engines execute the same semantics:
+ *  - ExecEngine::Decoded (default): a pre-decoded DecodedProgram driven
+ *    by a dense dispatch loop (see decoded.hh) -- the fast path every
+ *    campaign runs on;
+ *  - ExecEngine::Reference: the original per-step instruction walk,
+ *    kept as the differential oracle (tests/test_decoded_executor.cc
+ *    asserts bit-identical traces, outputs and footprints).
+ * FSP_EXEC_ENGINE=reference|decoded overrides the choice globally.
  */
 
 #ifndef FSP_SIM_EXECUTOR_HH
 #define FSP_SIM_EXECUTOR_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "sim/decoded.hh"
 #include "sim/fault.hh"
 #include "sim/footprint.hh"
 #include "sim/launch.hh"
@@ -34,6 +45,13 @@ enum class RunStatus : std::uint8_t
 };
 
 std::string runStatusName(RunStatus status);
+
+/** Interpreter engine selection (see file header). */
+enum class ExecEngine : std::uint8_t
+{
+    Decoded,   ///< pre-decoded dispatch loop (default)
+    Reference, ///< per-step instruction walk (differential oracle)
+};
 
 /**
  * A subset of a launch's CTAs, identified by linear CTA id (the
@@ -94,6 +112,8 @@ struct RunResult
     RunStatus status = RunStatus::Completed;
     std::uint64_t totalDynInstrs = 0; ///< across all threads
     std::uint64_t executedCtas = 0;   ///< CTAs actually run
+    /** Machine-state bytes copied to resume from a checkpoint. */
+    std::uint64_t restoredStateBytes = 0;
     std::string diagnostic;           ///< crash/hang detail (human readable)
     TraceData trace;                  ///< populated per TraceOptions
 };
@@ -116,7 +136,10 @@ struct ExecMetrics
 /**
  * Executes kernel launches.  Stateless between runs: all mutable state
  * (global memory) is passed in, so a campaign can restore a pristine
- * memory image and re-run cheaply.
+ * memory image and re-run cheaply.  run() reuses an internal scratch
+ * MachineState, so a single Executor instance must be driven from one
+ * thread at a time (campaign workers each own a cloned instance; this
+ * matches the metrics-sink contract that already held).
  */
 class Executor
 {
@@ -124,8 +147,10 @@ class Executor
     /**
      * @param program decoded kernel (must outlive the executor).
      * @param config launch geometry and parameters (copied).
+     * @param engine interpreter engine (FSP_EXEC_ENGINE overrides).
      */
-    Executor(const Program &program, LaunchConfig config);
+    Executor(const Program &program, LaunchConfig config,
+             ExecEngine engine = ExecEngine::Decoded);
 
     /**
      * Run the launch to completion.
@@ -135,16 +160,17 @@ class Executor
      * @param fault optional single-bit fault to apply.
      * @param slice optional CTA subset to execute (see CtaSlice).
      * @param resume optional checkpointed CTA state: the run starts at
-     *        resume->ctaLinear from a copy of that state (the caller
-     *        must have placed global memory in the matching condition,
-     *        e.g. via GlobalMemory::applyDelta) and then continues with
-     *        any later CTAs selected by @p slice.  CTAs before the
-     *        resume point are skipped entirely.
+     *        resume->ctaLinear() by restoring that snapshot into the
+     *        scratch state (the caller must have placed global memory
+     *        in the matching condition, e.g. via
+     *        GlobalMemory::applyDelta) and then continues with any
+     *        later CTAs selected by @p slice.  CTAs before the resume
+     *        point are skipped entirely.
      */
     RunResult run(GlobalMemory &gmem, const TraceOptions *opts = nullptr,
                   FaultPlan *fault = nullptr,
                   const CtaSlice *slice = nullptr,
-                  const MachineState *resume = nullptr) const;
+                  const StateSnapshot *resume = nullptr) const;
 
     /** Pristine pre-execution state of one CTA of this launch. */
     MachineState initialCtaState(std::uint64_t ctaLinear) const;
@@ -152,9 +178,10 @@ class Executor
     /**
      * Advance one CTA until it retires, crashes, hangs, hits a slice
      * hazard, or reaches @p watermark total executed instructions.  On
-     * Watermark the state is a valid capture point: copy it and call
-     * stepCta again (with a higher watermark) to continue, or stash the
-     * copy and resume from it later via run().
+     * Watermark the state is a valid capture point: copy it (or
+     * capture a StateSnapshot) and call stepCta again with a higher
+     * watermark to continue, or resume from the snapshot later via
+     * run().
      *
      * @param state CTA state, advanced in place.
      * @param gmem global memory image, mutated in place.
@@ -172,6 +199,12 @@ class Executor
 
     const LaunchConfig &config() const { return config_; }
     const Program &program() const { return program_; }
+
+    /** The pre-decoded form this executor dispatches on. */
+    const DecodedProgram &decoded() const { return *decoded_; }
+
+    /** Active interpreter engine. */
+    ExecEngine engine() const { return engine_; }
 
     /**
      * Attach a counter sink fed once per run() (not owned; null
@@ -198,7 +231,12 @@ class Executor
 
     const Program &program_;
     LaunchConfig config_;
+    /** Shared with copies (injector clones) -- decoded once. */
+    std::shared_ptr<const DecodedProgram> decoded_;
+    ExecEngine engine_;
     ExecMetrics *metrics_ = nullptr; ///< not owned; see setMetricsSink
+    /** run()'s reusable CTA state; makes run() non-reentrant. */
+    mutable MachineState scratch_;
 };
 
 } // namespace fsp::sim

@@ -63,18 +63,6 @@ IntervalSet::totalBytes() const
 }
 
 bool
-IntervalSet::intersectsRange(std::uint64_t begin, std::uint64_t end) const
-{
-    if (begin >= end)
-        return false;
-    // First range whose end exceeds begin; it is the only candidate.
-    auto it = std::upper_bound(
-        ranges_.begin(), ranges_.end(), begin,
-        [](std::uint64_t v, const Interval &iv) { return v < iv.end; });
-    return it != ranges_.end() && it->begin < end;
-}
-
-bool
 IntervalSet::intersects(const IntervalSet &other) const
 {
     auto a = ranges_.begin();

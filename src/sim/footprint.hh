@@ -58,8 +58,29 @@ class IntervalSet
     /** Total bytes covered. */
     std::uint64_t totalBytes() const;
 
-    /** Does any byte of [begin, end) belong to the set? */
-    bool intersectsRange(std::uint64_t begin, std::uint64_t end) const;
+    /**
+     * Does any byte of [begin, end) belong to the set?  Inline: the
+     * interpreter consults this on every global access of a sliced
+     * run, and after merging the hazard set is usually a handful of
+     * ranges, so the probe cost is the call itself.
+     */
+    bool
+    intersectsRange(std::uint64_t begin, std::uint64_t end) const
+    {
+        if (begin >= end)
+            return false;
+        // First range whose end exceeds begin; the only candidate.
+        const Interval *lo = ranges_.data();
+        const Interval *hi = lo + ranges_.size();
+        while (lo < hi) {
+            const Interval *mid = lo + (hi - lo) / 2;
+            if (begin < mid->end)
+                hi = mid;
+            else
+                lo = mid + 1;
+        }
+        return lo != ranges_.data() + ranges_.size() && lo->begin < end;
+    }
 
     /** Does any byte of @p other belong to the set? */
     bool intersects(const IntervalSet &other) const;

@@ -1,32 +1,175 @@
 /**
  * @file
- * Machine-state value semantics for the resumable executor.
+ * Machine-state arena management and copy-on-write snapshots.
  */
 
 #include "sim/machine_state.hh"
 
 #include <algorithm>
+#include <cstring>
+
+#include "util/logging.hh"
 
 namespace fsp::sim {
 
 void
-ThreadState::reset()
+MachineState::configure(std::uint32_t numThreads, std::uint32_t numRegs)
 {
-    std::fill(std::begin(regs), std::end(regs), 0);
-    std::fill(std::begin(ccs), std::end(ccs), 0);
-    pc = 0;
-    icnt = 0;
-    faultBits = 0;
-    exited = false;
-    atBarrier = false;
-    traced = false;
+    num_threads_ = numThreads;
+    num_regs_ = numRegs;
+    const std::size_t nt = numThreads;
+    pc_base_ = nt * numRegs;
+    icnt_base_ = pc_base_ + nt;
+    fb_base_ = icnt_base_ + nt;
+    const std::size_t word_count = fb_base_ + nt;
+    flags_base_ = nt * kNumPredRegs;
+    const std::size_t byte_count = flags_base_ + nt;
+    words_.resize(word_count);
+    bytes_.resize(byte_count);
+    std::memset(words_.data(), 0, word_count * sizeof(std::uint64_t));
+    std::memset(bytes_.data(), 0, byte_count);
+}
+
+void
+MachineState::clearBarriers()
+{
+    std::uint8_t *flags = bytes_.data() + flags_base_;
+    for (std::uint32_t t = 0; t < num_threads_; ++t)
+        flags[t] &= static_cast<std::uint8_t>(~kFlagBarrier);
 }
 
 std::uint64_t
 MachineState::byteSize() const
 {
-    return sizeof(MachineState) + threads.size() * sizeof(ThreadState) +
-           smem.size();
+    return sizeof(MachineState) + words_.size() * sizeof(std::uint64_t) +
+           bytes_.size() + smem.size();
+}
+
+namespace {
+
+/** One contiguous source region of a snapshot. */
+struct Segment
+{
+    const std::uint8_t *data;
+    std::size_t size;
+};
+
+} // namespace
+
+void
+StateSnapshot::capture(const MachineState &state, const StateSnapshot *prev)
+{
+    cta_linear_ = state.ctaLinear;
+    cursor_ = state.cursor;
+    executed_ = state.executedDynInstrs;
+    num_threads_ = state.num_threads_;
+    num_regs_ = state.num_regs_;
+    word_count_ = state.words_.size();
+    byte_count_ = state.bytes_.size();
+    smem_bytes_ = state.smem.size();
+
+    const Segment segments[3] = {
+        {reinterpret_cast<const std::uint8_t *>(state.words_.data()),
+         word_count_ * sizeof(std::uint64_t)},
+        {state.bytes_.data(), byte_count_},
+        {state.smem.bytes().data(), smem_bytes_},
+    };
+
+    // Page sharing is only meaningful against a snapshot with the same
+    // layout (an earlier capture point of the same CTA execution).
+    const bool comparable = prev != nullptr && !prev->empty() &&
+                            prev->num_threads_ == num_threads_ &&
+                            prev->num_regs_ == num_regs_ &&
+                            prev->word_count_ == word_count_ &&
+                            prev->byte_count_ == byte_count_ &&
+                            prev->smem_bytes_ == smem_bytes_;
+
+    pages_.clear();
+    for (const Segment &seg : segments) {
+        for (std::size_t off = 0; off < seg.size; off += kPageBytes) {
+            const std::size_t n = std::min(kPageBytes, seg.size - off);
+            if (comparable && pages_.size() < prev->pages_.size()) {
+                const Page &old = prev->pages_[pages_.size()];
+                if (old->size() == n &&
+                    std::memcmp(old->data(), seg.data + off, n) == 0) {
+                    pages_.push_back(old);
+                    continue;
+                }
+            }
+            pages_.push_back(std::make_shared<std::vector<std::uint8_t>>(
+                seg.data + off, seg.data + off + n));
+        }
+    }
+}
+
+std::uint64_t
+StateSnapshot::restoreInto(MachineState &state) const
+{
+    FSP_ASSERT(!empty(), "restore from an empty snapshot");
+    state.configure(num_threads_, num_regs_);
+    FSP_ASSERT(state.words_.size() == word_count_ &&
+                   state.bytes_.size() == byte_count_,
+               "snapshot layout mismatch");
+    state.ctaLinear = cta_linear_;
+    state.cursor = static_cast<std::size_t>(cursor_);
+    state.executedDynInstrs = executed_;
+    if (state.smem.size() != smem_bytes_)
+        state.smem = SharedMemory(smem_bytes_);
+
+    Segment segments[3] = {
+        {reinterpret_cast<const std::uint8_t *>(state.words_.data()),
+         word_count_ * sizeof(std::uint64_t)},
+        {state.bytes_.data(), byte_count_},
+        {state.smem.data(), smem_bytes_},
+    };
+
+    std::uint64_t copied = 0;
+    std::size_t page = 0;
+    for (const Segment &seg : segments) {
+        auto *dst = const_cast<std::uint8_t *>(seg.data);
+        for (std::size_t off = 0; off < seg.size; off += kPageBytes) {
+            const std::size_t n = std::min(kPageBytes, seg.size - off);
+            FSP_ASSERT(page < pages_.size() && pages_[page]->size() == n,
+                       "snapshot page walk out of step");
+            std::memcpy(dst + off, pages_[page]->data(), n);
+            copied += n;
+            ++page;
+        }
+    }
+    return copied;
+}
+
+std::uint64_t
+StateSnapshot::icntOf(std::uint32_t t) const
+{
+    FSP_ASSERT(t < num_threads_, "thread outside snapshot");
+    // icnt segment offset within the words arena (see MachineState).
+    const std::size_t icnt_base =
+        std::size_t{num_threads_} * num_regs_ + num_threads_;
+    const std::size_t byte_off = (icnt_base + t) * sizeof(std::uint64_t);
+    const Page &pg = pages_[byte_off / kPageBytes];
+    std::uint64_t value;
+    std::memcpy(&value, pg->data() + byte_off % kPageBytes,
+                sizeof(value));
+    return value;
+}
+
+std::uint64_t
+StateSnapshot::flatBytes() const
+{
+    return word_count_ * sizeof(std::uint64_t) + byte_count_ +
+           smem_bytes_;
+}
+
+std::uint64_t
+StateSnapshot::uniqueBytes(std::unordered_set<const void *> &seen) const
+{
+    std::uint64_t total = 0;
+    for (const Page &pg : pages_) {
+        if (seen.insert(pg.get()).second)
+            total += pg->size();
+    }
+    return total;
 }
 
 } // namespace fsp::sim

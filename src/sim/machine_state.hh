@@ -12,15 +12,35 @@
  * only.  This is the substrate of checkpointed temporal replay in the
  * fault-injection engine (see faults/checkpoint.hh and DESIGN.md §9).
  *
- * Branch divergence needs no explicit reconvergence stack here: the
- * interpreter executes threads cooperatively (each to its next barrier
- * or exit), so a thread's entire control-flow position is its pc.
+ * Layout: the state is a structure-of-arrays arena rather than a vector
+ * of per-thread structs.  Two flat buffers hold everything mutable:
+ *
+ *   words  = [ regs: numThreads x numRegs | pc | icnt | faultBits ]
+ *   bytes  = [ ccs: numThreads x kNumPredRegs | flags: numThreads ]
+ *
+ * Registers are stored thread-major in *dense* slots: the executor's
+ * DecodedProgram renames the architectural GPR indices a kernel
+ * actually references (out of the 128-register PTXPlus namespace) down
+ * to a compact 0..numRegs-1 range, so a thread's whole live register
+ * file spans a cache line or two instead of 1 KiB.  The renaming is
+ *  invisible outside the executor -- fault plans address destinations
+ * positionally (dynamic index), never by register number.
+ *
+ * Thread-major (not lane-major) is deliberate: the interpreter executes
+ * threads cooperatively -- each runs to its next barrier or exit -- so
+ * the unit of locality is one thread's registers, not one register
+ * across a warp.  See DESIGN.md §13.
+ *
+ * Branch divergence needs no explicit reconvergence stack here: a
+ * thread's entire control-flow position is its pc.
  */
 
 #ifndef FSP_SIM_MACHINE_STATE_HH
 #define FSP_SIM_MACHINE_STATE_HH
 
 #include <cstdint>
+#include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/instruction.hh"
@@ -28,48 +48,204 @@
 
 namespace fsp::sim {
 
-/** Per-thread architectural state. */
-struct ThreadState
-{
-    std::uint64_t regs[kNumGpRegs];
-    std::uint8_t ccs[kNumPredRegs];
-    std::uint64_t pc = 0;
-    std::uint64_t icnt = 0;
-    std::uint64_t faultBits = 0;
-    bool exited = false;
-    bool atBarrier = false;
-    bool traced = false;
-
-    std::uint32_t tidX = 0, tidY = 0, tidZ = 0;
-    std::uint64_t globalId = 0;
-
-    void reset();
-};
+class StateSnapshot;
 
 /**
  * Complete execution state of one CTA, sufficient to resume it.
  *
  * Invariants at a capture point (i.e. whenever stepCta returns):
- *  - threads[i] for i < cursor have finished their slice of the current
+ *  - threads i < cursor have finished their slice of the current
  *    barrier phase (exited or atBarrier);
- *  - threads[cursor], if any, may be mid-slice (neither flag set);
+ *  - thread `cursor`, if any, may be mid-slice (neither flag set);
  *  - threads past cursor have not run in this phase (atBarrier false).
  *
  * Copying the object is the serialization: every field is a value, so a
  * copied state is a self-contained checkpoint that can be resumed any
- * number of times (Executor::run copies before resuming, leaving the
- * stored checkpoint immutable and shareable across threads).
+ * number of times.  Durable checkpoints use StateSnapshot instead,
+ * which shares unchanged pages between consecutive capture points.
  */
-struct MachineState
+class MachineState
 {
-    std::uint64_t ctaLinear = 0;        ///< linear CTA id in the grid
-    std::size_t cursor = 0;             ///< next thread index this phase
+  public:
+    std::uint64_t ctaLinear = 0;         ///< linear CTA id in the grid
+    std::size_t cursor = 0;              ///< next thread index this phase
     std::uint64_t executedDynInstrs = 0; ///< total executed in this CTA
-    std::vector<ThreadState> threads;   ///< one per CTA thread
-    SharedMemory smem;                  ///< CTA shared-memory contents
+    SharedMemory smem;                   ///< CTA shared-memory contents
+
+    /**
+     * Size the arena for @p numThreads threads of @p numRegs dense
+     * registers each and zero all per-thread state.  Buffers are
+     * reused when the geometry already matches (the executor calls
+     * this once per CTA on a long-lived scratch state).
+     */
+    void configure(std::uint32_t numThreads, std::uint32_t numRegs);
+
+    std::uint32_t numThreads() const { return num_threads_; }
+    std::uint32_t numRegs() const { return num_regs_; }
+
+    /** @{ Dense register slab of one thread (numRegs() words). */
+    std::uint64_t *
+    regs(std::uint32_t t)
+    {
+        return words_.data() + std::size_t{t} * num_regs_;
+    }
+    const std::uint64_t *
+    regs(std::uint32_t t) const
+    {
+        return words_.data() + std::size_t{t} * num_regs_;
+    }
+    /** @} */
+
+    /** @{ Condition-code registers of one thread (kNumPredRegs). */
+    std::uint8_t *
+    ccs(std::uint32_t t)
+    {
+        return bytes_.data() + std::size_t{t} * kNumPredRegs;
+    }
+    const std::uint8_t *
+    ccs(std::uint32_t t) const
+    {
+        return bytes_.data() + std::size_t{t} * kNumPredRegs;
+    }
+    /** @} */
+
+    /** @{ Per-thread scalar state. */
+    std::uint64_t &pc(std::uint32_t t) { return words_[pc_base_ + t]; }
+    std::uint64_t pc(std::uint32_t t) const { return words_[pc_base_ + t]; }
+    std::uint64_t &icnt(std::uint32_t t) { return words_[icnt_base_ + t]; }
+    std::uint64_t
+    icnt(std::uint32_t t) const
+    {
+        return words_[icnt_base_ + t];
+    }
+    std::uint64_t
+    &faultBits(std::uint32_t t)
+    {
+        return words_[fb_base_ + t];
+    }
+    std::uint64_t
+    faultBits(std::uint32_t t) const
+    {
+        return words_[fb_base_ + t];
+    }
+    /** @} */
+
+    /** @{ Scheduling flags, packed one byte per thread. */
+    bool
+    exited(std::uint32_t t) const
+    {
+        return bytes_[flags_base_ + t] & kFlagExited;
+    }
+    void
+    setExited(std::uint32_t t)
+    {
+        bytes_[flags_base_ + t] |= kFlagExited;
+    }
+    bool
+    atBarrier(std::uint32_t t) const
+    {
+        return bytes_[flags_base_ + t] & kFlagBarrier;
+    }
+    void
+    setAtBarrier(std::uint32_t t)
+    {
+        bytes_[flags_base_ + t] |= kFlagBarrier;
+    }
+    /** Release a barrier phase: clear every thread's barrier flag. */
+    void clearBarriers();
+    /** @} */
 
     /** Approximate in-memory footprint (checkpoint-budget metric). */
     std::uint64_t byteSize() const;
+
+  private:
+    friend class StateSnapshot;
+
+    static constexpr std::uint8_t kFlagExited = 1u << 0;
+    static constexpr std::uint8_t kFlagBarrier = 1u << 1;
+
+    std::uint32_t num_threads_ = 0;
+    std::uint32_t num_regs_ = 0;
+    std::size_t pc_base_ = 0;
+    std::size_t icnt_base_ = 0;
+    std::size_t fb_base_ = 0;
+    std::size_t flags_base_ = 0;
+    std::vector<std::uint64_t> words_;
+    std::vector<std::uint8_t> bytes_;
+};
+
+/**
+ * Immutable checkpoint of a MachineState, stored as copy-on-write
+ * pages.
+ *
+ * capture() chops the state's two arena buffers plus the shared-memory
+ * contents into fixed-size pages; when a previous snapshot of the same
+ * CTA is supplied, pages whose bytes are unchanged are *shared* with it
+ * (shared_ptr) instead of copied, so a chain of capture points along
+ * one CTA's execution costs only the pages that actually changed
+ * between them.  restoreInto() memcpys the pages straight into a
+ * reusable working state -- a single copy, no intermediate MachineState.
+ *
+ * Snapshots are immutable after capture() and safely shareable across
+ * threads (the campaign's worker clones all restore from the same
+ * store).
+ */
+class StateSnapshot
+{
+  public:
+    /** Page granularity for copy-on-write sharing. */
+    static constexpr std::size_t kPageBytes = 4096;
+
+    StateSnapshot() = default;
+
+    /** No state captured yet? */
+    bool empty() const { return num_threads_ == 0; }
+
+    /**
+     * Capture @p state.  @p prev, when non-null, must be a snapshot of
+     * the same CTA geometry (an earlier capture point of the same
+     * execution); unchanged pages are shared with it.
+     */
+    void capture(const MachineState &state,
+                 const StateSnapshot *prev = nullptr);
+
+    /**
+     * Restore the captured state into @p state, reusing its buffers.
+     * @return bytes copied (the restore cost).
+     */
+    std::uint64_t restoreInto(MachineState &state) const;
+
+    /** Dynamic instruction count of local thread @p t at capture. */
+    std::uint64_t icntOf(std::uint32_t t) const;
+
+    std::uint64_t ctaLinear() const { return cta_linear_; }
+    std::uint64_t executedDynInstrs() const { return executed_; }
+
+    /** Logical (uncompressed) size of the captured state in bytes. */
+    std::uint64_t flatBytes() const;
+
+    /**
+     * Account this snapshot's pages into @p seen, returning the bytes
+     * of pages not already present -- summing over a checkpoint chain
+     * yields the real (shared-page-deduplicated) memory footprint.
+     */
+    std::uint64_t
+    uniqueBytes(std::unordered_set<const void *> &seen) const;
+
+  private:
+    using Page = std::shared_ptr<const std::vector<std::uint8_t>>;
+
+    std::uint64_t cta_linear_ = 0;
+    std::uint64_t cursor_ = 0;
+    std::uint64_t executed_ = 0;
+    std::uint32_t num_threads_ = 0;
+    std::uint32_t num_regs_ = 0;
+    std::size_t word_count_ = 0; ///< words segment length (u64s)
+    std::size_t byte_count_ = 0; ///< ccs/flags segment length
+    std::size_t smem_bytes_ = 0; ///< shared-memory segment length
+    /** Pages covering words || bytes || smem; each segment starts a
+     *  fresh page so segments stay independently comparable. */
+    std::vector<Page> pages_;
 };
 
 } // namespace fsp::sim

@@ -11,29 +11,9 @@
 
 namespace fsp::sim {
 
-namespace {
-
-inline bool
-aligned(std::uint64_t addr, unsigned width)
-{
-    return (addr & (width - 1)) == 0;
-}
-
-inline std::uint64_t
-loadRaw(const std::uint8_t *base, unsigned width)
-{
-    std::uint64_t out = 0;
-    std::memcpy(&out, base, width);
-    return out;
-}
-
-inline void
-storeRaw(std::uint8_t *base, unsigned width, std::uint64_t value)
-{
-    std::memcpy(base, &value, width);
-}
-
-} // namespace
+using detail::aligned;
+using detail::loadRaw;
+using detail::storeRaw;
 
 GlobalMemory::GlobalMemory(std::size_t capacity_bytes)
     : capacity_(capacity_bytes)
@@ -55,37 +35,6 @@ GlobalMemory::allocate(std::size_t bytes, std::size_t alignment)
     dirty_flags_.resize(
         (bump_ + kDirtyChunkBytes - 1) / kDirtyChunkBytes, 0);
     return kBaseAddr + start;
-}
-
-bool
-GlobalMemory::inBounds(std::uint64_t addr, unsigned width) const
-{
-    return addr >= kBaseAddr && addr + width <= kBaseAddr + bump_;
-}
-
-AccessError
-GlobalMemory::load(std::uint64_t addr, unsigned width,
-                   std::uint64_t &out) const
-{
-    if (!inBounds(addr, width))
-        return AccessError::Unmapped;
-    if (!aligned(addr, width))
-        return AccessError::Misaligned;
-    out = loadRaw(data_.data() + (addr - kBaseAddr), width);
-    return AccessError::None;
-}
-
-AccessError
-GlobalMemory::store(std::uint64_t addr, unsigned width, std::uint64_t value)
-{
-    if (!inBounds(addr, width))
-        return AccessError::Unmapped;
-    if (!aligned(addr, width))
-        return AccessError::Misaligned;
-    std::size_t offset = static_cast<std::size_t>(addr - kBaseAddr);
-    storeRaw(data_.data() + offset, width, value);
-    markDirty(offset, width);
-    return AccessError::None;
 }
 
 void
@@ -247,29 +196,6 @@ GlobalMemory::dirtyIntervals() const
     return IntervalSet::fromUnsorted(std::move(raw));
 }
 
-AccessError
-SharedMemory::load(std::uint64_t addr, unsigned width,
-                   std::uint64_t &out) const
-{
-    if (addr + width > data_.size())
-        return AccessError::Unmapped;
-    if (!aligned(addr, width))
-        return AccessError::Misaligned;
-    out = loadRaw(data_.data() + addr, width);
-    return AccessError::None;
-}
-
-AccessError
-SharedMemory::store(std::uint64_t addr, unsigned width, std::uint64_t value)
-{
-    if (addr + width > data_.size())
-        return AccessError::Unmapped;
-    if (!aligned(addr, width))
-        return AccessError::Misaligned;
-    storeRaw(data_.data() + addr, width, value);
-    return AccessError::None;
-}
-
 std::size_t
 ParamBuffer::addU32(std::uint32_t value)
 {
@@ -294,18 +220,6 @@ std::size_t
 ParamBuffer::addF32(float value)
 {
     return addU32(std::bit_cast<std::uint32_t>(value));
-}
-
-AccessError
-ParamBuffer::load(std::uint64_t addr, unsigned width,
-                  std::uint64_t &out) const
-{
-    if (addr + width > data_.size())
-        return AccessError::Unmapped;
-    if (!aligned(addr, width))
-        return AccessError::Misaligned;
-    out = loadRaw(data_.data() + addr, width);
-    return AccessError::None;
 }
 
 void

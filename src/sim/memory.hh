@@ -31,6 +31,30 @@ enum class AccessError : std::uint8_t
     Misaligned, ///< address not naturally aligned for the access width
 };
 
+namespace detail {
+
+inline bool
+aligned(std::uint64_t addr, unsigned width)
+{
+    return (addr & (width - 1)) == 0;
+}
+
+inline std::uint64_t
+loadRaw(const std::uint8_t *base, unsigned width)
+{
+    std::uint64_t out = 0;
+    std::memcpy(&out, base, width);
+    return out;
+}
+
+inline void
+storeRaw(std::uint8_t *base, unsigned width, std::uint64_t value)
+{
+    std::memcpy(base, &value, width);
+}
+
+} // namespace detail
+
 /**
  * Snapshot of a GlobalMemory's dirty chunks: the chunk indices plus
  * their byte contents at capture time.  A delta captured on one image
@@ -92,16 +116,35 @@ class GlobalMemory
     std::size_t allocatedBytes() const { return bump_; }
 
     /**
-     * Device-side load of @p width bytes (1/2/4/8).
+     * Device-side load of @p width bytes (1/2/4/8).  Inline: this is
+     * the interpreter's hottest memory path.
      *
      * @return AccessError::None and sets @p out on success.
      */
-    AccessError load(std::uint64_t addr, unsigned width,
-                     std::uint64_t &out) const;
+    AccessError
+    load(std::uint64_t addr, unsigned width, std::uint64_t &out) const
+    {
+        if (!inBounds(addr, width))
+            return AccessError::Unmapped;
+        if (!detail::aligned(addr, width))
+            return AccessError::Misaligned;
+        out = detail::loadRaw(data_.data() + (addr - kBaseAddr), width);
+        return AccessError::None;
+    }
 
     /** Device-side store of @p width bytes (1/2/4/8). */
-    AccessError store(std::uint64_t addr, unsigned width,
-                      std::uint64_t value);
+    AccessError
+    store(std::uint64_t addr, unsigned width, std::uint64_t value)
+    {
+        if (!inBounds(addr, width))
+            return AccessError::Unmapped;
+        if (!detail::aligned(addr, width))
+            return AccessError::Misaligned;
+        std::size_t offset = static_cast<std::size_t>(addr - kBaseAddr);
+        detail::storeRaw(data_.data() + offset, width, value);
+        markDirty(offset, width);
+        return AccessError::None;
+    }
 
     /** @{ Host-side typed accessors (bounds enforced via panic). */
     void pokeU32(std::uint64_t addr, std::uint32_t value);
@@ -162,7 +205,11 @@ class GlobalMemory
     IntervalSet dirtyIntervals() const;
 
   private:
-    bool inBounds(std::uint64_t addr, unsigned width) const;
+    bool
+    inBounds(std::uint64_t addr, unsigned width) const
+    {
+        return addr >= kBaseAddr && addr + width <= kBaseAddr + bump_;
+    }
 
     /** Mark the chunks covering @p bytes at arena @p offset dirty. */
     void
@@ -199,10 +246,30 @@ class SharedMemory
     std::size_t size() const { return data_.size(); }
     const std::vector<std::uint8_t> &bytes() const { return data_; }
 
-    AccessError load(std::uint64_t addr, unsigned width,
-                     std::uint64_t &out) const;
-    AccessError store(std::uint64_t addr, unsigned width,
-                      std::uint64_t value);
+    /** Raw mutable contents (checkpoint restore writes pages here). */
+    std::uint8_t *data() { return data_.data(); }
+
+    AccessError
+    load(std::uint64_t addr, unsigned width, std::uint64_t &out) const
+    {
+        if (addr + width > data_.size())
+            return AccessError::Unmapped;
+        if (!detail::aligned(addr, width))
+            return AccessError::Misaligned;
+        out = detail::loadRaw(data_.data() + addr, width);
+        return AccessError::None;
+    }
+
+    AccessError
+    store(std::uint64_t addr, unsigned width, std::uint64_t value)
+    {
+        if (addr + width > data_.size())
+            return AccessError::Unmapped;
+        if (!detail::aligned(addr, width))
+            return AccessError::Misaligned;
+        detail::storeRaw(data_.data() + addr, width, value);
+        return AccessError::None;
+    }
 
   private:
     std::vector<std::uint8_t> data_;
@@ -222,8 +289,16 @@ class ParamBuffer
     /** Append a float; @return its byte offset. */
     std::size_t addF32(float value);
 
-    AccessError load(std::uint64_t addr, unsigned width,
-                     std::uint64_t &out) const;
+    AccessError
+    load(std::uint64_t addr, unsigned width, std::uint64_t &out) const
+    {
+        if (addr + width > data_.size())
+            return AccessError::Unmapped;
+        if (!detail::aligned(addr, width))
+            return AccessError::Misaligned;
+        out = detail::loadRaw(data_.data() + addr, width);
+        return AccessError::None;
+    }
 
     const std::vector<std::uint8_t> &bytes() const { return data_; }
     std::size_t size() const { return data_.size(); }

@@ -9,42 +9,6 @@
 
 namespace fsp::sim {
 
-unsigned
-typeBits(DataType type)
-{
-    switch (type) {
-      case DataType::U16:
-      case DataType::S16:
-        return 16;
-      case DataType::U32:
-      case DataType::S32:
-      case DataType::F32:
-        return 32;
-      case DataType::U64:
-      case DataType::S64:
-      case DataType::F64:
-        return 64;
-      case DataType::Pred:
-        return 4;
-      case DataType::None:
-        return 0;
-    }
-    panic("unreachable DataType");
-}
-
-bool
-isFloatType(DataType type)
-{
-    return type == DataType::F32 || type == DataType::F64;
-}
-
-bool
-isSignedType(DataType type)
-{
-    return type == DataType::S16 || type == DataType::S32 ||
-           type == DataType::S64;
-}
-
 std::string
 typeName(DataType type)
 {

@@ -32,14 +32,48 @@ enum class DataType : std::uint8_t
     None,
 };
 
-/** Bit width of a value of the given type (Pred is the 4-bit CC). */
-unsigned typeBits(DataType type);
+/**
+ * Bit width of a value of the given type (Pred is the 4-bit CC).
+ * Inline (as are the two predicates below): these are consulted on
+ * the interpreter's per-instruction path.
+ */
+inline unsigned
+typeBits(DataType type)
+{
+    switch (type) {
+      case DataType::U16:
+      case DataType::S16:
+        return 16;
+      case DataType::U32:
+      case DataType::S32:
+      case DataType::F32:
+        return 32;
+      case DataType::U64:
+      case DataType::S64:
+      case DataType::F64:
+        return 64;
+      case DataType::Pred:
+        return 4;
+      case DataType::None:
+      default:
+        return 0;
+    }
+}
 
 /** True for F32/F64. */
-bool isFloatType(DataType type);
+inline bool
+isFloatType(DataType type)
+{
+    return type == DataType::F32 || type == DataType::F64;
+}
 
 /** True for S16/S32/S64. */
-bool isSignedType(DataType type);
+inline bool
+isSignedType(DataType type)
+{
+    return type == DataType::S16 || type == DataType::S32 ||
+           type == DataType::S64;
+}
 
 /** PTX-style suffix name ("u32", "pred", ...). */
 std::string typeName(DataType type);

@@ -78,7 +78,7 @@ TEST(SteppingEngine, WatermarkSteppingMatchesOneShotRun)
                             status == sim::CtaStepStatus::Retired);
             } while (status != sim::CtaStepStatus::Retired);
             for (std::uint64_t t = 0; t < block; ++t) {
-                EXPECT_EQ(ms.threads[t].icnt,
+                EXPECT_EQ(ms.icnt(t),
                           full.trace.profiles[cta * block + t].iCnt)
                     << "cta " << cta << " thread " << t;
             }
@@ -147,7 +147,7 @@ TEST(CheckpointStore, FindReturnsLatestUsableCheckpoint)
         if (cp == nullptr)
             continue;
         found = true;
-        EXPECT_LE(cp->state.threads[lt].icnt, dyn);
+        EXPECT_LE(cp->state.icntOf(lt), dyn);
         EXPECT_GE(cp->ctaDynInstrs, last);
         last = cp->ctaDynInstrs;
     }
