@@ -75,6 +75,10 @@ writeCampaignStats(JsonWriter &json, const CampaignStats &stats)
         json.field("replayedSites", stats.replayedSites);
         json.endObject();
     }
+    if (!stats.workerError.empty()) {
+        json.field("workerError", stats.workerError);
+        json.field("abandonedChunks", stats.abandonedChunks);
+    }
     json.beginObject("injectionStats");
     writeInjectionStats(json, stats.injection);
     json.endObject();
@@ -227,7 +231,7 @@ CampaignEngine::classifyPending(
     // while classified; detached again even if a worker body throws.
     InjectorObserverScope injector_observers(injectors_, observer);
 
-    pool_.parallelFor(chunks, [&](std::size_t chunk, unsigned worker) {
+    auto body = [&](std::size_t chunk, unsigned worker) {
         std::size_t begin = chunk * chunk_size;
         std::size_t end = std::min(begin + chunk_size, count);
         Injector &injector = *injectors_[worker];
@@ -296,7 +300,25 @@ CampaignEngine::classifyPending(
                 "campaign aborted by abortAfterSites after " +
                 std::to_string(sites_done) + " sites");
         }
-    });
+    };
+    try {
+        pool_.parallelFor(chunks, body);
+    } catch (const CampaignAborted &) {
+        // The testing kill-switch; callers assert on the exact type.
+        stats_.abandonedChunks = pool_.lastAbandonedChunks();
+        throw;
+    } catch (const std::exception &e) {
+        // A worker body failed: surface the cause and how much of the
+        // job the pool abandoned because of it, instead of letting the
+        // raw exception escape with no campaign context.
+        stats_.workerError = e.what();
+        stats_.abandonedChunks = pool_.lastAbandonedChunks();
+        throw CampaignError(
+            "campaign failed: " + std::string(e.what()) + " (" +
+                std::to_string(stats_.abandonedChunks) + " of " +
+                std::to_string(chunks) + " chunks abandoned)",
+            stats_.abandonedChunks);
+    }
 
     for (unsigned w = 0; w < workers; ++w)
         stats_.injection.merge(injectors_[w]->stats().since(before[w]));

@@ -65,6 +65,30 @@ class CampaignAborted : public std::runtime_error
     using std::runtime_error::runtime_error;
 };
 
+/**
+ * A worker body threw during parallel classification: the message
+ * carries the first exception's text plus how many chunks the pool
+ * abandoned unclaimed, so a failed campaign reports *why* it stopped
+ * instead of silently dropping the cause.  The journal retains every
+ * chunk committed before the failure, so a resume picks up where the
+ * failure cut the run short.
+ */
+class CampaignError : public std::runtime_error
+{
+  public:
+    CampaignError(const std::string &message,
+                  std::size_t abandonedChunks)
+        : std::runtime_error(message), abandoned_chunks_(abandonedChunks)
+    {
+    }
+
+    /** Chunks never claimed because of the failure. */
+    std::size_t abandonedChunks() const { return abandoned_chunks_; }
+
+  private:
+    std::size_t abandoned_chunks_ = 0;
+};
+
 /** Campaign engine knobs. */
 struct CampaignOptions
 {
@@ -189,6 +213,16 @@ struct CampaignStats
     InjectionStats injection; ///< summed over workers, this campaign only
     std::string journalPath;  ///< empty when no journal was attached
     bool resumed = false;     ///< run opened an existing journal
+
+    /**
+     * @{ Failure report of an aborted classification: the first worker
+     * exception's message and the chunk count the pool abandoned
+     * unclaimed because of it.  Empty/zero on success.  Filled before
+     * CampaignError propagates, so lastStats() explains a failed run.
+     */
+    std::string workerError;
+    std::uint64_t abandonedChunks = 0;
+    /** @} */
 
     /** One-line human-readable summary for logs. */
     std::string summary() const;

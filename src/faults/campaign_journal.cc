@@ -23,6 +23,7 @@ namespace {
 
 constexpr char kMagic[8] = {'F', 'S', 'P', 'J', 'N', 'L', '0', '2'};
 constexpr std::uint64_t kFooterSentinel = ~std::uint64_t{0};
+constexpr std::uint64_t kShardSentinel = ~std::uint64_t{0} - 1;
 
 struct JournalHeader
 {
@@ -50,6 +51,19 @@ struct JournalRecord
     std::uint32_t checksum; ///< hash of headerHash + every field above
 };
 static_assert(sizeof(JournalRecord) == 56, "record layout drifted");
+
+/** Shard extension block, sealed right after the header (see ShardInfo). */
+struct JournalShardExt
+{
+    std::uint64_t sentinel; ///< kShardSentinel, never a site index
+    std::uint64_t campaignHash;
+    std::uint64_t siteOffset;
+    std::uint64_t campaignSites;
+    std::uint32_t shardIndex;
+    std::uint32_t shardCount;
+    std::uint64_t checksum; ///< hash of headerHash + every field above
+};
+static_assert(sizeof(JournalShardExt) == 48, "shard ext layout drifted");
 
 struct JournalFooter
 {
@@ -90,6 +104,20 @@ recordChecksum(std::uint64_t headerHash, const JournalRecord &record)
     return static_cast<std::uint32_t>(hasher.digest());
 }
 
+std::uint64_t
+shardExtChecksum(std::uint64_t headerHash, const JournalShardExt &ext)
+{
+    JournalHasher hasher;
+    hasher.update(headerHash);
+    hasher.update(ext.sentinel);
+    hasher.update(ext.campaignHash);
+    hasher.update(ext.siteOffset);
+    hasher.update(ext.campaignSites);
+    hasher.update(std::uint64_t{ext.shardIndex});
+    hasher.update(std::uint64_t{ext.shardCount});
+    return hasher.digest();
+}
+
 std::uint32_t
 footerChecksum(std::uint64_t headerHash, const JournalFooter &footer)
 {
@@ -109,6 +137,27 @@ footerChecksum(std::uint64_t headerHash, const JournalFooter &footer)
 throwErrno(const std::string &what, const std::string &path)
 {
     throw JournalError(what + " '" + path + "': " + std::strerror(errno));
+}
+
+/** "0x1234abcd" -- hashes and checksums in diagnostics. */
+std::string
+hex(std::uint64_t value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(value));
+    return buf;
+}
+
+/**
+ * Diagnostics name the journal, the byte offset of the offending
+ * entry, and (for hash mismatches) the expected-vs-found values, so
+ * the corrupt shard of an N-shard campaign identifies itself.
+ */
+std::string
+journalAt(const std::string &path, std::size_t offset)
+{
+    return "journal '" + path + "' (byte " + std::to_string(offset) + ")";
 }
 
 /** Read the whole file through @p fd (position is left undefined). */
@@ -244,7 +293,8 @@ CampaignJournal::~CampaignJournal()
 
 CampaignJournal
 CampaignJournal::create(const std::string &path, std::uint64_t headerHash,
-                        std::uint64_t modelHash, std::uint64_t siteCount)
+                        std::uint64_t modelHash, std::uint64_t siteCount,
+                        const ShardInfo *shard)
 {
     int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
     if (fd < 0)
@@ -258,52 +308,72 @@ CampaignJournal::create(const std::string &path, std::uint64_t headerHash,
     header.modelHash = modelHash;
     header.checksum = headerChecksum(header);
     journal.writeAll(&header, sizeof(header));
+    if (shard) {
+        JournalShardExt ext{};
+        ext.sentinel = kShardSentinel;
+        ext.campaignHash = shard->campaignHash;
+        ext.siteOffset = shard->siteOffset;
+        ext.campaignSites = shard->campaignSites;
+        ext.shardIndex = shard->shardIndex;
+        ext.shardCount = shard->shardCount;
+        ext.checksum = shardExtChecksum(headerHash, ext);
+        journal.writeAll(&ext, sizeof(ext));
+    }
     journal.syncToDisk();
     return journal;
 }
 
-CampaignJournal
-CampaignJournal::openOrResume(const std::string &path,
-                              std::uint64_t headerHash,
-                              std::uint64_t modelHash,
-                              std::uint64_t siteCount, Resume &resume)
+namespace {
+
+/**
+ * Validate and replay a whole-file snapshot into @p resume; throws
+ * JournalError with the file path, byte offset, and expected-vs-found
+ * hash of the first problem.  Shared by openOrResume() and inspect()
+ * so both see identical validation.
+ */
+void
+parseJournal(const std::vector<std::uint8_t> &bytes,
+             const std::string &path, std::uint64_t headerHash,
+             std::uint64_t modelHash, std::uint64_t siteCount,
+             CampaignJournal::Resume &resume)
 {
-    resume = Resume{};
+    resume = CampaignJournal::Resume{};
     resume.outcomes.assign(siteCount, Outcome::Invalid);
     resume.details.assign(siteCount, InjectionDetail{});
     resume.done.assign(siteCount, false);
 
-    int fd = ::open(path.c_str(), O_RDWR);
-    if (fd < 0) {
-        if (errno == ENOENT)
-            return create(path, headerHash, modelHash, siteCount);
-        throwErrno("cannot open journal", path);
-    }
-    CampaignJournal journal(path, fd, headerHash);
-    auto bytes = readWholeFile(fd, path);
-
     if (bytes.size() < sizeof(JournalHeader)) {
         throw JournalError("journal '" + path +
-                           "' is truncated: no complete header");
+                           "' is truncated: no complete header (" +
+                           std::to_string(bytes.size()) + " of " +
+                           std::to_string(sizeof(JournalHeader)) +
+                           " header bytes)");
     }
     JournalHeader header;
     std::memcpy(&header, bytes.data(), sizeof(header));
     if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0)
         throw JournalError("'" + path + "' is not a campaign journal");
-    if (header.checksum != headerChecksum(header))
-        throw JournalError("journal '" + path +
-                           "' has a corrupt header (checksum mismatch)");
+    if (header.checksum != headerChecksum(header)) {
+        throw JournalError(journalAt(path, 0) +
+                           " has a corrupt header (checksum mismatch: "
+                           "expected " + hex(headerChecksum(header)) +
+                           ", found " + hex(header.checksum) + ")");
+    }
     if (header.modelHash != modelHash && header.headerHash == headerHash) {
         throw JournalError(
             "journal '" + path +
-            "' was recorded under a different fault model; resume with "
-            "the original --fault-model or delete the journal");
+            "' was recorded under a different fault model (journal model "
+            "hash " + hex(header.modelHash) + ", campaign expects " +
+            hex(modelHash) + "); resume with the original --fault-model "
+            "or delete the journal");
     }
     if (header.headerHash != headerHash) {
         throw JournalError(
             "journal '" + path +
             "' has a stale header hash: it records a different campaign "
-            "(site list, kernel/pruning config, or seed changed)");
+            "(site list, kernel/pruning config, or seed changed; journal "
+            "hash " + hex(header.headerHash) + ", campaign expects " +
+            hex(headerHash) + ")");
     }
     if (header.siteCount != siteCount) {
         throw JournalError("journal '" + path + "' covers " +
@@ -316,8 +386,8 @@ CampaignJournal::openOrResume(const std::string &path,
     bool sawFooter = false;
     while (offset < bytes.size()) {
         if (sawFooter) {
-            throw JournalError("journal '" + path +
-                               "' has trailing bytes after its footer");
+            throw JournalError(journalAt(path, offset) +
+                               " has trailing bytes after its footer");
         }
         std::uint64_t lead;
         if (bytes.size() - offset < sizeof(lead)) {
@@ -327,17 +397,51 @@ CampaignJournal::openOrResume(const std::string &path,
         }
         std::memcpy(&lead, bytes.data() + offset, sizeof(lead));
 
+        if (lead == kShardSentinel) {
+            if (resume.shard) {
+                throw JournalError(journalAt(path, offset) +
+                                   " has a duplicate shard extension");
+            }
+            if (bytes.size() - offset < sizeof(JournalShardExt)) {
+                throw JournalError("journal '" + path +
+                                   "' is truncated: partial shard "
+                                   "extension at byte " +
+                                   std::to_string(offset));
+            }
+            JournalShardExt ext;
+            std::memcpy(&ext, bytes.data() + offset, sizeof(ext));
+            if (ext.checksum != shardExtChecksum(headerHash, ext)) {
+                throw JournalError(
+                    journalAt(path, offset) +
+                    " has a corrupt shard extension (checksum mismatch: "
+                    "expected " + hex(shardExtChecksum(headerHash, ext)) +
+                    ", found " + hex(ext.checksum) + ")");
+            }
+            ShardInfo info;
+            info.campaignHash = ext.campaignHash;
+            info.siteOffset = ext.siteOffset;
+            info.campaignSites = ext.campaignSites;
+            info.shardIndex = ext.shardIndex;
+            info.shardCount = ext.shardCount;
+            resume.shard = info;
+            offset += sizeof(ext);
+            continue;
+        }
+
         if (lead == kFooterSentinel) {
             if (bytes.size() - offset < sizeof(JournalFooter)) {
                 throw JournalError("journal '" + path +
-                                   "' is truncated: partial footer");
+                                   "' is truncated: partial footer at "
+                                   "byte " + std::to_string(offset));
             }
             JournalFooter footer;
             std::memcpy(&footer, bytes.data() + offset, sizeof(footer));
             if (footer.checksum != footerChecksum(headerHash, footer)) {
-                throw JournalError("journal '" + path +
-                                   "' has a corrupt footer "
-                                   "(checksum mismatch)");
+                throw JournalError(
+                    journalAt(path, offset) +
+                    " has a corrupt footer (checksum mismatch: expected " +
+                    hex(footerChecksum(headerHash, footer)) + ", found " +
+                    hex(footer.checksum) + ")");
             }
             resume.complete = true;
             resume.footer.replaySeconds = footer.replaySeconds;
@@ -354,29 +458,33 @@ CampaignJournal::openOrResume(const std::string &path,
         if (bytes.size() - offset < sizeof(JournalRecord)) {
             throw JournalError(
                 "journal '" + path + "' is truncated: partial record at "
-                "byte " + std::to_string(offset));
+                "byte " + std::to_string(offset) + " (" +
+                std::to_string(bytes.size() - offset) + " of " +
+                std::to_string(sizeof(JournalRecord)) + " bytes)");
         }
         JournalRecord record;
         std::memcpy(&record, bytes.data() + offset, sizeof(record));
         std::size_t recordNumber = resume.doneCount;
         if (record.checksum != recordChecksum(headerHash, record)) {
-            throw JournalError("journal '" + path +
-                               "' has a corrupt record (checksum "
-                               "mismatch at record " +
-                               std::to_string(recordNumber) + ")");
+            throw JournalError(
+                journalAt(path, offset) +
+                " has a corrupt record (checksum mismatch at record " +
+                std::to_string(recordNumber) + ": expected " +
+                hex(recordChecksum(headerHash, record)) + ", found " +
+                hex(record.checksum) + ")");
         }
         if (record.siteIndex >= siteCount ||
             record.outcome > static_cast<std::uint32_t>(Outcome::Invalid) ||
             record.pattern >= kNumSdcPatterns ||
             (record.flags & ~kRecordHasAnatomy) != 0) {
-            throw JournalError("journal '" + path +
-                               "' has a corrupt record (out-of-range "
+            throw JournalError(journalAt(path, offset) +
+                               " has a corrupt record (out-of-range "
                                "values at record " +
                                std::to_string(recordNumber) + ")");
         }
         if (resume.done[record.siteIndex]) {
-            throw JournalError("journal '" + path +
-                               "' has a duplicate record for site " +
+            throw JournalError(journalAt(path, offset) +
+                               " has a duplicate record for site " +
                                std::to_string(record.siteIndex));
         }
         resume.done[record.siteIndex] = true;
@@ -400,11 +508,55 @@ CampaignJournal::openOrResume(const std::string &path,
             std::to_string(resume.footer.sitesDone) + " sites but " +
             std::to_string(resume.doneCount) + " records are present");
     }
+}
+
+} // namespace
+
+CampaignJournal
+CampaignJournal::openOrResume(const std::string &path,
+                              std::uint64_t headerHash,
+                              std::uint64_t modelHash,
+                              std::uint64_t siteCount, Resume &resume)
+{
+    int fd = ::open(path.c_str(), O_RDWR);
+    if (fd < 0) {
+        if (errno == ENOENT) {
+            resume = Resume{};
+            resume.outcomes.assign(siteCount, Outcome::Invalid);
+            resume.details.assign(siteCount, InjectionDetail{});
+            resume.done.assign(siteCount, false);
+            return create(path, headerHash, modelHash, siteCount);
+        }
+        throwErrno("cannot open journal", path);
+    }
+    CampaignJournal journal(path, fd, headerHash);
+    auto bytes = readWholeFile(fd, path);
+    parseJournal(bytes, path, headerHash, modelHash, siteCount, resume);
 
     journal.committed_ = resume.doneCount;
     if (::lseek(fd, 0, SEEK_END) < 0)
         throwErrno("cannot seek journal", path);
     return journal;
+}
+
+CampaignJournal::Resume
+CampaignJournal::inspect(const std::string &path, std::uint64_t headerHash,
+                         std::uint64_t modelHash, std::uint64_t siteCount)
+{
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        throwErrno("cannot open journal", path);
+    std::vector<std::uint8_t> bytes;
+    try {
+        bytes = readWholeFile(fd, path);
+    } catch (...) {
+        ::close(fd);
+        throw;
+    }
+    ::close(fd);
+    Resume resume;
+    parseJournal(bytes, path, headerHash, modelHash, siteCount, resume);
+    return resume;
 }
 
 void

@@ -19,6 +19,10 @@
  *
  *   [JournalHeader]  magic, header hash, model hash, site count,
  *                    checksum
+ *   [JournalShardExt] optional; present only on shard journals of a
+ *                    sharded campaign (see shard_plan.hh): the parent
+ *                    campaign's identity hash, this shard's index and
+ *                    count, and the shard's global site offset
  *   [JournalRecord]* one per completed site, any order, no duplicates;
  *                    each carries the outcome plus the injection
  *                    detail (static instruction index, SDC anatomy)
@@ -42,6 +46,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -89,6 +94,23 @@ struct JournalKey
     std::uint64_t seed = 0;
 };
 
+/**
+ * Identity of one shard of a sharded campaign, sealed into the shard
+ * journal's extension block right after the header.  Record indices in
+ * a shard journal are shard-local (0 .. shard size); siteOffset maps
+ * them back to positions in the parent campaign's site list.
+ */
+struct ShardInfo
+{
+    std::uint64_t campaignHash = 0;  ///< header hash of the FULL site list
+    std::uint64_t siteOffset = 0;    ///< global index of the shard's first site
+    std::uint64_t campaignSites = 0; ///< full campaign site count
+    std::uint32_t shardIndex = 0;    ///< this shard, in [0, shardCount)
+    std::uint32_t shardCount = 1;
+
+    bool operator==(const ShardInfo &other) const = default;
+};
+
 /** @{ Header hash over the campaign identity and its full site list. */
 std::uint64_t
 journalHeaderHash(const JournalKey &key, std::size_t count,
@@ -133,19 +155,25 @@ class CampaignJournal
         std::uint64_t doneCount = 0;
         bool complete = false; ///< a valid footer was found
         Phases footer;         ///< valid when complete
+
+        /** Present when the file carries a shard extension block. */
+        std::optional<ShardInfo> shard;
     };
 
     /**
      * Start a fresh journal at @p path (truncating any existing file)
      * for a campaign of @p siteCount sites identified by
      * @p headerHash, run under the fault model identified by
-     * @p modelHash (FaultModel::identityHash()).  The header is
-     * durable on return.
+     * @p modelHash (FaultModel::identityHash()).  When @p shard is
+     * non-null the journal is one shard of a sharded campaign and the
+     * shard extension block is sealed right after the header.  The
+     * header (and extension) are durable on return.
      */
     static CampaignJournal create(const std::string &path,
                                   std::uint64_t headerHash,
                                   std::uint64_t modelHash,
-                                  std::uint64_t siteCount);
+                                  std::uint64_t siteCount,
+                                  const ShardInfo *shard = nullptr);
 
     /**
      * Open an existing journal, validate its header against
@@ -160,6 +188,19 @@ class CampaignJournal
                                         std::uint64_t modelHash,
                                         std::uint64_t siteCount,
                                         Resume &resume);
+
+    /**
+     * Read-only validation and replay: open @p path, run exactly the
+     * openOrResume() validation against @p headerHash / @p modelHash /
+     * @p siteCount and return the replayed Resume without keeping a
+     * writer open.  Unlike openOrResume(), a missing file is an error
+     * (JournalError naming the path) -- inspection never creates.
+     * This is what the journal-merge validator and `fsp merge` use.
+     */
+    static Resume inspect(const std::string &path,
+                          std::uint64_t headerHash,
+                          std::uint64_t modelHash,
+                          std::uint64_t siteCount);
 
     CampaignJournal(CampaignJournal &&other) noexcept;
     CampaignJournal &operator=(CampaignJournal &&other) noexcept;

@@ -47,6 +47,8 @@ struct WeightedSite
 {
     FaultSite site;
     double weight = 1.0;
+
+    bool operator==(const WeightedSite &other) const = default;
 };
 
 } // namespace fsp::faults

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Shard-journal merge implementation.
+ */
+
+#include "faults/journal_merge.hh"
+
+#include <algorithm>
+
+namespace fsp::faults {
+
+MergeReport
+mergeShardJournals(const JournalKey &key,
+                   const std::vector<WeightedSite> &sites,
+                   std::uint64_t modelHash,
+                   const std::vector<std::string> &shardPaths,
+                   const MergeOptions &options)
+{
+    if (shardPaths.empty())
+        throw JournalError("merge needs at least one shard journal");
+    if (shardPaths.size() > ~std::uint32_t{0})
+        throw JournalError("too many shard journals");
+
+    auto shard_count = static_cast<std::uint32_t>(shardPaths.size());
+    ShardPlan plan = planShards(key, sites, shard_count);
+
+    MergeReport report;
+    report.campaignHash = plan.campaignHash;
+    report.campaignSites = sites.size();
+    report.shards.reserve(shard_count);
+
+    // --- Validate + replay every shard.  inspect() enforces the
+    // shard-local identity (header hash over the sub-list); the
+    // extension check then pins the shard to THIS campaign's geometry.
+    std::vector<CampaignJournal::Resume> resumes;
+    resumes.reserve(shard_count);
+    for (std::uint32_t s = 0; s < shard_count; ++s) {
+        const ShardPlanEntry &entry = plan.shards[s];
+        CampaignJournal::Resume resume = CampaignJournal::inspect(
+            shardPaths[s], entry.headerHash, modelHash,
+            entry.sites.size());
+        if (!resume.shard) {
+            throw JournalError(
+                "journal '" + shardPaths[s] +
+                "' has no shard extension: it is not a shard journal");
+        }
+        if (!(*resume.shard == entry.info)) {
+            throw JournalError(
+                "journal '" + shardPaths[s] +
+                "' is shard " + std::to_string(resume.shard->shardIndex) +
+                "/" + std::to_string(resume.shard->shardCount) +
+                " at offset " + std::to_string(resume.shard->siteOffset) +
+                ", expected shard " + std::to_string(s) + "/" +
+                std::to_string(shard_count) + " at offset " +
+                std::to_string(entry.info.siteOffset) +
+                " of this campaign");
+        }
+        ShardMergeInfo info;
+        info.path = shardPaths[s];
+        info.sites = entry.sites.size();
+        info.done = resume.doneCount;
+        info.complete = resume.complete;
+        report.sitesDone += resume.doneCount;
+        if (resume.complete) {
+            report.phases.replaySeconds += resume.footer.replaySeconds;
+            report.phases.injectSeconds += resume.footer.injectSeconds;
+            report.phases.foldSeconds += resume.footer.foldSeconds;
+            report.phases.workers =
+                std::max(report.phases.workers, resume.footer.workers);
+        }
+        report.shards.push_back(std::move(info));
+        resumes.push_back(std::move(resume));
+    }
+
+    report.complete = report.sitesDone == report.campaignSites;
+    if (options.requireComplete && !report.complete) {
+        for (std::uint32_t s = 0; s < shard_count; ++s) {
+            if (report.shards[s].done < report.shards[s].sites) {
+                throw JournalError(
+                    "journal '" + shardPaths[s] + "' is incomplete (" +
+                    std::to_string(report.shards[s].done) + " of " +
+                    std::to_string(report.shards[s].sites) +
+                    " sites classified); rerun the shard or merge with "
+                    "requireComplete off");
+            }
+        }
+    }
+
+    // --- Serial fold in GLOBAL site order -- the exact fold of
+    // CampaignEngine::runCampaign, so dist/runs/anatomy accumulate in
+    // the same order with the same weights, bit for bit.  With the
+    // contiguous plan, global order is simply shard order then
+    // shard-local order.
+    for (std::uint32_t s = 0; s < shard_count; ++s) {
+        const ShardPlanEntry &entry = plan.shards[s];
+        const CampaignJournal::Resume &resume = resumes[s];
+        for (std::size_t i = 0; i < entry.sites.size(); ++i) {
+            if (!resume.done[i])
+                continue;
+            Outcome outcome = resume.outcomes[i];
+            double weight = entry.sites[i].weight;
+            report.result.dist.add(outcome, weight);
+            report.result.runs++;
+            if (outcome != Outcome::Invalid) {
+                const InjectionDetail &detail = resume.details[i];
+                report.result.anatomy.addRun(
+                    outcome, weight, detail.staticIndex,
+                    detail.hasAnatomy ? &detail.anatomy : nullptr);
+            }
+        }
+    }
+    report.phases.sitesDone = report.sitesDone;
+    if (report.phases.injectSeconds > 0.0) {
+        report.phases.sitesPerSecond =
+            static_cast<double>(report.sitesDone) /
+            report.phases.injectSeconds;
+    }
+
+    // --- Optionally emit the merged single-campaign journal: every
+    // record re-addressed to its global index under the campaign's own
+    // (unsharded) identity.
+    if (!options.mergedJournalPath.empty()) {
+        CampaignJournal merged = CampaignJournal::create(
+            options.mergedJournalPath, plan.campaignHash, modelHash,
+            sites.size());
+        for (std::uint32_t s = 0; s < shard_count; ++s) {
+            const ShardPlanEntry &entry = plan.shards[s];
+            const CampaignJournal::Resume &resume = resumes[s];
+            for (std::size_t i = 0; i < entry.sites.size(); ++i) {
+                if (!resume.done[i])
+                    continue;
+                merged.append(entry.info.siteOffset + i,
+                              resume.outcomes[i], resume.details[i]);
+            }
+            merged.commitChunk();
+        }
+        if (report.complete)
+            merged.writeFooter(report.phases);
+    }
+    return report;
+}
+
+} // namespace fsp::faults

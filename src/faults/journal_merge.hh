@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Deterministic shard-journal merge: validate the sibling journals of
+ * a sharded campaign (shard_plan.hh) and re-fold their outcomes into
+ * one CampaignResult bit-identical to a single-process run.
+ *
+ * Validation proves the shards are exactly the campaign's partition:
+ *
+ *  - every shard journal opens under the header hash the plan derives
+ *    for its sub-list (so its site list, weights, key, and seed match);
+ *  - every shard carries an extension block naming the SAME parent
+ *    campaign hash and the expected (index, count, offset) -- a shard
+ *    from a different campaign, a renumbered shard, or a plain
+ *    unsharded journal is rejected with the path in the error;
+ *  - coverage is disjoint and gap-free by construction of the
+ *    contiguous plan once each extension matches; completeness (every
+ *    site classified) is checked per shard.
+ *
+ * The fold then walks the full campaign in global site order --
+ * exactly the serial fold order of CampaignEngine::runCampaign -- so
+ * dist, runs, and anatomy come out bit-identical to the
+ * single-process result at any shard count.  InjectionStats are
+ * execution detail (they depend on slicing/checkpoint strategy and
+ * worker interleaving, and are not part of the campaign identity);
+ * the merge sums them over shard footers where available but they are
+ * not covered by the bit-identity guarantee.
+ */
+
+#ifndef FSP_FAULTS_JOURNAL_MERGE_HH
+#define FSP_FAULTS_JOURNAL_MERGE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "faults/campaign.hh"
+#include "faults/shard_plan.hh"
+
+namespace fsp::faults {
+
+/** Per-shard validation/replay summary. */
+struct ShardMergeInfo
+{
+    std::string path;
+    std::uint64_t sites = 0;    ///< shard size per the plan
+    std::uint64_t done = 0;     ///< classified sites found in journal
+    bool complete = false;      ///< journal carries a valid footer
+};
+
+/** What mergeShardJournals() produced. */
+struct MergeReport
+{
+    /** The re-folded campaign result (dist, runs, anatomy). */
+    CampaignResult result;
+
+    /** Identity of the merged campaign (hash of key + full list). */
+    std::uint64_t campaignHash = 0;
+
+    std::uint64_t campaignSites = 0;
+    std::uint64_t sitesDone = 0; ///< classified across all shards
+    bool complete = false;       ///< every site classified
+    std::vector<ShardMergeInfo> shards;
+
+    /** Summed per-phase wall time over sealed shard footers. */
+    CampaignJournal::Phases phases;
+};
+
+/** Merge knobs. */
+struct MergeOptions
+{
+    /**
+     * Require every site classified (the default); false permits
+     * merging an in-flight campaign, folding only completed sites
+     * (dist/runs/anatomy then cover sitesDone sites -- NOT comparable
+     * to a full single-process run until complete).
+     */
+    bool requireComplete = true;
+
+    /**
+     * When non-empty, also emit a merged single-campaign journal at
+     * this path: a standard (unsharded) journal under the campaign's
+     * own identity hash holding every record at its global index,
+     * sealed with a footer when the merge is complete.  The emitted
+     * file is exactly what a single-process journaled run would have
+     * produced record-wise, so `fsp campaign --resume` replays it.
+     */
+    std::string mergedJournalPath;
+};
+
+/**
+ * Validate and merge the shard journals at @p shardPaths (one per
+ * shard, in shard order; size determines the shard count) for the
+ * campaign defined by @p key and @p sites under fault model
+ * @p modelHash.  Throws JournalError naming the offending path on any
+ * validation failure.
+ */
+MergeReport mergeShardJournals(const JournalKey &key,
+                               const std::vector<WeightedSite> &sites,
+                               std::uint64_t modelHash,
+                               const std::vector<std::string> &shardPaths,
+                               const MergeOptions &options = {});
+
+} // namespace fsp::faults
+
+#endif // FSP_FAULTS_JOURNAL_MERGE_HH

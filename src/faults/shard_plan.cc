@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Shard planner implementation.
+ */
+
+#include "faults/shard_plan.hh"
+
+#include <stdexcept>
+
+namespace fsp::faults {
+
+std::uint64_t
+shardBegin(std::uint32_t shard, std::uint32_t shardCount,
+           std::uint64_t siteCount)
+{
+    // s*count/n without overflow: site counts are bounded well below
+    // 2^32 in practice, but keep the arithmetic exact anyway.
+    unsigned __int128 product =
+        static_cast<unsigned __int128>(shard) * siteCount;
+    return static_cast<std::uint64_t>(product / shardCount);
+}
+
+JournalKey
+shardJournalKey(const JournalKey &campaignKey, std::uint32_t shard,
+                std::uint32_t shardCount)
+{
+    JournalKey key = campaignKey;
+    key.tag += "#shard" + std::to_string(shard) + "/" +
+               std::to_string(shardCount);
+    return key;
+}
+
+std::string
+shardJournalPath(const std::string &base, std::uint32_t shard,
+                 std::uint32_t shardCount)
+{
+    return base + ".shard" + std::to_string(shard) + "of" +
+           std::to_string(shardCount) + ".fspj";
+}
+
+ShardPlan
+planShards(const JournalKey &key, const std::vector<WeightedSite> &sites,
+           std::uint32_t shardCount)
+{
+    if (shardCount == 0)
+        throw std::invalid_argument("shard count must be >= 1");
+
+    ShardPlan plan;
+    plan.campaignKey = key;
+    plan.campaignSites = sites.size();
+    plan.campaignHash = journalHeaderHash(key, sites);
+    plan.shards.reserve(shardCount);
+
+    for (std::uint32_t s = 0; s < shardCount; ++s) {
+        std::uint64_t begin = shardBegin(s, shardCount, sites.size());
+        std::uint64_t end = shardBegin(s + 1, shardCount, sites.size());
+
+        ShardPlanEntry entry;
+        entry.info.campaignHash = plan.campaignHash;
+        entry.info.siteOffset = begin;
+        entry.info.campaignSites = sites.size();
+        entry.info.shardIndex = s;
+        entry.info.shardCount = shardCount;
+        entry.key = shardJournalKey(key, s, shardCount);
+        entry.sites.assign(sites.begin() +
+                               static_cast<std::ptrdiff_t>(begin),
+                           sites.begin() +
+                               static_cast<std::ptrdiff_t>(end));
+        entry.headerHash = journalHeaderHash(entry.key, entry.sites);
+        plan.shards.push_back(std::move(entry));
+    }
+    return plan;
+}
+
+void
+prepareShardJournal(const std::string &path, const ShardPlanEntry &entry,
+                    std::uint64_t modelHash)
+{
+    // Resume-or-create with the shard identity; on resume, additionally
+    // require the extension block to match the plan exactly -- a stale
+    // or renumbered shard file must never be silently adopted.
+    CampaignJournal::Resume resume;
+    try {
+        resume = CampaignJournal::inspect(path, entry.headerHash,
+                                          modelHash, entry.sites.size());
+    } catch (const JournalError &) {
+        // Missing file (or unreadable): seal a fresh shard journal.
+        // Validation errors on an *existing* file would also land here,
+        // but re-creating from scratch is exactly the recovery path for
+        // those too -- except identity mismatches, which openOrResume
+        // in the worker would reject; distinguish by re-checking
+        // existence via inspect's error being ENOENT-driven is not
+        // worth the complexity: create() truncates, and a mismatched
+        // header hash means the file is not this shard's journal.
+        CampaignJournal::create(path, entry.headerHash, modelHash,
+                                entry.sites.size(), &entry.info);
+        return;
+    }
+    if (!resume.shard || !(*resume.shard == entry.info)) {
+        throw JournalError("journal '" + path +
+                           "' is not a shard journal for this plan "
+                           "(missing or mismatched shard extension)");
+    }
+}
+
+} // namespace fsp::faults

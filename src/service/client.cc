@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Service client implementation.
+ */
+
+#include "service/client.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "service/endpoint.hh"
+
+namespace fsp::service {
+
+ServiceClient
+ServiceClient::connectUnixSocket(const std::string &path)
+{
+    return ServiceClient(connectUnix(path));
+}
+
+ServiceClient
+ServiceClient::connectLoopback(std::uint16_t port)
+{
+    return ServiceClient(connectTcp(port));
+}
+
+ServiceClient::ServiceClient(ServiceClient &&other) noexcept
+    : fd_(other.fd_), frames_(std::move(other.frames_))
+{
+    other.fd_ = -1;
+}
+
+ServiceClient &
+ServiceClient::operator=(ServiceClient &&other) noexcept
+{
+    if (this != &other) {
+        if (fd_ >= 0)
+            ::close(fd_);
+        fd_ = other.fd_;
+        frames_ = std::move(other.frames_);
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+ServiceClient::~ServiceClient()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+ServiceClient::sendPayload(const std::vector<std::uint8_t> &payload)
+{
+    std::vector<std::uint8_t> framed = frame(payload);
+    writeAll(fd_, framed.data(), framed.size());
+}
+
+void
+ServiceClient::sendRaw(const void *bytes, std::size_t size)
+{
+    writeAll(fd_, bytes, size);
+}
+
+std::vector<std::uint8_t>
+ServiceClient::readFrame()
+{
+    std::vector<std::uint8_t> payload;
+    std::uint8_t buffer[4096];
+    for (;;) {
+        if (frames_.next(payload))
+            return payload;
+        ssize_t got = ::read(fd_, buffer, sizeof(buffer));
+        if (got < 0) {
+            if (errno == EINTR)
+                continue;
+            throw ProtocolError(std::string("read failed: ") +
+                                std::strerror(errno));
+        }
+        if (got == 0)
+            throw ProtocolError("connection closed by the daemon");
+        frames_.feed(buffer, static_cast<std::size_t>(got));
+    }
+}
+
+void
+ServiceClient::ping()
+{
+    WireWriter writer;
+    writer.u8(static_cast<std::uint8_t>(MsgType::Ping));
+    sendPayload(writer.payload());
+    std::vector<std::uint8_t> payload = readFrame();
+    WireReader reader(payload);
+    if (static_cast<MsgType>(reader.u8()) != MsgType::Pong)
+        throw ProtocolError("unexpected reply to ping");
+}
+
+std::uint64_t
+ServiceClient::submit(const CampaignSpec &spec,
+                      const std::string &journalBase)
+{
+    WireWriter writer;
+    writer.u8(static_cast<std::uint8_t>(MsgType::Submit));
+    writer.str(journalBase);
+    encodeSpec(writer, spec);
+    sendPayload(writer.payload());
+
+    std::vector<std::uint8_t> payload = readFrame();
+    WireReader reader(payload);
+    auto type = static_cast<MsgType>(reader.u8());
+    if (type == MsgType::ErrorReply)
+        throw ProtocolError("submit rejected: " + reader.str());
+    if (type != MsgType::Submitted)
+        throw ProtocolError("unexpected reply to submit");
+    return reader.u64();
+}
+
+JobOutcome
+ServiceClient::waitJob(
+    std::uint64_t jobId,
+    const std::function<void(const JobProgress &)> &onProgress)
+{
+    for (;;) {
+        std::vector<std::uint8_t> payload = readFrame();
+        WireReader reader(payload);
+        auto type = static_cast<MsgType>(reader.u8());
+        switch (type) {
+          case MsgType::Progress: {
+            JobProgress progress;
+            progress.jobId = reader.u64();
+            progress.shard = reader.u32();
+            progress.shardSitesDone = reader.u64();
+            progress.shardSitesTotal = reader.u64();
+            progress.jobSitesDone = reader.u64();
+            progress.jobSitesTotal = reader.u64();
+            if (onProgress && progress.jobId == jobId)
+                onProgress(progress);
+            break;
+          }
+          case MsgType::ShardDone:
+            break; // informational; JobDone is the terminal event
+          case MsgType::JobDone: {
+            JobOutcome outcome;
+            outcome.jobId = reader.u64();
+            outcome.ok = reader.u8() != 0;
+            outcome.message = reader.str();
+            if (outcome.jobId == jobId)
+                return outcome;
+            break;
+          }
+          case MsgType::ErrorReply:
+            throw ProtocolError("daemon error: " + reader.str());
+          default:
+            break; // ignore unrelated replies on this connection
+        }
+    }
+}
+
+ServiceStatus
+ServiceClient::status()
+{
+    WireWriter writer;
+    writer.u8(static_cast<std::uint8_t>(MsgType::Status));
+    sendPayload(writer.payload());
+
+    for (;;) {
+        std::vector<std::uint8_t> payload = readFrame();
+        WireReader reader(payload);
+        auto type = static_cast<MsgType>(reader.u8());
+        if (type != MsgType::StatusReply)
+            continue; // skip interleaved job events
+        ServiceStatus status;
+        status.jobsQueued = reader.u64();
+        status.jobsDone = reader.u64();
+        status.jobsFailed = reader.u64();
+        status.activeJob = reader.u64();
+        status.shardsDone = reader.u32();
+        status.shardCount = reader.u32();
+        status.sitesDone = reader.u64();
+        status.sitesTotal = reader.u64();
+        return status;
+    }
+}
+
+std::string
+ServiceClient::metricsText()
+{
+    WireWriter writer;
+    writer.u8(static_cast<std::uint8_t>(MsgType::Metrics));
+    sendPayload(writer.payload());
+    for (;;) {
+        std::vector<std::uint8_t> payload = readFrame();
+        WireReader reader(payload);
+        if (static_cast<MsgType>(reader.u8()) != MsgType::MetricsText)
+            continue; // skip interleaved job events
+        return reader.str();
+    }
+}
+
+void
+ServiceClient::shutdownServer()
+{
+    WireWriter writer;
+    writer.u8(static_cast<std::uint8_t>(MsgType::Shutdown));
+    sendPayload(writer.payload());
+    for (;;) {
+        std::vector<std::uint8_t> payload = readFrame();
+        WireReader reader(payload);
+        if (static_cast<MsgType>(reader.u8()) == MsgType::ShuttingDown)
+            return;
+    }
+}
+
+} // namespace fsp::service

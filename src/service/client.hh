@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Blocking client for the campaign service: connect to a daemon over
+ * its unix socket or TCP loopback port, submit campaigns, stream the
+ * job's progress events, and fetch status/metrics.  Used by
+ * `fsp submit` / `fsp shutdown` and by the service tests.
+ */
+
+#ifndef FSP_SERVICE_CLIENT_HH
+#define FSP_SERVICE_CLIENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "service/protocol.hh"
+
+namespace fsp::service {
+
+/** Daemon-side status snapshot (StatusReply decoded). */
+struct ServiceStatus
+{
+    std::uint64_t jobsQueued = 0;
+    std::uint64_t jobsDone = 0;
+    std::uint64_t jobsFailed = 0;
+    std::uint64_t activeJob = 0; ///< 0 when idle
+    std::uint32_t shardsDone = 0;
+    std::uint32_t shardCount = 0;
+    std::uint64_t sitesDone = 0;
+    std::uint64_t sitesTotal = 0;
+};
+
+/** One streamed progress update (Progress decoded). */
+struct JobProgress
+{
+    std::uint64_t jobId = 0;
+    std::uint32_t shard = 0;
+    std::uint64_t shardSitesDone = 0;
+    std::uint64_t shardSitesTotal = 0;
+    std::uint64_t jobSitesDone = 0;
+    std::uint64_t jobSitesTotal = 0;
+};
+
+/** Terminal job event (JobDone decoded). */
+struct JobOutcome
+{
+    std::uint64_t jobId = 0;
+    bool ok = false;
+    std::string message;
+};
+
+class ServiceClient
+{
+  public:
+    /** @{ Factory: connect or throw EndpointError. */
+    static ServiceClient connectUnixSocket(const std::string &path);
+    static ServiceClient connectLoopback(std::uint16_t port);
+    /** @} */
+
+    ServiceClient(ServiceClient &&other) noexcept;
+    ServiceClient &operator=(ServiceClient &&other) noexcept;
+    ServiceClient(const ServiceClient &) = delete;
+    ServiceClient &operator=(const ServiceClient &) = delete;
+    ~ServiceClient();
+
+    /** Round-trip a Ping; throws on anything but Pong. */
+    void ping();
+
+    /**
+     * Submit a campaign whose shard journals land at
+     * @p journalBase.shard<i>of<N>.fspj.  Returns the job id; the
+     * connection is then subscribed to the job's event stream --
+     * consume it with waitJob().  Throws ProtocolError on an
+     * ErrorReply.
+     */
+    std::uint64_t submit(const CampaignSpec &spec,
+                         const std::string &journalBase);
+
+    /**
+     * Block until the job finishes, invoking @p onProgress (when
+     * non-null) for every streamed Progress event.  Returns the
+     * terminal outcome.
+     */
+    JobOutcome
+    waitJob(std::uint64_t jobId,
+            const std::function<void(const JobProgress &)> &onProgress =
+                nullptr);
+
+    ServiceStatus status();
+
+    /** The daemon's Prometheus metrics snapshot. */
+    std::string metricsText();
+
+    /** Ask the daemon to shut down (reply confirmed). */
+    void shutdownServer();
+
+    /** Send one raw pre-framed byte blob (fuzz/protocol tests). */
+    void sendRaw(const void *bytes, std::size_t size);
+
+  private:
+    explicit ServiceClient(int fd) : fd_(fd) {}
+
+    void sendPayload(const std::vector<std::uint8_t> &payload);
+
+    /** Next complete frame payload (blocking); throws on EOF. */
+    std::vector<std::uint8_t> readFrame();
+
+    int fd_ = -1;
+    FrameReader frames_;
+};
+
+} // namespace fsp::service
+
+#endif // FSP_SERVICE_CLIENT_HH

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Local stream endpoint implementation.
+ */
+
+#include "service/endpoint.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace fsp::service {
+
+namespace {
+
+[[noreturn]] void
+throwErrno(const std::string &what)
+{
+    throw EndpointError(what + ": " + std::strerror(errno));
+}
+
+int
+newSocket(int domain)
+{
+    int fd = ::socket(domain, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+        throwErrno("cannot create socket");
+    return fd;
+}
+
+} // namespace
+
+int
+listenUnix(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path))
+        throw EndpointError("unix socket path too long: '" + path + "'");
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    int fd = newSocket(AF_UNIX);
+    ::unlink(path.c_str()); // a stale socket file blocks bind
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) <
+        0) {
+        int saved = errno;
+        ::close(fd);
+        errno = saved;
+        throwErrno("cannot bind unix socket '" + path + "'");
+    }
+    if (::listen(fd, 16) < 0) {
+        int saved = errno;
+        ::close(fd);
+        errno = saved;
+        throwErrno("cannot listen on unix socket '" + path + "'");
+    }
+    return fd;
+}
+
+int
+listenTcp(std::uint16_t port, std::uint16_t *boundPort)
+{
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+
+    int fd = newSocket(AF_INET);
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) <
+        0) {
+        int saved = errno;
+        ::close(fd);
+        errno = saved;
+        throwErrno("cannot bind 127.0.0.1:" + std::to_string(port));
+    }
+    if (::listen(fd, 16) < 0) {
+        int saved = errno;
+        ::close(fd);
+        errno = saved;
+        throwErrno("cannot listen on 127.0.0.1:" + std::to_string(port));
+    }
+    if (boundPort != nullptr) {
+        socklen_t len = sizeof(addr);
+        if (::getsockname(fd, reinterpret_cast<sockaddr *>(&addr),
+                          &len) < 0) {
+            int saved = errno;
+            ::close(fd);
+            errno = saved;
+            throwErrno("cannot read bound port");
+        }
+        *boundPort = ntohs(addr.sin_port);
+    }
+    return fd;
+}
+
+int
+connectUnix(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path))
+        throw EndpointError("unix socket path too long: '" + path + "'");
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    int fd = newSocket(AF_UNIX);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        int saved = errno;
+        ::close(fd);
+        errno = saved;
+        throwErrno("cannot connect to unix socket '" + path + "'");
+    }
+    return fd;
+}
+
+int
+connectTcp(std::uint16_t port)
+{
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+
+    int fd = newSocket(AF_INET);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        int saved = errno;
+        ::close(fd);
+        errno = saved;
+        throwErrno("cannot connect to 127.0.0.1:" + std::to_string(port));
+    }
+    return fd;
+}
+
+int
+acceptClient(int listenFd)
+{
+    int fd = ::accept4(listenFd, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK ||
+            errno == ECONNABORTED || errno == EINTR) {
+            return -1;
+        }
+        throwErrno("accept failed");
+    }
+    return fd;
+}
+
+void
+setNonBlocking(int fd)
+{
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+        throwErrno("cannot set O_NONBLOCK");
+}
+
+void
+writeAll(int fd, const void *bytes, std::size_t size)
+{
+    const auto *cursor = static_cast<const std::uint8_t *>(bytes);
+    while (size > 0) {
+        ssize_t wrote = ::write(fd, cursor, size);
+        if (wrote < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                // Non-blocking peer with a full buffer: give it a
+                // bounded window to drain rather than spinning or
+                // failing a healthy-but-slow local client.
+                pollfd pfd{fd, POLLOUT, 0};
+                if (::poll(&pfd, 1, 5000) <= 0)
+                    throw EndpointError("socket write stalled");
+                continue;
+            }
+            throwErrno("socket write failed");
+        }
+        cursor += wrote;
+        size -= static_cast<std::size_t>(wrote);
+    }
+}
+
+} // namespace fsp::service

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Local stream endpoints for the campaign service: unix-domain
+ * sockets (the default, filesystem-permission guarded) and TCP bound
+ * to 127.0.0.1 (for clients that cannot speak AF_UNIX).  Thin
+ * RAII-free fd helpers -- the daemon owns lifetimes explicitly in its
+ * poll loop; errors throw EndpointError with errno text.
+ */
+
+#ifndef FSP_SERVICE_ENDPOINT_HH
+#define FSP_SERVICE_ENDPOINT_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace fsp::service {
+
+class EndpointError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Bind + listen on a unix socket at @p path (unlinking any stale
+ *  socket file first).  Returns the listening fd (CLOEXEC). */
+int listenUnix(const std::string &path);
+
+/**
+ * Bind + listen on 127.0.0.1:@p port (0 = kernel-assigned).  Returns
+ * the listening fd; @p boundPort (if non-null) receives the actual
+ * port -- how tests run on an ephemeral port.
+ */
+int listenTcp(std::uint16_t port, std::uint16_t *boundPort = nullptr);
+
+/** Connect to a unix socket; returns the fd. */
+int connectUnix(const std::string &path);
+
+/** Connect to 127.0.0.1:@p port; returns the fd. */
+int connectTcp(std::uint16_t port);
+
+/** Accept one connection (CLOEXEC); -1 when none is pending. */
+int acceptClient(int listenFd);
+
+/** Put @p fd in non-blocking mode. */
+void setNonBlocking(int fd);
+
+/** Write all of @p size bytes (retrying short writes); throws on
+ *  error.  Used for frames on connected local sockets, where the
+ *  kernel buffer absorbs them without meaningful blocking. */
+void writeAll(int fd, const void *bytes, std::size_t size);
+
+} // namespace fsp::service
+
+#endif // FSP_SERVICE_ENDPOINT_HH

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Wire protocol implementation.
+ */
+
+#include "service/protocol.hh"
+
+#include <cstring>
+
+namespace fsp::service {
+
+namespace {
+
+/** Cap on decoded site-list lengths: a list must fit its frame. */
+constexpr std::uint64_t kMaxSpecSites =
+    kMaxFramePayload / 28; // 28 = encoded bytes per site
+
+} // namespace
+
+std::uint8_t
+WireReader::u8()
+{
+    if (size_ - offset_ < 1)
+        throw ProtocolError("truncated frame: expected u8");
+    return data_[offset_++];
+}
+
+std::uint32_t
+WireReader::u32()
+{
+    if (size_ - offset_ < 4)
+        throw ProtocolError("truncated frame: expected u32");
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i)
+        value |= static_cast<std::uint32_t>(data_[offset_ + i]) << (8 * i);
+    offset_ += 4;
+    return value;
+}
+
+std::uint64_t
+WireReader::u64()
+{
+    if (size_ - offset_ < 8)
+        throw ProtocolError("truncated frame: expected u64");
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i)
+        value |= static_cast<std::uint64_t>(data_[offset_ + i]) << (8 * i);
+    offset_ += 8;
+    return value;
+}
+
+double
+WireReader::f64()
+{
+    std::uint64_t bits = u64();
+    double value;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+}
+
+std::string
+WireReader::str()
+{
+    std::uint32_t length = u32();
+    if (size_ - offset_ < length)
+        throw ProtocolError("truncated frame: string of " +
+                            std::to_string(length) + " bytes, " +
+                            std::to_string(size_ - offset_) +
+                            " remaining");
+    std::string text(reinterpret_cast<const char *>(data_ + offset_),
+                     length);
+    offset_ += length;
+    return text;
+}
+
+void
+WireReader::expectEnd() const
+{
+    if (offset_ != size_) {
+        throw ProtocolError("frame has " +
+                            std::to_string(size_ - offset_) +
+                            " trailing bytes");
+    }
+}
+
+void
+WireWriter::u8(std::uint8_t value)
+{
+    bytes_.push_back(value);
+}
+
+void
+WireWriter::u32(std::uint32_t value)
+{
+    for (int i = 0; i < 4; ++i)
+        bytes_.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+}
+
+void
+WireWriter::u64(std::uint64_t value)
+{
+    for (int i = 0; i < 8; ++i)
+        bytes_.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+}
+
+void
+WireWriter::f64(double value)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    u64(bits);
+}
+
+void
+WireWriter::str(std::string_view text)
+{
+    u32(static_cast<std::uint32_t>(text.size()));
+    bytes_.insert(bytes_.end(), text.begin(), text.end());
+}
+
+std::vector<std::uint8_t>
+frame(const std::vector<std::uint8_t> &payload)
+{
+    if (payload.size() > kMaxFramePayload)
+        throw ProtocolError("frame payload exceeds kMaxFramePayload");
+    std::vector<std::uint8_t> framed;
+    framed.reserve(4 + payload.size());
+    auto length = static_cast<std::uint32_t>(payload.size());
+    for (int i = 0; i < 4; ++i)
+        framed.push_back(static_cast<std::uint8_t>(length >> (8 * i)));
+    framed.insert(framed.end(), payload.begin(), payload.end());
+    return framed;
+}
+
+void
+encodeSpec(WireWriter &writer, const CampaignSpec &spec)
+{
+    writer.u8(static_cast<std::uint8_t>(spec.kind));
+    writer.str(spec.kernel);
+    writer.u8(spec.paperScale ? 1 : 0);
+    writer.u64(spec.seed);
+    writer.str(spec.faultModel);
+    writer.u32(spec.shards);
+    writer.u32(spec.procs);
+    writer.u32(spec.threadsPerWorker);
+    writer.u64(spec.chunk);
+    writer.u32(spec.pilots);
+    writer.u32(spec.loopIters);
+    writer.u32(spec.bitSamples);
+    writer.u8(spec.noSlicing ? 1 : 0);
+    writer.u8(spec.noCheckpoints ? 1 : 0);
+    writer.u64(spec.abortAfterSites);
+    writer.u64(spec.sites.size());
+    for (const faults::WeightedSite &site : spec.sites) {
+        writer.u64(site.site.thread);
+        writer.u64(site.site.dynIndex);
+        writer.u32(site.site.bit);
+        writer.f64(site.weight);
+    }
+}
+
+CampaignSpec
+decodeSpec(WireReader &reader)
+{
+    CampaignSpec spec;
+    std::uint8_t kind = reader.u8();
+    if (kind > static_cast<std::uint8_t>(CampaignSpec::Kind::Sites))
+        throw ProtocolError("unknown campaign kind " +
+                            std::to_string(kind));
+    spec.kind = static_cast<CampaignSpec::Kind>(kind);
+    spec.kernel = reader.str();
+    spec.paperScale = reader.u8() != 0;
+    spec.seed = reader.u64();
+    spec.faultModel = reader.str();
+    spec.shards = reader.u32();
+    spec.procs = reader.u32();
+    spec.threadsPerWorker = reader.u32();
+    spec.chunk = reader.u64();
+    spec.pilots = reader.u32();
+    spec.loopIters = reader.u32();
+    spec.bitSamples = reader.u32();
+    spec.noSlicing = reader.u8() != 0;
+    spec.noCheckpoints = reader.u8() != 0;
+    spec.abortAfterSites = reader.u64();
+    std::uint64_t count = reader.u64();
+    if (count > kMaxSpecSites)
+        throw ProtocolError("site list of " + std::to_string(count) +
+                            " entries exceeds the frame limit");
+    spec.sites.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        faults::WeightedSite site;
+        site.site.thread = reader.u64();
+        site.site.dynIndex = reader.u64();
+        site.site.bit = reader.u32();
+        site.weight = reader.f64();
+        spec.sites.push_back(site);
+    }
+    if (spec.shards == 0)
+        throw ProtocolError("campaign spec asks for zero shards");
+    return spec;
+}
+
+void
+FrameReader::feed(const std::uint8_t *data, std::size_t size)
+{
+    // Compact the consumed prefix before growing, so a long-lived
+    // connection never accumulates dead bytes.
+    if (scan_ > 0) {
+        buffer_.erase(buffer_.begin(),
+                      buffer_.begin() + static_cast<std::ptrdiff_t>(scan_));
+        scan_ = 0;
+    }
+    buffer_.insert(buffer_.end(), data, data + size);
+}
+
+bool
+FrameReader::next(std::vector<std::uint8_t> &payload)
+{
+    if (buffer_.size() - scan_ < 4)
+        return false;
+    std::uint32_t length = 0;
+    for (int i = 0; i < 4; ++i) {
+        length |= static_cast<std::uint32_t>(buffer_[scan_ + i])
+                  << (8 * i);
+    }
+    if (length > kMaxFramePayload) {
+        throw ProtocolError("announced frame payload of " +
+                            std::to_string(length) +
+                            " bytes exceeds the 16 MiB limit");
+    }
+    if (buffer_.size() - scan_ - 4 < length)
+        return false;
+    payload.assign(buffer_.begin() +
+                       static_cast<std::ptrdiff_t>(scan_ + 4),
+                   buffer_.begin() +
+                       static_cast<std::ptrdiff_t>(scan_ + 4 + length));
+    scan_ += 4 + static_cast<std::size_t>(length);
+    return true;
+}
+
+} // namespace fsp::service

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * The campaign service wire protocol: length-prefixed binary frames
+ * over a local stream socket (unix-domain or TCP loopback).
+ *
+ * Framing: every frame is a 4-byte little-endian payload length
+ * followed by the payload; payload byte 0 is the message type.  The
+ * length covers the payload only and is bounded by kMaxFramePayload --
+ * a peer announcing more is a protocol error and the connection is
+ * dropped, never buffered.  All integers are little-endian; strings
+ * are a u32 length followed by raw bytes; doubles are their IEEE-754
+ * bit pattern as u64.
+ *
+ * Message families (see MsgType):
+ *
+ *   requests   Ping, Submit (a CampaignSpec), Status, Metrics,
+ *              Shutdown
+ *   responses  Pong, Submitted, StatusReply, MetricsText, ErrorReply,
+ *              ShuttingDown
+ *   events     Progress, ShardDone, JobDone -- streamed to the
+ *              submitting connection while its job runs (the service
+ *              relays the campaign engine's CampaignObserver stream)
+ *   internal   WorkerProgress -- worker process -> daemon, over the
+ *              inherited progress pipe, same framing
+ *
+ * Decoding is strictly bounds-checked (WireReader throws
+ * ProtocolError; nothing reads past the payload), so truncated,
+ * oversized, or garbage frames are rejected without undefined
+ * behaviour -- the property the protocol fuzz test locks down.
+ */
+
+#ifndef FSP_SERVICE_PROTOCOL_HH
+#define FSP_SERVICE_PROTOCOL_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "faults/fault_site.hh"
+#include "pruning/pipeline.hh"
+
+namespace fsp::service {
+
+/** Any framing or decode violation (message says which). */
+class ProtocolError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Hard ceiling on one frame's payload (16 MiB). */
+inline constexpr std::uint32_t kMaxFramePayload = 16u << 20;
+
+/** Frame type tags (payload byte 0). */
+enum class MsgType : std::uint8_t
+{
+    // Requests.
+    Ping = 0x01,
+    Submit = 0x02,
+    Status = 0x03,
+    Metrics = 0x04,
+    Shutdown = 0x05,
+
+    // Responses.
+    Pong = 0x81,
+    Submitted = 0x82,
+    StatusReply = 0x83,
+    MetricsText = 0x84,
+    ErrorReply = 0x85,
+    ShuttingDown = 0x86,
+
+    // Streamed job events.
+    Progress = 0xC1,
+    ShardDone = 0xC2,
+    JobDone = 0xC3,
+
+    // Worker -> daemon (progress pipe only).
+    WorkerProgress = 0xE1,
+};
+
+/**
+ * One campaign request.  `Prune` runs the paper's pruning pipeline in
+ * each worker and injects the pruned weighted list; `Sites` injects
+ * the explicit list carried by the spec.  The scalar knobs mirror the
+ * shared CLI options so a submitted campaign and a local
+ * `fsp campaign` run derive the identical site list, journal key and
+ * hashes from the same values.
+ */
+struct CampaignSpec
+{
+    enum class Kind : std::uint8_t
+    {
+        Prune = 0,
+        Sites = 1,
+    };
+
+    Kind kind = Kind::Prune;
+    std::string kernel;      ///< registered kernel, e.g. "GEMM/K1"
+    bool paperScale = false; ///< Scale::Paper instead of Small
+    std::uint64_t seed = 1;
+    std::string faultModel; ///< --fault-model spec; "" = default
+
+    std::uint32_t shards = 1; ///< shard count (>= 1)
+    std::uint32_t procs = 0;  ///< concurrent workers; 0 = one per shard
+    std::uint32_t threadsPerWorker = 0; ///< engine threads; 0 = default
+    std::uint64_t chunk = 0;            ///< engine chunk size; 0 = derived
+
+    /** Pruning knobs (defaults track pruning::PruningConfig). */
+    std::uint32_t pilots = pruning::PruningConfig{}.thread.repsPerGroup;
+    std::uint32_t loopIters = pruning::PruningConfig{}.loop.iterations;
+    std::uint32_t bitSamples = pruning::PruningConfig{}.bit.samples;
+    bool noSlicing = false;
+    bool noCheckpoints = false;
+
+    /**
+     * Testing hook forwarded to the FIRST attempt of every shard
+     * worker: abort (exit nonzero) after this many classified sites,
+     * exercising the daemon's crash-recovery respawn; 0 disables.
+     */
+    std::uint64_t abortAfterSites = 0;
+
+    /** Explicit site list (Kind::Sites). */
+    std::vector<faults::WeightedSite> sites;
+
+    bool operator==(const CampaignSpec &other) const = default;
+};
+
+/** Bounds-checked sequential decoder over one payload. */
+class WireReader
+{
+  public:
+    WireReader(const std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    explicit WireReader(const std::vector<std::uint8_t> &payload)
+        : WireReader(payload.data(), payload.size())
+    {
+    }
+
+    std::uint8_t u8();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    double f64();
+    std::string str();
+
+    std::size_t remaining() const { return size_ - offset_; }
+
+    /** Throws unless the whole payload was consumed. */
+    void expectEnd() const;
+
+  private:
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t offset_ = 0;
+};
+
+/** Append-only encoder building one payload. */
+class WireWriter
+{
+  public:
+    void u8(std::uint8_t value);
+    void u32(std::uint32_t value);
+    void u64(std::uint64_t value);
+    void f64(double value);
+    void str(std::string_view text);
+
+    const std::vector<std::uint8_t> &payload() const { return bytes_; }
+    std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+  private:
+    std::vector<std::uint8_t> bytes_;
+};
+
+/** Wrap @p payload in a frame (4-byte LE length + payload). */
+std::vector<std::uint8_t> frame(const std::vector<std::uint8_t> &payload);
+
+/** Encode/decode a CampaignSpec body (no type byte -- callers add
+ *  MsgType::Submit when framing, or spool the raw body to a file). */
+void encodeSpec(WireWriter &writer, const CampaignSpec &spec);
+CampaignSpec decodeSpec(WireReader &reader);
+
+/**
+ * Incremental frame reassembly over a byte stream.  Feed whatever the
+ * socket produced; next() yields one complete payload at a time.  An
+ * oversized announced length throws ProtocolError immediately (the
+ * bytes are never buffered).
+ */
+class FrameReader
+{
+  public:
+    void feed(const std::uint8_t *data, std::size_t size);
+
+    /** Pop the next complete payload into @p payload; false if none. */
+    bool next(std::vector<std::uint8_t> &payload);
+
+  private:
+    std::vector<std::uint8_t> buffer_;
+    std::size_t scan_ = 0; ///< consumed prefix, compacted lazily
+};
+
+} // namespace fsp::service
+
+#endif // FSP_SERVICE_PROTOCOL_HH

@@ -1,0 +1,780 @@
+/**
+ * @file
+ * Daemon implementation.
+ */
+
+#include "service/server.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sstream>
+
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "apps/app.hh"
+#include "service/endpoint.hh"
+#include "service/worker.hh"
+#include "util/logging.hh"
+
+namespace fsp::service {
+
+/** One client connection (binary protocol or plain-HTTP metrics). */
+struct ServeDaemon::Conn
+{
+    int fd = -1;
+    FrameReader frames;
+    bool http = false;       ///< "GET " preamble seen
+    std::string httpBuf;     ///< request bytes until the blank line
+    bool sniffed = false;    ///< first bytes inspected yet?
+    std::string sniffBuf;    ///< pre-sniff bytes (< 4)
+    std::uint64_t subscribedJob = 0;
+    bool dead = false;
+};
+
+/** One shard of the active job. */
+struct ServeDaemon::ShardState
+{
+    pid_t pid = -1;
+    int pipeFd = -1;
+    FrameReader frames;
+    std::uint32_t attempts = 0; ///< spawns so far
+    bool done = false;
+    std::uint64_t sitesDone = 0;
+    std::uint64_t sitesTotal = 0; ///< 0 until the first progress frame
+};
+
+/** A queued or active campaign job. */
+struct ServeDaemon::Job
+{
+    std::uint64_t id = 0;
+    CampaignSpec spec;
+    std::string journalBase;
+    std::string specFile;
+    std::vector<ShardState> shards;
+    std::uint32_t shardsDone = 0;
+    std::uint32_t nextShard = 0; ///< next shard index to spawn
+    std::uint32_t running = 0;   ///< live worker processes
+};
+
+ServeDaemon::ServeDaemon(ServeOptions options)
+    : options_(std::move(options))
+{
+    m_connections_ = registry_.counter(
+        "fsp_serve_connections_total", "client connections accepted");
+    m_frames_ = registry_.counter("fsp_serve_frames_total",
+                                  "protocol frames processed");
+    m_protocol_errors_ =
+        registry_.counter("fsp_serve_protocol_errors_total",
+                          "malformed frames / connections dropped");
+    m_jobs_submitted_ = registry_.counter("fsp_serve_jobs_submitted_total",
+                                          "campaign jobs accepted");
+    m_jobs_completed_ = registry_.counter("fsp_serve_jobs_completed_total",
+                                          "campaign jobs completed");
+    m_jobs_failed_ = registry_.counter("fsp_serve_jobs_failed_total",
+                                       "campaign jobs failed");
+    m_workers_spawned_ = registry_.counter(
+        "fsp_serve_workers_spawned_total", "shard worker processes forked");
+    m_worker_restarts_ = registry_.counter(
+        "fsp_serve_worker_restarts_total",
+        "crashed shard workers respawned onto their journals");
+    m_active_workers_ = registry_.gauge("fsp_serve_active_workers",
+                                        "live shard worker processes");
+    m_jobs_queued_ =
+        registry_.gauge("fsp_serve_jobs_queued", "jobs waiting to run");
+}
+
+ServeDaemon::~ServeDaemon()
+{
+    if (active_) {
+        for (ShardState &shard : active_->shards) {
+            if (shard.pid > 0)
+                ::kill(shard.pid, SIGTERM);
+            if (shard.pipeFd >= 0)
+                ::close(shard.pipeFd);
+        }
+        for (ShardState &shard : active_->shards) {
+            if (shard.pid > 0)
+                ::waitpid(shard.pid, nullptr, 0);
+        }
+    }
+    for (auto &conn : conns_) {
+        if (conn->fd >= 0)
+            ::close(conn->fd);
+    }
+    if (unix_fd_ >= 0)
+        ::close(unix_fd_);
+    if (tcp_fd_ >= 0)
+        ::close(tcp_fd_);
+    if (!options_.socketPath.empty())
+        ::unlink(options_.socketPath.c_str());
+}
+
+void
+ServeDaemon::start()
+{
+    // A client that vanished mid-reply must not kill the daemon.
+    ::signal(SIGPIPE, SIG_IGN);
+    unix_fd_ = listenUnix(options_.socketPath);
+    setNonBlocking(unix_fd_);
+    if (options_.tcpEnabled) {
+        tcp_fd_ = listenTcp(options_.tcpPort, &bound_tcp_port_);
+        setNonBlocking(tcp_fd_);
+    }
+    inform("fsp-serve: ", "listening on " + options_.socketPath +
+                              (options_.tcpEnabled
+                                   ? " and 127.0.0.1:" +
+                                         std::to_string(bound_tcp_port_)
+                                   : ""));
+}
+
+int
+ServeDaemon::run()
+{
+    while (!stop_) {
+        pumpJobs();
+
+        std::vector<pollfd> fds;
+        fds.push_back({unix_fd_, POLLIN, 0});
+        if (tcp_fd_ >= 0)
+            fds.push_back({tcp_fd_, POLLIN, 0});
+        std::size_t conn_base = fds.size();
+        // Connections accepted later this tick have no pollfd entry;
+        // the dispatch loop below must not index past polled_conns.
+        const std::size_t polled_conns = conns_.size();
+        for (auto &conn : conns_)
+            fds.push_back({conn->fd, POLLIN, 0});
+        std::size_t pipe_base = fds.size();
+        if (active_) {
+            for (ShardState &shard : active_->shards) {
+                if (shard.pipeFd >= 0)
+                    fds.push_back({shard.pipeFd, POLLIN, 0});
+            }
+        }
+
+        int ready = ::poll(fds.data(),
+                           static_cast<nfds_t>(fds.size()),
+                           options_.pollMillis);
+        if (ready < 0 && errno != EINTR)
+            break;
+
+        if (ready > 0) {
+            std::size_t index = 0;
+            if (fds[index].revents & POLLIN)
+                acceptPending(unix_fd_);
+            ++index;
+            if (tcp_fd_ >= 0) {
+                if (fds[index].revents & POLLIN)
+                    acceptPending(tcp_fd_);
+                ++index;
+            }
+            for (std::size_t c = 0; c < polled_conns; ++c) {
+                if (fds[conn_base + c].revents & (POLLIN | POLLHUP))
+                    readConn(*conns_[c]);
+            }
+            if (active_) {
+                std::size_t slot = pipe_base;
+                for (std::uint32_t s = 0;
+                     s < active_->shards.size() && slot < fds.size();
+                     ++s) {
+                    if (active_->shards[s].pipeFd < 0)
+                        continue;
+                    if (fds[slot].revents & (POLLIN | POLLHUP))
+                        readWorkerPipe(*active_, s);
+                    ++slot;
+                }
+            }
+        }
+
+        reapWorkers();
+
+        conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                                    [](const std::unique_ptr<Conn> &c) {
+                                        return c->dead;
+                                    }),
+                     conns_.end());
+    }
+    return 0;
+}
+
+void
+ServeDaemon::acceptPending(int listenFd)
+{
+    for (;;) {
+        int fd = acceptClient(listenFd);
+        if (fd < 0)
+            return;
+        setNonBlocking(fd);
+        auto conn = std::make_unique<Conn>();
+        conn->fd = fd;
+        conns_.push_back(std::move(conn));
+        registry_.add(m_connections_);
+    }
+}
+
+void
+ServeDaemon::readConn(Conn &conn)
+{
+    std::uint8_t buffer[4096];
+    for (;;) {
+        ssize_t got = ::read(conn.fd, buffer, sizeof(buffer));
+        if (got < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                break;
+            if (errno == EINTR)
+                continue;
+            closeConn(conn);
+            return;
+        }
+        if (got == 0) {
+            closeConn(conn);
+            return;
+        }
+
+        const std::uint8_t *data = buffer;
+        std::size_t size = static_cast<std::size_t>(got);
+
+        if (!conn.sniffed) {
+            // Peek at the first 4 bytes: ASCII "GET " selects the
+            // plain-HTTP metrics path, anything else is a frame
+            // stream.  (A binary frame can't collide: "GET " decodes
+            // as a > 500 MB announced length, over the frame limit.)
+            conn.sniffBuf.append(reinterpret_cast<const char *>(data),
+                                 size);
+            if (conn.sniffBuf.size() < 4)
+                continue;
+            conn.sniffed = true;
+            conn.http = conn.sniffBuf.compare(0, 4, "GET ") == 0;
+            if (conn.http) {
+                conn.httpBuf = std::move(conn.sniffBuf);
+            } else {
+                try {
+                    conn.frames.feed(
+                        reinterpret_cast<const std::uint8_t *>(
+                            conn.sniffBuf.data()),
+                        conn.sniffBuf.size());
+                } catch (const ProtocolError &) {
+                    registry_.add(m_protocol_errors_);
+                    closeConn(conn);
+                    return;
+                }
+            }
+            conn.sniffBuf.clear();
+            data = nullptr;
+            size = 0;
+        } else if (conn.http) {
+            conn.httpBuf.append(reinterpret_cast<const char *>(data),
+                                size);
+            data = nullptr;
+            size = 0;
+        }
+
+        if (conn.http) {
+            if (conn.httpBuf.find("\r\n\r\n") != std::string::npos ||
+                conn.httpBuf.find("\n\n") != std::string::npos) {
+                sendHttpMetrics(conn);
+                closeConn(conn);
+                return;
+            }
+            if (conn.httpBuf.size() > 64 * 1024) {
+                closeConn(conn); // not a sane GET; drop it
+                return;
+            }
+            continue;
+        }
+
+        try {
+            if (size > 0)
+                conn.frames.feed(data, size);
+            std::vector<std::uint8_t> payload;
+            while (conn.frames.next(payload)) {
+                registry_.add(m_frames_);
+                handleFrame(conn, payload);
+                if (conn.dead)
+                    return;
+            }
+        } catch (const ProtocolError &error) {
+            registry_.add(m_protocol_errors_);
+            try {
+                sendError(conn, error.what());
+            } catch (const std::exception &) {
+            }
+            closeConn(conn);
+            return;
+        }
+    }
+}
+
+void
+ServeDaemon::handleFrame(Conn &conn,
+                         const std::vector<std::uint8_t> &payload)
+{
+    WireReader reader(payload);
+    auto type = static_cast<MsgType>(reader.u8());
+    switch (type) {
+      case MsgType::Ping: {
+        WireWriter writer;
+        writer.u8(static_cast<std::uint8_t>(MsgType::Pong));
+        sendFrame(conn, writer.payload());
+        return;
+      }
+      case MsgType::Submit:
+        handleSubmit(conn, reader);
+        return;
+      case MsgType::Status:
+        sendStatus(conn);
+        return;
+      case MsgType::Metrics: {
+        WireWriter writer;
+        writer.u8(static_cast<std::uint8_t>(MsgType::MetricsText));
+        writer.str(metricsText());
+        sendFrame(conn, writer.payload());
+        return;
+      }
+      case MsgType::Shutdown: {
+        sendFrame(conn, {static_cast<std::uint8_t>(
+                      MsgType::ShuttingDown)});
+        stop_ = true;
+        return;
+      }
+      default:
+        throw ProtocolError("unknown request type " +
+                            std::to_string(static_cast<unsigned>(
+                                static_cast<std::uint8_t>(type))));
+    }
+}
+
+void
+ServeDaemon::handleSubmit(Conn &conn, WireReader &reader)
+{
+    std::string journal_base = reader.str();
+    CampaignSpec spec = decodeSpec(reader);
+    reader.expectEnd();
+
+    if (journal_base.empty()) {
+        sendError(conn, "submit needs a journal base path");
+        return;
+    }
+    if (apps::findKernel(spec.kernel) == nullptr) {
+        sendError(conn, "unknown kernel '" + spec.kernel + "'");
+        return;
+    }
+    if (spec.kind == CampaignSpec::Kind::Sites && spec.sites.empty()) {
+        sendError(conn, "explicit-site campaign has no sites");
+        return;
+    }
+
+    auto job = std::make_unique<Job>();
+    job->id = next_job_id_++;
+    job->spec = std::move(spec);
+    job->journalBase = std::move(journal_base);
+    job->specFile = job->journalBase + ".spec";
+    job->shards.resize(job->spec.shards);
+    conn.subscribedJob = job->id;
+    registry_.add(m_jobs_submitted_);
+
+    WireWriter writer;
+    writer.u8(static_cast<std::uint8_t>(MsgType::Submitted));
+    writer.u64(job->id);
+    sendFrame(conn, writer.payload());
+
+    queue_.push_back(std::move(job));
+    registry_.set(m_jobs_queued_, static_cast<double>(queue_.size()));
+}
+
+void
+ServeDaemon::sendStatus(Conn &conn)
+{
+    WireWriter writer;
+    writer.u8(static_cast<std::uint8_t>(MsgType::StatusReply));
+    writer.u64(queue_.size());
+    writer.u64(jobs_done_);
+    writer.u64(jobs_failed_);
+    writer.u64(active_ ? active_->id : 0);
+    if (active_) {
+        std::uint64_t done = 0, total = 0;
+        for (const ShardState &shard : active_->shards) {
+            done += shard.sitesDone;
+            total += shard.sitesTotal;
+        }
+        writer.u32(active_->shardsDone);
+        writer.u32(static_cast<std::uint32_t>(active_->shards.size()));
+        writer.u64(done);
+        writer.u64(total);
+    } else {
+        writer.u32(0);
+        writer.u32(0);
+        writer.u64(0);
+        writer.u64(0);
+    }
+    sendFrame(conn, writer.payload());
+}
+
+void
+ServeDaemon::sendError(Conn &conn, const std::string &message)
+{
+    WireWriter writer;
+    writer.u8(static_cast<std::uint8_t>(MsgType::ErrorReply));
+    writer.str(message);
+    sendFrame(conn, writer.payload());
+}
+
+void
+ServeDaemon::sendFrame(Conn &conn,
+                       const std::vector<std::uint8_t> &payload)
+{
+    if (conn.fd < 0 || conn.dead)
+        return;
+    try {
+        std::vector<std::uint8_t> framed = frame(payload);
+        writeAll(conn.fd, framed.data(), framed.size());
+    } catch (const std::exception &) {
+        closeConn(conn);
+    }
+}
+
+std::string
+ServeDaemon::metricsText() const
+{
+    std::ostringstream out;
+    registry_.writePrometheus(out);
+    return out.str();
+}
+
+void
+ServeDaemon::sendHttpMetrics(Conn &conn)
+{
+    std::string body = metricsText();
+    std::string response =
+        "HTTP/1.0 200 OK\r\n"
+        "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+        "Content-Length: " + std::to_string(body.size()) + "\r\n"
+        "Connection: close\r\n\r\n" + body;
+    try {
+        writeAll(conn.fd, response.data(), response.size());
+    } catch (const std::exception &) {
+    }
+}
+
+void
+ServeDaemon::pumpJobs()
+{
+    if (!active_ && !queue_.empty()) {
+        active_ = std::move(queue_.front());
+        queue_.pop_front();
+        registry_.set(m_jobs_queued_,
+                      static_cast<double>(queue_.size()));
+        startJob(*active_);
+        if (!active_)
+            return; // startJob failed the job synchronously
+    }
+    if (!active_)
+        return;
+
+    // Keep up to `procs` workers busy while shards remain unspawned.
+    std::uint32_t procs = active_->spec.procs > 0
+                              ? active_->spec.procs
+                              : active_->spec.shards;
+    while (active_->running < procs &&
+           active_->nextShard < active_->shards.size()) {
+        spawnShard(*active_, active_->nextShard);
+        active_->nextShard++;
+    }
+}
+
+void
+ServeDaemon::startJob(Job &job)
+{
+    try {
+        writeSpecFile(job.specFile, job.spec);
+    } catch (const std::exception &error) {
+        failJob(std::string("cannot stage job: ") + error.what());
+        return;
+    }
+    inform("fsp-serve: ",
+           "job " + std::to_string(job.id) + ": " + job.spec.kernel +
+               " over " + std::to_string(job.spec.shards) + " shard(s)");
+}
+
+void
+ServeDaemon::spawnShard(Job &job, std::uint32_t shard)
+{
+    ShardState &state = job.shards[shard];
+
+    int pipe_fds[2];
+    if (::pipe2(pipe_fds, O_CLOEXEC) < 0) {
+        failJob("cannot create worker pipe");
+        return;
+    }
+
+    // An in-process daemon (the test suites) is not the fsp binary,
+    // so the worker image can be overridden; the default re-execs
+    // ourselves.  Resolved before fork: getenv after fork is unsafe.
+    const char *binary = std::getenv("FSP_WORKER_BINARY");
+    if (binary == nullptr || *binary == '\0')
+        binary = "/proc/self/exe";
+
+    pid_t pid = ::fork();
+    if (pid < 0) {
+        ::close(pipe_fds[0]);
+        ::close(pipe_fds[1]);
+        failJob("cannot fork shard worker");
+        return;
+    }
+    if (pid == 0) {
+        // Child: hand the pipe's write end over as fd 3 (dup2 clears
+        // CLOEXEC) and become the shard worker.
+        ::dup2(pipe_fds[1], 3);
+        std::string shard_s = std::to_string(shard);
+        std::string shards_s = std::to_string(job.spec.shards);
+        std::string attempt_s = std::to_string(state.attempts);
+        const char *argv[] = {"fsp",
+                              "shard-worker",
+                              "--spec-file",
+                              job.specFile.c_str(),
+                              "--journal-base",
+                              job.journalBase.c_str(),
+                              "--shard",
+                              shard_s.c_str(),
+                              "--shards",
+                              shards_s.c_str(),
+                              "--attempt",
+                              attempt_s.c_str(),
+                              "--progress-fd",
+                              "3",
+                              nullptr};
+        ::execv(binary, const_cast<char **>(argv));
+        _exit(127);
+    }
+
+    ::close(pipe_fds[1]);
+    setNonBlocking(pipe_fds[0]);
+    state.pid = pid;
+    state.pipeFd = pipe_fds[0];
+    state.frames = FrameReader{};
+    if (state.attempts > 0)
+        registry_.add(m_worker_restarts_);
+    state.attempts++;
+    job.running++;
+    registry_.add(m_workers_spawned_);
+    registry_.set(m_active_workers_, static_cast<double>(job.running));
+}
+
+void
+ServeDaemon::readWorkerPipe(Job &job, std::uint32_t shard)
+{
+    ShardState &state = job.shards[shard];
+    std::uint8_t buffer[4096];
+    for (;;) {
+        ssize_t got = ::read(state.pipeFd, buffer, sizeof(buffer));
+        if (got < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return;
+            if (errno == EINTR)
+                continue;
+            got = 0;
+        }
+        if (got == 0) {
+            ::close(state.pipeFd);
+            state.pipeFd = -1;
+            return;
+        }
+        try {
+            state.frames.feed(buffer, static_cast<std::size_t>(got));
+            std::vector<std::uint8_t> payload;
+            while (state.frames.next(payload)) {
+                WireReader reader(payload);
+                if (static_cast<MsgType>(reader.u8()) !=
+                    MsgType::WorkerProgress) {
+                    continue;
+                }
+                std::uint32_t from_shard = reader.u32();
+                std::uint64_t done = reader.u64();
+                std::uint64_t total = reader.u64();
+                if (from_shard != shard)
+                    continue;
+                state.sitesDone = done;
+                state.sitesTotal = std::max(state.sitesTotal, total);
+                relayProgress(job, shard, done, total);
+            }
+        } catch (const ProtocolError &) {
+            // A garbled pipe only degrades progress reporting; the
+            // worker's exit status and journal remain authoritative.
+            ::close(state.pipeFd);
+            state.pipeFd = -1;
+            return;
+        }
+    }
+}
+
+void
+ServeDaemon::reapWorkers()
+{
+    if (!active_)
+        return;
+    for (;;) {
+        int status = 0;
+        pid_t pid = ::waitpid(-1, &status, WNOHANG);
+        if (pid <= 0)
+            break;
+        if (!active_)
+            continue; // drain children of an already-failed job
+        for (std::uint32_t s = 0; s < active_->shards.size(); ++s) {
+            if (active_->shards[s].pid == pid) {
+                onShardExit(*active_, s, status);
+                break;
+            }
+        }
+        if (!active_)
+            break;
+    }
+}
+
+void
+ServeDaemon::onShardExit(Job &job, std::uint32_t shard, int status)
+{
+    ShardState &state = job.shards[shard];
+    state.pid = -1;
+    job.running--;
+    registry_.set(m_active_workers_, static_cast<double>(job.running));
+    if (state.pipeFd >= 0)
+        readWorkerPipe(job, shard); // drain buffered progress
+    if (state.pipeFd >= 0) {
+        ::close(state.pipeFd);
+        state.pipeFd = -1;
+    }
+
+    bool ok = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    if (ok) {
+        state.done = true;
+        job.shardsDone++;
+        if (Conn *sub = subscriberOf(job)) {
+            WireWriter writer;
+            writer.u8(static_cast<std::uint8_t>(MsgType::ShardDone));
+            writer.u64(job.id);
+            writer.u32(shard);
+            writer.u8(1);
+            writer.str("");
+            sendFrame(*sub, writer.payload());
+        }
+        if (job.shardsDone == job.shards.size())
+            finishJob(true, "all shards complete");
+        return;
+    }
+
+    // Crash path: the shard journal holds every committed chunk, so a
+    // respawned worker resumes instead of restarting from zero.
+    std::string why =
+        WIFSIGNALED(status)
+            ? "killed by signal " + std::to_string(WTERMSIG(status))
+            : "exited with status " +
+                  std::to_string(WIFEXITED(status) ? WEXITSTATUS(status)
+                                                   : -1);
+    if (state.attempts > options_.restartLimit) {
+        failJob("shard " + std::to_string(shard) + " " + why + " after " +
+                std::to_string(state.attempts) + " attempts");
+        return;
+    }
+    inform("fsp-serve: ",
+           "job " + std::to_string(job.id) + " shard " +
+               std::to_string(shard) + " " + why +
+               "; respawning onto its journal (attempt " +
+               std::to_string(state.attempts + 1) + ")");
+    spawnShard(job, shard);
+}
+
+void
+ServeDaemon::finishJob(bool ok, const std::string &message)
+{
+    if (!active_)
+        return;
+    Job &job = *active_;
+    if (Conn *sub = subscriberOf(job)) {
+        WireWriter writer;
+        writer.u8(static_cast<std::uint8_t>(MsgType::JobDone));
+        writer.u64(job.id);
+        writer.u8(ok ? 1 : 0);
+        writer.str(message);
+        sendFrame(*sub, writer.payload());
+    }
+    registry_.add(ok ? m_jobs_completed_ : m_jobs_failed_);
+    (ok ? jobs_done_ : jobs_failed_)++;
+    registry_.set(m_active_workers_, 0.0);
+    inform("fsp-serve: ",
+           "job " + std::to_string(job.id) +
+               (ok ? " done: " : " FAILED: ") + message);
+    active_.reset();
+}
+
+void
+ServeDaemon::failJob(const std::string &message)
+{
+    if (!active_)
+        return;
+    for (ShardState &shard : active_->shards) {
+        if (shard.pid > 0)
+            ::kill(shard.pid, SIGTERM);
+        if (shard.pipeFd >= 0) {
+            ::close(shard.pipeFd);
+            shard.pipeFd = -1;
+        }
+    }
+    for (ShardState &shard : active_->shards) {
+        if (shard.pid > 0) {
+            ::waitpid(shard.pid, nullptr, 0);
+            shard.pid = -1;
+        }
+    }
+    finishJob(false, message);
+}
+
+void
+ServeDaemon::relayProgress(Job &job, std::uint32_t shard,
+                           std::uint64_t done, std::uint64_t total)
+{
+    Conn *sub = subscriberOf(job);
+    if (sub == nullptr)
+        return;
+    std::uint64_t job_done = 0, job_total = 0;
+    for (const ShardState &state : job.shards) {
+        job_done += state.sitesDone;
+        job_total += state.sitesTotal;
+    }
+    WireWriter writer;
+    writer.u8(static_cast<std::uint8_t>(MsgType::Progress));
+    writer.u64(job.id);
+    writer.u32(shard);
+    writer.u64(done);
+    writer.u64(total);
+    writer.u64(job_done);
+    writer.u64(job_total);
+    sendFrame(*sub, writer.payload());
+}
+
+ServeDaemon::Conn *
+ServeDaemon::subscriberOf(const Job &job)
+{
+    for (auto &conn : conns_) {
+        if (!conn->dead && conn->subscribedJob == job.id)
+            return conn.get();
+    }
+    return nullptr;
+}
+
+void
+ServeDaemon::closeConn(Conn &conn)
+{
+    if (conn.fd >= 0) {
+        ::close(conn.fd);
+        conn.fd = -1;
+    }
+    conn.dead = true;
+}
+
+} // namespace fsp::service

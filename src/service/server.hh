@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The `fsp serve` daemon: a single-threaded poll loop that accepts
+ * campaign submissions over the wire protocol, schedules one job at a
+ * time across forked shard-worker processes, relays their progress
+ * stream to the submitting client, recovers crashed workers by
+ * respawning them onto their (resumable) shard journals, and exports
+ * Prometheus metrics.
+ *
+ * Process model: the daemon itself never runs an injection -- each
+ * shard is owned by a `fsp shard-worker` child (fork + exec of
+ * /proc/self/exe) whose only shared state with the daemon is the spec
+ * file, the shard journal, and a one-way progress pipe.  A worker
+ * death therefore cannot corrupt the daemon, and recovery is exactly
+ * the journal-resume path every campaign already has: respawn with an
+ * incremented attempt counter, the journal replays completed chunks,
+ * the worker injects the rest.  After restartLimit failed attempts
+ * the job is failed and remaining workers are stopped.
+ *
+ * Endpoints: a unix-domain socket (always) and optionally TCP on
+ * 127.0.0.1.  Plain HTTP GETs on either endpoint (detected by the
+ * "GET " preamble) receive the metrics snapshot as a Prometheus text
+ * response, so `curl --unix-socket` works without speaking the binary
+ * protocol.
+ */
+
+#ifndef FSP_SERVICE_SERVER_HH
+#define FSP_SERVICE_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "service/protocol.hh"
+#include "util/metrics.hh"
+
+namespace fsp::service {
+
+/** Daemon configuration. */
+struct ServeOptions
+{
+    /** Unix socket path (required). */
+    std::string socketPath;
+
+    /** Also listen on 127.0.0.1:tcpPort when tcpEnabled (0 picks an
+     *  ephemeral port, readable via ServeDaemon::tcpPort()). */
+    bool tcpEnabled = false;
+    std::uint16_t tcpPort = 0;
+
+    /** Respawn attempts per shard before the job fails. */
+    std::uint32_t restartLimit = 3;
+
+    /** Poll tick in milliseconds (timers, child reaping). */
+    int pollMillis = 100;
+};
+
+/** The daemon.  start() binds, run() serves until Shutdown/stop. */
+class ServeDaemon
+{
+  public:
+    explicit ServeDaemon(ServeOptions options);
+    ~ServeDaemon();
+
+    ServeDaemon(const ServeDaemon &) = delete;
+    ServeDaemon &operator=(const ServeDaemon &) = delete;
+
+    /** Bind the endpoints (throws EndpointError on failure). */
+    void start();
+
+    /** Bound TCP port (after start(); 0 when TCP is disabled). */
+    std::uint16_t tcpPort() const { return bound_tcp_port_; }
+
+    /** Serve until a Shutdown request or requestStop(); returns 0. */
+    int run();
+
+    /** Async-signal-safe stop flag (for SIGINT/SIGTERM handlers). */
+    void requestStop() { stop_ = true; }
+
+    /** The daemon's metric registry (exported at /metrics). */
+    metrics::Registry &registry() { return registry_; }
+
+  private:
+    struct Conn;
+    struct ShardState;
+    struct Job;
+
+    void acceptPending(int listenFd);
+    void readConn(Conn &conn);
+    void handleFrame(Conn &conn, const std::vector<std::uint8_t> &payload);
+    void handleSubmit(Conn &conn, WireReader &reader);
+    void sendStatus(Conn &conn);
+    void sendError(Conn &conn, const std::string &message);
+    void sendFrame(Conn &conn, const std::vector<std::uint8_t> &payload);
+    void sendHttpMetrics(Conn &conn);
+    std::string metricsText() const;
+
+    void pumpJobs();
+    void startJob(Job &job);
+    void spawnShard(Job &job, std::uint32_t shard);
+    void readWorkerPipe(Job &job, std::uint32_t shard);
+    void reapWorkers();
+    void onShardExit(Job &job, std::uint32_t shard, int status);
+    void finishJob(bool ok, const std::string &message);
+    void failJob(const std::string &message);
+    void relayProgress(Job &job, std::uint32_t shard,
+                       std::uint64_t done, std::uint64_t total);
+    Conn *subscriberOf(const Job &job);
+    void closeConn(Conn &conn);
+
+    ServeOptions options_;
+    std::uint16_t bound_tcp_port_ = 0;
+    int unix_fd_ = -1;
+    int tcp_fd_ = -1;
+    std::atomic<bool> stop_{false};
+
+    std::vector<std::unique_ptr<Conn>> conns_;
+    std::deque<std::unique_ptr<Job>> queue_;
+    std::unique_ptr<Job> active_;
+    std::uint64_t next_job_id_ = 1;
+    std::uint64_t jobs_done_ = 0;
+    std::uint64_t jobs_failed_ = 0;
+
+    metrics::Registry registry_;
+    metrics::CounterId m_connections_;
+    metrics::CounterId m_frames_;
+    metrics::CounterId m_protocol_errors_;
+    metrics::CounterId m_jobs_submitted_;
+    metrics::CounterId m_jobs_completed_;
+    metrics::CounterId m_jobs_failed_;
+    metrics::CounterId m_workers_spawned_;
+    metrics::CounterId m_worker_restarts_;
+    metrics::GaugeId m_active_workers_;
+    metrics::GaugeId m_jobs_queued_;
+};
+
+} // namespace fsp::service
+
+#endif // FSP_SERVICE_SERVER_HH

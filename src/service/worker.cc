@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Shard worker implementation.
+ */
+
+#include "service/worker.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include <unistd.h>
+
+#include "faults/shard_plan.hh"
+#include "service/endpoint.hh"
+#include "util/logging.hh"
+
+namespace fsp::service {
+
+CampaignContext
+CampaignContext::fromSpec(const CampaignSpec &spec)
+{
+    CampaignContext ctx;
+    ctx.spec = apps::findKernel(spec.kernel);
+    if (ctx.spec == nullptr)
+        throw std::runtime_error("unknown kernel '" + spec.kernel + "'");
+
+    // Mirror the shared CLI flag semantics field for field
+    // (analysis/cli_options.cc), then finalize exactly as the tools
+    // do -- this is what makes a submitted campaign and a local
+    // `fsp campaign` derive identical identities.
+    analysis::CommonCliOptions &common = ctx.common;
+    common.scale =
+        spec.paperScale ? apps::Scale::Paper : apps::Scale::Small;
+    common.seed = spec.seed;
+    common.faultModel = spec.faultModel;
+    common.pruning.thread.repsPerGroup = spec.pilots;
+    common.pruning.loop.iterations = spec.loopIters;
+    common.pruning.bit.samples = spec.bitSamples;
+    if (spec.noSlicing) {
+        common.campaign.allowSlicing = false;
+        common.pruning.execution.slicedProfiling = false;
+    }
+    if (spec.noCheckpoints) {
+        common.campaign.allowCheckpoints = false;
+        common.pruning.execution.checkpoints = false;
+    }
+    common.campaign.workers = spec.threadsPerWorker;
+    common.campaign.chunkSize = static_cast<std::size_t>(spec.chunk);
+    if (!analysis::finalizeCommonOptions(common))
+        throw std::runtime_error("invalid campaign spec for '" +
+                                 spec.kernel + "'");
+
+    ctx.modelHash = common.campaign.faultModel
+                        ? common.campaign.faultModel->identityHash()
+                        : faults::defaultFaultModel()->identityHash();
+
+    // Same constructor seeding and slicing/checkpoint ordering as
+    // tools/fsp.cc cmdCampaign: facade knobs before prune.
+    ctx.analysis = std::make_unique<analysis::KernelAnalysis>(
+        *ctx.spec, common.scale, common.seed + 41);
+    if (!common.campaign.allowSlicing)
+        ctx.analysis->setSlicingEnabled(false);
+    if (!common.campaign.allowCheckpoints)
+        ctx.analysis->setCheckpointsEnabled(false);
+
+    if (spec.kind == CampaignSpec::Kind::Prune) {
+        pruning::PruningResult pruned =
+            ctx.analysis->prune(common.pruning);
+        ctx.sites = std::move(pruned.sites);
+        ctx.assumedMaskedWeight = pruned.assumedMaskedWeight;
+        ctx.key = analysis::campaignJournalKey(*ctx.spec, common.scale,
+                                               common);
+    } else {
+        ctx.sites = spec.sites;
+        ctx.assumedMaskedWeight = 0.0;
+        // Explicit lists get their own identity: the header hash
+        // already covers every site and weight, the tag pins kernel,
+        // scale and kind.
+        ctx.key = faults::JournalKey{
+            "sites:" + ctx.spec->fullName() + "@" +
+                apps::scaleName(common.scale),
+            common.seed};
+    }
+    return ctx;
+}
+
+void
+writeSpecFile(const std::string &path, const CampaignSpec &spec)
+{
+    WireWriter writer;
+    encodeSpec(writer, spec);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char *>(writer.payload().data()),
+              static_cast<std::streamsize>(writer.payload().size()));
+    if (!out)
+        throw std::runtime_error("cannot write spec file '" + path +
+                                 "'");
+}
+
+CampaignSpec
+readSpecFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("cannot read spec file '" + path + "'");
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    WireReader reader(bytes);
+    CampaignSpec spec = decodeSpec(reader);
+    reader.expectEnd();
+    return spec;
+}
+
+namespace {
+
+/**
+ * Streams WorkerProgress frames to the daemon from the engine's
+ * ChunkFolded events -- the fold point is serialized, so writes never
+ * interleave.  A dead pipe (daemon gone) silently disables streaming:
+ * progress is advisory, the journal is the source of truth.
+ */
+class ProgressFrameObserver final : public faults::CampaignObserver
+{
+  public:
+    ProgressFrameObserver(int fd, std::uint32_t shard) noexcept
+        : fd_(fd), shard_(shard)
+    {
+    }
+
+    void
+    onChunkFolded(const ChunkFolded &event) override
+    {
+        if (fd_ < 0)
+            return;
+        WireWriter writer;
+        writer.u8(static_cast<std::uint8_t>(MsgType::WorkerProgress));
+        writer.u32(shard_);
+        writer.u64(event.sitesDone);
+        writer.u64(event.sitesTotal);
+        try {
+            std::vector<std::uint8_t> framed = frame(writer.payload());
+            writeAll(fd_, framed.data(), framed.size());
+        } catch (const std::exception &) {
+            fd_ = -1;
+        }
+    }
+
+  private:
+    int fd_;
+    std::uint32_t shard_;
+};
+
+} // namespace
+
+int
+runShardWorker(const ShardWorkerArgs &args)
+{
+    try {
+        CampaignSpec spec = readSpecFile(args.specFile);
+        if (args.shards != spec.shards || args.shard >= args.shards) {
+            throw std::runtime_error(
+                "shard " + std::to_string(args.shard) + "/" +
+                std::to_string(args.shards) +
+                " does not match the spec's shard count " +
+                std::to_string(spec.shards));
+        }
+        CampaignContext ctx = CampaignContext::fromSpec(spec);
+
+        faults::ShardPlan plan =
+            faults::planShards(ctx.key, ctx.sites, args.shards);
+        const faults::ShardPlanEntry &entry = plan.shards[args.shard];
+        std::string journal_path = faults::shardJournalPath(
+            args.journalBase, args.shard, args.shards);
+        faults::prepareShardJournal(journal_path, entry, ctx.modelHash);
+
+        ProgressFrameObserver progress(args.progressFd, args.shard);
+        faults::CampaignOptions options = ctx.common.campaign;
+        options.observer = &progress;
+        options.journalPath = journal_path;
+        options.resume = true;
+        options.journalKey = entry.key;
+        if (args.attempt == 0)
+            options.abortAfterSites = spec.abortAfterSites;
+
+        ctx.analysis->campaignEngine(options).run(entry.sites);
+        return 0;
+    } catch (const faults::CampaignAborted &) {
+        // The spec's crash-injection hook: exit as a killed worker
+        // would, with every committed chunk durable in the journal.
+        return 9;
+    } catch (const std::exception &error) {
+        std::cerr << "shard-worker: " << error.what() << "\n";
+        return 1;
+    }
+}
+
+} // namespace fsp::service

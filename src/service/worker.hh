@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Worker-side campaign context: the single code path that turns a
+ * CampaignSpec into the site list, journal key, and hashes a campaign
+ * runs under.
+ *
+ * Identity is the whole game for sharded campaigns: a shard worker, a
+ * crash-respawned worker, `fsp merge`, and a plain single-process
+ * `fsp campaign` must all derive the exact same weighted site list
+ * and journal identity from the same inputs, or journals stop
+ * validating and bit-identity is meaningless.  CampaignContext
+ * therefore mirrors the `fsp campaign` code path step for step
+ * (shared CLI option semantics, same KernelAnalysis seeding, same
+ * slicing/checkpoint ordering relative to prune) instead of
+ * reimplementing it.
+ *
+ * runShardWorker() is the body of `fsp shard-worker`, the process the
+ * daemon forks per shard: build the context, plan shards, prepare (or
+ * resume) this shard's journal, run the engine over the shard's
+ * sub-list, and stream WorkerProgress frames to the inherited pipe.
+ */
+
+#ifndef FSP_SERVICE_WORKER_HH
+#define FSP_SERVICE_WORKER_HH
+
+#include <memory>
+#include <string>
+
+#include "analysis/analyzer.hh"
+#include "analysis/cli_options.hh"
+#include "service/protocol.hh"
+
+namespace fsp::service {
+
+/** Everything a spec determines about its campaign. */
+struct CampaignContext
+{
+    const apps::KernelSpec *spec = nullptr;
+    analysis::CommonCliOptions common;
+    std::unique_ptr<analysis::KernelAnalysis> analysis;
+
+    /** The campaign's full weighted site list, canonical order. */
+    std::vector<faults::WeightedSite> sites;
+
+    /** Weight folded into Masked after the campaign (pruned specs). */
+    double assumedMaskedWeight = 0.0;
+
+    /** Campaign identity (journal key of the UNSHARDED campaign). */
+    faults::JournalKey key;
+
+    /** Fault model identity hash the journals validate against. */
+    std::uint64_t modelHash = 0;
+
+    /**
+     * Build the context from @p spec: resolve the kernel, apply the
+     * spec's knobs exactly as the shared CLI would, run the pruning
+     * pipeline (Kind::Prune) or adopt the explicit list
+     * (Kind::Sites), and derive the campaign identity.  Throws
+     * std::runtime_error on an unknown kernel or a malformed
+     * fault-model spec.
+     */
+    static CampaignContext fromSpec(const CampaignSpec &spec);
+};
+
+/** Spool an encoded spec to @p path / load it back (daemon -> worker
+ *  handoff; same encoding as the Submit frame body). */
+void writeSpecFile(const std::string &path, const CampaignSpec &spec);
+CampaignSpec readSpecFile(const std::string &path);
+
+/** Arguments of one `fsp shard-worker` invocation. */
+struct ShardWorkerArgs
+{
+    std::string specFile;
+    std::string journalBase;
+    std::uint32_t shard = 0;
+    std::uint32_t shards = 1;
+    std::uint32_t attempt = 0; ///< respawn count; gates abortAfterSites
+    int progressFd = -1;       ///< WorkerProgress frames; -1 = none
+};
+
+/**
+ * Run one shard to completion: returns 0 on success, 9 when the
+ * spec's abortAfterSites testing hook fired (first attempt only), 1
+ * on any other error (diagnostic on stderr).  The shard journal holds
+ * every committed chunk either way.
+ */
+int runShardWorker(const ShardWorkerArgs &args);
+
+} // namespace fsp::service
+
+#endif // FSP_SERVICE_WORKER_HH

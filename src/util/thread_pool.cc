@@ -78,6 +78,7 @@ ThreadPool::workerLoop(unsigned index)
                     // Abandon the job's unclaimed chunks: account them
                     // as done so the caller wakes once every in-flight
                     // chunk has drained, then rethrows the error.
+                    abandoned_chunks_ += chunk_count_ - next_chunk_;
                     chunks_done_ += chunk_count_ - next_chunk_;
                     next_chunk_ = chunk_count_;
                     if (chunks_done_ == chunk_count_)
@@ -117,6 +118,7 @@ ThreadPool::parallelFor(
     chunk_count_ = chunkCount;
     next_chunk_ = 0;
     chunks_done_ = 0;
+    abandoned_chunks_ = 0;
     first_error_ = nullptr;
     generation_++;
     lock.unlock();
@@ -126,6 +128,7 @@ ThreadPool::parallelFor(
     done_cv_.wait(lock, [&] { return chunks_done_ == chunk_count_; });
     body_ = nullptr;
     chunk_count_ = 0;
+    last_abandoned_chunks_ = abandoned_chunks_;
     std::exception_ptr error = first_error_;
     first_error_ = nullptr;
     lock.unlock();

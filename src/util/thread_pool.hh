@@ -60,6 +60,17 @@ class ThreadPool
                                               unsigned worker)> &body);
 
     /**
+     * Chunks of the most recent parallelFor() that were abandoned
+     * unclaimed because a body threw (0 after a clean job).  Callers
+     * that report the rethrown error should include this so "the
+     * campaign stopped early" is diagnosable from the result.
+     */
+    std::size_t lastAbandonedChunks() const
+    {
+        return last_abandoned_chunks_;
+    }
+
+    /**
      * Worker count used when none is requested: the FSP_WORKERS
      * environment variable when set, otherwise the hardware thread
      * count (at least 1).
@@ -80,6 +91,8 @@ class ThreadPool
     std::size_t chunk_count_ = 0;
     std::size_t next_chunk_ = 0;
     std::size_t chunks_done_ = 0;
+    std::size_t abandoned_chunks_ = 0;      ///< this job, guarded by mutex_
+    std::size_t last_abandoned_chunks_ = 0; ///< previous job, caller-read
     std::uint64_t generation_ = 0; ///< bumped per job so workers rewake
     std::exception_ptr first_error_;
     bool stop_ = false;

@@ -1,0 +1,364 @@
+/**
+ * @file
+ * Campaign service suite: wire-protocol encode/decode and frame
+ * reassembly invariants, spec round-trips, the daemon's control plane
+ * (ping, status, metrics, shutdown, submit validation), and -- when
+ * FSP_WORKER_BINARY points at the built fsp tool -- a full in-process
+ * end-to-end: submit a sharded campaign, stream its progress, survive
+ * a crash-injected worker, merge the shard journals, and compare the
+ * result bit-for-bit against a local engine run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "analysis/analyzer.hh"
+#include "apps/app.hh"
+#include "faults/campaign_engine.hh"
+#include "faults/fault_model.hh"
+#include "faults/journal_merge.hh"
+#include "service/client.hh"
+#include "service/endpoint.hh"
+#include "service/protocol.hh"
+#include "service/server.hh"
+#include "service/worker.hh"
+
+namespace fsp {
+namespace {
+
+using service::CampaignSpec;
+using service::FrameReader;
+using service::MsgType;
+using service::ProtocolError;
+using service::WireReader;
+using service::WireWriter;
+
+TEST(WireFormatTest, ScalarAndStringRoundTrip)
+{
+    WireWriter writer;
+    writer.u8(0xab);
+    writer.u32(0xdeadbeef);
+    writer.u64(0x0123456789abcdefull);
+    writer.f64(-0.1);
+    writer.str("hello");
+    writer.str("");
+
+    WireReader reader(writer.payload());
+    EXPECT_EQ(reader.u8(), 0xab);
+    EXPECT_EQ(reader.u32(), 0xdeadbeefu);
+    EXPECT_EQ(reader.u64(), 0x0123456789abcdefull);
+    EXPECT_EQ(reader.f64(), -0.1); // exact: bit-pattern transport
+    EXPECT_EQ(reader.str(), "hello");
+    EXPECT_EQ(reader.str(), "");
+    EXPECT_NO_THROW(reader.expectEnd());
+}
+
+TEST(WireFormatTest, TruncatedReadsThrow)
+{
+    WireWriter writer;
+    writer.u32(7);
+    WireReader reader(writer.payload());
+    EXPECT_EQ(reader.u32(), 7u);
+    EXPECT_THROW(reader.u8(), ProtocolError);
+
+    // A string announcing more bytes than the payload holds.
+    WireWriter lying;
+    lying.u32(1000);
+    WireReader liar(lying.payload());
+    EXPECT_THROW(liar.str(), ProtocolError);
+}
+
+TEST(WireFormatTest, SpecRoundTripsExactly)
+{
+    CampaignSpec spec;
+    spec.kind = CampaignSpec::Kind::Sites;
+    spec.kernel = "GEMM/K1";
+    spec.paperScale = true;
+    spec.seed = 77;
+    spec.faultModel = "multi-bit:width=3";
+    spec.shards = 8;
+    spec.procs = 3;
+    spec.threadsPerWorker = 2;
+    spec.chunk = 17;
+    spec.pilots = 2;
+    spec.loopIters = 5;
+    spec.bitSamples = 9;
+    spec.noSlicing = true;
+    spec.noCheckpoints = true;
+    spec.abortAfterSites = 123;
+    spec.sites = {{{3, 141, 7}, 0.25}, {{9, 2653, 31}, 1.75}};
+
+    WireWriter writer;
+    service::encodeSpec(writer, spec);
+    WireReader reader(writer.payload());
+    CampaignSpec decoded = service::decodeSpec(reader);
+    EXPECT_NO_THROW(reader.expectEnd());
+    EXPECT_EQ(decoded, spec);
+}
+
+TEST(WireFormatTest, MalformedSpecRejected)
+{
+    // An out-of-range kind byte.
+    WireWriter writer;
+    writer.u8(9);
+    WireReader reader(writer.payload());
+    EXPECT_THROW(service::decodeSpec(reader), ProtocolError);
+}
+
+TEST(FrameReaderTest, ReassemblesByteAtATime)
+{
+    WireWriter writer;
+    writer.u8(0x42);
+    writer.str("chunked");
+    std::vector<std::uint8_t> framed = service::frame(writer.payload());
+
+    FrameReader frames;
+    std::vector<std::uint8_t> payload;
+    for (std::size_t i = 0; i < framed.size(); ++i) {
+        EXPECT_FALSE(frames.next(payload)) << "early frame at byte " << i;
+        frames.feed(&framed[i], 1);
+    }
+    ASSERT_TRUE(frames.next(payload));
+    EXPECT_EQ(payload, writer.payload());
+    EXPECT_FALSE(frames.next(payload));
+}
+
+TEST(FrameReaderTest, SplitsCoalescedFrames)
+{
+    WireWriter a, b;
+    a.u8(1);
+    b.u8(2);
+    b.u64(99);
+    std::vector<std::uint8_t> stream = service::frame(a.payload());
+    std::vector<std::uint8_t> second = service::frame(b.payload());
+    stream.insert(stream.end(), second.begin(), second.end());
+
+    FrameReader frames;
+    frames.feed(stream.data(), stream.size());
+    std::vector<std::uint8_t> payload;
+    ASSERT_TRUE(frames.next(payload));
+    EXPECT_EQ(payload, a.payload());
+    ASSERT_TRUE(frames.next(payload));
+    EXPECT_EQ(payload, b.payload());
+    EXPECT_FALSE(frames.next(payload));
+}
+
+TEST(FrameReaderTest, OversizedAnnouncedLengthThrowsImmediately)
+{
+    // 512 MiB announced: must throw on the 4-byte header alone, never
+    // buffer toward it.
+    std::uint8_t header[4] = {0x00, 0x00, 0x00, 0x20};
+    FrameReader frames;
+    EXPECT_THROW(
+        {
+            frames.feed(header, sizeof(header));
+            std::vector<std::uint8_t> payload;
+            frames.next(payload);
+        },
+        ProtocolError);
+}
+
+TEST(SpecFileTest, RoundTripsThroughDisk)
+{
+    CampaignSpec spec;
+    spec.kernel = "MVT/K1";
+    spec.seed = 5;
+    spec.shards = 3;
+    std::string path = testing::TempDir() + "fsp_spec_roundtrip.spec";
+    std::remove(path.c_str());
+    service::writeSpecFile(path, spec);
+    EXPECT_EQ(service::readSpecFile(path), spec);
+    std::remove(path.c_str());
+}
+
+/** An in-process daemon on its own thread, torn down via the client. */
+class ServiceDaemonTest : public testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        service::ServeOptions options;
+        options.socketPath = testing::TempDir() + "fsp_service_test_" +
+                             std::to_string(::getpid()) + ".sock";
+        options.pollMillis = 20;
+        socket_path_ = options.socketPath;
+        daemon_.emplace(options);
+        daemon_->start();
+        thread_ = std::thread([this] { daemon_->run(); });
+    }
+
+    void
+    TearDown() override
+    {
+        daemon_->requestStop();
+        thread_.join();
+        daemon_.reset();
+    }
+
+    service::ServiceClient
+    connect()
+    {
+        return service::ServiceClient::connectUnixSocket(socket_path_);
+    }
+
+    std::string socket_path_;
+    std::optional<service::ServeDaemon> daemon_;
+    std::thread thread_;
+};
+
+TEST_F(ServiceDaemonTest, PingStatusMetrics)
+{
+    service::ServiceClient client = connect();
+    EXPECT_NO_THROW(client.ping());
+
+    service::ServiceStatus status = client.status();
+    EXPECT_EQ(status.jobsQueued, 0u);
+    EXPECT_EQ(status.activeJob, 0u);
+
+    std::string metrics = client.metricsText();
+    EXPECT_NE(metrics.find("fsp_serve_connections_total"),
+              std::string::npos);
+    EXPECT_NE(metrics.find("fsp_serve_jobs_submitted_total"),
+              std::string::npos);
+}
+
+TEST_F(ServiceDaemonTest, ShutdownRequestStopsTheLoop)
+{
+    service::ServiceClient client = connect();
+    EXPECT_NO_THROW(client.shutdownServer());
+    thread_.join();            // run() returns on its own
+    thread_ = std::thread([] {}); // TearDown's join still has a target
+}
+
+TEST_F(ServiceDaemonTest, SubmitValidationErrors)
+{
+    service::ServiceClient client = connect();
+    CampaignSpec spec;
+    spec.kernel = "NoSuch/K9";
+    EXPECT_THROW(client.submit(spec, testing::TempDir() + "fsp_nojob"),
+                 ProtocolError);
+
+    spec.kernel = "GEMM/K1";
+    EXPECT_THROW(client.submit(spec, ""), ProtocolError);
+
+    spec.kind = CampaignSpec::Kind::Sites; // empty explicit list
+    EXPECT_THROW(client.submit(spec, testing::TempDir() + "fsp_nojob"),
+                 ProtocolError);
+}
+
+TEST_F(ServiceDaemonTest, HttpGetServesPrometheusMetrics)
+{
+    // Speak minimal HTTP over the same unix socket; the daemon sniffs
+    // the "GET " preamble and answers with the metrics snapshot.
+    int fd = service::connectUnix(socket_path_);
+    std::string request = "GET /metrics HTTP/1.0\r\n\r\n";
+    service::writeAll(fd, request.data(), request.size());
+
+    std::string response;
+    char buffer[4096];
+    for (;;) {
+        ssize_t got = ::read(fd, buffer, sizeof(buffer));
+        if (got <= 0)
+            break; // Connection: close ends the response
+        response.append(buffer, static_cast<std::size_t>(got));
+    }
+    ::close(fd);
+    EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+    EXPECT_NE(response.find("text/plain"), std::string::npos);
+    EXPECT_NE(response.find("fsp_serve_connections_total"),
+              std::string::npos);
+
+    // The binary protocol is unaffected on a fresh connection.
+    service::ServiceClient probe = connect();
+    EXPECT_NO_THROW(probe.ping());
+}
+
+/**
+ * Full daemon end-to-end with real worker processes.  Requires the
+ * fsp binary (FSP_WORKER_BINARY, set by CTest); skipped otherwise so
+ * the suite still runs standalone.
+ */
+TEST_F(ServiceDaemonTest, SubmittedCampaignMergesBitIdentically)
+{
+    const char *binary = std::getenv("FSP_WORKER_BINARY");
+    if (binary == nullptr || ::access(binary, X_OK) != 0)
+        GTEST_SKIP() << "FSP_WORKER_BINARY not available";
+
+    const apps::KernelSpec *kernel = apps::findKernel("PathFinder/K1");
+    ASSERT_NE(kernel, nullptr);
+
+    // The explicit site list the job will inject (Kind::Sites skips
+    // the pruning pipeline in the workers, keeping the test fast).
+    analysis::KernelAnalysis ka(*kernel, apps::Scale::Small, 1 + 41);
+    Prng prng(2026);
+    std::vector<faults::FaultSite> raw = ka.space().sampleSites(24, prng);
+    std::vector<faults::WeightedSite> weighted;
+    for (std::size_t i = 0; i < raw.size(); ++i)
+        weighted.push_back(
+            {raw[i], 0.1 + 0.3 * static_cast<double>(i % 7)});
+
+    CampaignSpec spec;
+    spec.kind = CampaignSpec::Kind::Sites;
+    spec.kernel = kernel->fullName();
+    spec.seed = 1;
+    spec.shards = 2;
+    spec.sites = weighted;
+    // Crash-inject every worker's first attempt: the daemon must
+    // respawn each one onto its journal and still finish the job.
+    spec.abortAfterSites = 5;
+
+    std::string base = testing::TempDir() + "fsp_service_e2e_" +
+                       std::to_string(::getpid());
+    service::ServiceClient client = connect();
+    std::uint64_t job = client.submit(spec, base);
+    EXPECT_GT(job, 0u);
+
+    std::size_t progress_events = 0;
+    service::JobOutcome outcome = client.waitJob(
+        job, [&](const service::JobProgress &) { ++progress_events; });
+    EXPECT_TRUE(outcome.ok) << outcome.message;
+    EXPECT_GE(progress_events, 1u);
+
+    // Merge the daemon-written shard journals and compare against a
+    // local engine run of the same list under the same identity.
+    service::CampaignContext ctx = service::CampaignContext::fromSpec(spec);
+    std::vector<std::string> paths;
+    for (std::uint32_t s = 0; s < spec.shards; ++s)
+        paths.push_back(
+            faults::shardJournalPath(base, s, spec.shards));
+    faults::MergeReport report = faults::mergeShardJournals(
+        ctx.key, ctx.sites, ctx.modelHash, paths);
+    EXPECT_TRUE(report.complete);
+
+    faults::CampaignResult expected =
+        faults::CampaignEngine(ctx.analysis->injector(), {})
+            .run(ctx.sites);
+    EXPECT_EQ(expected.runs, report.result.runs);
+    for (faults::Outcome o :
+         {faults::Outcome::Masked, faults::Outcome::SDC,
+          faults::Outcome::Other}) {
+        EXPECT_EQ(expected.dist.weightOf(o),
+                  report.result.dist.weightOf(o))
+            << faults::outcomeName(o);
+    }
+
+    // The crash injection actually fired: each shard was respawned.
+    std::string metrics = client.metricsText();
+    EXPECT_NE(metrics.find("fsp_serve_worker_restarts_total 2"),
+              std::string::npos)
+        << metrics;
+}
+
+} // namespace
+} // namespace fsp

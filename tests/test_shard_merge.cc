@@ -1,0 +1,369 @@
+/**
+ * @file
+ * Shard-merge determinism suite: splitting a campaign into N journaled
+ * shards and re-folding them with mergeShardJournals() must reproduce
+ * the single-process campaign *bit-for-bit* -- for every registered
+ * kernel, at shard counts {1, 2, 4, 8} and worker counts {1, 4}, and
+ * after a worker was killed mid-shard and resumed.  Also locks down
+ * the merge's validation: shards from the wrong campaign, renumbered
+ * shards, and incomplete shards are rejected with the path in the
+ * error.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hh"
+#include "apps/app.hh"
+#include "faults/campaign_engine.hh"
+#include "faults/fault_model.hh"
+#include "faults/journal_merge.hh"
+#include "faults/shard_plan.hh"
+#include "util/json.hh"
+
+namespace fsp {
+namespace {
+
+/** Weights chosen to expose any reordering of the double sums. */
+std::vector<faults::WeightedSite>
+weightSites(const std::vector<faults::FaultSite> &sites)
+{
+    std::vector<faults::WeightedSite> weighted;
+    weighted.reserve(sites.size());
+    for (std::size_t i = 0; i < sites.size(); ++i)
+        weighted.push_back(
+            {sites[i], 0.1 + 0.3 * static_cast<double>(i % 7)});
+    return weighted;
+}
+
+/** Anatomy as its JSON rendering: a string-equality comparison covers
+ *  every pattern tally and the per-instruction ranking at once. */
+std::string
+anatomyJson(const faults::SdcAnatomyProfile &anatomy)
+{
+    std::ostringstream out;
+    JsonWriter json(out);
+    json.beginObject();
+    anatomy.writeJson(json);
+    json.endObject();
+    return out.str();
+}
+
+void
+expectSameResult(const faults::CampaignResult &expected,
+                 const faults::CampaignResult &actual)
+{
+    EXPECT_EQ(expected.runs, actual.runs);
+    EXPECT_EQ(expected.dist.runs(), actual.dist.runs());
+    for (faults::Outcome o :
+         {faults::Outcome::Masked, faults::Outcome::SDC,
+          faults::Outcome::Other}) {
+        // Exact equality, not a tolerance: the merge folds the same
+        // outcomes in the same global site order as the engine, so
+        // the weighted double accumulation must match bit-for-bit.
+        EXPECT_EQ(expected.dist.weightOf(o), actual.dist.weightOf(o))
+            << "outcome " << faults::outcomeName(o);
+    }
+    EXPECT_EQ(anatomyJson(expected.anatomy), anatomyJson(actual.anatomy));
+}
+
+/** Per-shard journal paths under gtest's temp dir, pre-cleaned. */
+std::vector<std::string>
+shardPaths(const std::string &tag, std::uint32_t shards)
+{
+    std::string base = testing::TempDir() + "fsp_" + tag;
+    std::vector<std::string> paths;
+    for (std::uint32_t s = 0; s < shards; ++s) {
+        paths.push_back(faults::shardJournalPath(base, s, shards));
+        std::remove(paths.back().c_str());
+    }
+    return paths;
+}
+
+faults::CampaignOptions
+shardOptions(const faults::ShardPlanEntry &entry,
+             const std::string &path, unsigned workers)
+{
+    faults::CampaignOptions options;
+    options.workers = workers;
+    options.chunkSize = 7;
+    options.journalPath = path;
+    options.resume = true; // the prepared header is resumed, not recreated
+    options.journalKey = entry.key;
+    return options;
+}
+
+/** Run every shard of @p plan to completion and return the paths. */
+std::vector<std::string>
+runAllShards(analysis::KernelAnalysis &ka, const faults::ShardPlan &plan,
+             const std::string &tag, unsigned workers,
+             std::uint64_t modelHash)
+{
+    std::vector<std::string> paths =
+        shardPaths(tag, static_cast<std::uint32_t>(plan.shards.size()));
+    for (std::size_t s = 0; s < plan.shards.size(); ++s) {
+        const faults::ShardPlanEntry &entry = plan.shards[s];
+        faults::prepareShardJournal(paths[s], entry, modelHash);
+        faults::CampaignEngine engine(
+            ka.injector(), shardOptions(entry, paths[s], workers));
+        engine.run(entry.sites);
+    }
+    return paths;
+}
+
+TEST(ShardPlanTest, ContiguousDisjointGapFreeCoverage)
+{
+    for (std::uint64_t sites : {1ull, 7ull, 60ull, 61ull}) {
+        for (std::uint32_t shards : {1u, 2u, 4u, 8u}) {
+            std::uint64_t covered = 0;
+            for (std::uint32_t s = 0; s < shards; ++s) {
+                std::uint64_t begin =
+                    faults::shardBegin(s, shards, sites);
+                std::uint64_t end =
+                    faults::shardBegin(s + 1, shards, sites);
+                EXPECT_EQ(begin, covered)
+                    << sites << " sites, shard " << s << "/" << shards;
+                EXPECT_LE(end - begin, (sites + shards - 1) / shards);
+                covered = end;
+            }
+            EXPECT_EQ(covered, sites);
+        }
+    }
+}
+
+TEST(ShardPlanTest, ZeroShardsRejected)
+{
+    EXPECT_THROW(faults::planShards({"t", 1}, {}, 0),
+                 std::invalid_argument);
+}
+
+TEST(ShardPlanTest, ShardKeysAreDistinctFromCampaignAndEachOther)
+{
+    faults::JournalKey key{"plan-suite", 7};
+    faults::JournalKey a = faults::shardJournalKey(key, 0, 4);
+    faults::JournalKey b = faults::shardJournalKey(key, 1, 4);
+    faults::JournalKey c = faults::shardJournalKey(key, 1, 8);
+    EXPECT_NE(a.tag, key.tag);
+    EXPECT_NE(a.tag, b.tag);
+    EXPECT_NE(b.tag, c.tag);
+    EXPECT_EQ(a.seed, key.seed);
+}
+
+/**
+ * The acceptance matrix: every registered kernel, shard counts
+ * {1, 2, 4, 8}, engine worker counts {1, 4} -- each combination's
+ * merged result must equal the single-process reference bit-for-bit.
+ */
+TEST(ShardMergeMatrixTest, EveryKernelEveryShardCountBitIdentical)
+{
+    const std::uint64_t model_hash =
+        faults::defaultFaultModel()->identityHash();
+    for (const apps::KernelSpec &spec : apps::allKernels()) {
+        SCOPED_TRACE(spec.fullName());
+        analysis::KernelAnalysis ka(spec, apps::Scale::Small);
+        Prng prng(2026);
+        std::vector<faults::WeightedSite> weighted =
+            weightSites(ka.space().sampleSites(60, prng));
+        faults::JournalKey key{"shard-merge:" + spec.fullName(), 2026};
+
+        faults::CampaignEngine reference(ka.injector(), {});
+        faults::CampaignResult expected = reference.run(weighted);
+
+        for (std::uint32_t shards : {1u, 2u, 4u, 8u}) {
+            faults::ShardPlan plan =
+                faults::planShards(key, weighted, shards);
+            ASSERT_EQ(plan.shards.size(), shards);
+            for (unsigned workers : {1u, 4u}) {
+                SCOPED_TRACE("shards=" + std::to_string(shards) +
+                             " workers=" + std::to_string(workers));
+                std::string tag = "matrix_" + spec.suite + "_" +
+                                  std::to_string(shards) + "_" +
+                                  std::to_string(workers);
+                std::vector<std::string> paths = runAllShards(
+                    ka, plan, tag, workers, model_hash);
+
+                faults::MergeReport report = faults::mergeShardJournals(
+                    key, weighted, model_hash, paths);
+                EXPECT_TRUE(report.complete);
+                EXPECT_EQ(report.sitesDone, weighted.size());
+                EXPECT_EQ(report.campaignSites, weighted.size());
+                expectSameResult(expected, report.result);
+            }
+        }
+    }
+}
+
+/** Fixture for the single-kernel validation and recovery cases. */
+class ShardMergeTest : public testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const apps::KernelSpec *spec = apps::findKernel("PathFinder/K1");
+        ASSERT_NE(spec, nullptr);
+        ka_.emplace(*spec, apps::Scale::Small);
+        Prng prng(2026);
+        weighted_ = weightSites(ka_->space().sampleSites(60, prng));
+        key_ = {"shard-merge-suite", 2026};
+        model_hash_ = faults::defaultFaultModel()->identityHash();
+    }
+
+    std::optional<analysis::KernelAnalysis> ka_;
+    std::vector<faults::WeightedSite> weighted_;
+    faults::JournalKey key_;
+    std::uint64_t model_hash_ = 0;
+};
+
+TEST_F(ShardMergeTest, KilledShardResumesAndMergesBitIdentically)
+{
+    faults::CampaignEngine reference(ka_->injector(), {});
+    faults::CampaignResult expected = reference.run(weighted_);
+
+    const std::uint32_t shards = 4;
+    faults::ShardPlan plan = faults::planShards(key_, weighted_, shards);
+    std::vector<std::string> paths = shardPaths("killed", shards);
+
+    for (std::uint32_t s = 0; s < shards; ++s) {
+        const faults::ShardPlanEntry &entry = plan.shards[s];
+        faults::prepareShardJournal(paths[s], entry, model_hash_);
+        faults::CampaignOptions options =
+            shardOptions(entry, paths[s], 2);
+        if (s == 1) {
+            // Kill shard 1 mid-run: CampaignAborted is thrown from a
+            // fold point after that chunk's records were committed --
+            // the state a SIGKILL between chunk commits leaves.
+            options.abortAfterSites = entry.sites.size() / 2;
+            faults::CampaignEngine killed(ka_->injector(), options);
+            EXPECT_THROW(killed.run(entry.sites),
+                         faults::CampaignAborted);
+            continue;
+        }
+        faults::CampaignEngine engine(ka_->injector(), options);
+        engine.run(entry.sites);
+    }
+
+    // A strict merge refuses the incomplete shard, naming it.
+    try {
+        faults::mergeShardJournals(key_, weighted_, model_hash_, paths);
+        FAIL() << "incomplete shard accepted";
+    } catch (const faults::JournalError &error) {
+        EXPECT_NE(std::string(error.what()).find(paths[1]),
+                  std::string::npos)
+            << error.what();
+    }
+
+    // A relaxed merge folds only the classified sites.
+    faults::MergeOptions relaxed;
+    relaxed.requireComplete = false;
+    faults::MergeReport partial = faults::mergeShardJournals(
+        key_, weighted_, model_hash_, paths, relaxed);
+    EXPECT_FALSE(partial.complete);
+    EXPECT_LT(partial.sitesDone, weighted_.size());
+
+    // Resume the dead shard exactly as a respawned worker would:
+    // prepare validates the surviving header, the engine replays the
+    // committed chunks and injects the rest.
+    const faults::ShardPlanEntry &entry = plan.shards[1];
+    faults::prepareShardJournal(paths[1], entry, model_hash_);
+    faults::CampaignEngine resumed(ka_->injector(),
+                                   shardOptions(entry, paths[1], 2));
+    resumed.run(entry.sites);
+    EXPECT_GT(resumed.lastStats().replayedSites, 0u);
+
+    faults::MergeReport report =
+        faults::mergeShardJournals(key_, weighted_, model_hash_, paths);
+    EXPECT_TRUE(report.complete);
+    expectSameResult(expected, report.result);
+}
+
+TEST_F(ShardMergeTest, MergedJournalIsResumableAsSingleCampaign)
+{
+    const std::uint32_t shards = 2;
+    faults::ShardPlan plan = faults::planShards(key_, weighted_, shards);
+    std::vector<std::string> paths =
+        runAllShards(*ka_, plan, "emit", 1, model_hash_);
+
+    std::string merged_path = testing::TempDir() + "fsp_emit_merged.fspj";
+    std::remove(merged_path.c_str());
+    faults::MergeOptions options;
+    options.mergedJournalPath = merged_path;
+    faults::MergeReport report = faults::mergeShardJournals(
+        key_, weighted_, model_hash_, paths, options);
+    ASSERT_TRUE(report.complete);
+
+    // The emitted journal carries the UNSHARDED campaign identity, so
+    // a plain journaled engine resumes it and replays every site.
+    faults::CampaignOptions resume_options;
+    resume_options.workers = 2;
+    resume_options.chunkSize = 7;
+    resume_options.journalPath = merged_path;
+    resume_options.journalKey = key_;
+    resume_options.resume = true;
+    faults::CampaignEngine engine(ka_->injector(), resume_options);
+    faults::CampaignResult replayed = engine.run(weighted_);
+    EXPECT_EQ(engine.lastStats().injectedSites, 0u);
+    EXPECT_EQ(engine.lastStats().replayedSites, weighted_.size());
+    expectSameResult(report.result, replayed);
+}
+
+TEST_F(ShardMergeTest, RenumberedShardRejected)
+{
+    const std::uint32_t shards = 2;
+    faults::ShardPlan plan = faults::planShards(key_, weighted_, shards);
+    std::vector<std::string> paths =
+        runAllShards(*ka_, plan, "renumber", 1, model_hash_);
+
+    // Presenting shard 0's journal in shard 1's slot is a renumbering:
+    // its extension says (index 0), the plan expects (index 1).
+    std::vector<std::string> swapped = {paths[0], paths[0]};
+    try {
+        faults::mergeShardJournals(key_, weighted_, model_hash_,
+                                   swapped);
+        FAIL() << "renumbered shard accepted";
+    } catch (const faults::JournalError &error) {
+        EXPECT_NE(std::string(error.what()).find(paths[0]),
+                  std::string::npos)
+            << error.what();
+    }
+}
+
+TEST_F(ShardMergeTest, ShardFromDifferentCampaignRejected)
+{
+    const std::uint32_t shards = 2;
+    faults::ShardPlan plan = faults::planShards(key_, weighted_, shards);
+    std::vector<std::string> paths =
+        runAllShards(*ka_, plan, "foreign", 1, model_hash_);
+
+    // Same site list, different campaign identity (the seed): the
+    // shard header hash no longer matches the plan's.
+    faults::JournalKey other = key_;
+    other.seed = 9;
+    EXPECT_THROW(faults::mergeShardJournals(other, weighted_,
+                                            model_hash_, paths),
+                 faults::JournalError);
+}
+
+TEST_F(ShardMergeTest, WrongShardCountRejected)
+{
+    const std::uint32_t shards = 4;
+    faults::ShardPlan plan = faults::planShards(key_, weighted_, shards);
+    std::vector<std::string> paths =
+        runAllShards(*ka_, plan, "count", 1, model_hash_);
+
+    // Re-folding the same files under a 2-shard plan must fail: the
+    // extensions say count 4 and the sub-list hashes differ.
+    std::vector<std::string> two = {paths[0], paths[1]};
+    EXPECT_THROW(
+        faults::mergeShardJournals(key_, weighted_, model_hash_, two),
+        faults::JournalError);
+}
+
+} // namespace
+} // namespace fsp

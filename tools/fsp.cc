@@ -10,6 +10,10 @@
  *   fsp loops    <App/Kx> [opts]     loop statistics (Table VII row)
  *   fsp prune    <App/Kx> [opts]     pruning stage counts (Fig. 10 row)
  *   fsp campaign <App/Kx> [opts]     pruned campaign vs baseline
+ *   fsp serve    [opts]              campaign service daemon
+ *   fsp submit   <App/Kx> [opts]     submit a campaign to a daemon
+ *   fsp merge    <App/Kx> [opts]     merge shard journals (fsp_service_cmds.cc)
+ *   fsp shutdown [opts]              stop a daemon
  *
  * Options are the shared tool set (analysis/cli_options.hh); run
  * `fsp --help` (or any command with --help) for the generated list.
@@ -33,6 +37,8 @@
 #include "util/json.hh"
 #include "util/table.hh"
 
+#include "fsp_service_cmds.hh"
+
 namespace {
 
 using namespace fsp;
@@ -49,7 +55,9 @@ buildTable(OptionTable &table, Options &opts)
 {
     table.setUsage("fsp <command> [kernel] [options]\n"
                    "commands: list | models | profile | groups | disasm |"
-                   " loops | prune | campaign");
+                   " loops | prune | campaign |\n"
+                   "          serve | submit | merge | shutdown"
+                   "  (each service command has its own --help)");
     table.positional("kernel", "kernel name, e.g. GEMM/K1 (`fsp list`)",
                      [&opts](const std::string &arg) {
                          if (!opts.kernel.empty())
@@ -411,6 +419,11 @@ main(int argc, char **argv)
         table.printHelp(std::cout);
         return 0;
     }
+    // The service commands carry flags the shared table doesn't know
+    // (and `serve` takes no kernel at all): dispatch them before the
+    // shared parse, each with its own table.
+    if (tools::isServiceCommand(opts.command))
+        return tools::runServiceCommand(opts.command, argc, argv);
     switch (table.parse(argc, argv, 2, std::cerr)) {
       case OptionTable::Parse::Ok:
         break;

@@ -1,0 +1,475 @@
+/**
+ * @file
+ * Service subcommand implementations.
+ *
+ *   fsp serve    --socket S [--tcp] ...          run the daemon
+ *   fsp submit   <App/Kx> --socket S ...         submit + stream a job
+ *   fsp merge    <App/Kx> --journal-base B ...   merge shard journals
+ *   fsp shutdown --socket S                      stop a daemon
+ *   fsp shard-worker ...                         internal (daemon fork)
+ *
+ * `submit` and `merge` take the shared campaign option set, because
+ * identity is derived from those values: the spec a submit sends, the
+ * plan a worker executes, and the journals a merge validates must all
+ * come from the same knobs.
+ */
+
+#include "fsp_service_cmds.hh"
+
+#include <algorithm>
+#include <csignal>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "analysis/cli_options.hh"
+#include "apps/app.hh"
+#include "faults/journal_merge.hh"
+#include "faults/shard_plan.hh"
+#include "service/client.hh"
+#include "service/server.hh"
+#include "service/worker.hh"
+#include "util/cli.hh"
+#include "util/json.hh"
+
+namespace {
+
+using namespace fsp;
+
+service::ServeDaemon *g_daemon = nullptr;
+
+void
+onStopSignal(int)
+{
+    if (g_daemon != nullptr)
+        g_daemon->requestStop();
+}
+
+/** Shared per-command parse boilerplate; nullopt means "exit @p rc". */
+int
+parseOrExit(OptionTable &table, int argc, char **argv)
+{
+    switch (table.parse(argc, argv, 2, std::cerr)) {
+      case OptionTable::Parse::Ok:
+        return 0;
+      case OptionTable::Parse::Help:
+        return -1;
+      case OptionTable::Parse::Error:
+        return 2;
+    }
+    return 2;
+}
+
+/** Endpoint selection shared by submit/shutdown. */
+struct EndpointOpts
+{
+    std::string socketPath;
+    std::uint64_t tcpPort = 0;
+};
+
+void
+addEndpointOptions(OptionTable &table, EndpointOpts &opts)
+{
+    table.optionString("--socket", "PATH", "daemon unix socket path",
+                       opts.socketPath);
+    table.optionU64("--tcp-port", "N",
+                    "connect to 127.0.0.1:N instead of --socket",
+                    opts.tcpPort);
+}
+
+service::ServiceClient
+connectDaemon(const EndpointOpts &opts)
+{
+    if (!opts.socketPath.empty())
+        return service::ServiceClient::connectUnixSocket(opts.socketPath);
+    if (opts.tcpPort != 0) {
+        return service::ServiceClient::connectLoopback(
+            static_cast<std::uint16_t>(opts.tcpPort));
+    }
+    throw std::runtime_error("need --socket or --tcp-port");
+}
+
+/**
+ * The spec a kernel + shared campaign options describe.  This is the
+ * inverse of service::CampaignContext::fromSpec -- round-tripping
+ * through it reproduces the same CommonCliOptions, which is what makes
+ * a submitted job's identity equal a local run's.
+ */
+service::CampaignSpec
+specFromCommon(const std::string &kernel,
+               const analysis::CommonCliOptions &common)
+{
+    service::CampaignSpec spec;
+    spec.kind = service::CampaignSpec::Kind::Prune;
+    spec.kernel = kernel;
+    spec.paperScale = common.scale == apps::Scale::Paper;
+    spec.seed = common.seed;
+    spec.faultModel = common.faultModel;
+    spec.threadsPerWorker = common.campaign.workers;
+    spec.chunk = common.campaign.chunkSize;
+    spec.pilots = common.pruning.thread.repsPerGroup;
+    spec.loopIters = common.pruning.loop.iterations;
+    spec.bitSamples = common.pruning.bit.samples;
+    spec.noSlicing = !common.campaign.allowSlicing;
+    spec.noCheckpoints = !common.campaign.allowCheckpoints;
+    return spec;
+}
+
+/** Emit an outcome distribution exactly as `fsp campaign --json`
+ *  does, so merged and single-process output diff cleanly. */
+void
+writeProfile(JsonWriter &json, std::string_view key,
+             const faults::OutcomeDist &dist)
+{
+    json.beginObject(key);
+    json.field("runs", dist.runs());
+    json.field("totalWeight", dist.total());
+    json.field("masked", dist.fraction(faults::Outcome::Masked));
+    json.field("sdc", dist.fraction(faults::Outcome::SDC));
+    json.field("other", dist.fraction(faults::Outcome::Other));
+    json.endObject();
+}
+
+int
+cmdServe(int argc, char **argv)
+{
+    service::ServeOptions options;
+    std::string port_file;
+    std::uint64_t tcp_port = 0, restart_limit = options.restartLimit;
+    OptionTable table;
+    table.setUsage("fsp serve --socket PATH [options]");
+    table.optionString("--socket", "PATH", "unix socket to listen on",
+                       options.socketPath);
+    table.flag("--tcp", "also listen on TCP 127.0.0.1",
+               options.tcpEnabled);
+    table.optionU64("--tcp-port", "N",
+                    "TCP port (default 0 = ephemeral; implies --tcp)",
+                    tcp_port);
+    table.optionU64("--restart-limit", "N",
+                    "respawn attempts per shard before the job fails "
+                    "(default 3)",
+                    restart_limit);
+    table.optionString("--port-file", "PATH",
+                       "write the bound TCP port here once listening",
+                       port_file);
+    if (int rc = parseOrExit(table, argc, argv))
+        return rc < 0 ? 0 : rc;
+    if (options.socketPath.empty()) {
+        std::cerr << "fsp serve needs --socket PATH\n";
+        return 2;
+    }
+    if (tcp_port != 0)
+        options.tcpEnabled = true;
+    options.tcpPort = static_cast<std::uint16_t>(tcp_port);
+    options.restartLimit = static_cast<std::uint32_t>(restart_limit);
+
+    service::ServeDaemon daemon(options);
+    daemon.start();
+    g_daemon = &daemon;
+    std::signal(SIGINT, onStopSignal);
+    std::signal(SIGTERM, onStopSignal);
+
+    std::cout << "fsp serve: listening on " << options.socketPath;
+    if (options.tcpEnabled)
+        std::cout << " and 127.0.0.1:" << daemon.tcpPort();
+    std::cout << std::endl; // flush: readiness signal for scripts
+    if (!port_file.empty()) {
+        std::ofstream out(port_file, std::ios::trunc);
+        out << daemon.tcpPort() << "\n";
+    }
+
+    int rc = daemon.run();
+    g_daemon = nullptr;
+    return rc;
+}
+
+int
+cmdSubmit(int argc, char **argv)
+{
+    std::string kernel;
+    analysis::CommonCliOptions common;
+    EndpointOpts endpoint;
+    std::string journal_base;
+    std::uint64_t shards = 1, procs = 0, abort_after = 0;
+    bool no_wait = false;
+
+    OptionTable table;
+    table.setUsage("fsp submit <App/Kx> --journal-base PATH "
+                   "(--socket PATH | --tcp-port N) [options]");
+    table.positional("kernel", "kernel name, e.g. GEMM/K1",
+                     [&kernel](const std::string &arg) {
+                         if (!kernel.empty())
+                             return false;
+                         kernel = arg;
+                         return true;
+                     });
+    analysis::addCommonOptions(table, common);
+    addEndpointOptions(table, endpoint);
+    table.optionString("--journal-base", "PATH",
+                       "shard journals land at "
+                       "PATH.shard<i>of<N>.fspj (daemon-side path)",
+                       journal_base);
+    table.optionU64("--shards", "N", "shard count (default 1)", shards);
+    table.optionU64("--procs", "N",
+                    "concurrent worker processes (default: one per "
+                    "shard)",
+                    procs);
+    table.optionU64("--abort-after", "N",
+                    "testing hook: first attempt of every worker "
+                    "aborts after N sites",
+                    abort_after);
+    table.flag("--no-wait", "submit and exit without streaming the job",
+               no_wait);
+    if (int rc = parseOrExit(table, argc, argv))
+        return rc < 0 ? 0 : rc;
+    if (kernel.empty() || journal_base.empty()) {
+        std::cerr << "fsp submit needs a kernel and --journal-base\n";
+        return 2;
+    }
+
+    service::CampaignSpec spec = specFromCommon(kernel, common);
+    spec.shards = static_cast<std::uint32_t>(shards);
+    spec.procs = static_cast<std::uint32_t>(procs);
+    spec.abortAfterSites = abort_after;
+
+    service::ServiceClient client = connectDaemon(endpoint);
+    std::uint64_t job = client.submit(spec, journal_base);
+    if (no_wait) {
+        std::cout << "job " << job << " submitted\n";
+        return 0;
+    }
+
+    std::uint64_t last_done = 0;
+    service::JobOutcome outcome = client.waitJob(
+        job, [&](const service::JobProgress &progress) {
+            if (common.json)
+                return;
+            // Throttle: a line per ~5% of the job, not per chunk.
+            std::uint64_t step =
+                std::max<std::uint64_t>(1, progress.jobSitesTotal / 20);
+            if (progress.jobSitesDone < last_done + step &&
+                progress.jobSitesDone != progress.jobSitesTotal)
+                return;
+            last_done = progress.jobSitesDone;
+            std::cerr << "job " << job << ": " << progress.jobSitesDone
+                      << "/" << progress.jobSitesTotal << " sites\n";
+        });
+
+    if (common.json) {
+        JsonWriter json(std::cout);
+        json.beginObject();
+        json.field("jobId", outcome.jobId);
+        json.field("ok", outcome.ok);
+        json.field("message", outcome.message);
+        json.endObject();
+    } else {
+        std::cout << "job " << job << (outcome.ok ? " done" : " FAILED");
+        if (!outcome.message.empty())
+            std::cout << ": " << outcome.message;
+        std::cout << "\n";
+    }
+    return outcome.ok ? 0 : 1;
+}
+
+int
+cmdMerge(int argc, char **argv)
+{
+    std::string kernel;
+    analysis::CommonCliOptions common;
+    std::string journal_base, merged_journal;
+    std::uint64_t shards = 0;
+    bool allow_incomplete = false;
+
+    OptionTable table;
+    table.setUsage("fsp merge <App/Kx> --journal-base PATH --shards N "
+                   "[options]");
+    table.positional("kernel", "kernel name, e.g. GEMM/K1",
+                     [&kernel](const std::string &arg) {
+                         if (!kernel.empty())
+                             return false;
+                         kernel = arg;
+                         return true;
+                     });
+    analysis::addCommonOptions(table, common);
+    table.optionString("--journal-base", "PATH",
+                       "base the shard journals were written under",
+                       journal_base);
+    table.optionU64("--shards", "N", "shard count of the campaign",
+                    shards);
+    table.optionString("--merged-journal", "PATH",
+                       "also emit a merged single-campaign journal "
+                       "(resumable by `fsp campaign`)",
+                       merged_journal);
+    table.flag("--allow-incomplete",
+               "merge an in-flight campaign (folds only classified "
+               "sites; not comparable to a full run)",
+               allow_incomplete);
+    if (int rc = parseOrExit(table, argc, argv))
+        return rc < 0 ? 0 : rc;
+    if (kernel.empty() || journal_base.empty() || shards == 0) {
+        std::cerr << "fsp merge needs a kernel, --journal-base and "
+                     "--shards\n";
+        return 2;
+    }
+
+    // Re-derive the campaign identity the way every worker did; the
+    // merge validates each journal against it, so a knob mismatch is
+    // caught as a stale-hash error, never folded silently.
+    service::CampaignSpec spec = specFromCommon(kernel, common);
+    spec.shards = static_cast<std::uint32_t>(shards);
+    service::CampaignContext ctx = service::CampaignContext::fromSpec(spec);
+
+    std::vector<std::string> paths;
+    for (std::uint64_t shard = 0; shard < shards; ++shard) {
+        paths.push_back(faults::shardJournalPath(
+            journal_base, static_cast<std::uint32_t>(shard),
+            static_cast<std::uint32_t>(shards)));
+    }
+    faults::MergeOptions merge_options;
+    merge_options.requireComplete = !allow_incomplete;
+    merge_options.mergedJournalPath = merged_journal;
+
+    faults::MergeReport report;
+    try {
+        report = faults::mergeShardJournals(ctx.key, ctx.sites,
+                                            ctx.modelHash, paths,
+                                            merge_options);
+    } catch (const faults::JournalError &error) {
+        std::cerr << "merge error: " << error.what() << "\n";
+        return 1;
+    }
+
+    // Same post-campaign fold as runPrunedCampaignDetailed: the weight
+    // the pruning stages proved masked joins the distribution here.
+    report.result.dist.addWeight(faults::Outcome::Masked,
+                                 ctx.assumedMaskedWeight);
+
+    if (common.json) {
+        JsonWriter json(std::cout);
+        json.beginObject();
+        json.field("kernel", ctx.spec->fullName());
+        json.field("scale", apps::scaleName(common.scale));
+        json.field("seed", common.seed);
+        json.field("shards", shards);
+        json.field("campaignSites", report.campaignSites);
+        json.field("sitesDone", report.sitesDone);
+        json.field("complete", report.complete);
+        writeProfile(json, "prunedEstimate", report.result.dist);
+        report.result.anatomy.writeJson(json);
+        json.beginObject("mergePhases");
+        json.field("replaySeconds", report.phases.replaySeconds);
+        json.field("injectSeconds", report.phases.injectSeconds);
+        json.field("foldSeconds", report.phases.foldSeconds);
+        json.field("workers",
+                   static_cast<std::uint64_t>(report.phases.workers));
+        json.endObject();
+        json.endObject();
+        return 0;
+    }
+
+    std::cout << ctx.spec->fullName() << " merged from " << shards
+              << " shard journal" << (shards == 1 ? "" : "s") << "\n"
+              << "  sites:    " << report.sitesDone << "/"
+              << report.campaignSites
+              << (report.complete ? " (complete)" : " (incomplete)")
+              << "\n"
+              << "  estimate (" << report.result.dist.runs()
+              << " runs): " << report.result.dist.summary() << "\n";
+    if (report.result.anatomy.sdcRuns() > 0)
+        std::cout << "  " << report.result.anatomy.summary() << "\n";
+    if (!merged_journal.empty())
+        std::cout << "  merged journal: " << merged_journal << "\n";
+    return 0;
+}
+
+int
+cmdShutdown(int argc, char **argv)
+{
+    EndpointOpts endpoint;
+    OptionTable table;
+    table.setUsage("fsp shutdown (--socket PATH | --tcp-port N)");
+    addEndpointOptions(table, endpoint);
+    if (int rc = parseOrExit(table, argc, argv))
+        return rc < 0 ? 0 : rc;
+    service::ServiceClient client = connectDaemon(endpoint);
+    client.shutdownServer();
+    std::cout << "daemon acknowledged shutdown\n";
+    return 0;
+}
+
+int
+cmdShardWorker(int argc, char **argv)
+{
+    service::ShardWorkerArgs args;
+    std::uint64_t shard = 0, shards = 1, attempt = 0, progress_fd = 0;
+    bool has_progress_fd = false;
+    OptionTable table;
+    table.setUsage("fsp shard-worker --spec-file PATH --journal-base "
+                   "PATH --shard I --shards N [internal]");
+    table.optionString("--spec-file", "PATH", "encoded CampaignSpec",
+                       args.specFile);
+    table.optionString("--journal-base", "PATH", "shard journal base",
+                       args.journalBase);
+    table.optionU64("--shard", "I", "this worker's shard index", shard);
+    table.optionU64("--shards", "N", "total shard count", shards);
+    table.optionU64("--attempt", "N", "respawn count (internal)",
+                    attempt);
+    table.option("--progress-fd", "FD",
+                 "stream WorkerProgress frames to this fd",
+                 [&](const std::string &arg) {
+                     try {
+                         progress_fd = std::stoull(arg);
+                     } catch (const std::exception &) {
+                         return false;
+                     }
+                     has_progress_fd = true;
+                     return true;
+                 });
+    if (int rc = parseOrExit(table, argc, argv))
+        return rc < 0 ? 0 : rc;
+    if (args.specFile.empty() || args.journalBase.empty()) {
+        std::cerr << "fsp shard-worker needs --spec-file and "
+                     "--journal-base\n";
+        return 2;
+    }
+    args.shard = static_cast<std::uint32_t>(shard);
+    args.shards = static_cast<std::uint32_t>(shards);
+    args.attempt = static_cast<std::uint32_t>(attempt);
+    args.progressFd = has_progress_fd ? static_cast<int>(progress_fd) : -1;
+    return service::runShardWorker(args);
+}
+
+} // namespace
+
+namespace fsp::tools {
+
+bool
+isServiceCommand(const std::string &command)
+{
+    return command == "serve" || command == "submit" ||
+           command == "merge" || command == "shutdown" ||
+           command == "shard-worker";
+}
+
+int
+runServiceCommand(const std::string &command, int argc, char **argv)
+{
+    try {
+        if (command == "serve")
+            return cmdServe(argc, argv);
+        if (command == "submit")
+            return cmdSubmit(argc, argv);
+        if (command == "merge")
+            return cmdMerge(argc, argv);
+        if (command == "shutdown")
+            return cmdShutdown(argc, argv);
+        if (command == "shard-worker")
+            return cmdShardWorker(argc, argv);
+    } catch (const std::exception &error) {
+        std::cerr << "fsp " << command << ": " << error.what() << "\n";
+        return 1;
+    }
+    return 2;
+}
+
+} // namespace fsp::tools
