@@ -37,7 +37,7 @@
 
 #include "analysis/analyzer.hh"
 #include "apps/app.hh"
-#include "faults/campaign.hh"
+#include "reference_campaign.hh"
 #include "faults/fault_space.hh"
 #include "faults/injector.hh"
 #include "faults/campaign_engine.hh"
@@ -146,7 +146,7 @@ BM_CampaignSerial(benchmark::State &state)
 
     std::uint64_t runs = 0;
     for (auto _ : state) {
-        auto result = faults::runSiteList(injector, sites);
+        auto result = faults::reference::runSiteList(injector, sites);
         benchmark::DoNotOptimize(result.runs);
         runs += result.runs;
     }
@@ -284,7 +284,7 @@ BM_CampaignEngine(benchmark::State &state, const char *kernel,
     for (auto _ : state) {
         const auto t0 = std::chrono::steady_clock::now();
         perf.start();
-        auto result = faults::runSiteList(injector, sites);
+        auto result = faults::reference::runSiteList(injector, sites);
         perf.stop();
         const double secs =
             std::chrono::duration<double>(
@@ -391,7 +391,7 @@ BM_CheckpointReplay(benchmark::State &state, const char *kernel,
 
     std::uint64_t runs = 0;
     for (auto _ : state) {
-        auto result = faults::runSiteList(injector, sites);
+        auto result = faults::reference::runSiteList(injector, sites);
         benchmark::DoNotOptimize(result.runs);
         runs += result.runs;
     }

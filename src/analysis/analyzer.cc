@@ -5,6 +5,13 @@
 
 #include "analysis/analyzer.hh"
 
+#include <set>
+#include <utility>
+
+#include "pruning/instr_common.hh"
+#include "sim/section.hh"
+#include "util/logging.hh"
+
 namespace fsp::analysis {
 
 KernelAnalysis::KernelAnalysis(const apps::KernelSpec &spec,
@@ -70,11 +77,7 @@ KernelAnalysis::prune(const pruning::PruningConfig &config,
 faults::OutcomeDist
 KernelAnalysis::runPrunedCampaign(const pruning::PruningResult &pruned)
 {
-    faults::CampaignResult result =
-        faults::runWeightedSiteList(injector(), pruned.sites);
-    result.dist.addWeight(faults::Outcome::Masked,
-                          pruned.assumedMaskedWeight);
-    return result.dist;
+    return runPrunedCampaign(pruned, faults::CampaignOptions{});
 }
 
 faults::OutcomeDist
@@ -89,11 +92,77 @@ KernelAnalysis::runPrunedCampaignDetailed(
     const pruning::PruningResult &pruned,
     const faults::CampaignOptions &options)
 {
+    faults::CampaignOptions effective = options;
+    if (section_cache_ && !effective.sectionCache) {
+        if (!section_index_)
+            buildSectionIndex(pruned.sites);
+        effective.sectionCache = section_cache_.get();
+        effective.sectionIndex = &*section_index_;
+    }
     faults::CampaignResult result =
-        campaignEngine(options).run(pruned.sites);
+        campaignEngine(effective).run(pruned.sites);
     result.dist.addWeight(faults::Outcome::Masked,
                           pruned.assumedMaskedWeight);
     return result;
+}
+
+void
+KernelAnalysis::setSectionCacheDir(const std::string &dir)
+{
+    if (dir.empty()) {
+        section_cache_.reset();
+        section_index_.reset();
+        return;
+    }
+    if (section_cache_ && section_cache_->dir() == dir)
+        return;
+    section_cache_ = std::make_unique<faults::SectionCache>(dir);
+    section_index_.reset();
+}
+
+const faults::SectionIndex &
+KernelAnalysis::buildSectionIndex(
+    const std::vector<faults::WeightedSite> &sites)
+{
+    // One value-recorded traced run over every distinct thread the
+    // site list touches (ordered set: the lowest thread id is the
+    // deterministic alignment base).
+    std::set<std::uint64_t> threads;
+    for (const faults::WeightedSite &weighted : sites)
+        threads.insert(weighted.site.thread);
+
+    sim::TraceOptions opts;
+    opts.recordValues = true;
+    for (std::uint64_t thread : threads)
+        opts.traceThreads.insert(thread);
+
+    sim::GlobalMemory scratch = setup_.memory;
+    sim::RunResult run = executor_->run(scratch, &opts);
+    if (run.status != sim::RunStatus::Completed)
+        fatal("section-index profiling run failed: ", run.diagnostic);
+
+    faults::SectionIndex index(faults::campaignContextHash(
+        setup_.launch, injector().outputs(),
+        injector().goldenOutputs()));
+    const std::vector<sim::DynRecord> *base = nullptr;
+    for (std::uint64_t thread : threads) {
+        const std::vector<sim::DynRecord> &trace =
+            run.trace.dynTraces.at(thread);
+        sim::SectionSplitOptions split;
+        if (base) {
+            // Cut at the common-block prefix/suffix boundaries so
+            // aligned threads share section frontiers with the base.
+            split.extraBoundaries =
+                pruning::alignmentBoundaries(*base, trace);
+        } else {
+            base = &trace;
+        }
+        index.addThread(thread, trace,
+                        sim::splitTrace(setup_.program.instructions(),
+                                        trace, split));
+    }
+    section_index_ = std::move(index);
+    return *section_index_;
 }
 
 void
@@ -110,8 +179,7 @@ KernelAnalysis::setFaultModel(
 faults::CampaignResult
 KernelAnalysis::runBaseline(std::size_t runs, std::uint64_t seed)
 {
-    Prng prng(seed);
-    return faults::runRandomCampaign(injector(), space(), runs, prng);
+    return runBaseline(runs, seed, faults::CampaignOptions{});
 }
 
 faults::CampaignResult
@@ -130,11 +198,12 @@ KernelAnalysis::campaignEngine(const faults::CampaignOptions &options)
             std::make_unique<faults::CampaignEngine>(injector(), options);
         engine_options_ = options;
     } else {
-        // sameEngineConfig ignores the notification-only fields, so a
-        // cache hit must still re-target them -- a stale observer
-        // pointer from an earlier caller would dangle.
+        // sameEngineConfig ignores the result-neutral fields, so a
+        // cache hit must still re-target them -- a stale observer or
+        // section-index pointer from an earlier caller would dangle.
         engine_->setObserver(options.observer);
-        engine_->setProgressCallback(options.progressCallback);
+        engine_->setSectionCache(options.sectionCache,
+                                 options.sectionIndex);
     }
     return *engine_;
 }

@@ -19,12 +19,13 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 
 #include "apps/app.hh"
-#include "faults/campaign.hh"
 #include "faults/campaign_engine.hh"
 #include "faults/fault_space.hh"
 #include "faults/injector.hh"
+#include "faults/section_cache.hh"
 #include "pruning/pipeline.hh"
 #include "sim/executor.hh"
 
@@ -87,7 +88,7 @@ class KernelAnalysis
      * (and, via clone, to every campaign-engine worker built after this
      * call); @p modelSeed seeds the model's deterministic randomness.
      * Prefer CampaignOptions::faultModel for engine campaigns -- this
-     * facade covers the serial drivers and ad-hoc injector use.
+     * facade covers ad-hoc injector use.
      */
     void setFaultModel(std::shared_ptr<const faults::FaultModel> model,
                        std::uint64_t modelSeed = 0);
@@ -126,10 +127,36 @@ class KernelAnalysis
      * full CampaignResult -- SDC anatomy profile, per-static ranking,
      * run counters -- with the assumed-masked weight already folded
      * into the distribution.  This is what the tools' --json rides on.
+     * When a section-cache directory is attached
+     * (setSectionCacheDir), the facade builds the SectionIndex for
+     * the pruned site list on first use and runs the campaign with
+     * the incremental reuse path enabled.
      */
     faults::CampaignResult
     runPrunedCampaignDetailed(const pruning::PruningResult &pruned,
                               const faults::CampaignOptions &options);
+
+    /**
+     * @{ Incremental campaigns.  Attaching a cache directory makes
+     * every subsequent runPrunedCampaignDetailed consult (and feed)
+     * the content-addressed section result cache; an empty dir
+     * detaches.  The index can also be built eagerly for engine
+     * callers that drive CampaignOptions themselves.
+     */
+    void setSectionCacheDir(const std::string &dir);
+
+    faults::SectionCache *sectionCache() { return section_cache_.get(); }
+
+    /**
+     * Build (and cache in the facade) the section index for @p sites:
+     * one value-recorded traced run over the distinct threads the
+     * sites touch, split at barrier / executed-stride / common-block
+     * alignment boundaries (pruning::alignmentBoundaries against the
+     * lowest-id traced thread).
+     */
+    const faults::SectionIndex &
+    buildSectionIndex(const std::vector<faults::WeightedSite> &sites);
+    /** @} */
 
     /** Statistical baseline campaign (uniform random sites). */
     faults::CampaignResult runBaseline(std::size_t runs,
@@ -171,6 +198,8 @@ class KernelAnalysis
     std::unique_ptr<faults::CampaignEngine> engine_;
     faults::CampaignOptions engine_options_; ///< config engine_ was built with
     bool checkpoints_enabled_ = true;
+    std::unique_ptr<faults::SectionCache> section_cache_;
+    std::optional<faults::SectionIndex> section_index_;
 };
 
 } // namespace fsp::analysis

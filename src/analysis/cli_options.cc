@@ -73,6 +73,14 @@ addCommonOptions(OptionTable &table, CommonCliOptions &opts)
                "to an uninterrupted run)",
                opts.resume);
     table.optionString(
+        "--cache", "DIR",
+        "content-addressed section result cache: replay\n"
+        "outcomes of unchanged trace sections from DIR and\n"
+        "store fresh ones back, so an edit-and-rerun only\n"
+        "injects the changed sections (profile is\n"
+        "bit-identical to a cold run)",
+        opts.cacheDir);
+    table.optionString(
         "--metrics-out", "PATH",
         "write a Prometheus text-format metrics snapshot\n"
         "to PATH on exit (pruning stages, campaign phases,\n"

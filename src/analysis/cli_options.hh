@@ -28,6 +28,7 @@ struct CommonCliOptions
     bool json = false;
     std::string journalPath;        ///< --journal; empty disables
     bool resume = false;            ///< --resume
+    std::string cacheDir;           ///< --cache; empty disables
     std::string metricsOut;         ///< --metrics-out; empty disables
     double progressEvery = -1.0;    ///< --progress seconds; <0 disables
     std::string faultModel;         ///< --fault-model spec; empty = default
@@ -39,7 +40,7 @@ struct CommonCliOptions
  * Register the shared options (--paper, --seed, --baseline,
  * --loop-iters, --bit-samples, --pilots, --workers, --chunk,
  * --no-slicing, --no-checkpoints, --fault-model, --journal, --resume,
- * --metrics-out, --progress, --json) against @p opts.  Call
+ * --cache, --metrics-out, --progress, --json) against @p opts.  Call
  * finalizeCommonOptions() after a successful parse.
  */
 void addCommonOptions(OptionTable &table, CommonCliOptions &opts);

@@ -5,8 +5,12 @@
  * output, 16x16 CTAs), 128 loop iterations per thread (Table VII).
  */
 
+#include <cstdlib>
+#include <string>
+
 #include "apps/kernel_util.hh"
 #include "ptx/assembler.hh"
+#include "util/logging.hh"
 
 namespace fsp::apps {
 
@@ -26,22 +30,76 @@ geometry(Scale scale)
     return {16, 16, 16, 8};
 }
 
+/**
+ * The edit-scenario hook behind incremental-campaign tests and the CI
+ * cache smoke job.  FSP_GEMM_VARIANT selects a semantically equivalent
+ * rewrite of the kernel source (golden outputs are identical for all
+ * of them), each exercising a different section-cache behaviour:
+ *
+ *  - "" / unset / "base":  the reference source below.
+ *  - "dead-prologue":      two guarded-off instructions inserted at
+ *    the top.  $p1 is never written (CC 0 fails an .eq guard), so
+ *    they issue guard-failed: no section content or write offset
+ *    moves, and a warm cache should hit on (nearly) every site.
+ *  - "strength-reduce":    the B-column byte offset computed with
+ *    mul.lo instead of shl.  Same value into the same register, so
+ *    downstream sections stay warm via prefixStateHash; only the
+ *    edited (first) section re-injects.
+ *  - "reorder-params":     the NJ/NK parameter loads swapped.  A
+ *    no-op semantically, but the (dest, value) fold is order
+ *    sensitive, so the cache conservatively misses everywhere.
+ */
+const char *
+gemmVariant()
+{
+    const char *variant = std::getenv("FSP_GEMM_VARIANT");
+    return variant != nullptr ? variant : "";
+}
+
 std::string
 kernelSource()
 {
+    const std::string variant = gemmVariant();
+    if (!variant.empty() && variant != "base" &&
+        variant != "dead-prologue" && variant != "strength-reduce" &&
+        variant != "reorder-params") {
+        fatal("unknown FSP_GEMM_VARIANT '", variant, "'");
+    }
+
     // Params: [0]=A, [4]=B, [8]=C, [12]=NJ, [16]=NK, [20]=alpha,
     // [24]=beta.
     std::string s;
     s += asmGlobalIdXY(1, 2); // $r1 = j (col), $r2 = i (row)
-    s += R"(
+    if (variant == "dead-prologue") {
+        // $p1 is never written, so its CC stays 0 (zero flag clear)
+        // and the .eq guards fail: both issues trace as guard-failed.
+        s += R"(
+    @$p1.eq add.u32 $r20, $r20, 0x00000001;
+    @$p1.eq mul.lo.u32 $r21, $r20, $r20;
+)";
+    }
+    if (variant == "reorder-params") {
+        s += R"(
+    ld.param.u32 $r4, [16];       // NK (reordered before NJ)
+    ld.param.u32 $r3, [12];       // NJ
+)";
+    } else {
+        s += R"(
     ld.param.u32 $r3, [12];       // NJ
     ld.param.u32 $r4, [16];       // NK
+)";
+    }
+    s += R"(
     ld.param.u32 $r5, [0];        // A
     mul.lo.u32 $r6, $r2, $r4;
     shl.u32 $r6, $r6, 0x00000002;
     add.u32 $r5, $r5, $r6;        // &A[i*NK]
     ld.param.u32 $r7, [4];        // B
-    shl.u32 $r8, $r1, 0x00000002;
+)";
+    s += variant == "strength-reduce"
+             ? "    mul.lo.u32 $r8, $r1, 0x00000004;\n"
+             : "    shl.u32 $r8, $r1, 0x00000002;\n";
+    s += R"(
     add.u32 $r7, $r7, $r8;        // &B[j]
     shl.u32 $r9, $r3, 0x00000002; // B row stride in bytes
     mov.f32 $r10, 0.0;            // acc

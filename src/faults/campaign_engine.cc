@@ -8,9 +8,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <map>
 #include <mutex>
 #include <numeric>
 #include <optional>
+#include <utility>
 
 #include "util/json.hh"
 #include "util/logging.hh"
@@ -31,6 +33,14 @@ CampaignStats::summary() const
         std::snprintf(buf, sizeof(buf),
                       ", %llu replayed from journal",
                       static_cast<unsigned long long>(replayedSites));
+        text += buf;
+    }
+    if (cacheHits > 0 || cacheMisses > 0) {
+        std::snprintf(buf, sizeof(buf),
+                      ", cache %llu/%llu hits",
+                      static_cast<unsigned long long>(cacheHits),
+                      static_cast<unsigned long long>(cacheHits +
+                                                      cacheMisses));
         text += buf;
     }
     if (injection.slicedRuns > 0) {
@@ -73,6 +83,16 @@ writeCampaignStats(JsonWriter &json, const CampaignStats &stats)
         json.field("path", stats.journalPath);
         json.field("resumed", stats.resumed);
         json.field("replayedSites", stats.replayedSites);
+        json.endObject();
+    }
+    if (stats.cacheHits > 0 || stats.cacheMisses > 0 ||
+        stats.cachedSites > 0) {
+        json.beginObject("sectionCache");
+        json.field("cachedSites", stats.cachedSites);
+        json.field("hits", stats.cacheHits);
+        json.field("misses", stats.cacheMisses);
+        json.field("bytesRead", stats.cacheBytesRead);
+        json.field("bytesWritten", stats.cacheBytesWritten);
         json.endObject();
     }
     if (!stats.workerError.empty()) {
@@ -336,17 +356,9 @@ CampaignEngine::runCampaign(
     stats_.sites = count;
     stats_.journalPath = options_.journalPath;
 
-    // The single notification path: the caller's observer plus an
-    // adapter translating events back into the deprecated progress
-    // callback.  Both live on this frame; the injector scope guard in
-    // classifyPending keeps no pointer past it.
-    ObserverList observer_chain;
-    ProgressCallbackAdapter progress_adapter(options_.progressCallback);
-    observer_chain.add(options_.observer);
-    if (options_.progressCallback)
-        observer_chain.add(&progress_adapter);
-    CampaignObserver *observer =
-        observer_chain.empty() ? nullptr : &observer_chain;
+    // The single notification path; the injector scope guard in
+    // classifyPending keeps no pointer past this frame.
+    CampaignObserver *observer = options_.observer;
 
     if (observer) {
         observer->onCampaignBegin({label,
@@ -377,11 +389,13 @@ CampaignEngine::runCampaign(
                                                     count));
         }
     }
+    std::vector<bool> from_cache(count, false);
     if (resume.done.size() == count && resume.doneCount > 0) {
         for (std::size_t i = 0; i < count; ++i) {
             if (resume.done[i]) {
                 outcomes[i] = resume.outcomes[i];
                 details[i] = resume.details[i];
+                from_cache[i] = resume.cached[i];
             } else {
                 pending.push_back(i);
             }
@@ -391,6 +405,86 @@ CampaignEngine::runCampaign(
         std::iota(pending.begin(), pending.end(), std::size_t{0});
     }
     stats_.replayedSites = count - pending.size();
+
+    // --- Phase 1b: replay unchanged sections from the section cache.
+    // Serial, on the campaign thread, before any injection: every
+    // still-pending site is mapped to its section coordinates and
+    // looked up; hits fill their outcome slot (journaled like any
+    // other completed site, flagged fromCache) and misses remember
+    // their coordinates so the freshly injected outcome can be stored
+    // back after classification.
+    std::vector<std::pair<std::size_t, SiteSectionKey>> cache_misses;
+    const bool caching =
+        options_.sectionCache && options_.sectionIndex;
+    const std::uint64_t cache_model_hash =
+        caching ? injectors_[0]->faultModel().identityHash() : 0;
+    if (caching && !pending.empty()) {
+        SectionCache &cache = *options_.sectionCache;
+        const SectionIndex &index = *options_.sectionIndex;
+        const SectionCacheStats io_before = cache.stats();
+        std::vector<std::size_t> still_pending;
+        still_pending.reserve(pending.size());
+        std::uint64_t appended = 0;
+        for (std::size_t i : pending) {
+            const FaultSite &site = siteAt(i);
+            std::optional<SiteSectionKey> key = index.keyFor(site);
+            if (!key) {
+                // Un-indexed thread or non-injectable record: always
+                // the injection path, and nothing to store back.
+                still_pending.push_back(i);
+                stats_.cacheMisses++;
+                if (observer)
+                    observer->onCacheMiss({&site, 0});
+                continue;
+            }
+            std::optional<SectionCacheRecord> rec = cache.lookup(
+                key->sectionHash,
+                sectionCacheKey(key->siteHash, cache_model_hash,
+                                options_.journalKey.seed));
+            if (!rec) {
+                still_pending.push_back(i);
+                cache_misses.emplace_back(i, *key);
+                stats_.cacheMisses++;
+                if (observer)
+                    observer->onCacheMiss({&site, key->sectionHash});
+                continue;
+            }
+            outcomes[i] = rec->outcome;
+            details[i] = InjectionDetail{};
+            // kStaticFollowsSite resolves against the *current* kernel:
+            // an insertion elsewhere renumbered static indices without
+            // invalidating the outcome, and the anatomy ranking must
+            // attribute it to today's index.
+            details[i].staticIndex =
+                rec->staticIndex == kStaticFollowsSite
+                    ? key->staticIndex
+                    : rec->staticIndex;
+            details[i].hasAnatomy = rec->hasAnatomy;
+            if (rec->hasAnatomy)
+                details[i].anatomy = rec->anatomy;
+            from_cache[i] = true;
+            stats_.cacheHits++;
+            if (journal) {
+                journal->append(i, outcomes[i], details[i], true);
+                appended++;
+            }
+            if (observer) {
+                observer->onCacheHit(
+                    {&site, outcomes[i], key->sectionHash});
+            }
+        }
+        stats_.cachedSites = pending.size() - still_pending.size();
+        pending = std::move(still_pending);
+        if (journal && appended > 0) {
+            CampaignJournal::CommitInfo commit = journal->commitChunk();
+            if (observer) {
+                observer->onJournalCommit(
+                    {commit.records, commit.bytes, false});
+            }
+        }
+        stats_.cacheBytesRead =
+            cache.stats().bytesRead - io_before.bytesRead;
+    }
     stats_.replaySeconds = secondsSince(t_start);
     if (observer)
         observer->onPhaseDone(
@@ -400,6 +494,32 @@ CampaignEngine::runCampaign(
     auto t_inject = Clock::now();
     classifyPending(pending, siteAt, outcomes, details,
                     journal ? &*journal : nullptr, observer);
+    if (caching && !cache_misses.empty()) {
+        // Store every freshly classified outcome back under the
+        // coordinates remembered at lookup time (including Invalid:
+        // outcomes are deterministic functions of the key).  A store
+        // uses kStaticFollowsSite when the detail points at the site's
+        // own instruction, so the entry survives renumbering edits.
+        SectionCache &cache = *options_.sectionCache;
+        const SectionCacheStats io_before = cache.stats();
+        for (const auto &[i, key] : cache_misses) {
+            SectionCacheRecord rec;
+            rec.outcome = outcomes[i];
+            rec.staticIndex = details[i].staticIndex == key.staticIndex
+                                  ? kStaticFollowsSite
+                                  : details[i].staticIndex;
+            rec.hasAnatomy = details[i].hasAnatomy;
+            if (rec.hasAnatomy)
+                rec.anatomy = details[i].anatomy;
+            cache.store(key.sectionHash,
+                        sectionCacheKey(key.siteHash, cache_model_hash,
+                                        options_.journalKey.seed),
+                        rec);
+        }
+        cache.flush();
+        stats_.cacheBytesWritten =
+            cache.stats().bytesWritten - io_before.bytesWritten;
+    }
     stats_.injectedSites = pending.size();
     stats_.injectSeconds = secondsSince(t_inject);
     stats_.sitesPerSecond =
@@ -438,6 +558,44 @@ CampaignEngine::runCampaign(
 
     // Seal the journal unless this was a replay of an already-complete
     // campaign (its footer already records the original run's phases).
+    if (journal && !resume.complete && options_.sectionIndex) {
+        // Per-section summaries, in deterministic (thread, section)
+        // order; sealed with the footer below.
+        const SectionIndex &index = *options_.sectionIndex;
+        std::map<std::pair<std::uint64_t, std::uint32_t>,
+                 JournalSectionSummary>
+            sections;
+        for (std::size_t i = 0; i < count; ++i) {
+            const FaultSite &site = siteAt(i);
+            std::optional<SiteSectionKey> key = index.keyFor(site);
+            if (!key)
+                continue;
+            const sim::SectionedTrace *sectioned =
+                index.threadSections(site.thread);
+            const auto ordinal =
+                sectioned->sectionOf[static_cast<std::size_t>(
+                    site.dynIndex)];
+            const sim::TraceSection &section =
+                sectioned->sections[ordinal];
+            JournalSectionSummary &summary =
+                sections[{site.thread, ordinal}];
+            summary.sectionHash = key->sectionHash;
+            summary.tailHash = section.tailContentHash;
+            summary.thread = site.thread;
+            summary.firstRecord = section.firstRecord;
+            summary.recordCount = section.recordCount;
+            summary.sites++;
+            if (from_cache[i])
+                summary.cachedSites++;
+            summary.outcomes[static_cast<std::size_t>(outcomes[i])]++;
+            if (details[i].hasAnatomy) {
+                summary.sdcPatterns[static_cast<std::size_t>(
+                    details[i].anatomy.pattern)]++;
+            }
+        }
+        for (const auto &[coords, summary] : sections)
+            journal->appendSectionSummary(summary);
+    }
     if (journal && !resume.complete) {
         CampaignJournal::Phases phases;
         phases.replaySeconds = stats_.replaySeconds;

@@ -12,9 +12,10 @@
  * Outcome into its slot of a pre-sized array.  The final tally is then
  * folded *serially in site order*, which makes the result -- run
  * counts and the weighted double accumulation alike -- bit-identical
- * to the serial drivers in campaign.hh regardless of worker count,
- * chunk size, scheduling, or how many outcomes were replayed from a
- * journal instead of injected.
+ * regardless of worker count, chunk size, scheduling, or how many
+ * outcomes were replayed from a journal or the section cache instead
+ * of injected (the reference serial fold lives in the determinism
+ * suite, tests/reference_campaign.hh).
  *
  * Durable sessions: when CampaignOptions::journalPath is set, every
  * completed chunk's outcomes are appended to a faults::CampaignJournal
@@ -23,11 +24,19 @@
  * injects only the remaining sites, and produces the same profile
  * bit-for-bit (see tests/test_campaign_journal).
  *
+ * Incremental campaigns: when CampaignOptions::sectionCache and
+ * sectionIndex are set, sites whose trace section (content + upstream
+ * state + downstream propagation hashes, see section_cache.hh) is
+ * unchanged since an earlier campaign replay their recorded outcome
+ * from the cache instead of injecting, and freshly injected outcomes
+ * are stored back.  The warm profile is bit-identical to a cold run.
+ *
  * Observability: CampaignOptions::observer receives typed events
  * (site classified, chunk folded, checkpoint restored, slice hazard,
- * journal commit, phase boundaries -- see observer.hh) without ever
- * influencing results; per-site wall times are only measured while an
- * observer is attached, so the unobserved hot path stays untouched.
+ * cache hit/miss, journal commit, phase boundaries -- see observer.hh)
+ * without ever influencing results; per-site wall times are only
+ * measured while an observer is attached, so the unobserved hot path
+ * stays untouched.
  */
 
 #ifndef FSP_FAULTS_CAMPAIGN_ENGINE_HH
@@ -40,11 +49,13 @@
 #include <stdexcept>
 #include <vector>
 
-#include "faults/campaign.hh"
 #include "faults/campaign_journal.hh"
 #include "faults/fault_space.hh"
 #include "faults/injector.hh"
 #include "faults/observer.hh"
+#include "faults/outcome.hh"
+#include "faults/sdc_anatomy.hh"
+#include "faults/section_cache.hh"
 #include "util/prng.hh"
 #include "util/thread_pool.hh"
 
@@ -53,6 +64,22 @@ class JsonWriter;
 } // namespace fsp
 
 namespace fsp::faults {
+
+/** Result of a campaign. */
+struct CampaignResult
+{
+    OutcomeDist dist;        ///< (weighted) outcome tally
+    std::uint64_t runs = 0;  ///< injection runs performed
+    InjectionStats injection; ///< how the runs were executed
+
+    /**
+     * SDC anatomy + per-static-instruction failure-class ranking.
+     * Folded serially in site order, so it is bit-identical at any
+     * worker count and whether outcomes were injected, replayed from
+     * a journal, or satisfied from the section cache.
+     */
+    SdcAnatomyProfile anatomy;
+};
 
 /**
  * Thrown by the engine's testing hook (abortAfterSites) after the
@@ -107,14 +134,20 @@ struct CampaignOptions
     CampaignObserver *observer = nullptr;
 
     /**
-     * DEPRECATED: progress notification now flows through the
-     * CampaignObserver interface; this callback is adapted onto
-     * ChunkFolded events internally (see ProgressCallbackAdapter) and
-     * will be removed next release.  Invoked after every completed
-     * chunk (from a worker thread, under the engine's progress lock --
-     * keep it cheap).
+     * @{ Incremental campaigns: content-addressed section result
+     * cache.  Both must be set (and outlive every run) for the reuse
+     * path to activate; the index maps each fault site to its trace
+     * section's identity hashes (built by the analysis layer, which
+     * owns the trace/pruning machinery) and the cache persists per-site
+     * outcomes keyed by section content, fault site, fault model, and
+     * seed.  Like the observer, these never influence the folded
+     * profile -- a warm run is bit-identical to a cold one -- so they
+     * are ignored by sameEngineConfig() and re-targetable on a cached
+     * engine via setSectionCache().
      */
-    std::function<void(const CampaignProgress &)> progressCallback;
+    SectionCache *sectionCache = nullptr;
+    const SectionIndex *sectionIndex = nullptr;
+    /** @} */
 
     /**
      * Permit the sliced injection path when the kernel's CTAs are
@@ -166,7 +199,7 @@ struct CampaignOptions
 
     /**
      * Does @p other configure an identical engine?  Ignores the
-     * notification-only fields (observer, progress callback); used by
+     * result-neutral fields (observer, section cache/index); used by
      * caches (the analysis facade) to decide whether an existing
      * engine can be reused.
      */
@@ -205,6 +238,14 @@ struct CampaignStats
     std::uint64_t injectedSites = 0; ///< classified by this run
     std::uint64_t replayedSites = 0; ///< satisfied from the journal
     std::vector<std::uint64_t> perWorkerRuns; ///< runs executed per worker
+
+    /** @{ Section-cache accounting (zero when no cache is attached). */
+    std::uint64_t cachedSites = 0;  ///< satisfied from the section cache
+    std::uint64_t cacheHits = 0;    ///< cache lookups that hit, this run
+    std::uint64_t cacheMisses = 0;  ///< cache lookups that missed
+    std::uint64_t cacheBytesRead = 0;
+    std::uint64_t cacheBytesWritten = 0;
+    /** @} */
     double replaySeconds = 0.0;  ///< journal open + outcome replay
     double injectSeconds = 0.0;  ///< parallel classification
     double foldSeconds = 0.0;    ///< serial outcome fold + footer
@@ -241,9 +282,10 @@ void writeCampaignStats(JsonWriter &json, const CampaignStats &stats);
  *
  * Construction performs the golden run once (via a prototype Injector)
  * and clones it per worker; the engine can then run any number of
- * campaigns.  Results are guaranteed identical to campaign.hh's serial
- * drivers (see the determinism suite in tests/test_parallel_campaign),
- * including across journal kill/resume cycles.
+ * campaigns.  Results are guaranteed identical to the reference serial
+ * fold (tests/reference_campaign.hh, exercised by the determinism
+ * suite in tests/test_parallel_campaign), including across journal
+ * kill/resume cycles and warm section-cache reruns.
  */
 class CampaignEngine
 {
@@ -278,9 +320,9 @@ class CampaignEngine
                        Prng &prng);
 
     /**
-     * @{ Re-target the notification-only option fields without
-     * rebuilding the engine (they are ignored by sameEngineConfig, so
-     * a cached engine may carry stale ones from an earlier caller).
+     * @{ Re-target the result-neutral option fields without rebuilding
+     * the engine (they are ignored by sameEngineConfig, so a cached
+     * engine may carry stale ones from an earlier caller).
      */
     void setObserver(CampaignObserver *observer)
     {
@@ -288,10 +330,10 @@ class CampaignEngine
     }
 
     void
-    setProgressCallback(
-        std::function<void(const CampaignProgress &)> callback)
+    setSectionCache(SectionCache *cache, const SectionIndex *index)
     {
-        options_.progressCallback = std::move(callback);
+        options_.sectionCache = cache;
+        options_.sectionIndex = index;
     }
     /** @} */
 

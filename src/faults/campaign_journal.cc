@@ -21,9 +21,10 @@ namespace fsp::faults {
 
 namespace {
 
-constexpr char kMagic[8] = {'F', 'S', 'P', 'J', 'N', 'L', '0', '2'};
+constexpr char kMagic[8] = {'F', 'S', 'P', 'J', 'N', 'L', '0', '3'};
 constexpr std::uint64_t kFooterSentinel = ~std::uint64_t{0};
 constexpr std::uint64_t kShardSentinel = ~std::uint64_t{0} - 1;
+constexpr std::uint64_t kSectionSentinel = ~std::uint64_t{0} - 2;
 
 struct JournalHeader
 {
@@ -37,6 +38,9 @@ static_assert(sizeof(JournalHeader) == 40, "header layout drifted");
 
 /** Record flag bits. */
 constexpr std::uint8_t kRecordHasAnatomy = 0x01;
+constexpr std::uint8_t kRecordFromCache = 0x02; ///< section-cache replay
+constexpr std::uint8_t kRecordFlagMask =
+    kRecordHasAnatomy | kRecordFromCache;
 
 struct JournalRecord
 {
@@ -64,6 +68,24 @@ struct JournalShardExt
     std::uint64_t checksum; ///< hash of headerHash + every field above
 };
 static_assert(sizeof(JournalShardExt) == 48, "shard ext layout drifted");
+
+/** Per-section summary block (see JournalSectionSummary). */
+struct JournalSectionBlock
+{
+    std::uint64_t sentinel; ///< kSectionSentinel, never a site index
+    std::uint64_t sectionHash;
+    std::uint64_t tailHash;
+    std::uint64_t thread;
+    std::uint32_t firstRecord;
+    std::uint32_t recordCount;
+    std::uint32_t sites;
+    std::uint32_t cachedSites;
+    std::uint32_t outcomes[4];
+    std::uint32_t sdcPatterns[kNumSdcPatterns];
+    std::uint64_t checksum; ///< hash of headerHash + every field above
+};
+static_assert(sizeof(JournalSectionBlock) == 96,
+              "section block layout drifted");
 
 struct JournalFooter
 {
@@ -115,6 +137,27 @@ shardExtChecksum(std::uint64_t headerHash, const JournalShardExt &ext)
     hasher.update(ext.campaignSites);
     hasher.update(std::uint64_t{ext.shardIndex});
     hasher.update(std::uint64_t{ext.shardCount});
+    return hasher.digest();
+}
+
+std::uint64_t
+sectionBlockChecksum(std::uint64_t headerHash,
+                     const JournalSectionBlock &block)
+{
+    JournalHasher hasher;
+    hasher.update(headerHash);
+    hasher.update(block.sentinel);
+    hasher.update(block.sectionHash);
+    hasher.update(block.tailHash);
+    hasher.update(block.thread);
+    hasher.update(std::uint64_t{block.firstRecord});
+    hasher.update(std::uint64_t{block.recordCount});
+    hasher.update(std::uint64_t{block.sites});
+    hasher.update(std::uint64_t{block.cachedSites});
+    for (std::uint32_t tally : block.outcomes)
+        hasher.update(std::uint64_t{tally});
+    for (std::uint32_t tally : block.sdcPatterns)
+        hasher.update(std::uint64_t{tally});
     return hasher.digest();
 }
 
@@ -264,7 +307,9 @@ CampaignJournal::CampaignJournal(std::string path, int fd,
 CampaignJournal::CampaignJournal(CampaignJournal &&other) noexcept
     : path_(std::move(other.path_)), fd_(other.fd_),
       header_hash_(other.header_hash_),
-      pending_(std::move(other.pending_)), committed_(other.committed_)
+      pending_(std::move(other.pending_)),
+      pending_records_(other.pending_records_),
+      committed_(other.committed_)
 {
     other.fd_ = -1;
 }
@@ -279,6 +324,7 @@ CampaignJournal::operator=(CampaignJournal &&other) noexcept
         fd_ = other.fd_;
         header_hash_ = other.header_hash_;
         pending_ = std::move(other.pending_);
+        pending_records_ = other.pending_records_;
         committed_ = other.committed_;
         other.fd_ = -1;
     }
@@ -341,6 +387,7 @@ parseJournal(const std::vector<std::uint8_t> &bytes,
     resume.outcomes.assign(siteCount, Outcome::Invalid);
     resume.details.assign(siteCount, InjectionDetail{});
     resume.done.assign(siteCount, false);
+    resume.cached.assign(siteCount, false);
 
     if (bytes.size() < sizeof(JournalHeader)) {
         throw JournalError("journal '" + path +
@@ -351,8 +398,16 @@ parseJournal(const std::vector<std::uint8_t> &bytes,
     }
     JournalHeader header;
     std::memcpy(&header, bytes.data(), sizeof(header));
-    if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0)
+    if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
+        if (std::memcmp(header.magic, kMagic, 6) == 0) {
+            throw JournalError(
+                "journal '" + path + "' uses format version " +
+                std::string(header.magic + 6, 2) + ", this build reads " +
+                std::string(kMagic + 6, 2) +
+                "; delete the journal and rerun");
+        }
         throw JournalError("'" + path + "' is not a campaign journal");
+    }
     if (header.checksum != headerChecksum(header)) {
         throw JournalError(journalAt(path, 0) +
                            " has a corrupt header (checksum mismatch: "
@@ -428,6 +483,41 @@ parseJournal(const std::vector<std::uint8_t> &bytes,
             continue;
         }
 
+        if (lead == kSectionSentinel) {
+            if (bytes.size() - offset < sizeof(JournalSectionBlock)) {
+                throw JournalError("journal '" + path +
+                                   "' is truncated: partial section "
+                                   "summary at byte " +
+                                   std::to_string(offset));
+            }
+            JournalSectionBlock block;
+            std::memcpy(&block, bytes.data() + offset, sizeof(block));
+            if (block.checksum !=
+                sectionBlockChecksum(headerHash, block)) {
+                throw JournalError(
+                    journalAt(path, offset) +
+                    " has a corrupt section summary (checksum "
+                    "mismatch: expected " +
+                    hex(sectionBlockChecksum(headerHash, block)) +
+                    ", found " + hex(block.checksum) + ")");
+            }
+            JournalSectionSummary summary;
+            summary.sectionHash = block.sectionHash;
+            summary.tailHash = block.tailHash;
+            summary.thread = block.thread;
+            summary.firstRecord = block.firstRecord;
+            summary.recordCount = block.recordCount;
+            summary.sites = block.sites;
+            summary.cachedSites = block.cachedSites;
+            for (std::size_t i = 0; i < 4; ++i)
+                summary.outcomes[i] = block.outcomes[i];
+            for (std::size_t i = 0; i < kNumSdcPatterns; ++i)
+                summary.sdcPatterns[i] = block.sdcPatterns[i];
+            resume.sections.push_back(summary);
+            offset += sizeof(block);
+            continue;
+        }
+
         if (lead == kFooterSentinel) {
             if (bytes.size() - offset < sizeof(JournalFooter)) {
                 throw JournalError("journal '" + path +
@@ -476,7 +566,7 @@ parseJournal(const std::vector<std::uint8_t> &bytes,
         if (record.siteIndex >= siteCount ||
             record.outcome > static_cast<std::uint32_t>(Outcome::Invalid) ||
             record.pattern >= kNumSdcPatterns ||
-            (record.flags & ~kRecordHasAnatomy) != 0) {
+            (record.flags & ~kRecordFlagMask) != 0) {
             throw JournalError(journalAt(path, offset) +
                                " has a corrupt record (out-of-range "
                                "values at record " +
@@ -488,6 +578,10 @@ parseJournal(const std::vector<std::uint8_t> &bytes,
                                std::to_string(record.siteIndex));
         }
         resume.done[record.siteIndex] = true;
+        if ((record.flags & kRecordFromCache) != 0) {
+            resume.cached[record.siteIndex] = true;
+            resume.cachedCount++;
+        }
         resume.outcomes[record.siteIndex] =
             static_cast<Outcome>(record.outcome);
         InjectionDetail &detail = resume.details[record.siteIndex];
@@ -525,6 +619,7 @@ CampaignJournal::openOrResume(const std::string &path,
             resume.outcomes.assign(siteCount, Outcome::Invalid);
             resume.details.assign(siteCount, InjectionDetail{});
             resume.done.assign(siteCount, false);
+            resume.cached.assign(siteCount, false);
             return create(path, headerHash, modelHash, siteCount);
         }
         throwErrno("cannot open journal", path);
@@ -561,21 +656,45 @@ CampaignJournal::inspect(const std::string &path, std::uint64_t headerHash,
 
 void
 CampaignJournal::append(std::uint64_t siteIndex, Outcome outcome,
-                        const InjectionDetail &detail)
+                        const InjectionDetail &detail, bool fromCache)
 {
     JournalRecord record{};
     record.siteIndex = siteIndex;
     record.outcome = static_cast<std::uint32_t>(outcome);
     record.staticIndex = detail.staticIndex;
     if (detail.hasAnatomy) {
-        record.flags = kRecordHasAnatomy;
+        record.flags |= kRecordHasAnatomy;
         record.pattern = static_cast<std::uint8_t>(detail.anatomy.pattern);
         for (std::size_t i = 0; i < kMagnitudeBuckets; ++i)
             record.magnitude[i] = detail.anatomy.magnitude[i];
     }
+    if (fromCache)
+        record.flags |= kRecordFromCache;
     record.checksum = recordChecksum(header_hash_, record);
     const auto *p = reinterpret_cast<const std::uint8_t *>(&record);
     pending_.insert(pending_.end(), p, p + sizeof(record));
+    pending_records_++;
+}
+
+void
+CampaignJournal::appendSectionSummary(const JournalSectionSummary &summary)
+{
+    JournalSectionBlock block{};
+    block.sentinel = kSectionSentinel;
+    block.sectionHash = summary.sectionHash;
+    block.tailHash = summary.tailHash;
+    block.thread = summary.thread;
+    block.firstRecord = summary.firstRecord;
+    block.recordCount = summary.recordCount;
+    block.sites = summary.sites;
+    block.cachedSites = summary.cachedSites;
+    for (std::size_t i = 0; i < 4; ++i)
+        block.outcomes[i] = summary.outcomes[i];
+    for (std::size_t i = 0; i < kNumSdcPatterns; ++i)
+        block.sdcPatterns[i] = summary.sdcPatterns[i];
+    block.checksum = sectionBlockChecksum(header_hash_, block);
+    const auto *p = reinterpret_cast<const std::uint8_t *>(&block);
+    pending_.insert(pending_.end(), p, p + sizeof(block));
 }
 
 CampaignJournal::CommitInfo
@@ -584,12 +703,13 @@ CampaignJournal::commitChunk()
     if (pending_.empty())
         return {};
     CommitInfo info;
-    info.records = pending_.size() / sizeof(JournalRecord);
+    info.records = pending_records_;
     info.bytes = pending_.size();
     writeAll(pending_.data(), pending_.size());
     syncToDisk();
     committed_ += info.records;
     pending_.clear();
+    pending_records_ = 0;
     return info;
 }
 

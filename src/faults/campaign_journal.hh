@@ -26,6 +26,13 @@
  *   [JournalRecord]* one per completed site, any order, no duplicates;
  *                    each carries the outcome plus the injection
  *                    detail (static instruction index, SDC anatomy)
+ *                    and whether the outcome was replayed from the
+ *                    section cache instead of injected
+ *   [SectionSummary]* optional; per trace section touched by the
+ *                    campaign: site/outcome/SDC-pattern tallies, the
+ *                    cache-hit count, and the section's propagation
+ *                    (tail) hash -- written by the engine when a
+ *                    section index is attached, before the footer
  *   [JournalFooter]  optional; present only on completed campaigns,
  *                    carries per-phase wall time and throughput
  *
@@ -111,6 +118,29 @@ struct ShardInfo
     bool operator==(const ShardInfo &other) const = default;
 };
 
+/**
+ * Per-section campaign summary sealed into the journal (format v3):
+ * how one trace section's fault sites classified, how many of them the
+ * section cache satisfied, and the section's identity/propagation
+ * hashes.  Purely observational -- replay and merge correctness never
+ * depend on these blocks -- but they let `fsp` report incremental
+ * reuse per section and survive restarts with the journal.
+ */
+struct JournalSectionSummary
+{
+    std::uint64_t sectionHash = 0; ///< cache bucket (context+content+prefix)
+    std::uint64_t tailHash = 0;    ///< propagation (tail content) hash
+    std::uint64_t thread = 0;      ///< traced thread owning the section
+    std::uint32_t firstRecord = 0; ///< first dyn record of the section
+    std::uint32_t recordCount = 0;
+    std::uint32_t sites = 0;       ///< campaign sites in this section
+    std::uint32_t cachedSites = 0; ///< satisfied from the section cache
+    std::uint32_t outcomes[4] = {}; ///< tally per Outcome value
+    std::uint32_t sdcPatterns[kNumSdcPatterns] = {}; ///< per SdcPattern
+
+    bool operator==(const JournalSectionSummary &other) const = default;
+};
+
 /** @{ Header hash over the campaign identity and its full site list. */
 std::uint64_t
 journalHeaderHash(const JournalKey &key, std::size_t count,
@@ -153,11 +183,24 @@ class CampaignJournal
 
         std::vector<bool> done; ///< one flag per site
         std::uint64_t doneCount = 0;
+
+        /**
+         * Per-site flag: the recorded outcome was replayed from the
+         * section cache rather than injected (same validity as done).
+         * Preserved across resume and shard merge so incremental-reuse
+         * accounting survives restarts.
+         */
+        std::vector<bool> cached;
+        std::uint64_t cachedCount = 0;
+
         bool complete = false; ///< a valid footer was found
         Phases footer;         ///< valid when complete
 
         /** Present when the file carries a shard extension block. */
         std::optional<ShardInfo> shard;
+
+        /** Section summaries found in the journal, in file order. */
+        std::vector<JournalSectionSummary> sections;
     };
 
     /**
@@ -208,9 +251,17 @@ class CampaignJournal
     CampaignJournal &operator=(const CampaignJournal &) = delete;
     ~CampaignJournal();
 
-    /** Buffer one completed site's record (durable after commitChunk). */
+    /**
+     * Buffer one completed site's record (durable after commitChunk).
+     * @p fromCache marks an outcome replayed from the section cache
+     * rather than injected (carried in the record's flag byte).
+     */
     void append(std::uint64_t siteIndex, Outcome outcome,
-                const InjectionDetail &detail = {});
+                const InjectionDetail &detail = {},
+                bool fromCache = false);
+
+    /** Buffer one per-section summary block (durable after commit). */
+    void appendSectionSummary(const JournalSectionSummary &summary);
 
     /** What one commit made durable (observability, not control flow). */
     struct CommitInfo
@@ -247,7 +298,8 @@ class CampaignJournal
     std::string path_;
     int fd_ = -1;
     std::uint64_t header_hash_ = 0;
-    std::vector<std::uint8_t> pending_; ///< serialized unflushed records
+    std::vector<std::uint8_t> pending_; ///< serialized unflushed entries
+    std::uint64_t pending_records_ = 0; ///< site records in pending_
     std::uint64_t committed_ = 0;
 };
 

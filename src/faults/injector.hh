@@ -231,6 +231,22 @@ class Injector
     /** The pristine memory image. */
     const sim::GlobalMemory &image() const { return image_; }
 
+    /** @{ Campaign identity inputs for the section cache (analysis
+     *  builds campaignContextHash / the SectionIndex from these). */
+    /** The program this injector runs. */
+    const sim::Program &program() const { return program_; }
+
+    /** The declared output regions, in declaration order. */
+    const std::vector<OutputRegion> &outputs() const { return outputs_; }
+
+    /** Golden output bytes, parallel to outputs(). */
+    const std::vector<std::vector<std::uint8_t>> &
+    goldenOutputs() const
+    {
+        return golden_outputs_;
+    }
+    /** @} */
+
   private:
     Injector(const Injector &) = default;
 

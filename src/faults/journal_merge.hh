@@ -33,7 +33,7 @@
 #include <string>
 #include <vector>
 
-#include "faults/campaign.hh"
+#include "faults/campaign_engine.hh"
 #include "faults/shard_plan.hh"
 
 namespace fsp::faults {

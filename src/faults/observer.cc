@@ -58,6 +58,20 @@ ObserverList::onSliceHazard(const SliceHazard &event)
 }
 
 void
+ObserverList::onCacheHit(const CacheHit &event)
+{
+    for (CampaignObserver *observer : observers_)
+        observer->onCacheHit(event);
+}
+
+void
+ObserverList::onCacheMiss(const CacheMiss &event)
+{
+    for (CampaignObserver *observer : observers_)
+        observer->onCacheMiss(event);
+}
+
+void
 ObserverList::onChunkFolded(const ChunkFolded &event)
 {
     for (CampaignObserver *observer : observers_)
@@ -141,6 +155,15 @@ MetricsObserver::MetricsObserver(metrics::Registry &registry)
     slice_hazards_ =
         registry_.counter("fsp_campaign_slice_hazards_total",
                           "sliced runs escalated to full-grid replay");
+    cache_hits_ = registry_.counter(
+        "fsp_cache_hits_total",
+        "sites satisfied from the section cache, not injected");
+    cache_misses_ =
+        registry_.counter("fsp_cache_misses_total",
+                          "sites that missed the section cache");
+    cache_bytes_ =
+        registry_.counter("fsp_cache_bytes_total",
+                          "section cache bytes read plus written");
     for (std::size_t p = 0; p < 3; ++p) {
         std::string label =
             std::string("phase=\"") +
@@ -202,6 +225,19 @@ MetricsObserver::onSliceHazard(const SliceHazard &event)
 }
 
 void
+MetricsObserver::onCacheHit(const CacheHit &)
+{
+    // Campaign-scope (serial): the registry is touched directly.
+    registry_.add(cache_hits_);
+}
+
+void
+MetricsObserver::onCacheMiss(const CacheMiss &)
+{
+    registry_.add(cache_misses_);
+}
+
+void
 MetricsObserver::onChunkFolded(const ChunkFolded &event)
 {
     // Serialized under the engine's progress lock: fold the completing
@@ -232,6 +268,8 @@ MetricsObserver::onCampaignEnd(const CampaignEnd &event)
     for (metrics::Shard &shard : shards_)
         registry_.fold(shard);
     registry_.add(replayed_sites_, event.stats->replayedSites);
+    registry_.add(cache_bytes_, event.stats->cacheBytesRead +
+                                    event.stats->cacheBytesWritten);
     registry_.set(sites_per_second_, event.stats->sitesPerSecond);
 }
 

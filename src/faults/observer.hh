@@ -3,12 +3,9 @@
  * Campaign observability: the CampaignObserver event interface and the
  * stock observers built on it.
  *
- * The engine used to expose a single ad-hoc progress callback; every
- * new signal (journal fsyncs, checkpoint restores, slice hazards,
- * phase boundaries) would have meant another ad-hoc hook.  Instead the
- * engine now emits typed events through one interface and everything
- * -- the legacy progress callback, the metrics bridge, live progress
- * reporting -- is an observer composed into an ObserverList.
+ * The engine emits typed events through one interface and everything
+ * -- the metrics bridge, live progress reporting, the service's
+ * progress frames -- is an observer composed into an ObserverList.
  *
  * Threading contract (one rule per event, stated on each struct):
  *
@@ -19,9 +16,9 @@
  *  - Fold-point events (ChunkFolded, JournalCommit) fire from worker
  *    threads but under the engine's progress lock -- serialized, in
  *    chunk completion order.
- *  - Campaign-scope events (CampaignBegin, PhaseDone, CampaignEnd)
- *    fire on the thread that called CampaignEngine::run(), outside any
- *    parallel section.
+ *  - Campaign-scope events (CampaignBegin, CacheHit, CacheMiss,
+ *    PhaseDone, CampaignEnd) fire on the thread that called
+ *    CampaignEngine::run(), outside any parallel section.
  *
  * Observers must never mutate campaign state; the engine's results are
  * bit-identical with or without observers attached (enforced by
@@ -34,7 +31,6 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "faults/fault_site.hh"
@@ -44,13 +40,6 @@
 namespace fsp::faults {
 
 struct CampaignStats;
-
-/** Snapshot handed to a campaign progress callback. */
-struct CampaignProgress
-{
-    std::uint64_t sitesDone = 0;
-    std::uint64_t sitesTotal = 0;
-};
 
 /** The engine's campaign phases, in execution order. */
 enum class CampaignPhase : std::uint8_t
@@ -110,6 +99,30 @@ class CampaignObserver
     };
     virtual void onSliceHazard(const SliceHazard &) {}
 
+    /**
+     * Campaign-scope: a pending site's outcome was replayed from the
+     * section cache (fires during the replay phase, serially).
+     */
+    struct CacheHit
+    {
+        const FaultSite *site;
+        Outcome outcome;
+        std::uint64_t sectionHash; ///< cache bucket that satisfied it
+    };
+    virtual void onCacheHit(const CacheHit &) {}
+
+    /**
+     * Campaign-scope: a pending site missed the section cache (either
+     * no entry, or the site is outside the section index) and will be
+     * injected.
+     */
+    struct CacheMiss
+    {
+        const FaultSite *site;
+        std::uint64_t sectionHash; ///< 0 when the site was un-indexed
+    };
+    virtual void onCacheMiss(const CacheMiss &) {}
+
     /** Fold-point: a chunk's outcomes were folded into the campaign. */
     struct ChunkFolded
     {
@@ -148,8 +161,8 @@ class CampaignObserver
 
 /**
  * Fan-out: forwards every event to each added observer in order.
- * Composition tool for the engine (legacy callback adapter + caller
- * observer) and the tools (metrics + live progress).
+ * Composition tool for the engine and the tools (metrics + live
+ * progress).
  */
 class ObserverList final : public CampaignObserver
 {
@@ -167,6 +180,8 @@ class ObserverList final : public CampaignObserver
     void onSiteClassified(const SiteClassified &event) override;
     void onCheckpointRestored(const CheckpointRestored &event) override;
     void onSliceHazard(const SliceHazard &event) override;
+    void onCacheHit(const CacheHit &event) override;
+    void onCacheMiss(const CacheMiss &event) override;
     void onChunkFolded(const ChunkFolded &event) override;
     void onJournalCommit(const JournalCommit &event) override;
     void onPhaseDone(const PhaseDone &event) override;
@@ -174,32 +189,6 @@ class ObserverList final : public CampaignObserver
 
   private:
     std::vector<CampaignObserver *> observers_;
-};
-
-/**
- * Compat shim for the deprecated CampaignOptions::progressCallback:
- * translates ChunkFolded events back into the legacy CampaignProgress
- * signature, so the engine has a single notification path while the
- * old callback keeps working for one release.
- */
-class ProgressCallbackAdapter final : public CampaignObserver
-{
-  public:
-    explicit ProgressCallbackAdapter(
-        std::function<void(const CampaignProgress &)> callback)
-        : callback_(std::move(callback))
-    {
-    }
-
-    void
-    onChunkFolded(const ChunkFolded &event) override
-    {
-        if (callback_)
-            callback_({event.sitesDone, event.sitesTotal});
-    }
-
-  private:
-    std::function<void(const CampaignProgress &)> callback_;
 };
 
 /**
@@ -219,6 +208,8 @@ class MetricsObserver final : public CampaignObserver
     void onSiteClassified(const SiteClassified &event) override;
     void onCheckpointRestored(const CheckpointRestored &event) override;
     void onSliceHazard(const SliceHazard &event) override;
+    void onCacheHit(const CacheHit &event) override;
+    void onCacheMiss(const CacheMiss &event) override;
     void onChunkFolded(const ChunkFolded &event) override;
     void onJournalCommit(const JournalCommit &event) override;
     void onPhaseDone(const PhaseDone &event) override;
@@ -243,6 +234,9 @@ class MetricsObserver final : public CampaignObserver
     metrics::CounterId checkpoint_restores_;
     metrics::CounterId skipped_instrs_;
     metrics::CounterId slice_hazards_;
+    metrics::CounterId cache_hits_;
+    metrics::CounterId cache_misses_;
+    metrics::CounterId cache_bytes_;
     metrics::GaugeId phase_seconds_[3]; ///< indexed by CampaignPhase
     metrics::GaugeId workers_;
     metrics::GaugeId sites_per_second_;

@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Section cache implementation (format in section_cache.hh).
+ */
+
+#include "faults/section_cache.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "faults/campaign_journal.hh"
+#include "util/logging.hh"
+
+namespace fsp::faults {
+
+namespace {
+
+/** On-disk cache entry; self-checksummed, skipped (not fatal) when torn. */
+struct DiskRecord
+{
+    std::uint64_t keyHash;
+    std::uint32_t outcome;
+    std::uint32_t staticIndex;
+    std::uint8_t flags; ///< kDiskHasAnatomy
+    std::uint8_t pattern;
+    std::uint16_t pad0;
+    std::uint32_t magnitude[kMagnitudeBuckets];
+    std::uint32_t pad1;
+    std::uint32_t checksum; ///< FNV of every preceding field
+};
+static_assert(sizeof(DiskRecord) == 56, "cache record layout drifted");
+
+constexpr std::uint8_t kDiskHasAnatomy = 0x01;
+
+std::uint32_t
+diskChecksum(const DiskRecord &record)
+{
+    JournalHasher hasher;
+    hasher.update(record.keyHash);
+    hasher.update(std::uint64_t{record.outcome});
+    hasher.update(std::uint64_t{record.staticIndex});
+    hasher.update(std::uint64_t{record.flags});
+    hasher.update(std::uint64_t{record.pattern});
+    for (std::uint32_t bucket : record.magnitude)
+        hasher.update(std::uint64_t{bucket});
+    return static_cast<std::uint32_t>(hasher.digest());
+}
+
+/** mkdir -p. */
+void
+createDirectories(const std::string &dir)
+{
+    std::string path;
+    for (std::size_t i = 0; i <= dir.size(); ++i) {
+        if (i < dir.size() && dir[i] != '/') {
+            path += dir[i];
+            continue;
+        }
+        if (i < dir.size())
+            path += '/';
+        if (path.empty() || path == "/")
+            continue;
+        if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+            fatal("cannot create cache directory '", path,
+                  "': ", std::strerror(errno));
+        }
+    }
+}
+
+} // namespace
+
+std::uint64_t
+sectionCacheKey(std::uint64_t siteHash, std::uint64_t modelHash,
+                std::uint64_t seed)
+{
+    JournalHasher hasher;
+    hasher.update(siteHash);
+    hasher.update(modelHash);
+    hasher.update(seed);
+    return hasher.digest();
+}
+
+std::uint64_t
+campaignContextHash(const sim::LaunchConfig &config,
+                    const std::vector<OutputRegion> &outputs,
+                    const std::vector<std::vector<std::uint8_t>> &golden)
+{
+    JournalHasher hasher;
+    hasher.update(std::uint64_t{config.grid.x});
+    hasher.update(std::uint64_t{config.grid.y});
+    hasher.update(std::uint64_t{config.grid.z});
+    hasher.update(std::uint64_t{config.block.x});
+    hasher.update(std::uint64_t{config.block.y});
+    hasher.update(std::uint64_t{config.block.z});
+    hasher.update(std::uint64_t{config.sharedBytes});
+    hasher.update(static_cast<std::uint64_t>(outputs.size()));
+    for (const OutputRegion &region : outputs) {
+        hasher.update(region.addr);
+        hasher.update(region.bytes);
+        hasher.update(static_cast<std::uint64_t>(region.type));
+        hasher.update(region.tolerance);
+        hasher.update(region.rows);
+    }
+    for (const auto &bytes : golden) {
+        hasher.update(static_cast<std::uint64_t>(bytes.size()));
+        hasher.update(bytes.data(), bytes.size());
+    }
+    return hasher.digest();
+}
+
+void
+SectionIndex::addThread(std::uint64_t thread,
+                        const std::vector<sim::DynRecord> &trace,
+                        sim::SectionedTrace sectioned)
+{
+    FSP_ASSERT(sectioned.sectionOf.size() == trace.size(),
+               "sectioned trace does not match the dyn trace");
+    ThreadIndex index;
+    index.sectioned = std::move(sectioned);
+    index.staticIndexOf.reserve(trace.size());
+    index.injectable.reserve(trace.size());
+    for (const sim::DynRecord &record : trace) {
+        index.staticIndexOf.push_back(record.staticIndex);
+        index.injectable.push_back(
+            record.executed() && record.destBits != 0 ? 1 : 0);
+    }
+    threads_[thread] = std::move(index);
+}
+
+std::size_t
+SectionIndex::sectionCount() const
+{
+    std::size_t total = 0;
+    for (const auto &[thread, index] : threads_)
+        total += index.sectioned.sections.size();
+    return total;
+}
+
+std::optional<SiteSectionKey>
+SectionIndex::keyFor(const FaultSite &site) const
+{
+    auto it = threads_.find(site.thread);
+    if (it == threads_.end())
+        return std::nullopt;
+    const ThreadIndex &index = it->second;
+    if (site.dynIndex >= index.staticIndexOf.size() ||
+        !index.injectable[site.dynIndex]) {
+        return std::nullopt;
+    }
+    const auto dyn = static_cast<std::size_t>(site.dynIndex);
+    const sim::TraceSection &section =
+        index.sectioned.sections[index.sectioned.sectionOf[dyn]];
+
+    SiteSectionKey key;
+    JournalHasher bucket;
+    bucket.update(context_hash_);
+    bucket.update(section.contentHash);
+    bucket.update(section.prefixStateHash);
+    key.sectionHash = bucket.digest();
+
+    JournalHasher entry;
+    entry.update(section.tailContentHash);
+    entry.update(site.thread);
+    entry.update(std::uint64_t{index.sectioned.writeOffsetOf[dyn]});
+    entry.update(std::uint64_t{site.bit});
+    key.siteHash = entry.digest();
+
+    key.staticIndex = index.staticIndexOf[dyn];
+    return key;
+}
+
+SectionCache::SectionCache(std::string dir) : dir_(std::move(dir))
+{
+    FSP_ASSERT(!dir_.empty(), "section cache needs a directory");
+    createDirectories(dir_);
+}
+
+std::string
+SectionCache::bucketPath(std::uint64_t sectionHash) const
+{
+    char name[32];
+    std::snprintf(name, sizeof(name), "sec-%016llx.fspc",
+                  static_cast<unsigned long long>(sectionHash));
+    return dir_ + "/" + name;
+}
+
+SectionCache::Bucket &
+SectionCache::bucket(std::uint64_t sectionHash)
+{
+    Bucket &bucket = buckets_[sectionHash];
+    if (!bucket.loaded)
+        loadBucket(sectionHash, bucket);
+    return bucket;
+}
+
+void
+SectionCache::loadBucket(std::uint64_t sectionHash, Bucket &bucket)
+{
+    bucket.loaded = true;
+    int fd = ::open(bucketPath(sectionHash).c_str(), O_RDONLY);
+    if (fd < 0)
+        return; // never written: every lookup in it misses
+
+    std::vector<std::uint8_t> bytes;
+    std::uint8_t buf[1 << 16];
+    for (;;) {
+        ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break; // unreadable tail: treat the rest as missing
+        }
+        if (n == 0)
+            break;
+        bytes.insert(bytes.end(), buf, buf + n);
+    }
+    ::close(fd);
+    stats_.bytesRead += bytes.size();
+
+    // Whole records only; a torn trailing append or a flipped byte is
+    // a skipped record (= a miss), never a failure -- the cache is an
+    // accelerator, and re-injection always produces the right answer.
+    for (std::size_t offset = 0; offset + sizeof(DiskRecord) <= bytes.size();
+         offset += sizeof(DiskRecord)) {
+        DiskRecord record;
+        std::memcpy(&record, bytes.data() + offset, sizeof(record));
+        if (record.checksum != diskChecksum(record) ||
+            record.outcome >
+                static_cast<std::uint32_t>(Outcome::Invalid) ||
+            record.pattern >= kNumSdcPatterns ||
+            (record.flags & ~kDiskHasAnatomy) != 0) {
+            stats_.corruptRecords++;
+            continue;
+        }
+        SectionCacheRecord entry;
+        entry.outcome = static_cast<Outcome>(record.outcome);
+        entry.staticIndex = record.staticIndex;
+        entry.hasAnatomy = (record.flags & kDiskHasAnatomy) != 0;
+        if (entry.hasAnatomy) {
+            entry.anatomy.pattern =
+                static_cast<SdcPattern>(record.pattern);
+            for (std::size_t i = 0; i < kMagnitudeBuckets; ++i)
+                entry.anatomy.magnitude[i] = record.magnitude[i];
+        }
+        bucket.entries[record.keyHash] = entry;
+    }
+    if (bytes.size() % sizeof(DiskRecord) != 0)
+        stats_.corruptRecords++;
+}
+
+std::optional<SectionCacheRecord>
+SectionCache::lookup(std::uint64_t sectionHash, std::uint64_t keyHash)
+{
+    Bucket &b = bucket(sectionHash);
+    auto it = b.entries.find(keyHash);
+    if (it == b.entries.end()) {
+        stats_.misses++;
+        return std::nullopt;
+    }
+    stats_.hits++;
+    return it->second;
+}
+
+void
+SectionCache::store(std::uint64_t sectionHash, std::uint64_t keyHash,
+                    const SectionCacheRecord &record)
+{
+    Bucket &b = bucket(sectionHash);
+    auto [it, inserted] = b.entries.emplace(keyHash, record);
+    if (!inserted)
+        return; // already cached (or stored twice); entries never change
+    DiskRecord disk{};
+    disk.keyHash = keyHash;
+    disk.outcome = static_cast<std::uint32_t>(record.outcome);
+    disk.staticIndex = record.staticIndex;
+    if (record.hasAnatomy) {
+        disk.flags = kDiskHasAnatomy;
+        disk.pattern = static_cast<std::uint8_t>(record.anatomy.pattern);
+        for (std::size_t i = 0; i < kMagnitudeBuckets; ++i)
+            disk.magnitude[i] = record.anatomy.magnitude[i];
+    }
+    disk.checksum = diskChecksum(disk);
+    const auto *p = reinterpret_cast<const std::uint8_t *>(&disk);
+    b.pending.insert(b.pending.end(), p, p + sizeof(disk));
+}
+
+void
+SectionCache::flush()
+{
+    for (auto &[sectionHash, bucket] : buckets_) {
+        if (bucket.pending.empty())
+            continue;
+        // One O_APPEND write per bucket: concurrent shard workers
+        // interleave at whole-batch granularity, and every batch is a
+        // whole number of self-checksummed records.
+        int fd = ::open(bucketPath(sectionHash).c_str(),
+                        O_WRONLY | O_CREAT | O_APPEND, 0644);
+        if (fd < 0) {
+            warn("cannot append to section cache '",
+                 bucketPath(sectionHash), "': ", std::strerror(errno));
+            bucket.pending.clear();
+            continue;
+        }
+        const std::uint8_t *p = bucket.pending.data();
+        std::size_t size = bucket.pending.size();
+        while (size > 0) {
+            ssize_t n = ::write(fd, p, size);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                warn("section cache write failed: ",
+                     std::strerror(errno));
+                break;
+            }
+            stats_.bytesWritten += static_cast<std::uint64_t>(n);
+            p += n;
+            size -= static_cast<std::size_t>(n);
+        }
+        ::close(fd);
+        bucket.pending.clear();
+    }
+}
+
+} // namespace fsp::faults

@@ -39,6 +39,29 @@ alignTraces(const std::vector<sim::DynRecord> &base,
     return alignment;
 }
 
+std::vector<std::uint64_t>
+alignmentBoundaries(const std::vector<sim::DynRecord> &base,
+                    const std::vector<sim::DynRecord> &trace)
+{
+    TraceAlignment alignment = alignTraces(base, trace);
+    std::size_t cuts[2] = {alignment.prefixLen,
+                           trace.size() - alignment.suffixLen};
+
+    // Convert record-index cut points to executed-record ordinals.
+    std::vector<std::uint64_t> boundaries;
+    std::uint64_t executed = 0;
+    std::size_t ci = 0;
+    for (std::size_t i = 0; i <= trace.size() && ci < 2; ++i) {
+        while (ci < 2 && cuts[ci] == i) {
+            boundaries.push_back(executed);
+            ++ci;
+        }
+        if (i < trace.size() && trace[i].executed())
+            ++executed;
+    }
+    return boundaries;
+}
+
 InstrPruningStats
 applyInstructionPruning(std::vector<ThreadPlan> &plans, double similarity)
 {

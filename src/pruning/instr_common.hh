@@ -44,6 +44,20 @@ struct TraceAlignment
 TraceAlignment alignTraces(const std::vector<sim::DynRecord> &base,
                            const std::vector<sim::DynRecord> &other);
 
+/**
+ * Common-block cut points of @p trace aligned against @p base, as
+ * executed-record ordinals (the coordinate space of
+ * sim::SectionSplitOptions::extraBoundaries): one cut at the end of
+ * the common prefix, one at the start of the common suffix.  Aligning
+ * section boundaries with common-block edges keeps a section from
+ * straddling shared and distinctive code, which would couple its cache
+ * validity to both.  @p trace must be value-recorded
+ * (TraceOptions::recordValues) so executed ordinals are meaningful.
+ */
+std::vector<std::uint64_t>
+alignmentBoundaries(const std::vector<sim::DynRecord> &base,
+                    const std::vector<sim::DynRecord> &trace);
+
 /** Outcome statistics of the instruction-wise stage. */
 struct InstrPruningStats
 {

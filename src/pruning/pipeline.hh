@@ -31,8 +31,6 @@ namespace fsp::pruning {
 /**
  * Pipeline configuration, grouped by stage so future stages extend
  * their own sub-struct instead of widening one flat bag of knobs.
- * (The pre-grouping flat field names lived on as deprecated reference
- * aliases for one release; address the per-stage sub-structs.)
  */
 struct PruningConfig
 {

@@ -150,6 +150,7 @@ encodeSpec(WireWriter &writer, const CampaignSpec &spec)
     writer.u8(spec.noSlicing ? 1 : 0);
     writer.u8(spec.noCheckpoints ? 1 : 0);
     writer.u64(spec.abortAfterSites);
+    writer.str(spec.cacheDir);
     writer.u64(spec.sites.size());
     for (const faults::WeightedSite &site : spec.sites) {
         writer.u64(site.site.thread);
@@ -182,6 +183,7 @@ decodeSpec(WireReader &reader)
     spec.noSlicing = reader.u8() != 0;
     spec.noCheckpoints = reader.u8() != 0;
     spec.abortAfterSites = reader.u64();
+    spec.cacheDir = reader.str();
     std::uint64_t count = reader.u64();
     if (count > kMaxSpecSites)
         throw ProtocolError("site list of " + std::to_string(count) +

@@ -120,6 +120,13 @@ struct CampaignSpec
      */
     std::uint64_t abortAfterSites = 0;
 
+    /**
+     * Shared section-cache directory (--cache); every shard worker
+     * attaches the same directory, so one worker's stored sections
+     * satisfy another's lookups on the next submission.  "" disables.
+     */
+    std::string cacheDir;
+
     /** Explicit site list (Kind::Sites). */
     std::vector<faults::WeightedSite> sites;
 

@@ -179,6 +179,16 @@ runShardWorker(const ShardWorkerArgs &args)
         ProgressFrameObserver progress(args.progressFd, args.shard);
         faults::CampaignOptions options = ctx.common.campaign;
         options.observer = &progress;
+        if (!spec.cacheDir.empty()) {
+            // Every shard worker attaches the same directory; the
+            // cache's append-only store files make concurrent writers
+            // from separate processes safe, and the shard only
+            // indexes the threads its own sites touch.
+            ctx.analysis->setSectionCacheDir(spec.cacheDir);
+            options.sectionCache = ctx.analysis->sectionCache();
+            options.sectionIndex =
+                &ctx.analysis->buildSectionIndex(entry.sites);
+        }
         options.journalPath = journal_path;
         options.resume = true;
         options.journalKey = entry.key;

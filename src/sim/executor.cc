@@ -467,13 +467,16 @@ readX(const XSrc &s, const std::uint64_t *R, const std::uint8_t *P,
         goto *kJump[static_cast<unsigned>(op->x)];                      \
     } while (0)
 
-#define FSP_EPI(REC)                                                    \
+#define FSP_EPI_AT(REC, EXEC)                                           \
     do {                                                                \
         fbits += (REC);                                                 \
         if constexpr (kTraced)                                          \
-            dyn_trace->push_back({op->staticIndex, (REC)});             \
+            dyn_trace->push_back(makeDynRecord(*op, (REC), (EXEC),      \
+                                               record_values, R, P));   \
         FSP_DISPATCH();                                                 \
     } while (0)
+
+#define FSP_EPI(REC) FSP_EPI_AT(REC, true)
 
 /**
  * Writeback of @p VALUE through the op's destination -- a GPR value
@@ -510,6 +513,33 @@ readX(const XSrc &s, const std::uint64_t *R, const std::uint8_t *P,
         pc++;                                                           \
         FSP_EPI(recorded);                                              \
     } while (0)
+
+/**
+ * Build the trace record of one issued instruction.  Under a
+ * recordValues run the record additionally carries the guard outcome
+ * and -- for instructions that performed a destination writeback --
+ * the post-writeback register content, read back through the decoded
+ * op's dest descriptor (the reference engine records the identical
+ * value from its own writeback sites).
+ */
+inline DynRecord
+makeDynRecord(const DecodedOp &op, std::uint16_t recordedBits,
+              bool executed, bool recordValues, const std::uint64_t *R,
+              const std::uint8_t *P)
+{
+    DynRecord record{op.staticIndex, recordedBits};
+    if (recordValues) {
+        record.flags = executed ? DynRecord::kExecuted : 0;
+        if (executed && recordedBits != 0) {
+            const std::uint64_t value =
+                op.destKind == DecodedOp::Dest::Pred ? P[op.destReg]
+                                                     : R[op.destReg];
+            record.valueLo = static_cast<std::uint32_t>(value);
+            record.valueHi = static_cast<std::uint32_t>(value >> 32);
+        }
+    }
+    return record;
+}
 
 /**
  * The interpreter loop, specialised at compile time on the two rare
@@ -561,6 +591,8 @@ runThreadDecodedImpl(MachineState &ms, std::uint32_t tl,
     // exit path below funnels through `done` to write them back.
     std::uint64_t *R = ms.regs(tl);
     std::uint8_t *P = ms.ccs(tl);
+    [[maybe_unused]] const bool record_values =
+        kTraced && ctx.opts != nullptr && ctx.opts->recordValues;
     std::uint64_t pc = ms.pc(tl);
     std::uint64_t icnt = ms.icnt(tl);
     std::uint64_t fbits = ms.faultBits(tl);
@@ -597,7 +629,7 @@ runThreadDecodedImpl(MachineState &ms, std::uint32_t tl,
     // the PTXPlus trace model) but performs no writeback, no branch,
     // and no barrier arrival.
     pc++;
-    FSP_EPI(0);
+    FSP_EPI_AT(0, false);
 
   x_Nop:
     pc++;
@@ -605,7 +637,8 @@ runThreadDecodedImpl(MachineState &ms, std::uint32_t tl,
 
   x_Exit:
     if constexpr (kTraced)
-        dyn_trace->push_back({op->staticIndex, 0});
+        dyn_trace->push_back(
+            makeDynRecord(*op, 0, true, record_values, R, P));
     ms.setExited(tl);
     ret = StopReason::Exited;
     goto done;
@@ -625,7 +658,8 @@ runThreadDecodedImpl(MachineState &ms, std::uint32_t tl,
         FSP_EPI(0);
     }
     if constexpr (kTraced)
-        dyn_trace->push_back({op->staticIndex, 0});
+        dyn_trace->push_back(
+            makeDynRecord(*op, 0, true, record_values, R, P));
     ret = StopReason::Barrier;
     goto done;
 

@@ -122,6 +122,8 @@ runThreadReference(MachineState &ms, std::uint32_t tl, CtaContext &ctx,
         ctx.opts->traceThreads.count(t.globalId) > 0) {
         dyn_trace = &ctx.trace->dynTraces[t.globalId];
     }
+    const bool record_values =
+        dyn_trace != nullptr && ctx.opts->recordValues;
 
     const bool is_fault_thread =
         ctx.fault != nullptr && ctx.fault->thread == t.globalId;
@@ -412,9 +414,24 @@ runThreadReference(MachineState &ms, std::uint32_t tl, CtaContext &ctx,
 
         t.faultBits += recorded_bits;
         if (dyn_trace) {
-            dyn_trace->push_back(
-                {static_cast<std::uint32_t>(&insn - code.data()),
-                 recorded_bits});
+            DynRecord record{
+                static_cast<std::uint32_t>(&insn - code.data()),
+                recorded_bits};
+            if (record_values) {
+                // Mirror of the decoded engine's makeDynRecord: guard
+                // outcome plus the post-writeback destination value.
+                record.flags = pass ? DynRecord::kExecuted : 0;
+                if (pass && recorded_bits != 0) {
+                    const std::uint64_t value =
+                        insn.dest.kind == Operand::Kind::PredReg
+                            ? t.ccs[insn.dest.reg]
+                            : t.regs[map[insn.dest.reg]];
+                    record.valueLo = static_cast<std::uint32_t>(value);
+                    record.valueHi =
+                        static_cast<std::uint32_t>(value >> 32);
+                }
+            }
+            dyn_trace->push_back(record);
         }
 
         if (hit_barrier)

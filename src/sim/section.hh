@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Trace sectioning for incremental (compositional) campaigns.
+ *
+ * A value-recorded dynamic trace (TraceOptions::recordValues) is split
+ * into contiguous TraceSections at barrier boundaries, at fixed
+ * executed-instruction strides, and at caller-supplied cut points
+ * (e.g. common-block prefix/suffix boundaries from the pruning
+ * aligner).  Each section carries three canonical FNV-1a hashes that
+ * together identify "the same computation" across edited kernels:
+ *
+ *  - contentHash: the instruction *content* of the section's executed
+ *    records.  Content hashing is position-independent -- branch
+ *    targets are hashed relative to the instruction's own static
+ *    index, and source line / text / absolute static index are
+ *    excluded -- so inserting code elsewhere does not perturb it.
+ *    Guard-failed issues are excluded entirely: they write nothing,
+ *    branch nowhere, and carry no fault sites.
+ *  - prefixStateHash: a fold of (destination identity, written value)
+ *    over every executed destination-writing record *before* the
+ *    section.  This pins the architectural state the section consumes
+ *    without hashing upstream *content*, so value-preserving upstream
+ *    edits (e.g. a strength reduction) keep downstream sections warm.
+ *  - tailContentHash: contentHash of this section combined with every
+ *    later section's, i.e. the executed content from the section start
+ *    to the end of the trace.  A cached outcome is only as good as the
+ *    code the fault propagates *through*, so cache keys use the tail
+ *    hash: an edit conservatively invalidates its own section and
+ *    every earlier one.
+ *
+ * Boundaries are counted in executed-record space, so a guarded-off
+ * insertion neither moves section cuts nor shifts the per-site
+ * write offsets (writeOffsetOf) used as cache-key coordinates.
+ */
+
+#ifndef FSP_SIM_SECTION_HH
+#define FSP_SIM_SECTION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/instruction.hh"
+#include "sim/trace.hh"
+
+namespace fsp::sim {
+
+/** One contiguous slice of a dynamic trace. */
+struct TraceSection
+{
+    std::uint32_t firstRecord = 0; ///< first dyn-record index (inclusive)
+    std::uint32_t recordCount = 0; ///< number of dyn records covered
+    std::uint64_t contentHash = 0; ///< executed instruction content
+    std::uint64_t prefixStateHash = 0; ///< (dest, value) fold before start
+    std::uint64_t tailContentHash = 0; ///< content from start to trace end
+};
+
+/** Knobs for splitTrace(). */
+struct SectionSplitOptions
+{
+    /**
+     * Start a new section after this many executed records even when
+     * no barrier intervenes (barrier-free kernels such as GEMM would
+     * otherwise collapse into a single all-or-nothing section).
+     */
+    std::size_t maxExecutedRecords = 32;
+
+    /**
+     * Extra cut points, as executed-record ordinals (0-based count of
+     * executed records preceding the cut).  The splitter starts a new
+     * section at the first executed record at or past each ordinal.
+     * Used for common-block prefix/suffix boundaries from trace
+     * alignment; need not be sorted or unique.
+     */
+    std::vector<std::uint64_t> extraBoundaries;
+};
+
+/** splitTrace() result: the sections plus per-record coordinates. */
+struct SectionedTrace
+{
+    std::vector<TraceSection> sections;
+
+    /** Per dyn record: index of the section containing it. */
+    std::vector<std::uint32_t> sectionOf;
+
+    /**
+     * Per dyn record: ordinal among the *executed destination-writing*
+     * records of its section (the insertion-stable per-site coordinate
+     * used in cache keys).  Meaningful only for records with
+     * executed() && destBits != 0; zero otherwise.
+     */
+    std::vector<std::uint32_t> writeOffsetOf;
+};
+
+/**
+ * Canonical content hash of one instruction.  Covers opcode, types,
+ * comparison, address space, guard, all operands and the barrier id;
+ * branch targets are hashed relative to @p staticIndex.  Source line,
+ * original text and the absolute static index are excluded, making the
+ * hash invariant under code motion elsewhere in the program.
+ */
+std::uint64_t instructionContentHash(const Instruction &insn,
+                                     std::uint32_t staticIndex);
+
+/**
+ * Split a value-recorded dynamic trace of @p code into sections.
+ * @p trace must come from a run with TraceOptions::recordValues set
+ * (the guard-outcome flags drive boundary placement and the value
+ * fields feed prefixStateHash).
+ */
+SectionedTrace splitTrace(const std::vector<Instruction> &code,
+                          const std::vector<DynRecord> &trace,
+                          const SectionSplitOptions &options = {});
+
+} // namespace fsp::sim
+
+#endif // FSP_SIM_SECTION_HH

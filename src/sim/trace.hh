@@ -36,8 +36,31 @@ struct ThreadProfile
 /** One dynamic instruction of a traced thread. */
 struct DynRecord
 {
+    /** Flag bits (populated only under TraceOptions::recordValues). */
+    static constexpr std::uint16_t kExecuted = 0x1; ///< guard passed
+
     std::uint32_t staticIndex; ///< index into Program::instructions()
     std::uint16_t destBits;    ///< fault bits of this dynamic instruction
+    std::uint16_t flags = 0;   ///< kExecuted (recordValues runs only)
+    std::uint32_t valueLo = 0; ///< post-writeback dest value, low half
+    std::uint32_t valueHi = 0; ///< post-writeback dest value, high half
+
+    /** Guard outcome of this issue (meaningful under recordValues). */
+    bool executed() const { return (flags & kExecuted) != 0; }
+
+    /**
+     * The value the instruction wrote through its destination (GPR
+     * content, or the 4-bit CC register for predicate destinations).
+     * Meaningful when executed() and destBits != 0 under a
+     * recordValues run; 0 otherwise.
+     */
+    std::uint64_t
+    value() const
+    {
+        return (std::uint64_t{valueHi} << 32) | valueLo;
+    }
+
+    bool operator==(const DynRecord &other) const = default;
 };
 
 /** What to collect during a run. */
@@ -54,6 +77,15 @@ struct TraceOptions
 
     /** Collect full DynRecord streams for these global thread ids. */
     std::unordered_set<std::uint64_t> traceThreads;
+
+    /**
+     * Additionally record, per traced dynamic instruction, the guard
+     * outcome and the post-writeback destination value (DynRecord's
+     * flags/value fields).  This is the input to trace-section state
+     * hashing (sim/section.hh); off by default so plain profiling
+     * traces stay cheap.
+     */
+    bool recordValues = false;
 };
 
 /** Collected trace data (returned inside RunResult). */

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Reference serial campaign drivers -- test-suite property oracles.
+ *
+ * These are the original serial injection loops the CampaignEngine was
+ * specified against: one injector, sites processed strictly in list
+ * order, outcomes folded as they classify.  They moved here from the
+ * library (faults/campaign.hh) when the engine became the single
+ * campaign entry point; the determinism suite keeps comparing the
+ * engine's parallel/journaled/cached results against them bit for bit,
+ * which is only meaningful while this reference stays dead simple.
+ */
+
+#ifndef FSP_TESTS_REFERENCE_CAMPAIGN_HH
+#define FSP_TESTS_REFERENCE_CAMPAIGN_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "faults/campaign_engine.hh"
+#include "faults/fault_space.hh"
+#include "faults/injector.hh"
+#include "util/prng.hh"
+
+namespace fsp::faults::reference {
+
+/** Inject every site in the list, tallying unweighted outcomes. */
+inline CampaignResult
+runSiteList(Injector &injector, const std::vector<FaultSite> &sites)
+{
+    InjectionStats before = injector.stats();
+    CampaignResult result;
+    for (const auto &site : sites) {
+        result.dist.add(injector.inject(site));
+        result.runs++;
+    }
+    result.injection = injector.stats().since(before);
+    return result;
+}
+
+/** Inject every weighted site, tallying weighted outcomes. */
+inline CampaignResult
+runWeightedSiteList(Injector &injector,
+                    const std::vector<WeightedSite> &sites)
+{
+    InjectionStats before = injector.stats();
+    CampaignResult result;
+    for (const auto &weighted : sites) {
+        result.dist.add(injector.inject(weighted.site), weighted.weight);
+        result.runs++;
+    }
+    result.injection = injector.stats().since(before);
+    return result;
+}
+
+/**
+ * The statistical baseline: @p runs sites drawn uniformly at random
+ * from the full fault space (with replacement), injected and tallied.
+ * Draws exactly like CampaignEngine::run(space, runs, prng), so the
+ * same seeded generator produces the same site sequence in both.
+ */
+inline CampaignResult
+runRandomCampaign(Injector &injector, const FaultSpace &space,
+                  std::size_t runs, Prng &prng)
+{
+    auto sites = space.sampleSites(runs, prng);
+    return runSiteList(injector, sites);
+}
+
+} // namespace fsp::faults::reference
+
+#endif // FSP_TESTS_REFERENCE_CAMPAIGN_HH

@@ -16,7 +16,7 @@
 
 #include "analysis/analyzer.hh"
 #include "apps/app.hh"
-#include "faults/campaign.hh"
+#include "reference_campaign.hh"
 #include "faults/campaign_engine.hh"
 #include "faults/fault_model.hh"
 #include "util/thread_pool.hh"
@@ -104,7 +104,7 @@ TEST(CampaignStress, SameSeedSameDistributionAcrossRunsAndWorkers)
     const std::uint64_t seed = 4242;
 
     Prng serial_prng(seed);
-    auto reference = faults::runRandomCampaign(ka.injector(), ka.space(),
+    auto reference = faults::reference::runRandomCampaign(ka.injector(), ka.space(),
                                                runs, serial_prng);
     EXPECT_EQ(reference.runs, runs);
 
@@ -168,7 +168,7 @@ TEST(CampaignStress, WeightedPropertyOverRandomLists)
         for (const auto &site : sites)
             weighted.push_back({site, meta.uniform(0.01, 1000.0)});
 
-        auto serial = faults::runWeightedSiteList(ka.injector(), weighted);
+        auto serial = faults::reference::runWeightedSiteList(ka.injector(), weighted);
 
         for (unsigned workers : {2u, 7u}) {
             faults::CampaignOptions options;
@@ -182,7 +182,7 @@ TEST(CampaignStress, WeightedPropertyOverRandomLists)
     }
 }
 
-TEST(CampaignStress, ProgressCallbackCoversAllSites)
+TEST(CampaignStress, ChunkFoldProgressCoversAllSites)
 {
     const apps::KernelSpec *spec = apps::findKernel("PathFinder/K1");
     ASSERT_NE(spec, nullptr);
@@ -191,23 +191,31 @@ TEST(CampaignStress, ProgressCallbackCoversAllSites)
     Prng prng(5);
     auto sites = ka.space().sampleSites(23, prng);
 
-    std::uint64_t last_done = 0;
+    // Fold-point events fire under the engine's progress lock: done
+    // counts must be monotonic and bounded by the total.
+    struct ProgressObserver final : faults::CampaignObserver
+    {
+        std::uint64_t lastDone = 0;
+        std::uint64_t expectedTotal = 0;
+        void
+        onChunkFolded(const ChunkFolded &event) override
+        {
+            EXPECT_GT(event.sitesDone, lastDone);
+            EXPECT_LE(event.sitesDone, event.sitesTotal);
+            EXPECT_EQ(event.sitesTotal, expectedTotal);
+            lastDone = event.sitesDone;
+        }
+    } progress;
+    progress.expectedTotal = sites.size();
+
     faults::CampaignOptions options;
     options.workers = 3;
     options.chunkSize = 5;
-    options.progressCallback =
-        [&](const faults::CampaignProgress &progress) {
-            // Called under the engine's progress lock; done counts are
-            // monotonic and bounded by the total.
-            EXPECT_GT(progress.sitesDone, last_done);
-            EXPECT_LE(progress.sitesDone, progress.sitesTotal);
-            EXPECT_EQ(progress.sitesTotal, sites.size());
-            last_done = progress.sitesDone;
-        };
+    options.observer = &progress;
     faults::CampaignEngine engine(ka.injector(), options);
     auto result = engine.run(sites);
     EXPECT_EQ(result.runs, sites.size());
-    EXPECT_EQ(last_done, sites.size());
+    EXPECT_EQ(progress.lastDone, sites.size());
 }
 
 } // namespace

@@ -20,6 +20,7 @@
 #include "apps/app.hh"
 #include "faults/fault_space.hh"
 #include "sim/executor.hh"
+#include "sim/section.hh"
 #include "util/logging.hh"
 #include "util/prng.hh"
 
@@ -158,6 +159,66 @@ TEST(DecodedExecutor, FaultInjectionParityEveryKernel)
             EXPECT_EQ(dec_plan.applied, ref_plan.applied);
             EXPECT_EQ(dec_plan.appliedStatic, ref_plan.appliedStatic);
             EXPECT_EQ(imageOf(dec_mem), imageOf(ref_mem));
+        }
+    }
+}
+
+/**
+ * recordValues parity: the guard-outcome flags and post-writeback
+ * destination values that feed trace-section hashing (sim/section.hh)
+ * must agree record for record between the engines, and the resulting
+ * section hashes -- the section cache's entire notion of identity --
+ * must be bit-identical.
+ */
+TEST(DecodedExecutor, RecordValuesParityEveryKernel)
+{
+    fsp::setVerboseLogging(false);
+    for (const apps::KernelSpec &spec : apps::allKernels()) {
+        SCOPED_TRACE(spec.fullName());
+        apps::KernelSetup setup = spec.setup(apps::Scale::Small, 42);
+
+        const std::uint64_t threads =
+            setup.launch.grid.count() * setup.launch.block.count();
+        TraceOptions opts;
+        opts.recordValues = true;
+        opts.traceThreads = {0, threads / 2, threads - 1};
+
+        Executor decoded(setup.program, setup.launch,
+                         ExecEngine::Decoded);
+        Executor reference(setup.program, setup.launch,
+                           ExecEngine::Reference);
+        GlobalMemory dec_mem = setup.memory;
+        GlobalMemory ref_mem = setup.memory;
+        RunResult dec = decoded.run(dec_mem, &opts);
+        RunResult ref = reference.run(ref_mem, &opts);
+
+        ASSERT_EQ(dec.trace.dynTraces.size(), ref.trace.dynTraces.size());
+        for (const auto &[tid, ref_trace] : ref.trace.dynTraces) {
+            SCOPED_TRACE(tid);
+            auto it = dec.trace.dynTraces.find(tid);
+            ASSERT_NE(it, dec.trace.dynTraces.end());
+            const auto &dec_trace = it->second;
+            ASSERT_EQ(dec_trace.size(), ref_trace.size());
+            for (std::size_t i = 0; i < ref_trace.size(); ++i) {
+                SCOPED_TRACE(i);
+                EXPECT_EQ(dec_trace[i], ref_trace[i]);
+            }
+
+            sim::SectionedTrace dec_sections = sim::splitTrace(
+                setup.program.instructions(), dec_trace);
+            sim::SectionedTrace ref_sections = sim::splitTrace(
+                setup.program.instructions(), ref_trace);
+            ASSERT_EQ(dec_sections.sections.size(),
+                      ref_sections.sections.size());
+            for (std::size_t s = 0; s < ref_sections.sections.size();
+                 ++s) {
+                EXPECT_EQ(dec_sections.sections[s].contentHash,
+                          ref_sections.sections[s].contentHash);
+                EXPECT_EQ(dec_sections.sections[s].prefixStateHash,
+                          ref_sections.sections[s].prefixStateHash);
+                EXPECT_EQ(dec_sections.sections[s].tailContentHash,
+                          ref_sections.sections[s].tailContentHash);
+            }
         }
     }
 }

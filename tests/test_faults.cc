@@ -11,7 +11,7 @@
 #include <cmath>
 #include <map>
 
-#include "faults/campaign.hh"
+#include "reference_campaign.hh"
 #include "faults/fault_space.hh"
 #include "faults/injector.hh"
 #include "faults/sampling.hh"
@@ -332,14 +332,14 @@ TEST(Campaign, SiteListAndWeightedSiteList)
     faults::Injector injector(k.program(), config, k.memory(), outputs);
 
     std::vector<faults::FaultSite> sites{{0, 5, 0}, {0, 3, 0}};
-    auto plain = faults::runSiteList(injector, sites);
+    auto plain = faults::reference::runSiteList(injector, sites);
     EXPECT_EQ(plain.runs, 2u);
     EXPECT_DOUBLE_EQ(plain.dist.weightOf(faults::Outcome::Masked), 1.0);
     EXPECT_DOUBLE_EQ(plain.dist.weightOf(faults::Outcome::SDC), 1.0);
 
     std::vector<faults::WeightedSite> weighted{{{0, 5, 0}, 10.0},
                                                {{0, 3, 0}, 1.0}};
-    auto w = faults::runWeightedSiteList(injector, weighted);
+    auto w = faults::reference::runWeightedSiteList(injector, weighted);
     EXPECT_DOUBLE_EQ(w.dist.weightOf(faults::Outcome::Masked), 10.0);
     EXPECT_DOUBLE_EQ(w.dist.weightOf(faults::Outcome::SDC), 1.0);
 }

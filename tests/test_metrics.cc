@@ -19,7 +19,7 @@
 #include "analysis/analyzer.hh"
 #include "analysis/observability.hh"
 #include "apps/app.hh"
-#include "faults/campaign.hh"
+#include "reference_campaign.hh"
 #include "faults/campaign_engine.hh"
 #include "faults/observer.hh"
 #include "util/json.hh"
@@ -582,7 +582,7 @@ TEST(CampaignObserver, JournalAbortResumeAccounting)
     std::remove(path.c_str());
 }
 
-TEST(CampaignObserver, ProgressCallbackAdapterKeepsLegacySignature)
+TEST(CampaignObserver, ChunkFoldEventsCoverEveryChunkExactlyOnce)
 {
     const apps::KernelSpec *spec = apps::findKernel("PathFinder/K1");
     ASSERT_NE(spec, nullptr);
@@ -591,24 +591,29 @@ TEST(CampaignObserver, ProgressCallbackAdapterKeepsLegacySignature)
     Prng prng(3);
     auto sites = ka.space().sampleSites(10, prng);
 
-    std::mutex mutex;
-    std::uint64_t calls = 0;
-    std::uint64_t last_done = 0;
+    struct FoldCounter final : faults::CampaignObserver
+    {
+        std::uint64_t calls = 0;
+        std::uint64_t lastDone = 0;
+        void
+        onChunkFolded(const ChunkFolded &event) override
+        {
+            // Serialized under the engine's progress lock.
+            calls++;
+            EXPECT_GT(event.sitesDone, lastDone);
+            lastDone = event.sitesDone;
+            EXPECT_EQ(event.sitesTotal, 10u);
+        }
+    } counter;
+
     faults::CampaignOptions options;
     options.workers = 2;
     options.chunkSize = 2;
-    options.progressCallback =
-        [&](const faults::CampaignProgress &progress) {
-            std::lock_guard<std::mutex> lock(mutex);
-            calls++;
-            EXPECT_GT(progress.sitesDone, last_done);
-            last_done = progress.sitesDone;
-            EXPECT_EQ(progress.sitesTotal, 10u);
-        };
+    options.observer = &counter;
     faults::CampaignEngine engine(ka.injector(), options);
     engine.run(sites);
-    EXPECT_EQ(calls, 5u);
-    EXPECT_EQ(last_done, sites.size());
+    EXPECT_EQ(counter.calls, 5u);
+    EXPECT_EQ(counter.lastDone, sites.size());
 }
 
 TEST(Observability, BundleExportsPipelineAndCampaignFamilies)

@@ -14,7 +14,7 @@
 
 #include "analysis/analyzer.hh"
 #include "apps/app.hh"
-#include "faults/campaign.hh"
+#include "reference_campaign.hh"
 #include "faults/campaign_engine.hh"
 
 namespace fsp {
@@ -74,9 +74,9 @@ TEST(CampaignEngine, MatchesSerialOnEveryRegisteredKernel)
         auto sites = ka.space().sampleSites(24, prng);
         auto weighted = weightSites(sites);
 
-        auto serial_plain = faults::runSiteList(ka.injector(), sites);
+        auto serial_plain = faults::reference::runSiteList(ka.injector(), sites);
         auto serial_weighted =
-            faults::runWeightedSiteList(ka.injector(), weighted);
+            faults::reference::runWeightedSiteList(ka.injector(), weighted);
 
         for (const Shape &shape : kShapes) {
             SCOPED_TRACE("workers=" + std::to_string(shape.workers) +
@@ -127,9 +127,9 @@ TEST(CampaignEngine, SiteListSmallerThanWorkerCount)
     Prng prng(7);
     auto sites = ka.space().sampleSites(3, prng);
     auto weighted = weightSites(sites);
-    auto serial_plain = faults::runSiteList(ka.injector(), sites);
+    auto serial_plain = faults::reference::runSiteList(ka.injector(), sites);
     auto serial_weighted =
-        faults::runWeightedSiteList(ka.injector(), weighted);
+        faults::reference::runWeightedSiteList(ka.injector(), weighted);
 
     for (unsigned workers : {4u, 7u, 8u}) {
         faults::CampaignOptions options;
@@ -149,7 +149,7 @@ TEST(CampaignEngine, RandomCampaignMatchesSerial)
     analysis::KernelAnalysis ka(*spec, apps::Scale::Small);
 
     Prng serial_prng(99);
-    auto serial = faults::runRandomCampaign(ka.injector(), ka.space(), 40,
+    auto serial = faults::reference::runRandomCampaign(ka.injector(), ka.space(), 40,
                                             serial_prng);
     // The engine must consume the caller's PRNG exactly like the serial
     // driver, leaving the stream in the same position afterwards.

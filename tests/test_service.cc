@@ -96,6 +96,7 @@ TEST(WireFormatTest, SpecRoundTripsExactly)
     spec.noSlicing = true;
     spec.noCheckpoints = true;
     spec.abortAfterSites = 123;
+    spec.cacheDir = "/tmp/fsp-section-cache";
     spec.sites = {{{3, 141, 7}, 0.25}, {{9, 2653, 31}, 1.75}};
 
     WireWriter writer;

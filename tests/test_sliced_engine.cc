@@ -18,7 +18,7 @@
 
 #include "analysis/analyzer.hh"
 #include "apps/app.hh"
-#include "faults/campaign.hh"
+#include "reference_campaign.hh"
 #include "faults/fault_space.hh"
 #include "faults/injector.hh"
 #include "faults/campaign_engine.hh"
@@ -60,8 +60,8 @@ TEST(SlicedEquivalence, EveryKernelSerialAndParallel)
         auto full = prototype.clone();
         full->setSlicingEnabled(false);
         EXPECT_FALSE(full->slicingActive());
-        CampaignResult sliced_result = runSiteList(*sliced, sites);
-        CampaignResult full_result = runSiteList(*full, sites);
+        CampaignResult sliced_result = reference::runSiteList(*sliced, sites);
+        CampaignResult full_result = reference::runSiteList(*full, sites);
         expectSameDist(sliced_result.dist, full_result.dist);
         EXPECT_EQ(sliced_result.runs, full_result.runs);
         EXPECT_EQ(full_result.injection.slicedRuns, 0u);
@@ -101,8 +101,8 @@ TEST(SlicedEquivalence, WeightedCampaignMatchesBitExactly)
     auto sliced = prototype.clone();
     auto full = prototype.clone();
     full->setSlicingEnabled(false);
-    CampaignResult a = runWeightedSiteList(*sliced, sites);
-    CampaignResult b = runWeightedSiteList(*full, sites);
+    CampaignResult a = reference::runWeightedSiteList(*sliced, sites);
+    CampaignResult b = reference::runWeightedSiteList(*full, sites);
     expectSameDist(a.dist, b.dist);
 
     // The sliced engine must have actually sliced (not silently fallen

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# End-to-end smoke of incremental campaigns: run a cold GEMM campaign
+# into a section cache, "edit" the kernel via FSP_GEMM_VARIANT (a
+# value-preserving strength reduction -- see src/apps/gemm.cc), rerun
+# with the same --cache, and assert that (a) at least half the edited
+# kernel's sites were satisfied from the cache and (b) the warm rerun's
+# profile is bit-identical to a cold run of the edited kernel.
+#
+# usage: cache_smoke.sh path/to/fsp [workdir]
+set -euo pipefail
+
+FSP=${1:?usage: cache_smoke.sh path/to/fsp [workdir]}
+WORK=${2:-$(mktemp -d)}
+mkdir -p "$WORK"
+
+KERNEL=GEMM/K1
+
+# Cold campaign of the pristine kernel primes the cache.
+"$FSP" campaign "$KERNEL" --baseline 0 --cache "$WORK/cache" \
+    --metrics-out "$WORK/cold.prom" --json > "$WORK/cold.json"
+
+# Warm campaign of the edited kernel against the primed cache.
+FSP_GEMM_VARIANT=strength-reduce \
+    "$FSP" campaign "$KERNEL" --baseline 0 --cache "$WORK/cache" \
+    --metrics-out "$WORK/warm.prom" --json > "$WORK/warm.json"
+
+# Cold oracle for the edited kernel (fresh cache directory).
+FSP_GEMM_VARIANT=strength-reduce \
+    "$FSP" campaign "$KERNEL" --baseline 0 --cache "$WORK/cache-oracle" \
+    --json > "$WORK/oracle.json"
+
+python3 - "$WORK/cold.json" "$WORK/warm.json" "$WORK/oracle.json" <<'EOF'
+import json
+import sys
+
+cold = json.load(open(sys.argv[1]))
+warm = json.load(open(sys.argv[2]))
+oracle = json.load(open(sys.argv[3]))
+
+cold_cache = cold["campaignStats"]["sectionCache"]
+if cold_cache["hits"] != 0 or cold_cache["misses"] == 0:
+    raise SystemExit("cold run should only miss: %s" % cold_cache)
+
+warm_cache = warm["campaignStats"]["sectionCache"]
+total = warm_cache["hits"] + warm_cache["misses"]
+ratio = warm_cache["hits"] / total
+print("edited-kernel rerun: %d/%d sites from cache (%.0f%%)"
+      % (warm_cache["hits"], total, 100 * ratio))
+if ratio < 0.5:
+    raise SystemExit("expected >= 50%% cache reuse, got %.0f%%"
+                     % (100 * ratio))
+
+# Reuse must not change the profile: the warm rerun of the edited
+# kernel matches its cold oracle field for field.
+for key in ("prunedEstimate", "sdc_anatomy"):
+    if warm[key] != oracle[key]:
+        raise SystemExit(
+            "%s differs:\n  warm:   %s\n  oracle: %s"
+            % (key, warm[key], oracle[key]))
+print("warm profile is bit-identical to the cold run")
+EOF
+
+# The Prometheus snapshot carries the cache counters.
+grep -q 'fsp_cache_misses_total [1-9]' "$WORK/cold.prom"
+grep -q 'fsp_cache_hits_total [1-9]' "$WORK/warm.prom"
+grep -q 'fsp_cache_bytes_total [1-9]' "$WORK/warm.prom"
+
+echo "cache smoke OK"

@@ -334,6 +334,10 @@ cmdCampaign(const Options &opts)
     if (!pruned_options.journalPath.empty())
         pruned_options.journalKey =
             analysis::campaignJournalKey(*spec, common.scale, common);
+    // --cache: the facade builds the section index for the pruned
+    // site list and the engine replays unchanged sections' outcomes.
+    if (!common.cacheDir.empty())
+        ka.setSectionCacheDir(common.cacheDir);
     faults::CampaignResult estimated;
     try {
         estimated = ka.runPrunedCampaignDetailed(pruned, pruned_options);

@@ -112,6 +112,7 @@ specFromCommon(const std::string &kernel,
     spec.bitSamples = common.pruning.bit.samples;
     spec.noSlicing = !common.campaign.allowSlicing;
     spec.noCheckpoints = !common.campaign.allowCheckpoints;
+    spec.cacheDir = common.cacheDir;
     return spec;
 }
 
