@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Partial-protection trade-off sweep (companion to the fsp protect
+ * subcommand, not a numbered paper artifact): for a set of kernels and
+ * overhead budgets, run the protection planner under both schemes and
+ * print modeled cost against the verified SDC reduction.  The sweep is
+ * the "buying resilience" curve -- how much silent corruption each
+ * additional percent of redundant execution removes.
+ *
+ * Extra knobs (on top of bench_util.hh's shared set):
+ *   FSP_PROTECT_KERNELS=A,B  comma-separated kernel list
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/protection_planner.hh"
+#include "bench_util.hh"
+#include "util/csv.hh"
+
+int
+main()
+{
+    using namespace fsp;
+
+    bench::banner("Partial protection trade-off (diagnostic)",
+                  "Modeled cost vs verified SDC reduction per budget "
+                  "and scheme (fsp protect companion)");
+
+    std::vector<std::string> kernels;
+    {
+        const char *env = std::getenv("FSP_PROTECT_KERNELS");
+        std::string list =
+            env != nullptr ? env : "GEMM/K1,PathFinder/K1";
+        std::size_t start = 0;
+        while (start < list.size()) {
+            std::size_t comma = list.find(',', start);
+            if (comma == std::string::npos)
+                comma = list.size();
+            if (comma > start)
+                kernels.push_back(list.substr(start, comma - start));
+            start = comma + 1;
+        }
+    }
+
+    const double budgets[] = {0.05, 0.1, 0.25, 0.5, 1.0};
+    const sim::ProtectionScheme schemes[] = {
+        sim::ProtectionScheme::DuplicateCompare,
+        sim::ProtectionScheme::Recompute};
+
+    CsvWriter csv({"kernel", "scheme", "budget", "modeled_cost",
+                   "protected_threads", "sdc_before", "sdc_after"});
+
+    for (const std::string &name : kernels) {
+        const apps::KernelSpec *spec = apps::findKernel(name);
+        if (spec == nullptr) {
+            std::printf("unknown kernel '%s', skipping\n", name.c_str());
+            continue;
+        }
+        analysis::KernelAnalysis ka(
+            *spec, bench::scaleFromEnv(apps::Scale::Small));
+        pruning::PruningConfig config;
+        config.seed = bench::masterSeed();
+        auto pruned = ka.prune(config);
+
+        std::printf("--- %s ---\n", name.c_str());
+        TextTable table({"scheme", "budget%", "cost%", "threads",
+                         "sdc before%", "sdc after%", "drop pp"});
+        for (sim::ProtectionScheme scheme : schemes) {
+            for (double budget : budgets) {
+                analysis::ProtectionPlannerConfig planner_config;
+                planner_config.budget = budget;
+                planner_config.scheme = scheme;
+                analysis::ProtectionPlanner planner(ka, planner_config);
+                auto outcome =
+                    planner.plan(pruned, bench::campaignOptions());
+                const double cost_frac =
+                    outcome.totalInstrs > 0.0
+                        ? outcome.modeledCost / outcome.totalInstrs
+                        : 0.0;
+                const std::size_t threads =
+                    outcome.plan ? outcome.plan->protectedThreadCount()
+                                 : 0;
+                table.addRow(
+                    {sim::protectionSchemeName(scheme),
+                     fmtFixed(100.0 * budget, 0),
+                     fmtFixed(100.0 * cost_frac, 1),
+                     std::to_string(threads),
+                     fmtFixed(100.0 * outcome.sdcBefore, 2),
+                     fmtFixed(100.0 * outcome.sdcAfter, 2),
+                     fmtFixed(100.0 * (outcome.sdcBefore -
+                                       outcome.sdcAfter),
+                              2)});
+                csv.addRow({name,
+                            sim::protectionSchemeName(scheme),
+                            fmtFixed(budget, 2),
+                            fmtFixed(cost_frac, 4),
+                            std::to_string(threads),
+                            fmtFixed(outcome.sdcBefore, 4),
+                            fmtFixed(outcome.sdcAfter, 4)});
+            }
+        }
+        table.print(std::cout);
+        std::printf("\n");
+    }
+    std::string csv_path = bench::csvPath("protect_tradeoff");
+    if (!csv_path.empty() && csv.writeFile(csv_path))
+        std::printf("CSV written to %s\n", csv_path.c_str());
+    return 0;
+}

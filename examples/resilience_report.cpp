@@ -25,29 +25,11 @@
 #include "analysis/analyzer.hh"
 #include "analysis/cli_options.hh"
 #include "analysis/observability.hh"
+#include "analysis/report.hh"
 #include "apps/app.hh"
 #include "util/cli.hh"
 #include "util/json.hh"
 #include "util/table.hh"
-
-namespace {
-
-/** Emit an outcome distribution as a named JSON object. */
-void
-writeProfile(fsp::JsonWriter &json, std::string_view key,
-             const fsp::faults::OutcomeDist &dist)
-{
-    using fsp::faults::Outcome;
-    json.beginObject(key);
-    json.field("runs", dist.runs());
-    json.field("totalWeight", dist.total());
-    json.field("masked", dist.fraction(Outcome::Masked));
-    json.field("sdc", dist.fraction(Outcome::SDC));
-    json.field("other", dist.fraction(Outcome::Other));
-    json.endObject();
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
@@ -88,13 +70,12 @@ main(int argc, char **argv)
         return 1;
     }
 
-    analysis::KernelAnalysis ka(*spec, common.scale);
     analysis::Observability obs(common.progressEvery);
-    ka.attachExecMetrics(&obs.exec);
-    if (!common.campaign.allowSlicing)
-        ka.setSlicingEnabled(false);
-    if (!common.campaign.allowCheckpoints)
-        ka.setCheckpointsEnabled(false);
+    analysis::AnalysisConfig facade;
+    facade.slicing = common.campaign.allowSlicing;
+    facade.checkpoints = common.campaign.allowCheckpoints;
+    facade.execMetrics = &obs.exec;
+    analysis::KernelAnalysis ka(*spec, common.scale, facade);
 
     // Journal (when requested) covers the pruned campaign only; the
     // baseline runs journal-less (its random site list is a different
@@ -120,7 +101,6 @@ main(int argc, char **argv)
             std::cerr << "journal error: " << error.what() << "\n";
             return 1;
         }
-        const faults::OutcomeDist &estimate = estimated.dist;
         auto pruned_stats = ka.campaignEngine(pruned_options).lastStats();
         faults::CampaignResult baseline;
         if (common.baseline > 0)
@@ -135,41 +115,21 @@ main(int argc, char **argv)
             return 1;
         }
 
-        JsonWriter json(std::cout);
-        json.beginObject();
-        json.field("kernel", spec->fullName());
-        json.field("suite", spec->suite);
-        json.field("scale", apps::scaleName(common.scale));
-        json.field("seed", common.seed);
-        json.beginObject("faultSpace");
-        json.field("threads", space.threadCount());
-        json.field("dynInstrs", space.totalDynInstrs());
-        json.field("sites", space.totalSites());
-        json.endObject();
-        json.beginObject("engine");
-        json.field("slicing", ka.injector().slicingDescription());
-        json.field("checkpoints", ka.injector().checkpointDescription());
-        json.field("slicingActive", ka.injector().slicingActive());
-        json.field("checkpointsActive",
-                   ka.injector().checkpointsActive());
-        json.field("faultModel", common.campaign.faultModelIdentity());
-        json.endObject();
-        json.beginObject("stageCounts");
-        json.field("exhaustive", pruned.counts.exhaustive);
-        json.field("afterThread", pruned.counts.afterThread);
-        json.field("afterInstruction", pruned.counts.afterInstruction);
-        json.field("afterLoop", pruned.counts.afterLoop);
-        json.field("afterBit", pruned.counts.afterBit);
-        json.endObject();
-        writeProfile(json, "prunedEstimate", estimate);
+        analysis::CampaignReport report;
+        report.spec = spec;
+        report.scale = common.scale;
+        report.seed = common.seed;
+        report.includeSuite = true;
+        report.analysis = &ka;
+        report.faultModel = common.campaign.faultModelIdentity();
+        report.space = &space;
+        report.stageCounts = &pruned.counts;
+        report.estimate = &estimated;
         if (common.baseline > 0)
-            writeProfile(json, "randomBaseline", baseline.dist);
-        estimated.anatomy.writeJson(json);
-        json.beginObject("campaignStats");
-        faults::writeCampaignStats(json, pruned_stats);
-        json.endObject();
-        obs.writeJsonSnapshot(json);
-        json.endObject();
+            report.baseline = &baseline;
+        report.stats = &pruned_stats;
+        report.obs = &obs;
+        analysis::writeCampaignReport(std::cout, report);
         return 0;
     }
 

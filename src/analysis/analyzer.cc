@@ -22,6 +22,26 @@ KernelAnalysis::KernelAnalysis(const apps::KernelSpec &spec,
         std::make_unique<sim::Executor>(setup_.program, setup_.launch);
 }
 
+KernelAnalysis::KernelAnalysis(const apps::KernelSpec &spec,
+                               apps::Scale scale,
+                               const AnalysisConfig &config,
+                               std::uint64_t input_seed)
+    : KernelAnalysis(spec, scale, input_seed)
+{
+    configure(config);
+}
+
+void
+KernelAnalysis::configure(const AnalysisConfig &config)
+{
+    applySlicing(config.slicing);
+    applyCheckpoints(config.checkpoints);
+    if (config.faultModel)
+        applyFaultModel(config.faultModel, config.modelSeed);
+    applySectionCacheDir(config.sectionCacheDir);
+    applyExecMetrics(config.execMetrics);
+}
+
 const faults::FaultSpace &
 KernelAnalysis::space()
 {
@@ -38,26 +58,38 @@ KernelAnalysis::injector()
         options.checkpoints = checkpoints_enabled_;
         injector_.emplace(setup_.program, setup_.launch, setup_.memory,
                           setup_.outputs, options);
+        // Settings stored before the first (golden-run-triggering)
+        // construction take effect now.
+        injector_->setSlicingEnabled(slicing_enabled_);
+        if (pending_model_set_) {
+            injector_->setFaultModel(pending_model_, pending_model_seed_);
+            pending_model_.reset();
+            pending_model_set_ = false;
+        }
     }
     return *injector_;
 }
 
 void
-KernelAnalysis::setSlicingEnabled(bool enabled)
+KernelAnalysis::applySlicing(bool enabled)
 {
-    injector().setSlicingEnabled(enabled);
-    // The engine's worker injectors are clones; rebuild them with the
-    // new setting on next use.
-    engine_.reset();
+    slicing_enabled_ = enabled;
+    if (injector_) {
+        injector_->setSlicingEnabled(enabled);
+        // The engine's worker injectors are clones; rebuild them with
+        // the new setting on next use.
+        engine_.reset();
+    }
 }
 
 void
-KernelAnalysis::setCheckpointsEnabled(bool enabled)
+KernelAnalysis::applyCheckpoints(bool enabled)
 {
     checkpoints_enabled_ = enabled;
-    if (injector_)
+    if (injector_) {
         injector_->setCheckpointsEnabled(enabled);
-    engine_.reset();
+        engine_.reset();
+    }
 }
 
 pruning::PruningResult
@@ -67,7 +99,7 @@ KernelAnalysis::prune(const pruning::PruningConfig &config,
     // The pipeline itself never injects, but the campaigns that follow
     // it do: honour the config's A/B switch before they run.
     if (!config.execution.checkpoints)
-        setCheckpointsEnabled(false);
+        applyCheckpoints(false);
     const faults::SlicingPlan *slicing =
         injector().slicingEnabled() ? &injector().slicingPlan() : nullptr;
     return pruning::prunePipeline(*executor_, setup_.memory, space(),
@@ -93,7 +125,11 @@ KernelAnalysis::runPrunedCampaignDetailed(
     const faults::CampaignOptions &options)
 {
     faults::CampaignOptions effective = options;
-    if (section_cache_ && !effective.sectionCache) {
+    // Never attach the section cache to a protected campaign: cache
+    // entries are recorded without protection active, so replaying them
+    // (or recording protected outcomes for later unprotected reuse)
+    // would corrupt results in both directions.
+    if (section_cache_ && !effective.sectionCache && !effective.protection) {
         if (!section_index_)
             buildSectionIndex(pruned.sites);
         effective.sectionCache = section_cache_.get();
@@ -107,7 +143,7 @@ KernelAnalysis::runPrunedCampaignDetailed(
 }
 
 void
-KernelAnalysis::setSectionCacheDir(const std::string &dir)
+KernelAnalysis::applySectionCacheDir(const std::string &dir)
 {
     if (dir.empty()) {
         section_cache_.reset();
@@ -166,11 +202,17 @@ KernelAnalysis::buildSectionIndex(
 }
 
 void
-KernelAnalysis::setFaultModel(
+KernelAnalysis::applyFaultModel(
     std::shared_ptr<const faults::FaultModel> model,
     std::uint64_t modelSeed)
 {
-    injector().setFaultModel(std::move(model), modelSeed);
+    if (!injector_) {
+        pending_model_ = std::move(model);
+        pending_model_seed_ = modelSeed;
+        pending_model_set_ = true;
+        return;
+    }
+    injector_->setFaultModel(std::move(model), modelSeed);
     // Engine workers are clones of the injector; rebuild on next use so
     // they pick the new model up.
     engine_.reset();
@@ -204,6 +246,7 @@ KernelAnalysis::campaignEngine(const faults::CampaignOptions &options)
         engine_->setObserver(options.observer);
         engine_->setSectionCache(options.sectionCache,
                                  options.sectionIndex);
+        engine_->setKeepSiteOutcomes(options.keepSiteOutcomes);
     }
     return *engine_;
 }

@@ -31,6 +31,38 @@
 
 namespace fsp::analysis {
 
+/**
+ * Everything a KernelAnalysis can be configured with, in one struct:
+ * pass it at construction or through one configure() call instead of
+ * the historical one-setter-per-knob drip (setSlicingEnabled,
+ * setCheckpointsEnabled, setFaultModel, setSectionCacheDir,
+ * attachExecMetrics -- all kept as thin deprecated shims for one
+ * release).  Fields apply lazily where the facade is lazy: engine
+ * strategy knobs take effect when the injector is first built, so
+ * configuring a fresh analysis never triggers the golden run early.
+ */
+struct AnalysisConfig
+{
+    /** Permit the CTA-sliced injection path. */
+    bool slicing = true;
+
+    /** Permit checkpoint recording and checkpointed temporal replay. */
+    bool checkpoints = true;
+
+    /** Fault-model strategy; null selects the paper's single-bit
+     * destination flip.  modelSeed seeds model randomness. */
+    std::shared_ptr<const faults::FaultModel> faultModel;
+    std::uint64_t modelSeed = 0;
+
+    /** Section-cache directory for incremental campaigns; empty
+     * disables the reuse path. */
+    std::string sectionCacheDir;
+
+    /** Counter sink for the facade's own profiling executor (must
+     * outlive the analysis); null leaves it detached. */
+    sim::ExecMetrics *execMetrics = nullptr;
+};
+
 /** One kernel's complete analysis context. */
 class KernelAnalysis
 {
@@ -45,6 +77,18 @@ class KernelAnalysis
     KernelAnalysis(const apps::KernelSpec &spec, apps::Scale scale,
                    std::uint64_t input_seed = 42);
 
+    /** As above, applying @p config before anything else runs. */
+    KernelAnalysis(const apps::KernelSpec &spec, apps::Scale scale,
+                   const AnalysisConfig &config,
+                   std::uint64_t input_seed = 42);
+
+    /**
+     * Apply a full configuration in one call.  Safe at any point;
+     * strategy changes invalidate the cached campaign engine (workers
+     * are injector clones) exactly as the individual setters did.
+     */
+    void configure(const AnalysisConfig &config);
+
     const apps::KernelSpec &spec() const { return spec_; }
     const sim::Executor &executor() const { return *executor_; }
     const sim::Program &program() const { return setup_.program; }
@@ -57,8 +101,12 @@ class KernelAnalysis
     faults::Injector &injector();
 
     /** @{ CTA-sliced engine controls (forwarded to the injector). */
-    /** Enable/disable the sliced path for this analysis. */
-    void setSlicingEnabled(bool enabled);
+    /** @deprecated Use AnalysisConfig::slicing via configure(). */
+    [[deprecated("use AnalysisConfig::slicing via configure()")]] void
+    setSlicingEnabled(bool enabled)
+    {
+        applySlicing(enabled);
+    }
 
     /** Will injection runs use the sliced path? */
     bool slicingActive() { return injector().slicingActive(); }
@@ -72,26 +120,25 @@ class KernelAnalysis
     /** @} */
 
     /** @{ Checkpointed-replay controls (forwarded to the injector). */
-    /**
-     * Enable/disable checkpointed temporal replay.  Disabling before
-     * the first injector() use also skips checkpoint recording.
-     */
-    void setCheckpointsEnabled(bool enabled);
+    /** @deprecated Use AnalysisConfig::checkpoints via configure(). */
+    [[deprecated("use AnalysisConfig::checkpoints via configure()")]] void
+    setCheckpointsEnabled(bool enabled)
+    {
+        applyCheckpoints(enabled);
+    }
 
     /** Will injection runs resume from checkpoints? */
     bool checkpointsActive() { return injector().checkpointsActive(); }
     /** @} */
 
     /** @{ Fault-model strategy (single-bit destination flip default). */
-    /**
-     * Inject every campaign under @p model.  Forwarded to the injector
-     * (and, via clone, to every campaign-engine worker built after this
-     * call); @p modelSeed seeds the model's deterministic randomness.
-     * Prefer CampaignOptions::faultModel for engine campaigns -- this
-     * facade covers ad-hoc injector use.
-     */
-    void setFaultModel(std::shared_ptr<const faults::FaultModel> model,
-                       std::uint64_t modelSeed = 0);
+    /** @deprecated Use AnalysisConfig::faultModel via configure(). */
+    [[deprecated("use AnalysisConfig::faultModel via configure()")]] void
+    setFaultModel(std::shared_ptr<const faults::FaultModel> model,
+                  std::uint64_t modelSeed = 0)
+    {
+        applyFaultModel(std::move(model), modelSeed);
+    }
 
     /** The model the facade's injector currently injects under. */
     const faults::FaultModel &faultModel() { return injector().faultModel(); }
@@ -143,7 +190,12 @@ class KernelAnalysis
      * detaches.  The index can also be built eagerly for engine
      * callers that drive CampaignOptions themselves.
      */
-    void setSectionCacheDir(const std::string &dir);
+    /** @deprecated Use AnalysisConfig::sectionCacheDir via configure(). */
+    [[deprecated("use AnalysisConfig::sectionCacheDir via configure()")]] void
+    setSectionCacheDir(const std::string &dir)
+    {
+        applySectionCacheDir(dir);
+    }
 
     faults::SectionCache *sectionCache() { return section_cache_.get(); }
 
@@ -183,13 +235,26 @@ class KernelAnalysis
      * outlive this analysis; null detaches.  Injectors build their own
      * executors, so campaign workers never touch this sink -- it only
      * counts the facade's single-threaded enumeration/profiling runs.
+     * @deprecated Use AnalysisConfig::execMetrics via configure().
      */
-    void attachExecMetrics(sim::ExecMetrics *sink)
+    [[deprecated("use AnalysisConfig::execMetrics via configure()")]] void
+    attachExecMetrics(sim::ExecMetrics *sink)
+    {
+        applyExecMetrics(sink);
+    }
+
+  private:
+    /** Non-deprecated implementations the shims and configure() share. */
+    void applySlicing(bool enabled);
+    void applyCheckpoints(bool enabled);
+    void applyFaultModel(std::shared_ptr<const faults::FaultModel> model,
+                         std::uint64_t modelSeed);
+    void applySectionCacheDir(const std::string &dir);
+    void applyExecMetrics(sim::ExecMetrics *sink)
     {
         executor_->setMetricsSink(sink);
     }
 
-  private:
     const apps::KernelSpec &spec_;
     apps::KernelSetup setup_;
     std::unique_ptr<sim::Executor> executor_;
@@ -198,6 +263,13 @@ class KernelAnalysis
     std::unique_ptr<faults::CampaignEngine> engine_;
     faults::CampaignOptions engine_options_; ///< config engine_ was built with
     bool checkpoints_enabled_ = true;
+    bool slicing_enabled_ = true;
+    /** Model configured before the injector exists; applied at its
+     *  first construction (injector()) so configuring a fresh analysis
+     *  never forces the golden run. */
+    std::shared_ptr<const faults::FaultModel> pending_model_;
+    std::uint64_t pending_model_seed_ = 0;
+    bool pending_model_set_ = false;
     std::unique_ptr<faults::SectionCache> section_cache_;
     std::optional<faults::SectionIndex> section_index_;
 };

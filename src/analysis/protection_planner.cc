@@ -1,0 +1,364 @@
+/**
+ * @file
+ * Protection planner implementation.
+ */
+
+#include "analysis/protection_planner.hh"
+
+#include <algorithm>
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "analysis/analyzer.hh"
+#include "analysis/report.hh"
+#include "util/json.hh"
+
+namespace fsp::analysis {
+
+namespace {
+
+/** One thread group under consideration, with its model numbers. */
+struct Candidate
+{
+    const pruning::ThreadGroup *group = nullptr;
+    double sdcWeight = 0.0;
+    double cost = 0.0;
+    /** Distinct SDC dynamic indices (Recompute range basis). */
+    std::vector<std::uint64_t> sdcDyns;
+
+    double
+    density() const
+    {
+        return cost > 0.0 ? sdcWeight / cost : 0.0;
+    }
+};
+
+/** Coalesce sorted distinct dyn indices into half-open runs. */
+std::vector<sim::ProtectedRange>
+coalesceRuns(const std::vector<std::uint64_t> &dyns)
+{
+    std::vector<sim::ProtectedRange> runs;
+    for (std::uint64_t dyn : dyns) {
+        if (!runs.empty() && runs.back().end == dyn)
+            runs.back().end = dyn + 1;
+        else
+            runs.push_back({dyn, dyn + 1});
+    }
+    return runs;
+}
+
+/**
+ * A partially protected group: the verification campaign splits every
+ * site of its representatives into an unprotected remainder and a
+ * clone (weight scaled by `fraction`) injected at `protectedRep`, a
+ * protected member thread.
+ */
+struct PartialSplit
+{
+    std::uint64_t protectedRep = 0;
+    double fraction = 0.0;
+};
+
+} // namespace
+
+ProtectionPlanner::ProtectionPlanner(KernelAnalysis &analysis,
+                                     ProtectionPlannerConfig config)
+    : analysis_(analysis), config_(std::move(config))
+{
+}
+
+ProtectionOutcome
+ProtectionPlanner::plan(const pruning::PruningResult &pruned,
+                        const faults::CampaignOptions &options)
+{
+    ProtectionOutcome outcome;
+    outcome.scheme = config_.scheme;
+    outcome.budgetFraction = config_.budget;
+    outcome.totalInstrs =
+        static_cast<double>(analysis_.space().totalDynInstrs());
+    outcome.budgetInstrs = config_.budget * outcome.totalInstrs;
+
+    // --- 1. Baseline campaign, keeping the per-site outcome vector the
+    // attribution below reads (parallel to pruned.sites).
+    faults::CampaignOptions base = options;
+    base.keepSiteOutcomes = true;
+    outcome.before = analysis_.runPrunedCampaignDetailed(pruned, base);
+    outcome.sdcBefore =
+        outcome.before.dist.fraction(faults::Outcome::SDC);
+
+    // --- 2. Attribute each SDC site's extrapolation weight to the
+    // thread group its (representative) thread belongs to.  The weight
+    // already stands for the whole group's fault bits, so the group
+    // total is the SDC weight the campaign would lose if every member
+    // were protected.
+    std::vector<const pruning::ThreadGroup *> groups =
+        pruned.grouping.allGroups();
+    std::unordered_map<std::uint64_t, std::size_t> group_of_thread;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        for (std::uint64_t thread : groups[g]->threads)
+            group_of_thread.emplace(thread, g);
+    }
+
+    std::unordered_map<std::size_t, Candidate> by_group;
+    const std::vector<faults::Outcome> &site_outcomes =
+        outcome.before.siteOutcomes;
+    for (std::size_t i = 0;
+         i < pruned.sites.size() && i < site_outcomes.size(); ++i) {
+        if (site_outcomes[i] != faults::Outcome::SDC)
+            continue;
+        const faults::WeightedSite &weighted = pruned.sites[i];
+        auto it = group_of_thread.find(weighted.site.thread);
+        if (it == group_of_thread.end())
+            continue;
+        Candidate &cand = by_group[it->second];
+        cand.group = groups[it->second];
+        cand.sdcWeight += weighted.weight;
+        if (config_.scheme == sim::ProtectionScheme::Recompute)
+            cand.sdcDyns.push_back(weighted.site.dynIndex);
+    }
+
+    // --- 3. Price each candidate.  Duplicate-and-compare re-executes
+    // every instruction of every member; selective recomputation only
+    // re-executes the dynamic ranges that produced SDCs, on every
+    // member (groups share iCnt and aligned control flow, so the
+    // representative's ranges transfer).
+    std::vector<Candidate> candidates;
+    candidates.reserve(by_group.size());
+    for (auto &[g, cand] : by_group) {
+        (void)g;
+        const pruning::ThreadGroup &group = *cand.group;
+        const double members =
+            static_cast<double>(group.threads.size());
+        if (config_.scheme == sim::ProtectionScheme::Recompute) {
+            std::sort(cand.sdcDyns.begin(), cand.sdcDyns.end());
+            cand.sdcDyns.erase(
+                std::unique(cand.sdcDyns.begin(), cand.sdcDyns.end()),
+                cand.sdcDyns.end());
+            cand.cost =
+                static_cast<double>(cand.sdcDyns.size()) * members;
+        } else {
+            cand.cost = static_cast<double>(group.iCnt) * members;
+        }
+        if (cand.sdcWeight > 0.0 && cand.cost > 0.0)
+            candidates.push_back(std::move(cand));
+    }
+    outcome.candidateCount = candidates.size();
+
+    // --- 4. Greedy selection by SDC weight per unit cost.  Density is
+    // per-member, so when a whole group does not fit the planner buys
+    // the k of m members the remaining budget affords (the grouping
+    // hypothesis makes members interchangeable: k/m of the weight at
+    // k/m of the cost).  Partial picks must leave every representative
+    // unprotected -- the representatives host the injected sites and
+    // carry the unprotected remainder of the split weight below.
+    // Deterministic tiebreaks: cheaper first, then lowest
+    // representative id.
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate &a, const Candidate &b) {
+                  if (a.density() != b.density())
+                      return a.density() > b.density();
+                  if (a.cost != b.cost)
+                      return a.cost < b.cost;
+                  return a.group->representative <
+                         b.group->representative;
+              });
+
+    auto plan = std::make_shared<sim::ProtectionPlan>(config_.scheme);
+    std::unordered_map<const pruning::ThreadGroup *, PartialSplit> splits;
+    for (const Candidate &cand : candidates) {
+        const pruning::ThreadGroup &group = *cand.group;
+        const std::uint64_t members =
+            static_cast<std::uint64_t>(group.threads.size());
+        const double per_member =
+            cand.cost / static_cast<double>(members);
+        const double remaining =
+            outcome.budgetInstrs - outcome.modeledCost;
+        if (remaining < per_member)
+            continue; // cheaper groups later in the ranking may fit
+        std::uint64_t afford = static_cast<std::uint64_t>(
+            remaining / per_member + 1e-9);
+        std::uint64_t k = std::min(members, afford);
+
+        std::vector<std::uint64_t> chosen;
+        if (k >= members) {
+            chosen = group.threads;
+        } else {
+            std::unordered_set<std::uint64_t> reps(
+                group.representatives.begin(),
+                group.representatives.end());
+            reps.insert(group.representative);
+            std::vector<std::uint64_t> non_reps;
+            non_reps.reserve(group.threads.size());
+            for (std::uint64_t thread : group.threads) {
+                if (reps.find(thread) == reps.end())
+                    non_reps.push_back(thread);
+            }
+            std::sort(non_reps.begin(), non_reps.end());
+            k = std::min(
+                k, static_cast<std::uint64_t>(non_reps.size()));
+            if (k == 0)
+                continue;
+            chosen.assign(non_reps.begin(),
+                          non_reps.begin() +
+                              static_cast<std::ptrdiff_t>(k));
+            splits[cand.group] = {chosen.front(),
+                                  static_cast<double>(k) /
+                                      static_cast<double>(members)};
+        }
+
+        if (config_.scheme == sim::ProtectionScheme::Recompute) {
+            std::vector<sim::ProtectedRange> runs =
+                coalesceRuns(cand.sdcDyns);
+            for (std::uint64_t thread : chosen) {
+                for (const sim::ProtectedRange &run : runs)
+                    plan->protectRange(thread, run.begin, run.end);
+            }
+        } else {
+            for (std::uint64_t thread : chosen)
+                plan->protectThread(thread);
+        }
+        const double fraction =
+            static_cast<double>(k) / static_cast<double>(members);
+        outcome.modeledCost += static_cast<double>(k) * per_member;
+        outcome.modeledSdcCovered += cand.sdcWeight * fraction;
+        outcome.selected.push_back(
+            {group.representative, group.iCnt, k, members,
+             cand.sdcWeight * fraction,
+             static_cast<double>(k) * per_member});
+    }
+
+    // --- 5. Verify: re-run the same weighted campaign with the plan
+    // active.  An empty plan cannot change anything, so the baseline
+    // result stands in for it (and a zero budget costs one campaign,
+    // not two).
+    if (plan->empty() || !config_.verify) {
+        outcome.after = outcome.before;
+        outcome.after.siteOutcomes.clear();
+    } else {
+        faults::CampaignOptions vopts = options;
+        vopts.protection = plan;
+        if (!vopts.journalPath.empty())
+            vopts.journalPath += ".protect";
+        if (splits.empty()) {
+            outcome.after =
+                analysis_.runPrunedCampaignDetailed(pruned, vopts);
+        } else {
+            // Partially protected groups: split every site hosted by
+            // the group's representatives into the unprotected
+            // remainder (weight scaled to the uncovered share, same
+            // thread) plus a protected clone injected at a protected
+            // member.  Homogeneous members share iCnt and control
+            // flow, so the representative's (dynIndex, bit) sites
+            // transfer; the verified campaign then measures the
+            // covered share empirically instead of assuming it.
+            pruning::PruningResult split;
+            split.assumedMaskedWeight = pruned.assumedMaskedWeight;
+            split.sites.reserve(pruned.sites.size() + splits.size());
+            for (const faults::WeightedSite &weighted : pruned.sites) {
+                auto git = group_of_thread.find(weighted.site.thread);
+                const PartialSplit *part = nullptr;
+                if (git != group_of_thread.end()) {
+                    auto sit = splits.find(groups[git->second]);
+                    if (sit != splits.end())
+                        part = &sit->second;
+                }
+                if (part == nullptr) {
+                    split.sites.push_back(weighted);
+                    continue;
+                }
+                faults::WeightedSite unprotected = weighted;
+                unprotected.weight =
+                    weighted.weight * (1.0 - part->fraction);
+                faults::WeightedSite covered = weighted;
+                covered.site.thread = part->protectedRep;
+                covered.weight = weighted.weight * part->fraction;
+                split.sites.push_back(unprotected);
+                split.sites.push_back(covered);
+            }
+            outcome.after =
+                analysis_.runPrunedCampaignDetailed(split, vopts);
+        }
+        outcome.verified = true;
+    }
+    if (!plan->empty())
+        outcome.plan = plan;
+    outcome.before.siteOutcomes.clear();
+    outcome.sdcAfter = outcome.after.dist.fraction(faults::Outcome::SDC);
+
+    if (config_.metrics != nullptr) {
+        metrics::Registry &reg = *config_.metrics;
+        reg.set(reg.gauge("fsp_protect_budget_instrs",
+                          "overhead budget in dynamic instructions"),
+                outcome.budgetInstrs);
+        reg.set(reg.gauge("fsp_protect_modeled_cost_instrs",
+                          "modeled overhead of the selected set"),
+                outcome.modeledCost);
+        reg.set(reg.gauge("fsp_protect_candidate_groups",
+                          "thread groups with attributable SDC weight"),
+                static_cast<double>(outcome.candidateCount));
+        reg.set(reg.gauge("fsp_protect_selected_groups",
+                          "thread groups selected for protection"),
+                static_cast<double>(outcome.selected.size()));
+        reg.set(reg.gauge("fsp_protect_protected_threads",
+                          "threads covered by the protection plan"),
+                outcome.plan ? static_cast<double>(
+                                   outcome.plan->protectedThreadCount())
+                             : 0.0);
+        reg.set(reg.gauge("fsp_protect_sdc_before",
+                          "SDC fraction without protection"),
+                outcome.sdcBefore);
+        reg.set(reg.gauge("fsp_protect_sdc_after",
+                          "SDC fraction with the plan active"),
+                outcome.sdcAfter);
+    }
+    return outcome;
+}
+
+void
+writeProtectionReport(JsonWriter &json, const ProtectionOutcome &outcome)
+{
+    json.beginObject("protection");
+    json.field("scheme", sim::protectionSchemeName(outcome.scheme));
+    json.field("budgetFraction", outcome.budgetFraction);
+    json.field("totalDynInstrs", outcome.totalInstrs);
+    json.field("budgetInstrs", outcome.budgetInstrs);
+    json.field("candidateGroups",
+               static_cast<std::uint64_t>(outcome.candidateCount));
+    json.field("modeledCostInstrs", outcome.modeledCost);
+    json.field("modeledCostFraction",
+               outcome.totalInstrs > 0.0
+                   ? outcome.modeledCost / outcome.totalInstrs
+                   : 0.0);
+    json.field("modeledSdcCovered", outcome.modeledSdcCovered);
+    json.beginArray("selectedGroups");
+    for (const SelectedGroup &group : outcome.selected) {
+        json.beginObject();
+        json.field("representative", group.representative);
+        json.field("iCnt", group.iCnt);
+        json.field("protectedThreads", group.threadCount);
+        json.field("groupThreads", group.groupThreads);
+        json.field("sdcWeight", group.sdcWeight);
+        json.field("costInstrs", group.cost);
+        json.endObject();
+    }
+    json.endArray();
+    json.beginArray("protectedThreads");
+    if (outcome.plan) {
+        for (std::uint64_t thread : outcome.plan->protectedThreads())
+            json.value(thread);
+    }
+    json.endArray();
+    json.field("verified", outcome.verified);
+    json.field("sdcBefore", outcome.sdcBefore);
+    json.field("sdcAfter", outcome.sdcAfter);
+    json.field("sdcReduction", outcome.sdcBefore - outcome.sdcAfter);
+    json.field("detectedFaults",
+               outcome.after.injection.detectedFaults);
+    json.endObject();
+    writeOutcomeProfile(json, "unprotectedProfile", outcome.before.dist);
+    writeOutcomeProfile(json, "protectedProfile", outcome.after.dist);
+}
+
+} // namespace fsp::analysis

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Partial thread protection planner: turn a baseline campaign's
+ * per-thread resilience profile into a protection scheme that buys the
+ * largest SDC reduction a given overhead budget can afford, then prove
+ * the purchase by re-running the campaign with the scheme active.
+ *
+ * The paper's pruning machinery already ranks where silent corruptions
+ * come from -- thread groups with identical iCnt share resilience, and
+ * every pruned-campaign site carries the extrapolation weight of the
+ * group it represents.  The planner inverts that analysis: attribute
+ * the baseline's SDC weight to the thread group each faulty site
+ * belongs to, price protecting the whole group under the chosen scheme
+ * (duplicate-and-compare doubles every member instruction; selective
+ * recomputation re-executes only the dynamic ranges that produced
+ * SDCs), and greedily select groups by SDC-weight-per-cost until the
+ * budget -- a fraction of the kernel's total dynamic instructions --
+ * is exhausted.
+ *
+ * Selection is member-granular.  When the remaining budget cannot
+ * afford a whole group, the planner protects the k of m member threads
+ * it can pay for; under the grouping hypothesis the members are
+ * statistically interchangeable, so the protected slice covers k/m of
+ * the group's SDC weight at k/m of its cost.  Kernels whose threads
+ * all collapse into one group (GEMM at small scale) stay plannable at
+ * any budget instead of degenerating to all-or-nothing.
+ *
+ * Selection is a model; the verdict is empirical.  The planner builds
+ * a sim::ProtectionPlan from the selected set and re-runs the same
+ * weighted campaign with protection active: faults that fire inside
+ * the protected coverage are suppressed (counted as detections) and
+ * the run classifies as if the fault never happened.  The report pairs
+ * the modeled cost with the achieved SDC drop so a user can see both
+ * sides of the trade.
+ */
+
+#ifndef FSP_ANALYSIS_PROTECTION_PLANNER_HH
+#define FSP_ANALYSIS_PROTECTION_PLANNER_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "faults/campaign_engine.hh"
+#include "pruning/pipeline.hh"
+#include "sim/protection.hh"
+#include "util/metrics.hh"
+
+namespace fsp {
+class JsonWriter;
+} // namespace fsp
+
+namespace fsp::analysis {
+
+class KernelAnalysis;
+
+/** Planner knobs. */
+struct ProtectionPlannerConfig
+{
+    /**
+     * Overhead budget as a fraction of the kernel's total golden
+     * dynamic instruction count.  0 buys nothing; 1 affords
+     * duplicating every thread.
+     */
+    double budget = 0.25;
+
+    /** Protection mechanism the plan models and simulates. */
+    sim::ProtectionScheme scheme = sim::ProtectionScheme::DuplicateCompare;
+
+    /**
+     * Re-run the campaign with the plan active to measure the achieved
+     * SDC reduction.  Off skips the verification campaign (the report
+     * then carries the modeled numbers only).
+     */
+    bool verify = true;
+
+    /** Optional gauge sink for the planner's own metrics. */
+    metrics::Registry *metrics = nullptr;
+};
+
+/**
+ * One thread group the planner selected for protection.  threadCount <
+ * groupThreads marks a partial selection: only that many members are
+ * protected and sdcWeight/cost carry the prorated share.
+ */
+struct SelectedGroup
+{
+    std::uint64_t representative = 0; ///< primary injected member
+    std::uint64_t iCnt = 0;           ///< per-member dynamic instrs
+    std::uint64_t threadCount = 0;    ///< members covered by the plan
+    std::uint64_t groupThreads = 0;   ///< total members in the group
+    double sdcWeight = 0.0;           ///< baseline SDC weight covered
+    double cost = 0.0;                ///< modeled overhead (dyn instrs)
+};
+
+/** The planner's full result: model, plan, and (optionally) proof. */
+struct ProtectionOutcome
+{
+    sim::ProtectionScheme scheme =
+        sim::ProtectionScheme::DuplicateCompare;
+    double budgetFraction = 0.0;
+    double totalInstrs = 0.0;   ///< kernel total golden dyn instrs
+    double budgetInstrs = 0.0;  ///< budgetFraction * totalInstrs
+
+    std::size_t candidateCount = 0; ///< groups with attributable SDC
+    std::vector<SelectedGroup> selected;
+    double modeledCost = 0.0;       ///< sum of selected costs
+    double modeledSdcCovered = 0.0; ///< sum of selected SDC weight
+
+    /** The simulated scheme (empty when nothing fit the budget). */
+    std::shared_ptr<const sim::ProtectionPlan> plan;
+
+    /** Baseline (unprotected) campaign result. */
+    faults::CampaignResult before;
+
+    /** Protected re-run; equals `before` when skipped or plan empty. */
+    faults::CampaignResult after;
+    bool verified = false; ///< `after` came from a protected campaign
+
+    /** @{ SDC fraction of the weighted profile, convenience. */
+    double sdcBefore = 0.0;
+    double sdcAfter = 0.0;
+    /** @} */
+};
+
+/**
+ * Plans and verifies partial thread protection for one kernel.
+ * Construction is cheap; plan() runs the campaigns through the
+ * analysis facade (sharing its injector/engine cache).
+ */
+class ProtectionPlanner
+{
+  public:
+    ProtectionPlanner(KernelAnalysis &analysis,
+                      ProtectionPlannerConfig config);
+
+    /**
+     * Run the whole pipeline against the pruned site list: baseline
+     * campaign (with per-site outcomes kept), attribution, greedy
+     * selection, and -- when configured -- the protected verification
+     * campaign.
+     *
+     * @p options configures both campaigns (workers, journal, ...).
+     * The baseline uses the options verbatim; the verification run
+     * appends ".protect" to any journal path so the two campaigns
+     * never share a journal, and folds the plan identity into the
+     * journal key so a stale protect journal cannot resume under a
+     * different plan.  The analysis facade keeps its section cache
+     * away from the protected run.
+     */
+    ProtectionOutcome plan(const pruning::PruningResult &pruned,
+                           const faults::CampaignOptions &options);
+
+  private:
+    KernelAnalysis &analysis_;
+    ProtectionPlannerConfig config_;
+};
+
+/**
+ * Emit the planner outcome inside the currently open JSON object: the
+ * "protection" block (scheme, budget, modeled cost, selected groups,
+ * protected thread set) plus "unprotectedProfile" / "protectedProfile"
+ * outcome distributions and the achieved-vs-modeled comparison.
+ */
+void writeProtectionReport(JsonWriter &json,
+                           const ProtectionOutcome &outcome);
+
+} // namespace fsp::analysis
+
+#endif // FSP_ANALYSIS_PROTECTION_PLANNER_HH

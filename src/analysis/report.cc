@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Unified --json campaign report implementation.
+ */
+
+#include "analysis/report.hh"
+
+#include "analysis/analyzer.hh"
+#include "analysis/observability.hh"
+#include "util/json.hh"
+
+namespace fsp::analysis {
+
+void
+writeOutcomeProfile(JsonWriter &json, std::string_view key,
+                    const faults::OutcomeDist &dist)
+{
+    json.beginObject(key);
+    json.field("runs", dist.runs());
+    json.field("totalWeight", dist.total());
+    json.field("masked", dist.fraction(faults::Outcome::Masked));
+    json.field("sdc", dist.fraction(faults::Outcome::SDC));
+    json.field("other", dist.fraction(faults::Outcome::Other));
+    json.endObject();
+}
+
+void
+writeCampaignReport(std::ostream &out, const CampaignReport &report)
+{
+    JsonWriter json(out);
+    json.beginObject();
+    json.field("kernel", report.spec->fullName());
+    if (report.includeSuite)
+        json.field("suite", report.spec->suite);
+    json.field("scale", apps::scaleName(report.scale));
+    json.field("seed", report.seed);
+
+    if (report.space != nullptr) {
+        json.beginObject("faultSpace");
+        json.field("threads", report.space->threadCount());
+        json.field("dynInstrs", report.space->totalDynInstrs());
+        json.field("sites", report.space->totalSites());
+        json.endObject();
+    }
+
+    if (report.analysis != nullptr) {
+        faults::Injector &injector = report.analysis->injector();
+        json.beginObject("engine");
+        json.field("slicing", injector.slicingDescription());
+        json.field("checkpoints", injector.checkpointDescription());
+        json.field("slicingActive", injector.slicingActive());
+        json.field("checkpointsActive", injector.checkpointsActive());
+        json.field("faultModel", report.faultModel);
+        if (report.stats != nullptr) {
+            json.field("workers", static_cast<std::uint64_t>(
+                                      report.stats->workers));
+        }
+        json.endObject();
+    }
+
+    if (report.stageCounts != nullptr) {
+        const pruning::StageCounts &c = *report.stageCounts;
+        json.beginObject("stageCounts");
+        json.field("exhaustive", c.exhaustive);
+        json.field("afterThread", c.afterThread);
+        json.field("afterInstruction", c.afterInstruction);
+        json.field("afterLoop", c.afterLoop);
+        json.field("afterBit", c.afterBit);
+        json.endObject();
+    }
+
+    if (report.estimate != nullptr)
+        writeOutcomeProfile(json, "prunedEstimate", report.estimate->dist);
+    if (report.baseline != nullptr)
+        writeOutcomeProfile(json, "randomBaseline", report.baseline->dist);
+    if (report.estimate != nullptr)
+        report.estimate->anatomy.writeJson(json);
+
+    if (report.stats != nullptr) {
+        json.beginObject("campaignStats");
+        faults::writeCampaignStats(json, *report.stats);
+        json.endObject();
+    }
+
+    if (report.extra)
+        report.extra(json);
+
+    if (report.obs != nullptr)
+        report.obs->writeJsonSnapshot(json);
+    json.endObject();
+}
+
+} // namespace fsp::analysis

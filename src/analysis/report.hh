@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The tools' unified --json campaign report.  tools/fsp (campaign and
+ * protect subcommands) and examples/resilience_report used to carry
+ * near-identical hand-rolled writers; this module owns the document
+ * shape so every front end emits the same fields for the same data and
+ * a consumer can parse any of them with one schema.
+ *
+ * The report is assembled from optional sections: only the blocks
+ * whose inputs are supplied appear in the output, so the lightweight
+ * fsp report and the exhaustive resilience_report differ only in what
+ * they fill in, not in how it is spelled.
+ */
+
+#ifndef FSP_ANALYSIS_REPORT_HH
+#define FSP_ANALYSIS_REPORT_HH
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "apps/app.hh"
+#include "faults/campaign_engine.hh"
+#include "pruning/pipeline.hh"
+
+namespace fsp {
+class JsonWriter;
+} // namespace fsp
+
+namespace fsp::analysis {
+
+class KernelAnalysis;
+struct Observability;
+
+/**
+ * Emit an outcome distribution as a named JSON object:
+ * { runs, totalWeight, masked, sdc, other }.
+ */
+void writeOutcomeProfile(JsonWriter &json, std::string_view key,
+                         const faults::OutcomeDist &dist);
+
+/**
+ * Everything writeCampaignReport() can render.  Pointer fields are
+ * optional: leave one null and its section is omitted.  All referenced
+ * objects must outlive the write call; nothing is owned.
+ */
+struct CampaignReport
+{
+    /** Kernel identity (required). */
+    const apps::KernelSpec *spec = nullptr;
+    apps::Scale scale = apps::Scale::Small;
+    std::uint64_t seed = 0;
+
+    /** Include the kernel's suite name (resilience_report style). */
+    bool includeSuite = false;
+
+    /** Engine block source (slicing/checkpoint/model description). */
+    KernelAnalysis *analysis = nullptr;
+    std::string faultModel;
+
+    /** "faultSpace" block: threads / dynInstrs / sites. */
+    const faults::FaultSpace *space = nullptr;
+
+    /** "stageCounts" block (Fig. 10 series). */
+    const pruning::StageCounts *stageCounts = nullptr;
+
+    /** "prunedEstimate" profile plus the SDC anatomy block. */
+    const faults::CampaignResult *estimate = nullptr;
+
+    /** "randomBaseline" profile. */
+    const faults::CampaignResult *baseline = nullptr;
+
+    /** "campaignStats" block (also fills engine.workers). */
+    const faults::CampaignStats *stats = nullptr;
+
+    /** "metricsSnapshot" block. */
+    const Observability *obs = nullptr;
+
+    /**
+     * Report-specific body, emitted between the shared sections and
+     * the metrics snapshot.  `fsp protect` injects its protection
+     * block (selected set, modeled vs achieved cost) here.
+     */
+    std::function<void(JsonWriter &)> extra;
+};
+
+/**
+ * Write the whole report as one JSON document (trailing newline
+ * included) to @p out.
+ */
+void writeCampaignReport(std::ostream &out, const CampaignReport &report);
+
+} // namespace fsp::analysis
+
+#endif // FSP_ANALYSIS_REPORT_HH

@@ -205,6 +205,8 @@ CampaignEngine::CampaignEngine(const Injector &prototype,
             injectors_.back()->setFaultModel(options_.faultModel,
                                              options_.journalKey.seed);
         }
+        if (options_.protection)
+            injectors_.back()->setProtectionPlan(options_.protection);
     }
 }
 
@@ -374,9 +376,16 @@ CampaignEngine::runCampaign(
     std::optional<CampaignJournal> journal;
     CampaignJournal::Resume resume;
     if (!options_.journalPath.empty()) {
+        // A protected campaign classifies differently, so its journal
+        // must never resume an unprotected one (or one protected by a
+        // different plan): fold the plan identity into the key tag.
+        JournalKey key = options_.journalKey;
+        if (options_.protection) {
+            key.tag += "|protect:" +
+                       std::to_string(options_.protection->identityHash());
+        }
         std::uint64_t hash =
-            journalHeaderHash(options_.journalKey, count, siteAt,
-                              weightAt);
+            journalHeaderHash(key, count, siteAt, weightAt);
         std::uint64_t model_hash =
             injectors_[0]->faultModel().identityHash();
         if (options_.resume) {
@@ -553,6 +562,8 @@ CampaignEngine::runCampaign(
         }
     }
     result.injection = stats_.injection;
+    if (options_.keepSiteOutcomes)
+        result.siteOutcomes = outcomes;
     stats_.foldSeconds = secondsSince(t_fold);
     stats_.elapsedSeconds = secondsSince(t_start);
 

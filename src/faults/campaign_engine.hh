@@ -79,6 +79,15 @@ struct CampaignResult
      * a journal, or satisfied from the section cache.
      */
     SdcAnatomyProfile anatomy;
+
+    /**
+     * Per-site outcomes in original site-list order, filled only when
+     * CampaignOptions::keepSiteOutcomes is set; covers every site --
+     * injected, journal-replayed, or cache-replayed alike.  The
+     * protection planner consumes this to attribute SDC weight to
+     * threads.
+     */
+    std::vector<Outcome> siteOutcomes;
 };
 
 /**
@@ -173,6 +182,25 @@ struct CampaignOptions
      */
     std::shared_ptr<const FaultModel> faultModel;
 
+    /**
+     * Protection plan applied to every worker injector; null runs the
+     * campaign unprotected.  Faults firing inside the plan's coverage
+     * are suppressed (classified Masked, counted as detections), so --
+     * unlike the observer or the section cache -- this changes results:
+     * it participates in sameEngineConfig(), and the plan's identity
+     * hash is folded into the journal tag so a protected journal never
+     * resumes an unprotected campaign or vice versa.
+     */
+    std::shared_ptr<const sim::ProtectionPlan> protection;
+
+    /**
+     * Fill CampaignResult::siteOutcomes with each site's outcome in
+     * original list order.  Result-neutral (the fold is unchanged):
+     * ignored by sameEngineConfig() and re-targetable on a cached
+     * engine via setKeepSiteOutcomes().
+     */
+    bool keepSiteOutcomes = false;
+
     /** @{ Durable sessions (crash-safe result journal). */
     /** On-disk journal path; empty disables journaling. */
     std::string journalPath;
@@ -213,7 +241,8 @@ struct CampaignOptions
                journalKey.tag == other.journalKey.tag &&
                journalKey.seed == other.journalKey.seed &&
                abortAfterSites == other.abortAfterSites &&
-               faultModelIdentity() == other.faultModelIdentity();
+               faultModelIdentity() == other.faultModelIdentity() &&
+               protectionIdentity() == other.protectionIdentity();
     }
 
     /** Identity of the effective model (default when faultModel null). */
@@ -221,6 +250,13 @@ struct CampaignOptions
     faultModelIdentity() const
     {
         return faultModel ? faultModel->identity() : "single-bit()";
+    }
+
+    /** Identity of the protection plan; empty when unprotected. */
+    std::string
+    protectionIdentity() const
+    {
+        return protection ? protection->identity() : std::string();
     }
 };
 
@@ -335,7 +371,19 @@ class CampaignEngine
         options_.sectionCache = cache;
         options_.sectionIndex = index;
     }
+
+    void setKeepSiteOutcomes(bool keep)
+    {
+        options_.keepSiteOutcomes = keep;
+    }
     /** @} */
+
+    /** The protection plan every worker injects under; may be null. */
+    std::shared_ptr<const sim::ProtectionPlan>
+    protectionPlan() const
+    {
+        return injectors_[0]->protectionPlan();
+    }
 
     unsigned workerCount() const { return pool_.workerCount(); }
 

@@ -16,7 +16,7 @@ namespace fsp::faults {
 
 // Trips when a counter is added to InjectionStats without updating
 // merge(), since(), summary() and the tools' JSON emission.
-static_assert(sizeof(InjectionStats) == 9 * sizeof(std::uint64_t),
+static_assert(sizeof(InjectionStats) == 10 * sizeof(std::uint64_t),
               "InjectionStats field list changed: update merge(), "
               "since(), summary() and writeInjectionStats()");
 
@@ -32,6 +32,7 @@ InjectionStats::merge(const InjectionStats &other)
     restoredBytes += other.restoredBytes;
     checkpointRestores += other.checkpointRestores;
     skippedDynInstrs += other.skippedDynInstrs;
+    detectedFaults += other.detectedFaults;
 }
 
 InjectionStats
@@ -47,6 +48,7 @@ InjectionStats::since(const InjectionStats &before) const
     delta.restoredBytes = restoredBytes - before.restoredBytes;
     delta.checkpointRestores = checkpointRestores - before.checkpointRestores;
     delta.skippedDynInstrs = skippedDynInstrs - before.skippedDynInstrs;
+    delta.detectedFaults = detectedFaults - before.detectedFaults;
     return delta;
 }
 
@@ -58,7 +60,8 @@ InjectionStats::summary() const
         buf, sizeof(buf),
         "injections %llu | sliced %llu | full-grid %llu | "
         "hazard-fallbacks %llu | invalid %llu | ctas %llu | "
-        "restored %llu B | ckpt-restores %llu | skipped %llu instrs",
+        "restored %llu B | ckpt-restores %llu | skipped %llu instrs | "
+        "detected %llu",
         static_cast<unsigned long long>(injections),
         static_cast<unsigned long long>(slicedRuns),
         static_cast<unsigned long long>(fullGridRuns),
@@ -67,7 +70,8 @@ InjectionStats::summary() const
         static_cast<unsigned long long>(executedCtas),
         static_cast<unsigned long long>(restoredBytes),
         static_cast<unsigned long long>(checkpointRestores),
-        static_cast<unsigned long long>(skippedDynInstrs));
+        static_cast<unsigned long long>(skippedDynInstrs),
+        static_cast<unsigned long long>(detectedFaults));
     return buf;
 }
 
@@ -83,6 +87,7 @@ writeInjectionStats(JsonWriter &json, const InjectionStats &stats)
     json.field("restoredBytes", stats.restoredBytes);
     json.field("checkpointRestores", stats.checkpointRestores);
     json.field("skippedDynInstrs", stats.skippedDynInstrs);
+    json.field("detectedFaults", stats.detectedFaults);
 }
 
 sim::LaunchConfig
@@ -272,9 +277,11 @@ Injector::classifyFullGrid(const FaultSite &site,
         // space (worth a warning); richer models reach this state
         // legitimately -- e.g. a barrier-skip site in a thread with no
         // barrier left, or a stuck-at mask beyond the destination
-        // width -- and the run is trivially fault-free.
+        // width -- and the run is trivially fault-free.  A detection
+        // means the fault did fire but the protection plan suppressed
+        // it, which is the expected path of a protected campaign.
         if (plan.kind == sim::FaultKind::DestReg &&
-            model_->kind() == "single-bit") {
+            model_->kind() == "single-bit" && !plan.detected) {
             warn("fault plan not applied: thread ", site.thread, " dyn ",
                  site.dynIndex, " bit ", site.bit);
         }
@@ -345,9 +352,11 @@ Injector::inject(const FaultSite &site, InjectionDetail *detail)
                     {cta, checkpoint->ctaDynInstrs, observer_worker_});
             }
             result = executor_.run(scratch_, nullptr, &plan, &slice,
-                                   &checkpoint->state);
+                                   &checkpoint->state,
+                                   protection_.get());
         } else {
-            result = executor_.run(scratch_, nullptr, &plan, &slice);
+            result = executor_.run(scratch_, nullptr, &plan, &slice,
+                                   nullptr, protection_.get());
         }
         // Machine-state pages copied out of the snapshot count toward
         // the restore traffic, same as memory-image bytes.
@@ -356,13 +365,15 @@ Injector::inject(const FaultSite &site, InjectionDetail *detail)
 
         if (result.status != sim::RunStatus::SliceHazard) {
             stats_.slicedRuns++;
+            if (plan.detected)
+                stats_.detectedFaults++;
             if (detail)
                 detail->staticIndex = plan.appliedStatic;
             if (result.status != sim::RunStatus::Completed)
                 return Outcome::Other;
             if (!plan.applied) {
                 if (plan.kind == sim::FaultKind::DestReg &&
-                    model_->kind() == "single-bit") {
+                    model_->kind() == "single-bit" && !plan.detected) {
                     warn("fault plan not applied: thread ", site.thread,
                          " dyn ", site.dynIndex, " bit ", site.bit);
                 }
@@ -400,13 +411,16 @@ Injector::inject(const FaultSite &site, InjectionDetail *detail)
                 {cta, checkpoint->ctaDynInstrs, observer_worker_});
         }
         result = executor_.run(scratch_, nullptr, &plan, nullptr,
-                               &checkpoint->state);
+                               &checkpoint->state, protection_.get());
     } else {
-        result = executor_.run(scratch_, nullptr, &plan);
+        result = executor_.run(scratch_, nullptr, &plan, nullptr,
+                               nullptr, protection_.get());
     }
     stats_.restoredBytes += result.restoredStateBytes;
     stats_.fullGridRuns++;
     stats_.executedCtas += result.executedCtas;
+    if (plan.detected)
+        stats_.detectedFaults++;
     if (detail)
         detail->staticIndex = plan.appliedStatic;
     return classifyFullGrid(site, plan, result, detail);

@@ -62,6 +62,7 @@ struct InjectionStats
     std::uint64_t restoredBytes = 0;   ///< bytes copied by restore/delta
     std::uint64_t checkpointRestores = 0; ///< runs resumed from a checkpoint
     std::uint64_t skippedDynInstrs = 0;   ///< golden instrs not re-executed
+    std::uint64_t detectedFaults = 0; ///< suppressed by a protection plan
 
     /** Accumulate another tally into this one. */
     void merge(const InjectionStats &other);
@@ -150,6 +151,22 @@ class Injector
     std::shared_ptr<const FaultModel> faultModelPtr() const
     {
         return model_;
+    }
+    /** @} */
+
+    /** @{ Protection-plan selection (none by default).  Faults firing
+     *  inside the plan's coverage are suppressed and counted as
+     *  detections (stats().detectedFaults); the run then classifies
+     *  against golden outputs exactly as if the fault never fired.
+     *  Immutable once set, shared across clone()s like the model. */
+    void
+    setProtectionPlan(std::shared_ptr<const sim::ProtectionPlan> plan)
+    {
+        protection_ = std::move(plan);
+    }
+    std::shared_ptr<const sim::ProtectionPlan> protectionPlan() const
+    {
+        return protection_;
     }
     /** @} */
 
@@ -280,6 +297,8 @@ class Injector
     bool checkpoints_enabled_ = true;
     /** Immutable strategy, shared across clone()s. */
     std::shared_ptr<const FaultModel> model_;
+    /** Immutable protection set, shared across clone()s; may be null. */
+    std::shared_ptr<const sim::ProtectionPlan> protection_;
     /** Launch facts handed to the model; goldenICnt stays per-clone. */
     ModelContext model_ctx_;
     InjectionStats stats_;

@@ -58,12 +58,11 @@ CampaignContext::fromSpec(const CampaignSpec &spec)
 
     // Same constructor seeding and slicing/checkpoint ordering as
     // tools/fsp.cc cmdCampaign: facade knobs before prune.
+    analysis::AnalysisConfig facade;
+    facade.slicing = common.campaign.allowSlicing;
+    facade.checkpoints = common.campaign.allowCheckpoints;
     ctx.analysis = std::make_unique<analysis::KernelAnalysis>(
-        *ctx.spec, common.scale, common.seed + 41);
-    if (!common.campaign.allowSlicing)
-        ctx.analysis->setSlicingEnabled(false);
-    if (!common.campaign.allowCheckpoints)
-        ctx.analysis->setCheckpointsEnabled(false);
+        *ctx.spec, common.scale, facade, common.seed + 41);
 
     if (spec.kind == CampaignSpec::Kind::Prune) {
         pruning::PruningResult pruned =
@@ -184,7 +183,11 @@ runShardWorker(const ShardWorkerArgs &args)
             // cache's append-only store files make concurrent writers
             // from separate processes safe, and the shard only
             // indexes the threads its own sites touch.
-            ctx.analysis->setSectionCacheDir(spec.cacheDir);
+            analysis::AnalysisConfig facade;
+            facade.slicing = ctx.common.campaign.allowSlicing;
+            facade.checkpoints = ctx.common.campaign.allowCheckpoints;
+            facade.sectionCacheDir = spec.cacheDir;
+            ctx.analysis->configure(facade);
             options.sectionCache = ctx.analysis->sectionCache();
             options.sectionIndex =
                 &ctx.analysis->buildSectionIndex(entry.sites);

@@ -26,6 +26,7 @@
 
 #include "sim/decoded.hh"
 #include "sim/fault.hh"
+#include "sim/protection.hh"
 #include "sim/machine_state.hh"
 #include "sim/memory.hh"
 #include "sim/program.hh"
@@ -104,6 +105,7 @@ struct CtaContext
     std::uint64_t budget = kDefaultBudget;
     const TraceOptions *opts = nullptr;
     FaultPlan *fault = nullptr;
+    const ProtectionPlan *protection = nullptr;
     TraceData *trace = nullptr;
     std::string diagnostic{};
 
@@ -223,6 +225,16 @@ noteApplied(FaultPlan &fault, std::uint32_t static_index)
     }
 }
 
+/** Record a plan's first suppressed-by-protection detection. */
+inline void
+noteDetected(FaultPlan &fault, std::uint32_t static_index)
+{
+    if (!fault.detected) {
+        fault.detected = true;
+        fault.detectedStatic = static_index;
+    }
+}
+
 /**
  * Corrupt a just-written destination value per the plan.  Covers the
  * transient XOR model (DestReg, the paper's default) and the stuck-at
@@ -268,6 +280,37 @@ inline bool
 isDestKind(FaultKind kind)
 {
     return kind == FaultKind::DestReg || kind == FaultKind::DestRegStuck;
+}
+
+/**
+ * Corrupt-or-detect for a just-written destination value: the single
+ * hook both engines call from every writeback site.  When the plan is
+ * not a destination kind or would not fire here, nothing happens.
+ * When it fires under protection coverage the corruption is suppressed
+ * and recorded as a detection (the value stays golden); otherwise the
+ * corruption commits and is recorded as applied.
+ *
+ * @return true when @p value was actually corrupted.
+ */
+inline bool
+applyDestFault(std::uint64_t &value, CtaContext &ctx,
+               std::uint64_t dyn_index, unsigned recorded_bits,
+               std::uint32_t static_index)
+{
+    FaultPlan &fault = *ctx.fault;
+    if (!isDestKind(fault.kind))
+        return false;
+    std::uint64_t probe = value;
+    if (!corruptDest(probe, fault, dyn_index, recorded_bits))
+        return false;
+    if (ctx.protection != nullptr &&
+        ctx.protection->covers(fault.thread, dyn_index, fault.kind)) {
+        noteDetected(fault, static_index);
+        return false;
+    }
+    value = probe;
+    noteApplied(fault, static_index);
+    return true;
 }
 
 /**

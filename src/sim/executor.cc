@@ -307,12 +307,24 @@ applyReachFault(CtaContext &ctx, std::uint64_t &pc, std::uint8_t *ccs,
             static_cast<std::uint8_t>(fault.mask & 0xF);
         if (mask == 0)
             return false;
+        if (ctx.protection != nullptr &&
+            ctx.protection->covers(fault.thread, fault.dynIndex,
+                                   fault.kind)) {
+            noteDetected(fault, static_index);
+            return false;
+        }
         ccs[fault.reg % kNumPredRegs] ^= mask;
         noteApplied(fault, static_index);
         return false;
       }
 
       case FaultKind::PcState:
+        if (ctx.protection != nullptr &&
+            ctx.protection->covers(fault.thread, fault.dynIndex,
+                                   fault.kind)) {
+            noteDetected(fault, static_index);
+            return false;
+        }
         // Record the instruction the thread was about to execute; a
         // flipped pc past the code makes the thread exit (implicit
         // wild-jump exit), which the loop's bounds check handles.
@@ -490,21 +502,19 @@ readX(const XSrc &s, const std::uint64_t *R, const std::uint8_t *P,
         if (op->destKind == DecodedOp::Dest::Gp) [[likely]] {           \
             R[op->destReg] = wb_value_;                                 \
             recorded = op->recordedBits;                                \
-            if (kFault && isDestKind(ctx.fault->kind) &&                \
-                corruptDest(R[op->destReg], *ctx.fault, dyn_index,      \
-                            recorded)) {                                \
-                noteApplied(*ctx.fault, op->staticIndex);               \
+            if (kFault) {                                               \
+                applyDestFault(R[op->destReg], ctx, dyn_index,          \
+                               recorded, op->staticIndex);              \
             }                                                           \
         } else if (op->destKind == DecodedOp::Dest::Pred) {             \
             P[op->destReg] = ccFromValue(                               \
                 wb_value_, static_cast<DataType>(op->ccType));          \
             recorded = op->recordedBits;                                \
-            if (kFault && isDestKind(ctx.fault->kind)) {                \
+            if (kFault) {                                               \
                 std::uint64_t cc = P[op->destReg];                      \
-                if (corruptDest(cc, *ctx.fault, dyn_index,              \
-                                recorded)) {                            \
+                if (applyDestFault(cc, ctx, dyn_index, recorded,        \
+                                   op->staticIndex)) {                  \
                     P[op->destReg] = static_cast<std::uint8_t>(cc);     \
-                    noteApplied(*ctx.fault, op->staticIndex);           \
                 }                                                       \
             }                                                           \
             if (op->dest2Reg != kNoDenseReg)                            \
@@ -699,10 +709,9 @@ runThreadDecodedImpl(MachineState &ms, std::uint32_t tl,
     if (op->destKind == DecodedOp::Dest::Gp) {
         R[op->destReg] = value;
         recorded = op->recordedBits;
-        if (kFault && isDestKind(ctx.fault->kind) &&
-            corruptDest(R[op->destReg], *ctx.fault, dyn_index,
-                        recorded)) {
-            noteApplied(*ctx.fault, op->staticIndex);
+        if (kFault) {
+            applyDestFault(R[op->destReg], ctx, dyn_index, recorded,
+                           op->staticIndex);
         }
     }
     pc++;
@@ -733,10 +742,9 @@ runThreadDecodedImpl(MachineState &ms, std::uint32_t tl,
     if (op->destKind == DecodedOp::Dest::Gp) {
         R[op->destReg] = value;
         recorded = op->recordedBits;
-        if (kFault && isDestKind(ctx.fault->kind) &&
-            corruptDest(R[op->destReg], *ctx.fault, dyn_index,
-                        recorded)) {
-            noteApplied(*ctx.fault, op->staticIndex);
+        if (kFault) {
+            applyDestFault(R[op->destReg], ctx, dyn_index, recorded,
+                           op->staticIndex);
         }
     }
     pc++;
@@ -1150,7 +1158,8 @@ Executor::initialCtaState(std::uint64_t cta_linear) const
 CtaStepStatus
 Executor::stepCta(MachineState &ms, GlobalMemory &gmem,
                   std::uint64_t watermark, FaultPlan *fault,
-                  const CtaSlice *slice, std::string *diagnostic) const
+                  const CtaSlice *slice, std::string *diagnostic,
+                  const ProtectionPlan *protection) const
 {
     const Dim3 &grid = config_.grid;
     const std::uint64_t lin = ms.ctaLinear;
@@ -1171,6 +1180,7 @@ Executor::stepCta(MachineState &ms, GlobalMemory &gmem,
                      ? config_.maxDynInstrPerThread
                      : exec::kDefaultBudget;
     ctx.fault = fault;
+    ctx.protection = protection;
     ctx.loadHazards = slice ? slice->loadHazards : nullptr;
     ctx.storeHazards = slice ? slice->storeHazards : nullptr;
 
@@ -1183,12 +1193,15 @@ Executor::stepCta(MachineState &ms, GlobalMemory &gmem,
 RunResult
 Executor::run(GlobalMemory &gmem, const TraceOptions *opts,
               FaultPlan *fault, const CtaSlice *slice,
-              const StateSnapshot *resume) const
+              const StateSnapshot *resume,
+              const ProtectionPlan *protection) const
 {
     RunResult result;
     if (fault) {
         fault->applied = false;
         fault->appliedStatic = kNoStaticIndex;
+        fault->detected = false;
+        fault->detectedStatic = kNoStaticIndex;
         if (fault->kind == FaultKind::GlobalMemLaunch) {
             // A fault that predates the kernel: flip the byte in the
             // initial image, once, before any CTA runs.  Models of
@@ -1248,6 +1261,7 @@ Executor::run(GlobalMemory &gmem, const TraceOptions *opts,
                      : exec::kDefaultBudget;
     ctx.opts = opts;
     ctx.fault = fault;
+    ctx.protection = protection;
     ctx.trace = &result.trace;
     ctx.loadHazards = slice ? slice->loadHazards : nullptr;
     ctx.storeHazards = slice ? slice->storeHazards : nullptr;

@@ -27,6 +27,7 @@
 #include "sim/decoded.hh"
 #include "sim/fault.hh"
 #include "sim/footprint.hh"
+#include "sim/protection.hh"
 #include "sim/launch.hh"
 #include "sim/machine_state.hh"
 #include "sim/memory.hh"
@@ -166,11 +167,15 @@ class Executor
      *        GlobalMemory::applyDelta) and then continues with any
      *        later CTAs selected by @p slice.  CTAs before the resume
      *        point are skipped entirely.
+     * @param protection optional protection plan: faults from @p fault
+     *        firing inside its coverage are suppressed and recorded as
+     *        detections instead of applied (see sim/protection.hh).
      */
     RunResult run(GlobalMemory &gmem, const TraceOptions *opts = nullptr,
                   FaultPlan *fault = nullptr,
                   const CtaSlice *slice = nullptr,
-                  const StateSnapshot *resume = nullptr) const;
+                  const StateSnapshot *resume = nullptr,
+                  const ProtectionPlan *protection = nullptr) const;
 
     /** Pristine pre-execution state of one CTA of this launch. */
     MachineState initialCtaState(std::uint64_t ctaLinear) const;
@@ -190,12 +195,14 @@ class Executor
      * @param slice optional hazard sets (the range is ignored here;
      *        stepping is inherently single-CTA).
      * @param diagnostic receives crash/hang/hazard detail when non-null.
+     * @param protection optional protection plan (see run()).
      */
     CtaStepStatus stepCta(MachineState &state, GlobalMemory &gmem,
                           std::uint64_t watermark = kNoWatermark,
                           FaultPlan *fault = nullptr,
                           const CtaSlice *slice = nullptr,
-                          std::string *diagnostic = nullptr) const;
+                          std::string *diagnostic = nullptr,
+                          const ProtectionPlan *protection = nullptr) const;
 
     const LaunchConfig &config() const { return config_; }
     const Program &program() const { return program_; }

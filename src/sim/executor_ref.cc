@@ -300,13 +300,11 @@ runThreadReference(MachineState &ms, std::uint32_t tl, CtaContext &ctx,
                         dst = value;
                         recorded_bits = static_cast<std::uint16_t>(
                             typeBits(insn.type));
-                        if (is_fault_thread &&
-                            isDestKind(ctx.fault->kind) &&
-                            corruptDest(dst, *ctx.fault, dyn_index,
-                                        recorded_bits)) {
-                            noteApplied(*ctx.fault,
-                                        static_cast<std::uint32_t>(
-                                            &insn - code.data()));
+                        if (is_fault_thread) {
+                            applyDestFault(dst, ctx, dyn_index,
+                                           recorded_bits,
+                                           static_cast<std::uint32_t>(
+                                               &insn - code.data()));
                         }
                     }
                 }
@@ -367,16 +365,14 @@ runThreadReference(MachineState &ms, std::uint32_t tl, CtaContext &ctx,
                             : insn.type;
                     t.ccs[insn.dest.reg] = ccFromValue(result, cc_type);
                     recorded_bits = typeBits(DataType::Pred);
-                    if (is_fault_thread &&
-                        isDestKind(ctx.fault->kind)) {
+                    if (is_fault_thread) {
                         std::uint64_t cc = t.ccs[insn.dest.reg];
-                        if (corruptDest(cc, *ctx.fault, dyn_index,
-                                        recorded_bits)) {
+                        if (applyDestFault(cc, ctx, dyn_index,
+                                           recorded_bits,
+                                           static_cast<std::uint32_t>(
+                                               &insn - code.data()))) {
                             t.ccs[insn.dest.reg] =
                                 static_cast<std::uint8_t>(cc);
-                            noteApplied(*ctx.fault,
-                                        static_cast<std::uint32_t>(
-                                            &insn - code.data()));
                         }
                     }
                     if (insn.dest2.kind == Operand::Kind::GpReg &&
@@ -392,13 +388,11 @@ runThreadReference(MachineState &ms, std::uint32_t tl, CtaContext &ctx,
                                 insn.op == Opcode::MadWide
                             ? 2 * typeBits(insn.type)
                             : typeBits(insn.type));
-                    if (is_fault_thread &&
-                        isDestKind(ctx.fault->kind) &&
-                        corruptDest(dst, *ctx.fault, dyn_index,
-                                    recorded_bits)) {
-                        noteApplied(*ctx.fault,
-                                    static_cast<std::uint32_t>(
-                                        &insn - code.data()));
+                    if (is_fault_thread) {
+                        applyDestFault(dst, ctx, dyn_index,
+                                       recorded_bits,
+                                       static_cast<std::uint32_t>(
+                                           &insn - code.data()));
                     }
                 }
                 t.pc++;

@@ -141,6 +141,21 @@ struct FaultPlan
      * failure-class ranking in faults::SdcAnatomyProfile.
      */
     std::uint32_t appliedStatic = kNoStaticIndex;
+
+    /**
+     * Set by the executor when the fault would have fired but an
+     * active sim::ProtectionPlan covered the site: the corruption was
+     * suppressed (the protection scheme caught and discarded it), so
+     * @c applied stays false and the run produces golden outputs.
+     * Mutually exclusive with @c applied for DestReg/PredState/PcState
+     * single-shot kinds; a DestRegStuck plan straddling a coverage
+     * boundary can both detect (inside coverage) and apply (outside).
+     */
+    bool detected = false;
+
+    /** Static instruction index at the first detection (see
+     * appliedStatic); kNoStaticIndex when never detected. */
+    std::uint32_t detectedStatic = kNoStaticIndex;
 };
 
 } // namespace fsp::sim

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Protection plans applied by the executor -- the mitigation-side
+ * mirror of sim::FaultPlan.
+ *
+ * A ProtectionPlan describes which threads (or which dynamic-index
+ * ranges of which threads) run under a software protection scheme
+ * during a faulty run.  The executor consults the plan at the exact
+ * points where a FaultPlan would corrupt architectural state: when the
+ * corruption falls inside protected coverage, the mutation is
+ * suppressed and recorded as a *detection* on the plan
+ * (FaultPlan::detected) instead of an application.  A detected fault
+ * therefore produces golden outputs and classifies as Masked -- the
+ * simulated equivalent of duplicate-and-compare discarding the bad
+ * value, or of a recomputation overwriting it.
+ *
+ * Two schemes are modelled, following Yang et al.'s partial thread
+ * protection (see PAPERS.md):
+ *
+ *  - DuplicateCompare: every destination write of a protected thread is
+ *    duplicated and compared, so all value-producing corruption in that
+ *    thread (DestReg, DestRegStuck) and corrupted stored state feeding
+ *    it (PredState, PcState) is caught.  Cost model: one redundant
+ *    execution of the thread (factor 1.0 x its dynamic instructions).
+ *
+ *  - Recompute: only selected dynamic ranges of a protected thread are
+ *    recomputed and compared, so coverage is limited to destination
+ *    writebacks (DestReg, DestRegStuck) whose corrupting instruction
+ *    falls inside a protected range.  Cost model: the summed range
+ *    lengths.
+ *
+ * Memory kinds (SharedMem, GlobalMem, GlobalMemLaunch) and BarrierSkip
+ * corrupt state outside the protected thread's own dataflow; neither
+ * scheme covers them.  The executor stays scheme-agnostic the same way
+ * it stays model-agnostic: it interprets coverage, it never constructs
+ * plans (analysis::ProtectionPlanner does).
+ */
+
+#ifndef FSP_SIM_PROTECTION_HH
+#define FSP_SIM_PROTECTION_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/fault.hh"
+
+namespace fsp::sim {
+
+/** Which software protection mechanism a plan simulates. */
+enum class ProtectionScheme : std::uint8_t
+{
+    DuplicateCompare, ///< full-thread duplicate-and-compare
+    Recompute,        ///< selective recomputation of dynamic ranges
+};
+
+/** Human-readable scheme tag ("duplicate-compare" / "recompute"). */
+const char *protectionSchemeName(ProtectionScheme scheme);
+
+/** Half-open dynamic-instruction range [begin, end) of one thread. */
+struct ProtectedRange
+{
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+};
+
+/** A planned protection set, consumed by Executor::run / stepCta. */
+class ProtectionPlan
+{
+public:
+    explicit ProtectionPlan(
+        ProtectionScheme scheme = ProtectionScheme::DuplicateCompare)
+        : scheme_(scheme)
+    {
+    }
+
+    ProtectionScheme
+    scheme() const
+    {
+        return scheme_;
+    }
+
+    /** Protect a whole thread (both schemes accept this; under
+     * Recompute it is an unbounded range). */
+    void
+    protectThread(std::uint64_t thread)
+    {
+        threads_.insert(thread);
+    }
+
+    /**
+     * Protect the dynamic range [begin, end) of @p thread (Recompute).
+     * Ranges may be added in any order; they are normalised (sorted,
+     * merged) lazily by covers()/identity().
+     */
+    void protectRange(std::uint64_t thread, std::uint64_t begin,
+                      std::uint64_t end);
+
+    /** Is @p thread in the protection set at all? */
+    bool
+    protectsThread(std::uint64_t thread) const
+    {
+        return threads_.count(thread) != 0 || ranges_.count(thread) != 0;
+    }
+
+    /**
+     * Would the scheme catch a fault of @p kind firing at
+     * (@p thread, @p dynIndex)?  This is the executor's suppression
+     * predicate; see the file comment for per-scheme coverage.
+     */
+    bool covers(std::uint64_t thread, std::uint64_t dynIndex,
+                FaultKind kind) const;
+
+    /** Number of distinct threads with any coverage. */
+    std::size_t protectedThreadCount() const;
+
+    /** Sorted list of protected thread ids (for reports). */
+    std::vector<std::uint64_t> protectedThreads() const;
+
+    /** Normalised ranges of @p thread (empty for whole-thread). */
+    std::vector<ProtectedRange> rangesOf(std::uint64_t thread) const;
+
+    bool
+    empty() const
+    {
+        return threads_.empty() && ranges_.empty();
+    }
+
+    /**
+     * Canonical text form: scheme tag plus the sorted thread/range
+     * set.  Two plans with the same coverage produce the same string
+     * regardless of insertion order.  Folded (via identityHash) into
+     * campaign journal keys so a journal written under one protection
+     * set refuses to resume under another.
+     */
+    std::string identity() const;
+
+    /** FNV-1a hash of identity() (same fold as faults::JournalHasher). */
+    std::uint64_t identityHash() const;
+
+private:
+    void normalise() const;
+
+    ProtectionScheme scheme_;
+    std::unordered_set<std::uint64_t> threads_; ///< whole-thread set
+    /** Per-thread ranges; ordered map so identity() is canonical. */
+    mutable std::map<std::uint64_t, std::vector<ProtectedRange>> ranges_;
+    mutable bool normalised_ = true;
+};
+
+} // namespace fsp::sim
+
+#endif // FSP_SIM_PROTECTION_HH

@@ -362,7 +362,10 @@ TEST(FaultModelFacade, AnalyzerForwardsModelToEngines)
     EXPECT_EQ(ka.faultModel().kind(), "single-bit");
 
     auto model = makeModel("multi-bit:width=3");
-    ka.setFaultModel(model, 2026);
+    analysis::AnalysisConfig facade;
+    facade.faultModel = model;
+    facade.modelSeed = 2026;
+    ka.configure(facade);
     EXPECT_EQ(ka.faultModel().identity(), model->identity());
 
     // Engine workers clone the facade injector, so campaigns run under

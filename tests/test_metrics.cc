@@ -623,7 +623,9 @@ TEST(Observability, BundleExportsPipelineAndCampaignFamilies)
     analysis::KernelAnalysis ka(*spec, apps::Scale::Small);
 
     analysis::Observability obs;
-    ka.attachExecMetrics(&obs.exec);
+    analysis::AnalysisConfig facade;
+    facade.execMetrics = &obs.exec;
+    ka.configure(facade);
     pruning::PruningConfig config;
     auto pruned = ka.prune(config, &obs.registry);
     ASSERT_FALSE(pruned.sites.empty());

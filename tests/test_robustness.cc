@@ -136,7 +136,10 @@ TEST_P(ModelMatrix, InjectorClassifiesArbitrarySitesUnderModel)
     std::string error;
     auto model = faults::parseFaultModel(GetParam(), &error);
     ASSERT_NE(model, nullptr) << error;
-    ka.setFaultModel(std::move(model), 77);
+    analysis::AnalysisConfig facade;
+    facade.faultModel = std::move(model);
+    facade.modelSeed = 77;
+    ka.configure(facade);
     EXPECT_EQ(ka.faultModel().identity(),
               ka.injector().faultModel().identity());
 

@@ -152,7 +152,9 @@ runGemm(const GemmRunConfig &config)
 {
     VariantGuard guard(config.variant);
     const apps::KernelSpec *spec = apps::findKernel("GEMM/K1");
-    analysis::KernelAnalysis ka(*spec, apps::Scale::Small,
+    analysis::AnalysisConfig facade;
+    facade.sectionCacheDir = config.cacheDir;
+    analysis::KernelAnalysis ka(*spec, apps::Scale::Small, facade,
                                 config.seed + 41);
 
     pruning::PruningConfig pruning;
@@ -167,9 +169,6 @@ runGemm(const GemmRunConfig &config)
         options.faultModel = parseFaultModel(config.faultModel, &error);
         EXPECT_TRUE(options.faultModel) << error;
     }
-    if (!config.cacheDir.empty())
-        ka.setSectionCacheDir(config.cacheDir);
-
     GemmRun run;
     run.result = ka.runPrunedCampaignDetailed(pruned, options);
     run.stats = ka.campaignEngine(options).lastStats();
@@ -593,9 +592,10 @@ TEST(SectionCacheCampaign, ShardedWorkersShareOneDirectory)
                 prepareShardJournal(journal_path, entry, model_hash);
                 journal_paths.push_back(journal_path);
 
+                analysis::AnalysisConfig facade;
+                facade.sectionCacheDir = dir;
                 analysis::KernelAnalysis ka(*spec, apps::Scale::Small,
-                                            42);
-                ka.setSectionCacheDir(dir);
+                                            facade, 42);
                 const SectionIndex &index =
                     ka.buildSectionIndex(entry.sites);
 
@@ -657,11 +657,12 @@ TEST(SectionCacheCampaign, ObserverSeesEveryHitAndMiss)
 
     VariantGuard guard("");
     const apps::KernelSpec *spec = apps::findKernel("GEMM/K1");
-    analysis::KernelAnalysis ka(*spec, apps::Scale::Small, 42);
+    analysis::AnalysisConfig facade;
+    facade.sectionCacheDir = dir;
+    analysis::KernelAnalysis ka(*spec, apps::Scale::Small, facade, 42);
     pruning::PruningConfig pruning;
     pruning.seed = 1;
     pruning::PruningResult pruned = ka.prune(pruning);
-    ka.setSectionCacheDir(dir);
 
     CacheCounter cold_counter;
     CampaignOptions options;

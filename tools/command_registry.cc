@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Command registry lookup, generated help, and dispatch.
+ */
+
+#include "command_registry.hh"
+
+#include <algorithm>
+#include <cstddef>
+#include <exception>
+
+namespace fsp::tools {
+
+const Command *
+CommandRegistry::find(const std::string &name) const
+{
+    for (const Command &command : commands_) {
+        if (command.name == name)
+            return &command;
+    }
+    return nullptr;
+}
+
+void
+CommandRegistry::printHelp(std::ostream &out) const
+{
+    out << "usage: " << tool_ << " <command> [options]\n\ncommands:\n";
+    std::size_t width = 0;
+    for (const Command &command : commands_)
+        width = std::max(width, command.name.size());
+    for (const Command &command : commands_) {
+        out << "  " << command.name
+            << std::string(width - command.name.size() + 2, ' ')
+            << command.summary << "\n";
+    }
+    out << "\nrun `" << tool_
+        << " <command> --help` for that command's options\n";
+}
+
+int
+CommandRegistry::dispatch(int argc, char **argv, std::ostream &out,
+                          std::ostream &err) const
+{
+    if (argc < 2) {
+        printHelp(err);
+        return 2;
+    }
+    const std::string name = argv[1];
+    if (name == "--help" || name == "-h") {
+        printHelp(out);
+        return 0;
+    }
+    const Command *command = find(name);
+    if (command == nullptr) {
+        err << "unknown command '" << name << "'\n";
+        printHelp(err);
+        return 2;
+    }
+    try {
+        return command->run(argc, argv);
+    } catch (const std::exception &error) {
+        err << tool_ << " " << name << ": " << error.what() << "\n";
+        return 1;
+    }
+}
+
+} // namespace fsp::tools

@@ -1,63 +1,66 @@
 /**
  * @file
- * `fsp` -- the command-line front end to the library.  Subcommands:
+ * `fsp` -- the command-line front end to the library.
  *
- *   fsp list                         registered kernels
- *   fsp models                       built-in fault models
- *   fsp profile  <App/Kx> [opts]     fault-space enumeration (Eq. 1)
- *   fsp groups   <App/Kx> [opts]     CTA/thread grouping summary
- *   fsp disasm   <App/Kx> [opts]     kernel listing (disassembled)
- *   fsp loops    <App/Kx> [opts]     loop statistics (Table VII row)
- *   fsp prune    <App/Kx> [opts]     pruning stage counts (Fig. 10 row)
- *   fsp campaign <App/Kx> [opts]     pruned campaign vs baseline
- *   fsp serve    [opts]              campaign service daemon
- *   fsp submit   <App/Kx> [opts]     submit a campaign to a daemon
- *   fsp merge    <App/Kx> [opts]     merge shard journals (fsp_service_cmds.cc)
- *   fsp shutdown [opts]              stop a daemon
+ * Subcommands are registered in a table-driven CommandRegistry shared
+ * with the service commands (fsp_service_cmds.cc); the top-level
+ * --help is generated from that table, and each command parses its own
+ * OptionTable.  The analysis commands accept the shared tool option
+ * set (analysis/cli_options.hh); run `fsp <command> --help` for the
+ * generated list.
  *
- * Options are the shared tool set (analysis/cli_options.hh); run
- * `fsp --help` (or any command with --help) for the generated list.
  * `fsp campaign ... --journal p.fspj` makes the pruned campaign
  * durable: re-running with `--resume` skips already-journaled sites
- * and still produces a bit-identical profile.
+ * and still produces a bit-identical profile.  `fsp protect` plans a
+ * partial thread protection scheme under an overhead budget and
+ * verifies the achieved SDC reduction with a protected re-run.
  */
 
+#include <cstdlib>
+#include <functional>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "analysis/analyzer.hh"
 #include "analysis/cli_options.hh"
-#include "analysis/convergence.hh"
 #include "analysis/observability.hh"
+#include "analysis/protection_planner.hh"
+#include "analysis/report.hh"
 #include "apps/app.hh"
 #include "pruning/loops.hh"
 #include "sim/disasm.hh"
+#include "sim/protection.hh"
 #include "util/cli.hh"
 #include "util/json.hh"
 #include "util/table.hh"
 
-#include "fsp_service_cmds.hh"
+#include "command_registry.hh"
 
 namespace {
 
 using namespace fsp;
 
-struct Options
+/** Kernel-command argument bundle (positional kernel + shared flags). */
+struct KernelOptions
 {
-    std::string command;
     std::string kernel;
     analysis::CommonCliOptions common;
 };
 
-void
-buildTable(OptionTable &table, Options &opts)
+/**
+ * Parse a kernel command's arguments: positional kernel, the shared
+ * option set, plus any command-specific options @p extend registers.
+ * Returns 0 on success, -1 when --help was printed, 2 on a parse
+ * error.
+ */
+int
+parseKernelCommand(const std::string &usage, int argc, char **argv,
+                   KernelOptions &opts,
+                   const std::function<void(OptionTable &)> &extend = {})
 {
-    table.setUsage("fsp <command> [kernel] [options]\n"
-                   "commands: list | models | profile | groups | disasm |"
-                   " loops | prune | campaign |\n"
-                   "          serve | submit | merge | shutdown"
-                   "  (each service command has its own --help)");
+    OptionTable table;
+    table.setUsage(usage);
     table.positional("kernel", "kernel name, e.g. GEMM/K1 (`fsp list`)",
                      [&opts](const std::string &arg) {
                          if (!opts.kernel.empty())
@@ -66,33 +69,23 @@ buildTable(OptionTable &table, Options &opts)
                          return true;
                      });
     analysis::addCommonOptions(table, opts.common);
-}
-
-int
-cmdList()
-{
-    TextTable table({"Kernel", "Suite", "Name"});
-    for (const auto &spec : apps::allKernels())
-        table.addRow({spec.fullName(), spec.suite, spec.kernelName});
-    table.print(std::cout);
-    return 0;
-}
-
-int
-cmdModels()
-{
-    TextTable table({"Model", "Description"});
-    for (const std::string &name : faults::builtinFaultModels())
-        table.addRow({name,
-                      std::string(faults::faultModelDescription(name))});
-    table.print(std::cout);
-    std::cout << "\nselect with --fault-model name[:key=value,...], "
-                 "e.g. --fault-model multi-bit:width=3\n";
+    if (extend)
+        extend(table);
+    switch (table.parse(argc, argv, 2, std::cerr)) {
+      case OptionTable::Parse::Ok:
+        break;
+      case OptionTable::Parse::Help:
+        return -1;
+      case OptionTable::Parse::Error:
+        return 2;
+    }
+    if (!analysis::finalizeCommonOptions(opts.common))
+        return 2;
     return 0;
 }
 
 const apps::KernelSpec *
-requireKernel(const Options &opts)
+requireKernel(const KernelOptions &opts)
 {
     if (opts.kernel.empty()) {
         std::cerr << "this command needs a kernel (try `fsp list`)\n";
@@ -102,6 +95,19 @@ requireKernel(const Options &opts)
     if (spec == nullptr)
         std::cerr << "unknown kernel '" << opts.kernel << "'\n";
     return spec;
+}
+
+/** The facade configuration the shared campaign flags describe. */
+analysis::AnalysisConfig
+analysisConfigFor(const analysis::CommonCliOptions &common,
+                  analysis::Observability &obs)
+{
+    analysis::AnalysisConfig config;
+    config.slicing = common.campaign.allowSlicing;
+    config.checkpoints = common.campaign.allowCheckpoints;
+    config.sectionCacheDir = common.cacheDir;
+    config.execMetrics = &obs.exec;
+    return config;
 }
 
 /** Honour --metrics-out: export the snapshot; false on I/O failure. */
@@ -119,23 +125,36 @@ exportMetrics(const analysis::Observability &obs,
     return true;
 }
 
-/** Emit an outcome distribution as a named JSON object. */
-void
-writeProfile(JsonWriter &json, std::string_view key,
-             const faults::OutcomeDist &dist)
+int
+cmdList(int, char **)
 {
-    json.beginObject(key);
-    json.field("runs", dist.runs());
-    json.field("totalWeight", dist.total());
-    json.field("masked", dist.fraction(faults::Outcome::Masked));
-    json.field("sdc", dist.fraction(faults::Outcome::SDC));
-    json.field("other", dist.fraction(faults::Outcome::Other));
-    json.endObject();
+    TextTable table({"Kernel", "Suite", "Name"});
+    for (const auto &spec : apps::allKernels())
+        table.addRow({spec.fullName(), spec.suite, spec.kernelName});
+    table.print(std::cout);
+    return 0;
 }
 
 int
-cmdProfile(const Options &opts)
+cmdModels(int, char **)
 {
+    TextTable table({"Model", "Description"});
+    for (const std::string &name : faults::builtinFaultModels())
+        table.addRow({name,
+                      std::string(faults::faultModelDescription(name))});
+    table.print(std::cout);
+    std::cout << "\nselect with --fault-model name[:key=value,...], "
+                 "e.g. --fault-model multi-bit:width=3\n";
+    return 0;
+}
+
+int
+cmdProfile(int argc, char **argv)
+{
+    KernelOptions opts;
+    if (int rc = parseKernelCommand("fsp profile <App/Kx> [options]",
+                                    argc, argv, opts))
+        return rc < 0 ? 0 : rc;
     const apps::KernelSpec *spec = requireKernel(opts);
     if (!spec)
         return 1;
@@ -143,14 +162,12 @@ cmdProfile(const Options &opts)
     analysis::KernelAnalysis ka(*spec, common.scale, common.seed + 41);
     const auto &space = ka.space();
     if (common.json) {
-        JsonWriter json(std::cout);
-        json.beginObject();
-        json.field("kernel", spec->fullName());
-        json.field("scale", apps::scaleName(common.scale));
-        json.field("threads", space.threadCount());
-        json.field("dynInstrs", space.totalDynInstrs());
-        json.field("faultSites", space.totalSites());
-        json.endObject();
+        analysis::CampaignReport report;
+        report.spec = spec;
+        report.scale = common.scale;
+        report.seed = common.seed;
+        report.space = &space;
+        analysis::writeCampaignReport(std::cout, report);
         return 0;
     }
     std::cout << spec->fullName() << " @ "
@@ -166,8 +183,12 @@ cmdProfile(const Options &opts)
 }
 
 int
-cmdGroups(const Options &opts)
+cmdGroups(int argc, char **argv)
 {
+    KernelOptions opts;
+    if (int rc = parseKernelCommand("fsp groups <App/Kx> [options]",
+                                    argc, argv, opts))
+        return rc < 0 ? 0 : rc;
     const apps::KernelSpec *spec = requireKernel(opts);
     if (!spec)
         return 1;
@@ -205,8 +226,12 @@ cmdGroups(const Options &opts)
 }
 
 int
-cmdDisasm(const Options &opts)
+cmdDisasm(int argc, char **argv)
 {
+    KernelOptions opts;
+    if (int rc = parseKernelCommand("fsp disasm <App/Kx> [options]",
+                                    argc, argv, opts))
+        return rc < 0 ? 0 : rc;
     const apps::KernelSpec *spec = requireKernel(opts);
     if (!spec)
         return 1;
@@ -219,8 +244,12 @@ cmdDisasm(const Options &opts)
 }
 
 int
-cmdLoops(const Options &opts)
+cmdLoops(int argc, char **argv)
 {
+    KernelOptions opts;
+    if (int rc = parseKernelCommand("fsp loops <App/Kx> [options]",
+                                    argc, argv, opts))
+        return rc < 0 ? 0 : rc;
     const apps::KernelSpec *spec = requireKernel(opts);
     if (!spec)
         return 1;
@@ -254,38 +283,40 @@ cmdLoops(const Options &opts)
 }
 
 int
-cmdPrune(const Options &opts)
+cmdPrune(int argc, char **argv)
 {
+    KernelOptions opts;
+    if (int rc = parseKernelCommand("fsp prune <App/Kx> [options]",
+                                    argc, argv, opts))
+        return rc < 0 ? 0 : rc;
     const apps::KernelSpec *spec = requireKernel(opts);
     if (!spec)
         return 1;
     const auto &common = opts.common;
-    analysis::KernelAnalysis ka(*spec, common.scale, common.seed + 41);
     analysis::Observability obs(common.progressEvery);
-    ka.attachExecMetrics(&obs.exec);
+    analysis::KernelAnalysis ka(*spec, common.scale,
+                                analysisConfigFor(common, obs),
+                                common.seed + 41);
     auto pruned = ka.prune(common.pruning, &obs.registry);
     obs.finalize();
     if (!exportMetrics(obs, common.metricsOut))
         return 1;
     const auto &c = pruned.counts;
     if (common.json) {
-        JsonWriter json(std::cout);
-        json.beginObject();
-        json.field("kernel", spec->fullName());
-        json.field("scale", apps::scaleName(common.scale));
-        json.beginObject("stageCounts");
-        json.field("exhaustive", c.exhaustive);
-        json.field("afterThread", c.afterThread);
-        json.field("afterInstruction", c.afterInstruction);
-        json.field("afterLoop", c.afterLoop);
-        json.field("afterBit", c.afterBit);
-        json.endObject();
-        json.field("representatives",
-                   static_cast<std::uint64_t>(
-                       pruned.grouping.representativeCount()));
-        json.field("representedWeight", pruned.totalRepresentedWeight());
-        obs.writeJsonSnapshot(json);
-        json.endObject();
+        analysis::CampaignReport report;
+        report.spec = spec;
+        report.scale = common.scale;
+        report.seed = common.seed;
+        report.stageCounts = &pruned.counts;
+        report.obs = &obs;
+        report.extra = [&pruned](JsonWriter &json) {
+            json.field("representatives",
+                       static_cast<std::uint64_t>(
+                           pruned.grouping.representativeCount()));
+            json.field("representedWeight",
+                       pruned.totalRepresentedWeight());
+        };
+        analysis::writeCampaignReport(std::cout, report);
         return 0;
     }
     std::cout << spec->fullName() << " progressive pruning:\n"
@@ -304,19 +335,20 @@ cmdPrune(const Options &opts)
 }
 
 int
-cmdCampaign(const Options &opts)
+cmdCampaign(int argc, char **argv)
 {
+    KernelOptions opts;
+    if (int rc = parseKernelCommand("fsp campaign <App/Kx> [options]",
+                                    argc, argv, opts))
+        return rc < 0 ? 0 : rc;
     const apps::KernelSpec *spec = requireKernel(opts);
     if (!spec)
         return 1;
     const auto &common = opts.common;
-    analysis::KernelAnalysis ka(*spec, common.scale, common.seed + 41);
     analysis::Observability obs(common.progressEvery);
-    ka.attachExecMetrics(&obs.exec);
-    if (!common.campaign.allowSlicing)
-        ka.setSlicingEnabled(false);
-    if (!common.campaign.allowCheckpoints)
-        ka.setCheckpointsEnabled(false);
+    analysis::KernelAnalysis ka(*spec, common.scale,
+                                analysisConfigFor(common, obs),
+                                common.seed + 41);
     auto pruned = ka.prune(common.pruning, &obs.registry);
     if (!common.json) {
         std::cout << spec->fullName() << "\n  engine: "
@@ -334,10 +366,6 @@ cmdCampaign(const Options &opts)
     if (!pruned_options.journalPath.empty())
         pruned_options.journalKey =
             analysis::campaignJournalKey(*spec, common.scale, common);
-    // --cache: the facade builds the section index for the pruned
-    // site list and the engine replays unchanged sections' outcomes.
-    if (!common.cacheDir.empty())
-        ka.setSectionCacheDir(common.cacheDir);
     faults::CampaignResult estimated;
     try {
         estimated = ka.runPrunedCampaignDetailed(pruned, pruned_options);
@@ -366,29 +394,17 @@ cmdCampaign(const Options &opts)
         return 1;
 
     if (common.json) {
-        JsonWriter json(std::cout);
-        json.beginObject();
-        json.field("kernel", spec->fullName());
-        json.field("scale", apps::scaleName(common.scale));
-        json.field("seed", common.seed);
-        json.beginObject("engine");
-        json.field("slicing", ka.injector().slicingDescription());
-        json.field("checkpoints", ka.injector().checkpointDescription());
-        json.field("slicingActive", ka.injector().slicingActive());
-        json.field("checkpointsActive",
-                   ka.injector().checkpointsActive());
-        json.field("faultModel", common.campaign.faultModelIdentity());
-        json.field("workers", static_cast<std::uint64_t>(stats.workers));
-        json.endObject();
-        writeProfile(json, "prunedEstimate", estimate);
-        if (common.baseline > 0)
-            writeProfile(json, "randomBaseline", baseline.dist);
-        estimated.anatomy.writeJson(json);
-        json.beginObject("campaignStats");
-        faults::writeCampaignStats(json, stats);
-        json.endObject();
-        obs.writeJsonSnapshot(json);
-        json.endObject();
+        analysis::CampaignReport report;
+        report.spec = spec;
+        report.scale = common.scale;
+        report.seed = common.seed;
+        report.analysis = &ka;
+        report.faultModel = common.campaign.faultModelIdentity();
+        report.estimate = &estimated;
+        report.baseline = common.baseline > 0 ? &baseline : nullptr;
+        report.stats = &stats;
+        report.obs = &obs;
+        analysis::writeCampaignReport(std::cout, report);
         return 0;
     }
 
@@ -405,57 +421,159 @@ cmdCampaign(const Options &opts)
     return 0;
 }
 
+int
+cmdProtect(int argc, char **argv)
+{
+    KernelOptions opts;
+    analysis::ProtectionPlannerConfig planner_config;
+    bool no_verify = false;
+    int rc = parseKernelCommand(
+        "fsp protect <App/Kx> [--budget F] [--scheme NAME] [options]",
+        argc, argv, opts, [&](OptionTable &table) {
+            table.option(
+                "--budget", "F",
+                "overhead budget as a fraction of the kernel's total "
+                "dynamic instructions (default 0.25)",
+                [&planner_config](const std::string &arg) {
+                    char *end = nullptr;
+                    double value = std::strtod(arg.c_str(), &end);
+                    if (end == arg.c_str() || *end != '\0' ||
+                        value < 0.0)
+                        return false;
+                    planner_config.budget = value;
+                    return true;
+                });
+            table.option(
+                "--scheme", "NAME",
+                "protection scheme: dup (duplicate-and-compare) | "
+                "recompute (default dup)",
+                [&planner_config](const std::string &arg) {
+                    if (arg == "dup" || arg == "duplicate-compare") {
+                        planner_config.scheme =
+                            sim::ProtectionScheme::DuplicateCompare;
+                        return true;
+                    }
+                    if (arg == "recompute") {
+                        planner_config.scheme =
+                            sim::ProtectionScheme::Recompute;
+                        return true;
+                    }
+                    return false;
+                });
+            table.flag("--no-verify",
+                       "skip the protected verification campaign "
+                       "(report modeled numbers only)",
+                       no_verify);
+        });
+    if (rc)
+        return rc < 0 ? 0 : rc;
+    const apps::KernelSpec *spec = requireKernel(opts);
+    if (!spec)
+        return 1;
+    const auto &common = opts.common;
+    analysis::Observability obs(common.progressEvery);
+    analysis::KernelAnalysis ka(*spec, common.scale,
+                                analysisConfigFor(common, obs),
+                                common.seed + 41);
+    auto pruned = ka.prune(common.pruning, &obs.registry);
+    if (!common.json) {
+        std::cout << spec->fullName() << "\n  engine: "
+                  << ka.injector().slicingDescription() << ", "
+                  << ka.injector().checkpointDescription() << "\n"
+                  << "  scheme: "
+                  << sim::protectionSchemeName(planner_config.scheme)
+                  << ", budget "
+                  << fmtPercent(planner_config.budget, 1) << "\n";
+    }
+
+    faults::CampaignOptions options = common.campaign;
+    options.observer = obs.observer();
+    if (!options.journalPath.empty())
+        options.journalKey =
+            analysis::campaignJournalKey(*spec, common.scale, common);
+
+    planner_config.verify = !no_verify;
+    planner_config.metrics = &obs.registry;
+    analysis::ProtectionPlanner planner(ka, planner_config);
+    analysis::ProtectionOutcome outcome;
+    try {
+        outcome = planner.plan(pruned, options);
+    } catch (const faults::JournalError &error) {
+        std::cerr << "journal error: " << error.what() << "\n";
+        return 1;
+    }
+
+    outcome.before.anatomy.exportMetrics(obs.registry);
+    obs.finalize();
+    if (!exportMetrics(obs, common.metricsOut))
+        return 1;
+
+    if (common.json) {
+        analysis::CampaignReport report;
+        report.spec = spec;
+        report.scale = common.scale;
+        report.seed = common.seed;
+        report.analysis = &ka;
+        report.faultModel = common.campaign.faultModelIdentity();
+        report.obs = &obs;
+        report.extra = [&outcome](JsonWriter &json) {
+            analysis::writeProtectionReport(json, outcome);
+        };
+        analysis::writeCampaignReport(std::cout, report);
+        return 0;
+    }
+
+    std::cout << "  unprotected (" << outcome.before.dist.runs()
+              << " runs): " << outcome.before.dist.summary() << "\n"
+              << "  selected: " << outcome.selected.size() << " of "
+              << outcome.candidateCount << " candidate groups, "
+              << (outcome.plan ? outcome.plan->protectedThreadCount()
+                               : 0)
+              << " threads, modeled cost "
+              << fmtPercent(outcome.totalInstrs > 0.0
+                                ? outcome.modeledCost /
+                                      outcome.totalInstrs
+                                : 0.0,
+                            1)
+              << " of dyn instrs (budget "
+              << fmtPercent(outcome.budgetFraction, 1) << ")\n";
+    if (outcome.verified) {
+        std::cout << "  protected   (" << outcome.after.dist.runs()
+                  << " runs): " << outcome.after.dist.summary() << "\n"
+                  << "  SDC " << fmtFixed(outcome.sdcBefore, 4) << " -> "
+                  << fmtFixed(outcome.sdcAfter, 4) << " (achieved drop "
+                  << fmtFixed(outcome.sdcBefore - outcome.sdcAfter, 4)
+                  << ", " << outcome.after.injection.detectedFaults
+                  << " faults detected)\n";
+    } else {
+        std::cout << "  verification skipped; modeled SDC coverage "
+                  << fmtFixed(outcome.modeledSdcCovered, 1)
+                  << " weight\n";
+    }
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    Options opts;
-    OptionTable table;
-    buildTable(table, opts);
-
-    if (argc < 2) {
-        table.printHelp(std::cerr);
-        return 2;
-    }
-    opts.command = argv[1];
-    if (opts.command == "--help" || opts.command == "-h") {
-        table.printHelp(std::cout);
-        return 0;
-    }
-    // The service commands carry flags the shared table doesn't know
-    // (and `serve` takes no kernel at all): dispatch them before the
-    // shared parse, each with its own table.
-    if (tools::isServiceCommand(opts.command))
-        return tools::runServiceCommand(opts.command, argc, argv);
-    switch (table.parse(argc, argv, 2, std::cerr)) {
-      case OptionTable::Parse::Ok:
-        break;
-      case OptionTable::Parse::Help:
-        return 0;
-      case OptionTable::Parse::Error:
-        return 2;
-    }
-    if (!analysis::finalizeCommonOptions(opts.common))
-        return 2;
-
-    if (opts.command == "list")
-        return cmdList();
-    if (opts.command == "models")
-        return cmdModels();
-    if (opts.command == "profile")
-        return cmdProfile(opts);
-    if (opts.command == "groups")
-        return cmdGroups(opts);
-    if (opts.command == "disasm")
-        return cmdDisasm(opts);
-    if (opts.command == "loops")
-        return cmdLoops(opts);
-    if (opts.command == "prune")
-        return cmdPrune(opts);
-    if (opts.command == "campaign")
-        return cmdCampaign(opts);
-    std::cerr << "unknown command '" << opts.command << "'\n";
-    table.printHelp(std::cerr);
-    return 2;
+    tools::CommandRegistry registry("fsp");
+    registry.add({"list", "registered kernels", cmdList});
+    registry.add({"models", "built-in fault models", cmdModels});
+    registry.add(
+        {"profile", "fault-space enumeration (Eq. 1)", cmdProfile});
+    registry.add({"groups", "CTA/thread grouping summary", cmdGroups});
+    registry.add({"disasm", "kernel listing (disassembled)", cmdDisasm});
+    registry.add({"loops", "loop statistics (Table VII row)", cmdLoops});
+    registry.add(
+        {"prune", "pruning stage counts (Fig. 10 row)", cmdPrune});
+    registry.add(
+        {"campaign", "pruned campaign vs baseline", cmdCampaign});
+    registry.add({"protect",
+                  "plan + verify partial thread protection under a "
+                  "budget",
+                  cmdProtect});
+    tools::registerServiceCommands(registry);
+    return registry.dispatch(argc, argv, std::cout, std::cerr);
 }

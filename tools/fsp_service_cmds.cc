@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "analysis/cli_options.hh"
+#include "analysis/report.hh"
 #include "apps/app.hh"
 #include "faults/journal_merge.hh"
 #include "faults/shard_plan.hh"
@@ -114,21 +115,6 @@ specFromCommon(const std::string &kernel,
     spec.noCheckpoints = !common.campaign.allowCheckpoints;
     spec.cacheDir = common.cacheDir;
     return spec;
-}
-
-/** Emit an outcome distribution exactly as `fsp campaign --json`
- *  does, so merged and single-process output diff cleanly. */
-void
-writeProfile(JsonWriter &json, std::string_view key,
-             const faults::OutcomeDist &dist)
-{
-    json.beginObject(key);
-    json.field("runs", dist.runs());
-    json.field("totalWeight", dist.total());
-    json.field("masked", dist.fraction(faults::Outcome::Masked));
-    json.field("sdc", dist.fraction(faults::Outcome::SDC));
-    json.field("other", dist.fraction(faults::Outcome::Other));
-    json.endObject();
 }
 
 int
@@ -355,7 +341,10 @@ cmdMerge(int argc, char **argv)
         json.field("campaignSites", report.campaignSites);
         json.field("sitesDone", report.sitesDone);
         json.field("complete", report.complete);
-        writeProfile(json, "prunedEstimate", report.result.dist);
+        // Same profile shape as `fsp campaign --json`, so merged and
+        // single-process output diff cleanly.
+        analysis::writeOutcomeProfile(json, "prunedEstimate",
+                                      report.result.dist);
         report.result.anatomy.writeJson(json);
         json.beginObject("mergePhases");
         json.field("replaySeconds", report.phases.replaySeconds);
@@ -444,33 +433,18 @@ cmdShardWorker(int argc, char **argv)
 
 namespace fsp::tools {
 
-bool
-isServiceCommand(const std::string &command)
+void
+registerServiceCommands(CommandRegistry &registry)
 {
-    return command == "serve" || command == "submit" ||
-           command == "merge" || command == "shutdown" ||
-           command == "shard-worker";
-}
-
-int
-runServiceCommand(const std::string &command, int argc, char **argv)
-{
-    try {
-        if (command == "serve")
-            return cmdServe(argc, argv);
-        if (command == "submit")
-            return cmdSubmit(argc, argv);
-        if (command == "merge")
-            return cmdMerge(argc, argv);
-        if (command == "shutdown")
-            return cmdShutdown(argc, argv);
-        if (command == "shard-worker")
-            return cmdShardWorker(argc, argv);
-    } catch (const std::exception &error) {
-        std::cerr << "fsp " << command << ": " << error.what() << "\n";
-        return 1;
-    }
-    return 2;
+    registry.add({"serve", "run the campaign service daemon", cmdServe});
+    registry.add(
+        {"submit", "submit a campaign to a daemon and stream it",
+         cmdSubmit});
+    registry.add(
+        {"merge", "merge shard journals into one profile", cmdMerge});
+    registry.add({"shutdown", "stop a daemon", cmdShutdown});
+    registry.add({"shard-worker", "internal (daemon-forked shard run)",
+                  cmdShardWorker});
 }
 
 } // namespace fsp::tools

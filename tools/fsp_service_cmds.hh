@@ -2,24 +2,14 @@
  * @file
  * The service-facing `fsp` subcommands (serve, submit, merge,
  * shutdown, shard-worker).  They live in their own translation unit
- * with their own option tables: the shared table in fsp.cc rejects
- * unknown flags, so these commands are dispatched on argv[1] before it
- * parses.
+ * and register themselves into the shared CommandRegistry
+ * (command_registry.hh); each has its own option table, so `serve`
+ * taking no kernel at all coexists with the analysis commands.
  */
 
 #ifndef FSP_TOOLS_FSP_SERVICE_CMDS_HH
 #define FSP_TOOLS_FSP_SERVICE_CMDS_HH
 
-#include <string>
-
-namespace fsp::tools {
-
-/** True when @p command is one of the service subcommands. */
-bool isServiceCommand(const std::string &command);
-
-/** Run a service subcommand; returns its exit status. */
-int runServiceCommand(const std::string &command, int argc, char **argv);
-
-} // namespace fsp::tools
+#include "command_registry.hh"
 
 #endif // FSP_TOOLS_FSP_SERVICE_CMDS_HH

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the protection planner: run `fsp protect` on GEMM
+# at a 25% overhead budget and assert that (a) the planner selected a
+# non-empty thread set within budget, (b) the verification campaign
+# actually ran, and (c) the verified SDC fraction dropped below the
+# unprotected baseline -- the ISSUE's acceptance criterion.
+#
+# usage: protect_smoke.sh path/to/fsp [workdir]
+set -euo pipefail
+
+FSP=${1:?usage: protect_smoke.sh path/to/fsp [workdir]}
+WORK=${2:-$(mktemp -d)}
+mkdir -p "$WORK"
+
+KERNEL=GEMM/K1
+BUDGET=0.25
+
+"$FSP" protect "$KERNEL" --budget "$BUDGET" \
+    --metrics-out "$WORK/protect.prom" --json > "$WORK/protect.json"
+
+python3 - "$WORK/protect.json" "$BUDGET" <<'EOF'
+import json
+import sys
+
+report = json.load(open(sys.argv[1]))
+budget = float(sys.argv[2])
+p = report["protection"]
+
+if not p["protectedThreads"]:
+    raise SystemExit("planner selected no threads at budget %s" % budget)
+if p["modeledCostInstrs"] > p["budgetInstrs"] + 1e-6:
+    raise SystemExit("modeled cost %.1f exceeds budget %.1f"
+                     % (p["modeledCostInstrs"], p["budgetInstrs"]))
+if not p["verified"]:
+    raise SystemExit("verification campaign did not run")
+if p["sdcAfter"] >= p["sdcBefore"]:
+    raise SystemExit("verified SDC %.4f did not drop below baseline %.4f"
+                     % (p["sdcAfter"], p["sdcBefore"]))
+if p["detectedFaults"] == 0:
+    raise SystemExit("protected campaign detected no faults")
+
+profile = report["protectedProfile"]
+if profile["sdc"] != p["sdcAfter"]:
+    raise SystemExit("protectedProfile.sdc %r != sdcAfter %r"
+                     % (profile["sdc"], p["sdcAfter"]))
+
+print("selected %d threads (%d group(s)), modeled cost %.1f%% of instrs"
+      % (len(p["protectedThreads"]), len(p["selectedGroups"]),
+         100 * p["modeledCostFraction"]))
+print("verified SDC %.2f%% -> %.2f%% (%d faults detected)"
+      % (100 * p["sdcBefore"], 100 * p["sdcAfter"], p["detectedFaults"]))
+EOF
